@@ -1,0 +1,36 @@
+// Shared helpers for the experiment bench binaries (DESIGN.md §4).
+//
+// Each bench binary has two parts:
+//   1. google-benchmark timed sections measuring simulator throughput on
+//      the experiment's workload (one engine run per iteration), and
+//   2. a post-run reproduction section that prints the paper-vs-measured
+//      table for the experiment and writes results/<exp>.csv.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/bounds.hpp"
+#include "net/network.hpp"
+
+namespace m2hew::benchx {
+
+/// Extracts the paper's bound parameters from a built network.
+[[nodiscard]] inline core::BoundParams bound_params(
+    const net::Network& network, std::size_t delta_est, double epsilon) {
+  core::BoundParams p;
+  p.n = network.node_count();
+  p.s = network.max_channel_set_size();
+  p.delta = std::max<std::size_t>(1, network.max_channel_degree());
+  p.delta_est = delta_est;
+  p.rho = network.min_span_ratio();
+  p.epsilon = epsilon;
+  return p;
+}
+
+/// Ratio formatter for "measured / bound" columns.
+[[nodiscard]] inline double ratio(double measured, double bound) {
+  return bound == 0.0 ? 0.0 : measured / bound;
+}
+
+}  // namespace m2hew::benchx

@@ -1,0 +1,92 @@
+// Asynchrony demo: visualizes the frame geometry of §IV for two nodes with
+// drifting clocks, then measures how Algorithm 4's discovery latency reacts
+// as the drift bound δ approaches and crosses the paper's Assumption 1
+// (δ ≤ 1/7).
+//
+//   $ ./async_drift_demo
+#include <cstdio>
+#include <memory>
+
+#include "core/algorithms.hpp"
+#include "net/topology_gen.hpp"
+#include "runner/trials.hpp"
+#include "sim/clock.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace m2hew;
+
+constexpr double kL = 3.0;
+
+// Prints the first few frames of a clock as real-time intervals.
+void print_frames(const char* name, sim::Clock& clock, int frames) {
+  std::printf("%s frames: ", name);
+  for (int k = 0; k <= frames; ++k) {
+    std::printf("%s%.3f", k == 0 ? "[" : " | ", clock.real_at_local(kL * k));
+  }
+  std::printf("]\n");
+}
+
+[[nodiscard]] net::Network pair_network() {
+  net::Topology t(2);
+  t.add_edge(0, 1);
+  return net::Network(std::move(t), std::vector<net::ChannelSet>(
+                                        2, net::ChannelSet(4, {0, 1, 2, 3})));
+}
+
+}  // namespace
+
+int main() {
+  using namespace m2hew;
+
+  std::printf("=== frame geometry under drift (L = %.1f, 3 slots) ===\n", kL);
+  {
+    sim::ConstantDriftClock fast(+1.0 / 7.0, 0.0);
+    sim::ConstantDriftClock slow(-1.0 / 7.0, 0.7);
+    print_frames("fast (+1/7)      ", fast, 6);
+    print_frames("slow (-1/7, +off)", slow, 6);
+    std::printf(
+        "fast frames shrink to %.3f real seconds; slow stretch to %.3f —\n"
+        "yet Lemma 7 guarantees an aligned pair within any two consecutive\n"
+        "frames as long as |drift| <= 1/7.\n\n",
+        kL / (1.0 + 1.0 / 7.0), kL / (1.0 - 1.0 / 7.0));
+  }
+
+  std::printf("=== Algorithm 4 latency vs drift bound ===\n");
+  const net::Network network = pair_network();
+  util::Table table({"delta", "trials", "completed", "mean frames",
+                     "p95 frames"});
+  for (const double delta :
+       {0.0, 0.05, 1.0 / 7.0, 0.25, 1.0 / 3.0, 0.45}) {
+    runner::AsyncTrialConfig config;
+    config.trials = 40;
+    config.seed = 1234;
+    config.engine.frame_length = kL;
+    config.engine.max_real_time = 2e5;
+    config.engine.clock_builder = [delta](net::NodeId,
+                                          std::uint64_t clock_seed) {
+      return std::make_unique<sim::PiecewiseDriftClock>(
+          sim::PiecewiseDriftClock::Config{.max_drift = delta,
+                                           .min_segment = 10.0,
+                                           .max_segment = 40.0},
+          clock_seed);
+    };
+    const auto stats = runner::run_async_trials(
+        network, core::make_algorithm4(2), config);
+    const auto frames = stats.max_full_frames.summarize();
+    table.row()
+        .cell(delta, 3)
+        .cell(stats.trials)
+        .cell(stats.completed)
+        .cell(frames.mean, 1)
+        .cell(frames.p95, 1);
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Algorithm 4 keeps completing even past delta = 1/7 on this friendly\n"
+      "two-node instance — Assumption 1 is what the *worst-case* guarantee\n"
+      "(Lemma 7's aligned-pair construction) needs, not a cliff in average\n"
+      "behaviour.\n");
+  return 0;
+}

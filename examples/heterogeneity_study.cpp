@@ -1,0 +1,79 @@
+// Heterogeneity study: the paper's central qualitative claim is that
+// discovery time scales with 1/ρ — the more heterogeneous the channel
+// availability, the longer discovery takes. This example sweeps ρ exactly
+// using the chain-overlap construction and compares Algorithms 1 and 3
+// against the theoretical 1/ρ trend.
+//
+//   $ ./heterogeneity_study
+#include <algorithm>
+#include <cstdio>
+
+#include "core/algorithms.hpp"
+#include "core/bounds.hpp"
+#include "runner/scenario.hpp"
+#include "runner/trials.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace m2hew;
+
+  constexpr net::ChannelId kSetSize = 6;
+  constexpr net::NodeId kNodes = 10;
+  constexpr std::size_t kDeltaEst = 4;
+
+  std::printf("line of %u nodes, |A(u)| = %u everywhere, span k swept:\n\n",
+              kNodes, kSetSize);
+
+  util::Table table({"k (span)", "rho", "alg1 mean slots", "alg3 mean slots",
+                     "alg3 p95", "bound x rho (thm3)"});
+
+  double base_alg3 = 0.0;
+  double base_rho = 0.0;
+  for (const net::ChannelId overlap : {6u, 4u, 3u, 2u, 1u}) {
+    runner::ScenarioConfig scenario;
+    scenario.topology = runner::TopologyKind::kLine;
+    scenario.n = kNodes;
+    scenario.channels = runner::ChannelKind::kChainOverlap;
+    scenario.set_size = kSetSize;
+    scenario.chain_overlap = overlap;
+    const net::Network network = runner::build_scenario(scenario, 55);
+
+    runner::SyncTrialConfig trial;
+    trial.trials = 60;
+    trial.seed = 100 + overlap;
+    trial.engine.max_slots = 5'000'000;
+
+    const auto alg1 = runner::run_sync_trials(
+        network, core::make_algorithm1(kDeltaEst), trial);
+    const auto alg3 = runner::run_sync_trials(
+        network, core::make_algorithm3(kDeltaEst), trial);
+
+    core::BoundParams params;
+    params.n = network.node_count();
+    params.s = network.max_channel_set_size();
+    params.delta = std::max<std::size_t>(1, network.max_channel_degree());
+    params.delta_est = kDeltaEst;
+    params.rho = network.min_span_ratio();
+    params.epsilon = 0.1;
+
+    const double mean3 = alg3.completion_slots.summarize().mean;
+    if (overlap == kSetSize) {
+      base_alg3 = mean3;
+      base_rho = params.rho;
+    }
+    table.row()
+        .cell(static_cast<std::size_t>(overlap))
+        .cell(params.rho, 3)
+        .cell(alg1.completion_slots.summarize().mean, 1)
+        .cell(mean3, 1)
+        .cell(alg3.completion_slots.summarize().p95, 1)
+        .cell(core::theorem3_slot_bound(params) * params.rho, 1);
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Reading the table: measured slots grow as rho shrinks, tracking the\n"
+      "1/rho trend the theorems predict (homogeneous rho=%.2f case took\n"
+      "%.1f slots on average).\n",
+      base_rho, base_alg3);
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Quickstart: build a small heterogeneous multi-channel network, run the
+// paper's Algorithm 3 (synchronous, variable start times), and print each
+// node's discovered neighbor table.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "core/algorithms.hpp"
+#include "runner/scenario.hpp"
+#include "sim/slot_engine.hpp"
+
+int main() {
+  using namespace m2hew;
+
+  // 1. Describe the network: 8 radios in a clique, each able to use 4 of
+  //    10 spectrum channels (channel sets drawn at random, so different
+  //    nodes see different spectra — the M²HeW setting).
+  runner::ScenarioConfig scenario;
+  scenario.topology = runner::TopologyKind::kClique;
+  scenario.n = 8;
+  scenario.channels = runner::ChannelKind::kUniformRandom;
+  scenario.universe = 10;
+  scenario.set_size = 4;
+  const net::Network network = runner::build_scenario(scenario, /*seed=*/7);
+
+  std::printf("network: %s\n", runner::describe(scenario).c_str());
+  std::printf("derived: S=%zu  Delta=%zu  rho=%.3f  links=%zu\n\n",
+              network.max_channel_set_size(), network.max_channel_degree(),
+              network.min_span_ratio(), network.links().size());
+
+  // 2. Run neighbor discovery: Algorithm 3 with a degree bound of 8,
+  //    nodes starting at staggered slots (no global start required).
+  sim::SlotEngineConfig engine;
+  engine.max_slots = 1'000'000;
+  engine.seed = 42;
+  engine.start_slots.assign(network.node_count(), 0);
+  for (net::NodeId u = 0; u < network.node_count(); ++u) {
+    engine.start_slots[u] = 5ull * u;
+  }
+  const auto result =
+      sim::run_slot_engine(network, core::make_algorithm3(8), engine);
+
+  if (!result.complete) {
+    std::printf("discovery did not finish within the budget\n");
+    return 1;
+  }
+  std::printf("discovery complete after %llu slots\n\n",
+              static_cast<unsigned long long>(result.completion_slot + 1));
+
+  // 3. Inspect the neighbor tables each node built from received messages.
+  for (net::NodeId u = 0; u < network.node_count(); ++u) {
+    std::printf("node %u available {", u);
+    for (const auto c : network.available(u).to_vector()) {
+      std::printf(" %u", c);
+    }
+    std::printf(" } discovered:");
+    for (const auto& record : result.state.neighbor_table(u)) {
+      std::printf("  %u(", record.neighbor);
+      for (const auto c : record.common_channels.to_vector()) {
+        std::printf("%u,", c);
+      }
+      std::printf(")");
+    }
+    std::printf("  [%s]\n", result.state.table_matches_ground_truth(u)
+                                ? "matches ground truth"
+                                : "INCOMPLETE");
+  }
+  return 0;
+}

@@ -1,0 +1,70 @@
+#include "core/adaptive.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "core/transmit_probability.hpp"
+#include "util/check.hpp"
+
+namespace m2hew::core {
+
+AdaptiveDegreePolicy::AdaptiveDegreePolicy(const net::ChannelSet& available,
+                                           AdaptiveTuning tuning)
+    : channels_(available.to_vector()),
+      available_size_(available.size()),
+      tuning_(tuning),
+      estimate_(tuning.initial_estimate) {
+  M2HEW_CHECK_MSG(!channels_.empty(), "node needs a non-empty channel set");
+  M2HEW_CHECK(tuning_.initial_estimate >= 1);
+  M2HEW_CHECK(tuning_.max_estimate >= tuning_.initial_estimate);
+  M2HEW_CHECK(tuning_.increase_factor > 1.0);
+  M2HEW_CHECK(tuning_.silence_before_decay >= 1);
+  M2HEW_CHECK(tuning_.decay_divisor >= 1);
+}
+
+sim::SlotAction AdaptiveDegreePolicy::next_slot(util::Rng& rng) {
+  sim::SlotAction action;
+  action.channel = rng.pick(std::span<const net::ChannelId>(channels_));
+  const double p = alg3_probability(available_size_, estimate_);
+  action.mode = rng.bernoulli(p) ? sim::Mode::kTransmit : sim::Mode::kReceive;
+  return action;
+}
+
+void AdaptiveDegreePolicy::observe_listen_outcome(
+    sim::ListenOutcome outcome) {
+  switch (outcome) {
+    case sim::ListenOutcome::kCollision: {
+      silent_streak_ = 0;
+      const auto next = static_cast<std::size_t>(
+          static_cast<double>(estimate_) * tuning_.increase_factor);
+      estimate_ = std::min(std::max(next, estimate_ + 1),
+                           tuning_.max_estimate);
+      break;
+    }
+    case sim::ListenOutcome::kClear:
+    case sim::ListenOutcome::kSilence:
+      // Any collision-free listening slot is evidence the channel is not
+      // over-contended; clear messages must count too, or in a busy
+      // network the decay never fires and one collision burst pins the
+      // estimate high forever (the nodes stuck listening then starve
+      // their own neighbors of transmissions).
+      ++silent_streak_;
+      if (silent_streak_ >= tuning_.silence_before_decay) {
+        silent_streak_ = 0;
+        const std::size_t step =
+            std::max<std::size_t>(1, estimate_ / tuning_.decay_divisor);
+        estimate_ = estimate_ > step ? estimate_ - step : 1;
+      }
+      break;
+  }
+}
+
+sim::SyncPolicyFactory make_adaptive(AdaptiveTuning tuning) {
+  return [tuning](const net::Network& network, net::NodeId u)
+             -> std::unique_ptr<sim::SyncPolicy> {
+    return std::make_unique<AdaptiveDegreePolicy>(network.available(u),
+                                                  tuning);
+  };
+}
+
+}  // namespace m2hew::core

@@ -1,0 +1,64 @@
+// Extension study: what does collision detection buy?
+//
+// The paper's model explicitly assumes nodes CANNOT detect collisions
+// (§II), and its degree-oblivious Algorithm 2 pays an O(log M) factor for
+// sweeping the estimate upward blindly. Related work [21], [22] assumes
+// collision-detecting hardware. This policy exploits that stronger model:
+// it runs the Algorithm-3 schedule but *adapts* its degree estimate from
+// listen feedback — a collision means too many transmitters (estimate up,
+// multiplicatively), prolonged silence means the channel is over-throttled
+// (estimate down, additively). Bench E16 compares it against Algorithm 2
+// (no knowledge, paper model) and Algorithm 3 given an oracle Δ.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "net/channel_set.hpp"
+#include "sim/policy.hpp"
+
+namespace m2hew::core {
+
+/// Controller constants (defaults tuned on clique/unit-disk workloads; see
+/// bench E16). `max_estimate` plays the same role as the loose upper bound
+/// Δ_est of Algorithm 1: it only needs to generously over-estimate the
+/// maximum degree, and it is what keeps a collision burst from pinning the
+/// estimate astronomically high.
+struct AdaptiveTuning {
+  std::size_t initial_estimate = 2;
+  std::size_t max_estimate = 4096;
+  /// Estimate multiplier on an observed collision.
+  double increase_factor = 1.25;
+  /// Consecutive collision-free listening slots before the estimate decays.
+  std::size_t silence_before_decay = 1;
+  /// Decay step: estimate -= max(1, estimate / decay_divisor). Both
+  /// directions must be multiplicative or the exponential growth from
+  /// collisions outruns the decay and the estimate diverges.
+  std::size_t decay_divisor = 8;
+};
+
+class AdaptiveDegreePolicy final : public sim::SyncPolicy {
+ public:
+  explicit AdaptiveDegreePolicy(const net::ChannelSet& available,
+                                AdaptiveTuning tuning = {});
+
+  [[nodiscard]] sim::SlotAction next_slot(util::Rng& rng) override;
+  void observe_listen_outcome(sim::ListenOutcome outcome) override;
+
+  [[nodiscard]] std::size_t current_estimate() const noexcept {
+    return estimate_;
+  }
+
+ private:
+  std::vector<net::ChannelId> channels_;
+  std::size_t available_size_;
+  AdaptiveTuning tuning_;
+  std::size_t estimate_;
+  std::size_t silent_streak_ = 0;
+};
+
+/// Factory for the engines.
+[[nodiscard]] sim::SyncPolicyFactory make_adaptive(
+    AdaptiveTuning tuning = {});
+
+}  // namespace m2hew::core

@@ -1,0 +1,28 @@
+#include "core/algorithm1.hpp"
+
+#include "core/transmit_probability.hpp"
+#include "util/check.hpp"
+
+namespace m2hew::core {
+
+Algorithm1Policy::Algorithm1Policy(const net::ChannelSet& available,
+                                   std::size_t delta_est)
+    : channels_(available.to_vector()),
+      available_size_(available.size()),
+      stage_slots_(stage_length(delta_est)) {
+  M2HEW_CHECK_MSG(!channels_.empty(), "node needs a non-empty channel set");
+  M2HEW_CHECK(delta_est >= 1);
+}
+
+sim::SlotAction Algorithm1Policy::next_slot(util::Rng& rng) {
+  const unsigned i = slot_in_stage_ + 1;  // paper's slot index is 1-based
+  slot_in_stage_ = (slot_in_stage_ + 1) % stage_slots_;
+
+  sim::SlotAction action;
+  action.channel = rng.pick(std::span<const net::ChannelId>(channels_));
+  const double p = alg1_slot_probability(available_size_, i);
+  action.mode = rng.bernoulli(p) ? sim::Mode::kTransmit : sim::Mode::kReceive;
+  return action;
+}
+
+}  // namespace m2hew::core

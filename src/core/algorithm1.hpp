@@ -1,0 +1,37 @@
+// Algorithm 1 (§III-A1): synchronous system, identical start times,
+// knowledge of a common upper bound Δ_est on the maximum node degree.
+//
+// Execution is divided into stages of ⌈log₂ Δ_est⌉ time slots. In slot i of
+// a stage (1-based), the node picks a channel uniformly at random from its
+// available channel set and transmits on it with probability
+// min(1/2, |A(u)|/2^i), listening with the remaining probability.
+//
+// Theorem 1: every node discovers all its neighbors on all channels within
+// O((max(S,Δ)/ρ) · log Δ_est · log(N/ε)) slots with probability ≥ 1−ε.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "net/channel_set.hpp"
+#include "sim/policy.hpp"
+
+namespace m2hew::core {
+
+class Algorithm1Policy final : public sim::SyncPolicy {
+ public:
+  /// `available` is this node's A(u); `delta_est` the agreed degree bound.
+  Algorithm1Policy(const net::ChannelSet& available, std::size_t delta_est);
+
+  [[nodiscard]] sim::SlotAction next_slot(util::Rng& rng) override;
+
+  [[nodiscard]] unsigned stage_slots() const noexcept { return stage_slots_; }
+
+ private:
+  std::vector<net::ChannelId> channels_;  // A(u), materialized for sampling
+  std::size_t available_size_;
+  unsigned stage_slots_;     // slots per stage = ⌈log₂ Δ_est⌉
+  unsigned slot_in_stage_ = 0;  // 0-based position within the current stage
+};
+
+}  // namespace m2hew::core

@@ -1,0 +1,40 @@
+#include "core/algorithm2.hpp"
+
+#include "core/transmit_probability.hpp"
+#include "util/check.hpp"
+
+namespace m2hew::core {
+
+Algorithm2Policy::Algorithm2Policy(const net::ChannelSet& available,
+                                   EstimateSchedule schedule)
+    : channels_(available.to_vector()),
+      available_size_(available.size()),
+      schedule_(schedule),
+      stage_slots_(stage_length(d_)) {
+  M2HEW_CHECK_MSG(!channels_.empty(), "node needs a non-empty channel set");
+}
+
+sim::SlotAction Algorithm2Policy::next_slot(util::Rng& rng) {
+  const unsigned i = slot_in_stage_ + 1;
+
+  sim::SlotAction action;
+  action.channel = rng.pick(std::span<const net::ChannelId>(channels_));
+  const double p = alg1_slot_probability(available_size_, i);
+  action.mode = rng.bernoulli(p) ? sim::Mode::kTransmit : sim::Mode::kReceive;
+
+  ++slot_in_stage_;
+  if (slot_in_stage_ == stage_slots_) {
+    // Stage finished: advance the estimate and recompute the stage length.
+    // Saturate to avoid overflow on very long runs (the doubling schedule
+    // reaches 2^63 within ~2000 stages).
+    slot_in_stage_ = 0;
+    constexpr std::size_t kEstimateCap = std::size_t{1} << 62;
+    if (d_ < kEstimateCap) {
+      d_ = (schedule_ == EstimateSchedule::kIncrement) ? d_ + 1 : d_ * 2;
+    }
+    stage_slots_ = stage_length(d_);
+  }
+  return action;
+}
+
+}  // namespace m2hew::core

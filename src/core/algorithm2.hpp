@@ -1,0 +1,49 @@
+// Algorithm 2 (§III-A2): synchronous system, identical start times, NO
+// knowledge of the maximum node degree.
+//
+// Starting from the estimate d = 2, the node repeatedly executes one stage
+// of Algorithm 1 with Δ_est = d and then increments d by 1 (the approach of
+// Nakano & Olariu [24]; the geometric-doubling schedule of [2] is provided
+// as an ablation variant — it cannot give the paper's guarantee because the
+// per-estimate run length is uncomputable without knowing N, S and ρ, but
+// it is instructive to measure).
+//
+// Theorem 2: discovery completes within O(M log M) slots w.p. ≥ 1−ε, where
+// M = (16·max(S,Δ)/ρ)·ln(N²/ε).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "net/channel_set.hpp"
+#include "sim/policy.hpp"
+
+namespace m2hew::core {
+
+/// How the degree estimate grows between stages.
+enum class EstimateSchedule {
+  kIncrement,  ///< d ← d + 1 (the paper's Algorithm 2)
+  kDouble,     ///< d ← 2·d  (ablation: the rejected approach of [2])
+};
+
+class Algorithm2Policy final : public sim::SyncPolicy {
+ public:
+  explicit Algorithm2Policy(
+      const net::ChannelSet& available,
+      EstimateSchedule schedule = EstimateSchedule::kIncrement);
+
+  [[nodiscard]] sim::SlotAction next_slot(util::Rng& rng) override;
+
+  /// Current degree estimate d (exposed for tests).
+  [[nodiscard]] std::size_t current_estimate() const noexcept { return d_; }
+
+ private:
+  std::vector<net::ChannelId> channels_;
+  std::size_t available_size_;
+  EstimateSchedule schedule_;
+  std::size_t d_ = 2;
+  unsigned stage_slots_;
+  unsigned slot_in_stage_ = 0;
+};
+
+}  // namespace m2hew::core

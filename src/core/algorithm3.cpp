@@ -1,0 +1,22 @@
+#include "core/algorithm3.hpp"
+
+#include "core/transmit_probability.hpp"
+#include "util/check.hpp"
+
+namespace m2hew::core {
+
+Algorithm3Policy::Algorithm3Policy(const net::ChannelSet& available,
+                                   std::size_t delta_est)
+    : channels_(available.to_vector()),
+      p_(alg3_probability(available.size(), delta_est)) {
+  M2HEW_CHECK_MSG(!channels_.empty(), "node needs a non-empty channel set");
+}
+
+sim::SlotAction Algorithm3Policy::next_slot(util::Rng& rng) {
+  sim::SlotAction action;
+  action.channel = rng.pick(std::span<const net::ChannelId>(channels_));
+  action.mode = rng.bernoulli(p_) ? sim::Mode::kTransmit : sim::Mode::kReceive;
+  return action;
+}
+
+}  // namespace m2hew::core

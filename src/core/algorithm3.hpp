@@ -1,0 +1,38 @@
+// Algorithm 3 (§III-B): synchronous system, VARIABLE start times, knowledge
+// of a "good" upper bound Δ_est on the maximum node degree.
+//
+// The transmission probability is the same in every slot — that is the
+// whole trick: it makes the coverage probability of a link identical in
+// every slot regardless of when each node started, so staggered starts cost
+// nothing beyond waiting for the last node. Per slot the node picks a
+// uniform random channel from A(u) and transmits with probability
+// min(1/2, |A(u)|/Δ_est).
+//
+// Theorem 3: every node discovers all neighbors on all channels within
+// O((max(2S, Δ_est)/ρ)·log(N/ε)) slots after the last node starts, w.p.
+// ≥ 1−ε. Note there is no log(Δ_est) factor (no stages) — but the
+// dependence on Δ_est is linear, so the bound must be reasonably tight.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "net/channel_set.hpp"
+#include "sim/policy.hpp"
+
+namespace m2hew::core {
+
+class Algorithm3Policy final : public sim::SyncPolicy {
+ public:
+  Algorithm3Policy(const net::ChannelSet& available, std::size_t delta_est);
+
+  [[nodiscard]] sim::SlotAction next_slot(util::Rng& rng) override;
+
+  [[nodiscard]] double transmit_probability() const noexcept { return p_; }
+
+ private:
+  std::vector<net::ChannelId> channels_;
+  double p_;
+};
+
+}  // namespace m2hew::core

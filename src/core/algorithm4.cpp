@@ -1,0 +1,23 @@
+#include "core/algorithm4.hpp"
+
+#include "core/transmit_probability.hpp"
+#include "util/check.hpp"
+
+namespace m2hew::core {
+
+Algorithm4Policy::Algorithm4Policy(const net::ChannelSet& available,
+                                   std::size_t delta_est,
+                                   unsigned slots_per_frame)
+    : channels_(available.to_vector()),
+      p_(alg4_probability(available.size(), delta_est, slots_per_frame)) {
+  M2HEW_CHECK_MSG(!channels_.empty(), "node needs a non-empty channel set");
+}
+
+sim::FrameAction Algorithm4Policy::next_frame(util::Rng& rng) {
+  sim::FrameAction action;
+  action.channel = rng.pick(std::span<const net::ChannelId>(channels_));
+  action.mode = rng.bernoulli(p_) ? sim::Mode::kTransmit : sim::Mode::kReceive;
+  return action;
+}
+
+}  // namespace m2hew::core

@@ -1,0 +1,52 @@
+#include "core/algorithms.hpp"
+
+#include <memory>
+
+#include "core/algorithm1.hpp"
+#include "core/algorithm3.hpp"
+#include "core/algorithm4.hpp"
+#include "core/baseline_universal.hpp"
+
+namespace m2hew::core {
+
+sim::SyncPolicyFactory make_algorithm1(std::size_t delta_est) {
+  return [delta_est](const net::Network& network, net::NodeId u)
+             -> std::unique_ptr<sim::SyncPolicy> {
+    return std::make_unique<Algorithm1Policy>(network.available(u), delta_est);
+  };
+}
+
+sim::SyncPolicyFactory make_algorithm2(EstimateSchedule schedule) {
+  return [schedule](const net::Network& network, net::NodeId u)
+             -> std::unique_ptr<sim::SyncPolicy> {
+    return std::make_unique<Algorithm2Policy>(network.available(u), schedule);
+  };
+}
+
+sim::SyncPolicyFactory make_algorithm3(std::size_t delta_est) {
+  return [delta_est](const net::Network& network, net::NodeId u)
+             -> std::unique_ptr<sim::SyncPolicy> {
+    return std::make_unique<Algorithm3Policy>(network.available(u), delta_est);
+  };
+}
+
+sim::AsyncPolicyFactory make_algorithm4(std::size_t delta_est,
+                                        unsigned slots_per_frame) {
+  return [delta_est, slots_per_frame](const net::Network& network,
+                                      net::NodeId u)
+             -> std::unique_ptr<sim::AsyncPolicy> {
+    return std::make_unique<Algorithm4Policy>(network.available(u), delta_est,
+                                              slots_per_frame);
+  };
+}
+
+sim::SyncPolicyFactory make_universal_baseline(net::ChannelId universe_size,
+                                               double p) {
+  return [universe_size, p](const net::Network& network, net::NodeId u)
+             -> std::unique_ptr<sim::SyncPolicy> {
+    return std::make_unique<UniversalBaselinePolicy>(network.available(u),
+                                                     universe_size, p);
+  };
+}
+
+}  // namespace m2hew::core

@@ -1,0 +1,43 @@
+// Factory functions producing engine-ready policy factories for each of the
+// paper's algorithms and the baselines. This is the primary entry point of
+// the library: pick a network, pick an algorithm factory, run an engine.
+//
+//   auto net = ...;                            // net::Network
+//   auto result = sim::run_slot_engine(
+//       net, core::make_algorithm1(/*delta_est=*/8), {});
+//
+// The factories close over only globally-agreed knowledge (Δ_est, |U|);
+// each per-node policy then reads only that node's available channel set,
+// keeping the algorithms genuinely distributed.
+#pragma once
+
+#include <cstddef>
+
+#include "core/algorithm2.hpp"
+#include "net/types.hpp"
+#include "sim/policy.hpp"
+
+namespace m2hew::core {
+
+/// Algorithm 1: synchronous, identical starts, degree bound Δ_est.
+[[nodiscard]] sim::SyncPolicyFactory make_algorithm1(std::size_t delta_est);
+
+/// Algorithm 2: synchronous, identical starts, no degree knowledge.
+[[nodiscard]] sim::SyncPolicyFactory make_algorithm2(
+    EstimateSchedule schedule = EstimateSchedule::kIncrement);
+
+/// Algorithm 3: synchronous, variable starts, degree bound Δ_est.
+[[nodiscard]] sim::SyncPolicyFactory make_algorithm3(std::size_t delta_est);
+
+/// Algorithm 4: asynchronous, degree bound Δ_est. `slots_per_frame` must
+/// match the AsyncEngineConfig it is run under.
+[[nodiscard]] sim::AsyncPolicyFactory make_algorithm4(
+    std::size_t delta_est, unsigned slots_per_frame = 3);
+
+/// Universal-channel-set baseline (§I strawman): round-robin over a
+/// universe of `universe_size` channels, transmit probability `p` when
+/// participating.
+[[nodiscard]] sim::SyncPolicyFactory make_universal_baseline(
+    net::ChannelId universe_size, double p = 0.5);
+
+}  // namespace m2hew::core

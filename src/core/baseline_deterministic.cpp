@@ -1,0 +1,46 @@
+#include "core/baseline_deterministic.hpp"
+
+#include <memory>
+
+#include "util/check.hpp"
+
+namespace m2hew::core {
+
+DeterministicBaselinePolicy::DeterministicBaselinePolicy(
+    const net::ChannelSet& available, net::NodeId id, net::NodeId id_bound,
+    net::ChannelId universe_size)
+    : available_(available),
+      id_(id),
+      id_bound_(id_bound),
+      universe_size_(universe_size) {
+  M2HEW_CHECK(id_bound_ >= 1);
+  M2HEW_CHECK_MSG(id_ < id_bound_, "node id outside the agreed id range");
+  M2HEW_CHECK(universe_size_ >= 1);
+}
+
+sim::SlotAction DeterministicBaselinePolicy::next_slot(util::Rng&) {
+  const std::uint64_t slot = slot_++;
+  const auto turn = static_cast<net::NodeId>(slot % id_bound_);
+  const auto channel =
+      static_cast<net::ChannelId>((slot / id_bound_) % universe_size_);
+
+  sim::SlotAction action;
+  if (!available_.contains(channel)) {
+    return action;  // channel busy/unsupported locally: stay quiet
+  }
+  action.channel = channel;
+  action.mode =
+      (turn == id_) ? sim::Mode::kTransmit : sim::Mode::kReceive;
+  return action;
+}
+
+sim::SyncPolicyFactory make_deterministic_baseline(
+    net::ChannelId universe_size) {
+  return [universe_size](const net::Network& network, net::NodeId u)
+             -> std::unique_ptr<sim::SyncPolicy> {
+    return std::make_unique<DeterministicBaselinePolicy>(
+        network.available(u), u, network.node_count(), universe_size);
+  };
+}
+
+}  // namespace m2hew::core

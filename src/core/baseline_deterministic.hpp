@@ -1,0 +1,53 @@
+// Baseline: deterministic TDMA-by-identifier discovery — a stand-in for
+// the deterministic algorithm family of related work [20]–[22], whose
+// running time "depends on the product of network size ... and universal
+// channel set size" (§I).
+//
+// The schedule requires everything the paper's algorithms avoid needing:
+// unique node identifiers in a known range [0, id_bound), global agreement
+// on the universal channel set, and identical start times. Time is divided
+// into rounds of `id_bound` slots; in round r (on channel r mod |U|), the
+// node with id = slot-within-round transmits while everyone else listens.
+// After id_bound·|U| slots every pair has had a collision-free rendezvous
+// on every universal channel, so discovery completes deterministically —
+// but always in Θ(id_bound·|U|) slots, however small the available sets
+// are. Bench E20 measures exactly that product law.
+#pragma once
+
+#include <cstdint>
+
+#include "net/channel_set.hpp"
+#include "sim/policy.hpp"
+
+namespace m2hew::core {
+
+class DeterministicBaselinePolicy final : public sim::SyncPolicy {
+ public:
+  /// `id` must be unique per node and < `id_bound`; `universe_size` = |U|.
+  DeterministicBaselinePolicy(const net::ChannelSet& available,
+                              net::NodeId id, net::NodeId id_bound,
+                              net::ChannelId universe_size);
+
+  [[nodiscard]] sim::SlotAction next_slot(util::Rng& rng) override;
+
+  /// Slots for one full sweep: id_bound × |U| (the deterministic
+  /// completion time).
+  [[nodiscard]] std::uint64_t sweep_length() const noexcept {
+    return static_cast<std::uint64_t>(id_bound_) * universe_size_;
+  }
+
+ private:
+  net::ChannelSet available_;
+  net::NodeId id_;
+  net::NodeId id_bound_;
+  net::ChannelId universe_size_;
+  std::uint64_t slot_ = 0;
+};
+
+/// Factory: ids are the node indices, id_bound the node count (the
+/// tightest deterministic schedule possible — real systems would need a
+/// loose bound, making the product even larger).
+[[nodiscard]] sim::SyncPolicyFactory make_deterministic_baseline(
+    net::ChannelId universe_size);
+
+}  // namespace m2hew::core

@@ -1,0 +1,35 @@
+#include "core/baseline_universal.hpp"
+
+#include "util/check.hpp"
+
+namespace m2hew::core {
+
+UniversalBaselinePolicy::UniversalBaselinePolicy(
+    const net::ChannelSet& available, net::ChannelId universe_size,
+    double transmit_probability)
+    : available_(available),
+      universe_size_(universe_size),
+      p_(transmit_probability) {
+  M2HEW_CHECK(universe_size_ >= 1);
+  M2HEW_CHECK(p_ > 0.0 && p_ < 1.0);
+  M2HEW_CHECK_MSG(available_.universe_size() <= universe_size_ ||
+                      available_.size() > 0,
+                  "available set must fit the agreed universe");
+}
+
+sim::SlotAction UniversalBaselinePolicy::next_slot(util::Rng& rng) {
+  const auto active =
+      static_cast<net::ChannelId>(slot_ % universe_size_);
+  ++slot_;
+
+  sim::SlotAction action;
+  if (!available_.contains(active)) {
+    action.mode = sim::Mode::kQuiet;
+    return action;
+  }
+  action.channel = active;
+  action.mode = rng.bernoulli(p_) ? sim::Mode::kTransmit : sim::Mode::kReceive;
+  return action;
+}
+
+}  // namespace m2hew::core

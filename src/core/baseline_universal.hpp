@@ -1,0 +1,43 @@
+// Baseline: the universal-channel-set extension of a single-channel
+// neighbor-discovery (birthday) protocol — the strawman discussed in §I.
+//
+// All nodes agree on the universal channel set U and on a common start
+// time, and run one instance of the single-channel randomized protocol on
+// every channel of U *concurrently* by time-multiplexing: in global slot t
+// the active channel is (t mod |U|). A node participates in a slot iff the
+// active channel is in its available set (transmitting with a fixed
+// probability, else listening); otherwise it stays quiet.
+//
+// Its disadvantages, which bench E6 measures: the running time is linear in
+// |U| regardless of how small the nodes' available sets are, it needs
+// global agreement on U, and it needs identical start times.
+#pragma once
+
+#include <cstddef>
+
+#include "net/channel_set.hpp"
+#include "sim/policy.hpp"
+
+namespace m2hew::core {
+
+class UniversalBaselinePolicy final : public sim::SyncPolicy {
+ public:
+  /// `universe_size` = |U| (must cover every channel in A(u));
+  /// `transmit_probability` is the birthday-protocol transmit chance used
+  /// whenever the node participates (1/2 when the degree is unknown;
+  /// ~1/(Δ+1) when a degree bound is available).
+  UniversalBaselinePolicy(const net::ChannelSet& available,
+                          net::ChannelId universe_size,
+                          double transmit_probability = 0.5);
+
+  [[nodiscard]] sim::SlotAction next_slot(util::Rng& rng) override;
+
+ private:
+  net::ChannelSet available_;
+  net::ChannelId universe_size_;
+  double p_;
+  std::uint64_t slot_ = 0;  // node-local slot counter (= global slot when
+                            // start times are identical, as assumed)
+};
+
+}  // namespace m2hew::core

@@ -1,0 +1,95 @@
+#include "core/bounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/transmit_probability.hpp"
+#include "util/check.hpp"
+
+namespace m2hew::core {
+
+namespace {
+
+void validate(const BoundParams& p) {
+  M2HEW_CHECK(p.n >= 1);
+  M2HEW_CHECK(p.s >= 1);
+  M2HEW_CHECK(p.delta >= 1);
+  M2HEW_CHECK(p.delta_est >= 1);
+  M2HEW_CHECK(p.rho > 0.0 && p.rho <= 1.0);
+  M2HEW_CHECK(p.epsilon > 0.0 && p.epsilon < 1.0);
+}
+
+[[nodiscard]] double ln_n2_over_eps(const BoundParams& p) {
+  const double n = static_cast<double>(p.n);
+  return std::log(n * n / p.epsilon);
+}
+
+}  // namespace
+
+double eq6_stage_coverage_lower_bound(const BoundParams& p) {
+  validate(p);
+  return p.rho /
+         (16.0 * static_cast<double>(std::max(p.s, p.delta)));
+}
+
+double theorem1_stage_bound(const BoundParams& p) {
+  validate(p);
+  return (16.0 * static_cast<double>(std::max(p.s, p.delta)) / p.rho) *
+         ln_n2_over_eps(p);
+}
+
+double theorem1_slot_bound(const BoundParams& p) {
+  return theorem1_stage_bound(p) *
+         static_cast<double>(stage_length(p.delta_est));
+}
+
+double theorem2_stage_bound(const BoundParams& p) {
+  validate(p);
+  return static_cast<double>(p.delta) + theorem1_stage_bound(p);
+}
+
+double theorem2_slot_bound(const BoundParams& p) {
+  const auto stages =
+      static_cast<std::size_t>(std::ceil(theorem2_stage_bound(p)));
+  double slots = 0.0;
+  // Stage k (k = 0, 1, ...) runs with estimate d = 2 + k and lasts
+  // ⌈log₂ d⌉ slots.
+  for (std::size_t k = 0; k < stages; ++k) {
+    slots += static_cast<double>(stage_length(2 + k));
+  }
+  return slots;
+}
+
+double alg3_slot_coverage_lower_bound(const BoundParams& p) {
+  validate(p);
+  return p.rho /
+         (8.0 * static_cast<double>(std::max(2 * p.s, p.delta_est)));
+}
+
+double theorem3_slot_bound(const BoundParams& p) {
+  validate(p);
+  return (8.0 * static_cast<double>(std::max(2 * p.s, p.delta_est)) / p.rho) *
+         ln_n2_over_eps(p);
+}
+
+double lemma5_pair_coverage_lower_bound(const BoundParams& p) {
+  validate(p);
+  return p.rho /
+         (8.0 * static_cast<double>(std::max(2 * p.s, 3 * p.delta_est)));
+}
+
+double theorem9_frame_bound(const BoundParams& p) {
+  validate(p);
+  return (48.0 * static_cast<double>(std::max(2 * p.s, 3 * p.delta_est)) /
+          p.rho) *
+         ln_n2_over_eps(p);
+}
+
+double theorem10_realtime_bound(const BoundParams& p, double frame_length,
+                                double max_drift) {
+  M2HEW_CHECK(frame_length > 0.0);
+  M2HEW_CHECK(max_drift >= 0.0 && max_drift < 1.0);
+  return (theorem9_frame_bound(p) + 1.0) * frame_length / (1.0 - max_drift);
+}
+
+}  // namespace m2hew::core

@@ -1,0 +1,65 @@
+// Closed-form bounds from the paper's analysis, used by benches to print
+// paper-vs-measured rows and by tests to check empirical behaviour against
+// the theory. All formulas are exactly the expressions in the paper; no
+// constant has been "tuned".
+#pragma once
+
+#include <cstddef>
+
+namespace m2hew::core {
+
+/// Network parameters the bounds consume (all derivable from net::Network).
+struct BoundParams {
+  std::size_t n = 0;        ///< N, number of nodes
+  std::size_t s = 1;        ///< S, max available-channel-set size
+  std::size_t delta = 1;    ///< Δ, max per-channel degree
+  std::size_t delta_est = 1;  ///< Δ_est, the agreed degree upper bound
+  double rho = 1.0;         ///< ρ, min span-ratio
+  double epsilon = 0.1;     ///< ε, failure-probability budget
+};
+
+/// Eq. (6): a stage of Algorithm 1 covers a given link with probability at
+/// least ρ / (16·max(S, Δ)).
+[[nodiscard]] double eq6_stage_coverage_lower_bound(const BoundParams& p);
+
+/// M = (16·max(S,Δ)/ρ)·ln(N²/ε): stages sufficient for Algorithm 1 to
+/// finish with probability ≥ 1−ε (eq. 7/8).
+[[nodiscard]] double theorem1_stage_bound(const BoundParams& p);
+
+/// Theorem 1's slot count: M stages × ⌈log₂ Δ_est⌉ slots per stage.
+[[nodiscard]] double theorem1_slot_bound(const BoundParams& p);
+
+/// Theorem 2: Algorithm 2 needs at most Δ + M stages (d must first reach Δ,
+/// then M useful stages); returns that stage count.
+[[nodiscard]] double theorem2_stage_bound(const BoundParams& p);
+
+/// Theorem 2's slot count: stages have growing length ⌈log₂ d⌉ starting at
+/// d = 2, so the slot bound is Σ_{d=2}^{2+stages-1} ⌈log₂ d⌉ = O(M log M).
+[[nodiscard]] double theorem2_slot_bound(const BoundParams& p);
+
+/// Per-slot coverage lower bound for Algorithm 3:
+/// ρ / (8·max(2S, Δ_est)).
+[[nodiscard]] double alg3_slot_coverage_lower_bound(const BoundParams& p);
+
+/// Theorem 3: slots after T_s within which Algorithm 3 finishes w.p. ≥ 1−ε:
+/// (8·max(2S, Δ_est)/ρ)·ln(N²/ε).
+[[nodiscard]] double theorem3_slot_bound(const BoundParams& p);
+
+/// Lemma 5: an aligned frame pair covers a link with probability at least
+/// ρ / (8·max(2S, 3Δ_est)).
+[[nodiscard]] double lemma5_pair_coverage_lower_bound(const BoundParams& p);
+
+/// Theorem 9: full frames per node after T_s within which Algorithm 4
+/// finishes w.p. ≥ 1−ε: (48·max(2S, 3Δ_est)/ρ)·ln(N²/ε).
+[[nodiscard]] double theorem9_frame_bound(const BoundParams& p);
+
+/// Theorem 10: upper bound on T_f − T_s in real time:
+/// {theorem9_frame_bound + 1} · L / (1 − δ).
+[[nodiscard]] double theorem10_realtime_bound(const BoundParams& p,
+                                              double frame_length,
+                                              double max_drift);
+
+/// The paper's drift-rate assumption for Algorithm 4 (Assumption 1): 1/7.
+inline constexpr double kMaxDriftAssumption = 1.0 / 7.0;
+
+}  // namespace m2hew::core

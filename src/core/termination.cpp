@@ -1,0 +1,86 @@
+#include "core/termination.hpp"
+
+#include "util/check.hpp"
+
+namespace m2hew::core {
+
+TerminatingSyncPolicy::TerminatingSyncPolicy(
+    std::unique_ptr<sim::SyncPolicy> inner, std::uint64_t silence_threshold)
+    : inner_(std::move(inner)), threshold_(silence_threshold) {
+  M2HEW_CHECK_MSG(inner_ != nullptr, "null inner policy");
+  M2HEW_CHECK(threshold_ >= 1);
+}
+
+sim::SlotAction TerminatingSyncPolicy::next_slot(util::Rng& rng) {
+  if (terminated_) {
+    return sim::SlotAction{};  // quiet forever
+  }
+  const sim::SlotAction action = inner_->next_slot(rng);
+  ++slot_;
+  ++silent_slots_;
+  if (silent_slots_ >= threshold_) {
+    terminated_ = true;
+    termination_slot_ = slot_;
+  }
+  return action;
+}
+
+void TerminatingSyncPolicy::observe_reception(net::NodeId from,
+                                              bool first_time) {
+  inner_->observe_reception(from, first_time);
+  if (first_time) {
+    silent_slots_ = 0;
+    // A reception can land in the very slot that tripped the threshold
+    // (actions precede reception resolution); the node was still listening
+    // then, so it has not actually stopped — rescind the decision.
+    terminated_ = false;
+  }
+}
+
+TerminatingAsyncPolicy::TerminatingAsyncPolicy(
+    std::unique_ptr<sim::AsyncPolicy> inner, std::uint64_t silence_threshold)
+    : inner_(std::move(inner)), threshold_(silence_threshold) {
+  M2HEW_CHECK_MSG(inner_ != nullptr, "null inner policy");
+  M2HEW_CHECK(threshold_ >= 1);
+}
+
+sim::FrameAction TerminatingAsyncPolicy::next_frame(util::Rng& rng) {
+  if (terminated_) {
+    return sim::FrameAction{};  // quiet forever
+  }
+  const sim::FrameAction action = inner_->next_frame(rng);
+  ++silent_frames_;
+  if (silent_frames_ >= threshold_) terminated_ = true;
+  return action;
+}
+
+void TerminatingAsyncPolicy::observe_reception(net::NodeId from,
+                                               bool first_time) {
+  inner_->observe_reception(from, first_time);
+  if (first_time) {
+    silent_frames_ = 0;
+    terminated_ = false;  // see TerminatingSyncPolicy::observe_reception
+  }
+}
+
+sim::SyncPolicyFactory with_termination(sim::SyncPolicyFactory inner,
+                                        std::uint64_t silence_threshold) {
+  return [inner = std::move(inner), silence_threshold](
+             const net::Network& network, net::NodeId u)
+             -> std::unique_ptr<sim::SyncPolicy> {
+    return std::make_unique<TerminatingSyncPolicy>(inner(network, u),
+                                                   silence_threshold);
+  };
+}
+
+sim::AsyncPolicyFactory with_termination(sim::AsyncPolicyFactory inner,
+                                         std::uint64_t silence_threshold) {
+  return [inner = std::move(inner), silence_threshold](
+             const net::Network& network, net::NodeId u)
+             -> std::unique_ptr<sim::AsyncPolicy> {
+    return std::make_unique<TerminatingAsyncPolicy>(inner(network, u),
+                                                    silence_threshold);
+  };
+}
+
+}  // namespace m2hew::core

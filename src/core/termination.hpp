@@ -1,0 +1,76 @@
+// Termination detection — an extension the paper leaves open.
+//
+// Algorithms 1–4 run forever: a node never knows whether it has heard from
+// every neighbor (related work [22] adds "lightweight termination
+// detection" under stronger assumptions). This module provides the natural
+// silence-based heuristic: a node stops (radio off, forever) once it has
+// executed `silence_threshold` consecutive slots/frames without learning a
+// *new* neighbor.
+//
+// The trade-off the E14 bench quantifies: stopping early saves energy, but
+// a stopped node also stops *transmitting*, so neighbors that have not yet
+// heard it can be starved — termination can make the network-wide
+// discovery incomplete. The threshold must be scaled like the per-link
+// coverage time (ρ/coverage-probability) for a target confidence.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "sim/policy.hpp"
+
+namespace m2hew::core {
+
+/// Wraps any synchronous policy; after `silence_threshold` consecutive
+/// slots with no first-time reception, the node goes (and stays) quiet.
+class TerminatingSyncPolicy final : public sim::SyncPolicy {
+ public:
+  TerminatingSyncPolicy(std::unique_ptr<sim::SyncPolicy> inner,
+                        std::uint64_t silence_threshold);
+
+  [[nodiscard]] sim::SlotAction next_slot(util::Rng& rng) override;
+  void observe_reception(net::NodeId from, bool first_time) override;
+
+  [[nodiscard]] bool terminated() const noexcept { return terminated_; }
+  /// Node-local slot index at which the node stopped (if it has).
+  [[nodiscard]] std::uint64_t termination_slot() const noexcept {
+    return termination_slot_;
+  }
+
+ private:
+  std::unique_ptr<sim::SyncPolicy> inner_;
+  std::uint64_t threshold_;
+  std::uint64_t silent_slots_ = 0;
+  std::uint64_t slot_ = 0;
+  std::uint64_t termination_slot_ = 0;
+  bool terminated_ = false;
+};
+
+/// Same heuristic per frame for the asynchronous system.
+class TerminatingAsyncPolicy final : public sim::AsyncPolicy {
+ public:
+  TerminatingAsyncPolicy(std::unique_ptr<sim::AsyncPolicy> inner,
+                         std::uint64_t silence_threshold);
+
+  [[nodiscard]] sim::FrameAction next_frame(util::Rng& rng) override;
+  void observe_reception(net::NodeId from, bool first_time) override;
+
+  [[nodiscard]] bool terminated() const noexcept { return terminated_; }
+
+ private:
+  std::unique_ptr<sim::AsyncPolicy> inner_;
+  std::uint64_t threshold_;
+  std::uint64_t silent_frames_ = 0;
+  bool terminated_ = false;
+};
+
+/// Wraps an existing factory so every node terminates after the given
+/// silence threshold (in slots).
+[[nodiscard]] sim::SyncPolicyFactory with_termination(
+    sim::SyncPolicyFactory inner, std::uint64_t silence_threshold);
+
+/// Frame-count variant for the asynchronous system.
+[[nodiscard]] sim::AsyncPolicyFactory with_termination(
+    sim::AsyncPolicyFactory inner, std::uint64_t silence_threshold);
+
+}  // namespace m2hew::core

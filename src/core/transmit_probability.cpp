@@ -1,0 +1,44 @@
+#include "core/transmit_probability.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace m2hew::core {
+
+double alg1_slot_probability(std::size_t available_size,
+                             unsigned slot_in_stage) {
+  M2HEW_CHECK(available_size >= 1);
+  M2HEW_CHECK(slot_in_stage >= 1);
+  return std::min(
+      0.5, std::ldexp(static_cast<double>(available_size),
+                      -static_cast<int>(slot_in_stage)));
+}
+
+double alg3_probability(std::size_t available_size, std::size_t delta_est) {
+  M2HEW_CHECK(available_size >= 1);
+  M2HEW_CHECK(delta_est >= 1);
+  return std::min(0.5, static_cast<double>(available_size) /
+                           static_cast<double>(delta_est));
+}
+
+double alg4_probability(std::size_t available_size, std::size_t delta_est,
+                        unsigned slots_per_frame) {
+  M2HEW_CHECK(available_size >= 1);
+  M2HEW_CHECK(delta_est >= 1);
+  M2HEW_CHECK(slots_per_frame >= 1);
+  return std::min(0.5, static_cast<double>(available_size) /
+                           (static_cast<double>(slots_per_frame) *
+                            static_cast<double>(delta_est)));
+}
+
+unsigned stage_length(std::size_t delta_est) {
+  M2HEW_CHECK(delta_est >= 1);
+  // ⌈log₂ d⌉ = bit_width(d - 1) for d >= 2.
+  if (delta_est <= 2) return 1;
+  return static_cast<unsigned>(std::bit_width(delta_est - 1));
+}
+
+}  // namespace m2hew::core

@@ -1,0 +1,29 @@
+// The transmission probabilities prescribed by the paper's algorithms,
+// factored into pure functions so tests can pin them to the formulas.
+#pragma once
+
+#include <cstddef>
+
+namespace m2hew::core {
+
+/// Algorithm 1, line 4: in time-slot i (1-based) of a stage, a node with
+/// available-set size a transmits with probability min(1/2, a / 2^i).
+[[nodiscard]] double alg1_slot_probability(std::size_t available_size,
+                                           unsigned slot_in_stage);
+
+/// Algorithm 3, line 1: constant per-slot probability min(1/2, a / Δ_est).
+[[nodiscard]] double alg3_probability(std::size_t available_size,
+                                      std::size_t delta_est);
+
+/// Algorithm 4, line 1: constant per-frame probability min(1/2, a/(3·Δ_est)).
+/// The factor 3 is the slots-per-frame count; exposed for the frame-shape
+/// ablation.
+[[nodiscard]] double alg4_probability(std::size_t available_size,
+                                      std::size_t delta_est,
+                                      unsigned slots_per_frame = 3);
+
+/// Slots per stage for Algorithm 1/2 with degree estimate d: ⌈log₂ d⌉,
+/// clamped to at least 1 (a stage must contain a slot even for d ≤ 2).
+[[nodiscard]] unsigned stage_length(std::size_t delta_est);
+
+}  // namespace m2hew::core

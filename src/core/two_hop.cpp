@@ -1,0 +1,95 @@
+#include "core/two_hop.hpp"
+
+#include <algorithm>
+
+#include "core/algorithms.hpp"
+#include "util/check.hpp"
+
+namespace m2hew::core {
+
+namespace {
+
+/// In-neighbors of each node over discovery links.
+[[nodiscard]] std::vector<std::vector<net::NodeId>> one_hop_in_neighbors(
+    const net::Network& network) {
+  std::vector<std::vector<net::NodeId>> in(network.node_count());
+  for (const net::Link link : network.links()) {
+    in[link.to].push_back(link.from);
+  }
+  for (auto& list : in) std::sort(list.begin(), list.end());
+  return in;
+}
+
+[[nodiscard]] std::vector<std::vector<net::NodeId>> assemble_two_hop(
+    const net::Network& network,
+    const std::vector<std::vector<net::NodeId>>& tables_heard) {
+  const auto one_hop = one_hop_in_neighbors(network);
+  std::vector<std::vector<net::NodeId>> two_hop(network.node_count());
+  for (net::NodeId u = 0; u < network.node_count(); ++u) {
+    std::vector<net::NodeId> acc;
+    for (const net::NodeId v : tables_heard[u]) {
+      // u holds v's one-hop table; v's in-neighbors are u's 2-hop
+      // candidates.
+      acc.insert(acc.end(), one_hop[v].begin(), one_hop[v].end());
+    }
+    std::sort(acc.begin(), acc.end());
+    acc.erase(std::unique(acc.begin(), acc.end()), acc.end());
+    // Remove u itself and its one-hop in-neighbors.
+    std::vector<net::NodeId> filtered;
+    for (const net::NodeId w : acc) {
+      if (w == u) continue;
+      if (std::binary_search(one_hop[u].begin(), one_hop[u].end(), w)) {
+        continue;
+      }
+      filtered.push_back(w);
+    }
+    two_hop[u] = std::move(filtered);
+  }
+  return two_hop;
+}
+
+}  // namespace
+
+std::vector<std::vector<net::NodeId>> two_hop_ground_truth(
+    const net::Network& network) {
+  // Ground truth = the assembly applied to complete tables.
+  return assemble_two_hop(network, one_hop_in_neighbors(network));
+}
+
+TwoHopResult run_two_hop_discovery(const net::Network& network,
+                                   std::size_t delta_est,
+                                   const sim::SlotEngineConfig& config) {
+  TwoHopResult result;
+
+  // Phase 1: standard one-hop discovery.
+  sim::SlotEngineConfig phase1 = config;
+  const auto r1 = sim::run_slot_engine(network, make_algorithm3(delta_est),
+                                       phase1);
+  result.phase1_slots = r1.slots_executed;
+  if (!r1.complete) {
+    result.two_hop.assign(network.node_count(), {});
+    return result;
+  }
+
+  // Phase 2: the same schedule, but every reception now delivers the
+  // sender's phase-1 table. Coverage of (v, u) in this run models u
+  // hearing v's table.
+  sim::SlotEngineConfig phase2 = config;
+  phase2.seed = config.seed ^ 0x2407ull;  // independent randomness
+  const auto r2 = sim::run_slot_engine(network, make_algorithm3(delta_est),
+                                       phase2);
+  result.phase2_slots = r2.slots_executed;
+  result.complete = r2.complete;
+
+  std::vector<std::vector<net::NodeId>> heard(network.node_count());
+  for (const net::Link link : network.links()) {
+    if (r2.state.is_covered(link)) {
+      heard[link.to].push_back(link.from);
+    }
+  }
+  for (auto& list : heard) std::sort(list.begin(), list.end());
+  result.two_hop = assemble_two_hop(network, heard);
+  return result;
+}
+
+}  // namespace m2hew::core

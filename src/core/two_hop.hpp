@@ -1,0 +1,46 @@
+// Two-hop neighbor discovery (§I: "Many algorithms ... implicitly assume
+// that all nodes know their one-hop and sometimes even two-hop neighbors").
+//
+// After one-hop discovery completes, a second randomized exchange phase
+// runs in which every transmission carries the sender's *discovered
+// neighbor table* instead of its channel set. A node that hears neighbor v
+// clearly in phase 2 learns v's table; once it has heard every discovered
+// in-neighbor once, it knows its full two-hop neighborhood:
+//
+//   twohop(u) = ∪ { onehop(v) : v ∈ onehop(u) } \ ({u} ∪ onehop(u))
+//
+// The phase-2 radio schedule is identical to Algorithm 3 (same coverage
+// analysis applies: every (v, u) link must be covered once more), so the
+// phase costs another Theorem-3 budget.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/network.hpp"
+#include "sim/slot_engine.hpp"
+
+namespace m2hew::core {
+
+/// Ground-truth two-hop sets (sorted), computed from the network: nodes
+/// reachable through one discovery link followed by another, excluding u
+/// itself and its one-hop in-neighbors.
+[[nodiscard]] std::vector<std::vector<net::NodeId>> two_hop_ground_truth(
+    const net::Network& network);
+
+struct TwoHopResult {
+  bool complete = false;        ///< every node heard all its in-neighbors
+  std::uint64_t phase1_slots = 0;
+  std::uint64_t phase2_slots = 0;
+  /// Two-hop sets as assembled from received phase-2 tables (sorted).
+  std::vector<std::vector<net::NodeId>> two_hop;
+};
+
+/// Runs both phases with Algorithm 3 under the given degree bound. Phase 2
+/// reuses the slot engine: covering link (v, u) in phase 2 models u
+/// receiving v's table. Budgets apply per phase.
+[[nodiscard]] TwoHopResult run_two_hop_discovery(
+    const net::Network& network, std::size_t delta_est,
+    const sim::SlotEngineConfig& config);
+
+}  // namespace m2hew::core

@@ -1,0 +1,83 @@
+#include "net/channel_assign.hpp"
+
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace m2hew::net {
+
+ChannelAssignment homogeneous_assignment(NodeId n, ChannelId universe,
+                                         ChannelId set_size) {
+  M2HEW_CHECK(set_size >= 1 && set_size <= universe);
+  ChannelSet base(universe);
+  for (ChannelId c = 0; c < set_size; ++c) base.insert(c);
+  return ChannelAssignment(n, base);
+}
+
+namespace {
+
+[[nodiscard]] ChannelSet random_subset(ChannelId universe, ChannelId size,
+                                       util::Rng& rng) {
+  M2HEW_CHECK(size >= 1 && size <= universe);
+  // Partial Fisher–Yates over channel ids: first `size` entries form a
+  // uniform random subset.
+  std::vector<ChannelId> ids(universe);
+  std::iota(ids.begin(), ids.end(), ChannelId{0});
+  ChannelSet out(universe);
+  for (ChannelId i = 0; i < size; ++i) {
+    const auto j =
+        static_cast<ChannelId>(i + rng.uniform(universe - i));
+    std::swap(ids[i], ids[j]);
+    out.insert(ids[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+ChannelAssignment uniform_random_assignment(NodeId n, ChannelId universe,
+                                            ChannelId per_node_size,
+                                            util::Rng& rng) {
+  ChannelAssignment out;
+  out.reserve(n);
+  for (NodeId i = 0; i < n; ++i) {
+    out.push_back(random_subset(universe, per_node_size, rng));
+  }
+  return out;
+}
+
+ChannelAssignment variable_size_random_assignment(NodeId n, ChannelId universe,
+                                                  ChannelId min_size,
+                                                  ChannelId max_size,
+                                                  util::Rng& rng) {
+  M2HEW_CHECK(min_size >= 1 && min_size <= max_size && max_size <= universe);
+  ChannelAssignment out;
+  out.reserve(n);
+  for (NodeId i = 0; i < n; ++i) {
+    const auto size = static_cast<ChannelId>(
+        rng.uniform_range(min_size, max_size));
+    out.push_back(random_subset(universe, size, rng));
+  }
+  return out;
+}
+
+ChainOverlapResult chain_overlap_assignment(NodeId n, ChannelId set_size,
+                                            ChannelId overlap) {
+  M2HEW_CHECK(overlap >= 1 && overlap <= set_size);
+  const ChannelId stride = set_size - overlap;
+  ChainOverlapResult result;
+  result.universe_size =
+      (n == 0) ? set_size : static_cast<ChannelId>((n - 1) * stride + set_size);
+  result.assignment.reserve(n);
+  for (NodeId i = 0; i < n; ++i) {
+    ChannelSet s(result.universe_size);
+    const auto base = static_cast<ChannelId>(i * stride);
+    for (ChannelId c = 0; c < set_size; ++c) {
+      s.insert(static_cast<ChannelId>(base + c));
+    }
+    result.assignment.push_back(std::move(s));
+  }
+  return result;
+}
+
+}  // namespace m2hew::net

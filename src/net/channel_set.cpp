@@ -1,0 +1,136 @@
+#include "net/channel_set.hpp"
+
+#include <bit>
+
+#include "util/check.hpp"
+
+namespace m2hew::net {
+
+ChannelSet::ChannelSet(ChannelId universe_size)
+    : universe_(universe_size), words_((universe_size + 63) / 64, 0) {}
+
+ChannelSet::ChannelSet(ChannelId universe_size,
+                       std::initializer_list<ChannelId> ids)
+    : ChannelSet(universe_size) {
+  for (const ChannelId c : ids) insert(c);
+}
+
+ChannelSet ChannelSet::full(ChannelId universe_size) {
+  ChannelSet s(universe_size);
+  for (ChannelId c = 0; c < universe_size; ++c) s.insert(c);
+  return s;
+}
+
+bool ChannelSet::contains(ChannelId c) const noexcept {
+  if (c >= universe_) return false;
+  return (words_[word_index(c)] & bit_mask(c)) != 0;
+}
+
+void ChannelSet::insert(ChannelId c) {
+  M2HEW_CHECK_MSG(c < universe_, "channel outside universe");
+  std::uint64_t& word = words_[word_index(c)];
+  if ((word & bit_mask(c)) == 0) {
+    word |= bit_mask(c);
+    ++count_;
+  }
+}
+
+void ChannelSet::erase(ChannelId c) {
+  if (c >= universe_) return;
+  std::uint64_t& word = words_[word_index(c)];
+  if ((word & bit_mask(c)) != 0) {
+    word &= ~bit_mask(c);
+    --count_;
+  }
+}
+
+void ChannelSet::clear() noexcept {
+  for (auto& w : words_) w = 0;
+  count_ = 0;
+}
+
+void ChannelSet::check_universe(const ChannelSet& other) const {
+  M2HEW_CHECK_MSG(universe_ == other.universe_,
+                  "channel sets over different universes");
+}
+
+ChannelSet ChannelSet::intersect(const ChannelSet& other) const {
+  check_universe(other);
+  ChannelSet out(universe_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    out.words_[i] = words_[i] & other.words_[i];
+    out.count_ += static_cast<std::size_t>(std::popcount(out.words_[i]));
+  }
+  return out;
+}
+
+ChannelSet ChannelSet::unite(const ChannelSet& other) const {
+  check_universe(other);
+  ChannelSet out(universe_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    out.words_[i] = words_[i] | other.words_[i];
+    out.count_ += static_cast<std::size_t>(std::popcount(out.words_[i]));
+  }
+  return out;
+}
+
+ChannelSet ChannelSet::subtract(const ChannelSet& other) const {
+  check_universe(other);
+  ChannelSet out(universe_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    out.words_[i] = words_[i] & ~other.words_[i];
+    out.count_ += static_cast<std::size_t>(std::popcount(out.words_[i]));
+  }
+  return out;
+}
+
+std::size_t ChannelSet::intersection_size(
+    const ChannelSet& other) const noexcept {
+  std::size_t total = 0;
+  const std::size_t n = std::min(words_.size(), other.words_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    total += static_cast<std::size_t>(
+        std::popcount(words_[i] & other.words_[i]));
+  }
+  return total;
+}
+
+ChannelId ChannelSet::nth(std::size_t k) const {
+  M2HEW_CHECK_MSG(k < count_, "nth index out of range");
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    std::uint64_t word = words_[i];
+    const auto in_word = static_cast<std::size_t>(std::popcount(word));
+    if (k >= in_word) {
+      k -= in_word;
+      continue;
+    }
+    // Select the (k+1)-th set bit in `word` by clearing k lowest set bits.
+    for (std::size_t j = 0; j < k; ++j) word &= word - 1;
+    return static_cast<ChannelId>(i * 64 +
+                                  static_cast<std::size_t>(
+                                      std::countr_zero(word)));
+  }
+  M2HEW_CHECK_MSG(false, "unreachable: count_ inconsistent with words_");
+  return kInvalidChannel;
+}
+
+ChannelId ChannelSet::sample(util::Rng& rng) const {
+  M2HEW_CHECK_MSG(count_ > 0, "sampling from empty channel set");
+  return nth(static_cast<std::size_t>(rng.uniform(count_)));
+}
+
+std::vector<ChannelId> ChannelSet::to_vector() const {
+  std::vector<ChannelId> out;
+  out.reserve(count_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    std::uint64_t word = words_[i];
+    while (word != 0) {
+      const auto bit = static_cast<std::size_t>(std::countr_zero(word));
+      out.push_back(static_cast<ChannelId>(i * 64 + bit));
+      word &= word - 1;
+    }
+  }
+  return out;
+}
+
+}  // namespace m2hew::net

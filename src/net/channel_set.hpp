@@ -1,0 +1,78 @@
+// ChannelSet: a node's available channel set A(u), per §II of the paper.
+//
+// Implemented as a dynamic bitset with a cached popcount; supports the
+// operations the algorithms need: membership, intersection (span
+// computation), uniform random sampling (every algorithm selects a channel
+// uniformly at random from A(u) each slot/frame), and ordered iteration.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/types.hpp"
+#include "util/rng.hpp"
+
+namespace m2hew::net {
+
+class ChannelSet {
+ public:
+  ChannelSet() = default;
+
+  /// Empty set over a universe of `universe_size` channels (ids
+  /// 0..universe_size-1).
+  explicit ChannelSet(ChannelId universe_size);
+
+  /// Set containing exactly the given channels.
+  ChannelSet(ChannelId universe_size, std::initializer_list<ChannelId> ids);
+
+  /// Full set {0, ..., universe_size-1}.
+  [[nodiscard]] static ChannelSet full(ChannelId universe_size);
+
+  [[nodiscard]] ChannelId universe_size() const noexcept { return universe_; }
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+
+  [[nodiscard]] bool contains(ChannelId c) const noexcept;
+  void insert(ChannelId c);
+  void erase(ChannelId c);
+  void clear() noexcept;
+
+  /// Set intersection; universes must match.
+  [[nodiscard]] ChannelSet intersect(const ChannelSet& other) const;
+  /// Set union; universes must match.
+  [[nodiscard]] ChannelSet unite(const ChannelSet& other) const;
+  /// Set difference (elements of *this not in other); universes must match.
+  [[nodiscard]] ChannelSet subtract(const ChannelSet& other) const;
+
+  /// |this ∩ other| without materializing the intersection.
+  [[nodiscard]] std::size_t intersection_size(
+      const ChannelSet& other) const noexcept;
+
+  /// Uniformly random member. Requires non-empty.
+  [[nodiscard]] ChannelId sample(util::Rng& rng) const;
+
+  /// Members in increasing order.
+  [[nodiscard]] std::vector<ChannelId> to_vector() const;
+
+  /// The k-th member in increasing order (0-based). Requires k < size().
+  [[nodiscard]] ChannelId nth(std::size_t k) const;
+
+  friend bool operator==(const ChannelSet& a, const ChannelSet& b) {
+    return a.universe_ == b.universe_ && a.words_ == b.words_;
+  }
+
+ private:
+  [[nodiscard]] static std::size_t word_index(ChannelId c) noexcept {
+    return c >> 6;
+  }
+  [[nodiscard]] static std::uint64_t bit_mask(ChannelId c) noexcept {
+    return 1ULL << (c & 63);
+  }
+  void check_universe(const ChannelSet& other) const;
+
+  ChannelId universe_ = 0;
+  std::size_t count_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace m2hew::net

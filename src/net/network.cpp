@@ -1,0 +1,123 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace m2hew::net {
+
+Network::Network(Topology topology, std::vector<ChannelSet> assignment)
+    : topology_(std::move(topology)), assignment_(std::move(assignment)) {
+  build(nullptr);
+}
+
+Network::Network(Topology topology, std::vector<ChannelSet> assignment,
+                 const PropagationFilter& propagation)
+    : topology_(std::move(topology)), assignment_(std::move(assignment)) {
+  M2HEW_CHECK_MSG(propagation != nullptr, "null propagation filter");
+  build(&propagation);
+}
+
+void Network::build(const PropagationFilter* propagation) {
+  topology_.finalize();
+  const NodeId n = topology_.node_count();
+  M2HEW_CHECK_MSG(assignment_.size() == n,
+                  "assignment size must equal node count");
+  M2HEW_CHECK(n > 0);
+
+  universe_ = assignment_[0].universe_size();
+  for (const auto& a : assignment_) {
+    M2HEW_CHECK_MSG(a.universe_size() == universe_,
+                    "all channel sets must share one universe");
+    M2HEW_CHECK_MSG(!a.empty(), "node with empty available channel set");
+    s_ = std::max(s_, a.size());
+  }
+
+  // Per-arc spans, discovery links and per-channel in-degrees.
+  const auto arcs = topology_.arcs();
+  spans_.reserve(arcs.size());
+  arc_index_of_.assign(n, {});
+  degree_on_channel_.assign(n, std::vector<std::size_t>(universe_, 0));
+  for (std::size_t i = 0; i < arcs.size(); ++i) {
+    const auto& [from, to] = arcs[i];
+    ChannelSet span = assignment_[from].intersect(assignment_[to]);
+    if (propagation != nullptr) {
+      const ChannelSet mask = (*propagation)(from, to);
+      M2HEW_CHECK_MSG(mask.universe_size() == universe_,
+                      "propagation mask universe mismatch");
+      span = span.intersect(mask);
+    }
+    if (!span.empty()) {
+      links_.push_back({from, to});
+      for (const ChannelId c : span.to_vector()) {
+        ++degree_on_channel_[to][c];
+      }
+    }
+    arc_index_of_[from].emplace_back(to, i);
+    spans_.push_back(std::move(span));
+  }
+  for (auto& list : arc_index_of_) {
+    std::sort(list.begin(), list.end());
+  }
+
+  // Incoming-arc views (span pointers are stable: spans_ is fully built).
+  in_links_.assign(n, {});
+  for (std::size_t i = 0; i < arcs.size(); ++i) {
+    const auto& [from, to] = arcs[i];
+    in_links_[to].push_back({from, &spans_[i]});
+  }
+  for (auto& list : in_links_) {
+    std::sort(list.begin(), list.end(),
+              [](const InLink& a, const InLink& b) { return a.from < b.from; });
+  }
+
+  for (NodeId u = 0; u < n; ++u) {
+    for (ChannelId c = 0; c < universe_; ++c) {
+      delta_ = std::max(delta_, degree_on_channel_[u][c]);
+    }
+  }
+
+  rho_ = 1.0;
+  for (const Link link : links_) {
+    rho_ = std::min(rho_, span_ratio(link));
+  }
+}
+
+const ChannelSet& Network::available(NodeId u) const {
+  M2HEW_CHECK(u < node_count());
+  return assignment_[u];
+}
+
+std::size_t Network::arc_index(NodeId from, NodeId to) const {
+  M2HEW_CHECK(from < node_count() && to < node_count());
+  const auto& list = arc_index_of_[from];
+  const auto it = std::lower_bound(
+      list.begin(), list.end(), to,
+      [](const auto& entry, NodeId key) { return entry.first < key; });
+  M2HEW_CHECK_MSG(it != list.end() && it->first == to,
+                  "span() on a non-arc");
+  return it->second;
+}
+
+const ChannelSet& Network::span(NodeId from, NodeId to) const {
+  return spans_[arc_index(from, to)];
+}
+
+std::span<const Network::InLink> Network::in_links(NodeId u) const {
+  M2HEW_CHECK(u < node_count());
+  return in_links_[u];
+}
+
+double Network::span_ratio(Link link) const {
+  const ChannelSet& s = span(link.from, link.to);
+  return static_cast<double>(s.size()) /
+         static_cast<double>(assignment_[link.to].size());
+}
+
+std::size_t Network::degree_on_channel(NodeId u, ChannelId c) const {
+  M2HEW_CHECK(u < node_count());
+  M2HEW_CHECK(c < universe_);
+  return degree_on_channel_[u][c];
+}
+
+}  // namespace m2hew::net

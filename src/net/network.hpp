@@ -1,0 +1,114 @@
+// Network: the full M²HeW model of §II — a communication graph together
+// with per-node available channel sets, plus all derived parameters the
+// paper's analysis uses:
+//
+//   N          node count
+//   S          max |A(u)|
+//   span(v,u)  channels on which the arc v→u can actually carry a message:
+//              A(v) ∩ A(u), further intersected with the propagation
+//              filter for (v,u) when one is supplied (§V extension (c) —
+//              diverse propagation characteristics)
+//   Δ(u,c)     number of in-neighbors of u whose arc to u carries c
+//   Δ          max over u, c of Δ(u,c)
+//   span-ratio |span(v,u)| / |A(u)| for the directed link (v, u)
+//   ρ          min span-ratio over all discovery links
+//
+// A *discovery link* (v, u) exists iff the arc v→u exists and span(v, u)
+// is non-empty; the discovery ground truth is exactly the set of discovery
+// links (u must learn ⟨v, span⟩ for each). On a symmetric graph with no
+// propagation filter this reduces to the paper's base model.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "net/channel_set.hpp"
+#include "net/topology.hpp"
+#include "net/types.hpp"
+
+namespace m2hew::net {
+
+/// Optional per-arc channel usability mask (§V extension (c)): returns the
+/// set of channels (over the network universe) on which a transmission
+/// from `from` physically propagates to `to`. Must be deterministic.
+using PropagationFilter =
+    std::function<ChannelSet(NodeId from, NodeId to)>;
+
+class Network {
+ public:
+  /// Base model: every arc propagates on every channel.
+  Network(Topology topology, std::vector<ChannelSet> assignment);
+
+  /// Diverse-propagation model: spans are additionally intersected with
+  /// `propagation(from, to)` per arc.
+  Network(Topology topology, std::vector<ChannelSet> assignment,
+          const PropagationFilter& propagation);
+
+  [[nodiscard]] NodeId node_count() const noexcept {
+    return topology_.node_count();
+  }
+  [[nodiscard]] ChannelId universe_size() const noexcept { return universe_; }
+  [[nodiscard]] const Topology& topology() const noexcept { return topology_; }
+  [[nodiscard]] const ChannelSet& available(NodeId u) const;
+
+  /// Directed discovery links (ground truth for neighbor discovery).
+  [[nodiscard]] std::span<const Link> links() const noexcept { return links_; }
+
+  /// span(from, to); requires the arc from→to to exist.
+  [[nodiscard]] const ChannelSet& span(NodeId from, NodeId to) const;
+
+  /// An incoming arc of a node with its (possibly empty) span — the unit
+  /// the simulation engines iterate to resolve receptions and interference.
+  struct InLink {
+    NodeId from = kInvalidNode;
+    const ChannelSet* span = nullptr;
+  };
+  [[nodiscard]] std::span<const InLink> in_links(NodeId u) const;
+
+  /// |span(from, to)| / |A(to)| for a discovery link.
+  [[nodiscard]] double span_ratio(Link link) const;
+
+  /// Δ(u, c): in-neighbors of u on channel c; zero if c ∉ A(u).
+  [[nodiscard]] std::size_t degree_on_channel(NodeId u, ChannelId c) const;
+
+  // Derived scalar parameters (computed once at construction).
+  [[nodiscard]] std::size_t max_channel_set_size() const noexcept {
+    return s_;
+  }  ///< S
+  [[nodiscard]] std::size_t max_channel_degree() const noexcept {
+    return delta_;
+  }  ///< Δ
+  [[nodiscard]] double min_span_ratio() const noexcept { return rho_; }  ///< ρ
+
+  /// True iff every arc supports at least one usable channel (i.e. the
+  /// communication graph equals the discovery graph).
+  [[nodiscard]] bool all_edges_usable() const noexcept {
+    return links_.size() == topology_.arc_count();
+  }
+
+ private:
+  void build(const PropagationFilter* propagation);
+  [[nodiscard]] std::size_t arc_index(NodeId from, NodeId to) const;
+
+  Topology topology_;
+  std::vector<ChannelSet> assignment_;
+  ChannelId universe_ = 0;
+
+  // Per-arc spans, parallel to topology_.arcs().
+  std::vector<ChannelSet> spans_;
+  // Per-node incoming arcs with span pointers (into spans_), sorted by
+  // source id; used by the engines' reception loops.
+  std::vector<std::vector<InLink>> in_links_;
+  // Per-node sorted (source, arc index) pairs for O(log indeg) lookup.
+  std::vector<std::vector<std::pair<NodeId, std::size_t>>> arc_index_of_;
+  std::vector<Link> links_;
+  std::vector<std::vector<std::size_t>> degree_on_channel_;  // [u][c]
+
+  std::size_t s_ = 0;
+  std::size_t delta_ = 0;
+  double rho_ = 1.0;
+};
+
+}  // namespace m2hew::net

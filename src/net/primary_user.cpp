@@ -1,0 +1,130 @@
+#include "net/primary_user.hpp"
+
+#include "util/check.hpp"
+
+namespace m2hew::net {
+
+PrimaryUserField::PrimaryUserField(ChannelId universe_size,
+                                   std::vector<PrimaryUser> users)
+    : universe_(universe_size), users_(std::move(users)) {
+  for (const auto& pu : users_) {
+    M2HEW_CHECK_MSG(pu.channel < universe_, "PU channel outside universe");
+    M2HEW_CHECK(pu.radius >= 0.0);
+  }
+}
+
+PrimaryUserField PrimaryUserField::random(ChannelId universe_size,
+                                          std::size_t count, double side,
+                                          double min_radius, double max_radius,
+                                          util::Rng& rng) {
+  M2HEW_CHECK(min_radius >= 0.0 && min_radius <= max_radius);
+  std::vector<PrimaryUser> users;
+  users.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    PrimaryUser pu;
+    pu.position = {rng.uniform_double(0.0, side),
+                   rng.uniform_double(0.0, side)};
+    pu.radius = rng.uniform_double(min_radius, max_radius);
+    pu.channel = static_cast<ChannelId>(rng.uniform(universe_size));
+    users.push_back(pu);
+  }
+  return PrimaryUserField(universe_size, std::move(users));
+}
+
+ChannelSet PrimaryUserField::occupied_at(Point where) const {
+  ChannelSet occupied(universe_);
+  for (const auto& pu : users_) {
+    if (squared_distance(pu.position, where) <= pu.radius * pu.radius) {
+      occupied.insert(pu.channel);
+    }
+  }
+  return occupied;
+}
+
+ChannelSet PrimaryUserField::available_at(
+    Point where, const ChannelSet& hardware_capability) const {
+  M2HEW_CHECK(hardware_capability.universe_size() == universe_);
+  return hardware_capability.subtract(occupied_at(where));
+}
+
+std::vector<ChannelSet> PrimaryUserField::assignment_for(
+    const std::vector<Point>& positions) const {
+  const ChannelSet all = ChannelSet::full(universe_);
+  std::vector<ChannelSet> out;
+  out.reserve(positions.size());
+  for (const Point p : positions) out.push_back(available_at(p, all));
+  return out;
+}
+
+DynamicPrimaryUserField::DynamicPrimaryUserField(
+    ChannelId universe_size, std::vector<DynamicPrimaryUser> users)
+    : universe_(universe_size), users_(std::move(users)) {
+  for (const auto& pu : users_) {
+    M2HEW_CHECK_MSG(pu.user.channel < universe_, "PU channel outside universe");
+    M2HEW_CHECK(pu.user.radius >= 0.0);
+    M2HEW_CHECK(pu.period_slots >= 1);
+    M2HEW_CHECK(pu.on_slots <= pu.period_slots);
+  }
+}
+
+DynamicPrimaryUserField DynamicPrimaryUserField::random(
+    ChannelId universe_size, std::size_t count, double side,
+    double min_radius, double max_radius, std::uint64_t period_slots,
+    double duty_cycle, util::Rng& rng) {
+  M2HEW_CHECK(duty_cycle >= 0.0 && duty_cycle <= 1.0);
+  M2HEW_CHECK(period_slots >= 1);
+  std::vector<DynamicPrimaryUser> users;
+  users.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    DynamicPrimaryUser pu;
+    pu.user.position = {rng.uniform_double(0.0, side),
+                        rng.uniform_double(0.0, side)};
+    pu.user.radius = rng.uniform_double(min_radius, max_radius);
+    pu.user.channel = static_cast<ChannelId>(rng.uniform(universe_size));
+    pu.period_slots = period_slots;
+    pu.on_slots = static_cast<std::uint64_t>(
+        duty_cycle * static_cast<double>(period_slots) + 0.5);
+    pu.phase_slots = rng.uniform(period_slots);
+    users.push_back(pu);
+  }
+  return DynamicPrimaryUserField(universe_size, std::move(users));
+}
+
+bool DynamicPrimaryUserField::occupied(std::uint64_t slot, Point where,
+                                       ChannelId c) const {
+  for (const auto& pu : users_) {
+    if (pu.user.channel != c || !pu.active_at(slot)) continue;
+    if (squared_distance(pu.user.position, where) <=
+        pu.user.radius * pu.user.radius) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::function<bool(std::uint64_t, NodeId, ChannelId)>
+DynamicPrimaryUserField::interference_for(
+    const std::vector<Point>& positions) const {
+  // Precompute, per node, the indices of PUs whose disk covers it.
+  std::vector<std::vector<std::size_t>> covering(positions.size());
+  for (std::size_t p = 0; p < users_.size(); ++p) {
+    const auto& pu = users_[p];
+    for (std::size_t u = 0; u < positions.size(); ++u) {
+      if (squared_distance(pu.user.position, positions[u]) <=
+          pu.user.radius * pu.user.radius) {
+        covering[u].push_back(p);
+      }
+    }
+  }
+  return [field = *this, covering = std::move(covering)](
+             std::uint64_t slot, NodeId node, ChannelId channel) {
+    M2HEW_DCHECK(node < covering.size());
+    for (const std::size_t p : covering[node]) {
+      const auto& pu = field.users_[p];
+      if (pu.user.channel == channel && pu.active_at(slot)) return true;
+    }
+    return false;
+  };
+}
+
+}  // namespace m2hew::net

@@ -1,0 +1,110 @@
+// Simulated cognitive-radio spectrum environment.
+//
+// The paper motivates heterogeneous available channel sets by primary users
+// (licensed transmitters) occupying channels in parts of the deployment
+// area. We simulate exactly that: primary users are disks in the plane,
+// each occupying one channel; a secondary (CR) node's available channel set
+// is its hardware capability minus the channels of all primary users whose
+// disk covers the node. This substitutes for real spectrum sensing while
+// producing the spatially-correlated heterogeneity the algorithms face.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/channel_set.hpp"
+#include "net/types.hpp"
+#include "util/rng.hpp"
+
+namespace m2hew::net {
+
+struct PrimaryUser {
+  Point position;
+  double radius = 0.0;
+  ChannelId channel = kInvalidChannel;
+};
+
+class PrimaryUserField {
+ public:
+  PrimaryUserField(ChannelId universe_size, std::vector<PrimaryUser> users);
+
+  /// Random field: `count` primary users uniform in [0, side]², radii
+  /// uniform in [min_radius, max_radius], channels uniform in the universe.
+  [[nodiscard]] static PrimaryUserField random(ChannelId universe_size,
+                                               std::size_t count, double side,
+                                               double min_radius,
+                                               double max_radius,
+                                               util::Rng& rng);
+
+  [[nodiscard]] ChannelId universe_size() const noexcept { return universe_; }
+  [[nodiscard]] const std::vector<PrimaryUser>& users() const noexcept {
+    return users_;
+  }
+
+  /// Channels occupied by some primary user covering `where`.
+  [[nodiscard]] ChannelSet occupied_at(Point where) const;
+
+  /// Available set at `where` for a node whose transceiver supports
+  /// `hardware_capability` (must be over the same universe).
+  [[nodiscard]] ChannelSet available_at(
+      Point where, const ChannelSet& hardware_capability) const;
+
+  /// Per-node available channel sets for nodes at `positions`, all with
+  /// full-universe hardware capability.
+  [[nodiscard]] std::vector<ChannelSet> assignment_for(
+      const std::vector<Point>& positions) const;
+
+ private:
+  ChannelId universe_;
+  std::vector<PrimaryUser> users_;
+};
+
+/// A primary user with periodic on/off activity: active during the first
+/// `on_slots` slots of every `period_slots`-slot period, shifted by
+/// `phase_slots`. Models licensed transmitters that come and go, forcing
+/// secondary users to vacate the channel intermittently.
+struct DynamicPrimaryUser {
+  PrimaryUser user;
+  std::uint64_t period_slots = 100;
+  std::uint64_t on_slots = 50;
+  std::uint64_t phase_slots = 0;
+
+  [[nodiscard]] bool active_at(std::uint64_t slot) const noexcept {
+    return (slot + phase_slots) % period_slots < on_slots;
+  }
+};
+
+class DynamicPrimaryUserField {
+ public:
+  DynamicPrimaryUserField(ChannelId universe_size,
+                          std::vector<DynamicPrimaryUser> users);
+
+  /// Random field: geometry as PrimaryUserField::random; every PU gets the
+  /// given period and duty cycle with a uniformly random phase.
+  [[nodiscard]] static DynamicPrimaryUserField random(
+      ChannelId universe_size, std::size_t count, double side,
+      double min_radius, double max_radius, std::uint64_t period_slots,
+      double duty_cycle, util::Rng& rng);
+
+  [[nodiscard]] ChannelId universe_size() const noexcept { return universe_; }
+  [[nodiscard]] const std::vector<DynamicPrimaryUser>& users() const noexcept {
+    return users_;
+  }
+
+  /// True iff some PU on channel c covering `where` is active in `slot`.
+  [[nodiscard]] bool occupied(std::uint64_t slot, Point where,
+                              ChannelId c) const;
+
+  /// Per-(slot, node, channel) interference predicate for nodes at the
+  /// given positions; assignable to sim::InterferenceSchedule. Coverage
+  /// geometry is precomputed per node; the field is captured by value.
+  [[nodiscard]] std::function<bool(std::uint64_t, NodeId, ChannelId)>
+  interference_for(const std::vector<Point>& positions) const;
+
+ private:
+  ChannelId universe_;
+  std::vector<DynamicPrimaryUser> users_;
+};
+
+}  // namespace m2hew::net

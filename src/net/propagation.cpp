@@ -1,0 +1,52 @@
+#include "net/propagation.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace m2hew::net {
+
+PropagationFilter full_propagation(ChannelId universe) {
+  return [universe](NodeId, NodeId) { return ChannelSet::full(universe); };
+}
+
+PropagationFilter random_propagation_filter(ChannelId universe,
+                                            double keep_probability,
+                                            std::uint64_t seed) {
+  M2HEW_CHECK(keep_probability > 0.0 && keep_probability <= 1.0);
+  return [universe, keep_probability, seed](NodeId from, NodeId to) {
+    const NodeId lo = std::min(from, to);
+    const NodeId hi = std::max(from, to);
+    // A fresh deterministic stream per unordered pair keeps the mask
+    // symmetric and independent of evaluation order.
+    util::Rng rng(util::SeedSequence(seed).derive(lo, hi));
+    ChannelSet mask(universe);
+    for (ChannelId c = 0; c < universe; ++c) {
+      if (rng.bernoulli(keep_probability)) mask.insert(c);
+    }
+    return mask;
+  };
+}
+
+PropagationFilter distance_lowpass_filter(ChannelId universe,
+                                          NodeId node_count) {
+  M2HEW_CHECK(universe >= 1);
+  M2HEW_CHECK(node_count >= 1);
+  return [universe, node_count](NodeId from, NodeId to) {
+    const NodeId gap = from > to ? from - to : to - from;
+    // Cutoff shrinks linearly from the full universe (adjacent ids) down
+    // to a single channel (maximal gap).
+    const double fraction =
+        1.0 - static_cast<double>(gap) / static_cast<double>(node_count);
+    const auto cutoff = std::max<ChannelId>(
+        1, static_cast<ChannelId>(fraction * static_cast<double>(universe)));
+    ChannelSet mask(universe);
+    for (ChannelId c = 0; c < std::min(cutoff, universe); ++c) {
+      mask.insert(c);
+    }
+    return mask;
+  };
+}
+
+}  // namespace m2hew::net

@@ -1,0 +1,31 @@
+// Propagation filters (§V extension (c) — diverse propagation
+// characteristics). The base model assumes every channel propagates
+// identically on every link; these helpers build per-arc channel masks for
+// the generalized model: span(v→u) = A(v) ∩ A(u) ∩ mask(v, u).
+#pragma once
+
+#include <cstdint>
+
+#include "net/network.hpp"
+
+namespace m2hew::net {
+
+/// Every channel propagates on every arc (the paper's base assumption).
+[[nodiscard]] PropagationFilter full_propagation(ChannelId universe);
+
+/// Each (unordered pair, channel) propagates independently with probability
+/// `keep_probability`, derived deterministically from `seed` — the same
+/// (pair, channel) always gets the same verdict, and the mask is symmetric
+/// (mask(u,v) == mask(v,u)), modelling frequency-selective fading that
+/// affects both directions of a link equally.
+[[nodiscard]] PropagationFilter random_propagation_filter(
+    ChannelId universe, double keep_probability, std::uint64_t seed);
+
+/// Low-pass model: only channels with id < cutoff(u, v) propagate, where
+/// the cutoff shrinks with the pair's id distance — a crude stand-in for
+/// higher frequencies having shorter range. Guarantees channel 0 always
+/// propagates (masks are never empty).
+[[nodiscard]] PropagationFilter distance_lowpass_filter(ChannelId universe,
+                                                        NodeId node_count);
+
+}  // namespace m2hew::net

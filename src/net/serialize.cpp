@@ -1,0 +1,128 @@
+#include "net/serialize.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace m2hew::net {
+
+void write_network(std::ostream& out, const Network& network) {
+  out << "m2hew-network v1\n";
+  out << "nodes " << network.node_count() << " universe "
+      << network.universe_size() << "\n";
+  for (const auto& [from, to] : network.topology().arcs()) {
+    out << "arc " << from << ' ' << to << "\n";
+  }
+  for (NodeId u = 0; u < network.node_count(); ++u) {
+    out << "avail " << u;
+    for (const ChannelId c : network.available(u).to_vector()) {
+      out << ' ' << c;
+    }
+    out << "\n";
+  }
+  for (const auto& [from, to] : network.topology().arcs()) {
+    out << "span " << from << ' ' << to;
+    for (const ChannelId c : network.span(from, to).to_vector()) {
+      out << ' ' << c;
+    }
+    out << "\n";
+  }
+}
+
+Network read_network(std::istream& in) {
+  std::string line;
+  auto next_line = [&](std::string& out_line) {
+    while (std::getline(in, out_line)) {
+      if (!out_line.empty() && out_line[0] != '#') return true;
+    }
+    return false;
+  };
+
+  M2HEW_CHECK_MSG(next_line(line) && line == "m2hew-network v1",
+                  "bad magic line");
+
+  M2HEW_CHECK_MSG(next_line(line), "missing header");
+  std::istringstream header(line);
+  std::string word;
+  NodeId n = 0;
+  ChannelId universe = 0;
+  header >> word;
+  M2HEW_CHECK_MSG(word == "nodes", "expected 'nodes'");
+  header >> n >> word >> universe;
+  M2HEW_CHECK_MSG(word == "universe" && !header.fail(), "bad header");
+  M2HEW_CHECK(n >= 1);
+
+  Topology topology(n);
+  std::vector<ChannelSet> assignment(n, ChannelSet(universe));
+  std::vector<bool> avail_seen(n, false);
+  std::map<std::pair<NodeId, NodeId>, ChannelSet> spans;
+
+  while (next_line(line)) {
+    std::istringstream row(line);
+    row >> word;
+    if (word == "arc") {
+      NodeId from = kInvalidNode;
+      NodeId to = kInvalidNode;
+      row >> from >> to;
+      M2HEW_CHECK_MSG(!row.fail(), "bad arc line");
+      topology.add_arc(from, to);
+    } else if (word == "avail") {
+      NodeId u = kInvalidNode;
+      row >> u;
+      M2HEW_CHECK_MSG(!row.fail() && u < n, "bad avail line");
+      M2HEW_CHECK_MSG(!avail_seen[u], "duplicate avail line");
+      avail_seen[u] = true;
+      ChannelId c = 0;
+      while (row >> c) assignment[u].insert(c);
+    } else if (word == "span") {
+      NodeId from = kInvalidNode;
+      NodeId to = kInvalidNode;
+      row >> from >> to;
+      M2HEW_CHECK_MSG(!row.fail() && from < n && to < n, "bad span line");
+      ChannelSet span(universe);
+      ChannelId c = 0;
+      while (row >> c) span.insert(c);
+      const bool inserted =
+          spans.emplace(std::make_pair(from, to), std::move(span)).second;
+      M2HEW_CHECK_MSG(inserted, "duplicate span line");
+    } else {
+      M2HEW_CHECK_MSG(false, "unknown record type");
+    }
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    M2HEW_CHECK_MSG(avail_seen[u], "missing avail line for a node");
+  }
+
+  if (spans.empty()) {
+    return Network(std::move(topology), std::move(assignment));
+  }
+  // Reconstruct the stored spans through a propagation filter. The filter
+  // may be called for any arc; arcs without a span line keep full masks.
+  const ChannelId mask_universe = universe;
+  PropagationFilter filter = [spans, mask_universe](NodeId from, NodeId to) {
+    const auto it = spans.find(std::make_pair(from, to));
+    if (it == spans.end()) return ChannelSet::full(mask_universe);
+    return it->second;
+  };
+  return Network(std::move(topology), std::move(assignment), filter);
+}
+
+void save_network_file(const std::string& path, const Network& network) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path + " for write");
+  write_network(out, network);
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+Network load_network_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return read_network(in);
+}
+
+}  // namespace m2hew::net

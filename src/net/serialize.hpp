@@ -1,0 +1,34 @@
+// Text serialization of networks, so experiments can be pinned to exact
+// instances (shared, diffed, replayed via the CLI's --save-network /
+// --load-network).
+//
+// Format (line oriented, '#' comments allowed):
+//   m2hew-network v1
+//   nodes <N> universe <U>
+//   arc <from> <to>            (one per directed arc)
+//   avail <node> <c...>        (one per node, sorted channels)
+//   span <from> <to> <c...>    (one per arc; may list no channels)
+//
+// Spans are stored explicitly so networks built with propagation filters
+// round-trip exactly (the filter itself, being a function, is not
+// serialized; the reader reconstructs an equivalent per-arc mask).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "net/network.hpp"
+
+namespace m2hew::net {
+
+/// Writes the network to `out` in the v1 text format.
+void write_network(std::ostream& out, const Network& network);
+
+/// Parses a v1 network. Aborts (CHECK) on malformed input.
+[[nodiscard]] Network read_network(std::istream& in);
+
+/// Convenience file wrappers. Throw std::runtime_error on I/O failure.
+void save_network_file(const std::string& path, const Network& network);
+[[nodiscard]] Network load_network_file(const std::string& path);
+
+}  // namespace m2hew::net

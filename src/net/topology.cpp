@@ -1,0 +1,117 @@
+#include "net/topology.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace m2hew::net {
+
+Topology::Topology(NodeId node_count)
+    : out_(node_count), in_(node_count) {}
+
+void Topology::add_arc(NodeId u, NodeId v) {
+  M2HEW_CHECK_MSG(u != v, "self-loop");
+  M2HEW_CHECK(u < node_count() && v < node_count());
+  M2HEW_CHECK_MSG(!has_arc(u, v), "duplicate arc");
+  out_[u].push_back(v);
+  in_[v].push_back(u);
+  arc_list_.emplace_back(u, v);
+  finalized_ = false;
+}
+
+void Topology::add_edge(NodeId u, NodeId v) {
+  add_arc(u, v);
+  add_arc(v, u);
+  ++edges_;
+}
+
+void Topology::finalize() {
+  if (finalized_) return;
+  for (auto& list : out_) std::sort(list.begin(), list.end());
+  for (auto& list : in_) std::sort(list.begin(), list.end());
+  finalized_ = true;
+}
+
+bool Topology::has_arc(NodeId u, NodeId v) const {
+  M2HEW_CHECK(u < node_count() && v < node_count());
+  const auto& list = out_[u];
+  if (finalized_) {
+    return std::binary_search(list.begin(), list.end(), v);
+  }
+  return std::find(list.begin(), list.end(), v) != list.end();
+}
+
+bool Topology::has_edge(NodeId u, NodeId v) const {
+  return has_arc(u, v) && has_arc(v, u);
+}
+
+std::span<const NodeId> Topology::out_neighbors(NodeId u) const {
+  M2HEW_CHECK(u < node_count());
+  M2HEW_CHECK_MSG(finalized_, "neighbor query before finalize()");
+  return out_[u];
+}
+
+std::span<const NodeId> Topology::in_neighbors(NodeId u) const {
+  M2HEW_CHECK(u < node_count());
+  M2HEW_CHECK_MSG(finalized_, "neighbor query before finalize()");
+  return in_[u];
+}
+
+std::size_t Topology::out_degree(NodeId u) const {
+  M2HEW_CHECK(u < node_count());
+  return out_[u].size();
+}
+
+std::size_t Topology::in_degree(NodeId u) const {
+  M2HEW_CHECK(u < node_count());
+  return in_[u].size();
+}
+
+std::size_t Topology::max_degree() const noexcept {
+  std::size_t best = 0;
+  for (const auto& list : out_) best = std::max(best, list.size());
+  return best;
+}
+
+std::vector<std::pair<NodeId, NodeId>> Topology::edges() const {
+  std::vector<std::pair<NodeId, NodeId>> out;
+  out.reserve(arc_list_.size());
+  for (const auto& [u, v] : arc_list_) {
+    out.emplace_back(std::min(u, v), std::max(u, v));
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+bool Topology::is_connected() const {
+  const NodeId n = node_count();
+  if (n <= 1) return true;
+  std::vector<bool> seen(n, false);
+  std::vector<NodeId> stack{0};
+  seen[0] = true;
+  NodeId visited = 1;
+  while (!stack.empty()) {
+    const NodeId u = stack.back();
+    stack.pop_back();
+    auto visit = [&](NodeId v) {
+      if (!seen[v]) {
+        seen[v] = true;
+        ++visited;
+        stack.push_back(v);
+      }
+    };
+    for (const NodeId v : out_[u]) visit(v);
+    for (const NodeId v : in_[u]) visit(v);
+  }
+  return visited == n;
+}
+
+bool Topology::is_symmetric() const {
+  for (const auto& [u, v] : arc_list_) {
+    if (!has_arc(v, u)) return false;
+  }
+  return true;
+}
+
+}  // namespace m2hew::net

@@ -1,0 +1,93 @@
+// Topology: the communication graph of §II.
+//
+// The paper's model section assumes a *symmetric* graph for ease of
+// exposition and notes (§V, extension (a)) that the algorithms extend to
+// asymmetric graphs. The graph here is therefore directed at the arc level:
+// an arc u→v means a transmission by u can reach v. add_edge() inserts both
+// arcs (the symmetric case); add_arc() inserts one. Reception and
+// interference at a node are both governed by its *in*-arcs.
+//
+// Adjacency is stored as sorted vectors for cache-friendly iteration in the
+// simulator hot loop.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "net/types.hpp"
+
+namespace m2hew::net {
+
+class Topology {
+ public:
+  Topology() = default;
+  explicit Topology(NodeId node_count);
+
+  [[nodiscard]] NodeId node_count() const noexcept {
+    return static_cast<NodeId>(out_.size());
+  }
+
+  /// Number of undirected edges inserted via add_edge (symmetric pairs).
+  [[nodiscard]] std::size_t edge_count() const noexcept { return edges_; }
+  /// Number of directed arcs (add_edge contributes two).
+  [[nodiscard]] std::size_t arc_count() const noexcept {
+    return arc_list_.size();
+  }
+
+  /// Adds both arcs u→v and v→u. Self-loops and duplicates are rejected.
+  void add_edge(NodeId u, NodeId v);
+
+  /// Adds the single arc u→v (asymmetric link). Rejects duplicates.
+  void add_arc(NodeId u, NodeId v);
+
+  /// Sorts adjacency lists; must be called after the last mutation and
+  /// before neighbor queries. Idempotent.
+  void finalize();
+
+  [[nodiscard]] bool has_arc(NodeId u, NodeId v) const;
+  /// True iff both directions exist.
+  [[nodiscard]] bool has_edge(NodeId u, NodeId v) const;
+
+  /// Nodes reachable by u's transmissions, sorted. Requires finalize().
+  [[nodiscard]] std::span<const NodeId> out_neighbors(NodeId u) const;
+  /// Nodes whose transmissions reach u, sorted. Requires finalize().
+  [[nodiscard]] std::span<const NodeId> in_neighbors(NodeId u) const;
+  /// Symmetric-graph convenience: alias for out_neighbors.
+  [[nodiscard]] std::span<const NodeId> neighbors(NodeId u) const {
+    return out_neighbors(u);
+  }
+
+  [[nodiscard]] std::size_t out_degree(NodeId u) const;
+  [[nodiscard]] std::size_t in_degree(NodeId u) const;
+  [[nodiscard]] std::size_t degree(NodeId u) const { return out_degree(u); }
+
+  /// Maximum out-degree over all nodes.
+  [[nodiscard]] std::size_t max_degree() const noexcept;
+
+  /// All directed arcs as (from, to) pairs, in insertion order.
+  [[nodiscard]] std::span<const std::pair<NodeId, NodeId>> arcs()
+      const noexcept {
+    return arc_list_;
+  }
+
+  /// All unordered pairs connected by at least one arc, each listed once as
+  /// (min, max). Computed on demand.
+  [[nodiscard]] std::vector<std::pair<NodeId, NodeId>> edges() const;
+
+  /// True iff the undirected view of the graph is connected (or empty).
+  [[nodiscard]] bool is_connected() const;
+
+  /// True iff every arc has its reverse (the paper's base model).
+  [[nodiscard]] bool is_symmetric() const;
+
+ private:
+  std::vector<std::vector<NodeId>> out_;
+  std::vector<std::vector<NodeId>> in_;
+  std::vector<std::pair<NodeId, NodeId>> arc_list_;
+  std::size_t edges_ = 0;
+  bool finalized_ = true;
+};
+
+}  // namespace m2hew::net

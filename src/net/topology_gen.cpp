@@ -1,0 +1,182 @@
+#include "net/topology_gen.hpp"
+
+#include "util/check.hpp"
+
+namespace m2hew::net {
+
+Topology make_line(NodeId n) {
+  Topology t(n);
+  for (NodeId i = 0; i + 1 < n; ++i) t.add_edge(i, i + 1);
+  t.finalize();
+  return t;
+}
+
+Topology make_ring(NodeId n) {
+  M2HEW_CHECK_MSG(n == 0 || n >= 3, "ring needs at least 3 nodes");
+  Topology t(n);
+  for (NodeId i = 0; i + 1 < n; ++i) t.add_edge(i, i + 1);
+  if (n >= 3) t.add_edge(n - 1, 0);
+  t.finalize();
+  return t;
+}
+
+Topology make_grid(NodeId rows, NodeId cols) {
+  Topology t(rows * cols);
+  auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
+  for (NodeId r = 0; r < rows; ++r) {
+    for (NodeId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) t.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) t.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  t.finalize();
+  return t;
+}
+
+Topology make_star(NodeId n) {
+  M2HEW_CHECK(n >= 1);
+  Topology t(n);
+  for (NodeId i = 1; i < n; ++i) t.add_edge(0, i);
+  t.finalize();
+  return t;
+}
+
+Topology make_clique(NodeId n) {
+  Topology t(n);
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = i + 1; j < n; ++j) t.add_edge(i, j);
+  }
+  t.finalize();
+  return t;
+}
+
+Topology make_erdos_renyi(NodeId n, double p, util::Rng& rng) {
+  M2HEW_CHECK(p >= 0.0 && p <= 1.0);
+  Topology t(n);
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = i + 1; j < n; ++j) {
+      if (rng.bernoulli(p)) t.add_edge(i, j);
+    }
+  }
+  t.finalize();
+  return t;
+}
+
+GeometricTopology make_unit_disk(NodeId n, double side, double radius,
+                                 util::Rng& rng) {
+  M2HEW_CHECK(side > 0.0 && radius > 0.0);
+  GeometricTopology g;
+  g.positions.reserve(n);
+  for (NodeId i = 0; i < n; ++i) {
+    g.positions.push_back(
+        {rng.uniform_double(0.0, side), rng.uniform_double(0.0, side)});
+  }
+  g.topology = Topology(n);
+  const double r2 = radius * radius;
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = i + 1; j < n; ++j) {
+      if (squared_distance(g.positions[i], g.positions[j]) <= r2) {
+        g.topology.add_edge(i, j);
+      }
+    }
+  }
+  g.topology.finalize();
+  return g;
+}
+
+GeometricTopology make_connected_unit_disk(NodeId n, double side,
+                                           double radius, util::Rng& rng,
+                                           int attempts) {
+  GeometricTopology g;
+  for (int k = 0; k < attempts; ++k) {
+    g = make_unit_disk(n, side, radius, rng);
+    if (g.topology.is_connected()) return g;
+  }
+  return g;
+}
+
+Topology make_watts_strogatz(NodeId n, NodeId k, double beta,
+                             util::Rng& rng) {
+  M2HEW_CHECK_MSG(k % 2 == 0, "k must be even");
+  M2HEW_CHECK(k >= 2 && k < n);
+  M2HEW_CHECK(beta >= 0.0 && beta <= 1.0);
+  Topology t(n);
+  // Ring lattice: node i connects to i+1 .. i+k/2 (mod n); each such edge
+  // is rewired to a uniform random non-duplicate endpoint w.p. beta.
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = 1; j <= k / 2; ++j) {
+      NodeId target = (i + j) % n;
+      if (rng.bernoulli(beta)) {
+        // Rewire: pick a fresh endpoint avoiding self-loops/duplicates.
+        for (int attempt = 0; attempt < 64; ++attempt) {
+          const auto candidate = static_cast<NodeId>(rng.uniform(n));
+          if (candidate != i && !t.has_arc(i, candidate)) {
+            target = candidate;
+            break;
+          }
+        }
+      }
+      if (target != i && !t.has_arc(i, target)) {
+        t.add_edge(i, target);
+      }
+    }
+  }
+  t.finalize();
+  return t;
+}
+
+Topology make_barabasi_albert(NodeId n, NodeId m, util::Rng& rng) {
+  M2HEW_CHECK(m >= 1 && m < n);
+  Topology t(n);
+  // Seed with a small clique of m+1 nodes, then attach preferentially.
+  // `endpoints` repeats each node once per incident edge, so sampling it
+  // uniformly is degree-proportional sampling.
+  std::vector<NodeId> endpoints;
+  for (NodeId i = 0; i <= m; ++i) {
+    for (NodeId j = i + 1; j <= m; ++j) {
+      t.add_edge(i, j);
+      endpoints.push_back(i);
+      endpoints.push_back(j);
+    }
+  }
+  for (NodeId v = m + 1; v < n; ++v) {
+    NodeId added = 0;
+    int attempts = 0;
+    while (added < m && attempts < 1000) {
+      ++attempts;
+      const NodeId candidate = endpoints[static_cast<std::size_t>(
+          rng.uniform(endpoints.size()))];
+      if (candidate == v || t.has_arc(v, candidate)) continue;
+      t.add_edge(v, candidate);
+      endpoints.push_back(v);
+      endpoints.push_back(candidate);
+      ++added;
+    }
+  }
+  t.finalize();
+  return t;
+}
+
+Topology make_asymmetric(const Topology& symmetric, double drop_probability,
+                         util::Rng& rng) {
+  M2HEW_CHECK(drop_probability >= 0.0 && drop_probability <= 1.0);
+  M2HEW_CHECK_MSG(symmetric.is_symmetric(),
+                  "input topology must be symmetric");
+  Topology t(symmetric.node_count());
+  for (const auto& [u, v] : symmetric.edges()) {
+    if (rng.bernoulli(drop_probability)) {
+      // Keep one random direction.
+      if (rng.bernoulli(0.5)) {
+        t.add_arc(u, v);
+      } else {
+        t.add_arc(v, u);
+      }
+    } else {
+      t.add_edge(u, v);
+    }
+  }
+  t.finalize();
+  return t;
+}
+
+}  // namespace m2hew::net

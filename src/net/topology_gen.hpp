@@ -1,0 +1,67 @@
+// Topology generators covering the workloads used by the benches:
+// deterministic structures (line, ring, grid, star, clique) plus random
+// models (Erdős–Rényi, unit-disk a.k.a. random geometric — the standard
+// model for wireless ad-hoc deployments).
+#pragma once
+
+#include <vector>
+
+#include "net/topology.hpp"
+#include "net/types.hpp"
+#include "util/rng.hpp"
+
+namespace m2hew::net {
+
+[[nodiscard]] Topology make_line(NodeId n);
+[[nodiscard]] Topology make_ring(NodeId n);
+/// rows×cols grid with 4-neighborhood.
+[[nodiscard]] Topology make_grid(NodeId rows, NodeId cols);
+/// Node 0 is the hub; nodes 1..n-1 are leaves.
+[[nodiscard]] Topology make_star(NodeId n);
+[[nodiscard]] Topology make_clique(NodeId n);
+
+/// G(n, p): every pair is an edge independently with probability p.
+[[nodiscard]] Topology make_erdos_renyi(NodeId n, double p, util::Rng& rng);
+
+/// A topology together with node positions (used by the primary-user model).
+struct GeometricTopology {
+  Topology topology;
+  std::vector<Point> positions;
+};
+
+/// Unit-disk graph: n nodes uniform in [0, side]², edge iff distance <=
+/// radius.
+[[nodiscard]] GeometricTopology make_unit_disk(NodeId n, double side,
+                                               double radius, util::Rng& rng);
+
+/// Unit-disk graph, retrying placement until connected (up to `attempts`
+/// resamples; checks connectivity each time). Returns the first connected
+/// instance; if none is connected after all attempts, returns the last one.
+[[nodiscard]] GeometricTopology make_connected_unit_disk(NodeId n, double side,
+                                                         double radius,
+                                                         util::Rng& rng,
+                                                         int attempts = 50);
+
+/// Watts–Strogatz small world: a ring lattice where each node connects to
+/// its k nearest neighbors (k even), with each edge's far endpoint rewired
+/// with probability beta. Common model for irregular-but-clustered
+/// deployments.
+[[nodiscard]] Topology make_watts_strogatz(NodeId n, NodeId k, double beta,
+                                           util::Rng& rng);
+
+/// Barabási–Albert preferential attachment: each new node attaches to m
+/// existing nodes with probability proportional to their degree. Produces
+/// the hub-heavy degree distributions that stress per-channel degree Δ.
+[[nodiscard]] Topology make_barabasi_albert(NodeId n, NodeId m,
+                                            util::Rng& rng);
+
+/// Asymmetric variant of a symmetric topology (§V extension (a)): for each
+/// undirected edge, with probability `drop_probability` one direction
+/// (chosen at random) is removed, modelling unequal transmit powers or
+/// asymmetric interference. The remaining arcs are returned as a new
+/// topology.
+[[nodiscard]] Topology make_asymmetric(const Topology& symmetric,
+                                       double drop_probability,
+                                       util::Rng& rng);
+
+}  // namespace m2hew::net

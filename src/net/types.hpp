@@ -1,0 +1,42 @@
+// Index types shared across the network, simulation and algorithm layers.
+//
+// Nodes and channels are dense 0-based indices. We use plain integral
+// aliases (not wrapper classes) because these values index vectors in the
+// simulator hot loops; the distinct alias names plus the kInvalid sentinels
+// give most of the readability benefit without the arithmetic friction.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace m2hew::net {
+
+using NodeId = std::uint32_t;
+using ChannelId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+inline constexpr ChannelId kInvalidChannel =
+    std::numeric_limits<ChannelId>::max();
+
+/// A directed discovery link (v, u): u must discover v. The paper treats
+/// (u, v) and (v, u) as separate links because discovery is directional.
+struct Link {
+  NodeId from = kInvalidNode;  ///< transmitter to be discovered
+  NodeId to = kInvalidNode;    ///< receiver doing the discovering
+
+  friend bool operator==(const Link&, const Link&) = default;
+};
+
+/// 2-D position for geometric topologies / primary-user placement.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+[[nodiscard]] inline double squared_distance(Point a, Point b) noexcept {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+}  // namespace m2hew::net

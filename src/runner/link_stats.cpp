@@ -1,0 +1,64 @@
+#include "runner/link_stats.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace m2hew::runner {
+
+const LinkLatency& LinkLatencyReport::slowest() const {
+  M2HEW_CHECK_MSG(!links.empty() && completed > 0,
+                  "slowest() on an empty report");
+  return *std::max_element(links.begin(), links.end(),
+                           [](const LinkLatency& a, const LinkLatency& b) {
+                             return a.mean_first_coverage <
+                                    b.mean_first_coverage;
+                           });
+}
+
+LinkLatencyReport measure_link_latencies(const net::Network& network,
+                                         const sim::SyncPolicyFactory& factory,
+                                         const sim::SlotEngineConfig& engine,
+                                         std::size_t trials,
+                                         std::uint64_t seed) {
+  const auto links = network.links();
+  LinkLatencyReport report;
+  report.trials = trials;
+  report.links.reserve(links.size());
+  for (const net::Link link : links) {
+    LinkLatency entry;
+    entry.link = link;
+    entry.span_ratio = network.span_ratio(link);
+    report.links.push_back(entry);
+  }
+
+  std::vector<util::RunningStats> per_link(links.size());
+  const util::SeedSequence seeds(seed);
+  for (std::size_t t = 0; t < trials; ++t) {
+    sim::SlotEngineConfig config = engine;
+    config.seed = seeds.derive(t);
+    const auto result = sim::run_slot_engine(network, factory, config);
+    if (!result.complete) continue;
+    ++report.completed;
+    for (std::size_t i = 0; i < links.size(); ++i) {
+      per_link[i].add(result.state.first_coverage_time(links[i]));
+    }
+  }
+
+  std::vector<double> inverse_ratio;
+  std::vector<double> mean_times;
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    report.links[i].mean_first_coverage = per_link[i].mean();
+    report.links[i].max_first_coverage = per_link[i].max();
+    inverse_ratio.push_back(1.0 / report.links[i].span_ratio);
+    mean_times.push_back(per_link[i].mean());
+  }
+  if (links.size() >= 2 && report.completed > 0) {
+    report.inverse_ratio_correlation =
+        util::pearson_correlation(inverse_ratio, mean_times);
+  }
+  return report;
+}
+
+}  // namespace m2hew::runner

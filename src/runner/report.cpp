@@ -1,0 +1,38 @@
+#include "runner/report.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+
+namespace m2hew::runner {
+
+void print_banner(std::string_view experiment_id, std::string_view claim,
+                  std::string_view scenario) {
+  std::printf("\n=== %.*s ===\n", static_cast<int>(experiment_id.size()),
+              experiment_id.data());
+  std::printf("claim:    %.*s\n", static_cast<int>(claim.size()),
+              claim.data());
+  std::printf("scenario: %.*s\n\n", static_cast<int>(scenario.size()),
+              scenario.data());
+}
+
+bool print_verdict(bool ok, std::string_view what) {
+  std::printf("[%s] %.*s\n", ok ? "PASS" : "FAIL",
+              static_cast<int>(what.size()), what.data());
+  return ok;
+}
+
+std::string results_dir() { return "results"; }
+
+std::ofstream open_results_csv(std::string_view name) {
+  std::filesystem::create_directories(results_dir());
+  const std::string path =
+      results_dir() + "/" + std::string(name) + ".csv";
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot open " + path);
+  }
+  return out;
+}
+
+}  // namespace m2hew::runner

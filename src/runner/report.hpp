@@ -1,0 +1,25 @@
+// Reporting helpers shared by the bench binaries: a standard banner, a
+// paper-vs-measured verdict line, and CSV output under results/.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <string_view>
+
+namespace m2hew::runner {
+
+/// Prints the experiment banner (id, claim, scenario description).
+void print_banner(std::string_view experiment_id, std::string_view claim,
+                  std::string_view scenario);
+
+/// Prints a PASS/FAIL verdict with context; returns `ok` for chaining.
+bool print_verdict(bool ok, std::string_view what);
+
+/// Opens results/<name>.csv (creating results/ if needed) for a bench to
+/// stream rows into. Throws on failure.
+[[nodiscard]] std::ofstream open_results_csv(std::string_view name);
+
+/// Directory where benches drop CSVs ("results").
+[[nodiscard]] std::string results_dir();
+
+}  // namespace m2hew::runner

@@ -1,0 +1,205 @@
+#include "runner/scenario.hpp"
+
+#include <utility>
+
+#include "net/channel_assign.hpp"
+#include "net/primary_user.hpp"
+#include "net/propagation.hpp"
+#include "net/topology_gen.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace m2hew::runner {
+
+namespace {
+
+struct BuiltTopology {
+  net::Topology topology;
+  std::vector<net::Point> positions;  // empty unless geometric
+};
+
+[[nodiscard]] BuiltTopology build_topology(const ScenarioConfig& c,
+                                           util::Rng& rng) {
+  switch (c.topology) {
+    case TopologyKind::kLine:
+      return {net::make_line(c.n), {}};
+    case TopologyKind::kRing:
+      return {net::make_ring(c.n), {}};
+    case TopologyKind::kGrid: {
+      const net::NodeId rows = c.grid_rows != 0 ? c.grid_rows : 2;
+      M2HEW_CHECK_MSG(c.n % rows == 0, "grid: n must be divisible by rows");
+      return {net::make_grid(rows, c.n / rows), {}};
+    }
+    case TopologyKind::kStar:
+      return {net::make_star(c.n), {}};
+    case TopologyKind::kClique:
+      return {net::make_clique(c.n), {}};
+    case TopologyKind::kErdosRenyi:
+      return {net::make_erdos_renyi(c.n, c.er_edge_probability, rng), {}};
+    case TopologyKind::kUnitDisk: {
+      auto g = net::make_connected_unit_disk(c.n, c.ud_side, c.ud_radius, rng);
+      return {std::move(g.topology), std::move(g.positions)};
+    }
+    case TopologyKind::kWattsStrogatz:
+      return {net::make_watts_strogatz(c.n, c.ws_k, c.ws_beta, rng), {}};
+    case TopologyKind::kBarabasiAlbert:
+      return {net::make_barabasi_albert(c.n, c.ba_m, rng), {}};
+  }
+  M2HEW_CHECK_MSG(false, "unknown topology kind");
+  return {};
+}
+
+[[nodiscard]] net::ChannelAssignment build_channels(
+    const ScenarioConfig& c, const BuiltTopology& built, util::Rng& rng) {
+  switch (c.channels) {
+    case ChannelKind::kHomogeneous:
+      return net::homogeneous_assignment(c.n, c.universe, c.set_size);
+    case ChannelKind::kUniformRandom: {
+      auto gen = [&] {
+        return net::uniform_random_assignment(c.n, c.universe, c.set_size,
+                                              rng);
+      };
+      if (c.require_nonempty_spans) {
+        return net::generate_with_nonempty_spans(built.topology, 100, gen);
+      }
+      return gen();
+    }
+    case ChannelKind::kVariableRandom: {
+      auto gen = [&] {
+        return net::variable_size_random_assignment(c.n, c.universe,
+                                                    c.min_size, c.max_size,
+                                                    rng);
+      };
+      if (c.require_nonempty_spans) {
+        return net::generate_with_nonempty_spans(built.topology, 100, gen);
+      }
+      return gen();
+    }
+    case ChannelKind::kChainOverlap:
+      return net::chain_overlap_assignment(c.n, c.set_size, c.chain_overlap)
+          .assignment;
+    case ChannelKind::kPrimaryUsers: {
+      M2HEW_CHECK_MSG(!built.positions.empty(),
+                      "primary-user channels need a geometric topology");
+      for (int attempt = 0; attempt < 100; ++attempt) {
+        const auto field = net::PrimaryUserField::random(
+            c.universe, c.pu_count, c.ud_side, c.pu_min_radius,
+            c.pu_max_radius, rng);
+        auto assignment = field.assignment_for(built.positions);
+        // Reject fields that silence a node completely, and optionally
+        // fields that break an edge's span.
+        bool ok = true;
+        for (const auto& a : assignment) {
+          if (a.empty()) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok && c.require_nonempty_spans) {
+          for (const auto& [u, v] : built.topology.edges()) {
+            if (assignment[u].intersection_size(assignment[v]) == 0) {
+              ok = false;
+              break;
+            }
+          }
+        }
+        if (ok) return assignment;
+      }
+      M2HEW_CHECK_MSG(false,
+                      "primary-user field rejected 100 times; loosen config");
+      return {};
+    }
+  }
+  M2HEW_CHECK_MSG(false, "unknown channel kind");
+  return {};
+}
+
+}  // namespace
+
+net::Network build_scenario(const ScenarioConfig& config, std::uint64_t seed) {
+  M2HEW_CHECK(config.n >= 1);
+  if (config.channels == ChannelKind::kChainOverlap) {
+    M2HEW_CHECK_MSG(config.topology == TopologyKind::kLine,
+                    "chain overlap is exact only on line topologies");
+  }
+  util::Rng rng(util::SeedSequence(seed).derive(0xBEEF));
+  BuiltTopology built = build_topology(config, rng);
+  net::ChannelAssignment assignment = build_channels(config, built, rng);
+
+  net::Topology topology = std::move(built.topology);
+  if (config.asymmetric_drop > 0.0) {
+    topology = net::make_asymmetric(topology, config.asymmetric_drop, rng);
+  }
+
+  const net::ChannelId universe = assignment.front().universe_size();
+  switch (config.propagation) {
+    case PropagationKind::kFull:
+      return net::Network(std::move(topology), std::move(assignment));
+    case PropagationKind::kRandomMask:
+      return net::Network(std::move(topology), std::move(assignment),
+                          net::random_propagation_filter(
+                              universe, config.prop_keep,
+                              util::SeedSequence(seed).derive(0xF17E)));
+    case PropagationKind::kLowpass:
+      return net::Network(std::move(topology), std::move(assignment),
+                          net::distance_lowpass_filter(universe, config.n));
+  }
+  M2HEW_CHECK_MSG(false, "unknown propagation kind");
+  return net::Network(std::move(topology), std::move(assignment));
+}
+
+std::string describe(const ScenarioConfig& c) {
+  auto topo = [&]() -> std::string {
+    switch (c.topology) {
+      case TopologyKind::kLine:
+        return "line";
+      case TopologyKind::kRing:
+        return "ring";
+      case TopologyKind::kGrid:
+        return "grid";
+      case TopologyKind::kStar:
+        return "star";
+      case TopologyKind::kClique:
+        return "clique";
+      case TopologyKind::kErdosRenyi:
+        return "erdos-renyi(p=" + std::to_string(c.er_edge_probability) + ")";
+      case TopologyKind::kUnitDisk:
+        return "unit-disk(r=" + std::to_string(c.ud_radius) + ")";
+      case TopologyKind::kWattsStrogatz:
+        return "watts-strogatz(k=" + std::to_string(c.ws_k) +
+               ",beta=" + std::to_string(c.ws_beta) + ")";
+      case TopologyKind::kBarabasiAlbert:
+        return "barabasi-albert(m=" + std::to_string(c.ba_m) + ")";
+    }
+    return "?";
+  }();
+  auto chan = [&]() -> std::string {
+    switch (c.channels) {
+      case ChannelKind::kHomogeneous:
+        return "homogeneous";
+      case ChannelKind::kUniformRandom:
+        return "uniform-random";
+      case ChannelKind::kVariableRandom:
+        return "variable-random";
+      case ChannelKind::kChainOverlap:
+        return "chain-overlap(k=" + std::to_string(c.chain_overlap) + ")";
+      case ChannelKind::kPrimaryUsers:
+        return "primary-users(" + std::to_string(c.pu_count) + ")";
+    }
+    return "?";
+  }();
+  std::string text = topo + " n=" + std::to_string(c.n) + " " + chan +
+                     " |U|=" + std::to_string(c.universe) +
+                     " |A|=" + std::to_string(c.set_size);
+  if (c.asymmetric_drop > 0.0) {
+    text += " asym=" + std::to_string(c.asymmetric_drop);
+  }
+  if (c.propagation == PropagationKind::kRandomMask) {
+    text += " prop=random(" + std::to_string(c.prop_keep) + ")";
+  } else if (c.propagation == PropagationKind::kLowpass) {
+    text += " prop=lowpass";
+  }
+  return text;
+}
+
+}  // namespace m2hew::runner

@@ -1,0 +1,85 @@
+// Scenario: a reproducible recipe for generating M²HeW networks. Benches,
+// tests and examples all build their workloads through this one module so
+// that a scenario is describable in EXPERIMENTS.md by its config alone.
+#pragma once
+
+#include <string>
+
+#include "net/network.hpp"
+#include "net/types.hpp"
+
+namespace m2hew::runner {
+
+enum class TopologyKind {
+  kLine,
+  kRing,
+  kGrid,
+  kStar,
+  kClique,
+  kErdosRenyi,
+  kUnitDisk,
+  kWattsStrogatz,
+  kBarabasiAlbert,
+};
+
+/// §V extension (c): per-arc channel usability model.
+enum class PropagationKind {
+  kFull,        ///< every channel propagates on every arc (base model)
+  kRandomMask,  ///< i.i.d. per-(pair, channel) keep with prob `prop_keep`
+  kLowpass,     ///< only low channels propagate between distant node ids
+};
+
+enum class ChannelKind {
+  kHomogeneous,     ///< all nodes share {0..set_size-1}; ρ = 1
+  kUniformRandom,   ///< per-node uniform subsets of size set_size
+  kVariableRandom,  ///< per-node subsets, sizes uniform in [min, max]
+  kChainOverlap,    ///< exact-ρ block construction (line topologies)
+  kPrimaryUsers,    ///< CR spectrum field (requires kUnitDisk topology)
+};
+
+struct ScenarioConfig {
+  TopologyKind topology = TopologyKind::kClique;
+  net::NodeId n = 8;
+
+  // Topology-specific knobs.
+  net::NodeId grid_rows = 0;       ///< kGrid (grid_rows × n/grid_rows)
+  double er_edge_probability = 0.3;  ///< kErdosRenyi
+  double ud_side = 1.0;            ///< kUnitDisk deployment square side
+  double ud_radius = 0.35;         ///< kUnitDisk radio range
+  net::NodeId ws_k = 4;            ///< kWattsStrogatz lattice degree (even)
+  double ws_beta = 0.2;            ///< kWattsStrogatz rewiring probability
+  net::NodeId ba_m = 2;            ///< kBarabasiAlbert attachments per node
+
+  /// §V extension (a): probability that an undirected edge loses one
+  /// direction (0 = the paper's symmetric base model).
+  double asymmetric_drop = 0.0;
+
+  ChannelKind channels = ChannelKind::kHomogeneous;
+  net::ChannelId universe = 8;
+  net::ChannelId set_size = 4;     ///< kHomogeneous / kUniformRandom / chain S
+  net::ChannelId min_size = 2;     ///< kVariableRandom
+  net::ChannelId max_size = 6;     ///< kVariableRandom
+  net::ChannelId chain_overlap = 2;  ///< kChainOverlap: |span| = overlap
+  std::size_t pu_count = 12;       ///< kPrimaryUsers
+  double pu_min_radius = 0.2;      ///< kPrimaryUsers
+  double pu_max_radius = 0.5;      ///< kPrimaryUsers
+
+  /// For random channel kinds: retry generation until every edge has a
+  /// non-empty span (so ground truth covers the whole topology). Checked
+  /// before asymmetrization and propagation masking.
+  bool require_nonempty_spans = true;
+
+  // §V extension (c): propagation model.
+  PropagationKind propagation = PropagationKind::kFull;
+  double prop_keep = 0.7;  ///< kRandomMask keep probability
+};
+
+/// Builds a network from the recipe; a given (config, seed) pair always
+/// yields the same network.
+[[nodiscard]] net::Network build_scenario(const ScenarioConfig& config,
+                                          std::uint64_t seed);
+
+/// One-line human-readable description for bench output.
+[[nodiscard]] std::string describe(const ScenarioConfig& config);
+
+}  // namespace m2hew::runner

@@ -1,0 +1,116 @@
+#include "runner/scenario_kv.hpp"
+
+#include <cstdlib>
+#include <string>
+
+#include "util/check.hpp"
+
+namespace m2hew::runner {
+
+namespace {
+
+[[nodiscard]] double parse_double(std::string_view value) {
+  const std::string text(value);
+  char* end = nullptr;
+  const double parsed = std::strtod(text.c_str(), &end);
+  M2HEW_CHECK_MSG(end != text.c_str() && *end == '\0',
+                  "scenario value is not a number");
+  return parsed;
+}
+
+[[nodiscard]] std::uint64_t parse_unsigned(std::string_view value) {
+  const std::string text(value);
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(text.c_str(), &end, 10);
+  M2HEW_CHECK_MSG(end != text.c_str() && *end == '\0',
+                  "scenario value is not an unsigned integer");
+  return parsed;
+}
+
+[[nodiscard]] TopologyKind parse_topology(std::string_view value) {
+  if (value == "line") return TopologyKind::kLine;
+  if (value == "ring") return TopologyKind::kRing;
+  if (value == "grid") return TopologyKind::kGrid;
+  if (value == "star") return TopologyKind::kStar;
+  if (value == "clique") return TopologyKind::kClique;
+  if (value == "erdos-renyi") return TopologyKind::kErdosRenyi;
+  if (value == "unit-disk") return TopologyKind::kUnitDisk;
+  if (value == "watts-strogatz") return TopologyKind::kWattsStrogatz;
+  if (value == "barabasi-albert") return TopologyKind::kBarabasiAlbert;
+  M2HEW_CHECK_MSG(false, "unknown topology name");
+  return TopologyKind::kClique;
+}
+
+[[nodiscard]] ChannelKind parse_channels(std::string_view value) {
+  if (value == "homogeneous") return ChannelKind::kHomogeneous;
+  if (value == "uniform") return ChannelKind::kUniformRandom;
+  if (value == "variable") return ChannelKind::kVariableRandom;
+  if (value == "chain") return ChannelKind::kChainOverlap;
+  if (value == "primary-users") return ChannelKind::kPrimaryUsers;
+  M2HEW_CHECK_MSG(false, "unknown channel kind");
+  return ChannelKind::kHomogeneous;
+}
+
+[[nodiscard]] PropagationKind parse_propagation(std::string_view value) {
+  if (value == "full") return PropagationKind::kFull;
+  if (value == "random") return PropagationKind::kRandomMask;
+  if (value == "lowpass") return PropagationKind::kLowpass;
+  M2HEW_CHECK_MSG(false, "unknown propagation kind");
+  return PropagationKind::kFull;
+}
+
+}  // namespace
+
+bool apply_scenario_setting(ScenarioConfig& config, std::string_view key,
+                            std::string_view value) {
+  if (key == "topology") {
+    config.topology = parse_topology(value);
+  } else if (key == "n") {
+    config.n = static_cast<net::NodeId>(parse_unsigned(value));
+  } else if (key == "grid-rows") {
+    config.grid_rows = static_cast<net::NodeId>(parse_unsigned(value));
+  } else if (key == "er-p") {
+    config.er_edge_probability = parse_double(value);
+  } else if (key == "ud-side") {
+    config.ud_side = parse_double(value);
+  } else if (key == "ud-radius") {
+    config.ud_radius = parse_double(value);
+  } else if (key == "ws-k") {
+    config.ws_k = static_cast<net::NodeId>(parse_unsigned(value));
+  } else if (key == "ws-beta") {
+    config.ws_beta = parse_double(value);
+  } else if (key == "ba-m") {
+    config.ba_m = static_cast<net::NodeId>(parse_unsigned(value));
+  } else if (key == "channels") {
+    config.channels = parse_channels(value);
+  } else if (key == "universe") {
+    config.universe = static_cast<net::ChannelId>(parse_unsigned(value));
+  } else if (key == "set-size") {
+    config.set_size = static_cast<net::ChannelId>(parse_unsigned(value));
+  } else if (key == "min-size") {
+    config.min_size = static_cast<net::ChannelId>(parse_unsigned(value));
+  } else if (key == "max-size") {
+    config.max_size = static_cast<net::ChannelId>(parse_unsigned(value));
+  } else if (key == "overlap") {
+    config.chain_overlap = static_cast<net::ChannelId>(parse_unsigned(value));
+  } else if (key == "pu-count") {
+    config.pu_count = parse_unsigned(value);
+  } else if (key == "pu-min-radius") {
+    config.pu_min_radius = parse_double(value);
+  } else if (key == "pu-max-radius") {
+    config.pu_max_radius = parse_double(value);
+  } else if (key == "asymmetric-drop") {
+    config.asymmetric_drop = parse_double(value);
+  } else if (key == "propagation") {
+    config.propagation = parse_propagation(value);
+  } else if (key == "prop-keep") {
+    config.prop_keep = parse_double(value);
+  } else if (key == "require-nonempty-spans") {
+    config.require_nonempty_spans = value == "true" || value == "1";
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace m2hew::runner

@@ -1,0 +1,24 @@
+// Textual key=value configuration of ScenarioConfig — the shared vocabulary
+// of the experiment-definition files (tools/m2hew_experiment) and sweep
+// keys. Keys mirror the CLI flag names.
+#pragma once
+
+#include <string_view>
+
+#include "runner/scenario.hpp"
+
+namespace m2hew::runner {
+
+/// Applies one setting; returns false (leaving the config untouched) if the
+/// key is unknown. Aborts (CHECK) if the key is known but the value does
+/// not parse or names an unknown enum member.
+///
+/// Keys: topology, n, grid-rows, er-p, ud-side, ud-radius, ws-k, ws-beta,
+/// ba-m, channels, universe, set-size, min-size, max-size, overlap,
+/// pu-count, pu-min-radius, pu-max-radius, asymmetric-drop, propagation,
+/// prop-keep, require-nonempty-spans.
+[[nodiscard]] bool apply_scenario_setting(ScenarioConfig& config,
+                                          std::string_view key,
+                                          std::string_view value);
+
+}  // namespace m2hew::runner

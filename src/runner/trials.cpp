@@ -1,0 +1,53 @@
+#include "runner/trials.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace m2hew::runner {
+
+SyncTrialStats run_sync_trials(const net::Network& network,
+                               const sim::SyncPolicyFactory& factory,
+                               const SyncTrialConfig& config) {
+  const util::SeedSequence seeds(config.seed);
+  SyncTrialStats stats;
+  stats.trials = config.trials;
+  for (std::size_t t = 0; t < config.trials; ++t) {
+    sim::SlotEngineConfig engine = config.engine;
+    engine.seed = seeds.derive(t);
+    if (config.per_trial) config.per_trial(t, engine);
+    const auto result = sim::run_slot_engine(network, factory, engine);
+    if (result.complete) {
+      ++stats.completed;
+      stats.completion_slots.add(
+          static_cast<double>(result.completion_slot));
+    }
+  }
+  return stats;
+}
+
+AsyncTrialStats run_async_trials(const net::Network& network,
+                                 const sim::AsyncPolicyFactory& factory,
+                                 const AsyncTrialConfig& config) {
+  const util::SeedSequence seeds(config.seed);
+  AsyncTrialStats stats;
+  stats.trials = config.trials;
+  for (std::size_t t = 0; t < config.trials; ++t) {
+    sim::AsyncEngineConfig engine = config.engine;
+    engine.seed = seeds.derive(t);
+    if (config.per_trial) config.per_trial(t, engine);
+    const auto result = sim::run_async_engine(network, factory, engine);
+    if (result.complete) {
+      ++stats.completed;
+      stats.completion_after_ts.add(result.completion_time - result.t_s);
+      std::uint64_t max_frames = 0;
+      for (const std::uint64_t f : result.full_frames_since_ts) {
+        max_frames = std::max(max_frames, f);
+      }
+      stats.max_full_frames.add(static_cast<double>(max_frames));
+    }
+  }
+  return stats;
+}
+
+}  // namespace m2hew::runner

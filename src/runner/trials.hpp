@@ -1,0 +1,70 @@
+// Multi-trial experiment runners: repeat an engine run over independent
+// seeds and aggregate completion statistics, the unit of every bench.
+#pragma once
+
+#include <functional>
+
+#include "net/network.hpp"
+#include "sim/async_engine.hpp"
+#include "sim/slot_engine.hpp"
+#include "util/stats.hpp"
+
+namespace m2hew::runner {
+
+/// Aggregate over synchronous trials.
+struct SyncTrialStats {
+  std::size_t trials = 0;
+  std::size_t completed = 0;  ///< trials finishing within the slot budget
+  /// Completion slot (0-based index of the covering slot) of completed
+  /// trials only.
+  util::Samples completion_slots;
+
+  [[nodiscard]] double success_rate() const noexcept {
+    return trials == 0 ? 0.0
+                       : static_cast<double>(completed) /
+                             static_cast<double>(trials);
+  }
+};
+
+struct SyncTrialConfig {
+  std::size_t trials = 30;
+  std::uint64_t seed = 1;  ///< root seed; trial t uses derive(seed, t)
+  sim::SlotEngineConfig engine;  ///< engine.seed is overwritten per trial
+  /// Optional per-trial hook to vary the engine config (e.g. randomized
+  /// start slots). Called with (trial index, config to mutate).
+  std::function<void(std::size_t, sim::SlotEngineConfig&)> per_trial;
+};
+
+[[nodiscard]] SyncTrialStats run_sync_trials(
+    const net::Network& network, const sim::SyncPolicyFactory& factory,
+    const SyncTrialConfig& config);
+
+/// Aggregate over asynchronous trials.
+struct AsyncTrialStats {
+  std::size_t trials = 0;
+  std::size_t completed = 0;
+  /// Real completion time minus T_s, completed trials only.
+  util::Samples completion_after_ts;
+  /// max over nodes of full frames since T_s at completion (Theorem 9's
+  /// measured quantity), completed trials only.
+  util::Samples max_full_frames;
+
+  [[nodiscard]] double success_rate() const noexcept {
+    return trials == 0 ? 0.0
+                       : static_cast<double>(completed) /
+                             static_cast<double>(trials);
+  }
+};
+
+struct AsyncTrialConfig {
+  std::size_t trials = 30;
+  std::uint64_t seed = 1;
+  sim::AsyncEngineConfig engine;
+  std::function<void(std::size_t, sim::AsyncEngineConfig&)> per_trial;
+};
+
+[[nodiscard]] AsyncTrialStats run_async_trials(
+    const net::Network& network, const sim::AsyncPolicyFactory& factory,
+    const AsyncTrialConfig& config);
+
+}  // namespace m2hew::runner

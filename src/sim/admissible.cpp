@@ -1,0 +1,129 @@
+#include "sim/admissible.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace m2hew::sim {
+
+std::vector<Frame> build_frames(Clock& clock, double start_time,
+                                double frame_length, std::size_t count) {
+  M2HEW_CHECK(frame_length > 0.0);
+  std::vector<Frame> frames;
+  frames.reserve(count);
+  const double local0 = clock.local_at_real(start_time);
+  for (std::size_t k = 0; k < count; ++k) {
+    Frame frame;
+    for (unsigned j = 0; j <= 3; ++j) {
+      frame.slot_bounds[j] = clock.real_at_local(
+          local0 + frame_length * static_cast<double>(k) +
+          frame_length / 3.0 * static_cast<double>(j));
+    }
+    frame.start = frame.slot_bounds[0];
+    frame.end = frame.slot_bounds[3];
+    frames.push_back(frame);
+  }
+  return frames;
+}
+
+bool pair_aligned(const Frame& f, const Frame& g) {
+  for (unsigned j = 0; j < 3; ++j) {
+    if (f.slot_bounds[j] >= g.start && f.slot_bounds[j + 1] <= g.end) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool frames_overlap(const Frame& a, const Frame& b) {
+  return a.start < b.end && b.start < a.end;
+}
+
+namespace {
+
+/// Index of the first frame starting at or after `t`; frames.size() if
+/// none.
+[[nodiscard]] std::size_t first_full_frame_after(
+    const std::vector<Frame>& frames, double t) {
+  const auto it = std::partition_point(
+      frames.begin(), frames.end(),
+      [t](const Frame& frame) { return frame.start < t; });
+  return static_cast<std::size_t>(it - frames.begin());
+}
+
+}  // namespace
+
+std::vector<FramePairRef> construct_admissible_sequence(
+    const std::vector<Frame>& v_frames, const std::vector<Frame>& u_frames) {
+  // Step 1 (γ): repeatedly apply Lemma 7 — after instant T, among the
+  // first two full frames of each node, some pair is aligned.
+  std::vector<FramePairRef> gamma;
+  double t = 0.0;
+  if (!v_frames.empty() && !u_frames.empty()) {
+    t = std::min(v_frames.front().start, u_frames.front().start);
+  }
+  while (true) {
+    const std::size_t fv = first_full_frame_after(v_frames, t);
+    const std::size_t gu = first_full_frame_after(u_frames, t);
+    if (fv + 1 >= v_frames.size() || gu + 1 >= u_frames.size()) break;
+    bool found = false;
+    FramePairRef pick;
+    for (std::size_t a = 0; a < 2 && !found; ++a) {
+      for (std::size_t b = 0; b < 2 && !found; ++b) {
+        if (pair_aligned(v_frames[fv + a], u_frames[gu + b])) {
+          pick = {fv + a, gu + b};
+          found = true;
+        }
+      }
+    }
+    if (!found) break;  // only possible when Assumption 1 is violated
+    gamma.push_back(pick);
+    // T_k = the earlier of the two end times (proof of Lemma 8).
+    t = std::min(v_frames[pick.f_index].end, u_frames[pick.g_index].end);
+  }
+
+  // Step 2 (σ): keep every third pair of γ, starting with the first.
+  std::vector<FramePairRef> sigma;
+  for (std::size_t k = 0; k < gamma.size(); k += 3) {
+    sigma.push_back(gamma[k]);
+  }
+  return sigma;
+}
+
+bool verify_admissible_sequence(
+    const std::vector<FramePairRef>& sequence,
+    const std::vector<Frame>& v_frames, const std::vector<Frame>& u_frames,
+    const std::vector<std::vector<Frame>>& all_timelines) {
+  for (std::size_t k = 0; k < sequence.size(); ++k) {
+    const FramePairRef& pair = sequence[k];
+    if (pair.f_index >= v_frames.size() || pair.g_index >= u_frames.size()) {
+      return false;
+    }
+    // Property 3: aligned.
+    if (!pair_aligned(v_frames[pair.f_index], u_frames[pair.g_index])) {
+      return false;
+    }
+    if (k == 0) continue;
+    const FramePairRef& prev = sequence[k - 1];
+    // Property 2: strict precedence on both sides.
+    if (v_frames[prev.f_index].start >= v_frames[pair.f_index].start ||
+        u_frames[prev.g_index].start >= u_frames[pair.g_index].start) {
+      return false;
+    }
+    // Property 4: overlapAll of consecutive receiver frames disjoint — no
+    // frame of any timeline overlaps both g_{k-1} and g_k.
+    const Frame& g_prev = u_frames[prev.g_index];
+    const Frame& g_cur = u_frames[pair.g_index];
+    for (const std::vector<Frame>& timeline : all_timelines) {
+      for (const Frame& h : timeline) {
+        if (h.start >= std::max(g_prev.end, g_cur.end)) break;
+        if (frames_overlap(h, g_prev) && frames_overlap(h, g_cur)) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace m2hew::sim

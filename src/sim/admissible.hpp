@@ -1,0 +1,70 @@
+// The frame-pair machinery of §IV: Definitions 1–4 (aligned pair, overlap,
+// precedence, admissible sequence) and the constructive proof of Lemma 8
+// implemented as code.
+//
+// Lemma 8: for any two nodes with at least M full frames each, the
+// execution contains a sequence of ≥ M/6 frame pairs that is *admissible*
+// — aligned, strictly advancing on both sides, and with disjoint
+// overlap-neighborhoods so the coverage events of distinct pairs are
+// independent (Lemma 6). The construction selects aligned pairs greedily
+// via Lemma 7 and keeps every third one.
+//
+// This module exists so the proof's combinatorial core can be tested and
+// measured directly (bench E19) rather than only indirectly through
+// Algorithm 4's completion times.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "sim/clock.hpp"
+
+namespace m2hew::sim {
+
+/// One full frame of a node, in real time, with its (3-)slot boundaries.
+struct Frame {
+  double start = 0.0;
+  double end = 0.0;
+  std::array<double, 4> slot_bounds{};  // [start, s1, s2, end]
+};
+
+/// The first `count` full frames of a node that starts discovery at real
+/// time `start_time`, projected through its clock (frame length L local).
+[[nodiscard]] std::vector<Frame> build_frames(Clock& clock, double start_time,
+                                              double frame_length,
+                                              std::size_t count);
+
+/// Definition 1: ⟨f, g⟩ is aligned iff some slot of f lies completely
+/// within g.
+[[nodiscard]] bool pair_aligned(const Frame& f, const Frame& g);
+
+/// True iff the two frames overlap in real time (positively).
+[[nodiscard]] bool frames_overlap(const Frame& a, const Frame& b);
+
+/// A selected pair: indices into the two nodes' frame vectors (f from the
+/// transmitter v, g from the receiver u).
+struct FramePairRef {
+  std::size_t f_index = 0;
+  std::size_t g_index = 0;
+};
+
+/// The Lemma 8 construction: greedily selects aligned pairs (Lemma 7
+/// guarantees one among the first two full frames of each node after any
+/// instant), then keeps every third (the proof's γ → σ step). Requires
+/// clocks satisfying Assumption 1 (δ ≤ 1/7); with wilder clocks the
+/// aligned-pair search can fail, in which case the sequence ends early.
+[[nodiscard]] std::vector<FramePairRef> construct_admissible_sequence(
+    const std::vector<Frame>& v_frames, const std::vector<Frame>& u_frames);
+
+/// Checks Definition 4 against the construction output: pairs aligned,
+/// strictly preceding on both sides, and consecutive receiver frames'
+/// overlap-neighborhoods disjoint with respect to *every* timeline in
+/// `all_timelines` (which should include both endpoints and any third
+/// parties). Returns true iff all four properties hold.
+[[nodiscard]] bool verify_admissible_sequence(
+    const std::vector<FramePairRef>& sequence,
+    const std::vector<Frame>& v_frames, const std::vector<Frame>& u_frames,
+    const std::vector<std::vector<Frame>>& all_timelines);
+
+}  // namespace m2hew::sim

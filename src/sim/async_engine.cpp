@@ -1,0 +1,301 @@
+#include "sim/async_engine.hpp"
+
+#include <algorithm>
+#include <array>
+#include <deque>
+#include <queue>
+
+#include "util/check.hpp"
+
+namespace m2hew::sim {
+
+namespace {
+
+constexpr unsigned kMaxSlotsPerFrame = 8;
+
+struct FrameRecord {
+  double start = 0.0;
+  double end = 0.0;
+  Mode mode = Mode::kQuiet;
+  net::ChannelId channel = net::kInvalidChannel;
+  // Real-time slot boundaries: bounds[0] = start, bounds[slots] = end.
+  std::array<double, kMaxSlotsPerFrame + 1> bounds{};
+  unsigned slots = 0;
+};
+
+struct NodeState {
+  std::unique_ptr<Clock> clock;
+  std::unique_ptr<AsyncPolicy> policy;
+  util::Rng rng{0};
+  double local_next = 0.0;       // local time of the next frame start
+  std::uint64_t next_seq = 0;    // sequence number of the next frame
+  std::uint64_t base_seq = 0;    // sequence number of history.front()
+  std::deque<FrameRecord> history;
+  double start_time = 0.0;       // real time the node starts discovery
+};
+
+enum class EventKind : unsigned char { kFrameEnd = 0, kFrameStart = 1 };
+
+struct Event {
+  double time = 0.0;
+  EventKind kind = EventKind::kFrameStart;
+  net::NodeId node = net::kInvalidNode;
+  std::uint64_t frame_seq = 0;  // for kFrameEnd: which frame to resolve
+
+  // Min-heap ordering: earliest time first; frame ends before starts at
+  // equal times (the tie order is immaterial for correctness — see overlap
+  // semantics — but must be deterministic).
+  [[nodiscard]] friend bool operator>(const Event& a, const Event& b) {
+    if (a.time != b.time) return a.time > b.time;
+    if (a.kind != b.kind) return a.kind > b.kind;
+    return a.node > b.node;
+  }
+};
+
+}  // namespace
+
+AsyncEngineResult run_async_engine(const net::Network& network,
+                                   const AsyncPolicyFactory& factory,
+                                   const AsyncEngineConfig& config) {
+  const net::NodeId n = network.node_count();
+  M2HEW_CHECK(config.frame_length > 0.0);
+  M2HEW_CHECK(config.slots_per_frame >= 1 &&
+              config.slots_per_frame <= kMaxSlotsPerFrame);
+  M2HEW_CHECK(config.start_times.empty() || config.start_times.size() == n);
+  M2HEW_CHECK(config.loss_probability >= 0.0 &&
+              config.loss_probability < 1.0);
+
+  const util::SeedSequence seeds(config.seed);
+  util::Rng loss_rng(seeds.derive(static_cast<std::uint64_t>(n) + 1));
+
+  std::vector<NodeState> nodes(n);
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue;
+
+  double t_s = 0.0;
+  for (net::NodeId u = 0; u < n; ++u) {
+    NodeState& node = nodes[u];
+    node.rng = util::Rng(seeds.derive(u));
+    node.policy = factory(network, u);
+    M2HEW_CHECK_MSG(node.policy != nullptr, "factory returned null");
+    const std::uint64_t clock_seed = seeds.derive(u, 0xC10C);
+    node.clock = config.clock_builder
+                     ? config.clock_builder(u, clock_seed)
+                     : std::make_unique<IdealClock>(0.0);
+    M2HEW_CHECK_MSG(node.clock != nullptr, "clock builder returned null");
+    node.start_time = config.start_times.empty() ? 0.0 : config.start_times[u];
+    M2HEW_CHECK(node.start_time >= 0.0);
+    t_s = std::max(t_s, node.start_time);
+    node.local_next = node.clock->local_at_real(node.start_time);
+    queue.push({node.start_time, EventKind::kFrameStart, u, 0});
+  }
+
+  AsyncEngineResult result{false,
+                           0.0,
+                           t_s,
+                           std::vector<std::uint64_t>(n, 0),
+                           std::vector<RadioActivity>(n),
+                           {},
+                           DiscoveryState(network)};
+
+  // History retention: a frame overlapping a just-ended listening frame g
+  // started no earlier than g.start minus one (maximal) frame length. Track
+  // the longest real frame seen and keep a few multiples of it.
+  double max_frame_real_len = 0.0;
+  double last_covered_time = 0.0;
+
+  const double slot_local_len =
+      config.frame_length / static_cast<double>(config.slots_per_frame);
+
+  while (!queue.empty()) {
+    const Event ev = queue.top();
+    queue.pop();
+    if (ev.time > config.max_real_time) break;
+
+    NodeState& node = nodes[ev.node];
+
+    if (ev.kind == EventKind::kFrameStart) {
+      if (node.next_seq >= config.max_frames_per_node) continue;
+
+      FrameRecord frame;
+      frame.start = ev.time;
+      frame.slots = config.slots_per_frame;
+      frame.bounds[0] = ev.time;
+      for (unsigned j = 1; j <= config.slots_per_frame; ++j) {
+        frame.bounds[j] = node.clock->real_at_local(
+            node.local_next + slot_local_len * static_cast<double>(j));
+      }
+      frame.end = frame.bounds[config.slots_per_frame];
+      M2HEW_CHECK_MSG(frame.end > frame.start,
+                      "clock must be strictly increasing");
+      max_frame_real_len =
+          std::max(max_frame_real_len, frame.end - frame.start);
+
+      const FrameAction action = node.policy->next_frame(node.rng);
+      frame.mode = action.mode;
+      frame.channel = action.channel;
+      if (action.mode != Mode::kQuiet) {
+        M2HEW_DCHECK(network.available(ev.node).contains(action.channel));
+      }
+      switch (frame.mode) {
+        case Mode::kTransmit:
+          ++result.activity[ev.node].transmit;
+          break;
+        case Mode::kReceive:
+          ++result.activity[ev.node].receive;
+          break;
+        case Mode::kQuiet:
+          ++result.activity[ev.node].quiet;
+          break;
+      }
+
+      // Prune history that can no longer overlap any live listening frame.
+      const double horizon = ev.time - 4.0 * max_frame_real_len;
+      while (!node.history.empty() && node.history.front().end < horizon) {
+        node.history.pop_front();
+        ++node.base_seq;
+      }
+
+      const std::uint64_t seq = node.next_seq++;
+      node.history.push_back(frame);
+      ++result.frames_started[ev.node];
+      node.local_next += config.frame_length;
+
+      if (frame.mode == Mode::kReceive) {
+        queue.push({frame.end, EventKind::kFrameEnd, ev.node, seq});
+      }
+      queue.push({frame.end, EventKind::kFrameStart, ev.node, 0});
+      continue;
+    }
+
+    // Frame end of a listening frame: resolve receptions.
+    M2HEW_CHECK(ev.frame_seq >= node.base_seq);
+    const FrameRecord& g =
+        node.history[static_cast<std::size_t>(ev.frame_seq - node.base_seq)];
+    const net::ChannelId c = g.channel;
+    const net::NodeId u = ev.node;
+
+    // Collect all in-neighbor transmissions on c that overlap g and whose
+    // arc to u actually carries c (a transmission that does not propagate
+    // to u neither delivers nor interferes). Each entry is one
+    // transmitting *frame* (a contiguous burst of slots).
+    struct Burst {
+      net::NodeId sender;
+      const FrameRecord* frame;
+    };
+    std::vector<Burst> bursts;
+    for (const net::Network::InLink& in : network.in_links(u)) {
+      if (!in.span->contains(c)) continue;
+      for (const FrameRecord& f : nodes[in.from].history) {
+        if (f.mode != Mode::kTransmit || f.channel != c) continue;
+        if (f.start < g.end && f.end > g.start) {
+          bursts.push_back({in.from, &f});
+        }
+      }
+    }
+
+    // Whether sender `who` actually emits during slot j of frame f: under
+    // dynamic interference, a jammed transmitter vacates that slot.
+    auto slot_transmitted = [&config](net::NodeId who, const FrameRecord& f,
+                                      unsigned j) {
+      if (!config.interference) return true;
+      return !config.interference(f.bounds[j], who, f.channel);
+    };
+    // Whether any non-suppressed slot of `other` overlaps (s0, s1).
+    auto burst_interferes = [&](const Burst& other, double s0, double s1) {
+      const FrameRecord& h = *other.frame;
+      if (h.start >= s1 || h.end <= s0) return false;
+      if (!config.interference) return true;  // contiguous burst
+      for (unsigned j = 0; j < h.slots; ++j) {
+        if (h.bounds[j] < s1 && h.bounds[j + 1] > s0 &&
+            slot_transmitted(other.sender, h, j)) {
+          return true;
+        }
+      }
+      return false;
+    };
+
+    // For each transmitting neighbor frame, test each of its slots for
+    // clear reception: slot fully inside g, no other sender's burst
+    // overlapping the slot.
+    for (const Burst& burst : bursts) {
+      const FrameRecord& f = *burst.frame;
+      for (unsigned j = 0; j < f.slots; ++j) {
+        const double s0 = f.bounds[j];
+        const double s1 = f.bounds[j + 1];
+        if (s0 < g.start || s1 > g.end) continue;
+        if (!slot_transmitted(burst.sender, f, j)) continue;
+        if (config.interference &&
+            config.interference((s0 + s1) / 2.0, u, c)) {
+          continue;  // PU noise at the listener drowns this slot
+        }
+        bool interfered = false;
+        for (const Burst& other : bursts) {
+          if (other.sender == burst.sender) continue;
+          if (burst_interferes(other, s0, s1)) {
+            interfered = true;
+            break;
+          }
+        }
+        if (interfered) continue;
+        if (config.loss_probability > 0.0 &&
+            loss_rng.bernoulli(config.loss_probability)) {
+          continue;
+        }
+        const bool first_time =
+            result.state.record_reception(burst.sender, u, s1);
+        if (first_time) {
+          last_covered_time = std::max(last_covered_time, s1);
+        }
+        node.policy->observe_reception(burst.sender, first_time);
+        break;  // one clear slot from this sender suffices
+      }
+    }
+
+    if (!result.complete && result.state.complete()) {
+      result.complete = true;
+      result.completion_time = last_covered_time;
+      if (config.stop_when_complete) break;
+    }
+  }
+
+  if (result.complete) {
+    // Count, per node, full frames contained in [T_s, completion_time]
+    // (Theorem 9's unit). Frame timing is deterministic given the clock, so
+    // this is reconstructed exactly from frame indices.
+    result.full_frames_since_ts.assign(n, 0);
+    for (net::NodeId u = 0; u < n; ++u) {
+      NodeState& node = nodes[u];
+      const double local0 = node.clock->local_at_real(node.start_time);
+      auto frame_start = [&](std::uint64_t k) {
+        return node.clock->real_at_local(
+            local0 + config.frame_length * static_cast<double>(k));
+      };
+      // Find the first frame starting at/after T_s (binary search on the
+      // monotone frame-start sequence).
+      std::uint64_t lo = 0;
+      std::uint64_t hi = node.next_seq;
+      while (lo < hi) {
+        const std::uint64_t mid = lo + (hi - lo) / 2;
+        if (frame_start(mid) >= result.t_s) {
+          hi = mid;
+        } else {
+          lo = mid + 1;
+        }
+      }
+      // Count frames k >= lo with end (= start of k+1) <= completion_time.
+      std::uint64_t count = 0;
+      for (std::uint64_t k = lo; k < node.next_seq; ++k) {
+        if (frame_start(k + 1) <= result.completion_time) {
+          ++count;
+        } else {
+          break;
+        }
+      }
+      result.full_frames_since_ts[u] = count;
+    }
+  }
+
+  return result;
+}
+
+}  // namespace m2hew::sim

@@ -1,0 +1,79 @@
+// Asynchronous continuous-time simulator (§IV).
+//
+// Each node divides its *local* time into frames of length L, each split
+// into `slots_per_frame` equal local slots (the paper uses 3). Local time
+// is projected onto common real time through a per-node drifting clock, so
+// frames of different nodes are misaligned, of different real-time lengths,
+// and drift against each other — exactly the geometry of Fig. 2.
+//
+// Reception semantics implement the paper's coverage definition: a node u
+// listening on channel c for the whole of its frame g receives a clear
+// message from neighbor v iff some transmitted slot of v on c lies
+// completely within g and no other neighbor of u transmits on c during any
+// part of that slot. A transmitting node sends the same message in every
+// slot of its frame.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/network.hpp"
+#include "sim/clock.hpp"
+#include "sim/discovery_state.hpp"
+#include "sim/energy.hpp"
+#include "sim/policy.hpp"
+
+namespace m2hew::sim {
+
+struct AsyncEngineConfig {
+  /// Frame length L in local clock units.
+  double frame_length = 1.0;
+  /// Slots per frame; the paper's Algorithm 4 uses 3 (Lemma 7 depends on
+  /// it). Exposed for the slot-count ablation in bench E5.
+  unsigned slots_per_frame = 3;
+  /// Real time at which each node starts discovery (empty = all at 0).
+  std::vector<double> start_times;
+  /// Hard budgets.
+  double max_real_time = 1e12;
+  std::uint64_t max_frames_per_node = 10'000'000;
+  /// Probability that an otherwise-clear slot reception is lost.
+  double loss_probability = 0.0;
+  /// Optional dynamic primary-user interference, queried in *real time*:
+  /// returns true iff a PU is active at (time, node, channel). A
+  /// transmitted slot is suppressed when the transmitter is jammed at the
+  /// slot's start (sensing precedes each slot); a reception fails when the
+  /// receiver is jammed at the candidate slot's midpoint. PU activity is
+  /// assumed roughly constant over one slot (periods ≫ L/3).
+  std::function<bool(double, net::NodeId, net::ChannelId)> interference;
+  std::uint64_t seed = 1;
+  bool stop_when_complete = true;
+  /// Builds the clock for a node; default (null) = ideal clocks with zero
+  /// offset. Seeded deterministically per node by the engine.
+  std::function<std::unique_ptr<Clock>(net::NodeId, std::uint64_t)>
+      clock_builder;
+};
+
+struct AsyncEngineResult {
+  bool complete = false;
+  /// Real time at which the last link was first covered.
+  double completion_time = 0.0;
+  /// T_s: the latest node start time (all nodes active from here on).
+  double t_s = 0.0;
+  /// Frames started per node over the whole run.
+  std::vector<std::uint64_t> frames_started;
+  /// Per-node frame counts by radio mode over the whole run.
+  std::vector<RadioActivity> activity;
+  /// Per-node count of *full* frames that both started at/after T_s and
+  /// ended at/before the completion time (the unit of Theorem 9's bound).
+  /// Empty unless complete.
+  std::vector<std::uint64_t> full_frames_since_ts;
+  DiscoveryState state;
+};
+
+[[nodiscard]] AsyncEngineResult run_async_engine(
+    const net::Network& network, const AsyncPolicyFactory& factory,
+    const AsyncEngineConfig& config);
+
+}  // namespace m2hew::sim

@@ -1,0 +1,84 @@
+#include "sim/clock.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace m2hew::sim {
+
+ConstantDriftClock::ConstantDriftClock(double drift, double offset)
+    : drift_(drift), offset_(offset) {
+  M2HEW_CHECK_MSG(drift > -1.0 && drift < 1.0,
+                  "drift must keep the clock strictly increasing");
+}
+
+double ConstantDriftClock::local_at_real(double t) {
+  return offset_ + (1.0 + drift_) * t;
+}
+
+double ConstantDriftClock::real_at_local(double local) {
+  return (local - offset_) / (1.0 + drift_);
+}
+
+PiecewiseDriftClock::PiecewiseDriftClock(Config config, std::uint64_t seed)
+    : config_(config), rng_(seed) {
+  M2HEW_CHECK(config_.max_drift >= 0.0 && config_.max_drift < 1.0);
+  M2HEW_CHECK(config_.min_segment > 0.0 &&
+              config_.min_segment <= config_.max_segment);
+  Segment first;
+  first.real_start = 0.0;
+  first.local_start = config_.offset;
+  first.rate = 1.0 + rng_.uniform_double(-config_.max_drift,
+                                         config_.max_drift);
+  first.real_end =
+      rng_.uniform_double(config_.min_segment, config_.max_segment);
+  first.local_end =
+      first.local_start + first.rate * (first.real_end - first.real_start);
+  segments_.push_back(first);
+}
+
+void PiecewiseDriftClock::append_segment() {
+  const Segment& prev = segments_.back();
+  Segment next;
+  next.real_start = prev.real_end;
+  next.local_start = prev.local_end;
+  next.rate =
+      1.0 + rng_.uniform_double(-config_.max_drift, config_.max_drift);
+  next.real_end = next.real_start + rng_.uniform_double(config_.min_segment,
+                                                        config_.max_segment);
+  next.local_end =
+      next.local_start + next.rate * (next.real_end - next.real_start);
+  segments_.push_back(next);
+}
+
+void PiecewiseDriftClock::extend_to_real(double t) {
+  while (segments_.back().real_end < t) append_segment();
+}
+
+void PiecewiseDriftClock::extend_to_local(double local) {
+  while (segments_.back().local_end < local) append_segment();
+}
+
+double PiecewiseDriftClock::local_at_real(double t) {
+  M2HEW_CHECK_MSG(t >= 0.0, "clock queried before real time 0");
+  extend_to_real(t);
+  // Binary search for the segment containing t.
+  const auto it = std::partition_point(
+      segments_.begin(), segments_.end(),
+      [t](const Segment& s) { return s.real_end < t; });
+  const Segment& s = *it;
+  return s.local_start + s.rate * (t - s.real_start);
+}
+
+double PiecewiseDriftClock::real_at_local(double local) {
+  M2HEW_CHECK_MSG(local >= segments_.front().local_start,
+                  "local time before clock start");
+  extend_to_local(local);
+  const auto it = std::partition_point(
+      segments_.begin(), segments_.end(),
+      [local](const Segment& s) { return s.local_end < local; });
+  const Segment& s = *it;
+  return s.real_start + (local - s.local_start) / s.rate;
+}
+
+}  // namespace m2hew::sim

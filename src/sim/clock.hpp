@@ -1,0 +1,102 @@
+// Drifting-clock models for the asynchronous system of §IV.
+//
+// A clock maps real time t to a local reading C(t). Per eq. (1) of the
+// paper, the drift rate dC/dt − 1 is bounded in magnitude by δ, may differ
+// across nodes, and may change over time in both magnitude and sign.
+// Offsets between clocks are arbitrary. Nodes schedule frame boundaries at
+// local times; the simulator inverts the clock to place them in real time.
+//
+// All models here are piecewise linear, strictly increasing, and satisfy
+//   (1−δ)·Δt ≤ C(t+Δt) − C(t) ≤ (1+δ)·Δt   for all t, Δt ≥ 0.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace m2hew::sim {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Local reading at real time t (t >= 0).
+  [[nodiscard]] virtual double local_at_real(double t) = 0;
+
+  /// Real time at which the local reading equals `local`.
+  /// Requires local >= local_at_real(0).
+  [[nodiscard]] virtual double real_at_local(double local) = 0;
+};
+
+/// C(t) = offset + t. Drift rate 0.
+class IdealClock final : public Clock {
+ public:
+  explicit IdealClock(double offset = 0.0) noexcept : offset_(offset) {}
+  [[nodiscard]] double local_at_real(double t) override {
+    return offset_ + t;
+  }
+  [[nodiscard]] double real_at_local(double local) override {
+    return local - offset_;
+  }
+
+ private:
+  double offset_;
+};
+
+/// C(t) = offset + (1 + drift)·t with constant drift in (−1, 1).
+class ConstantDriftClock final : public Clock {
+ public:
+  ConstantDriftClock(double drift, double offset);
+  [[nodiscard]] double local_at_real(double t) override;
+  [[nodiscard]] double real_at_local(double local) override;
+  [[nodiscard]] double drift() const noexcept { return drift_; }
+
+ private:
+  double drift_;
+  double offset_;
+};
+
+/// Piecewise-constant drift: the rate is redrawn uniformly from
+/// [−max_drift, +max_drift] at random real-time breakpoints whose spacing is
+/// uniform in [min_segment, max_segment]. Segments are generated lazily and
+/// deterministically from the seed, so any query order yields the same
+/// clock function.
+class PiecewiseDriftClock final : public Clock {
+ public:
+  struct Config {
+    double max_drift = 0.0;     ///< δ bound on |drift rate|
+    double min_segment = 50.0;  ///< min real-time length of a drift segment
+    double max_segment = 200.0;
+    double offset = 0.0;  ///< C(0)
+  };
+
+  PiecewiseDriftClock(Config config, std::uint64_t seed);
+
+  [[nodiscard]] double local_at_real(double t) override;
+  [[nodiscard]] double real_at_local(double local) override;
+
+ private:
+  struct Segment {
+    double real_start = 0.0;
+    double local_start = 0.0;
+    double rate = 1.0;  ///< dC/dt within the segment (= 1 + drift)
+    double real_end = 0.0;
+    double local_end = 0.0;
+  };
+
+  void extend_to_real(double t);
+  void extend_to_local(double local);
+  void append_segment();
+
+  Config config_;
+  util::Rng rng_;
+  std::vector<Segment> segments_;
+};
+
+/// Factory signature: produces the clock for node `node` (one per node per
+/// trial, seeded deterministically by the caller).
+using ClockFactory =
+    std::unique_ptr<Clock> (*)(std::uint64_t seed, double max_drift);
+
+}  // namespace m2hew::sim

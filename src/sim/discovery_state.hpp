@@ -1,0 +1,79 @@
+// DiscoveryState: tracks which discovery links have been covered, the
+// neighbor tables each node has built, and per-link first-coverage times.
+//
+// This is measurement machinery (a global oracle), not part of the
+// distributed algorithms: nodes never consult it; the engines use it to
+// detect completion and the benches use it to report discovery latency.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/channel_set.hpp"
+#include "net/network.hpp"
+#include "net/types.hpp"
+
+namespace m2hew::sim {
+
+/// One received discovery record at a node: ⟨v, A(v) ∩ A(u)⟩ per
+/// Algorithm 1 line 11 / Algorithm 4 line 11.
+struct NeighborRecord {
+  net::NodeId neighbor = net::kInvalidNode;
+  net::ChannelSet common_channels;
+};
+
+class DiscoveryState {
+ public:
+  explicit DiscoveryState(const net::Network& network);
+
+  /// Records that `receiver` heard a clear discovery message from `sender`
+  /// (a topology neighbor with non-empty span) at `time` (slot index or real
+  /// time, caller's unit). Idempotent; repeat receptions are counted but do
+  /// not change first-coverage time. Returns true iff this was the first
+  /// coverage of the link.
+  bool record_reception(net::NodeId sender, net::NodeId receiver, double time);
+
+  [[nodiscard]] bool complete() const noexcept {
+    return covered_count_ == total_links_;
+  }
+  [[nodiscard]] std::size_t total_links() const noexcept {
+    return total_links_;
+  }
+  [[nodiscard]] std::size_t covered_links() const noexcept {
+    return covered_count_;
+  }
+  [[nodiscard]] std::size_t reception_count() const noexcept {
+    return receptions_;
+  }
+
+  [[nodiscard]] bool is_covered(net::Link link) const;
+
+  /// First-coverage time of a link; requires is_covered(link).
+  [[nodiscard]] double first_coverage_time(net::Link link) const;
+
+  /// Neighbor table of node u as built from received messages, in first
+  /// reception order.
+  [[nodiscard]] const std::vector<NeighborRecord>& neighbor_table(
+      net::NodeId u) const;
+
+  /// True iff node u's table contains exactly its ground-truth neighbors
+  /// with exactly the span channel sets.
+  [[nodiscard]] bool table_matches_ground_truth(net::NodeId u) const;
+
+ private:
+  [[nodiscard]] std::size_t link_slot(net::NodeId sender,
+                                      net::NodeId receiver) const noexcept;
+
+  const net::Network* network_;
+  net::NodeId n_;
+  std::size_t total_links_ = 0;
+  std::size_t covered_count_ = 0;
+  std::size_t receptions_ = 0;
+  // Dense (sender, receiver) matrices. N is at most a few thousand in any
+  // experiment, so N² entries are acceptable and far faster than hashing.
+  std::vector<std::uint8_t> covered_;      // 0/1/2: 2 = not a link
+  std::vector<double> first_time_;
+  std::vector<std::vector<NeighborRecord>> tables_;
+};
+
+}  // namespace m2hew::sim

@@ -1,0 +1,26 @@
+// External interference model (dynamic primary users).
+//
+// In a cognitive-radio network the licensed primary users come and go;
+// while a PU is active on a channel near a node, a secondary node must
+// vacate: it neither transmits on the channel (spectrum sensing) nor can
+// it decode anything there (the PU signal is noise). The schedule is
+// queried per (slot, node, channel); see
+// net::DynamicPrimaryUserField::interference_schedule for the standard
+// way to build one from a geometric PU field.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "net/types.hpp"
+
+namespace m2hew::sim {
+
+/// Returns true iff external interference (an active primary user) is
+/// present at `node` on `channel` during global slot `slot`. Must be
+/// deterministic.
+using InterferenceSchedule =
+    std::function<bool(std::uint64_t slot, net::NodeId node,
+                       net::ChannelId channel)>;
+
+}  // namespace m2hew::sim

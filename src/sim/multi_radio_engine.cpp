@@ -1,0 +1,83 @@
+#include "sim/multi_radio_engine.hpp"
+
+#include "util/check.hpp"
+
+namespace m2hew::sim {
+
+MultiRadioEngineResult run_multi_radio_engine(
+    const net::Network& network, const MultiRadioPolicyFactory& factory,
+    const MultiRadioEngineConfig& config) {
+  const net::NodeId n = network.node_count();
+  const util::SeedSequence seeds(config.seed);
+
+  std::vector<util::Rng> rngs;
+  rngs.reserve(n);
+  std::vector<std::unique_ptr<MultiRadioPolicy>> policies;
+  policies.reserve(n);
+  for (net::NodeId u = 0; u < n; ++u) {
+    rngs.emplace_back(seeds.derive(u));
+    policies.push_back(factory(network, u));
+    M2HEW_CHECK_MSG(policies.back() != nullptr, "factory returned null");
+    M2HEW_CHECK(policies.back()->radio_count() >= 1);
+  }
+
+  MultiRadioEngineResult result{false, 0, 0, DiscoveryState(network)};
+  std::vector<std::vector<SlotAction>> actions(n);
+  // Per-node channel usage scratch for validating radio distinctness.
+  std::vector<net::ChannelId> used;
+
+  for (std::uint64_t slot = 0; slot < config.max_slots; ++slot) {
+    ++result.slots_executed;
+
+    for (net::NodeId u = 0; u < n; ++u) {
+      actions[u] = policies[u]->next_slot(rngs[u]);
+      M2HEW_CHECK_MSG(actions[u].size() == policies[u]->radio_count(),
+                      "policy returned wrong radio count");
+      used.clear();
+      for (const SlotAction& action : actions[u]) {
+        if (action.mode == Mode::kQuiet) continue;
+        M2HEW_DCHECK(network.available(u).contains(action.channel));
+        for (const net::ChannelId c : used) {
+          M2HEW_CHECK_MSG(c != action.channel,
+                          "two radios of one node on the same channel");
+        }
+        used.push_back(action.channel);
+      }
+    }
+
+    // Reception per listening radio.
+    for (net::NodeId u = 0; u < n; ++u) {
+      for (const SlotAction& mine : actions[u]) {
+        if (mine.mode != Mode::kReceive) continue;
+        const net::ChannelId c = mine.channel;
+        net::NodeId sender = net::kInvalidNode;
+        bool collision = false;
+        for (const net::Network::InLink& in : network.in_links(u)) {
+          if (!in.span->contains(c)) continue;
+          for (const SlotAction& theirs : actions[in.from]) {
+            if (theirs.mode != Mode::kTransmit || theirs.channel != c) {
+              continue;
+            }
+            if (sender != net::kInvalidNode) {
+              collision = true;
+              break;
+            }
+            sender = in.from;
+          }
+          if (collision) break;
+        }
+        if (collision || sender == net::kInvalidNode) continue;
+        result.state.record_reception(sender, u, static_cast<double>(slot));
+      }
+    }
+
+    if (!result.complete && result.state.complete()) {
+      result.complete = true;
+      result.completion_slot = slot;
+      if (config.stop_when_complete) break;
+    }
+  }
+  return result;
+}
+
+}  // namespace m2hew::sim

@@ -1,0 +1,56 @@
+// Multi-radio synchronous engine — the model of related work [19]
+// (Raniwala & Chiueh), where each node carries several transceivers. The
+// paper's algorithms assume a single transceiver (§II); this engine
+// quantifies what extra interfaces buy (bench E18).
+//
+// Semantics per slot: every radio of every node independently transmits,
+// receives or idles on a channel. Radios of one node must be tuned to
+// distinct channels (no self-interference is modelled beyond that
+// constraint; ideal channel filters are assumed). A listening radio hears
+// a clear message iff exactly one radio among its node's in-neighbors
+// transmits on its channel.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/network.hpp"
+#include "sim/discovery_state.hpp"
+#include "sim/radio.hpp"
+#include "util/rng.hpp"
+
+namespace m2hew::sim {
+
+/// Per-slot policy for a node with a fixed number of radios. The returned
+/// vector must have exactly `radio_count` entries with pairwise-distinct
+/// channels among non-quiet entries.
+class MultiRadioPolicy {
+ public:
+  virtual ~MultiRadioPolicy() = default;
+  [[nodiscard]] virtual std::vector<SlotAction> next_slot(util::Rng& rng) = 0;
+  [[nodiscard]] virtual unsigned radio_count() const = 0;
+};
+
+using MultiRadioPolicyFactory = std::function<std::unique_ptr<MultiRadioPolicy>(
+    const net::Network&, net::NodeId)>;
+
+struct MultiRadioEngineConfig {
+  std::uint64_t max_slots = 1'000'000;
+  std::uint64_t seed = 1;
+  bool stop_when_complete = true;
+};
+
+struct MultiRadioEngineResult {
+  bool complete = false;
+  std::uint64_t completion_slot = 0;
+  std::uint64_t slots_executed = 0;
+  DiscoveryState state;
+};
+
+[[nodiscard]] MultiRadioEngineResult run_multi_radio_engine(
+    const net::Network& network, const MultiRadioPolicyFactory& factory,
+    const MultiRadioEngineConfig& config);
+
+}  // namespace m2hew::sim

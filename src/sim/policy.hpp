@@ -1,0 +1,69 @@
+// Policy interfaces: the contract between the simulation engines and the
+// neighbor-discovery algorithms (implemented in src/core/).
+//
+// A policy instance is per-node and per-trial; it owns whatever schedule
+// state the algorithm needs (stage counters, degree estimates, ...). The
+// engine supplies the node's RNG so that all randomness in a trial flows
+// from the trial seed.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "net/network.hpp"
+#include "net/types.hpp"
+#include "sim/radio.hpp"
+#include "util/rng.hpp"
+
+namespace m2hew::sim {
+
+/// Synchronous-system policy: called once per time slot, in order, starting
+/// from the node's first active slot (slot indices are node-local).
+class SyncPolicy {
+ public:
+  virtual ~SyncPolicy() = default;
+  [[nodiscard]] virtual SlotAction next_slot(util::Rng& rng) = 0;
+
+  /// Engine feedback: this node received a clear discovery message from
+  /// `from`; `first_time` is true iff it was the first from that neighbor.
+  /// The paper's algorithms ignore it (they run forever); the termination
+  /// extension (core/termination.hpp) uses it to decide when to stop.
+  virtual void observe_reception(net::NodeId from, bool first_time) {
+    (void)from;
+    (void)first_time;
+  }
+
+  /// Engine feedback after every *listening* slot: silence, a clear
+  /// message, or a collision. Only policies modelling collision-detecting
+  /// hardware (core/adaptive.hpp) may use the silence/collision
+  /// distinction — the paper's model forbids it (§II).
+  virtual void observe_listen_outcome(ListenOutcome outcome) {
+    (void)outcome;
+  }
+};
+
+/// Asynchronous-system policy: called once at the start of each frame.
+class AsyncPolicy {
+ public:
+  virtual ~AsyncPolicy() = default;
+  [[nodiscard]] virtual FrameAction next_frame(util::Rng& rng) = 0;
+
+  /// Engine feedback; see SyncPolicy::observe_reception. Delivered when the
+  /// listening frame containing the reception is resolved (its end).
+  virtual void observe_reception(net::NodeId from, bool first_time) {
+    (void)from;
+    (void)first_time;
+  }
+};
+
+/// Factories build one policy per node; the engines call them at trial
+/// setup. They may inspect the network only through the node's own local
+/// knowledge (its id and available channel set) — algorithms must stay
+/// distributed — but receive the whole network for convenience; policies in
+/// src/core/ deliberately read only A(u).
+using SyncPolicyFactory = std::function<std::unique_ptr<SyncPolicy>(
+    const net::Network&, net::NodeId)>;
+using AsyncPolicyFactory = std::function<std::unique_ptr<AsyncPolicy>(
+    const net::Network&, net::NodeId)>;
+
+}  // namespace m2hew::sim

@@ -1,0 +1,34 @@
+// Radio actions, per the transceiver model of §II: in any slot (or frame, in
+// the asynchronous system) a node's single half-duplex transceiver either
+// transmits on one channel, receives on one channel, or is shut off.
+#pragma once
+
+#include "net/types.hpp"
+
+namespace m2hew::sim {
+
+enum class Mode : unsigned char { kTransmit, kReceive, kQuiet };
+
+/// One node's behaviour for one synchronous time slot.
+struct SlotAction {
+  Mode mode = Mode::kQuiet;
+  net::ChannelId channel = net::kInvalidChannel;
+};
+
+/// One node's behaviour for one asynchronous frame. In transmit mode the
+/// node sends the same discovery message in each of the frame's slots; in
+/// receive mode it listens on the chosen channel for the whole frame
+/// (Algorithm 4, lines 3–11).
+struct FrameAction {
+  Mode mode = Mode::kQuiet;
+  net::ChannelId channel = net::kInvalidChannel;
+};
+
+/// What a listening radio heard in one slot. The paper's base model
+/// assumes nodes CANNOT distinguish kSilence from kCollision (§II); the
+/// engines still report the distinction so that extension policies can
+/// study what collision detection buys (cf. related work [21], [22], which
+/// assumes it). The paper's algorithms ignore this feedback.
+enum class ListenOutcome : unsigned char { kSilence, kClear, kCollision };
+
+}  // namespace m2hew::sim

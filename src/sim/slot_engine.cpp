@@ -1,0 +1,139 @@
+#include "sim/slot_engine.hpp"
+
+#include <memory>
+
+#include "util/check.hpp"
+
+namespace m2hew::sim {
+
+SlotEngineResult run_slot_engine(const net::Network& network,
+                                 const SyncPolicyFactory& factory,
+                                 const SlotEngineConfig& config) {
+  const net::NodeId n = network.node_count();
+  M2HEW_CHECK(config.start_slots.empty() || config.start_slots.size() == n);
+  M2HEW_CHECK(config.loss_probability >= 0.0 &&
+              config.loss_probability < 1.0);
+
+  const util::SeedSequence seeds(config.seed);
+  std::vector<util::Rng> rngs;
+  rngs.reserve(n);
+  std::vector<std::unique_ptr<SyncPolicy>> policies;
+  policies.reserve(n);
+  for (net::NodeId u = 0; u < n; ++u) {
+    rngs.emplace_back(seeds.derive(u));
+    policies.push_back(factory(network, u));
+    M2HEW_CHECK_MSG(policies.back() != nullptr, "factory returned null");
+  }
+  // Separate stream for the loss model so enabling loss does not perturb
+  // the nodes' random choices.
+  util::Rng loss_rng(seeds.derive(n + 1));
+
+  auto start_of = [&config](net::NodeId u) -> std::uint64_t {
+    return config.start_slots.empty() ? 0 : config.start_slots[u];
+  };
+
+  SlotEngineResult result{false,
+                          0,
+                          0,
+                          std::vector<RadioActivity>(n),
+                          DiscoveryState(network)};
+  std::vector<SlotAction> actions(n);
+
+  for (std::uint64_t slot = 0; slot < config.max_slots; ++slot) {
+    ++result.slots_executed;
+
+    for (net::NodeId u = 0; u < n; ++u) {
+      if (slot >= start_of(u)) {
+        actions[u] = policies[u]->next_slot(rngs[u]);
+        if (actions[u].mode != Mode::kQuiet) {
+          M2HEW_DCHECK(network.available(u).contains(actions[u].channel));
+        }
+      } else {
+        actions[u] = SlotAction{};  // not started: quiet
+      }
+    }
+
+    // Transmissions on a channel with active primary-user interference at
+    // the transmitter are suppressed (the node senses the PU and vacates,
+    // idling its radio for the slot).
+    if (config.interference) {
+      for (net::NodeId u = 0; u < n; ++u) {
+        if (actions[u].mode == Mode::kTransmit &&
+            config.interference(slot, u, actions[u].channel)) {
+          actions[u].mode = Mode::kQuiet;
+        }
+      }
+    }
+
+    for (net::NodeId u = 0; u < n; ++u) {
+      switch (actions[u].mode) {
+        case Mode::kTransmit:
+          ++result.activity[u].transmit;
+          break;
+        case Mode::kReceive:
+          ++result.activity[u].receive;
+          break;
+        case Mode::kQuiet:
+          ++result.activity[u].quiet;
+          break;
+      }
+    }
+
+    // Reception resolution, per listening node: u hears v iff v is the
+    // only in-neighbor transmitting on u's channel whose arc to u carries
+    // that channel (transmissions that do not propagate to u neither
+    // deliver nor interfere).
+    for (net::NodeId u = 0; u < n; ++u) {
+      if (actions[u].mode != Mode::kReceive) continue;
+      const net::ChannelId c = actions[u].channel;
+
+      // Active primary-user noise at the listener drowns the channel.
+      if (config.interference && config.interference(slot, u, c)) {
+        policies[u]->observe_listen_outcome(ListenOutcome::kCollision);
+        continue;
+      }
+
+      net::NodeId sender = net::kInvalidNode;
+      bool collision = false;
+      for (const net::Network::InLink& in : network.in_links(u)) {
+        if (actions[in.from].mode == Mode::kTransmit &&
+            actions[in.from].channel == c && in.span->contains(c)) {
+          if (sender != net::kInvalidNode) {
+            collision = true;
+            break;
+          }
+          sender = in.from;
+        }
+      }
+      if (collision) {
+        policies[u]->observe_listen_outcome(ListenOutcome::kCollision);
+        continue;
+      }
+      if (sender == net::kInvalidNode) {
+        policies[u]->observe_listen_outcome(ListenOutcome::kSilence);
+        continue;
+      }
+      if (config.loss_probability > 0.0 &&
+          loss_rng.bernoulli(config.loss_probability)) {
+        policies[u]->observe_listen_outcome(ListenOutcome::kSilence);
+        continue;
+      }
+      const bool first_time =
+          result.state.record_reception(sender, u, static_cast<double>(slot));
+      policies[u]->observe_listen_outcome(ListenOutcome::kClear);
+      policies[u]->observe_reception(sender, first_time);
+      if (config.on_reception) {
+        config.on_reception(slot, sender, u, c);
+      }
+    }
+
+    if (!result.complete && result.state.complete()) {
+      result.complete = true;
+      result.completion_slot = slot;
+      if (config.stop_when_complete) break;
+    }
+  }
+  return result;
+}
+
+}  // namespace m2hew::sim

@@ -1,0 +1,68 @@
+// Synchronous slotted simulator (§II "Synchronous System").
+//
+// Global time proceeds in synchronized slots. In each slot every started
+// node asks its policy for an action; then, per receiver u listening on
+// channel c, u hears a clear message from a topology neighbor v iff v was
+// the *only* neighbor of u transmitting on c in that slot (collisions
+// produce indistinguishable noise; nodes cannot detect collisions).
+//
+// Variable start times (§III-B) are modeled by per-node start slots: before
+// its start slot a node is silent and deaf; its policy's slot indices are
+// node-local, matching a node that simply begins executing later.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "net/network.hpp"
+#include "sim/discovery_state.hpp"
+#include "sim/energy.hpp"
+#include "sim/interference.hpp"
+#include "sim/policy.hpp"
+
+namespace m2hew::sim {
+
+struct SlotEngineConfig {
+  /// Hard budget on global slots simulated.
+  std::uint64_t max_slots = 1'000'000;
+  /// Global slot at which each node starts (empty = all start at slot 0).
+  std::vector<std::uint64_t> start_slots;
+  /// Probability that an otherwise-clear reception is lost (models
+  /// unreliable channels, §V extension (b)). 0 = reliable. A lost message
+  /// is reported to the listener as silence (signal below sensitivity).
+  double loss_probability = 0.0;
+  /// Optional dynamic primary-user interference. While active at a node on
+  /// a channel: the node's transmissions there are suppressed (spectrum
+  /// sensing vacates the channel) and listening there yields kCollision
+  /// (PU noise). Null = no external interference.
+  InterferenceSchedule interference;
+  /// Root seed; node RNGs are derived as (seed, node).
+  std::uint64_t seed = 1;
+  /// Stop as soon as discovery completes (otherwise run the full budget).
+  bool stop_when_complete = true;
+  /// Optional observer invoked on every clear reception:
+  /// (global slot, sender, receiver, channel).
+  std::function<void(std::uint64_t, net::NodeId, net::NodeId, net::ChannelId)>
+      on_reception;
+};
+
+struct SlotEngineResult {
+  bool complete = false;
+  /// Global slot index (0-based) of the slot in which the last link was
+  /// covered; meaningful only if complete.
+  std::uint64_t completion_slot = 0;
+  std::uint64_t slots_executed = 0;
+  /// Per-node slot counts by radio mode over the whole run (slots before a
+  /// node's start count as quiet).
+  std::vector<RadioActivity> activity;
+  DiscoveryState state;
+};
+
+/// Runs one trial. The factory is invoked once per node.
+[[nodiscard]] SlotEngineResult run_slot_engine(const net::Network& network,
+                                               const SyncPolicyFactory& factory,
+                                               const SlotEngineConfig& config);
+
+}  // namespace m2hew::sim

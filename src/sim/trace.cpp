@@ -1,0 +1,131 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/check.hpp"
+
+namespace m2hew::sim {
+
+void Trace::record(net::NodeId node, std::uint64_t index, Mode mode,
+                   net::ChannelId channel) {
+  entries_.push_back({node, index, mode, channel});
+}
+
+std::vector<TraceEntry> Trace::for_node(net::NodeId node) const {
+  std::vector<TraceEntry> out;
+  for (const TraceEntry& e : entries_) {
+    if (e.node == node) out.push_back(e);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEntry& a, const TraceEntry& b) {
+              return a.index < b.index;
+            });
+  return out;
+}
+
+std::string Trace::render_timeline(std::uint64_t first,
+                                   std::uint64_t count) const {
+  net::NodeId max_node = 0;
+  for (const TraceEntry& e : entries_) {
+    max_node = std::max(max_node, e.node);
+  }
+  const net::NodeId nodes = entries_.empty() ? 0 : max_node + 1;
+
+  // cells[node][offset] = rendered token.
+  std::vector<std::vector<std::string>> cells(
+      nodes, std::vector<std::string>(count, ".  "));
+  for (const TraceEntry& e : entries_) {
+    if (e.index < first || e.index >= first + count) continue;
+    char buf[8];
+    if (e.mode == Mode::kQuiet) continue;
+    std::snprintf(buf, sizeof(buf), "%c%-2u",
+                  e.mode == Mode::kTransmit ? 'T' : 'R', e.channel);
+    cells[e.node][e.index - first] = buf;
+  }
+
+  std::string out;
+  for (net::NodeId u = 0; u < nodes; ++u) {
+    char head[24];
+    std::snprintf(head, sizeof(head), "node %3u |", u);
+    out += head;
+    for (const std::string& cell : cells[u]) {
+      out += ' ';
+      out += cell;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+namespace {
+
+class TracingSyncPolicy final : public SyncPolicy {
+ public:
+  TracingSyncPolicy(std::unique_ptr<SyncPolicy> inner, Trace& trace,
+                    net::NodeId node)
+      : inner_(std::move(inner)), trace_(&trace), node_(node) {
+    M2HEW_CHECK(inner_ != nullptr);
+  }
+
+  SlotAction next_slot(util::Rng& rng) override {
+    const SlotAction action = inner_->next_slot(rng);
+    trace_->record(node_, index_++, action.mode, action.channel);
+    return action;
+  }
+
+  void observe_reception(net::NodeId from, bool first_time) override {
+    inner_->observe_reception(from, first_time);
+  }
+
+ private:
+  std::unique_ptr<SyncPolicy> inner_;
+  Trace* trace_;
+  net::NodeId node_;
+  std::uint64_t index_ = 0;
+};
+
+class TracingAsyncPolicy final : public AsyncPolicy {
+ public:
+  TracingAsyncPolicy(std::unique_ptr<AsyncPolicy> inner, Trace& trace,
+                     net::NodeId node)
+      : inner_(std::move(inner)), trace_(&trace), node_(node) {
+    M2HEW_CHECK(inner_ != nullptr);
+  }
+
+  FrameAction next_frame(util::Rng& rng) override {
+    const FrameAction action = inner_->next_frame(rng);
+    trace_->record(node_, index_++, action.mode, action.channel);
+    return action;
+  }
+
+  void observe_reception(net::NodeId from, bool first_time) override {
+    inner_->observe_reception(from, first_time);
+  }
+
+ private:
+  std::unique_ptr<AsyncPolicy> inner_;
+  Trace* trace_;
+  net::NodeId node_;
+  std::uint64_t index_ = 0;
+};
+
+}  // namespace
+
+SyncPolicyFactory traced(SyncPolicyFactory inner, Trace& trace) {
+  return [inner = std::move(inner), &trace](const net::Network& network,
+                                            net::NodeId u)
+             -> std::unique_ptr<SyncPolicy> {
+    return std::make_unique<TracingSyncPolicy>(inner(network, u), trace, u);
+  };
+}
+
+AsyncPolicyFactory traced(AsyncPolicyFactory inner, Trace& trace) {
+  return [inner = std::move(inner), &trace](const net::Network& network,
+                                            net::NodeId u)
+             -> std::unique_ptr<AsyncPolicy> {
+    return std::make_unique<TracingAsyncPolicy>(inner(network, u), trace, u);
+  };
+}
+
+}  // namespace m2hew::sim

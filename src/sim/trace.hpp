@@ -1,0 +1,63 @@
+// Execution tracing: records per-node radio actions and renders an ASCII
+// timeline — the textual equivalent of the paper's Fig. 1/2 execution
+// diagrams. Attach by decorating policies with `traced(...)`; the engines
+// need no changes.
+//
+//   Trace trace;
+//   auto result = run_slot_engine(net, traced(make_algorithm3(8), trace), cfg);
+//   std::puts(trace.render_timeline(0, 40).c_str());
+//
+// Output (one row per node, one column per slot):
+//   node 0 | T0 R1 .  R0 T2 ...     T<c> transmit on channel c
+//   node 1 | R0 R0 T1 .  R2 ...     R<c> receive on channel c, '.' quiet
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/policy.hpp"
+#include "sim/radio.hpp"
+
+namespace m2hew::sim {
+
+/// One recorded action of one node in one (node-local) slot or frame.
+struct TraceEntry {
+  net::NodeId node = net::kInvalidNode;
+  std::uint64_t index = 0;  ///< node-local slot/frame counter
+  Mode mode = Mode::kQuiet;
+  net::ChannelId channel = net::kInvalidChannel;
+};
+
+class Trace {
+ public:
+  void record(net::NodeId node, std::uint64_t index, Mode mode,
+              net::ChannelId channel);
+
+  [[nodiscard]] const std::vector<TraceEntry>& entries() const noexcept {
+    return entries_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  void clear() noexcept { entries_.clear(); }
+
+  /// Actions of one node in index order.
+  [[nodiscard]] std::vector<TraceEntry> for_node(net::NodeId node) const;
+
+  /// ASCII timeline of slots [first, first + count) for every node seen.
+  [[nodiscard]] std::string render_timeline(std::uint64_t first,
+                                            std::uint64_t count) const;
+
+ private:
+  std::vector<TraceEntry> entries_;
+};
+
+/// Wraps a factory so every produced policy records into `trace`. The trace
+/// must outlive the engine run. Works for the synchronous engine.
+[[nodiscard]] SyncPolicyFactory traced(SyncPolicyFactory inner, Trace& trace);
+
+/// Asynchronous counterpart (one entry per frame).
+[[nodiscard]] AsyncPolicyFactory traced(AsyncPolicyFactory inner,
+                                        Trace& trace);
+
+}  // namespace m2hew::sim

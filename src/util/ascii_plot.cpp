@@ -1,0 +1,109 @@
+#include "util/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/check.hpp"
+
+namespace m2hew::util {
+
+std::string ascii_plot(std::span<const double> x, std::span<const double> y,
+                       const PlotOptions& options) {
+  M2HEW_CHECK(x.size() == y.size());
+  M2HEW_CHECK(!x.empty());
+  M2HEW_CHECK(options.width >= 12 && options.height >= 2);
+
+  std::vector<double> ys(y.begin(), y.end());
+  if (options.log_y) {
+    for (double& value : ys) {
+      M2HEW_CHECK_MSG(value > 0.0, "log-y plot needs positive values");
+      value = std::log10(value);
+    }
+  }
+
+  double x_lo = *std::min_element(x.begin(), x.end());
+  double x_hi = *std::max_element(x.begin(), x.end());
+  double y_lo = *std::min_element(ys.begin(), ys.end());
+  double y_hi = *std::max_element(ys.begin(), ys.end());
+  if (x_hi == x_lo) {
+    x_lo -= 1.0;
+    x_hi += 1.0;
+  }
+  if (y_hi == y_lo) {
+    y_lo -= 1.0;
+    y_hi += 1.0;
+  }
+
+  std::vector<std::string> grid(options.height,
+                                std::string(options.width, ' '));
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double fx = (x[i] - x_lo) / (x_hi - x_lo);
+    const double fy = (ys[i] - y_lo) / (y_hi - y_lo);
+    const auto col = static_cast<std::size_t>(
+        fx * static_cast<double>(options.width - 1) + 0.5);
+    const auto row = static_cast<std::size_t>(
+        fy * static_cast<double>(options.height - 1) + 0.5);
+    grid[options.height - 1 - row][col] = options.marker;
+  }
+
+  const double y_top = options.log_y ? std::pow(10.0, y_hi) : y_hi;
+  const double y_bottom = options.log_y ? std::pow(10.0, y_lo) : y_lo;
+
+  std::string out;
+  if (!options.y_label.empty()) {
+    out += options.y_label;
+    if (options.log_y) out += " (log scale)";
+    out += '\n';
+  }
+  char label[40];
+  for (std::size_t r = 0; r < options.height; ++r) {
+    if (r == 0) {
+      std::snprintf(label, sizeof(label), "%10.3g |", y_top);
+    } else if (r == options.height - 1) {
+      std::snprintf(label, sizeof(label), "%10.3g |", y_bottom);
+    } else {
+      std::snprintf(label, sizeof(label), "%10s |", "");
+    }
+    out += label;
+    out += grid[r];
+    out += '\n';
+  }
+  out += std::string(11, ' ') + '+' + std::string(options.width, '-') + '\n';
+  std::snprintf(label, sizeof(label), "%.3g", x_lo);
+  const std::string lo_label = label;
+  std::snprintf(label, sizeof(label), "%.3g", x_hi);
+  const std::string hi_label = label;
+  out += std::string(12, ' ') + lo_label;
+  const auto used = 1 + lo_label.size();
+  if (options.width > used + hi_label.size()) {
+    out += std::string(options.width - used - hi_label.size(), ' ');
+  } else {
+    out += ' ';
+  }
+  out += hi_label;
+  out += '\n';
+  if (!options.x_label.empty()) {
+    const auto center = static_cast<long>(11 + options.width / 2) -
+                        static_cast<long>(options.x_label.size() / 2);
+    out += std::string(static_cast<std::size_t>(std::max(0L, center)), ' ');
+    out += options.x_label;
+    out += '\n';
+  }
+  return out;
+}
+
+std::string ascii_plot(const std::vector<std::pair<double, double>>& points,
+                       const PlotOptions& options) {
+  std::vector<double> x;
+  std::vector<double> y;
+  x.reserve(points.size());
+  y.reserve(points.size());
+  for (const auto& [px, py] : points) {
+    x.push_back(px);
+    y.push_back(py);
+  }
+  return ascii_plot(x, y, options);
+}
+
+}  // namespace m2hew::util

@@ -1,0 +1,32 @@
+// Terminal scatter/line plots for the bench binaries: a quick visual of a
+// sweep's shape (e.g. discovery slots vs 1/ρ) without leaving the console.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace m2hew::util {
+
+struct PlotOptions {
+  std::size_t width = 60;   ///< plot columns (excluding axis labels)
+  std::size_t height = 16;  ///< plot rows
+  char marker = '*';
+  bool log_y = false;  ///< plot log10(y) (y must be positive)
+  std::string x_label;
+  std::string y_label;
+};
+
+/// Renders a scatter plot of the (x, y) points. Axes are linear (or log-y),
+/// auto-scaled to the data range; degenerate ranges are padded. Requires at
+/// least one point and equal-length spans.
+[[nodiscard]] std::string ascii_plot(std::span<const double> x,
+                                     std::span<const double> y,
+                                     const PlotOptions& options = {});
+
+/// Convenience overload for series already stored as pairs.
+[[nodiscard]] std::string ascii_plot(
+    const std::vector<std::pair<double, double>>& points,
+    const PlotOptions& options = {});
+
+}  // namespace m2hew::util

@@ -1,0 +1,36 @@
+// Lightweight precondition / invariant checking.
+//
+// M2HEW_CHECK is always on (simulation correctness beats raw speed in this
+// library; the hot loops that matter have been measured with checks enabled).
+// Use M2HEW_DCHECK for checks that are too hot for release builds.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace m2hew::util {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg[0] != '\0' ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace m2hew::util
+
+#define M2HEW_CHECK(expr)                                                  \
+  do {                                                                     \
+    if (!(expr)) ::m2hew::util::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define M2HEW_CHECK_MSG(expr, msg)                                          \
+  do {                                                                      \
+    if (!(expr)) ::m2hew::util::check_failed(#expr, __FILE__, __LINE__, msg); \
+  } while (false)
+
+#ifdef NDEBUG
+#define M2HEW_DCHECK(expr) ((void)0)
+#else
+#define M2HEW_DCHECK(expr) M2HEW_CHECK(expr)
+#endif

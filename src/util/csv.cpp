@@ -1,0 +1,84 @@
+#include "util/csv.hpp"
+
+#include <cstdio>
+
+#include "util/check.hpp"
+
+namespace m2hew::util {
+
+std::string csv_escape(std::string_view field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string(field);
+  std::string out;
+  out.reserve(field.size() + 2);
+  out += '"';
+  for (const char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::header(std::initializer_list<std::string_view> columns) {
+  M2HEW_CHECK_MSG(!header_written_ && rows_ == 0,
+                  "header must come first and only once");
+  header_written_ = true;
+  header_cols_ = columns.size();
+  bool first = true;
+  for (const auto col : columns) {
+    if (!first) *out_ << ',';
+    first = false;
+    *out_ << csv_escape(col);
+  }
+  *out_ << '\n';
+}
+
+void CsvWriter::separator() {
+  if (row_open_) {
+    *out_ << ',';
+  }
+  row_open_ = true;
+  ++current_cols_;
+}
+
+CsvWriter& CsvWriter::field(std::string_view value) {
+  separator();
+  *out_ << csv_escape(value);
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(double value) {
+  separator();
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  *out_ << buf;
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(long long value) {
+  separator();
+  *out_ << value;
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(unsigned long long value) {
+  separator();
+  *out_ << value;
+  return *this;
+}
+
+void CsvWriter::end_row() {
+  M2HEW_CHECK_MSG(row_open_, "end_row with no fields");
+  if (header_written_) {
+    M2HEW_CHECK_MSG(current_cols_ == header_cols_,
+                    "row column count differs from header");
+  }
+  *out_ << '\n';
+  row_open_ = false;
+  current_cols_ = 0;
+  ++rows_;
+}
+
+}  // namespace m2hew::util

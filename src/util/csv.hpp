@@ -1,0 +1,51 @@
+// Minimal CSV writer for experiment output. Handles quoting of fields
+// containing separators, quotes, or newlines.
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace m2hew::util {
+
+class CsvWriter {
+ public:
+  /// Writes to `out`, which must outlive the writer.
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  /// Writes the header row. Must be called at most once, before any row.
+  void header(std::initializer_list<std::string_view> columns);
+
+  /// Appends one field to the current row (numeric overloads format with
+  /// enough precision to round-trip).
+  CsvWriter& field(std::string_view value);
+  CsvWriter& field(double value);
+  CsvWriter& field(long long value);
+  CsvWriter& field(unsigned long long value);
+  CsvWriter& field(std::size_t value) {
+    return field(static_cast<unsigned long long>(value));
+  }
+  CsvWriter& field(int value) { return field(static_cast<long long>(value)); }
+
+  /// Terminates the current row.
+  void end_row();
+
+  [[nodiscard]] std::size_t rows_written() const noexcept { return rows_; }
+
+ private:
+  void separator();
+
+  std::ostream* out_;
+  bool row_open_ = false;
+  bool header_written_ = false;
+  std::size_t rows_ = 0;
+  std::size_t header_cols_ = 0;
+  std::size_t current_cols_ = 0;
+};
+
+/// Quotes a CSV field if needed (RFC 4180 style).
+[[nodiscard]] std::string csv_escape(std::string_view field);
+
+}  // namespace m2hew::util

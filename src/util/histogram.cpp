@@ -1,0 +1,58 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/check.hpp"
+
+namespace m2hew::util {
+
+Histogram::Histogram(double lo, double hi, std::size_t bucket_count)
+    : lo_(lo), hi_(hi), counts_(bucket_count, 0) {
+  M2HEW_CHECK(lo < hi);
+  M2HEW_CHECK(bucket_count >= 1);
+}
+
+void Histogram::add(double x) noexcept {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto raw = static_cast<long>((x - lo_) / width);
+  raw = std::clamp(raw, 0L, static_cast<long>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(raw)];
+  ++total_;
+}
+
+std::size_t Histogram::count_at(std::size_t bucket) const {
+  M2HEW_CHECK(bucket < counts_.size());
+  return counts_[bucket];
+}
+
+double Histogram::bucket_lo(std::size_t bucket) const {
+  M2HEW_CHECK(bucket < counts_.size());
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(bucket);
+}
+
+double Histogram::bucket_hi(std::size_t bucket) const {
+  return bucket_lo(bucket) + (hi_ - lo_) / static_cast<double>(counts_.size());
+}
+
+std::string Histogram::render(std::size_t max_bar_width) const {
+  std::size_t peak = 1;
+  for (const std::size_t c : counts_) peak = std::max(peak, c);
+
+  std::string out;
+  char line[160];
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const auto bar = static_cast<std::size_t>(
+        (static_cast<double>(counts_[b]) / static_cast<double>(peak)) *
+        static_cast<double>(max_bar_width));
+    std::snprintf(line, sizeof(line), "[%10.2f, %10.2f) %8zu |",
+                  bucket_lo(b), bucket_hi(b), counts_[b]);
+    out += line;
+    out.append(bar, '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace m2hew::util

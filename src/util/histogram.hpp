@@ -1,0 +1,37 @@
+// Fixed-width bucketed histogram with ASCII rendering, used by benches to
+// show discovery-time distributions.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace m2hew::util {
+
+class Histogram {
+ public:
+  /// Buckets of equal width spanning [lo, hi); values outside are clamped
+  /// into the first/last bucket. Requires lo < hi and bucket_count >= 1.
+  Histogram(double lo, double hi, std::size_t bucket_count);
+
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  [[nodiscard]] std::size_t bucket_count() const noexcept {
+    return counts_.size();
+  }
+  [[nodiscard]] std::size_t count_at(std::size_t bucket) const;
+  [[nodiscard]] double bucket_lo(std::size_t bucket) const;
+  [[nodiscard]] double bucket_hi(std::size_t bucket) const;
+
+  /// Multi-line ASCII bar rendering, one row per bucket.
+  [[nodiscard]] std::string render(std::size_t max_bar_width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace m2hew::util

@@ -1,0 +1,118 @@
+#include "util/ini.hpp"
+
+#include <cstdlib>
+#include <istream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace m2hew::util {
+
+namespace {
+
+[[nodiscard]] std::string_view trim(std::string_view text) {
+  const auto first = text.find_first_not_of(" \t\r");
+  if (first == std::string_view::npos) return {};
+  const auto last = text.find_last_not_of(" \t\r");
+  return text.substr(first, last - first + 1);
+}
+
+}  // namespace
+
+IniFile IniFile::parse(std::istream& in) {
+  IniFile file;
+  std::string current;  // current section name
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string_view trimmed = trim(line);
+    if (trimmed.empty() || trimmed[0] == '#' || trimmed[0] == ';') continue;
+    if (trimmed.front() == '[') {
+      M2HEW_CHECK_MSG(trimmed.back() == ']', "unterminated section header");
+      current = std::string(trim(trimmed.substr(1, trimmed.size() - 2)));
+      file.sections_[current];  // create even if empty
+      continue;
+    }
+    const auto eq = trimmed.find('=');
+    M2HEW_CHECK_MSG(eq != std::string_view::npos,
+                    "expected 'key = value' line");
+    const std::string key{trim(trimmed.substr(0, eq))};
+    const std::string value{trim(trimmed.substr(eq + 1))};
+    M2HEW_CHECK_MSG(!key.empty(), "empty key");
+    Section& section = file.sections_[current];
+    if (section.values.emplace(key, value).second) {
+      section.order.push_back(key);
+    } else {
+      section.values[key] = value;  // later assignment wins
+    }
+  }
+  return file;
+}
+
+IniFile IniFile::parse_string(std::string_view text) {
+  std::istringstream in{std::string(text)};
+  return parse(in);
+}
+
+bool IniFile::has_section(std::string_view section) const {
+  return sections_.find(section) != sections_.end();
+}
+
+bool IniFile::has(std::string_view section, std::string_view key) const {
+  const auto it = sections_.find(section);
+  if (it == sections_.end()) return false;
+  return it->second.values.find(key) != it->second.values.end();
+}
+
+std::string IniFile::get(std::string_view section, std::string_view key,
+                         std::string_view def) const {
+  const auto it = sections_.find(section);
+  if (it == sections_.end()) return std::string(def);
+  const auto value = it->second.values.find(key);
+  if (value == it->second.values.end()) return std::string(def);
+  return value->second;
+}
+
+std::int64_t IniFile::get_int(std::string_view section, std::string_view key,
+                              std::int64_t def) const {
+  if (!has(section, key)) return def;
+  const std::string text = get(section, key);
+  char* end = nullptr;
+  const long long parsed = std::strtoll(text.c_str(), &end, 10);
+  M2HEW_CHECK_MSG(end != text.c_str() && *end == '\0',
+                  "ini value is not an integer");
+  return parsed;
+}
+
+double IniFile::get_double(std::string_view section, std::string_view key,
+                           double def) const {
+  if (!has(section, key)) return def;
+  const std::string text = get(section, key);
+  char* end = nullptr;
+  const double parsed = std::strtod(text.c_str(), &end);
+  M2HEW_CHECK_MSG(end != text.c_str() && *end == '\0',
+                  "ini value is not a number");
+  return parsed;
+}
+
+std::vector<double> IniFile::get_list(std::string_view section,
+                                      std::string_view key) const {
+  std::vector<double> out;
+  std::istringstream stream(get(section, key));
+  std::string token;
+  while (stream >> token) {
+    char* end = nullptr;
+    const double parsed = std::strtod(token.c_str(), &end);
+    M2HEW_CHECK_MSG(end != token.c_str() && *end == '\0',
+                    "ini list element is not a number");
+    out.push_back(parsed);
+  }
+  return out;
+}
+
+std::vector<std::string> IniFile::keys(std::string_view section) const {
+  const auto it = sections_.find(section);
+  if (it == sections_.end()) return {};
+  return it->second.order;
+}
+
+}  // namespace m2hew::util

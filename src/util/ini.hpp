@@ -1,0 +1,54 @@
+// Minimal INI parser for experiment definition files (tools/
+// m2hew_experiment): `[section]` headers, `key = value` pairs, `#` or `;`
+// comments, whitespace-insensitive. Values keep internal spaces (so lists
+// like `values = 8 4 2 1` work).
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace m2hew::util {
+
+class IniFile {
+ public:
+  /// Parses the stream; aborts (CHECK) on malformed lines. Keys outside any
+  /// section belong to the unnamed section "".
+  [[nodiscard]] static IniFile parse(std::istream& in);
+  [[nodiscard]] static IniFile parse_string(std::string_view text);
+
+  [[nodiscard]] bool has_section(std::string_view section) const;
+  [[nodiscard]] bool has(std::string_view section,
+                         std::string_view key) const;
+
+  /// Value lookup with default; aborts if the key exists but is not
+  /// convertible (for the typed getters).
+  [[nodiscard]] std::string get(std::string_view section,
+                                std::string_view key,
+                                std::string_view def = "") const;
+  [[nodiscard]] std::int64_t get_int(std::string_view section,
+                                     std::string_view key,
+                                     std::int64_t def = 0) const;
+  [[nodiscard]] double get_double(std::string_view section,
+                                  std::string_view key,
+                                  double def = 0.0) const;
+
+  /// Whitespace-separated list value parsed as doubles.
+  [[nodiscard]] std::vector<double> get_list(std::string_view section,
+                                             std::string_view key) const;
+
+  /// All keys of a section in insertion order (empty if absent).
+  [[nodiscard]] std::vector<std::string> keys(
+      std::string_view section) const;
+
+ private:
+  struct Section {
+    std::vector<std::string> order;
+    std::map<std::string, std::string, std::less<>> values;
+  };
+  std::map<std::string, Section, std::less<>> sections_;
+};
+
+}  // namespace m2hew::util

@@ -1,0 +1,28 @@
+// Minimal leveled logger. Global level, printf-style, stderr sink.
+// Simulation hot loops must not log; this is for harness/progress messages.
+#pragma once
+
+#include <cstdarg>
+
+namespace m2hew::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the global threshold; messages below it are dropped.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// printf-style logging at a given level.
+void log_message(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+}  // namespace m2hew::util
+
+#define M2HEW_LOG_DEBUG(...) \
+  ::m2hew::util::log_message(::m2hew::util::LogLevel::kDebug, __VA_ARGS__)
+#define M2HEW_LOG_INFO(...) \
+  ::m2hew::util::log_message(::m2hew::util::LogLevel::kInfo, __VA_ARGS__)
+#define M2HEW_LOG_WARN(...) \
+  ::m2hew::util::log_message(::m2hew::util::LogLevel::kWarn, __VA_ARGS__)
+#define M2HEW_LOG_ERROR(...) \
+  ::m2hew::util::log_message(::m2hew::util::LogLevel::kError, __VA_ARGS__)

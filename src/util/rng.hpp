@@ -1,0 +1,114 @@
+// Deterministic, splittable pseudo-random number generation.
+//
+// Every stochastic component of the simulator (node policies, topology
+// generators, clock-drift models) draws from an Rng seeded through a
+// SeedSequence, so a whole experiment is reproducible from a single root
+// seed.  The generator is xoshiro256** (Blackman & Vigna), seeded via
+// SplitMix64 per the authors' recommendation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <span>
+
+#include "util/check.hpp"
+
+namespace m2hew::util {
+
+/// SplitMix64 step: advances `state` and returns the next 64-bit output.
+/// Used for seeding and for cheap hash-like stream derivation.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// xoshiro256** generator. Satisfies std::uniform_random_bit_generator so it
+/// can also drive <random> distributions where convenient.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed) noexcept;
+
+  [[nodiscard]] static constexpr result_type min() noexcept { return 0; }
+  [[nodiscard]] static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept;
+
+  /// Jump function: advances the state by 2^128 steps, giving a stream
+  /// independent of the original for any realistic draw count.
+  void jump() noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+};
+
+/// Convenience façade over Xoshiro256 with the distributions this library
+/// needs. All methods are branch-light and allocation-free.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept : gen_(seed) {}
+
+  /// Raw 64 random bits.
+  [[nodiscard]] std::uint64_t next_u64() noexcept { return gen_(); }
+
+  /// Uniform integer in [0, bound). Requires bound > 0.
+  /// Uses Lemire's multiply-shift rejection method (unbiased).
+  [[nodiscard]] std::uint64_t uniform(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  [[nodiscard]] std::int64_t uniform_range(std::int64_t lo,
+                                           std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform_double() noexcept;
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform_double(double lo, double hi) noexcept;
+
+  /// Bernoulli trial with success probability p (clamped to [0, 1]).
+  [[nodiscard]] bool bernoulli(double p) noexcept;
+
+  /// Uniformly chosen element of a non-empty span.
+  template <typename T>
+  [[nodiscard]] const T& pick(std::span<const T> items) noexcept {
+    M2HEW_DCHECK(!items.empty());
+    return items[static_cast<std::size_t>(uniform(items.size()))];
+  }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::span<T> items) noexcept {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(uniform(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+ private:
+  Xoshiro256 gen_;
+};
+
+/// Derives independent child seeds from a root seed plus a stream index.
+/// Child k of the same (root, k) pair is always identical; different k give
+/// statistically independent streams.
+class SeedSequence {
+ public:
+  explicit SeedSequence(std::uint64_t root_seed) noexcept
+      : root_(root_seed) {}
+
+  /// Seed for stream `index` (e.g. one per node, one per trial).
+  [[nodiscard]] std::uint64_t derive(std::uint64_t index) const noexcept;
+
+  /// Two-level derivation, e.g. (trial, node).
+  [[nodiscard]] std::uint64_t derive(std::uint64_t a,
+                                     std::uint64_t b) const noexcept;
+
+  [[nodiscard]] std::uint64_t root() const noexcept { return root_; }
+
+ private:
+  std::uint64_t root_;
+};
+
+}  // namespace m2hew::util

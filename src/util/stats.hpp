@@ -1,0 +1,93 @@
+// Streaming and batch statistics used by the experiment harness.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace m2hew::util {
+
+/// Welford-style streaming moments: numerically stable mean/variance plus
+/// min/max, O(1) memory. Use when samples need not be retained.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept;
+  /// Unbiased sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept;
+  [[nodiscard]] double max() const noexcept;
+
+  /// Merge another accumulator into this one (parallel reduction).
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Batch summary over retained samples: adds exact quantiles to the moments.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Computes a Summary from samples (copies and sorts internally).
+[[nodiscard]] Summary summarize(std::span<const double> samples);
+
+/// Linear-interpolated quantile of a **sorted** sample vector, q in [0, 1].
+[[nodiscard]] double quantile_sorted(std::span<const double> sorted, double q);
+
+/// Sample accumulator retaining all values; convenience for benches.
+class Samples {
+ public:
+  void add(double x) { values_.push_back(x); }
+  [[nodiscard]] std::size_t count() const noexcept { return values_.size(); }
+  [[nodiscard]] std::span<const double> values() const noexcept {
+    return values_;
+  }
+  [[nodiscard]] Summary summarize() const { return util::summarize(values_); }
+  [[nodiscard]] double quantile(double q) const;
+  void clear() noexcept { values_.clear(); }
+
+ private:
+  std::vector<double> values_;
+};
+
+/// Wilson score interval for a binomial proportion (successes/trials) at
+/// confidence level given by z (z = 1.96 ≈ 95%). Returns {lo, hi}.
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+[[nodiscard]] Interval wilson_interval(std::size_t successes,
+                                       std::size_t trials,
+                                       double z = 1.96) noexcept;
+
+/// Ordinary-least-squares fit y = a + b*x. Returns {a, b, r2}.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r2 = 0.0;
+};
+[[nodiscard]] LinearFit linear_fit(std::span<const double> x,
+                                   std::span<const double> y);
+
+/// Pearson correlation coefficient; 0 when either side has no variance.
+[[nodiscard]] double pearson_correlation(std::span<const double> x,
+                                         std::span<const double> y);
+
+}  // namespace m2hew::util

@@ -1,0 +1,87 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/check.hpp"
+
+namespace m2hew::util {
+
+Table::Table(std::vector<std::string> columns) : columns_(std::move(columns)) {
+  M2HEW_CHECK(!columns_.empty());
+}
+
+Table& Table::row() {
+  if (!rows_.empty()) {
+    M2HEW_CHECK_MSG(rows_.back().size() == columns_.size(),
+                    "previous row incomplete");
+  }
+  rows_.emplace_back();
+  rows_.back().reserve(columns_.size());
+  return *this;
+}
+
+Table& Table::cell(std::string_view value) {
+  M2HEW_CHECK_MSG(!rows_.empty(), "cell before row()");
+  M2HEW_CHECK_MSG(rows_.back().size() < columns_.size(), "too many cells");
+  rows_.back().emplace_back(value);
+  return *this;
+}
+
+Table& Table::cell(double value, int precision) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return cell(std::string_view(buf));
+}
+
+Table& Table::cell(long long value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", value);
+  return cell(std::string_view(buf));
+}
+
+Table& Table::cell(unsigned long long value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", value);
+  return cell(std::string_view(buf));
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+  }
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      widths[c] = std::max(widths[c], r[c].size());
+    }
+  }
+
+  auto pad = [](std::string& out, std::string_view text, std::size_t width) {
+    const std::size_t spaces = width - text.size();
+    out.append(spaces, ' ');
+    out.append(text);
+  };
+
+  std::string out;
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    if (c != 0) out += "  ";
+    pad(out, columns_[c], widths[c]);
+  }
+  out += '\n';
+  std::size_t rule = 0;
+  for (const std::size_t w : widths) rule += w;
+  rule += 2 * (widths.size() - 1);
+  out.append(rule, '-');
+  out += '\n';
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      if (c != 0) out += "  ";
+      pad(out, r[c], widths[c]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace m2hew::util

@@ -1,0 +1,36 @@
+// Console table formatter: right-aligns numeric columns, pads headers, and
+// prints the paper-style result tables produced by the bench harness.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace m2hew::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns);
+
+  /// Starts a new row; subsequent cell() calls fill it left to right.
+  Table& row();
+  Table& cell(std::string_view value);
+  Table& cell(double value, int precision = 2);
+  Table& cell(long long value);
+  Table& cell(unsigned long long value);
+  Table& cell(std::size_t value) {
+    return cell(static_cast<unsigned long long>(value));
+  }
+  Table& cell(int value) { return cell(static_cast<long long>(value)); }
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Renders with a header rule and column alignment.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace m2hew::util

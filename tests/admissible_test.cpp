@@ -1,0 +1,146 @@
+// Tests for the Definition 1–4 machinery and the Lemma 8 construction.
+#include "sim/admissible.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "util/rng.hpp"
+
+namespace m2hew::sim {
+namespace {
+
+constexpr double kL = 3.0;
+
+TEST(BuildFrames, IdealClockFramesAreContiguous) {
+  IdealClock clock(0.0);
+  const auto frames = build_frames(clock, 1.5, kL, 4);
+  ASSERT_EQ(frames.size(), 4u);
+  EXPECT_DOUBLE_EQ(frames[0].start, 1.5);
+  EXPECT_DOUBLE_EQ(frames[0].end, 4.5);
+  EXPECT_DOUBLE_EQ(frames[0].slot_bounds[1], 2.5);
+  for (std::size_t k = 1; k < 4; ++k) {
+    EXPECT_DOUBLE_EQ(frames[k].start, frames[k - 1].end);
+  }
+}
+
+TEST(BuildFrames, DriftScalesRealLength) {
+  ConstantDriftClock clock(-0.5, 0.0);  // slow clock: real frames 2x longer
+  const auto frames = build_frames(clock, 0.0, kL, 2);
+  EXPECT_DOUBLE_EQ(frames[0].end - frames[0].start, 6.0);
+}
+
+TEST(PairAligned, MatchesDefinition) {
+  IdealClock a(0.0);
+  const auto f = build_frames(a, 0.0, kL, 1);
+  // Identical frames: every slot inside -> aligned.
+  EXPECT_TRUE(pair_aligned(f[0], f[0]));
+  // g shifted by half a slot still contains f's slots 2 and 3? g spans
+  // [0.5, 3.5]: slot [1,2] fits -> aligned.
+  IdealClock b(0.0);
+  const auto g = build_frames(b, 0.5, kL, 1);
+  EXPECT_TRUE(pair_aligned(f[0], g[0]));
+  // g far away: not aligned, not overlapping.
+  const auto far = build_frames(b, 10.0, kL, 1);
+  EXPECT_FALSE(pair_aligned(f[0], far[0]));
+  EXPECT_FALSE(frames_overlap(f[0], far[0]));
+}
+
+TEST(FramesOverlap, TouchingFramesDoNotOverlap) {
+  IdealClock clock(0.0);
+  const auto frames = build_frames(clock, 0.0, kL, 2);
+  EXPECT_FALSE(frames_overlap(frames[0], frames[1]));
+  EXPECT_TRUE(frames_overlap(frames[0], frames[0]));
+}
+
+class Lemma8Property
+    : public ::testing::TestWithParam<std::tuple<double, std::uint64_t>> {};
+
+TEST_P(Lemma8Property, ConstructionIsAdmissibleAndDense) {
+  const auto [delta, seed] = GetParam();
+  constexpr std::size_t kFrames = 240;
+  util::Rng rng(seed);
+
+  auto make_clock = [&](std::uint64_t clock_seed) {
+    return std::make_unique<PiecewiseDriftClock>(
+        PiecewiseDriftClock::Config{.max_drift = delta,
+                                    .min_segment = 4.0,
+                                    .max_segment = 17.0,
+                                    .offset = rng.uniform_double(-9.0, 9.0)},
+        clock_seed);
+  };
+  const auto cv = make_clock(seed * 10 + 1);
+  const auto cu = make_clock(seed * 10 + 2);
+  const auto cw = make_clock(seed * 10 + 3);  // third party for property 4
+  const double sv = rng.uniform_double(0.0, kL);
+  const double su = rng.uniform_double(0.0, kL);
+  const double sw = rng.uniform_double(0.0, kL);
+
+  const auto v_frames = build_frames(*cv, sv, kL, kFrames);
+  const auto u_frames = build_frames(*cu, su, kL, kFrames);
+  const auto w_frames = build_frames(*cw, sw, kL, kFrames);
+
+  const auto sigma = construct_admissible_sequence(v_frames, u_frames);
+
+  // Lemma 8: at least M/6 pairs (finite-horizon edge effects cost at most
+  // a couple of pairs; the bound below is the lemma's with a -1 guard).
+  EXPECT_GE(sigma.size() + 1, kFrames / 6)
+      << "delta=" << delta << " seed=" << seed;
+
+  EXPECT_TRUE(verify_admissible_sequence(sigma, v_frames, u_frames,
+                                         {v_frames, u_frames, w_frames}));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DriftSweep, Lemma8Property,
+    ::testing::Combine(::testing::Values(0.0, 0.05, 0.1, 1.0 / 7.0),
+                       ::testing::Values(1u, 2u, 3u, 4u)));
+
+TEST(Lemma8, IdealAlignedClocksReachOneThirdDensity) {
+  // With identical ideal clocks every consecutive pair is aligned, so γ
+  // advances one frame at a time and σ keeps every third: density ≈ 1/3,
+  // double the lemma's guaranteed 1/6.
+  IdealClock a(0.0);
+  IdealClock b(0.0);
+  const auto v = build_frames(a, 0.0, kL, 120);
+  const auto u = build_frames(b, 0.0, kL, 120);
+  const auto sigma = construct_admissible_sequence(v, u);
+  EXPECT_GE(sigma.size(), 39u);
+  EXPECT_LE(sigma.size(), 41u);
+  EXPECT_TRUE(verify_admissible_sequence(sigma, v, u, {v, u}));
+}
+
+TEST(VerifyAdmissible, RejectsBrokenSequences) {
+  IdealClock a(0.0);
+  IdealClock b(0.0);
+  const auto v = build_frames(a, 0.0, kL, 30);
+  const auto u = build_frames(b, 0.0, kL, 30);
+
+  // Non-aligned pair.
+  EXPECT_FALSE(verify_admissible_sequence({{0, 5}}, v, u, {v, u}));
+  // Precedence violation (g index not increasing).
+  EXPECT_FALSE(
+      verify_admissible_sequence({{0, 3}, {4, 3}}, v, u, {v, u}));
+  // Overlap-neighborhood violation: consecutive receiver frames g_1, g_2
+  // are adjacent, and a frame of a slow third node (real frame length 6,
+  // started at t=1 so its frames straddle the g_1/g_2 boundary) overlaps
+  // both.
+  ConstantDriftClock slow(-0.5, 0.0);
+  const auto w = build_frames(slow, 1.0, kL, 30);
+  EXPECT_FALSE(
+      verify_admissible_sequence({{1, 1}, {2, 2}}, v, u, {v, u, w}));
+  // The same sequence is fine when only fast timelines are present.
+  EXPECT_TRUE(verify_admissible_sequence({{1, 1}, {2, 2}}, v, u, {v, u}));
+  // Out-of-range index.
+  EXPECT_FALSE(verify_admissible_sequence({{99, 0}}, v, u, {v, u}));
+}
+
+TEST(ConstructAdmissible, EmptyInputsYieldEmptySequence) {
+  IdealClock clock(0.0);
+  const auto frames = build_frames(clock, 0.0, kL, 10);
+  EXPECT_TRUE(construct_admissible_sequence({}, frames).empty());
+  EXPECT_TRUE(construct_admissible_sequence(frames, {}).empty());
+}
+
+}  // namespace
+}  // namespace m2hew::sim

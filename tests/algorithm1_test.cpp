@@ -1,0 +1,92 @@
+#include "core/algorithm1.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "core/transmit_probability.hpp"
+#include "util/rng.hpp"
+
+namespace m2hew::core {
+namespace {
+
+TEST(Algorithm1, StageLengthFromDeltaEst) {
+  const net::ChannelSet a(8, {0, 1, 2});
+  EXPECT_EQ(Algorithm1Policy(a, 2).stage_slots(), 1u);
+  EXPECT_EQ(Algorithm1Policy(a, 8).stage_slots(), 3u);
+  EXPECT_EQ(Algorithm1Policy(a, 9).stage_slots(), 4u);
+}
+
+TEST(Algorithm1, ChannelsAlwaysFromAvailableSet) {
+  const net::ChannelSet a(16, {2, 7, 11});
+  Algorithm1Policy policy(a, 8);
+  util::Rng rng(1);
+  for (int i = 0; i < 5000; ++i) {
+    const auto action = policy.next_slot(rng);
+    EXPECT_TRUE(a.contains(action.channel));
+    EXPECT_NE(action.mode, sim::Mode::kQuiet);
+  }
+}
+
+TEST(Algorithm1, ChannelChoiceIsUniform) {
+  const net::ChannelSet a(16, {2, 7, 11});
+  Algorithm1Policy policy(a, 8);
+  util::Rng rng(2);
+  std::map<net::ChannelId, int> counts;
+  constexpr int kSlots = 60000;
+  for (int i = 0; i < kSlots; ++i) ++counts[policy.next_slot(rng).channel];
+  for (const auto& [channel, count] : counts) {
+    EXPECT_NEAR(count, kSlots / 3.0, 600.0) << "channel " << channel;
+  }
+}
+
+TEST(Algorithm1, TransmitRateFollowsStageSchedule) {
+  // |A| = 4, Δ_est = 64 -> 6 slots per stage; expected p per slot position:
+  // min(1/2, 4/2^i) = {1/2, 1/2, 1/2, 1/4, 1/8, 1/16}.
+  const net::ChannelSet a(8, {0, 1, 2, 3});
+  Algorithm1Policy policy(a, 64);
+  ASSERT_EQ(policy.stage_slots(), 6u);
+  util::Rng rng(3);
+  constexpr int kStages = 40000;
+  std::vector<int> transmissions(6, 0);
+  for (int s = 0; s < kStages; ++s) {
+    for (unsigned i = 0; i < 6; ++i) {
+      if (policy.next_slot(rng).mode == sim::Mode::kTransmit) {
+        ++transmissions[i];
+      }
+    }
+  }
+  for (unsigned i = 0; i < 6; ++i) {
+    const double expected = alg1_slot_probability(4, i + 1);
+    const double observed =
+        transmissions[i] / static_cast<double>(kStages);
+    EXPECT_NEAR(observed, expected, 0.012) << "slot " << (i + 1);
+  }
+}
+
+TEST(Algorithm1, StageScheduleRepeats) {
+  // With Δ_est = 4 (2 slots/stage) and |A| = 8, slot probabilities are
+  // 1/2, 1/2 in both stage positions — the schedule itself is verified
+  // through the deterministic stage counter by exhausting several stages.
+  const net::ChannelSet a(16, {0, 1, 2, 3, 4, 5, 6, 7});
+  Algorithm1Policy policy(a, 4);
+  EXPECT_EQ(policy.stage_slots(), 2u);
+  util::Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    (void)policy.next_slot(rng);  // must not run off the stage counter
+  }
+}
+
+TEST(Algorithm1Death, EmptyAvailableSetAborts) {
+  const net::ChannelSet empty(4);
+  EXPECT_DEATH(Algorithm1Policy(empty, 4), "CHECK failed");
+}
+
+TEST(Algorithm1Death, ZeroDeltaEstAborts) {
+  const net::ChannelSet a(4, {0});
+  EXPECT_DEATH(Algorithm1Policy(a, 0), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace m2hew::core

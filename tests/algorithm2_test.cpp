@@ -1,0 +1,78 @@
+#include "core/algorithm2.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/transmit_probability.hpp"
+#include "util/rng.hpp"
+
+namespace m2hew::core {
+namespace {
+
+TEST(Algorithm2, EstimateStartsAtTwo) {
+  const net::ChannelSet a(4, {0, 1});
+  const Algorithm2Policy policy(a);
+  EXPECT_EQ(policy.current_estimate(), 2u);
+}
+
+TEST(Algorithm2, IncrementScheduleAdvancesPerStage) {
+  const net::ChannelSet a(4, {0, 1});
+  Algorithm2Policy policy(a, EstimateSchedule::kIncrement);
+  util::Rng rng(1);
+  // Stage with d=2 lasts 1 slot; then d=3 lasts 2; d=4 lasts 2; d=5 lasts 3.
+  (void)policy.next_slot(rng);
+  EXPECT_EQ(policy.current_estimate(), 3u);
+  (void)policy.next_slot(rng);
+  (void)policy.next_slot(rng);
+  EXPECT_EQ(policy.current_estimate(), 4u);
+  (void)policy.next_slot(rng);
+  (void)policy.next_slot(rng);
+  EXPECT_EQ(policy.current_estimate(), 5u);
+  (void)policy.next_slot(rng);
+  (void)policy.next_slot(rng);
+  (void)policy.next_slot(rng);
+  EXPECT_EQ(policy.current_estimate(), 6u);
+}
+
+TEST(Algorithm2, DoublingScheduleAdvancesGeometrically) {
+  const net::ChannelSet a(4, {0, 1});
+  Algorithm2Policy policy(a, EstimateSchedule::kDouble);
+  util::Rng rng(2);
+  (void)policy.next_slot(rng);  // d=2, 1 slot
+  EXPECT_EQ(policy.current_estimate(), 4u);
+  (void)policy.next_slot(rng);  // d=4, 2 slots
+  (void)policy.next_slot(rng);
+  EXPECT_EQ(policy.current_estimate(), 8u);
+  for (int i = 0; i < 3; ++i) (void)policy.next_slot(rng);  // d=8, 3 slots
+  EXPECT_EQ(policy.current_estimate(), 16u);
+}
+
+TEST(Algorithm2, SlotsInStageUseAlg1Probabilities) {
+  // In every stage, slot i transmits w.p. min(1/2, |A|/2^i) — with |A| = 1
+  // slot 1 gives exactly p = 1/2; measure the first slot of many policies.
+  const net::ChannelSet a(4, {0});
+  util::Rng rng(3);
+  int transmissions = 0;
+  constexpr int kTrials = 20000;
+  for (int t = 0; t < kTrials; ++t) {
+    Algorithm2Policy policy(a);
+    if (policy.next_slot(rng).mode == sim::Mode::kTransmit) ++transmissions;
+  }
+  EXPECT_NEAR(transmissions / static_cast<double>(kTrials), 0.5, 0.015);
+}
+
+TEST(Algorithm2, ChannelsAlwaysFromAvailableSet) {
+  const net::ChannelSet a(32, {5, 6, 30});
+  Algorithm2Policy policy(a);
+  util::Rng rng(4);
+  for (int i = 0; i < 3000; ++i) {
+    EXPECT_TRUE(a.contains(policy.next_slot(rng).channel));
+  }
+}
+
+TEST(Algorithm2Death, EmptyAvailableSetAborts) {
+  const net::ChannelSet empty(4);
+  EXPECT_DEATH(Algorithm2Policy policy(empty), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace m2hew::core

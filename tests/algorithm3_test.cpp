@@ -1,0 +1,69 @@
+#include "core/algorithm3.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "util/rng.hpp"
+
+namespace m2hew::core {
+namespace {
+
+TEST(Algorithm3, ProbabilityMatchesFormula) {
+  const net::ChannelSet a(16, {0, 1, 2, 3});
+  EXPECT_DOUBLE_EQ(Algorithm3Policy(a, 16).transmit_probability(), 0.25);
+  EXPECT_DOUBLE_EQ(Algorithm3Policy(a, 4).transmit_probability(), 0.5);
+  EXPECT_DOUBLE_EQ(Algorithm3Policy(a, 400).transmit_probability(), 0.01);
+}
+
+TEST(Algorithm3, TransmitRateIsConstantAcrossSlots) {
+  const net::ChannelSet a(16, {0, 1, 2, 3});
+  Algorithm3Policy policy(a, 16);  // p = 0.25
+  util::Rng rng(1);
+  // Measure the rate in two disjoint windows far apart: unlike Algorithm 1
+  // there is no stage schedule, so both windows must match p.
+  auto measure = [&](int slots) {
+    int tx = 0;
+    for (int i = 0; i < slots; ++i) {
+      if (policy.next_slot(rng).mode == sim::Mode::kTransmit) ++tx;
+    }
+    return tx / static_cast<double>(slots);
+  };
+  EXPECT_NEAR(measure(30000), 0.25, 0.01);
+  EXPECT_NEAR(measure(30000), 0.25, 0.01);
+}
+
+TEST(Algorithm3, ChannelChoiceUniformOverAvailable) {
+  const net::ChannelSet a(64, {10, 20, 30, 40});
+  Algorithm3Policy policy(a, 8);
+  util::Rng rng(2);
+  std::map<net::ChannelId, int> counts;
+  constexpr int kSlots = 40000;
+  for (int i = 0; i < kSlots; ++i) {
+    const auto action = policy.next_slot(rng);
+    EXPECT_TRUE(a.contains(action.channel));
+    ++counts[action.channel];
+  }
+  for (const auto& [channel, count] : counts) {
+    EXPECT_NEAR(count, kSlots / 4.0, 500.0) << "channel " << channel;
+  }
+}
+
+TEST(Algorithm3, NeverQuiet) {
+  const net::ChannelSet a(4, {1});
+  Algorithm3Policy policy(a, 2);
+  util::Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_NE(policy.next_slot(rng).mode, sim::Mode::kQuiet);
+  }
+}
+
+TEST(Algorithm3Death, InvalidInputsAbort) {
+  const net::ChannelSet empty(4);
+  EXPECT_DEATH(Algorithm3Policy(empty, 4), "CHECK failed");
+  const net::ChannelSet a(4, {0});
+  EXPECT_DEATH(Algorithm3Policy(a, 0), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace m2hew::core

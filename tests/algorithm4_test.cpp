@@ -1,0 +1,62 @@
+#include "core/algorithm4.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "util/rng.hpp"
+
+namespace m2hew::core {
+namespace {
+
+TEST(Algorithm4, ProbabilityMatchesFormula) {
+  const net::ChannelSet a(16, {0, 1, 2});
+  // p = min(1/2, 3/(3·4)) = 1/4.
+  EXPECT_DOUBLE_EQ(Algorithm4Policy(a, 4).transmit_probability(), 0.25);
+  // p capped at 1/2 when |A| is large relative to Δ_est.
+  const net::ChannelSet big(16, {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11});
+  EXPECT_DOUBLE_EQ(Algorithm4Policy(big, 4).transmit_probability(), 0.5);
+}
+
+TEST(Algorithm4, SlotCountAblationScalesProbability) {
+  const net::ChannelSet a(16, {0, 1, 2});
+  EXPECT_DOUBLE_EQ(Algorithm4Policy(a, 3, 1).transmit_probability(), 0.5);
+  EXPECT_DOUBLE_EQ(Algorithm4Policy(a, 3, 5).transmit_probability(),
+                   3.0 / 15.0);
+}
+
+TEST(Algorithm4, FrameRateMatchesP) {
+  const net::ChannelSet a(8, {0, 1, 2});
+  Algorithm4Policy policy(a, 4);  // p = 0.25
+  util::Rng rng(1);
+  int tx = 0;
+  constexpr int kFrames = 40000;
+  for (int i = 0; i < kFrames; ++i) {
+    const auto action = policy.next_frame(rng);
+    EXPECT_TRUE(a.contains(action.channel));
+    if (action.mode == sim::Mode::kTransmit) ++tx;
+  }
+  EXPECT_NEAR(tx / static_cast<double>(kFrames), 0.25, 0.01);
+}
+
+TEST(Algorithm4, ChannelChoiceUniform) {
+  const net::ChannelSet a(8, {1, 5});
+  Algorithm4Policy policy(a, 8);
+  util::Rng rng(2);
+  std::map<net::ChannelId, int> counts;
+  constexpr int kFrames = 20000;
+  for (int i = 0; i < kFrames; ++i) ++counts[policy.next_frame(rng).channel];
+  EXPECT_NEAR(counts[1], kFrames / 2.0, 400.0);
+  EXPECT_NEAR(counts[5], kFrames / 2.0, 400.0);
+}
+
+TEST(Algorithm4Death, InvalidInputsAbort) {
+  const net::ChannelSet empty(4);
+  EXPECT_DEATH(Algorithm4Policy(empty, 4), "CHECK failed");
+  const net::ChannelSet a(4, {0});
+  EXPECT_DEATH(Algorithm4Policy(a, 0), "CHECK failed");
+  EXPECT_DEATH(Algorithm4Policy(a, 4, 0), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace m2hew::core

@@ -1,0 +1,88 @@
+#include "util/ascii_plot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace m2hew::util {
+namespace {
+
+TEST(AsciiPlot, ContainsMarkersAndAxes) {
+  const std::vector<double> x{0.0, 1.0, 2.0, 3.0};
+  const std::vector<double> y{0.0, 1.0, 4.0, 9.0};
+  const std::string plot = ascii_plot(x, y);
+  EXPECT_GE(std::count(plot.begin(), plot.end(), '*'), 3);
+  EXPECT_NE(plot.find('+'), std::string::npos);
+  EXPECT_NE(plot.find('|'), std::string::npos);
+  EXPECT_NE(plot.find('9'), std::string::npos);  // y max label
+}
+
+TEST(AsciiPlot, LabelsAppear) {
+  PlotOptions options;
+  options.x_label = "rho";
+  options.y_label = "slots";
+  const std::vector<double> x{1.0, 2.0};
+  const std::vector<double> y{3.0, 4.0};
+  const std::string plot = ascii_plot(x, y, options);
+  EXPECT_NE(plot.find("rho"), std::string::npos);
+  EXPECT_NE(plot.find("slots"), std::string::npos);
+}
+
+TEST(AsciiPlot, CornersLandAtExtremes) {
+  PlotOptions options;
+  options.width = 20;
+  options.height = 5;
+  const std::vector<double> x{0.0, 10.0};
+  const std::vector<double> y{0.0, 10.0};
+  const std::string plot = ascii_plot(x, y, options);
+  // Split into lines: first plot row holds the max-y point at the right
+  // edge; last plot row holds the min point at the left edge.
+  std::vector<std::string> lines;
+  std::size_t pos = 0;
+  while (pos < plot.size()) {
+    const std::size_t nl = plot.find('\n', pos);
+    lines.push_back(plot.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  EXPECT_EQ(lines[0].back(), '*');
+  EXPECT_EQ(lines[4][12], '*');  // column after "%10s |" prefix
+}
+
+TEST(AsciiPlot, SinglePointDoesNotDivideByZero) {
+  const std::vector<double> x{5.0};
+  const std::vector<double> y{7.0};
+  const std::string plot = ascii_plot(x, y);
+  EXPECT_NE(plot.find('*'), std::string::npos);
+}
+
+TEST(AsciiPlot, LogScaleCompressesDecades) {
+  PlotOptions options;
+  options.log_y = true;
+  const std::vector<double> x{1.0, 2.0, 3.0};
+  const std::vector<double> y{10.0, 100.0, 1000.0};
+  const std::string plot = ascii_plot(x, y, options);
+  EXPECT_NE(plot.find("1e+03"), std::string::npos);
+  EXPECT_NE(plot.find("10"), std::string::npos);
+}
+
+TEST(AsciiPlot, PairOverloadMatches) {
+  const std::vector<std::pair<double, double>> pts{{0.0, 1.0}, {1.0, 2.0}};
+  const std::vector<double> x{0.0, 1.0};
+  const std::vector<double> y{1.0, 2.0};
+  EXPECT_EQ(ascii_plot(pts), ascii_plot(x, y));
+}
+
+TEST(AsciiPlotDeath, InvalidInputsAbort) {
+  const std::vector<double> x{1.0};
+  const std::vector<double> y{1.0, 2.0};
+  EXPECT_DEATH((void)ascii_plot(x, y), "CHECK failed");
+  const std::vector<double> empty;
+  EXPECT_DEATH((void)ascii_plot(empty, empty), "CHECK failed");
+  PlotOptions log_opts;
+  log_opts.log_y = true;
+  const std::vector<double> neg{-1.0};
+  EXPECT_DEATH((void)ascii_plot(neg, neg, log_opts), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace m2hew::util

@@ -1,0 +1,309 @@
+// §V extension (a): asymmetric communication graphs — directed arcs in the
+// topology, directional ground truth, and one-way reception/interference in
+// both engines.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/algorithms.hpp"
+#include "net/propagation.hpp"
+#include "net/topology_gen.hpp"
+#include "sim/async_engine.hpp"
+#include "sim/slot_engine.hpp"
+#include "util/rng.hpp"
+
+namespace m2hew {
+namespace {
+
+TEST(TopologyArcs, AddArcIsOneWay) {
+  net::Topology t(3);
+  t.add_arc(0, 1);
+  t.finalize();
+  EXPECT_TRUE(t.has_arc(0, 1));
+  EXPECT_FALSE(t.has_arc(1, 0));
+  EXPECT_FALSE(t.has_edge(0, 1));
+  EXPECT_EQ(t.arc_count(), 1u);
+  EXPECT_EQ(t.out_degree(0), 1u);
+  EXPECT_EQ(t.in_degree(0), 0u);
+  EXPECT_EQ(t.in_degree(1), 1u);
+  EXPECT_FALSE(t.is_symmetric());
+}
+
+TEST(TopologyArcs, AddEdgeIsTwoArcs) {
+  net::Topology t(2);
+  t.add_edge(0, 1);
+  t.finalize();
+  EXPECT_EQ(t.arc_count(), 2u);
+  EXPECT_TRUE(t.has_edge(0, 1));
+  EXPECT_TRUE(t.is_symmetric());
+}
+
+TEST(TopologyArcs, InAndOutNeighborsDiffer) {
+  net::Topology t(4);
+  t.add_arc(0, 2);
+  t.add_arc(1, 2);
+  t.add_arc(2, 3);
+  t.finalize();
+  const auto in2 = t.in_neighbors(2);
+  ASSERT_EQ(in2.size(), 2u);
+  EXPECT_EQ(in2[0], 0u);
+  EXPECT_EQ(in2[1], 1u);
+  const auto out2 = t.out_neighbors(2);
+  ASSERT_EQ(out2.size(), 1u);
+  EXPECT_EQ(out2[0], 3u);
+}
+
+TEST(TopologyArcs, EdgesDeduplicatesArcPairs) {
+  net::Topology t(3);
+  t.add_edge(0, 1);
+  t.add_arc(1, 2);
+  const auto edges = t.edges();
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_EQ(edges[0], std::make_pair(net::NodeId{0}, net::NodeId{1}));
+  EXPECT_EQ(edges[1], std::make_pair(net::NodeId{1}, net::NodeId{2}));
+}
+
+TEST(TopologyArcs, ConnectivityUsesUndirectedView) {
+  net::Topology t(3);
+  t.add_arc(0, 1);
+  t.add_arc(2, 1);  // no directed path 0 -> 2, but weakly connected
+  t.finalize();
+  EXPECT_TRUE(t.is_connected());
+}
+
+TEST(TopologyArcsDeath, DuplicateArcAborts) {
+  net::Topology t(2);
+  t.add_arc(0, 1);
+  EXPECT_DEATH(t.add_arc(0, 1), "CHECK failed");
+}
+
+TEST(MakeAsymmetric, ZeroDropKeepsSymmetry) {
+  util::Rng rng(1);
+  const net::Topology sym = net::make_clique(6);
+  const net::Topology out = net::make_asymmetric(sym, 0.0, rng);
+  EXPECT_TRUE(out.is_symmetric());
+  EXPECT_EQ(out.arc_count(), sym.arc_count());
+}
+
+TEST(MakeAsymmetric, FullDropKeepsOneDirectionPerEdge) {
+  util::Rng rng(2);
+  const net::Topology sym = net::make_clique(6);
+  const net::Topology out = net::make_asymmetric(sym, 1.0, rng);
+  EXPECT_EQ(out.arc_count(), sym.edge_count());
+  EXPECT_FALSE(out.is_symmetric());
+  // Exactly one direction survives per pair.
+  for (const auto& [u, v] : sym.edges()) {
+    EXPECT_NE(out.has_arc(u, v), out.has_arc(v, u));
+  }
+}
+
+TEST(MakeAsymmetricDeath, AsymmetricInputAborts) {
+  net::Topology t(2);
+  t.add_arc(0, 1);
+  util::Rng rng(3);
+  EXPECT_DEATH((void)net::make_asymmetric(t, 0.5, rng), "CHECK failed");
+}
+
+TEST(NewGenerators, WattsStrogatzShape) {
+  util::Rng rng(4);
+  const net::Topology t = net::make_watts_strogatz(30, 4, 0.0, rng);
+  // beta = 0: pure ring lattice, every node has degree 4.
+  EXPECT_EQ(t.node_count(), 30u);
+  for (net::NodeId u = 0; u < 30; ++u) EXPECT_EQ(t.degree(u), 4u);
+  EXPECT_TRUE(t.is_connected());
+  EXPECT_TRUE(t.is_symmetric());
+}
+
+TEST(NewGenerators, WattsStrogatzRewiringChangesStructure) {
+  util::Rng rng(5);
+  const net::Topology lattice = net::make_watts_strogatz(40, 4, 0.0, rng);
+  const net::Topology rewired = net::make_watts_strogatz(40, 4, 0.8, rng);
+  // Rewired graph must differ from the lattice on some pair.
+  bool differs = false;
+  for (net::NodeId u = 0; u < 40 && !differs; ++u) {
+    for (net::NodeId v = u + 1; v < 40 && !differs; ++v) {
+      differs = lattice.has_edge(u, v) != rewired.has_edge(u, v);
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(NewGenerators, BarabasiAlbertHubsEmerge) {
+  util::Rng rng(6);
+  const net::Topology t = net::make_barabasi_albert(100, 2, rng);
+  EXPECT_EQ(t.node_count(), 100u);
+  EXPECT_TRUE(t.is_connected());
+  EXPECT_TRUE(t.is_symmetric());
+  // Preferential attachment: the max degree far exceeds the minimum (m).
+  EXPECT_GE(t.max_degree(), 8u);
+  std::size_t min_degree = 100;
+  for (net::NodeId u = 0; u < 100; ++u) {
+    min_degree = std::min(min_degree, t.degree(u));
+  }
+  EXPECT_GE(min_degree, 2u);
+}
+
+// --- Network-level semantics on directed graphs ---
+
+[[nodiscard]] net::Network one_way_pair() {
+  net::Topology t(2);
+  t.add_arc(0, 1);  // only 0 -> 1
+  return net::Network(std::move(t), std::vector<net::ChannelSet>(
+                                        2, net::ChannelSet(2, {0, 1})));
+}
+
+TEST(AsymmetricNetwork, GroundTruthIsDirectional) {
+  const net::Network network = one_way_pair();
+  ASSERT_EQ(network.links().size(), 1u);
+  EXPECT_EQ(network.links()[0], (net::Link{0, 1}));
+  EXPECT_EQ(network.in_links(1).size(), 1u);
+  EXPECT_EQ(network.in_links(0).size(), 0u);
+}
+
+TEST(AsymmetricNetwork, DegreeCountsInNeighbors) {
+  net::Topology t(3);
+  t.add_arc(0, 2);
+  t.add_arc(1, 2);
+  const net::Network network(
+      std::move(t),
+      std::vector<net::ChannelSet>(3, net::ChannelSet(1, {0})));
+  EXPECT_EQ(network.degree_on_channel(2, 0), 2u);
+  EXPECT_EQ(network.degree_on_channel(0, 0), 0u);
+  EXPECT_EQ(network.max_channel_degree(), 2u);
+}
+
+// Scripted policies for engine-level checks.
+class FixedPolicy final : public sim::SyncPolicy {
+ public:
+  explicit FixedPolicy(sim::SlotAction action) : action_(action) {}
+  sim::SlotAction next_slot(util::Rng&) override { return action_; }
+
+ private:
+  sim::SlotAction action_;
+};
+
+[[nodiscard]] sim::SyncPolicyFactory fixed(
+    std::vector<sim::SlotAction> per_node) {
+  auto shared =
+      std::make_shared<std::vector<sim::SlotAction>>(std::move(per_node));
+  return [shared](const net::Network&, net::NodeId u) {
+    return std::make_unique<FixedPolicy>((*shared)[u]);
+  };
+}
+
+TEST(AsymmetricSlotEngine, OneWayLinkDeliversOneWayOnly) {
+  const net::Network network = one_way_pair();
+  sim::SlotEngineConfig config;
+  config.max_slots = 2;
+  config.stop_when_complete = false;
+  // Node 0 transmits while node 1 listens: (0,1) covered; the reverse can
+  // never be (and is not even a link).
+  const auto result = sim::run_slot_engine(
+      network, fixed({{sim::Mode::kTransmit, 0}, {sim::Mode::kReceive, 0}}),
+      config);
+  EXPECT_TRUE(result.state.is_covered({0, 1}));
+  EXPECT_TRUE(result.complete);  // the single link is the whole ground truth
+}
+
+TEST(AsymmetricSlotEngine, ReverseDirectionHearsNothing) {
+  const net::Network network = one_way_pair();
+  sim::SlotEngineConfig config;
+  config.max_slots = 5;
+  config.stop_when_complete = false;
+  // Node 1 transmits, node 0 listens: no arc 1 -> 0, nothing happens.
+  const auto result = sim::run_slot_engine(
+      network, fixed({{sim::Mode::kReceive, 0}, {sim::Mode::kTransmit, 0}}),
+      config);
+  EXPECT_EQ(result.state.covered_links(), 0u);
+  EXPECT_EQ(result.state.reception_count(), 0u);
+}
+
+TEST(AsymmetricSlotEngine, OneWayInterfererStillCollides) {
+  // 1 -> 0 and 2 -> 0: both transmissions reach 0 and collide there even
+  // though 0 cannot talk back.
+  net::Topology t(3);
+  t.add_arc(1, 0);
+  t.add_arc(2, 0);
+  const net::Network network(
+      std::move(t),
+      std::vector<net::ChannelSet>(3, net::ChannelSet(1, {0})));
+  sim::SlotEngineConfig config;
+  config.max_slots = 3;
+  config.stop_when_complete = false;
+  const auto result = sim::run_slot_engine(
+      network,
+      fixed({{sim::Mode::kReceive, 0},
+             {sim::Mode::kTransmit, 0},
+             {sim::Mode::kTransmit, 0}}),
+      config);
+  EXPECT_EQ(result.state.covered_links(), 0u);
+}
+
+TEST(PropagationSlotEngine, MaskedChannelNeitherDeliversNorInterferes) {
+  // Star: 1 -> 0 carries channel 0 only; 2 -> 0 is fully masked. When both
+  // transmit on channel 0, node 2's signal does not reach 0 at all, so 1
+  // is received cleanly (no collision).
+  net::Topology t(3);
+  t.add_edge(0, 1);
+  t.add_edge(0, 2);
+  const net::ChannelSet all = net::ChannelSet::full(1);
+  const net::PropagationFilter filter = [](net::NodeId from, net::NodeId to) {
+    const bool involves2 = from == 2 || to == 2;
+    return involves2 ? net::ChannelSet(1) : net::ChannelSet::full(1);
+  };
+  const net::Network network(std::move(t), {all, all, all}, filter);
+  ASSERT_EQ(network.links().size(), 2u);  // 0<->1 only
+  sim::SlotEngineConfig config;
+  config.max_slots = 1;
+  config.stop_when_complete = false;
+  const auto result = sim::run_slot_engine(
+      network,
+      fixed({{sim::Mode::kReceive, 0},
+             {sim::Mode::kTransmit, 0},
+             {sim::Mode::kTransmit, 0}}),
+      config);
+  EXPECT_TRUE(result.state.is_covered({1, 0}));
+}
+
+// --- End-to-end discovery on asymmetric / propagation-limited networks ---
+
+TEST(AsymmetricIntegration, Algorithm3DiscoversAllDirectedLinks) {
+  util::Rng rng(7);
+  const net::Topology sym = net::make_clique(8);
+  net::Topology asym = net::make_asymmetric(sym, 0.5, rng);
+  const net::Network network(
+      std::move(asym),
+      std::vector<net::ChannelSet>(8, net::ChannelSet(4, {0, 1, 2, 3})));
+  sim::SlotEngineConfig config;
+  config.max_slots = 500000;
+  config.seed = 8;
+  const auto result =
+      sim::run_slot_engine(network, core::make_algorithm3(8), config);
+  ASSERT_TRUE(result.complete);
+  for (net::NodeId u = 0; u < network.node_count(); ++u) {
+    EXPECT_TRUE(result.state.table_matches_ground_truth(u));
+  }
+}
+
+TEST(AsymmetricIntegration, Algorithm4DiscoversOverMaskedSpectrum) {
+  util::Rng rng(9);
+  const net::Topology sym = net::make_clique(6);
+  net::Topology asym = net::make_asymmetric(sym, 0.4, rng);
+  const net::Network network(
+      std::move(asym),
+      std::vector<net::ChannelSet>(6, net::ChannelSet::full(6)),
+      net::random_propagation_filter(6, 0.6, 11));
+  sim::AsyncEngineConfig config;
+  config.frame_length = 3.0;
+  config.max_real_time = 3e6;
+  config.seed = 10;
+  const auto result =
+      sim::run_async_engine(network, core::make_algorithm4(6), config);
+  ASSERT_TRUE(result.complete);
+  for (net::NodeId u = 0; u < network.node_count(); ++u) {
+    EXPECT_TRUE(result.state.table_matches_ground_truth(u));
+  }
+}
+
+}  // namespace
+}  // namespace m2hew

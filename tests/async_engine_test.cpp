@@ -1,0 +1,257 @@
+#include "sim/async_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "net/topology_gen.hpp"
+
+namespace m2hew::sim {
+namespace {
+
+// Scripted frame policy: fixed sequence, repeating the last action forever.
+class ScriptedFramePolicy final : public AsyncPolicy {
+ public:
+  explicit ScriptedFramePolicy(std::vector<FrameAction> script)
+      : script_(std::move(script)) {}
+
+  FrameAction next_frame(util::Rng&) override {
+    const FrameAction a = script_[std::min(index_, script_.size() - 1)];
+    ++index_;
+    return a;
+  }
+
+ private:
+  std::vector<FrameAction> script_;
+  std::size_t index_ = 0;
+};
+
+constexpr FrameAction kTx0{Mode::kTransmit, 0};
+constexpr FrameAction kRx0{Mode::kReceive, 0};
+constexpr FrameAction kTx1{Mode::kTransmit, 1};
+constexpr FrameAction kQuiet{Mode::kQuiet, net::kInvalidChannel};
+
+[[nodiscard]] AsyncPolicyFactory scripted(
+    std::vector<std::vector<FrameAction>> per_node) {
+  auto shared = std::make_shared<std::vector<std::vector<FrameAction>>>(
+      std::move(per_node));
+  return [shared](const net::Network&, net::NodeId u) {
+    return std::make_unique<ScriptedFramePolicy>((*shared)[u]);
+  };
+}
+
+[[nodiscard]] net::Network two_node_net() {
+  net::Topology t(2);
+  t.add_edge(0, 1);
+  return net::Network(std::move(t), std::vector<net::ChannelSet>(
+                                        2, net::ChannelSet(2, {0, 1})));
+}
+
+[[nodiscard]] net::Network star3_net() {
+  net::Topology t(3);
+  t.add_edge(0, 1);
+  t.add_edge(0, 2);
+  return net::Network(std::move(t), std::vector<net::ChannelSet>(
+                                        3, net::ChannelSet(2, {0, 1})));
+}
+
+TEST(AsyncEngine, AlignedFramesDeliverInFirstSlot) {
+  const net::Network network = two_node_net();
+  AsyncEngineConfig config;
+  config.frame_length = 3.0;  // slots of length 1
+  config.max_real_time = 100.0;
+  const auto result = run_async_engine(
+      network, scripted({{kTx0}, {kRx0}}), config);
+  EXPECT_TRUE(result.state.is_covered({0, 1}));
+  // First slot of node 0's first frame is [0, 1]; reception at its end.
+  EXPECT_DOUBLE_EQ(result.state.first_coverage_time({0, 1}), 1.0);
+  EXPECT_FALSE(result.state.is_covered({1, 0}));
+}
+
+TEST(AsyncEngine, TransmitterFrameFullyInterferedByOtherSender) {
+  // Hub 0 listens on c0; nodes 1 and 2 both transmit whole frames on c0
+  // with identical (ideal, aligned) clocks: every slot of each is
+  // overlapped by the other's burst, so the hub hears nothing.
+  const net::Network network = star3_net();
+  AsyncEngineConfig config;
+  config.frame_length = 3.0;
+  config.max_real_time = 30.0;
+  config.stop_when_complete = false;
+  config.max_frames_per_node = 10;
+  const auto result = run_async_engine(
+      network, scripted({{kRx0}, {kTx0}, {kTx0}}), config);
+  EXPECT_EQ(result.state.covered_links(), 0u);
+}
+
+TEST(AsyncEngine, DifferentChannelsDoNotInterfere) {
+  const net::Network network = star3_net();
+  AsyncEngineConfig config;
+  config.frame_length = 3.0;
+  config.max_real_time = 30.0;
+  config.stop_when_complete = false;
+  config.max_frames_per_node = 4;
+  // Hub listens c0 then c1; 1 transmits on c0, 2 on c1.
+  const auto result = run_async_engine(
+      network, scripted({{kRx0, {Mode::kReceive, 1}}, {kTx0}, {kTx1}}),
+      config);
+  EXPECT_TRUE(result.state.is_covered({1, 0}));
+  EXPECT_TRUE(result.state.is_covered({2, 0}));
+}
+
+TEST(AsyncEngine, PartialOverlapInterferenceKillsOnlyOverlappedSlots) {
+  // Hub listens [0, 3] on c0. Node 1 transmits its frame [0, 3]; node 2
+  // starts at 1.5 and transmits [1.5, 4.5]. Node 2's burst overlaps node
+  // 1's slots [1,2] and [2,3] but not [0,1] — so the hub still hears node
+  // 1 via its first slot. Node 2's own slots inside [0,3] are all
+  // overlapped by node 1's burst.
+  const net::Network network = star3_net();
+  AsyncEngineConfig config;
+  config.frame_length = 3.0;
+  config.max_real_time = 3.1;  // only the hub's first listening frame
+  config.start_times = {0.0, 0.0, 1.5};
+  config.stop_when_complete = false;
+  const auto result = run_async_engine(
+      network, scripted({{kRx0, kQuiet}, {kTx0, kQuiet}, {kTx0, kQuiet}}),
+      config);
+  EXPECT_TRUE(result.state.is_covered({1, 0}));
+  EXPECT_FALSE(result.state.is_covered({2, 0}));
+  EXPECT_DOUBLE_EQ(result.state.first_coverage_time({1, 0}), 1.0);
+}
+
+TEST(AsyncEngine, MisalignedFramesStillDeliver) {
+  const net::Network network = two_node_net();
+  AsyncEngineConfig config;
+  config.frame_length = 3.0;
+  config.start_times = {1.3, 0.0};  // transmitter offset inside listener frame
+  config.max_real_time = 100.0;
+  const auto result = run_async_engine(
+      network, scripted({{kTx0}, {kRx0}}), config);
+  EXPECT_TRUE(result.state.is_covered({0, 1}));
+}
+
+TEST(AsyncEngine, DriftedClocksStillDeliver) {
+  const net::Network network = two_node_net();
+  AsyncEngineConfig config;
+  config.frame_length = 3.0;
+  config.max_real_time = 300.0;
+  config.clock_builder = [](net::NodeId u, std::uint64_t) {
+    // One fast clock at +1/7, one slow at −1/7 (the paper's extremes).
+    const double drift = (u == 0) ? 1.0 / 7.0 : -1.0 / 7.0;
+    return std::make_unique<ConstantDriftClock>(drift, 0.0);
+  };
+  const auto result = run_async_engine(
+      network, scripted({{kTx0}, {kRx0}}), config);
+  EXPECT_TRUE(result.state.is_covered({0, 1}));
+}
+
+TEST(AsyncEngine, FramesStartedMatchesBudget) {
+  const net::Network network = two_node_net();
+  AsyncEngineConfig config;
+  config.frame_length = 1.0;
+  config.max_frames_per_node = 7;
+  config.max_real_time = 1e6;
+  config.stop_when_complete = false;
+  const auto result = run_async_engine(
+      network, scripted({{kQuiet}, {kQuiet}}), config);
+  EXPECT_EQ(result.frames_started[0], 7u);
+  EXPECT_EQ(result.frames_started[1], 7u);
+  EXPECT_FALSE(result.complete);
+}
+
+TEST(AsyncEngine, TsIsLatestStart) {
+  const net::Network network = two_node_net();
+  AsyncEngineConfig config;
+  config.frame_length = 3.0;
+  config.start_times = {0.0, 7.5};
+  config.max_real_time = 100.0;
+  // Node 0 transmits its first three frames ([0,3), [3,6), [6,9)) then
+  // listens; node 1 (starting at 7.5) listens one frame then transmits.
+  // Both directions get covered only after node 1 is awake.
+  const auto result = run_async_engine(
+      network, scripted({{kTx0, kTx0, kTx0, kRx0}, {kRx0, kTx0}}), config);
+  EXPECT_DOUBLE_EQ(result.t_s, 7.5);
+  ASSERT_TRUE(result.complete);
+  EXPECT_GE(result.completion_time, 7.5);
+}
+
+TEST(AsyncEngine, FullFramesSinceTsAreConsistent) {
+  const net::Network network = two_node_net();
+  AsyncEngineConfig config;
+  config.frame_length = 3.0;
+  config.max_real_time = 1000.0;
+  // Node 0 listens in frame 0 (covering (1,0) at t=1 from node 1's initial
+  // transmit frame), then stays quiet until transmitting in frame 4; node 1
+  // listens from frame 1 onward, covering (0,1) at t=13.
+  const auto result = run_async_engine(
+      network,
+      scripted({{kRx0, kQuiet, kQuiet, kQuiet, kTx0, kQuiet},
+                {kTx0, kRx0}}),
+      config);
+  ASSERT_TRUE(result.complete);
+  ASSERT_EQ(result.full_frames_since_ts.size(), 2u);
+  // Completion happens at the end of the first slot of frame 4 (t = 13):
+  // node timelines are ideal and start at 0, so both nodes fit exactly 4
+  // full frames in [0, 13].
+  EXPECT_DOUBLE_EQ(result.completion_time, 13.0);
+  EXPECT_EQ(result.full_frames_since_ts[0], 4u);
+  EXPECT_EQ(result.full_frames_since_ts[1], 4u);
+}
+
+TEST(AsyncEngine, CertainLossBlocksDelivery) {
+  const net::Network network = two_node_net();
+  AsyncEngineConfig config;
+  config.frame_length = 3.0;
+  config.max_real_time = 60.0;
+  config.loss_probability = 0.999999;
+  const auto result = run_async_engine(
+      network, scripted({{kTx0}, {kRx0}}), config);
+  EXPECT_FALSE(result.state.is_covered({0, 1}));
+}
+
+TEST(AsyncEngine, QuietFramesProduceNothing) {
+  const net::Network network = two_node_net();
+  AsyncEngineConfig config;
+  config.frame_length = 1.0;
+  config.max_real_time = 20.0;
+  config.stop_when_complete = false;
+  config.max_frames_per_node = 10;
+  const auto result = run_async_engine(
+      network, scripted({{kQuiet}, {kRx0}}), config);
+  EXPECT_EQ(result.state.covered_links(), 0u);
+  EXPECT_EQ(result.state.reception_count(), 0u);
+}
+
+TEST(AsyncEngine, SlotsPerFrameAblationChangesSlotLength) {
+  const net::Network network = two_node_net();
+  AsyncEngineConfig config;
+  config.frame_length = 4.0;
+  config.slots_per_frame = 4;
+  config.max_real_time = 50.0;
+  const auto result = run_async_engine(
+      network, scripted({{kTx0}, {kRx0}}), config);
+  ASSERT_TRUE(result.state.is_covered({0, 1}));
+  // First slot is [0, 1] with 4 slots over length 4.
+  EXPECT_DOUBLE_EQ(result.state.first_coverage_time({0, 1}), 1.0);
+}
+
+TEST(AsyncEngineDeath, BadSlotCountAborts) {
+  const net::Network network = two_node_net();
+  AsyncEngineConfig config;
+  config.slots_per_frame = 0;
+  EXPECT_DEATH(
+      (void)run_async_engine(network, scripted({{kRx0}, {kRx0}}), config),
+      "CHECK failed");
+}
+
+TEST(AsyncEngineDeath, WrongStartTimesSizeAborts) {
+  const net::Network network = two_node_net();
+  AsyncEngineConfig config;
+  config.start_times = {0.0};
+  EXPECT_DEATH(
+      (void)run_async_engine(network, scripted({{kRx0}, {kRx0}}), config),
+      "CHECK failed");
+}
+
+}  // namespace
+}  // namespace m2hew::sim

@@ -1,0 +1,166 @@
+// Dynamic primary-user interference in the asynchronous engine: slot-level
+// transmitter vacating and receiver jamming, with ideal clocks so every
+// interval is exact.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/algorithms.hpp"
+#include "net/primary_user.hpp"
+#include "net/topology_gen.hpp"
+#include "sim/async_engine.hpp"
+#include "util/rng.hpp"
+
+namespace m2hew {
+namespace {
+
+class FixedFramePolicy final : public sim::AsyncPolicy {
+ public:
+  explicit FixedFramePolicy(sim::FrameAction action) : action_(action) {}
+  sim::FrameAction next_frame(util::Rng&) override { return action_; }
+
+ private:
+  sim::FrameAction action_;
+};
+
+[[nodiscard]] sim::AsyncPolicyFactory fixed(
+    std::vector<sim::FrameAction> per_node) {
+  auto shared =
+      std::make_shared<std::vector<sim::FrameAction>>(std::move(per_node));
+  return [shared](const net::Network&, net::NodeId u)
+             -> std::unique_ptr<sim::AsyncPolicy> {
+    return std::make_unique<FixedFramePolicy>((*shared)[u]);
+  };
+}
+
+[[nodiscard]] net::Network pair_net() {
+  net::Topology t(2);
+  t.add_edge(0, 1);
+  return net::Network(std::move(t), std::vector<net::ChannelSet>(
+                                        2, net::ChannelSet(2, {0, 1})));
+}
+
+constexpr sim::FrameAction kTx0{sim::Mode::kTransmit, 0};
+constexpr sim::FrameAction kRx0{sim::Mode::kReceive, 0};
+
+TEST(AsyncInterference, FullyJammedReceiverHearsNothing) {
+  const net::Network network = pair_net();
+  sim::AsyncEngineConfig config;
+  config.frame_length = 3.0;
+  config.max_real_time = 30.0;
+  config.stop_when_complete = false;
+  config.max_frames_per_node = 8;
+  config.interference = [](double, net::NodeId node, net::ChannelId c) {
+    return node == 1 && c == 0;
+  };
+  const auto result =
+      sim::run_async_engine(network, fixed({kTx0, kRx0}), config);
+  EXPECT_EQ(result.state.covered_links(), 0u);
+}
+
+TEST(AsyncInterference, FullyJammedTransmitterVacates) {
+  const net::Network network = pair_net();
+  sim::AsyncEngineConfig config;
+  config.frame_length = 3.0;
+  config.max_real_time = 30.0;
+  config.stop_when_complete = false;
+  config.max_frames_per_node = 8;
+  config.interference = [](double, net::NodeId node, net::ChannelId c) {
+    return node == 0 && c == 0;
+  };
+  const auto result =
+      sim::run_async_engine(network, fixed({kTx0, kRx0}), config);
+  EXPECT_EQ(result.state.covered_links(), 0u);
+}
+
+TEST(AsyncInterference, PartialJamLeavesOtherSlotsUsable) {
+  // PU active at node 1 (the listener) only during [0, 1.5): the first
+  // slot [0,1] of node 0's transmit frame is drowned, the second [1,2]
+  // straddles (midpoint 1.5 -> not jammed), delivery via slot 2 or 3.
+  const net::Network network = pair_net();
+  sim::AsyncEngineConfig config;
+  config.frame_length = 3.0;
+  config.max_real_time = 3.5;
+  config.stop_when_complete = false;
+  config.interference = [](double t, net::NodeId node, net::ChannelId c) {
+    return node == 1 && c == 0 && t < 1.5;
+  };
+  const auto result =
+      sim::run_async_engine(network, fixed({kTx0, kRx0}), config);
+  ASSERT_TRUE(result.state.is_covered({0, 1}));
+  // Slot [1,2] has midpoint exactly 1.5 (not < 1.5): it is the first
+  // clear slot, so coverage lands at its end.
+  EXPECT_DOUBLE_EQ(result.state.first_coverage_time({0, 1}), 2.0);
+}
+
+TEST(AsyncInterference, JammedInterfererDoesNotCollide) {
+  // Star: node 1 transmits cleanly; node 2 would collide but its
+  // transmissions are suppressed by a PU at node 2 on channel 0.
+  net::Topology t(3);
+  t.add_edge(0, 1);
+  t.add_edge(0, 2);
+  const net::Network network(
+      std::move(t),
+      std::vector<net::ChannelSet>(3, net::ChannelSet(1, {0})));
+  sim::AsyncEngineConfig config;
+  config.frame_length = 3.0;
+  config.max_real_time = 3.5;
+  config.stop_when_complete = false;
+  config.interference = [](double, net::NodeId node, net::ChannelId) {
+    return node == 2;
+  };
+  const auto result =
+      sim::run_async_engine(network, fixed({kRx0, kTx0, kTx0}), config);
+  EXPECT_TRUE(result.state.is_covered({1, 0}));
+  EXPECT_FALSE(result.state.is_covered({2, 0}));
+}
+
+TEST(AsyncInterference, WithoutScheduleBehaviourUnchanged) {
+  // Null interference must reproduce the plain engine bit-for-bit.
+  const net::Network network = pair_net();
+  sim::AsyncEngineConfig plain;
+  plain.frame_length = 3.0;
+  plain.max_real_time = 200.0;
+  plain.seed = 7;
+  const auto a =
+      sim::run_async_engine(network, core::make_algorithm4(4), plain);
+  sim::AsyncEngineConfig with_null = plain;
+  with_null.interference = [](double, net::NodeId, net::ChannelId) {
+    return false;
+  };
+  const auto b =
+      sim::run_async_engine(network, core::make_algorithm4(4), with_null);
+  ASSERT_EQ(a.complete, b.complete);
+  if (a.complete) {
+    EXPECT_DOUBLE_EQ(a.completion_time, b.completion_time);
+  }
+}
+
+TEST(AsyncInterference, DiscoveryCompletesUnderDynamicPUs) {
+  util::Rng rng(5);
+  const auto geo = net::make_connected_unit_disk(8, 1.0, 0.55, rng);
+  const net::Network network(
+      geo.topology,
+      std::vector<net::ChannelSet>(8, net::ChannelSet::full(5)));
+  const auto field = net::DynamicPrimaryUserField::random(
+      5, 6, 1.0, 0.2, 0.4, /*period=*/120, /*duty=*/0.4, rng);
+  // The PU field is slot-indexed; map real time through the frame length.
+  const auto slot_schedule = field.interference_for(geo.positions);
+  sim::AsyncEngineConfig config;
+  config.frame_length = 3.0;
+  config.max_real_time = 1e6;
+  config.seed = 6;
+  config.interference = [slot_schedule](double time, net::NodeId node,
+                                        net::ChannelId channel) {
+    return slot_schedule(static_cast<std::uint64_t>(time), node, channel);
+  };
+  const auto result =
+      sim::run_async_engine(network, core::make_algorithm4(6), config);
+  ASSERT_TRUE(result.complete);
+  for (net::NodeId u = 0; u < network.node_count(); ++u) {
+    EXPECT_TRUE(result.state.table_matches_ground_truth(u));
+  }
+}
+
+}  // namespace
+}  // namespace m2hew

@@ -1,0 +1,101 @@
+#include "core/baseline_deterministic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/channel_assign.hpp"
+#include "net/topology_gen.hpp"
+#include "sim/slot_engine.hpp"
+#include "util/rng.hpp"
+
+namespace m2hew::core {
+namespace {
+
+TEST(DeterministicBaseline, ScheduleIsDeterministic) {
+  const net::ChannelSet a = net::ChannelSet::full(2);
+  DeterministicBaselinePolicy policy(a, /*id=*/1, /*id_bound=*/3,
+                                     /*universe=*/2);
+  util::Rng rng(1);
+  // Round structure with id_bound=3, |U|=2:
+  // slots 0,1,2 on channel 0 (turns 0,1,2), slots 3,4,5 on channel 1.
+  const sim::Mode expected_modes[] = {
+      sim::Mode::kReceive, sim::Mode::kTransmit, sim::Mode::kReceive,
+      sim::Mode::kReceive, sim::Mode::kTransmit, sim::Mode::kReceive};
+  const net::ChannelId expected_channels[] = {0, 0, 0, 1, 1, 1};
+  for (int slot = 0; slot < 6; ++slot) {
+    const auto action = policy.next_slot(rng);
+    EXPECT_EQ(action.mode, expected_modes[slot]) << "slot " << slot;
+    EXPECT_EQ(action.channel, expected_channels[slot]) << "slot " << slot;
+  }
+  EXPECT_EQ(policy.sweep_length(), 6u);
+}
+
+TEST(DeterministicBaseline, QuietOnUnavailableChannels) {
+  const net::ChannelSet a(3, {0, 2});  // channel 1 unavailable
+  DeterministicBaselinePolicy policy(a, 0, 2, 3);
+  util::Rng rng(1);
+  for (std::uint64_t slot = 0; slot < 6; ++slot) {
+    const auto action = policy.next_slot(rng);
+    const auto channel = static_cast<net::ChannelId>((slot / 2) % 3);
+    if (channel == 1) {
+      EXPECT_EQ(action.mode, sim::Mode::kQuiet);
+    } else {
+      EXPECT_NE(action.mode, sim::Mode::kQuiet);
+    }
+  }
+}
+
+TEST(DeterministicBaseline, CompletesWithinOneSweepDeterministically) {
+  util::Rng rng(2);
+  const net::Network network(
+      net::make_clique(6),
+      net::uniform_random_assignment(6, 5, 3, rng));
+  sim::SlotEngineConfig config;
+  config.max_slots = 6ull * 5ull;  // exactly one sweep: N x |U|
+  config.seed = 3;
+  const auto result = sim::run_slot_engine(
+      network, make_deterministic_baseline(5), config);
+  ASSERT_TRUE(result.complete);
+  for (net::NodeId u = 0; u < 6; ++u) {
+    EXPECT_TRUE(result.state.table_matches_ground_truth(u));
+  }
+  // Re-running with any other seed gives the identical completion slot —
+  // there is no randomness in the schedule.
+  sim::SlotEngineConfig config2 = config;
+  config2.seed = 999;
+  const auto result2 = sim::run_slot_engine(
+      network, make_deterministic_baseline(5), config2);
+  EXPECT_EQ(result.completion_slot, result2.completion_slot);
+}
+
+TEST(DeterministicBaseline, NeverCollides) {
+  // At most one node transmits per slot by construction, so reception
+  // counts equal link-coverage opportunities: run with an observer and
+  // assert no slot ever saw a collision by checking every listening node
+  // on the turn-holder's channel heard it (clique, shared channels).
+  const net::Network network(
+      net::make_clique(4),
+      std::vector<net::ChannelSet>(4, net::ChannelSet::full(2)));
+  sim::SlotEngineConfig config;
+  config.max_slots = 8;  // one sweep
+  config.stop_when_complete = false;
+  std::size_t receptions = 0;
+  config.on_reception = [&receptions](std::uint64_t, net::NodeId,
+                                      net::NodeId, net::ChannelId) {
+    ++receptions;
+  };
+  (void)sim::run_slot_engine(network, make_deterministic_baseline(2),
+                             config);
+  // Every slot: 1 transmitter, 3 listeners on the same channel -> 3
+  // receptions x 8 slots.
+  EXPECT_EQ(receptions, 24u);
+}
+
+TEST(DeterministicBaselineDeath, BadIdsAbort) {
+  const net::ChannelSet a = net::ChannelSet::full(2);
+  EXPECT_DEATH(DeterministicBaselinePolicy(a, 3, 3, 2), "CHECK failed");
+  EXPECT_DEATH(DeterministicBaselinePolicy(a, 0, 0, 2), "CHECK failed");
+  EXPECT_DEATH(DeterministicBaselinePolicy(a, 0, 1, 0), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace m2hew::core

@@ -1,0 +1,76 @@
+#include "core/baseline_universal.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace m2hew::core {
+namespace {
+
+TEST(UniversalBaseline, RoundRobinsOverUniverse) {
+  const net::ChannelSet a = net::ChannelSet::full(4);
+  UniversalBaselinePolicy policy(a, 4);
+  util::Rng rng(1);
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    for (net::ChannelId c = 0; c < 4; ++c) {
+      const auto action = policy.next_slot(rng);
+      EXPECT_EQ(action.channel, c);
+      EXPECT_NE(action.mode, sim::Mode::kQuiet);
+    }
+  }
+}
+
+TEST(UniversalBaseline, QuietOnUnavailableChannels) {
+  const net::ChannelSet a(6, {1, 4});
+  UniversalBaselinePolicy policy(a, 6);
+  util::Rng rng(2);
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    for (net::ChannelId c = 0; c < 6; ++c) {
+      const auto action = policy.next_slot(rng);
+      if (c == 1 || c == 4) {
+        EXPECT_NE(action.mode, sim::Mode::kQuiet);
+        EXPECT_EQ(action.channel, c);
+      } else {
+        EXPECT_EQ(action.mode, sim::Mode::kQuiet);
+      }
+    }
+  }
+}
+
+TEST(UniversalBaseline, TransmitRateMatchesP) {
+  const net::ChannelSet a = net::ChannelSet::full(2);
+  UniversalBaselinePolicy policy(a, 2, 0.3);
+  util::Rng rng(3);
+  int tx = 0;
+  int active = 0;
+  for (int i = 0; i < 50000; ++i) {
+    const auto action = policy.next_slot(rng);
+    if (action.mode == sim::Mode::kQuiet) continue;
+    ++active;
+    if (action.mode == sim::Mode::kTransmit) ++tx;
+  }
+  ASSERT_GT(active, 0);
+  EXPECT_NEAR(tx / static_cast<double>(active), 0.3, 0.01);
+}
+
+TEST(UniversalBaseline, SlotCountIndependentOfParticipation) {
+  // Even a node with a single available channel advances the round-robin
+  // every slot (the schedule is global).
+  const net::ChannelSet a(8, {7});
+  UniversalBaselinePolicy policy(a, 8);
+  util::Rng rng(4);
+  int active = 0;
+  for (int i = 0; i < 80; ++i) {
+    if (policy.next_slot(rng).mode != sim::Mode::kQuiet) ++active;
+  }
+  EXPECT_EQ(active, 10);  // exactly every 8th slot
+}
+
+TEST(UniversalBaselineDeath, InvalidProbabilityAborts) {
+  const net::ChannelSet a(4, {0});
+  EXPECT_DEATH(UniversalBaselinePolicy(a, 4, 0.0), "CHECK failed");
+  EXPECT_DEATH(UniversalBaselinePolicy(a, 4, 1.0), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace m2hew::core

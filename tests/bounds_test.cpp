@@ -1,0 +1,133 @@
+#include "core/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace m2hew::core {
+namespace {
+
+[[nodiscard]] BoundParams base_params() {
+  BoundParams p;
+  p.n = 16;
+  p.s = 4;
+  p.delta = 3;
+  p.delta_est = 8;
+  p.rho = 0.5;
+  p.epsilon = 0.1;
+  return p;
+}
+
+TEST(Bounds, Eq6StageCoverage) {
+  const BoundParams p = base_params();
+  // ρ / (16·max(S,Δ)) = 0.5 / (16·4).
+  EXPECT_DOUBLE_EQ(eq6_stage_coverage_lower_bound(p), 0.5 / 64.0);
+}
+
+TEST(Bounds, Theorem1Formulas) {
+  const BoundParams p = base_params();
+  const double expected_stages =
+      (16.0 * 4.0 / 0.5) * std::log(16.0 * 16.0 / 0.1);
+  EXPECT_DOUBLE_EQ(theorem1_stage_bound(p), expected_stages);
+  // ⌈log₂ 8⌉ = 3 slots per stage.
+  EXPECT_DOUBLE_EQ(theorem1_slot_bound(p), expected_stages * 3.0);
+}
+
+TEST(Bounds, Theorem2AddsDeltaAndGrowsStages) {
+  const BoundParams p = base_params();
+  EXPECT_DOUBLE_EQ(theorem2_stage_bound(p),
+                   theorem1_stage_bound(p) + 3.0);
+  // Slot bound exceeds stage count (stages have length >= 1) and exceeds
+  // Theorem 1's slot bound scaled by the growing stage length.
+  EXPECT_GT(theorem2_slot_bound(p), theorem2_stage_bound(p));
+}
+
+TEST(Bounds, Theorem2SlotSummationExact) {
+  BoundParams p = base_params();
+  // Make the bound small and check the summation by hand: with stages = 4,
+  // estimates are d = 2,3,4,5 -> lengths 1,2,2,3 -> 8 slots.
+  p.n = 1;
+  p.s = 1;
+  p.delta = 1;
+  p.rho = 1.0;
+  p.epsilon = 0.9;
+  // theorem1_stage_bound = 16·ln(1/0.9) ≈ 1.686; +Δ=1 -> ceil(2.686) = 3
+  // stages: d=2,3,4 -> 1+2+2 = 5 slots.
+  EXPECT_DOUBLE_EQ(theorem2_slot_bound(p), 5.0);
+}
+
+TEST(Bounds, Theorem3NoLogDeltaFactor) {
+  const BoundParams p = base_params();
+  const double expected =
+      (8.0 * std::max(2.0 * 4.0, 8.0) / 0.5) * std::log(256.0 / 0.1);
+  EXPECT_DOUBLE_EQ(theorem3_slot_bound(p), expected);
+  EXPECT_DOUBLE_EQ(alg3_slot_coverage_lower_bound(p),
+                   0.5 / (8.0 * 8.0));
+}
+
+TEST(Bounds, Lemma5AndTheorem9) {
+  const BoundParams p = base_params();
+  // max(2S, 3Δ_est) = max(8, 24) = 24.
+  EXPECT_DOUBLE_EQ(lemma5_pair_coverage_lower_bound(p), 0.5 / (8.0 * 24.0));
+  EXPECT_DOUBLE_EQ(theorem9_frame_bound(p),
+                   (48.0 * 24.0 / 0.5) * std::log(256.0 / 0.1));
+}
+
+TEST(Bounds, Theorem10RealTime) {
+  const BoundParams p = base_params();
+  const double frames = theorem9_frame_bound(p);
+  EXPECT_DOUBLE_EQ(theorem10_realtime_bound(p, 3.0, 1.0 / 7.0),
+                   (frames + 1.0) * 3.0 / (1.0 - 1.0 / 7.0));
+}
+
+TEST(Bounds, MonotonicityInParameters) {
+  const BoundParams p = base_params();
+
+  BoundParams larger_n = p;
+  larger_n.n *= 4;
+  EXPECT_GT(theorem1_stage_bound(larger_n), theorem1_stage_bound(p));
+
+  BoundParams smaller_rho = p;
+  smaller_rho.rho = 0.25;
+  EXPECT_GT(theorem1_stage_bound(smaller_rho), theorem1_stage_bound(p));
+  EXPECT_GT(theorem3_slot_bound(smaller_rho), theorem3_slot_bound(p));
+  EXPECT_GT(theorem9_frame_bound(smaller_rho), theorem9_frame_bound(p));
+
+  BoundParams smaller_eps = p;
+  smaller_eps.epsilon = 0.01;
+  EXPECT_GT(theorem1_stage_bound(smaller_eps), theorem1_stage_bound(p));
+
+  BoundParams bigger_dest = p;
+  bigger_dest.delta_est = 64;
+  EXPECT_GT(theorem1_slot_bound(bigger_dest), theorem1_slot_bound(p));
+  EXPECT_GT(theorem3_slot_bound(bigger_dest), theorem3_slot_bound(p));
+}
+
+TEST(Bounds, RhoInverseProportionality) {
+  // Halving ρ must exactly double every ρ-dependent bound.
+  const BoundParams p = base_params();
+  BoundParams half = p;
+  half.rho = p.rho / 2.0;
+  EXPECT_DOUBLE_EQ(theorem1_stage_bound(half), 2.0 * theorem1_stage_bound(p));
+  EXPECT_DOUBLE_EQ(theorem3_slot_bound(half), 2.0 * theorem3_slot_bound(p));
+  EXPECT_DOUBLE_EQ(theorem9_frame_bound(half), 2.0 * theorem9_frame_bound(p));
+}
+
+TEST(Bounds, AssumptionConstant) {
+  EXPECT_DOUBLE_EQ(kMaxDriftAssumption, 1.0 / 7.0);
+}
+
+TEST(BoundsDeath, InvalidParamsAbort) {
+  BoundParams p = base_params();
+  p.rho = 0.0;
+  EXPECT_DEATH((void)theorem1_stage_bound(p), "CHECK failed");
+  p = base_params();
+  p.epsilon = 1.0;
+  EXPECT_DEATH((void)theorem3_slot_bound(p), "CHECK failed");
+  p = base_params();
+  p.n = 0;
+  EXPECT_DEATH((void)theorem9_frame_bound(p), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace m2hew::core

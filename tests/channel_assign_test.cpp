@@ -1,0 +1,100 @@
+#include "net/channel_assign.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/topology_gen.hpp"
+#include "util/rng.hpp"
+
+namespace m2hew::net {
+namespace {
+
+TEST(ChannelAssign, HomogeneousIsIdenticalEverywhere) {
+  const ChannelAssignment a = homogeneous_assignment(5, 10, 4);
+  ASSERT_EQ(a.size(), 5u);
+  for (const auto& s : a) {
+    EXPECT_EQ(s, ChannelSet(10, {0, 1, 2, 3}));
+  }
+}
+
+TEST(ChannelAssign, UniformRandomSizesAndUniverse) {
+  util::Rng rng(1);
+  const ChannelAssignment a = uniform_random_assignment(20, 16, 5, rng);
+  ASSERT_EQ(a.size(), 20u);
+  for (const auto& s : a) {
+    EXPECT_EQ(s.size(), 5u);
+    EXPECT_EQ(s.universe_size(), 16u);
+  }
+}
+
+TEST(ChannelAssign, UniformRandomCoversWholeUniverse) {
+  util::Rng rng(2);
+  // With 200 nodes × 4 channels out of 8, every channel should appear.
+  const ChannelAssignment a = uniform_random_assignment(200, 8, 4, rng);
+  ChannelSet seen(8);
+  for (const auto& s : a) seen = seen.unite(s);
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(ChannelAssign, UniformRandomFullSizeIsFullSet) {
+  util::Rng rng(3);
+  const ChannelAssignment a = uniform_random_assignment(3, 6, 6, rng);
+  for (const auto& s : a) EXPECT_EQ(s, ChannelSet::full(6));
+}
+
+TEST(ChannelAssign, VariableSizesInRange) {
+  util::Rng rng(4);
+  const ChannelAssignment a =
+      variable_size_random_assignment(100, 12, 2, 7, rng);
+  bool saw_min = false;
+  bool saw_max = false;
+  for (const auto& s : a) {
+    EXPECT_GE(s.size(), 2u);
+    EXPECT_LE(s.size(), 7u);
+    saw_min |= s.size() == 2;
+    saw_max |= s.size() == 7;
+  }
+  EXPECT_TRUE(saw_min);
+  EXPECT_TRUE(saw_max);
+}
+
+TEST(ChannelAssign, ChainOverlapExactSpans) {
+  const auto [assignment, universe] = chain_overlap_assignment(4, 5, 2);
+  ASSERT_EQ(assignment.size(), 4u);
+  EXPECT_EQ(universe, 3u * 3u + 5u);  // (n-1)·(s-k) + s
+  for (const auto& s : assignment) EXPECT_EQ(s.size(), 5u);
+  // Adjacent nodes overlap in exactly k = 2 channels; nodes two apart do
+  // not overlap at all (stride 3, set size 5 -> gap).
+  for (std::size_t i = 0; i + 1 < 4; ++i) {
+    EXPECT_EQ(assignment[i].intersection_size(assignment[i + 1]), 2u);
+  }
+  EXPECT_EQ(assignment[0].intersection_size(assignment[2]), 0u);
+}
+
+TEST(ChannelAssign, ChainOverlapFullOverlapIsHomogeneous) {
+  const auto [assignment, universe] = chain_overlap_assignment(3, 4, 4);
+  EXPECT_EQ(universe, 4u);
+  for (const auto& s : assignment) EXPECT_EQ(s, ChannelSet::full(4));
+}
+
+TEST(ChannelAssign, GenerateWithNonemptySpansSatisfiesEdges) {
+  util::Rng rng(5);
+  const Topology topo = make_clique(8);
+  const ChannelAssignment a = generate_with_nonempty_spans(
+      topo, 200,
+      [&] { return uniform_random_assignment(8, 6, 3, rng); });
+  for (const auto& [u, v] : topo.edges()) {
+    EXPECT_GT(a[u].intersection_size(a[v]), 0u);
+  }
+}
+
+TEST(ChannelAssignDeath, ChainOverlapInvalidParamsAbort) {
+  EXPECT_DEATH((void)chain_overlap_assignment(3, 4, 0), "CHECK failed");
+  EXPECT_DEATH((void)chain_overlap_assignment(3, 4, 5), "CHECK failed");
+}
+
+TEST(ChannelAssignDeath, HomogeneousSizeAboveUniverseAborts) {
+  EXPECT_DEATH((void)homogeneous_assignment(2, 4, 5), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace m2hew::net

@@ -1,0 +1,145 @@
+#include "net/channel_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace m2hew::net {
+namespace {
+
+TEST(ChannelSet, StartsEmpty) {
+  const ChannelSet s(10);
+  EXPECT_EQ(s.universe_size(), 10u);
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_TRUE(s.empty());
+  for (ChannelId c = 0; c < 10; ++c) EXPECT_FALSE(s.contains(c));
+}
+
+TEST(ChannelSet, InsertEraseContains) {
+  ChannelSet s(100);
+  s.insert(0);
+  s.insert(63);
+  s.insert(64);  // crosses the word boundary
+  s.insert(99);
+  EXPECT_EQ(s.size(), 4u);
+  EXPECT_TRUE(s.contains(0));
+  EXPECT_TRUE(s.contains(63));
+  EXPECT_TRUE(s.contains(64));
+  EXPECT_TRUE(s.contains(99));
+  EXPECT_FALSE(s.contains(50));
+
+  s.erase(63);
+  EXPECT_FALSE(s.contains(63));
+  EXPECT_EQ(s.size(), 3u);
+
+  // Idempotent operations.
+  s.insert(0);
+  EXPECT_EQ(s.size(), 3u);
+  s.erase(63);
+  EXPECT_EQ(s.size(), 3u);
+  s.erase(200);  // outside universe: no-op
+  EXPECT_EQ(s.size(), 3u);
+}
+
+TEST(ChannelSet, InitializerListAndFull) {
+  const ChannelSet s(8, {1, 3, 5});
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_TRUE(s.contains(3));
+  EXPECT_FALSE(s.contains(0));
+
+  const ChannelSet f = ChannelSet::full(8);
+  EXPECT_EQ(f.size(), 8u);
+  for (ChannelId c = 0; c < 8; ++c) EXPECT_TRUE(f.contains(c));
+}
+
+TEST(ChannelSet, ClearEmptiesTheSet) {
+  ChannelSet s(8, {1, 2, 3});
+  s.clear();
+  EXPECT_TRUE(s.empty());
+  EXPECT_FALSE(s.contains(1));
+}
+
+TEST(ChannelSet, SetAlgebra) {
+  const ChannelSet a(10, {1, 2, 3, 4});
+  const ChannelSet b(10, {3, 4, 5, 6});
+  const ChannelSet inter = a.intersect(b);
+  EXPECT_EQ(inter, ChannelSet(10, {3, 4}));
+  const ChannelSet uni = a.unite(b);
+  EXPECT_EQ(uni, ChannelSet(10, {1, 2, 3, 4, 5, 6}));
+  const ChannelSet diff = a.subtract(b);
+  EXPECT_EQ(diff, ChannelSet(10, {1, 2}));
+  EXPECT_EQ(a.intersection_size(b), 2u);
+}
+
+TEST(ChannelSet, AlgebraAcrossWordBoundary) {
+  ChannelSet a(130);
+  ChannelSet b(130);
+  for (ChannelId c = 60; c < 70; ++c) a.insert(c);
+  for (ChannelId c = 65; c < 130; ++c) b.insert(c);
+  EXPECT_EQ(a.intersection_size(b), 5u);
+  EXPECT_EQ(a.intersect(b).size(), 5u);
+  EXPECT_EQ(a.unite(b).size(), 70u);
+}
+
+TEST(ChannelSet, NthSelectsInOrder) {
+  const ChannelSet s(200, {5, 70, 130, 199});
+  EXPECT_EQ(s.nth(0), 5u);
+  EXPECT_EQ(s.nth(1), 70u);
+  EXPECT_EQ(s.nth(2), 130u);
+  EXPECT_EQ(s.nth(3), 199u);
+}
+
+TEST(ChannelSet, ToVectorSorted) {
+  ChannelSet s(100);
+  s.insert(99);
+  s.insert(0);
+  s.insert(64);
+  EXPECT_EQ(s.to_vector(), (std::vector<ChannelId>{0, 64, 99}));
+}
+
+TEST(ChannelSet, SampleIsUniformOverMembers) {
+  const ChannelSet s(50, {3, 17, 42});
+  util::Rng rng(7);
+  std::map<ChannelId, int> counts;
+  constexpr int kDraws = 30000;
+  for (int i = 0; i < kDraws; ++i) ++counts[s.sample(rng)];
+  ASSERT_EQ(counts.size(), 3u);
+  for (const auto& [channel, count] : counts) {
+    EXPECT_TRUE(s.contains(channel));
+    EXPECT_NEAR(count, kDraws / 3.0, 400.0);
+  }
+}
+
+TEST(ChannelSet, EqualityIncludesUniverse) {
+  EXPECT_EQ(ChannelSet(8, {1}), ChannelSet(8, {1}));
+  EXPECT_FALSE(ChannelSet(8, {1}) == ChannelSet(9, {1}));
+  EXPECT_FALSE(ChannelSet(8, {1}) == ChannelSet(8, {2}));
+}
+
+TEST(ChannelSetDeath, InsertOutsideUniverseAborts) {
+  ChannelSet s(4);
+  EXPECT_DEATH(s.insert(4), "CHECK failed");
+}
+
+TEST(ChannelSetDeath, MismatchedUniverseAlgebraAborts) {
+  const ChannelSet a(4, {1});
+  const ChannelSet b(5, {1});
+  EXPECT_DEATH((void)a.intersect(b), "CHECK failed");
+}
+
+TEST(ChannelSetDeath, SampleFromEmptyAborts) {
+  const ChannelSet s(4);
+  util::Rng rng(1);
+  EXPECT_DEATH((void)s.sample(rng), "CHECK failed");
+}
+
+TEST(ChannelSetDeath, NthOutOfRangeAborts) {
+  const ChannelSet s(4, {1});
+  EXPECT_DEATH((void)s.nth(1), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace m2hew::net

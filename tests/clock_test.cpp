@@ -1,0 +1,111 @@
+#include "sim/clock.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace m2hew::sim {
+namespace {
+
+TEST(IdealClock, IdentityPlusOffset) {
+  IdealClock c(5.0);
+  EXPECT_DOUBLE_EQ(c.local_at_real(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(c.local_at_real(3.0), 8.0);
+  EXPECT_DOUBLE_EQ(c.real_at_local(8.0), 3.0);
+}
+
+TEST(ConstantDriftClock, ForwardAndInverse) {
+  ConstantDriftClock c(0.1, 2.0);
+  EXPECT_DOUBLE_EQ(c.local_at_real(10.0), 2.0 + 11.0);
+  EXPECT_DOUBLE_EQ(c.real_at_local(13.0), 10.0);
+  EXPECT_DOUBLE_EQ(c.drift(), 0.1);
+}
+
+TEST(ConstantDriftClock, NegativeDriftSlowsClock) {
+  ConstantDriftClock c(-0.2, 0.0);
+  EXPECT_DOUBLE_EQ(c.local_at_real(10.0), 8.0);
+  EXPECT_DOUBLE_EQ(c.real_at_local(8.0), 10.0);
+}
+
+TEST(ConstantDriftClockDeath, DriftAtMinusOneAborts) {
+  EXPECT_DEATH(ConstantDriftClock(-1.0, 0.0), "CHECK failed");
+}
+
+TEST(PiecewiseDriftClock, ZeroDriftBehavesIdeally) {
+  PiecewiseDriftClock c({.max_drift = 0.0, .offset = 3.0}, 42);
+  for (double t = 0.0; t < 1000.0; t += 37.0) {
+    EXPECT_NEAR(c.local_at_real(t), 3.0 + t, 1e-9);
+  }
+}
+
+TEST(PiecewiseDriftClock, RoundTripInversion) {
+  PiecewiseDriftClock c({.max_drift = 0.1, .offset = -7.0}, 1);
+  for (double t = 0.0; t < 2000.0; t += 13.7) {
+    const double local = c.local_at_real(t);
+    EXPECT_NEAR(c.real_at_local(local), t, 1e-6);
+  }
+}
+
+TEST(PiecewiseDriftClock, DeterministicAcrossQueryOrders) {
+  PiecewiseDriftClock forward({.max_drift = 0.12}, 9);
+  PiecewiseDriftClock backward({.max_drift = 0.12}, 9);
+  // Query one clock ascending and the other descending; lazy segment
+  // generation must not change the function.
+  std::vector<double> ts;
+  for (double t = 0.0; t < 1500.0; t += 41.3) ts.push_back(t);
+  std::vector<double> fwd;
+  fwd.reserve(ts.size());
+  for (const double t : ts) fwd.push_back(forward.local_at_real(t));
+  for (std::size_t i = ts.size(); i-- > 0;) {
+    EXPECT_DOUBLE_EQ(backward.local_at_real(ts[i]), fwd[i]);
+  }
+}
+
+TEST(PiecewiseDriftClock, StrictlyIncreasing) {
+  PiecewiseDriftClock c({.max_drift = 0.14}, 5);
+  double prev = c.local_at_real(0.0);
+  for (double t = 0.5; t < 3000.0; t += 0.5) {
+    const double cur = c.local_at_real(t);
+    EXPECT_GT(cur, prev);
+    prev = cur;
+  }
+}
+
+// Property sweep: eq. (1) of the paper — for every pair of instants,
+// (1−δ)Δt ≤ C(t+Δt) − C(t) ≤ (1+δ)Δt — over several drift bounds and seeds.
+class DriftBoundProperty
+    : public ::testing::TestWithParam<std::tuple<double, std::uint64_t>> {};
+
+TEST_P(DriftBoundProperty, Equation1Holds) {
+  const auto [delta, seed] = GetParam();
+  PiecewiseDriftClock clock(
+      {.max_drift = delta, .min_segment = 10.0, .max_segment = 60.0}, seed);
+  util::Rng rng(seed ^ 0xABCD);
+  for (int i = 0; i < 500; ++i) {
+    const double t = rng.uniform_double(0.0, 5000.0);
+    const double dt = rng.uniform_double(0.0, 500.0);
+    const double elapsed = clock.local_at_real(t + dt) - clock.local_at_real(t);
+    EXPECT_GE(elapsed, (1.0 - delta) * dt - 1e-7);
+    EXPECT_LE(elapsed, (1.0 + delta) * dt + 1e-7);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DriftSweep, DriftBoundProperty,
+    ::testing::Combine(::testing::Values(0.0, 0.01, 1.0 / 7.0, 0.3),
+                       ::testing::Values(1u, 2u, 3u)));
+
+TEST(PiecewiseDriftClockDeath, NegativeRealTimeAborts) {
+  PiecewiseDriftClock c({.max_drift = 0.1}, 1);
+  EXPECT_DEATH((void)c.local_at_real(-1.0), "CHECK failed");
+}
+
+TEST(PiecewiseDriftClockDeath, LocalBeforeStartAborts) {
+  PiecewiseDriftClock c({.max_drift = 0.1, .offset = 10.0}, 1);
+  EXPECT_DEATH((void)c.real_at_local(9.0), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace m2hew::sim

@@ -1,0 +1,80 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace m2hew::util {
+namespace {
+
+TEST(CsvEscape, PlainFieldUnquoted) {
+  EXPECT_EQ(csv_escape("hello"), "hello");
+  EXPECT_EQ(csv_escape(""), "");
+}
+
+TEST(CsvEscape, SeparatorsAndQuotesGetQuoted) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvWriter, HeaderAndRows) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.header({"name", "value"});
+  csv.field("alpha").field(1.5);
+  csv.end_row();
+  csv.field("beta").field(2LL);
+  csv.end_row();
+  EXPECT_EQ(out.str(), "name,value\nalpha,1.5\nbeta,2\n");
+  EXPECT_EQ(csv.rows_written(), 2u);
+}
+
+TEST(CsvWriter, NumericFormatsRoundTrip) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.field(0.1).field(std::size_t{42}).field(-7);
+  csv.end_row();
+  EXPECT_EQ(out.str(), "0.10000000000000001,42,-7\n");
+}
+
+TEST(CsvWriter, QuotedFieldInRow) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.field("a,b").field("c");
+  csv.end_row();
+  EXPECT_EQ(out.str(), "\"a,b\",c\n");
+}
+
+TEST(CsvWriter, NoHeaderIsAllowed) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.field("x").field("y");
+  csv.end_row();
+  EXPECT_EQ(csv.rows_written(), 1u);
+}
+
+TEST(CsvWriterDeath, ColumnCountMismatchAborts) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.header({"a", "b"});
+  csv.field("only-one");
+  EXPECT_DEATH(csv.end_row(), "CHECK failed");
+}
+
+TEST(CsvWriterDeath, EmptyRowAborts) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  EXPECT_DEATH(csv.end_row(), "CHECK failed");
+}
+
+TEST(CsvWriterDeath, LateHeaderAborts) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.field("x");
+  csv.end_row();
+  EXPECT_DEATH(csv.header({"a"}), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace m2hew::util

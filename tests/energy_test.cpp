@@ -1,0 +1,149 @@
+#include "sim/energy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/algorithms.hpp"
+#include "net/topology_gen.hpp"
+#include "sim/async_engine.hpp"
+#include "sim/slot_engine.hpp"
+
+namespace m2hew::sim {
+namespace {
+
+TEST(RadioActivity, TotalsAndEnergy) {
+  RadioActivity a{10, 20, 70};
+  EXPECT_EQ(a.total(), 100u);
+  EXPECT_DOUBLE_EQ(a.energy(), 10.0 + 16.0 + 3.5);
+  EXPECT_DOUBLE_EQ(a.energy(2.0, 1.0, 0.0), 40.0);
+}
+
+TEST(RadioActivity, TotalActivitySums) {
+  const std::vector<RadioActivity> per_node{{1, 2, 3}, {10, 20, 30}};
+  const RadioActivity sum = total_activity(per_node);
+  EXPECT_EQ(sum.transmit, 11u);
+  EXPECT_EQ(sum.receive, 22u);
+  EXPECT_EQ(sum.quiet, 33u);
+}
+
+class ConstPolicy final : public SyncPolicy {
+ public:
+  explicit ConstPolicy(SlotAction action) : action_(action) {}
+  SlotAction next_slot(util::Rng&) override { return action_; }
+
+ private:
+  SlotAction action_;
+};
+
+TEST(SlotEngineEnergy, ModesAreCounted) {
+  net::Topology t(3);
+  t.add_edge(0, 1);
+  t.add_edge(1, 2);
+  const net::Network network(
+      std::move(t),
+      std::vector<net::ChannelSet>(3, net::ChannelSet(1, {0})));
+  SlotEngineConfig config;
+  config.max_slots = 10;
+  config.stop_when_complete = false;
+  const SyncPolicyFactory factory = [](const net::Network&, net::NodeId u)
+      -> std::unique_ptr<SyncPolicy> {
+    const SlotAction actions[] = {{Mode::kTransmit, 0},
+                                  {Mode::kReceive, 0},
+                                  {Mode::kQuiet, net::kInvalidChannel}};
+    return std::make_unique<ConstPolicy>(actions[u]);
+  };
+  const auto result = run_slot_engine(network, factory, config);
+  ASSERT_EQ(result.activity.size(), 3u);
+  EXPECT_EQ(result.activity[0].transmit, 10u);
+  EXPECT_EQ(result.activity[1].receive, 10u);
+  EXPECT_EQ(result.activity[2].quiet, 10u);
+}
+
+TEST(SlotEngineEnergy, PreStartSlotsCountAsQuiet) {
+  net::Topology t(2);
+  t.add_edge(0, 1);
+  const net::Network network(
+      std::move(t),
+      std::vector<net::ChannelSet>(2, net::ChannelSet(1, {0})));
+  SlotEngineConfig config;
+  config.max_slots = 10;
+  config.stop_when_complete = false;
+  config.start_slots = {4, 0};
+  const SyncPolicyFactory factory = [](const net::Network&, net::NodeId)
+      -> std::unique_ptr<SyncPolicy> {
+    return std::make_unique<ConstPolicy>(SlotAction{Mode::kReceive, 0});
+  };
+  const auto result = run_slot_engine(network, factory, config);
+  EXPECT_EQ(result.activity[0].quiet, 4u);
+  EXPECT_EQ(result.activity[0].receive, 6u);
+  EXPECT_EQ(result.activity[1].receive, 10u);
+}
+
+class ConstFramePolicy final : public AsyncPolicy {
+ public:
+  explicit ConstFramePolicy(FrameAction action) : action_(action) {}
+  FrameAction next_frame(util::Rng&) override { return action_; }
+
+ private:
+  FrameAction action_;
+};
+
+TEST(AsyncEngineEnergy, FramesAreCounted) {
+  net::Topology t(2);
+  t.add_edge(0, 1);
+  const net::Network network(
+      std::move(t),
+      std::vector<net::ChannelSet>(2, net::ChannelSet(1, {0})));
+  AsyncEngineConfig config;
+  config.frame_length = 1.0;
+  config.max_frames_per_node = 8;
+  config.max_real_time = 1e6;
+  config.stop_when_complete = false;
+  const AsyncPolicyFactory factory = [](const net::Network&, net::NodeId u)
+      -> std::unique_ptr<AsyncPolicy> {
+    return std::make_unique<ConstFramePolicy>(
+        u == 0 ? FrameAction{Mode::kTransmit, 0}
+               : FrameAction{Mode::kReceive, 0});
+  };
+  const auto result = run_async_engine(network, factory, config);
+  ASSERT_EQ(result.activity.size(), 2u);
+  EXPECT_EQ(result.activity[0].transmit, 8u);
+  EXPECT_EQ(result.activity[0].receive, 0u);
+  EXPECT_EQ(result.activity[1].receive, 8u);
+}
+
+TEST(AlgorithmEnergy, Algorithm4TransmitsLessOftenThanAlgorithm3) {
+  // Alg 4's per-frame transmit probability has an extra factor 3 in the
+  // denominator, so its duty cycle is lower for the same Δ_est.
+  const net::Network network(
+      net::make_clique(4),
+      std::vector<net::ChannelSet>(4, net::ChannelSet(2, {0, 1})));
+
+  SlotEngineConfig sync_config;
+  sync_config.max_slots = 3000;
+  sync_config.stop_when_complete = false;
+  const auto sync_result = run_slot_engine(
+      network, core::make_algorithm3(12), sync_config);
+  const RadioActivity sync_total = total_activity(sync_result.activity);
+
+  AsyncEngineConfig async_config;
+  async_config.frame_length = 3.0;
+  async_config.max_frames_per_node = 3000;
+  async_config.max_real_time = 1e9;
+  async_config.stop_when_complete = false;
+  const auto async_result = run_async_engine(
+      network, core::make_algorithm4(12), async_config);
+  const RadioActivity async_total = total_activity(async_result.activity);
+
+  const double sync_duty = static_cast<double>(sync_total.transmit) /
+                           static_cast<double>(sync_total.total());
+  const double async_duty = static_cast<double>(async_total.transmit) /
+                            static_cast<double>(async_total.total());
+  // p3 = min(1/2, 2/12) = 1/6; p4 = min(1/2, 2/36) = 1/18.
+  EXPECT_NEAR(sync_duty, 1.0 / 6.0, 0.02);
+  EXPECT_NEAR(async_duty, 1.0 / 18.0, 0.02);
+}
+
+}  // namespace
+}  // namespace m2hew::sim

@@ -1,0 +1,94 @@
+#include "util/flags.hpp"
+
+#include <gtest/gtest.h>
+
+namespace m2hew::util {
+namespace {
+
+[[nodiscard]] Flags parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Flags, EqualsForm) {
+  const Flags flags = parse({"--n=16", "--epsilon=0.1", "--name=alg3"});
+  EXPECT_EQ(flags.get_int("n"), 16);
+  EXPECT_DOUBLE_EQ(flags.get_double("epsilon"), 0.1);
+  EXPECT_EQ(flags.get_string("name"), "alg3");
+}
+
+TEST(Flags, SpaceForm) {
+  const Flags flags = parse({"--n", "32", "--name", "alg1"});
+  EXPECT_EQ(flags.get_int("n"), 32);
+  EXPECT_EQ(flags.get_string("name"), "alg1");
+}
+
+TEST(Flags, DefaultsWhenAbsent) {
+  const Flags flags = parse({});
+  EXPECT_EQ(flags.get_int("n", 7), 7);
+  EXPECT_DOUBLE_EQ(flags.get_double("x", 2.5), 2.5);
+  EXPECT_EQ(flags.get_string("s", "dft"), "dft");
+  EXPECT_FALSE(flags.get_bool("b"));
+  EXPECT_TRUE(flags.get_bool("b", true));
+  EXPECT_FALSE(flags.has("n"));
+}
+
+TEST(Flags, BooleanForms) {
+  const Flags flags = parse({"--verbose", "--fast=false", "--slow=1"});
+  EXPECT_TRUE(flags.get_bool("verbose"));
+  EXPECT_FALSE(flags.get_bool("fast", true));
+  EXPECT_TRUE(flags.get_bool("slow"));
+}
+
+TEST(Flags, BarePresenceDoesNotEatFollowingFlag) {
+  const Flags flags = parse({"--verbose", "--n=3"});
+  EXPECT_TRUE(flags.get_bool("verbose"));
+  EXPECT_EQ(flags.get_int("n"), 3);
+}
+
+TEST(Flags, PositionalArguments) {
+  const Flags flags = parse({"first", "--n=1", "second"});
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "first");
+  EXPECT_EQ(flags.positional()[1], "second");
+}
+
+TEST(Flags, NegativeNumbersAndDoubles) {
+  const Flags flags = parse({"--offset=-42", "--rate=-0.5"});
+  EXPECT_EQ(flags.get_int("offset"), -42);
+  EXPECT_DOUBLE_EQ(flags.get_double("rate"), -0.5);
+}
+
+TEST(Flags, UnconsumedDetectsTypos) {
+  const Flags flags = parse({"--n=1", "--typo=zzz"});
+  EXPECT_EQ(flags.get_int("n"), 1);
+  const auto leftover = flags.unconsumed();
+  ASSERT_EQ(leftover.size(), 1u);
+  EXPECT_EQ(leftover[0], "typo");
+}
+
+TEST(Flags, AllConsumedIsEmpty) {
+  const Flags flags = parse({"--a=1", "--b=2"});
+  (void)flags.get_int("a");
+  (void)flags.get_int("b");
+  EXPECT_TRUE(flags.unconsumed().empty());
+}
+
+TEST(FlagsDeath, BadIntAborts) {
+  const Flags flags = parse({"--n=abc"});
+  EXPECT_DEATH((void)flags.get_int("n"), "CHECK failed");
+}
+
+TEST(FlagsDeath, BadDoubleAborts) {
+  const Flags flags = parse({"--x=1.2.3"});
+  EXPECT_DEATH((void)flags.get_double("x"), "CHECK failed");
+}
+
+TEST(FlagsDeath, BadBoolAborts) {
+  const Flags flags = parse({"--b=maybe"});
+  EXPECT_DEATH((void)flags.get_bool("b"), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace m2hew::util

@@ -1,0 +1,170 @@
+// Empirical validation of the frame-geometry lemmas of §IV (Lemma 4 and
+// Lemma 7) directly on the clock substrate, independent of the engine:
+// these are the structural facts Figures 1–4 of the paper illustrate.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "sim/clock.hpp"
+#include "util/rng.hpp"
+
+namespace m2hew::sim {
+namespace {
+
+constexpr double kL = 3.0;  // frame length (local units)
+
+// Real-time boundary of frame k for a node that started at real time
+// `start` (frame k spans local [local0 + kL, local0 + (k+1)L]).
+[[nodiscard]] double frame_boundary(Clock& clock, double start, int k) {
+  const double local0 = clock.local_at_real(start);
+  return clock.real_at_local(local0 + kL * k);
+}
+
+// Real-time boundary of slot j (0..3) of frame k.
+[[nodiscard]] double slot_boundary(Clock& clock, double start, int k, int j) {
+  const double local0 = clock.local_at_real(start);
+  return clock.real_at_local(local0 + kL * k + (kL / 3.0) * j);
+}
+
+// Number of frames of `other` that overlap (positively) frame k of `self`.
+[[nodiscard]] int count_overlaps(Clock& self, Clock& other, double start_self,
+                                 double start_other, int k, int horizon) {
+  const double f_lo = frame_boundary(self, start_self, k);
+  const double f_hi = frame_boundary(self, start_self, k + 1);
+  int overlaps = 0;
+  for (int m = 0; m < horizon; ++m) {
+    const double g_lo = frame_boundary(other, start_other, m);
+    const double g_hi = frame_boundary(other, start_other, m + 1);
+    if (g_lo < f_hi && g_hi > f_lo) ++overlaps;
+    if (g_lo >= f_hi) break;
+  }
+  return overlaps;
+}
+
+// True iff some slot of frame kf of `f_clock` lies completely within frame
+// kg of `g_clock` (Definition 1: the pair is aligned).
+[[nodiscard]] bool is_aligned(Clock& f_clock, double f_start, int kf,
+                              Clock& g_clock, double g_start, int kg) {
+  const double g_lo = frame_boundary(g_clock, g_start, kg);
+  const double g_hi = frame_boundary(g_clock, g_start, kg + 1);
+  for (int j = 0; j < 3; ++j) {
+    const double s_lo = slot_boundary(f_clock, f_start, kf, j);
+    const double s_hi = slot_boundary(f_clock, f_start, kf, j + 1);
+    if (s_lo >= g_lo && s_hi <= g_hi) return true;
+  }
+  return false;
+}
+
+// Index of the first full frame of a node starting at/after time T.
+[[nodiscard]] int first_full_frame_after(Clock& clock, double start,
+                                         double t, int horizon) {
+  for (int k = 0; k < horizon; ++k) {
+    if (frame_boundary(clock, start, k) >= t) return k;
+  }
+  ADD_FAILURE() << "no frame after " << t << " within horizon";
+  return horizon;
+}
+
+class FrameGeometry
+    : public ::testing::TestWithParam<std::tuple<double, std::uint64_t>> {
+ protected:
+  [[nodiscard]] std::unique_ptr<Clock> make_clock(std::uint64_t seed,
+                                                  double delta,
+                                                  double offset) const {
+    return std::make_unique<PiecewiseDriftClock>(
+        PiecewiseDriftClock::Config{.max_drift = delta,
+                                    .min_segment = 2.0,
+                                    .max_segment = 11.0,
+                                    .offset = offset},
+        seed);
+  }
+};
+
+// Lemma 4: a frame of a node overlaps with at most three frames of any
+// other node (requires δ ≤ 1/3; we sweep δ up to the paper's 1/7 bound).
+TEST_P(FrameGeometry, Lemma4OverlapAtMostThree) {
+  const auto [delta, seed] = GetParam();
+  util::Rng rng(seed);
+  const auto u = make_clock(seed * 2 + 1, delta,
+                            rng.uniform_double(-10.0, 10.0));
+  const auto v = make_clock(seed * 2 + 2, delta,
+                            rng.uniform_double(-10.0, 10.0));
+  const double start_u = rng.uniform_double(0.0, kL);
+  const double start_v = rng.uniform_double(0.0, kL);
+  for (int k = 0; k < 200; ++k) {
+    EXPECT_LE(count_overlaps(*u, *v, start_u, start_v, k, 1000), 3)
+        << "frame " << k;
+  }
+}
+
+// Lemma 7: for any instant T, among the first two full frames of each of
+// two nodes after T, some pair is aligned (requires δ ≤ 1/7).
+TEST_P(FrameGeometry, Lemma7AlignedPairWithinTwoFrames) {
+  const auto [delta, seed] = GetParam();
+  if (delta > 1.0 / 7.0 + 1e-12) GTEST_SKIP() << "lemma needs delta <= 1/7";
+  util::Rng rng(seed ^ 0x777);
+  const auto u = make_clock(seed * 2 + 5, delta,
+                            rng.uniform_double(-10.0, 10.0));
+  const auto v = make_clock(seed * 2 + 6, delta,
+                            rng.uniform_double(-10.0, 10.0));
+  const double start_u = rng.uniform_double(0.0, kL);
+  const double start_v = rng.uniform_double(0.0, kL);
+  for (int i = 0; i < 100; ++i) {
+    const double t =
+        std::max(start_u, start_v) + rng.uniform_double(0.0, 300.0);
+    const int fv = first_full_frame_after(*v, start_v, t, 10000);
+    const int gu = first_full_frame_after(*u, start_u, t, 10000);
+    bool aligned = false;
+    for (int a = 0; a < 2 && !aligned; ++a) {
+      for (int b = 0; b < 2 && !aligned; ++b) {
+        aligned = is_aligned(*v, start_v, fv + a, *u, start_u, gu + b);
+      }
+    }
+    EXPECT_TRUE(aligned) << "T=" << t << " delta=" << delta;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DriftSweep, FrameGeometry,
+    ::testing::Combine(::testing::Values(0.0, 0.05, 0.1, 1.0 / 7.0),
+                       ::testing::Values(11u, 22u, 33u, 44u)));
+
+// Counterexample construction: with δ > 1/3, Lemma 4's bound fails — a
+// slow clock's frame (real length L/(1−δ)) strictly contains two fast
+// frames (real length L/(1+δ) each), giving 4 overlaps.
+TEST(FrameGeometryNegative, Lemma4FailsBeyondOneThirdDrift) {
+  ConstantDriftClock slow(-0.5, 0.0);
+  ConstantDriftClock fast(+0.5, 0.0);
+  // Offset the fast node's start so frame boundaries do not coincide: the
+  // slow node's 6-unit frames then overlap four 2-unit fast frames.
+  int worst = 0;
+  for (int k = 0; k < 50; ++k) {
+    worst = std::max(worst,
+                     count_overlaps(slow, fast, 0.0, 0.35, k, 2000));
+  }
+  EXPECT_GE(worst, 4);
+}
+
+// At the other extreme, with ideal synchronized clocks every frame overlaps
+// exactly one frame of the other node (identical boundaries).
+TEST(FrameGeometryNegative, IdealAlignedClocksOverlapExactlyOne) {
+  IdealClock a(0.0);
+  IdealClock b(0.0);
+  for (int k = 0; k < 20; ++k) {
+    EXPECT_EQ(count_overlaps(a, b, 0.0, 0.0, k, 1000), 1);
+  }
+}
+
+// Aligned-pair sanity: two ideal clocks offset by half a slot are aligned
+// in every frame pair (slots 2 and 3 of f lie inside g's successor — check
+// via the definition directly).
+TEST(FrameGeometryNegative, IdealOffsetClocksAlign) {
+  IdealClock f(0.0);
+  IdealClock g(0.5);  // g's local time runs ahead by 0.5
+  EXPECT_TRUE(is_aligned(f, 0.0, 1, g, 0.0, 1) ||
+              is_aligned(f, 0.0, 1, g, 0.0, 2));
+}
+
+}  // namespace
+}  // namespace m2hew::sim

@@ -1,0 +1,181 @@
+// Randomized differential tests: core data structures are driven with
+// random operation sequences and compared against trivially-correct
+// standard-library references.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <set>
+#include <vector>
+
+#include "net/channel_set.hpp"
+#include "net/topology.hpp"
+#include "util/rng.hpp"
+
+namespace m2hew {
+namespace {
+
+class ChannelSetFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChannelSetFuzz, MatchesStdSetUnderRandomOps) {
+  util::Rng rng(GetParam());
+  const auto universe =
+      static_cast<net::ChannelId>(1 + rng.uniform(200));
+  net::ChannelSet subject(universe);
+  std::set<net::ChannelId> reference;
+
+  for (int op = 0; op < 2000; ++op) {
+    const auto c = static_cast<net::ChannelId>(rng.uniform(universe));
+    switch (rng.uniform(4)) {
+      case 0:
+        subject.insert(c);
+        reference.insert(c);
+        break;
+      case 1:
+        subject.erase(c);
+        reference.erase(c);
+        break;
+      case 2:
+        ASSERT_EQ(subject.contains(c), reference.count(c) == 1);
+        break;
+      case 3: {
+        ASSERT_EQ(subject.size(), reference.size());
+        if (!reference.empty()) {
+          const auto k =
+              static_cast<std::size_t>(rng.uniform(reference.size()));
+          auto it = reference.begin();
+          std::advance(it, static_cast<long>(k));
+          ASSERT_EQ(subject.nth(k), *it);
+        }
+        break;
+      }
+    }
+  }
+  // Final full comparison.
+  const auto vec = subject.to_vector();
+  ASSERT_EQ(vec.size(), reference.size());
+  ASSERT_TRUE(std::equal(vec.begin(), vec.end(), reference.begin()));
+}
+
+TEST_P(ChannelSetFuzz, AlgebraMatchesStdSet) {
+  util::Rng rng(GetParam() ^ 0x5151);
+  const auto universe =
+      static_cast<net::ChannelId>(1 + rng.uniform(150));
+  net::ChannelSet a(universe);
+  net::ChannelSet b(universe);
+  std::set<net::ChannelId> ra;
+  std::set<net::ChannelId> rb;
+  for (int i = 0; i < 120; ++i) {
+    const auto ca = static_cast<net::ChannelId>(rng.uniform(universe));
+    const auto cb = static_cast<net::ChannelId>(rng.uniform(universe));
+    a.insert(ca);
+    ra.insert(ca);
+    b.insert(cb);
+    rb.insert(cb);
+  }
+  std::vector<net::ChannelId> expected;
+  std::set_intersection(ra.begin(), ra.end(), rb.begin(), rb.end(),
+                        std::back_inserter(expected));
+  ASSERT_EQ(a.intersect(b).to_vector(), expected);
+  ASSERT_EQ(a.intersection_size(b), expected.size());
+
+  expected.clear();
+  std::set_union(ra.begin(), ra.end(), rb.begin(), rb.end(),
+                 std::back_inserter(expected));
+  ASSERT_EQ(a.unite(b).to_vector(), expected);
+
+  expected.clear();
+  std::set_difference(ra.begin(), ra.end(), rb.begin(), rb.end(),
+                      std::back_inserter(expected));
+  ASSERT_EQ(a.subtract(b).to_vector(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChannelSetFuzz,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+class TopologyFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TopologyFuzz, MatchesAdjacencyMatrix) {
+  util::Rng rng(GetParam());
+  const auto n = static_cast<net::NodeId>(2 + rng.uniform(30));
+  net::Topology subject(n);
+  std::vector<std::vector<bool>> matrix(n, std::vector<bool>(n, false));
+
+  for (int op = 0; op < 300; ++op) {
+    const auto u = static_cast<net::NodeId>(rng.uniform(n));
+    const auto v = static_cast<net::NodeId>(rng.uniform(n));
+    if (u == v) continue;
+    if (rng.bernoulli(0.5)) {
+      if (!matrix[u][v]) {
+        subject.add_arc(u, v);
+        matrix[u][v] = true;
+      }
+    } else {
+      if (!matrix[u][v] && !matrix[v][u]) {
+        subject.add_edge(u, v);
+        matrix[u][v] = true;
+        matrix[v][u] = true;
+      }
+    }
+  }
+  subject.finalize();
+
+  std::size_t arcs = 0;
+  bool symmetric = true;
+  for (net::NodeId u = 0; u < n; ++u) {
+    std::vector<net::NodeId> out;
+    std::vector<net::NodeId> in;
+    for (net::NodeId v = 0; v < n; ++v) {
+      ASSERT_EQ(subject.has_arc(u, v), matrix[u][v]);
+      if (matrix[u][v]) {
+        ++arcs;
+        out.push_back(v);
+        if (!matrix[v][u]) symmetric = false;
+      }
+      if (matrix[v][u]) in.push_back(v);
+    }
+    ASSERT_EQ(subject.out_degree(u), out.size());
+    ASSERT_EQ(subject.in_degree(u), in.size());
+    const auto got_out = subject.out_neighbors(u);
+    ASSERT_TRUE(std::equal(got_out.begin(), got_out.end(), out.begin(),
+                           out.end()));
+    const auto got_in = subject.in_neighbors(u);
+    ASSERT_TRUE(
+        std::equal(got_in.begin(), got_in.end(), in.begin(), in.end()));
+  }
+  ASSERT_EQ(subject.arc_count(), arcs);
+  ASSERT_EQ(subject.is_symmetric(), symmetric);
+
+  // edges() = unordered pairs with at least one arc.
+  std::vector<std::pair<net::NodeId, net::NodeId>> expected_edges;
+  for (net::NodeId u = 0; u < n; ++u) {
+    for (net::NodeId v = u + 1; v < n; ++v) {
+      if (matrix[u][v] || matrix[v][u]) expected_edges.emplace_back(u, v);
+    }
+  }
+  ASSERT_EQ(subject.edges(), expected_edges);
+
+  // Connectivity against a reference union-find over the undirected view.
+  std::vector<net::NodeId> parent(n);
+  for (net::NodeId u = 0; u < n; ++u) parent[u] = u;
+  std::function<net::NodeId(net::NodeId)> find =
+      [&](net::NodeId x) -> net::NodeId {
+    return parent[x] == x ? x : parent[x] = find(parent[x]);
+  };
+  for (net::NodeId u = 0; u < n; ++u) {
+    for (net::NodeId v = 0; v < n; ++v) {
+      if (matrix[u][v]) parent[find(u)] = find(v);
+    }
+  }
+  bool connected = true;
+  for (net::NodeId u = 1; u < n; ++u) {
+    connected &= find(u) == find(0);
+  }
+  ASSERT_EQ(subject.is_connected(), connected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TopologyFuzz,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u));
+
+}  // namespace
+}  // namespace m2hew

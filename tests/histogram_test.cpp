@@ -1,0 +1,67 @@
+#include "util/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace m2hew::util {
+namespace {
+
+TEST(Histogram, BucketsAssignCorrectly) {
+  Histogram h(0.0, 10.0, 5);  // buckets of width 2
+  h.add(0.0);   // bucket 0
+  h.add(1.9);   // bucket 0
+  h.add(2.0);   // bucket 1
+  h.add(9.9);   // bucket 4
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.count_at(0), 2u);
+  EXPECT_EQ(h.count_at(1), 1u);
+  EXPECT_EQ(h.count_at(2), 0u);
+  EXPECT_EQ(h.count_at(4), 1u);
+}
+
+TEST(Histogram, OutOfRangeValuesClampToEdges) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-100.0);
+  h.add(100.0);
+  h.add(10.0);  // exactly hi clamps into the last bucket
+  EXPECT_EQ(h.count_at(0), 1u);
+  EXPECT_EQ(h.count_at(4), 2u);
+}
+
+TEST(Histogram, BucketBoundaries) {
+  Histogram h(10.0, 20.0, 4);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(0), 10.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(0), 12.5);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(3), 17.5);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(3), 20.0);
+}
+
+TEST(Histogram, RenderShowsBars) {
+  Histogram h(0.0, 4.0, 2);
+  h.add(1.0);
+  h.add(1.5);
+  h.add(3.0);
+  const std::string out = h.render(10);
+  EXPECT_NE(out.find('#'), std::string::npos);
+  EXPECT_NE(out.find('2'), std::string::npos);  // count column
+  // Two bucket rows -> two newlines.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 2);
+}
+
+TEST(Histogram, SingleBucketTakesEverything) {
+  Histogram h(0.0, 1.0, 1);
+  for (int i = 0; i < 10; ++i) h.add(static_cast<double>(i) / 10.0);
+  EXPECT_EQ(h.count_at(0), 10u);
+}
+
+TEST(HistogramDeath, InvalidConstruction) {
+  EXPECT_DEATH(Histogram(1.0, 1.0, 3), "CHECK failed");
+  EXPECT_DEATH(Histogram(0.0, 1.0, 0), "CHECK failed");
+}
+
+TEST(HistogramDeath, CountAtOutOfRange) {
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_DEATH((void)h.count_at(2), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace m2hew::util

@@ -1,0 +1,87 @@
+#include "util/ini.hpp"
+
+#include <gtest/gtest.h>
+
+namespace m2hew::util {
+namespace {
+
+constexpr const char* kSample = R"(
+# top comment
+global = 1
+
+[experiment]
+name = rho_sweep        ; trailing comment is part of the value? no: kept
+trials = 30
+values = 8 4 2 1
+rate = 0.25
+
+[scenario]
+topology = line
+n = 12
+)";
+
+TEST(Ini, SectionsAndKeys) {
+  const IniFile ini = IniFile::parse_string(kSample);
+  EXPECT_TRUE(ini.has_section("experiment"));
+  EXPECT_TRUE(ini.has_section("scenario"));
+  EXPECT_FALSE(ini.has_section("missing"));
+  EXPECT_TRUE(ini.has("scenario", "topology"));
+  EXPECT_FALSE(ini.has("scenario", "nope"));
+  // Unnamed section holds keys before the first header.
+  EXPECT_EQ(ini.get_int("", "global"), 1);
+}
+
+TEST(Ini, TypedGetters) {
+  const IniFile ini = IniFile::parse_string(kSample);
+  EXPECT_EQ(ini.get("scenario", "topology"), "line");
+  EXPECT_EQ(ini.get_int("experiment", "trials"), 30);
+  EXPECT_DOUBLE_EQ(ini.get_double("experiment", "rate"), 0.25);
+  EXPECT_EQ(ini.get("missing", "x", "dft"), "dft");
+  EXPECT_EQ(ini.get_int("experiment", "absent", 7), 7);
+}
+
+TEST(Ini, ListValues) {
+  const IniFile ini = IniFile::parse_string(kSample);
+  const auto values = ini.get_list("experiment", "values");
+  EXPECT_EQ(values, (std::vector<double>{8.0, 4.0, 2.0, 1.0}));
+  EXPECT_TRUE(ini.get_list("experiment", "absent").empty());
+}
+
+TEST(Ini, KeysPreserveInsertionOrder) {
+  const IniFile ini = IniFile::parse_string(kSample);
+  const auto keys = ini.keys("experiment");
+  ASSERT_EQ(keys.size(), 4u);
+  EXPECT_EQ(keys[0], "name");
+  EXPECT_EQ(keys[3], "rate");
+  EXPECT_TRUE(ini.keys("missing").empty());
+}
+
+TEST(Ini, LaterAssignmentWins) {
+  const IniFile ini = IniFile::parse_string("[a]\nx = 1\nx = 2\n");
+  EXPECT_EQ(ini.get_int("a", "x"), 2);
+  EXPECT_EQ(ini.keys("a").size(), 1u);
+}
+
+TEST(Ini, WhitespaceAndCommentsIgnored) {
+  const IniFile ini = IniFile::parse_string(
+      "  [  s  ]  \n   key   =   spaced value here   \n; comment\n");
+  EXPECT_EQ(ini.get("s", "key"), "spaced value here");
+}
+
+TEST(IniDeath, MalformedLinesAbort) {
+  EXPECT_DEATH((void)IniFile::parse_string("[unterminated\n"),
+               "CHECK failed");
+  EXPECT_DEATH((void)IniFile::parse_string("no equals sign\n"),
+               "CHECK failed");
+  EXPECT_DEATH((void)IniFile::parse_string("= novalue\n"), "CHECK failed");
+}
+
+TEST(IniDeath, BadNumbersAbort) {
+  const IniFile ini = IniFile::parse_string("[a]\nx = abc\nl = 1 z 3\n");
+  EXPECT_DEATH((void)ini.get_int("a", "x"), "CHECK failed");
+  EXPECT_DEATH((void)ini.get_double("a", "x"), "CHECK failed");
+  EXPECT_DEATH((void)ini.get_list("a", "l"), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace m2hew::util

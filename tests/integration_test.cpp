@@ -1,0 +1,200 @@
+// End-to-end discovery runs: every algorithm, on several network shapes,
+// must build complete and correct neighbor tables.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/algorithms.hpp"
+#include "runner/scenario.hpp"
+#include "sim/async_engine.hpp"
+#include "sim/slot_engine.hpp"
+
+namespace m2hew {
+namespace {
+
+using runner::ChannelKind;
+using runner::ScenarioConfig;
+using runner::TopologyKind;
+
+void expect_all_tables_correct(const net::Network& network,
+                               const sim::DiscoveryState& state) {
+  for (net::NodeId u = 0; u < network.node_count(); ++u) {
+    EXPECT_TRUE(state.table_matches_ground_truth(u)) << "node " << u;
+  }
+}
+
+[[nodiscard]] ScenarioConfig heterogeneous_unit_disk() {
+  ScenarioConfig config;
+  config.topology = TopologyKind::kUnitDisk;
+  config.n = 12;
+  config.ud_radius = 0.45;
+  config.channels = ChannelKind::kUniformRandom;
+  config.universe = 10;
+  config.set_size = 4;
+  return config;
+}
+
+TEST(Integration, Algorithm1DiscoversHomogeneousClique) {
+  ScenarioConfig config;
+  config.topology = TopologyKind::kClique;
+  config.n = 8;
+  config.universe = 6;
+  config.set_size = 6;
+  const net::Network network = runner::build_scenario(config, 21);
+  sim::SlotEngineConfig engine;
+  engine.max_slots = 200000;
+  engine.seed = 99;
+  const auto result =
+      sim::run_slot_engine(network, core::make_algorithm1(8), engine);
+  ASSERT_TRUE(result.complete);
+  expect_all_tables_correct(network, result.state);
+}
+
+TEST(Integration, Algorithm1DiscoversHeterogeneousUnitDisk) {
+  const net::Network network =
+      runner::build_scenario(heterogeneous_unit_disk(), 22);
+  sim::SlotEngineConfig engine;
+  engine.max_slots = 500000;
+  engine.seed = 100;
+  const auto result =
+      sim::run_slot_engine(network, core::make_algorithm1(8), engine);
+  ASSERT_TRUE(result.complete);
+  expect_all_tables_correct(network, result.state);
+}
+
+TEST(Integration, Algorithm2NeedsNoDegreeKnowledge) {
+  const net::Network network =
+      runner::build_scenario(heterogeneous_unit_disk(), 23);
+  sim::SlotEngineConfig engine;
+  engine.max_slots = 500000;
+  engine.seed = 101;
+  const auto result =
+      sim::run_slot_engine(network, core::make_algorithm2(), engine);
+  ASSERT_TRUE(result.complete);
+  expect_all_tables_correct(network, result.state);
+}
+
+TEST(Integration, Algorithm3HandlesStaggeredStarts) {
+  const net::Network network =
+      runner::build_scenario(heterogeneous_unit_disk(), 24);
+  sim::SlotEngineConfig engine;
+  engine.max_slots = 500000;
+  engine.seed = 102;
+  engine.start_slots.assign(network.node_count(), 0);
+  for (net::NodeId u = 0; u < network.node_count(); ++u) {
+    engine.start_slots[u] = 37ull * u;  // heavily staggered
+  }
+  const auto result =
+      sim::run_slot_engine(network, core::make_algorithm3(8), engine);
+  ASSERT_TRUE(result.complete);
+  expect_all_tables_correct(network, result.state);
+}
+
+TEST(Integration, Algorithm3OnChainOverlapHeterogeneity) {
+  ScenarioConfig config;
+  config.topology = TopologyKind::kLine;
+  config.n = 10;
+  config.channels = ChannelKind::kChainOverlap;
+  config.set_size = 4;
+  config.chain_overlap = 1;  // ρ = 1/4
+  const net::Network network = runner::build_scenario(config, 25);
+  ASSERT_DOUBLE_EQ(network.min_span_ratio(), 0.25);
+  sim::SlotEngineConfig engine;
+  engine.max_slots = 500000;
+  engine.seed = 103;
+  const auto result =
+      sim::run_slot_engine(network, core::make_algorithm3(4), engine);
+  ASSERT_TRUE(result.complete);
+  expect_all_tables_correct(network, result.state);
+}
+
+TEST(Integration, Algorithm4WithDriftingClocksAndOffsets) {
+  const net::Network network =
+      runner::build_scenario(heterogeneous_unit_disk(), 26);
+  sim::AsyncEngineConfig engine;
+  engine.frame_length = 3.0;
+  engine.max_real_time = 3e6;
+  engine.seed = 104;
+  engine.start_times.assign(network.node_count(), 0.0);
+  for (net::NodeId u = 0; u < network.node_count(); ++u) {
+    engine.start_times[u] = 1.7 * u;
+  }
+  engine.clock_builder = [](net::NodeId, std::uint64_t seed) {
+    return std::make_unique<sim::PiecewiseDriftClock>(
+        sim::PiecewiseDriftClock::Config{.max_drift = 1.0 / 7.0,
+                                         .min_segment = 20.0,
+                                         .max_segment = 100.0},
+        seed);
+  };
+  const auto result =
+      sim::run_async_engine(network, core::make_algorithm4(8), engine);
+  ASSERT_TRUE(result.complete);
+  expect_all_tables_correct(network, result.state);
+  // Theorem 9 unit is well-defined at completion.
+  ASSERT_EQ(result.full_frames_since_ts.size(), network.node_count());
+}
+
+TEST(Integration, Algorithm4OnPrimaryUserSpectrum) {
+  ScenarioConfig config;
+  config.topology = TopologyKind::kUnitDisk;
+  config.n = 10;
+  config.ud_radius = 0.5;
+  config.channels = ChannelKind::kPrimaryUsers;
+  config.universe = 8;
+  config.pu_count = 5;
+  config.pu_min_radius = 0.15;
+  config.pu_max_radius = 0.35;
+  const net::Network network = runner::build_scenario(config, 27);
+  sim::AsyncEngineConfig engine;
+  engine.frame_length = 3.0;
+  engine.max_real_time = 3e6;
+  engine.seed = 105;
+  const auto result =
+      sim::run_async_engine(network, core::make_algorithm4(6), engine);
+  ASSERT_TRUE(result.complete);
+  expect_all_tables_correct(network, result.state);
+}
+
+TEST(Integration, UniversalBaselineEventuallyDiscovers) {
+  ScenarioConfig config;
+  config.topology = TopologyKind::kClique;
+  config.n = 6;
+  config.channels = ChannelKind::kUniformRandom;
+  config.universe = 8;
+  config.set_size = 3;
+  const net::Network network = runner::build_scenario(config, 28);
+  sim::SlotEngineConfig engine;
+  engine.max_slots = 500000;
+  engine.seed = 106;
+  const auto result = sim::run_slot_engine(
+      network, core::make_universal_baseline(8, 0.5), engine);
+  ASSERT_TRUE(result.complete);
+  expect_all_tables_correct(network, result.state);
+}
+
+TEST(Integration, UnreliableChannelsOnlySlowDiscovery) {
+  ScenarioConfig config;
+  config.topology = TopologyKind::kClique;
+  config.n = 6;
+  config.universe = 4;
+  config.set_size = 4;
+  const net::Network network = runner::build_scenario(config, 29);
+
+  sim::SlotEngineConfig reliable;
+  reliable.max_slots = 500000;
+  reliable.seed = 107;
+  const auto r0 =
+      sim::run_slot_engine(network, core::make_algorithm3(8), reliable);
+
+  sim::SlotEngineConfig lossy = reliable;
+  lossy.loss_probability = 0.4;
+  const auto r1 =
+      sim::run_slot_engine(network, core::make_algorithm3(8), lossy);
+
+  ASSERT_TRUE(r0.complete);
+  ASSERT_TRUE(r1.complete);
+  expect_all_tables_correct(network, r1.state);
+}
+
+}  // namespace
+}  // namespace m2hew

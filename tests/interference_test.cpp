@@ -1,0 +1,239 @@
+// Dynamic primary-user interference: the schedule model, its geometric
+// helper, and the slot-engine semantics (transmitter vacating + receiver
+// jamming + collision-feedback interaction).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/algorithms.hpp"
+#include "net/primary_user.hpp"
+#include "net/topology_gen.hpp"
+#include "sim/slot_engine.hpp"
+#include "util/rng.hpp"
+
+namespace m2hew {
+namespace {
+
+TEST(DynamicPrimaryUser, ActivityWindows) {
+  net::DynamicPrimaryUser pu;
+  pu.period_slots = 10;
+  pu.on_slots = 3;
+  pu.phase_slots = 0;
+  EXPECT_TRUE(pu.active_at(0));
+  EXPECT_TRUE(pu.active_at(2));
+  EXPECT_FALSE(pu.active_at(3));
+  EXPECT_FALSE(pu.active_at(9));
+  EXPECT_TRUE(pu.active_at(10));
+}
+
+TEST(DynamicPrimaryUser, PhaseShiftsWindow) {
+  net::DynamicPrimaryUser pu;
+  pu.period_slots = 10;
+  pu.on_slots = 3;
+  pu.phase_slots = 8;
+  // (slot + 8) % 10 < 3  ->  slots 2,3,4 are ON within each period.
+  EXPECT_FALSE(pu.active_at(0));
+  EXPECT_TRUE(pu.active_at(2));
+  EXPECT_TRUE(pu.active_at(4));
+  EXPECT_FALSE(pu.active_at(5));
+}
+
+TEST(DynamicPrimaryUserField, OccupiedRespectsGeometryAndTime) {
+  net::DynamicPrimaryUser pu;
+  pu.user = {{0.0, 0.0}, 1.0, 2};
+  pu.period_slots = 4;
+  pu.on_slots = 2;
+  const net::DynamicPrimaryUserField field(4, {pu});
+  EXPECT_TRUE(field.occupied(0, {0.5, 0.0}, 2));
+  EXPECT_FALSE(field.occupied(0, {0.5, 0.0}, 1));   // other channel
+  EXPECT_FALSE(field.occupied(0, {5.0, 5.0}, 2));   // out of range
+  EXPECT_FALSE(field.occupied(2, {0.5, 0.0}, 2));   // PU off
+}
+
+TEST(DynamicPrimaryUserField, RandomFieldRespectsDuty) {
+  util::Rng rng(1);
+  const auto field = net::DynamicPrimaryUserField::random(
+      8, 20, 1.0, 0.1, 0.3, /*period=*/100, /*duty=*/0.25, rng);
+  for (const auto& pu : field.users()) {
+    EXPECT_EQ(pu.period_slots, 100u);
+    EXPECT_EQ(pu.on_slots, 25u);
+    EXPECT_LT(pu.phase_slots, 100u);
+    EXPECT_LT(pu.user.channel, 8u);
+  }
+}
+
+TEST(DynamicPrimaryUserField, InterferenceScheduleMatchesOccupied) {
+  util::Rng rng(2);
+  const auto field = net::DynamicPrimaryUserField::random(
+      6, 10, 1.0, 0.2, 0.5, 50, 0.5, rng);
+  const std::vector<net::Point> positions{{0.2, 0.2}, {0.8, 0.8}};
+  const auto schedule = field.interference_for(positions);
+  for (std::uint64_t slot = 0; slot < 120; slot += 7) {
+    for (net::NodeId u = 0; u < 2; ++u) {
+      for (net::ChannelId c = 0; c < 6; ++c) {
+        EXPECT_EQ(schedule(slot, u, c), field.occupied(slot, positions[u], c))
+            << "slot=" << slot << " u=" << u << " c=" << c;
+      }
+    }
+  }
+}
+
+// --- Engine semantics under interference ---
+
+// Shared recording state: outcomes must outlive the engine-owned policies.
+struct FixedFactoryState {
+  std::vector<sim::SlotAction> actions;
+  std::vector<std::vector<sim::ListenOutcome>> outcomes;
+};
+
+class FixedPolicy final : public sim::SyncPolicy {
+ public:
+  FixedPolicy(sim::SlotAction action,
+              std::vector<sim::ListenOutcome>* outcomes)
+      : action_(action), outcomes_(outcomes) {}
+  sim::SlotAction next_slot(util::Rng&) override { return action_; }
+  void observe_listen_outcome(sim::ListenOutcome outcome) override {
+    outcomes_->push_back(outcome);
+  }
+
+ private:
+  sim::SlotAction action_;
+  std::vector<sim::ListenOutcome>* outcomes_;
+};
+
+[[nodiscard]] sim::SyncPolicyFactory fixed_factory(
+    std::shared_ptr<FixedFactoryState> state) {
+  state->outcomes.resize(state->actions.size());
+  return [state](const net::Network&, net::NodeId u)
+             -> std::unique_ptr<sim::SyncPolicy> {
+    return std::make_unique<FixedPolicy>(state->actions[u],
+                                         &state->outcomes[u]);
+  };
+}
+
+[[nodiscard]] net::Network pair_net() {
+  net::Topology t(2);
+  t.add_edge(0, 1);
+  return net::Network(std::move(t), std::vector<net::ChannelSet>(
+                                        2, net::ChannelSet(2, {0, 1})));
+}
+
+TEST(InterferenceEngine, JammedReceiverHearsNoise) {
+  const net::Network network = pair_net();
+  sim::SlotEngineConfig config;
+  config.max_slots = 4;
+  config.stop_when_complete = false;
+  config.interference = [](std::uint64_t, net::NodeId node,
+                           net::ChannelId channel) {
+    return node == 1 && channel == 0;  // PU audible at node 1 on channel 0
+  };
+  auto state = std::make_shared<FixedFactoryState>();
+  state->actions = {{sim::Mode::kTransmit, 0}, {sim::Mode::kReceive, 0}};
+  const auto result =
+      sim::run_slot_engine(network, fixed_factory(state), config);
+  EXPECT_EQ(result.state.covered_links(), 0u);
+  // The jammed listener perceives collision-like noise every slot.
+  ASSERT_EQ(state->outcomes[1].size(), 4u);
+  for (const auto outcome : state->outcomes[1]) {
+    EXPECT_EQ(outcome, sim::ListenOutcome::kCollision);
+  }
+}
+
+TEST(InterferenceEngine, JammedTransmitterVacates) {
+  const net::Network network = pair_net();
+  sim::SlotEngineConfig config;
+  config.max_slots = 4;
+  config.stop_when_complete = false;
+  config.interference = [](std::uint64_t, net::NodeId node,
+                           net::ChannelId channel) {
+    return node == 0 && channel == 0;  // PU at the transmitter
+  };
+  auto state = std::make_shared<FixedFactoryState>();
+  state->actions = {{sim::Mode::kTransmit, 0}, {sim::Mode::kReceive, 0}};
+  const auto result =
+      sim::run_slot_engine(network, fixed_factory(state), config);
+  EXPECT_EQ(result.state.covered_links(), 0u);
+  // The receiver hears pure silence (the transmitter vacated; no PU here).
+  for (const auto outcome : state->outcomes[1]) {
+    EXPECT_EQ(outcome, sim::ListenOutcome::kSilence);
+  }
+  // The vacated transmitter's slots are accounted as quiet.
+  EXPECT_EQ(result.activity[0].quiet, 4u);
+  EXPECT_EQ(result.activity[0].transmit, 0u);
+}
+
+TEST(InterferenceEngine, OtherChannelsUnaffected) {
+  const net::Network network = pair_net();
+  sim::SlotEngineConfig config;
+  config.max_slots = 2;
+  config.stop_when_complete = false;
+  config.interference = [](std::uint64_t, net::NodeId,
+                           net::ChannelId channel) { return channel == 0; };
+  auto state = std::make_shared<FixedFactoryState>();
+  state->actions = {{sim::Mode::kTransmit, 1}, {sim::Mode::kReceive, 1}};
+  const auto result =
+      sim::run_slot_engine(network, fixed_factory(state), config);
+  EXPECT_TRUE(result.state.is_covered({0, 1}));
+}
+
+TEST(InterferenceEngine, ListenOutcomesWithoutInterference) {
+  // Sanity of the feedback channel itself: a listener sees kSilence when
+  // nobody transmits and kClear on a clean message.
+  const net::Network network = pair_net();
+  sim::SlotEngineConfig config;
+  config.max_slots = 1;
+  config.stop_when_complete = false;
+  auto state = std::make_shared<FixedFactoryState>();
+  state->actions = {{sim::Mode::kReceive, 0}, {sim::Mode::kReceive, 0}};
+  (void)sim::run_slot_engine(network, fixed_factory(state), config);
+  ASSERT_EQ(state->outcomes[0].size(), 1u);
+  EXPECT_EQ(state->outcomes[0][0], sim::ListenOutcome::kSilence);
+
+  auto state2 = std::make_shared<FixedFactoryState>();
+  state2->actions = {{sim::Mode::kTransmit, 0}, {sim::Mode::kReceive, 0}};
+  (void)sim::run_slot_engine(network, fixed_factory(state2), config);
+  ASSERT_EQ(state2->outcomes[1].size(), 1u);
+  EXPECT_EQ(state2->outcomes[1][0], sim::ListenOutcome::kClear);
+}
+
+TEST(InterferenceEngine, CollisionOutcomeReported) {
+  net::Topology t(3);
+  t.add_edge(0, 1);
+  t.add_edge(0, 2);
+  const net::Network network(
+      std::move(t),
+      std::vector<net::ChannelSet>(3, net::ChannelSet(1, {0})));
+  sim::SlotEngineConfig config;
+  config.max_slots = 1;
+  config.stop_when_complete = false;
+  auto state = std::make_shared<FixedFactoryState>();
+  state->actions = {{sim::Mode::kReceive, 0},
+                    {sim::Mode::kTransmit, 0},
+                    {sim::Mode::kTransmit, 0}};
+  (void)sim::run_slot_engine(network, fixed_factory(state), config);
+  ASSERT_EQ(state->outcomes[0].size(), 1u);
+  EXPECT_EQ(state->outcomes[0][0], sim::ListenOutcome::kCollision);
+}
+
+TEST(InterferenceIntegration, DiscoveryCompletesUnderDynamicPUs) {
+  util::Rng rng(4);
+  const auto geo = net::make_connected_unit_disk(10, 1.0, 0.5, rng);
+  const net::Network network(
+      geo.topology,
+      std::vector<net::ChannelSet>(10, net::ChannelSet::full(6)));
+  const auto field = net::DynamicPrimaryUserField::random(
+      6, 8, 1.0, 0.2, 0.4, 200, 0.5, rng);
+  sim::SlotEngineConfig config;
+  config.max_slots = 2'000'000;
+  config.seed = 5;
+  config.interference = field.interference_for(geo.positions);
+  const auto result = sim::run_slot_engine(
+      network, core::make_algorithm3(8), config);
+  ASSERT_TRUE(result.complete);
+  for (net::NodeId u = 0; u < network.node_count(); ++u) {
+    EXPECT_TRUE(result.state.table_matches_ground_truth(u));
+  }
+}
+
+}  // namespace
+}  // namespace m2hew

@@ -1,0 +1,143 @@
+// Engine/bookkeeping invariants over randomized runs of every algorithm:
+// whatever the policy does, the measurement machinery must stay coherent.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/adaptive.hpp"
+#include "core/algorithms.hpp"
+#include "core/baseline_deterministic.hpp"
+#include "runner/scenario.hpp"
+#include "sim/async_engine.hpp"
+#include "sim/slot_engine.hpp"
+
+namespace m2hew {
+namespace {
+
+struct SyncCase {
+  const char* name;
+  sim::SyncPolicyFactory factory;
+};
+
+class SyncInvariants : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SyncInvariants, HoldAcrossAlgorithmsAndScenarios) {
+  const std::uint64_t seed = GetParam();
+  runner::ScenarioConfig scenario;
+  scenario.topology = runner::TopologyKind::kErdosRenyi;
+  scenario.n = 12;
+  scenario.er_edge_probability = 0.5;
+  scenario.channels = runner::ChannelKind::kUniformRandom;
+  scenario.universe = 9;
+  scenario.set_size = 4;
+  scenario.asymmetric_drop = (seed % 2 == 0) ? 0.4 : 0.0;
+  const net::Network network = runner::build_scenario(scenario, seed);
+
+  const SyncCase cases[] = {
+      {"alg1", core::make_algorithm1(8)},
+      {"alg2", core::make_algorithm2()},
+      {"alg3", core::make_algorithm3(8)},
+      {"adaptive", core::make_adaptive()},
+      {"baseline", core::make_universal_baseline(9, 0.5)},
+      {"deterministic", core::make_deterministic_baseline(9)},
+  };
+  for (const SyncCase& test_case : cases) {
+    sim::SlotEngineConfig config;
+    config.max_slots = 800;
+    config.seed = seed;
+    config.stop_when_complete = false;
+    const auto result =
+        sim::run_slot_engine(network, test_case.factory, config);
+
+    // Bookkeeping coherence.
+    EXPECT_EQ(result.slots_executed, 800u) << test_case.name;
+    EXPECT_LE(result.state.covered_links(), result.state.total_links())
+        << test_case.name;
+    EXPECT_EQ(result.complete,
+              result.state.covered_links() == result.state.total_links())
+        << test_case.name;
+    EXPECT_GE(result.state.reception_count(), result.state.covered_links())
+        << test_case.name;
+
+    // Activity accounting: every node accounted for every slot.
+    ASSERT_EQ(result.activity.size(), network.node_count());
+    for (const sim::RadioActivity& a : result.activity) {
+      EXPECT_EQ(a.total(), 800u) << test_case.name;
+    }
+
+    // Coverage times lie within the executed window and tables agree with
+    // coverage counts.
+    std::size_t table_entries = 0;
+    for (net::NodeId u = 0; u < network.node_count(); ++u) {
+      table_entries += result.state.neighbor_table(u).size();
+    }
+    EXPECT_EQ(table_entries, result.state.covered_links()) << test_case.name;
+    for (const net::Link link : network.links()) {
+      if (!result.state.is_covered(link)) continue;
+      const double t = result.state.first_coverage_time(link);
+      EXPECT_GE(t, 0.0) << test_case.name;
+      EXPECT_LT(t, 800.0) << test_case.name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SyncInvariants,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+class AsyncInvariants : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AsyncInvariants, HoldUnderDrift) {
+  const std::uint64_t seed = GetParam();
+  runner::ScenarioConfig scenario;
+  scenario.topology = runner::TopologyKind::kClique;
+  scenario.n = 8;
+  scenario.channels = runner::ChannelKind::kUniformRandom;
+  scenario.universe = 8;
+  scenario.set_size = 4;
+  const net::Network network = runner::build_scenario(scenario, seed);
+
+  sim::AsyncEngineConfig config;
+  config.frame_length = 3.0;
+  config.max_frames_per_node = 200;
+  config.max_real_time = 1e9;
+  config.seed = seed;
+  config.stop_when_complete = false;
+  config.clock_builder = [](net::NodeId, std::uint64_t clock_seed) {
+    return std::make_unique<sim::PiecewiseDriftClock>(
+        sim::PiecewiseDriftClock::Config{.max_drift = 1.0 / 7.0,
+                                         .min_segment = 10.0,
+                                         .max_segment = 50.0},
+        clock_seed);
+  };
+  const auto result =
+      sim::run_async_engine(network, core::make_algorithm4(8), config);
+
+  ASSERT_EQ(result.frames_started.size(), network.node_count());
+  ASSERT_EQ(result.activity.size(), network.node_count());
+  for (net::NodeId u = 0; u < network.node_count(); ++u) {
+    EXPECT_EQ(result.frames_started[u], 200u);
+    EXPECT_EQ(result.activity[u].total(), 200u);
+  }
+  EXPECT_EQ(result.complete,
+            result.state.covered_links() == result.state.total_links());
+  if (result.complete) {
+    ASSERT_EQ(result.full_frames_since_ts.size(), network.node_count());
+    // Every node fits its counted full frames within ~200 real frames.
+    for (const std::uint64_t frames : result.full_frames_since_ts) {
+      EXPECT_LE(frames, 200u);
+    }
+    EXPECT_GE(result.completion_time, result.t_s);
+  }
+  // Coverage times never exceed the last possible frame end: real frame
+  // length <= L/(1-delta) = 3.5, 200 frames, start offset 0.
+  for (const net::Link link : network.links()) {
+    if (!result.state.is_covered(link)) continue;
+    EXPECT_LE(result.state.first_coverage_time(link), 200.0 * 3.5 + 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AsyncInvariants,
+                         ::testing::Values(10u, 20u, 30u));
+
+}  // namespace
+}  // namespace m2hew

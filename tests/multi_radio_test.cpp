@@ -1,0 +1,201 @@
+#include "core/multi_radio.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/algorithms.hpp"
+#include "net/topology_gen.hpp"
+#include "runner/trials.hpp"
+#include "sim/slot_engine.hpp"
+#include "util/stats.hpp"
+
+namespace m2hew {
+namespace {
+
+// Scripted multi-radio policy replaying fixed per-slot action vectors.
+class ScriptedMultiPolicy final : public sim::MultiRadioPolicy {
+ public:
+  explicit ScriptedMultiPolicy(
+      std::vector<std::vector<sim::SlotAction>> script)
+      : script_(std::move(script)) {}
+  std::vector<sim::SlotAction> next_slot(util::Rng&) override {
+    const auto& step = script_[std::min(index_, script_.size() - 1)];
+    ++index_;
+    return step;
+  }
+  unsigned radio_count() const override {
+    return static_cast<unsigned>(script_.front().size());
+  }
+
+ private:
+  std::vector<std::vector<sim::SlotAction>> script_;
+  std::size_t index_ = 0;
+};
+
+[[nodiscard]] sim::MultiRadioPolicyFactory scripted(
+    std::vector<std::vector<std::vector<sim::SlotAction>>> per_node) {
+  auto shared = std::make_shared<decltype(per_node)>(std::move(per_node));
+  return [shared](const net::Network&, net::NodeId u)
+             -> std::unique_ptr<sim::MultiRadioPolicy> {
+    return std::make_unique<ScriptedMultiPolicy>((*shared)[u]);
+  };
+}
+
+constexpr sim::SlotAction kTx0{sim::Mode::kTransmit, 0};
+constexpr sim::SlotAction kTx1{sim::Mode::kTransmit, 1};
+constexpr sim::SlotAction kRx0{sim::Mode::kReceive, 0};
+constexpr sim::SlotAction kRx1{sim::Mode::kReceive, 1};
+constexpr sim::SlotAction kQuiet{sim::Mode::kQuiet, net::kInvalidChannel};
+
+[[nodiscard]] net::Network pair_net() {
+  net::Topology t(2);
+  t.add_edge(0, 1);
+  return net::Network(std::move(t), std::vector<net::ChannelSet>(
+                                        2, net::ChannelSet(2, {0, 1})));
+}
+
+TEST(MultiRadioEngine, ParallelReceptionOnTwoChannels) {
+  // Node 0 transmits on both channels simultaneously; node 1 listens on
+  // both: the link (0,1) is covered in slot 0 via either radio, and node
+  // 1's radios do not interfere with each other.
+  const net::Network network = pair_net();
+  sim::MultiRadioEngineConfig config;
+  config.max_slots = 1;
+  config.stop_when_complete = false;
+  const auto result = sim::run_multi_radio_engine(
+      network, scripted({{{kTx0, kTx1}}, {{kRx0, kRx1}}}), config);
+  EXPECT_TRUE(result.state.is_covered({0, 1}));
+}
+
+TEST(MultiRadioEngine, SimultaneousBidirectionalDiscovery) {
+  // Full duplex across radios: each node transmits on one channel and
+  // listens on the other — both directions covered in a single slot,
+  // impossible with one transceiver.
+  const net::Network network = pair_net();
+  sim::MultiRadioEngineConfig config;
+  config.max_slots = 1;
+  config.stop_when_complete = false;
+  const auto result = sim::run_multi_radio_engine(
+      network, scripted({{{kTx0, kRx1}}, {{kRx0, kTx1}}}), config);
+  EXPECT_TRUE(result.state.is_covered({0, 1}));
+  EXPECT_TRUE(result.state.is_covered({1, 0}));
+  EXPECT_TRUE(result.complete);
+}
+
+TEST(MultiRadioEngine, CollisionsAcrossSendersStillHappen) {
+  net::Topology t(3);
+  t.add_edge(0, 1);
+  t.add_edge(0, 2);
+  const net::Network network(
+      std::move(t),
+      std::vector<net::ChannelSet>(3, net::ChannelSet(2, {0, 1})));
+  sim::MultiRadioEngineConfig config;
+  config.max_slots = 1;
+  config.stop_when_complete = false;
+  // Both neighbors transmit on channel 0 while the hub listens there.
+  const auto result = sim::run_multi_radio_engine(
+      network,
+      scripted({{{kRx0, kQuiet}}, {{kTx0, kQuiet}}, {{kTx0, kQuiet}}}),
+      config);
+  EXPECT_EQ(result.state.covered_links(), 0u);
+}
+
+TEST(MultiRadioEngineDeath, DuplicateChannelAcrossRadiosAborts) {
+  const net::Network network = pair_net();
+  sim::MultiRadioEngineConfig config;
+  config.max_slots = 1;
+  EXPECT_DEATH(
+      (void)sim::run_multi_radio_engine(
+          network, scripted({{{kTx0, kRx0}}, {{kRx1, kQuiet}}}), config),
+      "CHECK failed");
+}
+
+TEST(MultiRadioAlg3Policy, StripesPartitionTheChannelSet) {
+  const net::ChannelSet a(8, {0, 1, 2, 3, 4, 5, 6, 7});
+  core::MultiRadioAlg3Policy policy(a, 3, 8);
+  std::size_t total = 0;
+  for (unsigned r = 0; r < 3; ++r) {
+    for (const net::ChannelId c : policy.stripe(r)) {
+      EXPECT_EQ(c % 3, r);
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, 8u);
+}
+
+TEST(MultiRadioAlg3Policy, EmptyStripeStaysQuiet) {
+  const net::ChannelSet a(8, {0, 2, 4});  // all even: stripe 1 of 2 empty
+  core::MultiRadioAlg3Policy policy(a, 2, 4);
+  EXPECT_TRUE(policy.stripe(1).empty());
+  util::Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const auto actions = policy.next_slot(rng);
+    ASSERT_EQ(actions.size(), 2u);
+    EXPECT_EQ(actions[1].mode, sim::Mode::kQuiet);
+    EXPECT_NE(actions[0].mode, sim::Mode::kQuiet);
+    EXPECT_EQ(actions[0].channel % 2, 0u);
+  }
+}
+
+TEST(MultiRadioAlg3Policy, SingleRadioEqualsAlgorithm3Distribution) {
+  const net::ChannelSet a(4, {0, 1, 2, 3});
+  core::MultiRadioAlg3Policy policy(a, 1, 16);
+  util::Rng rng(2);
+  int tx = 0;
+  constexpr int kSlots = 40000;
+  for (int i = 0; i < kSlots; ++i) {
+    const auto actions = policy.next_slot(rng);
+    if (actions[0].mode == sim::Mode::kTransmit) ++tx;
+  }
+  // p = min(1/2, 4/16) = 0.25, the Algorithm 3 value.
+  EXPECT_NEAR(tx / static_cast<double>(kSlots), 0.25, 0.01);
+}
+
+TEST(MultiRadioIntegration, DiscoversAndMatchesGroundTruth) {
+  const net::Network network(
+      net::make_clique(8),
+      std::vector<net::ChannelSet>(8, net::ChannelSet::full(8)));
+  sim::MultiRadioEngineConfig config;
+  config.max_slots = 500000;
+  config.seed = 3;
+  const auto result = sim::run_multi_radio_engine(
+      network, core::make_multi_radio_alg3(4, 8), config);
+  ASSERT_TRUE(result.complete);
+  for (net::NodeId u = 0; u < network.node_count(); ++u) {
+    EXPECT_TRUE(result.state.table_matches_ground_truth(u));
+  }
+}
+
+TEST(MultiRadioIntegration, MoreRadiosAreFaster) {
+  const net::Network network(
+      net::make_clique(10),
+      std::vector<net::ChannelSet>(10, net::ChannelSet::full(8)));
+  auto mean_slots = [&](unsigned radios) {
+    util::RunningStats stats;
+    for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+      sim::MultiRadioEngineConfig config;
+      config.max_slots = 1'000'000;
+      config.seed = seed;
+      const auto result = sim::run_multi_radio_engine(
+          network, core::make_multi_radio_alg3(radios, 10), config);
+      EXPECT_TRUE(result.complete);
+      stats.add(static_cast<double>(result.completion_slot));
+    }
+    return stats.mean();
+  };
+  const double one = mean_slots(1);
+  const double four = mean_slots(4);
+  EXPECT_LT(four, one / 1.5) << "R=4 should be well under R=1";
+}
+
+TEST(MultiRadioDeath, InvalidConstruction) {
+  const net::ChannelSet a(4, {0});
+  EXPECT_DEATH(core::MultiRadioAlg3Policy(a, 0, 4), "CHECK failed");
+  EXPECT_DEATH(core::MultiRadioAlg3Policy(a, 1, 0), "CHECK failed");
+  const net::ChannelSet empty(4);
+  EXPECT_DEATH(core::MultiRadioAlg3Policy(empty, 1, 4), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace m2hew

@@ -1,0 +1,125 @@
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/topology_gen.hpp"
+
+namespace m2hew::net {
+namespace {
+
+// Triangle where each pair shares a different overlap:
+//   A(0) = {0,1}, A(1) = {1,2}, A(2) = {0,1,2}
+//   span(0,1) = {1}, span(0,2) = {0,1}, span(1,2) = {1,2}
+[[nodiscard]] Network make_triangle() {
+  Topology t(3);
+  t.add_edge(0, 1);
+  t.add_edge(0, 2);
+  t.add_edge(1, 2);
+  return Network(std::move(t), {ChannelSet(3, {0, 1}), ChannelSet(3, {1, 2}),
+                                ChannelSet(3, {0, 1, 2})});
+}
+
+TEST(Network, BasicParams) {
+  const Network net = make_triangle();
+  EXPECT_EQ(net.node_count(), 3u);
+  EXPECT_EQ(net.universe_size(), 3u);
+  EXPECT_EQ(net.max_channel_set_size(), 3u);  // S = |A(2)|
+}
+
+TEST(Network, SpansAreIntersections) {
+  const Network net = make_triangle();
+  EXPECT_EQ(net.span(0, 1), ChannelSet(3, {1}));
+  EXPECT_EQ(net.span(0, 2), ChannelSet(3, {0, 1}));
+  EXPECT_EQ(net.span(1, 2), ChannelSet(3, {1, 2}));
+  EXPECT_EQ(net.span(2, 1), net.span(1, 2));  // order-insensitive
+}
+
+TEST(Network, DegreeOnChannel) {
+  const Network net = make_triangle();
+  // Channel 1 is shared on all three edges: everyone has 2 neighbors on it.
+  EXPECT_EQ(net.degree_on_channel(0, 1), 2u);
+  EXPECT_EQ(net.degree_on_channel(1, 1), 2u);
+  EXPECT_EQ(net.degree_on_channel(2, 1), 2u);
+  // Channel 0 is shared only on edge {0,2}.
+  EXPECT_EQ(net.degree_on_channel(0, 0), 1u);
+  EXPECT_EQ(net.degree_on_channel(2, 0), 1u);
+  EXPECT_EQ(net.degree_on_channel(1, 0), 0u);
+  EXPECT_EQ(net.max_channel_degree(), 2u);  // Δ
+}
+
+TEST(Network, LinksAreDirectedPairs) {
+  const Network net = make_triangle();
+  EXPECT_EQ(net.links().size(), 6u);  // 3 edges × 2 directions
+  EXPECT_TRUE(net.all_edges_usable());
+}
+
+TEST(Network, SpanRatioAndRho) {
+  const Network net = make_triangle();
+  // Link (0, 1): |span| = 1, |A(1)| = 2 -> 1/2.
+  EXPECT_DOUBLE_EQ(net.span_ratio({0, 1}), 0.5);
+  // Link (1, 0): |span| = 1, |A(0)| = 2 -> 1/2.
+  EXPECT_DOUBLE_EQ(net.span_ratio({1, 0}), 0.5);
+  // Link (0, 2): |span| = 2, |A(2)| = 3 -> 2/3.
+  EXPECT_DOUBLE_EQ(net.span_ratio({0, 2}), 2.0 / 3.0);
+  // Link (2, 0): |span| = 2, |A(0)| = 2 -> 1.
+  EXPECT_DOUBLE_EQ(net.span_ratio({2, 0}), 1.0);
+  // ρ = min span-ratio = 1/3? No: link (1,2) has |span|=2,|A(2)|=3 = 2/3;
+  // minimum over all six links is 1/2.
+  EXPECT_DOUBLE_EQ(net.min_span_ratio(), 0.5);
+}
+
+TEST(Network, EmptySpanEdgeExcludedFromLinks) {
+  Topology t(3);
+  t.add_edge(0, 1);
+  t.add_edge(1, 2);
+  // Nodes 1 and 2 share nothing.
+  Network net(std::move(t), {ChannelSet(4, {0}), ChannelSet(4, {0, 1}),
+                             ChannelSet(4, {2, 3})});
+  EXPECT_EQ(net.links().size(), 2u);  // only {0,1} in both directions
+  EXPECT_FALSE(net.all_edges_usable());
+  EXPECT_EQ(net.span(1, 2).size(), 0u);
+}
+
+TEST(Network, HomogeneousCliqueParams) {
+  const NodeId n = 6;
+  Network net(make_clique(n),
+              std::vector<ChannelSet>(n, ChannelSet::full(4)));
+  EXPECT_EQ(net.max_channel_set_size(), 4u);
+  EXPECT_EQ(net.max_channel_degree(), 5u);  // everyone neighbors everyone
+  EXPECT_DOUBLE_EQ(net.min_span_ratio(), 1.0);
+  EXPECT_EQ(net.links().size(), n * (n - 1));
+}
+
+TEST(Network, SingleNodeHasNoLinks) {
+  const Network net(Topology(1), {ChannelSet(2, {0})});
+  EXPECT_EQ(net.links().size(), 0u);
+  EXPECT_EQ(net.max_channel_degree(), 0u);
+  EXPECT_DOUBLE_EQ(net.min_span_ratio(), 1.0);
+}
+
+TEST(NetworkDeath, EmptyAvailableSetAborts) {
+  Topology t(2);
+  t.add_edge(0, 1);
+  EXPECT_DEATH(
+      Network(std::move(t), {ChannelSet(2, {0}), ChannelSet(2)}),
+      "CHECK failed");
+}
+
+TEST(NetworkDeath, AssignmentSizeMismatchAborts) {
+  EXPECT_DEATH(Network(Topology(2), {ChannelSet(2, {0})}), "CHECK failed");
+}
+
+TEST(NetworkDeath, MixedUniversesAbort) {
+  EXPECT_DEATH(
+      Network(Topology(2), {ChannelSet(2, {0}), ChannelSet(3, {0})}),
+      "CHECK failed");
+}
+
+TEST(NetworkDeath, SpanOnNonEdgeAborts) {
+  const Network net(Topology(2),
+                    {ChannelSet(2, {0}), ChannelSet(2, {0})});
+  EXPECT_DEATH((void)net.span(0, 1), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace m2hew::net

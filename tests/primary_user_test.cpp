@@ -1,0 +1,84 @@
+#include "net/primary_user.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace m2hew::net {
+namespace {
+
+TEST(PrimaryUserField, OccupiedInsideDiskOnly) {
+  const PrimaryUserField field(4, {{{0.5, 0.5}, 0.2, 1}});
+  EXPECT_TRUE(field.occupied_at({0.5, 0.5}).contains(1));
+  EXPECT_TRUE(field.occupied_at({0.5, 0.7}).contains(1));  // on the rim
+  EXPECT_FALSE(field.occupied_at({0.5, 0.71}).contains(1));
+  EXPECT_EQ(field.occupied_at({0.0, 0.0}).size(), 0u);
+}
+
+TEST(PrimaryUserField, MultipleUsersUnion) {
+  const PrimaryUserField field(5, {
+                                      {{0.0, 0.0}, 1.0, 0},
+                                      {{0.0, 0.0}, 1.0, 2},
+                                      {{9.0, 9.0}, 0.1, 4},
+                                  });
+  const ChannelSet occ = field.occupied_at({0.1, 0.1});
+  EXPECT_TRUE(occ.contains(0));
+  EXPECT_TRUE(occ.contains(2));
+  EXPECT_FALSE(occ.contains(4));
+}
+
+TEST(PrimaryUserField, AvailableSubtractsOccupied) {
+  const PrimaryUserField field(4, {{{0.0, 0.0}, 1.0, 2}});
+  const ChannelSet hw = ChannelSet::full(4);
+  const ChannelSet avail = field.available_at({0.0, 0.0}, hw);
+  EXPECT_EQ(avail, ChannelSet(4, {0, 1, 3}));
+}
+
+TEST(PrimaryUserField, HardwareCapabilityLimits) {
+  const PrimaryUserField field(4, {{{0.0, 0.0}, 1.0, 0}});
+  const ChannelSet hw(4, {0, 1});
+  const ChannelSet avail = field.available_at({0.0, 0.0}, hw);
+  EXPECT_EQ(avail, ChannelSet(4, {1}));
+}
+
+TEST(PrimaryUserField, AssignmentForPositions) {
+  const PrimaryUserField field(3, {{{0.0, 0.0}, 0.5, 1}});
+  const auto assignment =
+      field.assignment_for({{0.0, 0.0}, {2.0, 2.0}});
+  ASSERT_EQ(assignment.size(), 2u);
+  EXPECT_EQ(assignment[0], ChannelSet(3, {0, 2}));
+  EXPECT_EQ(assignment[1], ChannelSet::full(3));
+}
+
+TEST(PrimaryUserField, RandomFieldRespectsConfig) {
+  util::Rng rng(1);
+  const PrimaryUserField field =
+      PrimaryUserField::random(16, 25, 2.0, 0.1, 0.4, rng);
+  EXPECT_EQ(field.users().size(), 25u);
+  for (const auto& pu : field.users()) {
+    EXPECT_LT(pu.channel, 16u);
+    EXPECT_GE(pu.radius, 0.1);
+    EXPECT_LE(pu.radius, 0.4);
+    EXPECT_GE(pu.position.x, 0.0);
+    EXPECT_LE(pu.position.x, 2.0);
+    EXPECT_GE(pu.position.y, 0.0);
+    EXPECT_LE(pu.position.y, 2.0);
+  }
+}
+
+TEST(PrimaryUserField, SpatialVariationProducesHeterogeneity) {
+  util::Rng rng(2);
+  const PrimaryUserField field =
+      PrimaryUserField::random(8, 30, 1.0, 0.2, 0.5, rng);
+  // Two far-apart probes should (with this density) see different spectra.
+  const ChannelSet a = field.occupied_at({0.05, 0.05});
+  const ChannelSet b = field.occupied_at({0.95, 0.95});
+  EXPECT_FALSE(a == b);
+}
+
+TEST(PrimaryUserFieldDeath, ChannelOutsideUniverseAborts) {
+  EXPECT_DEATH(PrimaryUserField(2, {{{0.0, 0.0}, 1.0, 2}}), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace m2hew::net

@@ -1,0 +1,104 @@
+#include "net/propagation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/topology_gen.hpp"
+
+namespace m2hew::net {
+namespace {
+
+TEST(FullPropagation, KeepsEverything) {
+  const PropagationFilter filter = full_propagation(6);
+  EXPECT_EQ(filter(0, 1), ChannelSet::full(6));
+  EXPECT_EQ(filter(3, 2), ChannelSet::full(6));
+}
+
+TEST(RandomPropagation, DeterministicAndSymmetric) {
+  const PropagationFilter filter = random_propagation_filter(16, 0.5, 99);
+  EXPECT_EQ(filter(2, 7), filter(2, 7));  // deterministic
+  EXPECT_EQ(filter(2, 7), filter(7, 2));  // symmetric
+  EXPECT_EQ(filter(2, 7).universe_size(), 16u);
+}
+
+TEST(RandomPropagation, DifferentPairsDiffer) {
+  const PropagationFilter filter = random_propagation_filter(32, 0.5, 7);
+  // With 32 channels at p = 0.5, two pairs sharing a mask is a 2^-32 event.
+  EXPECT_FALSE(filter(0, 1) == filter(0, 2));
+}
+
+TEST(RandomPropagation, KeepProbabilityControlsDensity) {
+  const PropagationFilter sparse = random_propagation_filter(64, 0.2, 1);
+  const PropagationFilter dense = random_propagation_filter(64, 0.9, 1);
+  std::size_t sparse_total = 0;
+  std::size_t dense_total = 0;
+  for (NodeId u = 0; u < 20; ++u) {
+    sparse_total += sparse(u, u + 1).size();
+    dense_total += dense(u, u + 1).size();
+  }
+  EXPECT_LT(sparse_total, dense_total);
+  // Rough densities: 20 pairs × 64 channels.
+  EXPECT_NEAR(static_cast<double>(sparse_total) / (20.0 * 64.0), 0.2, 0.08);
+  EXPECT_NEAR(static_cast<double>(dense_total) / (20.0 * 64.0), 0.9, 0.08);
+}
+
+TEST(RandomPropagation, KeepOneIsFull) {
+  const PropagationFilter filter = random_propagation_filter(8, 1.0, 3);
+  EXPECT_EQ(filter(1, 2), ChannelSet::full(8));
+}
+
+TEST(DistanceLowpass, AdjacentPairsKeepEverything) {
+  const PropagationFilter filter = distance_lowpass_filter(8, 10);
+  EXPECT_EQ(filter(3, 4).size(), 7u);  // gap 1 of 10 -> 90% of 8 -> 7
+}
+
+TEST(DistanceLowpass, FarPairsKeepOnlyLowChannels) {
+  const PropagationFilter filter = distance_lowpass_filter(8, 10);
+  const ChannelSet far = filter(0, 9);
+  EXPECT_GE(far.size(), 1u);  // never empty
+  EXPECT_TRUE(far.contains(0));
+  EXPECT_LT(far.size(), filter(0, 1).size());
+}
+
+TEST(NetworkWithPropagation, SpansAreMasked) {
+  Topology t(2);
+  t.add_edge(0, 1);
+  const ChannelSet all = ChannelSet::full(4);
+  // Mask keeps only channels {0, 1} on every arc.
+  const PropagationFilter filter = [](NodeId, NodeId) {
+    return ChannelSet(4, {0, 1});
+  };
+  const Network network(std::move(t), {all, all}, filter);
+  EXPECT_EQ(network.span(0, 1), ChannelSet(4, {0, 1}));
+  EXPECT_EQ(network.max_channel_set_size(), 4u);  // S is about A(u), not span
+  EXPECT_DOUBLE_EQ(network.min_span_ratio(), 0.5);
+  EXPECT_EQ(network.degree_on_channel(0, 2), 0u);  // masked out
+  EXPECT_EQ(network.degree_on_channel(0, 1), 1u);
+}
+
+TEST(NetworkWithPropagation, FullyMaskedArcIsNotALink) {
+  Topology t(3);
+  t.add_edge(0, 1);
+  t.add_edge(1, 2);
+  const ChannelSet all = ChannelSet::full(2);
+  // Arcs touching node 2 propagate nothing.
+  const PropagationFilter filter = [](NodeId from, NodeId to) {
+    if (from == 2 || to == 2) return ChannelSet(2);
+    return ChannelSet::full(2);
+  };
+  const Network network(std::move(t), {all, all, all}, filter);
+  EXPECT_EQ(network.links().size(), 2u);  // only 0<->1
+  EXPECT_FALSE(network.all_edges_usable());
+}
+
+TEST(NetworkWithPropagationDeath, WrongUniverseMaskAborts) {
+  Topology t(2);
+  t.add_edge(0, 1);
+  const ChannelSet all = ChannelSet::full(4);
+  const PropagationFilter filter = [](NodeId, NodeId) {
+    return ChannelSet(5);  // wrong universe
+  };
+  EXPECT_DEATH(Network(std::move(t), {all, all}, filter), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace m2hew::net

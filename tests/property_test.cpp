@@ -1,0 +1,212 @@
+// Parameterized property sweeps tying the simulated system to the paper's
+// probabilistic guarantees.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "core/algorithms.hpp"
+#include "core/bounds.hpp"
+#include "core/transmit_probability.hpp"
+#include "runner/scenario.hpp"
+#include "runner/trials.hpp"
+
+namespace m2hew {
+namespace {
+
+using runner::ChannelKind;
+using runner::ScenarioConfig;
+using runner::TopologyKind;
+
+[[nodiscard]] core::BoundParams params_of(const net::Network& network,
+                                          std::size_t delta_est,
+                                          double epsilon) {
+  core::BoundParams p;
+  p.n = network.node_count();
+  p.s = network.max_channel_set_size();
+  p.delta = std::max<std::size_t>(1, network.max_channel_degree());
+  p.delta_est = delta_est;
+  p.rho = network.min_span_ratio();
+  p.epsilon = epsilon;
+  return p;
+}
+
+// Theorem 1 / Theorem 3 guarantee: running the algorithm for its theorem
+// slot budget succeeds with probability >= 1 - ε. We check the empirical
+// success rate's upper confidence bound stays above 1 - ε.
+class TheoremBudgetSuccess : public ::testing::TestWithParam<double> {};
+
+TEST_P(TheoremBudgetSuccess, Algorithm1MeetsEpsilonAtTheoremBudget) {
+  const double epsilon = GetParam();
+  ScenarioConfig config;
+  config.topology = TopologyKind::kClique;
+  config.n = 6;
+  config.channels = ChannelKind::kUniformRandom;
+  config.universe = 6;
+  config.set_size = 3;
+  const net::Network network = runner::build_scenario(config, 31);
+  const std::size_t delta_est = 8;
+  const auto bound = static_cast<std::uint64_t>(
+      std::ceil(core::theorem1_slot_bound(params_of(network, delta_est,
+                                                    epsilon))));
+  runner::SyncTrialConfig trial;
+  trial.trials = 60;
+  trial.seed = 777;
+  trial.engine.max_slots = bound;
+  const auto stats = runner::run_sync_trials(
+      network, core::make_algorithm1(delta_est), trial);
+  // The theorem promises >= 1 - ε; with 60 trials allow one standard
+  // binomial fluctuation below it.
+  const double guarantee = 1.0 - epsilon;
+  const double slack =
+      2.0 * std::sqrt(guarantee * (1.0 - guarantee) / 60.0) + 1e-9;
+  EXPECT_GE(stats.success_rate(), guarantee - slack)
+      << "epsilon=" << epsilon << " budget=" << bound;
+}
+
+TEST_P(TheoremBudgetSuccess, Algorithm3MeetsEpsilonAtTheoremBudget) {
+  const double epsilon = GetParam();
+  ScenarioConfig config;
+  config.topology = TopologyKind::kErdosRenyi;
+  config.n = 10;
+  config.er_edge_probability = 0.5;
+  config.channels = ChannelKind::kUniformRandom;
+  config.universe = 8;
+  config.set_size = 4;
+  const net::Network network = runner::build_scenario(config, 32);
+  const std::size_t delta_est = 16;
+  const auto bound = static_cast<std::uint64_t>(
+      std::ceil(core::theorem3_slot_bound(params_of(network, delta_est,
+                                                    epsilon))));
+  runner::SyncTrialConfig trial;
+  trial.trials = 60;
+  trial.seed = 778;
+  trial.engine.max_slots = bound;
+  const auto stats = runner::run_sync_trials(
+      network, core::make_algorithm3(delta_est), trial);
+  const double guarantee = 1.0 - epsilon;
+  const double slack =
+      2.0 * std::sqrt(std::max(guarantee * (1.0 - guarantee), 0.01) / 60.0) +
+      1e-9;
+  EXPECT_GE(stats.success_rate(), guarantee - slack);
+}
+
+INSTANTIATE_TEST_SUITE_P(EpsilonSweep, TheoremBudgetSuccess,
+                         ::testing::Values(0.5, 0.2, 0.1));
+
+// ρ-monotonicity: on the exact-ρ chain construction, shrinking the overlap
+// (smaller ρ) must not speed discovery up — mean completion time grows.
+TEST(RhoMonotonicityProperty, SmallerOverlapIsSlower) {
+  double previous_mean = 0.0;
+  for (const net::ChannelId overlap : {4u, 2u, 1u}) {  // ρ = 1, 1/2, 1/4
+    ScenarioConfig config;
+    config.topology = TopologyKind::kLine;
+    config.n = 8;
+    config.channels = ChannelKind::kChainOverlap;
+    config.set_size = 4;
+    config.chain_overlap = overlap;
+    const net::Network network = runner::build_scenario(config, 33);
+    runner::SyncTrialConfig trial;
+    trial.trials = 40;
+    trial.seed = 900 + overlap;
+    trial.engine.max_slots = 1000000;
+    const auto stats = runner::run_sync_trials(
+        network, core::make_algorithm3(4), trial);
+    ASSERT_EQ(stats.completed, trial.trials);
+    const double mean = stats.completion_slots.summarize().mean;
+    EXPECT_GT(mean, previous_mean)
+        << "overlap=" << overlap << " should be slower than larger overlap";
+    previous_mean = mean;
+  }
+}
+
+// Coverage-probability lower bound (eq. 6): the measured per-stage coverage
+// probability of a specific link under Algorithm 1 is at least the bound.
+TEST(CoverageProbabilityProperty, StageCoverageAboveEq6Bound) {
+  ScenarioConfig config;
+  config.topology = TopologyKind::kClique;
+  config.n = 5;
+  config.universe = 4;
+  config.set_size = 4;
+  const net::Network network = runner::build_scenario(config, 34);
+  const std::size_t delta_est = 4;
+  const unsigned stage_slots = core::stage_length(delta_est);
+
+  const net::Link link = network.links()[0];
+  std::size_t covered = 0;
+  constexpr std::size_t kTrials = 4000;
+  for (std::size_t t = 0; t < kTrials; ++t) {
+    sim::SlotEngineConfig engine;
+    engine.max_slots = stage_slots;  // exactly one stage
+    engine.seed = 5000 + t;
+    engine.stop_when_complete = false;
+    const auto result = sim::run_slot_engine(
+        network, core::make_algorithm1(delta_est), engine);
+    if (result.state.is_covered(link)) ++covered;
+  }
+  const double measured =
+      static_cast<double>(covered) / static_cast<double>(kTrials);
+  const double bound = core::eq6_stage_coverage_lower_bound(
+      params_of(network, delta_est, 0.1));
+  // Allow binomial noise on the measured side.
+  const double noise = 2.0 * std::sqrt(measured * (1.0 - measured) /
+                                       static_cast<double>(kTrials));
+  EXPECT_GE(measured + noise, bound);
+}
+
+// Failure probability decays with budget: doubling the slot budget must not
+// decrease the success rate (monotone property over the sweep).
+class BudgetMonotonicity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BudgetMonotonicity, LongerBudgetsNeverHurt) {
+  const std::uint64_t budget = GetParam();
+  ScenarioConfig config;
+  config.topology = TopologyKind::kClique;
+  config.n = 6;
+  config.universe = 4;
+  config.set_size = 4;
+  const net::Network network = runner::build_scenario(config, 35);
+  runner::SyncTrialConfig trial;
+  trial.trials = 40;
+  trial.seed = 4242;  // same seeds across parameterizations
+  trial.engine.max_slots = budget;
+  const auto stats = runner::run_sync_trials(
+      network, core::make_algorithm3(8), trial);
+  // With identical seeds, a longer prefix can only cover more links:
+  // completion within `budget` implies completion within any larger budget.
+  static std::map<std::uint64_t, double> rates;
+  rates[budget] = stats.success_rate();
+  for (const auto& [b, rate] : rates) {
+    if (b < budget) {
+      EXPECT_LE(rate, stats.success_rate() + 1e-12);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, BudgetMonotonicity,
+                         ::testing::Values(50u, 200u, 800u, 3200u));
+
+// Discovery time distribution is heavier for the last links: p99 over
+// trials is at least the median (sanity on the aggregation pipeline).
+TEST(AggregationSanity, QuantilesOrdered) {
+  ScenarioConfig config;
+  config.topology = TopologyKind::kClique;
+  config.n = 6;
+  config.universe = 4;
+  config.set_size = 4;
+  const net::Network network = runner::build_scenario(config, 36);
+  runner::SyncTrialConfig trial;
+  trial.trials = 50;
+  trial.engine.max_slots = 100000;
+  const auto stats = runner::run_sync_trials(
+      network, core::make_algorithm1(8), trial);
+  const auto summary = stats.completion_slots.summarize();
+  EXPECT_LE(summary.min, summary.p50);
+  EXPECT_LE(summary.p50, summary.p90);
+  EXPECT_LE(summary.p90, summary.p95);
+  EXPECT_LE(summary.p95, summary.p99);
+  EXPECT_LE(summary.p99, summary.max);
+}
+
+}  // namespace
+}  // namespace m2hew

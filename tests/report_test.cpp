@@ -1,0 +1,57 @@
+#include "runner/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+namespace m2hew::runner {
+namespace {
+
+TEST(Report, VerdictReturnsItsArgument) {
+  EXPECT_TRUE(print_verdict(true, "ok"));
+  EXPECT_FALSE(print_verdict(false, "not ok"));
+}
+
+TEST(Report, BannerDoesNotCrashOnEmptyStrings) {
+  print_banner("", "", "");
+  print_banner("E0", "claim text", "scenario text");
+}
+
+TEST(Report, ResultsCsvIsCreatedAndWritable) {
+  auto out = open_results_csv("report_test_scratch");
+  ASSERT_TRUE(out.good());
+  out << "a,b\n1,2\n";
+  out.close();
+  const std::filesystem::path path =
+      std::filesystem::path(results_dir()) / "report_test_scratch.csv";
+  ASSERT_TRUE(std::filesystem::exists(path));
+  std::ifstream in(path);
+  std::string first;
+  std::getline(in, first);
+  EXPECT_EQ(first, "a,b");
+  in.close();
+  std::filesystem::remove(path);
+}
+
+TEST(Report, ReopeningTruncates) {
+  {
+    auto out = open_results_csv("report_test_trunc");
+    out << "old content that should vanish\n";
+  }
+  {
+    auto out = open_results_csv("report_test_trunc");
+    out << "x\n";
+  }
+  const std::filesystem::path path =
+      std::filesystem::path(results_dir()) / "report_test_trunc.csv";
+  std::ifstream in(path);
+  std::string first;
+  std::getline(in, first);
+  EXPECT_EQ(first, "x");
+  in.close();
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace m2hew::runner

@@ -1,0 +1,188 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace m2hew::util {
+namespace {
+
+TEST(SplitMix64, KnownSequenceIsDeterministic) {
+  std::uint64_t s1 = 42;
+  std::uint64_t s2 = 42;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+  }
+  EXPECT_EQ(s1, s2);
+}
+
+TEST(SplitMix64, DifferentStatesDiverge) {
+  std::uint64_t a = 1;
+  std::uint64_t b = 2;
+  EXPECT_NE(splitmix64(a), splitmix64(b));
+}
+
+TEST(Xoshiro256, SameSeedSameStream) {
+  Xoshiro256 a(7);
+  Xoshiro256 b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro256, ZeroSeedIsNotDegenerate) {
+  Xoshiro256 g(0);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 100; ++i) seen.insert(g());
+  EXPECT_GT(seen.size(), 95u);  // distinct values, not a fixed point
+}
+
+TEST(Xoshiro256, JumpDecorrelatesStreams) {
+  Xoshiro256 a(9);
+  Xoshiro256 b(9);
+  b.jump();
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, UniformRespectsBound) {
+  Rng rng(3);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.uniform(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, UniformBoundOneIsAlwaysZero) {
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform(1), 0u);
+}
+
+TEST(Rng, UniformIsRoughlyUniform) {
+  Rng rng(5);
+  constexpr std::uint64_t kBound = 10;
+  constexpr int kDraws = 100000;
+  std::array<int, kBound> counts{};
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.uniform(kBound)];
+  const double expected = kDraws / static_cast<double>(kBound);
+  for (const int c : counts) {
+    EXPECT_NEAR(c, expected, 5 * std::sqrt(expected));
+  }
+}
+
+TEST(Rng, UniformRangeInclusiveEndpointsReachable) {
+  Rng rng(6);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto x = rng.uniform_range(-2, 2);
+    EXPECT_GE(x, -2);
+    EXPECT_LE(x, 2);
+    saw_lo |= (x == -2);
+    saw_hi |= (x == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformRangeSingleton) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_range(5, 5), 5);
+}
+
+TEST(Rng, UniformDoubleInHalfOpenUnitInterval) {
+  Rng rng(8);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformDoubleRangeAndMean) {
+  Rng rng(9);
+  double sum = 0.0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = rng.uniform_double(2.0, 6.0);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LT(x, 6.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / kDraws, 4.0, 0.05);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(10);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-0.5));
+    EXPECT_TRUE(rng.bernoulli(1.5));
+  }
+}
+
+TEST(Rng, BernoulliFrequencyMatchesP) {
+  Rng rng(11);
+  constexpr int kDraws = 100000;
+  int hits = 0;
+  for (int i = 0; i < kDraws; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / static_cast<double>(kDraws), 0.3, 0.01);
+}
+
+TEST(Rng, PickCoversAllElements) {
+  Rng rng(12);
+  const std::vector<int> items{10, 20, 30};
+  std::set<int> seen;
+  for (int i = 0; i < 1000; ++i) {
+    seen.insert(rng.pick(std::span<const int>(items)));
+  }
+  EXPECT_EQ(seen, (std::set<int>{10, 20, 30}));
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(13);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> shuffled = v;
+  rng.shuffle(std::span<int>(shuffled));
+  EXPECT_FALSE(std::equal(v.begin(), v.end(), shuffled.begin()))
+      << "50 elements should virtually never shuffle to identity";
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(v, shuffled);
+}
+
+TEST(SeedSequence, DerivedSeedsAreStable) {
+  const SeedSequence seq(99);
+  EXPECT_EQ(seq.derive(0), seq.derive(0));
+  EXPECT_EQ(seq.derive(1, 2), seq.derive(1, 2));
+}
+
+TEST(SeedSequence, DerivedSeedsDiffer) {
+  const SeedSequence seq(99);
+  EXPECT_NE(seq.derive(0), seq.derive(1));
+  EXPECT_NE(seq.derive(1, 2), seq.derive(2, 1));
+  const SeedSequence other(100);
+  EXPECT_NE(seq.derive(0), other.derive(0));
+}
+
+TEST(SeedSequence, ChildStreamsLookIndependent) {
+  const SeedSequence seq(123);
+  Rng a(seq.derive(0));
+  Rng b(seq.derive(1));
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+}  // namespace
+}  // namespace m2hew::util

@@ -1,0 +1,120 @@
+// Scenario coverage for the extension knobs: new topology kinds,
+// asymmetrization and propagation models.
+#include <gtest/gtest.h>
+
+#include "runner/scenario.hpp"
+
+namespace m2hew::runner {
+namespace {
+
+TEST(ScenarioExt, WattsStrogatzBuilds) {
+  ScenarioConfig config;
+  config.topology = TopologyKind::kWattsStrogatz;
+  config.n = 30;
+  config.ws_k = 4;
+  config.ws_beta = 0.3;
+  const net::Network network = build_scenario(config, 1);
+  EXPECT_EQ(network.node_count(), 30u);
+  EXPECT_GE(network.topology().arc_count(), 2u * 30u);  // at least lattice-ish
+  EXPECT_NE(describe(config).find("watts-strogatz"), std::string::npos);
+}
+
+TEST(ScenarioExt, BarabasiAlbertBuilds) {
+  ScenarioConfig config;
+  config.topology = TopologyKind::kBarabasiAlbert;
+  config.n = 40;
+  config.ba_m = 2;
+  const net::Network network = build_scenario(config, 2);
+  EXPECT_EQ(network.node_count(), 40u);
+  EXPECT_TRUE(network.topology().is_connected());
+  EXPECT_NE(describe(config).find("barabasi-albert"), std::string::npos);
+}
+
+TEST(ScenarioExt, AsymmetricDropRemovesArcs) {
+  ScenarioConfig config;
+  config.topology = TopologyKind::kClique;
+  config.n = 10;
+  config.asymmetric_drop = 1.0;
+  const net::Network network = build_scenario(config, 3);
+  // Every edge keeps exactly one direction.
+  EXPECT_EQ(network.topology().arc_count(), 45u);
+  EXPECT_FALSE(network.topology().is_symmetric());
+  EXPECT_NE(describe(config).find("asym="), std::string::npos);
+}
+
+TEST(ScenarioExt, ZeroDropStaysSymmetric) {
+  ScenarioConfig config;
+  config.topology = TopologyKind::kClique;
+  config.n = 6;
+  config.asymmetric_drop = 0.0;
+  const net::Network network = build_scenario(config, 4);
+  EXPECT_TRUE(network.topology().is_symmetric());
+}
+
+TEST(ScenarioExt, RandomMaskPropagationShrinksSpans) {
+  ScenarioConfig base;
+  base.topology = TopologyKind::kClique;
+  base.n = 8;
+  base.channels = ChannelKind::kHomogeneous;
+  base.universe = 8;
+  base.set_size = 8;
+  const net::Network full = build_scenario(base, 5);
+  ASSERT_DOUBLE_EQ(full.min_span_ratio(), 1.0);
+
+  ScenarioConfig masked = base;
+  masked.propagation = PropagationKind::kRandomMask;
+  masked.prop_keep = 0.5;
+  const net::Network thin = build_scenario(masked, 5);
+  EXPECT_LT(thin.min_span_ratio(), 1.0);
+  EXPECT_NE(describe(masked).find("prop=random"), std::string::npos);
+}
+
+TEST(ScenarioExt, MaskDeterministicPerSeed) {
+  ScenarioConfig config;
+  config.topology = TopologyKind::kClique;
+  config.n = 6;
+  config.channels = ChannelKind::kHomogeneous;
+  config.universe = 8;
+  config.set_size = 8;
+  config.propagation = PropagationKind::kRandomMask;
+  config.prop_keep = 0.6;
+  const net::Network a = build_scenario(config, 9);
+  const net::Network b = build_scenario(config, 9);
+  for (const auto& [from, to] : a.topology().arcs()) {
+    EXPECT_EQ(a.span(from, to), b.span(from, to));
+  }
+}
+
+TEST(ScenarioExt, LowpassPropagationFavorsCloseIds) {
+  ScenarioConfig config;
+  config.topology = TopologyKind::kClique;
+  config.n = 10;
+  config.channels = ChannelKind::kHomogeneous;
+  config.universe = 10;
+  config.set_size = 10;
+  config.propagation = PropagationKind::kLowpass;
+  const net::Network network = build_scenario(config, 6);
+  EXPECT_GT(network.span(0, 1).size(), network.span(0, 9).size());
+  EXPECT_GE(network.span(0, 9).size(), 1u);
+  EXPECT_NE(describe(config).find("prop=lowpass"), std::string::npos);
+}
+
+TEST(ScenarioExt, CombinedAsymmetryAndMasks) {
+  ScenarioConfig config;
+  config.topology = TopologyKind::kErdosRenyi;
+  config.n = 12;
+  config.er_edge_probability = 0.6;
+  config.channels = ChannelKind::kUniformRandom;
+  config.universe = 8;
+  config.set_size = 5;
+  config.asymmetric_drop = 0.5;
+  config.propagation = PropagationKind::kRandomMask;
+  config.prop_keep = 0.7;
+  const net::Network network = build_scenario(config, 7);
+  EXPECT_EQ(network.node_count(), 12u);
+  // Links must be a subset of arcs (masking can only remove).
+  EXPECT_LE(network.links().size(), network.topology().arc_count());
+}
+
+}  // namespace
+}  // namespace m2hew::runner

@@ -1,0 +1,82 @@
+#include "runner/scenario_kv.hpp"
+
+#include <gtest/gtest.h>
+
+namespace m2hew::runner {
+namespace {
+
+TEST(ScenarioKv, TopologyNames) {
+  ScenarioConfig config;
+  EXPECT_TRUE(apply_scenario_setting(config, "topology", "unit-disk"));
+  EXPECT_EQ(config.topology, TopologyKind::kUnitDisk);
+  EXPECT_TRUE(apply_scenario_setting(config, "topology", "barabasi-albert"));
+  EXPECT_EQ(config.topology, TopologyKind::kBarabasiAlbert);
+}
+
+TEST(ScenarioKv, NumericFields) {
+  ScenarioConfig config;
+  EXPECT_TRUE(apply_scenario_setting(config, "n", "42"));
+  EXPECT_EQ(config.n, 42u);
+  EXPECT_TRUE(apply_scenario_setting(config, "er-p", "0.35"));
+  EXPECT_DOUBLE_EQ(config.er_edge_probability, 0.35);
+  EXPECT_TRUE(apply_scenario_setting(config, "set-size", "6"));
+  EXPECT_EQ(config.set_size, 6u);
+  EXPECT_TRUE(apply_scenario_setting(config, "overlap", "3"));
+  EXPECT_EQ(config.chain_overlap, 3u);
+  EXPECT_TRUE(apply_scenario_setting(config, "asymmetric-drop", "0.5"));
+  EXPECT_DOUBLE_EQ(config.asymmetric_drop, 0.5);
+}
+
+TEST(ScenarioKv, ChannelAndPropagationKinds) {
+  ScenarioConfig config;
+  EXPECT_TRUE(apply_scenario_setting(config, "channels", "chain"));
+  EXPECT_EQ(config.channels, ChannelKind::kChainOverlap);
+  EXPECT_TRUE(apply_scenario_setting(config, "propagation", "lowpass"));
+  EXPECT_EQ(config.propagation, PropagationKind::kLowpass);
+  EXPECT_TRUE(apply_scenario_setting(config, "prop-keep", "0.6"));
+  EXPECT_DOUBLE_EQ(config.prop_keep, 0.6);
+}
+
+TEST(ScenarioKv, BooleanField) {
+  ScenarioConfig config;
+  EXPECT_TRUE(
+      apply_scenario_setting(config, "require-nonempty-spans", "false"));
+  EXPECT_FALSE(config.require_nonempty_spans);
+  EXPECT_TRUE(
+      apply_scenario_setting(config, "require-nonempty-spans", "1"));
+  EXPECT_TRUE(config.require_nonempty_spans);
+}
+
+TEST(ScenarioKv, UnknownKeyReturnsFalseUntouched) {
+  ScenarioConfig config;
+  const ScenarioConfig before = config;
+  EXPECT_FALSE(apply_scenario_setting(config, "bogus-key", "1"));
+  EXPECT_EQ(config.n, before.n);
+}
+
+TEST(ScenarioKv, AppliedConfigBuilds) {
+  ScenarioConfig config;
+  ASSERT_TRUE(apply_scenario_setting(config, "topology", "line"));
+  ASSERT_TRUE(apply_scenario_setting(config, "channels", "chain"));
+  ASSERT_TRUE(apply_scenario_setting(config, "n", "6"));
+  ASSERT_TRUE(apply_scenario_setting(config, "set-size", "4"));
+  ASSERT_TRUE(apply_scenario_setting(config, "overlap", "2"));
+  const net::Network network = build_scenario(config, 1);
+  EXPECT_EQ(network.node_count(), 6u);
+  EXPECT_DOUBLE_EQ(network.min_span_ratio(), 0.5);
+}
+
+TEST(ScenarioKvDeath, BadValuesAbort) {
+  ScenarioConfig config;
+  EXPECT_DEATH((void)apply_scenario_setting(config, "topology", "moebius"),
+               "CHECK failed");
+  EXPECT_DEATH((void)apply_scenario_setting(config, "n", "many"),
+               "CHECK failed");
+  EXPECT_DEATH((void)apply_scenario_setting(config, "er-p", "x"),
+               "CHECK failed");
+  EXPECT_DEATH((void)apply_scenario_setting(config, "channels", "psychic"),
+               "CHECK failed");
+}
+
+}  // namespace
+}  // namespace m2hew::runner

@@ -1,0 +1,138 @@
+#include "runner/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+namespace m2hew::runner {
+namespace {
+
+TEST(Scenario, DefaultBuilds) {
+  const net::Network network = build_scenario({}, 1);
+  EXPECT_EQ(network.node_count(), 8u);
+  EXPECT_TRUE(network.all_edges_usable());  // homogeneous channels
+  EXPECT_DOUBLE_EQ(network.min_span_ratio(), 1.0);
+}
+
+TEST(Scenario, DeterministicForSameSeed) {
+  ScenarioConfig config;
+  config.topology = TopologyKind::kUnitDisk;
+  config.n = 20;
+  config.channels = ChannelKind::kUniformRandom;
+  config.universe = 12;
+  config.set_size = 5;
+  const net::Network a = build_scenario(config, 7);
+  const net::Network b = build_scenario(config, 7);
+  EXPECT_EQ(a.topology().edge_count(), b.topology().edge_count());
+  for (net::NodeId u = 0; u < 20; ++u) {
+    EXPECT_EQ(a.available(u), b.available(u));
+  }
+  EXPECT_DOUBLE_EQ(a.min_span_ratio(), b.min_span_ratio());
+}
+
+TEST(Scenario, DifferentSeedsDiffer) {
+  ScenarioConfig config;
+  config.topology = TopologyKind::kErdosRenyi;
+  config.n = 30;
+  config.channels = ChannelKind::kUniformRandom;
+  config.universe = 16;
+  config.set_size = 4;
+  const net::Network a = build_scenario(config, 1);
+  const net::Network b = build_scenario(config, 2);
+  bool any_difference = a.topology().edge_count() != b.topology().edge_count();
+  for (net::NodeId u = 0; !any_difference && u < 30; ++u) {
+    any_difference = !(a.available(u) == b.available(u));
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Scenario, ChainOverlapHasExactRho) {
+  ScenarioConfig config;
+  config.topology = TopologyKind::kLine;
+  config.n = 6;
+  config.channels = ChannelKind::kChainOverlap;
+  config.set_size = 4;
+  config.chain_overlap = 1;
+  const net::Network network = build_scenario(config, 3);
+  EXPECT_DOUBLE_EQ(network.min_span_ratio(), 0.25);
+  EXPECT_TRUE(network.all_edges_usable());
+}
+
+TEST(Scenario, UniformRandomRespectsNonemptySpans) {
+  ScenarioConfig config;
+  config.topology = TopologyKind::kClique;
+  config.n = 10;
+  config.channels = ChannelKind::kUniformRandom;
+  config.universe = 8;
+  config.set_size = 4;
+  config.require_nonempty_spans = true;
+  const net::Network network = build_scenario(config, 5);
+  EXPECT_TRUE(network.all_edges_usable());
+}
+
+TEST(Scenario, PrimaryUserScenarioBuilds) {
+  ScenarioConfig config;
+  config.topology = TopologyKind::kUnitDisk;
+  config.n = 15;
+  config.ud_radius = 0.5;
+  config.channels = ChannelKind::kPrimaryUsers;
+  config.universe = 10;
+  config.pu_count = 6;
+  config.pu_min_radius = 0.1;
+  config.pu_max_radius = 0.3;
+  const net::Network network = build_scenario(config, 11);
+  EXPECT_EQ(network.node_count(), 15u);
+  EXPECT_TRUE(network.all_edges_usable());
+  for (net::NodeId u = 0; u < 15; ++u) {
+    EXPECT_FALSE(network.available(u).empty());
+  }
+}
+
+TEST(Scenario, VariableRandomSizesWithinRange) {
+  ScenarioConfig config;
+  config.topology = TopologyKind::kRing;
+  config.n = 24;
+  config.channels = ChannelKind::kVariableRandom;
+  config.universe = 10;
+  config.min_size = 3;
+  config.max_size = 9;
+  const net::Network network = build_scenario(config, 13);
+  for (net::NodeId u = 0; u < 24; ++u) {
+    EXPECT_GE(network.available(u).size(), 3u);
+    EXPECT_LE(network.available(u).size(), 9u);
+  }
+}
+
+TEST(Scenario, GridTopologyRespectsRows) {
+  ScenarioConfig config;
+  config.topology = TopologyKind::kGrid;
+  config.n = 12;
+  config.grid_rows = 3;
+  const net::Network network = build_scenario(config, 17);
+  EXPECT_EQ(network.node_count(), 12u);
+  EXPECT_EQ(network.topology().edge_count(), 17u);  // 3×4 grid
+}
+
+TEST(Scenario, DescribeMentionsShape) {
+  ScenarioConfig config;
+  config.topology = TopologyKind::kClique;
+  config.n = 9;
+  const std::string text = describe(config);
+  EXPECT_NE(text.find("clique"), std::string::npos);
+  EXPECT_NE(text.find("n=9"), std::string::npos);
+}
+
+TEST(ScenarioDeath, ChainOverlapOffLineAborts) {
+  ScenarioConfig config;
+  config.topology = TopologyKind::kRing;
+  config.channels = ChannelKind::kChainOverlap;
+  EXPECT_DEATH((void)build_scenario(config, 1), "CHECK failed");
+}
+
+TEST(ScenarioDeath, PrimaryUsersWithoutGeometryAborts) {
+  ScenarioConfig config;
+  config.topology = TopologyKind::kClique;
+  config.channels = ChannelKind::kPrimaryUsers;
+  EXPECT_DEATH((void)build_scenario(config, 1), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace m2hew::runner

@@ -1,0 +1,121 @@
+#include "net/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "net/channel_assign.hpp"
+#include "net/propagation.hpp"
+#include "net/topology_gen.hpp"
+#include "runner/scenario.hpp"
+#include "util/rng.hpp"
+
+namespace m2hew::net {
+namespace {
+
+void expect_networks_equal(const Network& a, const Network& b) {
+  ASSERT_EQ(a.node_count(), b.node_count());
+  EXPECT_EQ(a.universe_size(), b.universe_size());
+  ASSERT_EQ(a.topology().arc_count(), b.topology().arc_count());
+  const auto arcs_a = a.topology().arcs();
+  const auto arcs_b = b.topology().arcs();
+  for (std::size_t i = 0; i < arcs_a.size(); ++i) {
+    EXPECT_EQ(arcs_a[i], arcs_b[i]);
+  }
+  for (NodeId u = 0; u < a.node_count(); ++u) {
+    EXPECT_EQ(a.available(u), b.available(u));
+  }
+  for (const auto& [from, to] : arcs_a) {
+    EXPECT_EQ(a.span(from, to), b.span(from, to));
+  }
+  EXPECT_EQ(a.max_channel_set_size(), b.max_channel_set_size());
+  EXPECT_EQ(a.max_channel_degree(), b.max_channel_degree());
+  EXPECT_DOUBLE_EQ(a.min_span_ratio(), b.min_span_ratio());
+  EXPECT_EQ(a.links().size(), b.links().size());
+}
+
+TEST(Serialize, RoundTripSymmetric) {
+  util::Rng rng(1);
+  const Network original(
+      make_clique(5),
+      uniform_random_assignment(5, 8, 3, rng));
+  std::stringstream stream;
+  write_network(stream, original);
+  const Network loaded = read_network(stream);
+  expect_networks_equal(original, loaded);
+}
+
+TEST(Serialize, RoundTripAsymmetric) {
+  util::Rng rng(2);
+  Topology t = make_asymmetric(make_clique(6), 0.6, rng);
+  const Network original(std::move(t),
+                         uniform_random_assignment(6, 6, 3, rng));
+  std::stringstream stream;
+  write_network(stream, original);
+  const Network loaded = read_network(stream);
+  expect_networks_equal(original, loaded);
+}
+
+TEST(Serialize, RoundTripWithPropagationMasks) {
+  util::Rng rng(3);
+  const Network original(make_clique(5),
+                         uniform_random_assignment(5, 8, 4, rng),
+                         random_propagation_filter(8, 0.5, 7));
+  std::stringstream stream;
+  write_network(stream, original);
+  const Network loaded = read_network(stream);
+  expect_networks_equal(original, loaded);
+}
+
+TEST(Serialize, CommentsAreIgnored) {
+  const Network original(make_line(2),
+                         {ChannelSet(2, {0}), ChannelSet(2, {0, 1})});
+  std::stringstream stream;
+  stream << "# leading comment\n";
+  write_network(stream, original);
+  const Network loaded = read_network(stream);
+  expect_networks_equal(original, loaded);
+}
+
+TEST(Serialize, FileRoundTrip) {
+  runner::ScenarioConfig scenario;
+  scenario.topology = runner::TopologyKind::kUnitDisk;
+  scenario.n = 10;
+  scenario.ud_radius = 0.5;
+  scenario.channels = runner::ChannelKind::kUniformRandom;
+  scenario.universe = 9;
+  scenario.set_size = 4;
+  const Network original = runner::build_scenario(scenario, 5);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "m2hew_net_test.txt")
+          .string();
+  save_network_file(path, original);
+  const Network loaded = load_network_file(path);
+  expect_networks_equal(original, loaded);
+  std::filesystem::remove(path);
+}
+
+TEST(Serialize, LoadMissingFileThrows) {
+  EXPECT_THROW((void)load_network_file("/nonexistent/nowhere.txt"),
+               std::runtime_error);
+}
+
+TEST(SerializeDeath, BadMagicAborts) {
+  std::stringstream stream("not-a-network\n");
+  EXPECT_DEATH((void)read_network(stream), "CHECK failed");
+}
+
+TEST(SerializeDeath, MissingAvailAborts) {
+  std::stringstream stream("m2hew-network v1\nnodes 2 universe 2\n");
+  EXPECT_DEATH((void)read_network(stream), "CHECK failed");
+}
+
+TEST(SerializeDeath, UnknownRecordAborts) {
+  std::stringstream stream(
+      "m2hew-network v1\nnodes 1 universe 1\navail 0 0\nbogus 1\n");
+  EXPECT_DEATH((void)read_network(stream), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace m2hew::net

@@ -1,0 +1,212 @@
+#include "sim/slot_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "net/topology_gen.hpp"
+
+namespace m2hew::sim {
+namespace {
+
+// Scripted policy: plays a fixed sequence of actions, then repeats the last
+// one forever. Lets tests pin exact slot-by-slot behaviour.
+class ScriptedPolicy final : public SyncPolicy {
+ public:
+  explicit ScriptedPolicy(std::vector<SlotAction> script)
+      : script_(std::move(script)) {}
+
+  SlotAction next_slot(util::Rng&) override {
+    const SlotAction a =
+        script_[std::min(index_, script_.size() - 1)];
+    ++index_;
+    return a;
+  }
+
+ private:
+  std::vector<SlotAction> script_;
+  std::size_t index_ = 0;
+};
+
+constexpr SlotAction kTx0{Mode::kTransmit, 0};
+constexpr SlotAction kRx0{Mode::kReceive, 0};
+constexpr SlotAction kTx1{Mode::kTransmit, 1};
+constexpr SlotAction kRx1{Mode::kReceive, 1};
+constexpr SlotAction kQuiet{Mode::kQuiet, net::kInvalidChannel};
+
+[[nodiscard]] net::Network two_node_net() {
+  net::Topology t(2);
+  t.add_edge(0, 1);
+  return net::Network(std::move(t), std::vector<net::ChannelSet>(
+                                        2, net::ChannelSet(2, {0, 1})));
+}
+
+[[nodiscard]] SyncPolicyFactory scripted(
+    std::vector<std::vector<SlotAction>> per_node) {
+  auto shared =
+      std::make_shared<std::vector<std::vector<SlotAction>>>(
+          std::move(per_node));
+  return [shared](const net::Network&, net::NodeId u) {
+    return std::make_unique<ScriptedPolicy>((*shared)[u]);
+  };
+}
+
+TEST(SlotEngine, SingleTransmissionIsHeard) {
+  const net::Network network = two_node_net();
+  SlotEngineConfig config;
+  config.max_slots = 10;
+  // Slot 0: 0 transmits, 1 listens -> (0,1) covered.
+  // Slot 1: roles swap -> (1,0) covered.
+  const auto result = run_slot_engine(
+      network, scripted({{kTx0, kRx0}, {kRx0, kTx0}}), config);
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.completion_slot, 1u);
+  EXPECT_DOUBLE_EQ(result.state.first_coverage_time({0, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(result.state.first_coverage_time({1, 0}), 1.0);
+  EXPECT_EQ(result.slots_executed, 2u);  // stopped at completion
+}
+
+TEST(SlotEngine, ListeningOnWrongChannelHearsNothing) {
+  const net::Network network = two_node_net();
+  SlotEngineConfig config;
+  config.max_slots = 5;
+  const auto result = run_slot_engine(
+      network, scripted({{kTx0}, {kRx1}}), config);
+  EXPECT_FALSE(result.complete);
+  EXPECT_EQ(result.state.covered_links(), 0u);
+  EXPECT_EQ(result.slots_executed, 5u);
+}
+
+TEST(SlotEngine, CollisionDestroysBothMessages) {
+  // Star: 1 and 2 both transmit to the hub 0 on channel 0.
+  net::Topology t(3);
+  t.add_edge(0, 1);
+  t.add_edge(0, 2);
+  const net::Network network(
+      std::move(t),
+      std::vector<net::ChannelSet>(3, net::ChannelSet(1, {0})));
+  SlotEngineConfig config;
+  config.max_slots = 3;
+  const auto result = run_slot_engine(
+      network, scripted({{kRx0}, {kTx0}, {kTx0}}), config);
+  EXPECT_EQ(result.state.covered_links(), 0u);
+}
+
+TEST(SlotEngine, SimultaneousTransmissionsOnDifferentChannelsBothHeard) {
+  // Line 1 -- 0 -- 2 with two channels; 1 sends on c0, 2 sends on c1.
+  net::Topology t(3);
+  t.add_edge(0, 1);
+  t.add_edge(0, 2);
+  const net::Network network(
+      std::move(t),
+      std::vector<net::ChannelSet>(3, net::ChannelSet(2, {0, 1})));
+  SlotEngineConfig config;
+  config.max_slots = 2;
+  config.stop_when_complete = false;
+  // Slot 0: hub listens on 0, hears 1. Slot 1: hub listens on 1, hears 2.
+  const auto result = run_slot_engine(
+      network, scripted({{kRx0, kRx1}, {kTx0, kTx0}, {kTx1, kTx1}}), config);
+  EXPECT_TRUE(result.state.is_covered({1, 0}));
+  EXPECT_TRUE(result.state.is_covered({2, 0}));
+}
+
+TEST(SlotEngine, TransmitterCannotReceive) {
+  const net::Network network = two_node_net();
+  SlotEngineConfig config;
+  config.max_slots = 1;
+  // Both transmit: nobody listens, nothing covered (half-duplex).
+  const auto result =
+      run_slot_engine(network, scripted({{kTx0}, {kTx0}}), config);
+  EXPECT_EQ(result.state.covered_links(), 0u);
+}
+
+TEST(SlotEngine, QuietNodeNeitherSendsNorReceives) {
+  const net::Network network = two_node_net();
+  SlotEngineConfig config;
+  config.max_slots = 2;
+  const auto result = run_slot_engine(
+      network, scripted({{kQuiet, kTx0}, {kRx0, kRx0}}), config);
+  // Slot 0: node 0 quiet while 1 listens: nothing. Slot 1: 0 sends, 1
+  // hears.
+  EXPECT_TRUE(result.state.is_covered({0, 1}));
+  EXPECT_FALSE(result.state.is_covered({1, 0}));
+}
+
+TEST(SlotEngine, StartSlotsDelayParticipation) {
+  const net::Network network = two_node_net();
+  SlotEngineConfig config;
+  config.max_slots = 10;
+  config.start_slots = {3, 0};
+  // Node 0's script begins at global slot 3 (node-local slot 0 = Tx).
+  const auto result = run_slot_engine(
+      network, scripted({{kTx0}, {kRx0}}), config);
+  EXPECT_TRUE(result.state.is_covered({0, 1}));
+  EXPECT_DOUBLE_EQ(result.state.first_coverage_time({0, 1}), 3.0);
+}
+
+TEST(SlotEngine, BeforeStartNodeDoesNotInterfere) {
+  // Hub 0 listens; 1 transmits from slot 0; 2 would transmit but starts at
+  // slot 5 — so no collision in early slots.
+  net::Topology t(3);
+  t.add_edge(0, 1);
+  t.add_edge(0, 2);
+  const net::Network network(
+      std::move(t),
+      std::vector<net::ChannelSet>(3, net::ChannelSet(1, {0})));
+  SlotEngineConfig config;
+  config.max_slots = 1;
+  config.start_slots = {0, 0, 5};
+  const auto result = run_slot_engine(
+      network, scripted({{kRx0}, {kTx0}, {kTx0}}), config);
+  EXPECT_TRUE(result.state.is_covered({1, 0}));
+}
+
+TEST(SlotEngine, CertainLossBlocksDiscovery) {
+  const net::Network network = two_node_net();
+  SlotEngineConfig config;
+  config.max_slots = 50;
+  config.loss_probability = 0.999999;
+  const auto result = run_slot_engine(
+      network, scripted({{kTx0}, {kRx0}}), config);
+  EXPECT_FALSE(result.state.is_covered({0, 1}));
+}
+
+TEST(SlotEngine, ReceptionObserverFires) {
+  const net::Network network = two_node_net();
+  SlotEngineConfig config;
+  config.max_slots = 5;
+  std::vector<std::tuple<std::uint64_t, net::NodeId, net::NodeId>> seen;
+  config.on_reception = [&seen](std::uint64_t slot, net::NodeId from,
+                                net::NodeId to, net::ChannelId channel) {
+    EXPECT_EQ(channel, 0u);
+    seen.emplace_back(slot, from, to);
+  };
+  (void)run_slot_engine(network, scripted({{kTx0, kRx0}, {kRx0, kTx0}}),
+                        config);
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], std::make_tuple(std::uint64_t{0}, net::NodeId{0},
+                                     net::NodeId{1}));
+}
+
+TEST(SlotEngine, BudgetExhaustionReportsIncomplete) {
+  const net::Network network = two_node_net();
+  SlotEngineConfig config;
+  config.max_slots = 4;
+  const auto result = run_slot_engine(
+      network, scripted({{kRx0}, {kRx1}}), config);
+  EXPECT_FALSE(result.complete);
+  EXPECT_EQ(result.slots_executed, 4u);
+}
+
+TEST(SlotEngineDeath, WrongStartSlotsSizeAborts) {
+  const net::Network network = two_node_net();
+  SlotEngineConfig config;
+  config.start_slots = {0};
+  EXPECT_DEATH(
+      (void)run_slot_engine(network, scripted({{kRx0}, {kRx0}}), config),
+      "CHECK failed");
+}
+
+}  // namespace
+}  // namespace m2hew::sim

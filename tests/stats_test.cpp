@@ -1,0 +1,178 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace m2hew::util {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_EQ(rs.mean(), 0.0);
+  EXPECT_EQ(rs.variance(), 0.0);
+  EXPECT_EQ(rs.min(), 0.0);
+  EXPECT_EQ(rs.max(), 0.0);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats rs;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) rs.add(x);
+  EXPECT_EQ(rs.count(), 8u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  // Sample variance with n-1 denominator: sum of squared deviations = 32.
+  EXPECT_DOUBLE_EQ(rs.variance(), 32.0 / 7.0);
+  EXPECT_DOUBLE_EQ(rs.stddev(), std::sqrt(32.0 / 7.0));
+  EXPECT_EQ(rs.min(), 2.0);
+  EXPECT_EQ(rs.max(), 9.0);
+}
+
+TEST(RunningStats, SingleSampleVarianceZero) {
+  RunningStats rs;
+  rs.add(3.5);
+  EXPECT_EQ(rs.variance(), 0.0);
+  EXPECT_EQ(rs.mean(), 3.5);
+  EXPECT_EQ(rs.min(), 3.5);
+  EXPECT_EQ(rs.max(), 3.5);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  Rng rng(1);
+  RunningStats whole;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform_double(-10.0, 10.0);
+    whole.add(x);
+    (i < 400 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_EQ(left.min(), whole.min());
+  EXPECT_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(3.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  RunningStats b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(QuantileSorted, ExactAndInterpolated) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 1.0 / 3.0), 2.0);
+}
+
+TEST(QuantileSorted, SingleElement) {
+  const std::vector<double> v{7.0};
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.5), 7.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 1.0), 7.0);
+}
+
+TEST(Summarize, KnownVector) {
+  std::vector<double> v;
+  for (int i = 1; i <= 100; ++i) v.push_back(static_cast<double>(i));
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.max, 100.0);
+  EXPECT_NEAR(s.p50, 50.5, 1e-9);
+  EXPECT_NEAR(s.p90, 90.1, 1e-9);
+  EXPECT_NEAR(s.p99, 99.01, 1e-9);
+}
+
+TEST(Summarize, EmptyInput) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Samples, QuantileAndSummary) {
+  Samples samples;
+  for (const double x : {5.0, 1.0, 3.0}) samples.add(x);
+  EXPECT_EQ(samples.count(), 3u);
+  EXPECT_DOUBLE_EQ(samples.quantile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(samples.summarize().mean, 3.0);
+  samples.clear();
+  EXPECT_EQ(samples.count(), 0u);
+}
+
+TEST(WilsonInterval, ContainsPointEstimate) {
+  const Interval iv = wilson_interval(30, 100);
+  EXPECT_LT(iv.lo, 0.3);
+  EXPECT_GT(iv.hi, 0.3);
+  EXPECT_GE(iv.lo, 0.0);
+  EXPECT_LE(iv.hi, 1.0);
+}
+
+TEST(WilsonInterval, ShrinksWithSamples) {
+  const Interval small = wilson_interval(5, 10);
+  const Interval large = wilson_interval(500, 1000);
+  EXPECT_LT(large.hi - large.lo, small.hi - small.lo);
+}
+
+TEST(WilsonInterval, EdgeCases) {
+  const Interval zero = wilson_interval(0, 10);
+  EXPECT_EQ(zero.lo, 0.0);
+  EXPECT_GT(zero.hi, 0.0);
+  const Interval all = wilson_interval(10, 10);
+  EXPECT_LT(all.lo, 1.0);
+  EXPECT_EQ(all.hi, 1.0);
+  const Interval none = wilson_interval(0, 0);
+  EXPECT_EQ(none.lo, 0.0);
+  EXPECT_EQ(none.hi, 1.0);
+}
+
+TEST(LinearFit, ExactLine) {
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> y{3.0, 5.0, 7.0, 9.0};  // y = 1 + 2x
+  const LinearFit fit = linear_fit(x, y);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(LinearFit, FlatLine) {
+  const std::vector<double> x{1.0, 2.0, 3.0};
+  const std::vector<double> y{4.0, 4.0, 4.0};
+  const LinearFit fit = linear_fit(x, y);
+  EXPECT_NEAR(fit.slope, 0.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 4.0, 1e-12);
+}
+
+TEST(LinearFit, NoisyDataHasLowerR2) {
+  Rng rng(2);
+  std::vector<double> x;
+  std::vector<double> noisy;
+  for (int i = 0; i < 200; ++i) {
+    x.push_back(static_cast<double>(i));
+    noisy.push_back(static_cast<double>(i) +
+                    rng.uniform_double(-50.0, 50.0));
+  }
+  const LinearFit fit = linear_fit(x, noisy);
+  EXPECT_GT(fit.r2, 0.5);  // trend still visible
+  EXPECT_LT(fit.r2, 1.0);
+  EXPECT_NEAR(fit.slope, 1.0, 0.2);
+}
+
+}  // namespace
+}  // namespace m2hew::util

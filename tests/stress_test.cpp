@@ -1,0 +1,89 @@
+// Scale guards: moderately large instances that finish fast today; an
+// accidental O(n²)-per-slot or per-event regression in the engines makes
+// them time out in CI.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/algorithms.hpp"
+#include "runner/scenario.hpp"
+#include "sim/async_engine.hpp"
+#include "sim/slot_engine.hpp"
+
+namespace m2hew {
+namespace {
+
+TEST(Stress, SlotEngineRing512) {
+  runner::ScenarioConfig scenario;
+  scenario.topology = runner::TopologyKind::kRing;
+  scenario.n = 512;
+  scenario.channels = runner::ChannelKind::kHomogeneous;
+  scenario.universe = 4;
+  scenario.set_size = 4;
+  const net::Network network = runner::build_scenario(scenario, 1);
+  sim::SlotEngineConfig engine;
+  engine.max_slots = 100000;
+  engine.seed = 2;
+  const auto result =
+      sim::run_slot_engine(network, core::make_algorithm3(4), engine);
+  ASSERT_TRUE(result.complete);
+  EXPECT_EQ(result.state.covered_links(), 1024u);  // 512 edges x 2
+}
+
+TEST(Stress, SlotEngineDenseClique96) {
+  runner::ScenarioConfig scenario;
+  scenario.topology = runner::TopologyKind::kClique;
+  scenario.n = 96;
+  scenario.channels = runner::ChannelKind::kUniformRandom;
+  scenario.universe = 12;
+  scenario.set_size = 6;
+  const net::Network network = runner::build_scenario(scenario, 3);
+  sim::SlotEngineConfig engine;
+  engine.max_slots = 200000;
+  engine.seed = 4;
+  const auto result =
+      sim::run_slot_engine(network, core::make_algorithm1(128), engine);
+  ASSERT_TRUE(result.complete);
+}
+
+TEST(Stress, AsyncEngineUnitDisk48WithDrift) {
+  runner::ScenarioConfig scenario;
+  scenario.topology = runner::TopologyKind::kUnitDisk;
+  scenario.n = 48;
+  scenario.ud_radius = 0.3;
+  scenario.channels = runner::ChannelKind::kUniformRandom;
+  scenario.universe = 10;
+  scenario.set_size = 4;
+  const net::Network network = runner::build_scenario(scenario, 5);
+  sim::AsyncEngineConfig engine;
+  engine.frame_length = 3.0;
+  engine.max_real_time = 3e5;
+  engine.seed = 6;
+  engine.clock_builder = [](net::NodeId, std::uint64_t seed) {
+    return std::make_unique<sim::PiecewiseDriftClock>(
+        sim::PiecewiseDriftClock::Config{.max_drift = 1.0 / 7.0,
+                                         .min_segment = 20.0,
+                                         .max_segment = 80.0},
+        seed);
+  };
+  const auto result =
+      sim::run_async_engine(network, core::make_algorithm4(16), engine);
+  ASSERT_TRUE(result.complete);
+}
+
+TEST(Stress, NetworkConstructionClique256) {
+  // Derived-parameter computation (spans, Δ(u,c), ρ) on 32k arcs.
+  runner::ScenarioConfig scenario;
+  scenario.topology = runner::TopologyKind::kClique;
+  scenario.n = 256;
+  scenario.channels = runner::ChannelKind::kUniformRandom;
+  scenario.universe = 16;
+  scenario.set_size = 8;
+  const net::Network network = runner::build_scenario(scenario, 7);
+  EXPECT_EQ(network.topology().arc_count(), 256u * 255u);
+  EXPECT_GT(network.min_span_ratio(), 0.0);
+  EXPECT_GE(network.max_channel_degree(), 1u);
+}
+
+}  // namespace
+}  // namespace m2hew

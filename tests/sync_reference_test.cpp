@@ -1,0 +1,158 @@
+// Cross-validation of the synchronous slot engine against an independent
+// brute-force reference over randomized scripted instances (random
+// topologies, channel sets, asymmetry, propagation masks, start slots and
+// action scripts).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "net/channel_assign.hpp"
+#include "net/propagation.hpp"
+#include "net/topology_gen.hpp"
+#include "sim/slot_engine.hpp"
+#include "util/rng.hpp"
+
+namespace m2hew {
+namespace {
+
+constexpr std::size_t kSlotCount = 150;
+
+class ScriptPolicy final : public sim::SyncPolicy {
+ public:
+  explicit ScriptPolicy(std::vector<sim::SlotAction> script)
+      : script_(std::move(script)) {}
+  sim::SlotAction next_slot(util::Rng&) override {
+    const sim::SlotAction a =
+        index_ < script_.size() ? script_[index_] : sim::SlotAction{};
+    ++index_;
+    return a;
+  }
+
+ private:
+  std::vector<sim::SlotAction> script_;
+  std::size_t index_ = 0;
+};
+
+struct Instance {
+  net::Network network;
+  std::vector<std::vector<sim::SlotAction>> scripts;
+  std::vector<std::uint64_t> start_slots;
+};
+
+[[nodiscard]] Instance make_instance(std::uint64_t seed, bool asymmetric,
+                                     bool masked) {
+  util::Rng rng(seed);
+  net::Topology topology = net::make_erdos_renyi(8, 0.6, rng);
+  if (asymmetric) topology = net::make_asymmetric(topology, 0.5, rng);
+  auto assignment = net::uniform_random_assignment(8, 5, 3, rng);
+  net::Network network =
+      masked ? net::Network(std::move(topology), std::move(assignment),
+                            net::random_propagation_filter(5, 0.7, seed))
+             : net::Network(std::move(topology), std::move(assignment));
+
+  Instance inst{std::move(network), {}, {}};
+  for (net::NodeId u = 0; u < inst.network.node_count(); ++u) {
+    const auto channels = inst.network.available(u).to_vector();
+    std::vector<sim::SlotAction> script;
+    script.reserve(kSlotCount);
+    for (std::size_t t = 0; t < kSlotCount; ++t) {
+      sim::SlotAction action;
+      const double dice = rng.uniform_double();
+      action.mode = dice < 0.45   ? sim::Mode::kTransmit
+                    : dice < 0.95 ? sim::Mode::kReceive
+                                  : sim::Mode::kQuiet;
+      if (action.mode != sim::Mode::kQuiet) {
+        action.channel = rng.pick(std::span<const net::ChannelId>(channels));
+      }
+      script.push_back(action);
+    }
+    inst.scripts.push_back(std::move(script));
+    inst.start_slots.push_back(rng.uniform(20));
+  }
+  return inst;
+}
+
+// Brute-force recomputation of every reception, straight from the model:
+// u (listening on c in global slot t) hears v iff v is the unique
+// in-neighbor of u transmitting on c in t whose arc carries c.
+[[nodiscard]] std::map<std::pair<net::NodeId, net::NodeId>, double>
+reference_run(const Instance& inst) {
+  const net::NodeId n = inst.network.node_count();
+  std::map<std::pair<net::NodeId, net::NodeId>, double> first;
+  auto action_of = [&](net::NodeId u, std::uint64_t slot) -> sim::SlotAction {
+    if (slot < inst.start_slots[u]) return {};
+    const std::uint64_t local = slot - inst.start_slots[u];
+    if (local >= kSlotCount) return {};
+    return inst.scripts[u][local];
+  };
+  for (std::uint64_t slot = 0; slot < kSlotCount + 20; ++slot) {
+    for (net::NodeId u = 0; u < n; ++u) {
+      const sim::SlotAction mine = action_of(u, slot);
+      if (mine.mode != sim::Mode::kReceive) continue;
+      net::NodeId sender = net::kInvalidNode;
+      int audible = 0;
+      for (net::NodeId v = 0; v < n; ++v) {
+        if (v == u || !inst.network.topology().has_arc(v, u)) continue;
+        const sim::SlotAction theirs = action_of(v, slot);
+        if (theirs.mode != sim::Mode::kTransmit ||
+            theirs.channel != mine.channel) {
+          continue;
+        }
+        if (!inst.network.span(v, u).contains(mine.channel)) continue;
+        ++audible;
+        sender = v;
+      }
+      if (audible != 1) continue;
+      const auto key = std::make_pair(sender, u);
+      if (first.find(key) == first.end()) {
+        first[key] = static_cast<double>(slot);
+      }
+    }
+  }
+  return first;
+}
+
+class SyncReference
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, bool, bool>> {
+};
+
+TEST_P(SyncReference, EngineMatchesBruteForce) {
+  const auto [seed, asymmetric, masked] = GetParam();
+  const Instance inst = make_instance(seed, asymmetric, masked);
+
+  sim::SlotEngineConfig config;
+  config.max_slots = kSlotCount + 20;
+  config.start_slots = inst.start_slots;
+  config.stop_when_complete = false;
+  const auto scripts = inst.scripts;
+  const sim::SyncPolicyFactory factory =
+      [&scripts](const net::Network&, net::NodeId u)
+      -> std::unique_ptr<sim::SyncPolicy> {
+    return std::make_unique<ScriptPolicy>(scripts[u]);
+  };
+  const auto engine = sim::run_slot_engine(inst.network, factory, config);
+
+  const auto reference = reference_run(inst);
+  std::size_t checked = 0;
+  for (const net::Link link : inst.network.links()) {
+    const auto it = reference.find(std::make_pair(link.from, link.to));
+    const bool ref_covered = it != reference.end();
+    ASSERT_EQ(engine.state.is_covered(link), ref_covered)
+        << "link " << link.from << "->" << link.to;
+    if (ref_covered) {
+      EXPECT_DOUBLE_EQ(engine.state.first_coverage_time(link), it->second);
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SyncReference,
+    ::testing::Combine(::testing::Values(10u, 20u, 30u, 40u, 50u),
+                       ::testing::Bool(), ::testing::Bool()));
+
+}  // namespace
+}  // namespace m2hew

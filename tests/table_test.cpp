@@ -1,0 +1,66 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace m2hew::util {
+namespace {
+
+TEST(Table, RendersHeaderRuleAndRows) {
+  Table t({"name", "slots"});
+  t.row().cell("alg1").cell(128LL);
+  t.row().cell("alg3").cell(64LL);
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("slots"), std::string::npos);
+  EXPECT_NE(out.find("alg1"), std::string::npos);
+  EXPECT_NE(out.find("128"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, DoublePrecisionFormatting) {
+  Table t({"x"});
+  t.row().cell(3.14159, 3);
+  EXPECT_NE(t.render().find("3.142"), std::string::npos);
+}
+
+TEST(Table, ColumnsAlignRight) {
+  Table t({"v"});
+  t.row().cell("1");
+  t.row().cell("1000");
+  const std::string out = t.render();
+  // The short value must be padded to the width of the long one: the row
+  // containing "1" alone is rendered as "   1".
+  EXPECT_NE(out.find("   1\n"), std::string::npos);
+}
+
+TEST(Table, EmptyTableRendersHeaderOnly) {
+  Table t({"a", "b"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find('a'), std::string::npos);
+  EXPECT_EQ(t.row_count(), 0u);
+}
+
+TEST(TableDeath, TooManyCellsAborts) {
+  Table t({"only"});
+  t.row().cell("x");
+  EXPECT_DEATH(t.cell("overflow"), "CHECK failed");
+}
+
+TEST(TableDeath, CellBeforeRowAborts) {
+  Table t({"c"});
+  EXPECT_DEATH(t.cell("x"), "CHECK failed");
+}
+
+TEST(TableDeath, IncompletePreviousRowAborts) {
+  Table t({"a", "b"});
+  t.row().cell("x");
+  EXPECT_DEATH(t.row(), "CHECK failed");
+}
+
+TEST(TableDeath, NoColumnsAborts) {
+  EXPECT_DEATH(Table({}), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace m2hew::util

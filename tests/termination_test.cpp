@@ -1,0 +1,122 @@
+#include "core/termination.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/algorithms.hpp"
+#include "net/topology_gen.hpp"
+#include "sim/slot_engine.hpp"
+
+namespace m2hew::core {
+namespace {
+
+class AlwaysReceive final : public sim::SyncPolicy {
+ public:
+  sim::SlotAction next_slot(util::Rng&) override {
+    return {sim::Mode::kReceive, 0};
+  }
+};
+
+TEST(TerminatingSyncPolicy, GoesQuietAfterThreshold) {
+  TerminatingSyncPolicy policy(std::make_unique<AlwaysReceive>(), 5);
+  util::Rng rng(1);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(policy.next_slot(rng).mode, sim::Mode::kReceive);
+  }
+  EXPECT_TRUE(policy.terminated());
+  EXPECT_EQ(policy.termination_slot(), 5u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(policy.next_slot(rng).mode, sim::Mode::kQuiet);
+  }
+}
+
+TEST(TerminatingSyncPolicy, NewNeighborResetsSilence) {
+  TerminatingSyncPolicy policy(std::make_unique<AlwaysReceive>(), 5);
+  util::Rng rng(1);
+  for (int i = 0; i < 4; ++i) (void)policy.next_slot(rng);
+  policy.observe_reception(3, /*first_time=*/true);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(policy.next_slot(rng).mode, sim::Mode::kReceive);
+    EXPECT_FALSE(policy.terminated());
+  }
+  (void)policy.next_slot(rng);
+  EXPECT_TRUE(policy.terminated());
+}
+
+TEST(TerminatingSyncPolicy, RepeatReceptionDoesNotReset) {
+  TerminatingSyncPolicy policy(std::make_unique<AlwaysReceive>(), 3);
+  util::Rng rng(1);
+  (void)policy.next_slot(rng);
+  policy.observe_reception(1, /*first_time=*/false);
+  (void)policy.next_slot(rng);
+  (void)policy.next_slot(rng);
+  EXPECT_TRUE(policy.terminated());
+}
+
+TEST(TerminatingSyncPolicy, SameSlotReceptionRescindsTermination) {
+  TerminatingSyncPolicy policy(std::make_unique<AlwaysReceive>(), 3);
+  util::Rng rng(1);
+  for (int i = 0; i < 3; ++i) (void)policy.next_slot(rng);
+  ASSERT_TRUE(policy.terminated());
+  // The reception from the threshold slot arrives after the action was
+  // chosen; the node was still listening, so it keeps going.
+  policy.observe_reception(2, /*first_time=*/true);
+  EXPECT_FALSE(policy.terminated());
+  EXPECT_EQ(policy.next_slot(rng).mode, sim::Mode::kReceive);
+}
+
+TEST(TerminatingAsyncPolicy, FrameCountedTermination) {
+  class AlwaysListenFrame final : public sim::AsyncPolicy {
+   public:
+    sim::FrameAction next_frame(util::Rng&) override {
+      return {sim::Mode::kReceive, 0};
+    }
+  };
+  TerminatingAsyncPolicy policy(std::make_unique<AlwaysListenFrame>(), 2);
+  util::Rng rng(1);
+  (void)policy.next_frame(rng);
+  EXPECT_FALSE(policy.terminated());
+  (void)policy.next_frame(rng);
+  EXPECT_TRUE(policy.terminated());
+  EXPECT_EQ(policy.next_frame(rng).mode, sim::Mode::kQuiet);
+}
+
+TEST(TerminationIntegration, GenerousThresholdStillCompletes) {
+  const net::Network network(
+      net::make_clique(5),
+      std::vector<net::ChannelSet>(5, net::ChannelSet(3, {0, 1, 2})));
+  sim::SlotEngineConfig config;
+  config.max_slots = 200000;
+  config.seed = 3;
+  const auto result = sim::run_slot_engine(
+      network, with_termination(core::make_algorithm3(6), 5000), config);
+  EXPECT_TRUE(result.complete);
+}
+
+TEST(TerminationIntegration, AggressiveThresholdCanStarveNetwork) {
+  const net::Network network(
+      net::make_clique(8),
+      std::vector<net::ChannelSet>(8, net::ChannelSet(4, {0, 1, 2, 3})));
+  sim::SlotEngineConfig config;
+  config.max_slots = 200000;
+  config.seed = 4;
+  // Threshold of 2 slots: nodes give up long before covering 4 channels ×
+  // 7 neighbors, and once quiet they cannot be discovered either.
+  const auto result = sim::run_slot_engine(
+      network, with_termination(core::make_algorithm3(8), 2), config);
+  EXPECT_FALSE(result.complete);
+  // The network went fully quiet: activity beyond the early slots is idle.
+  const auto total = sim::total_activity(result.activity);
+  EXPECT_GT(total.quiet, total.transmit + total.receive);
+}
+
+TEST(TerminationDeath, InvalidArgumentsAbort) {
+  EXPECT_DEATH(TerminatingSyncPolicy(nullptr, 5), "CHECK failed");
+  EXPECT_DEATH(
+      TerminatingSyncPolicy(std::make_unique<AlwaysReceive>(), 0),
+      "CHECK failed");
+}
+
+}  // namespace
+}  // namespace m2hew::core

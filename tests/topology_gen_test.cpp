@@ -1,0 +1,98 @@
+#include "net/topology_gen.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace m2hew::net {
+namespace {
+
+TEST(TopologyGen, LineShape) {
+  const Topology t = make_line(5);
+  EXPECT_EQ(t.node_count(), 5u);
+  EXPECT_EQ(t.edge_count(), 4u);
+  EXPECT_EQ(t.degree(0), 1u);
+  EXPECT_EQ(t.degree(2), 2u);
+  EXPECT_EQ(t.degree(4), 1u);
+  EXPECT_TRUE(t.is_connected());
+}
+
+TEST(TopologyGen, SingleNodeLine) {
+  const Topology t = make_line(1);
+  EXPECT_EQ(t.node_count(), 1u);
+  EXPECT_EQ(t.edge_count(), 0u);
+}
+
+TEST(TopologyGen, RingShape) {
+  const Topology t = make_ring(6);
+  EXPECT_EQ(t.edge_count(), 6u);
+  for (NodeId u = 0; u < 6; ++u) EXPECT_EQ(t.degree(u), 2u);
+  EXPECT_TRUE(t.has_edge(5, 0));
+  EXPECT_TRUE(t.is_connected());
+}
+
+TEST(TopologyGen, GridShape) {
+  const Topology t = make_grid(3, 4);
+  EXPECT_EQ(t.node_count(), 12u);
+  // 3 rows × 3 horizontal edges + 2 vertical rows × 4 = 9 + 8.
+  EXPECT_EQ(t.edge_count(), 17u);
+  EXPECT_EQ(t.degree(0), 2u);   // corner
+  EXPECT_EQ(t.degree(5), 4u);   // interior (row 1, col 1)
+  EXPECT_TRUE(t.is_connected());
+}
+
+TEST(TopologyGen, StarShape) {
+  const Topology t = make_star(7);
+  EXPECT_EQ(t.edge_count(), 6u);
+  EXPECT_EQ(t.degree(0), 6u);
+  for (NodeId u = 1; u < 7; ++u) EXPECT_EQ(t.degree(u), 1u);
+}
+
+TEST(TopologyGen, CliqueShape) {
+  const Topology t = make_clique(5);
+  EXPECT_EQ(t.edge_count(), 10u);
+  for (NodeId u = 0; u < 5; ++u) EXPECT_EQ(t.degree(u), 4u);
+}
+
+TEST(TopologyGen, ErdosRenyiExtremes) {
+  util::Rng rng(1);
+  const Topology none = make_erdos_renyi(10, 0.0, rng);
+  EXPECT_EQ(none.edge_count(), 0u);
+  const Topology all = make_erdos_renyi(10, 1.0, rng);
+  EXPECT_EQ(all.edge_count(), 45u);
+}
+
+TEST(TopologyGen, ErdosRenyiDensityMatchesP) {
+  util::Rng rng(2);
+  const Topology t = make_erdos_renyi(60, 0.3, rng);
+  const double possible = 60.0 * 59.0 / 2.0;
+  EXPECT_NEAR(static_cast<double>(t.edge_count()) / possible, 0.3, 0.05);
+}
+
+TEST(TopologyGen, UnitDiskEdgesMatchDistances) {
+  util::Rng rng(3);
+  const GeometricTopology g = make_unit_disk(30, 1.0, 0.3, rng);
+  ASSERT_EQ(g.positions.size(), 30u);
+  for (NodeId u = 0; u < 30; ++u) {
+    for (NodeId v = u + 1; v < 30; ++v) {
+      const bool close =
+          squared_distance(g.positions[u], g.positions[v]) <= 0.09;
+      EXPECT_EQ(g.topology.has_edge(u, v), close);
+    }
+  }
+}
+
+TEST(TopologyGen, ConnectedUnitDiskIsConnected) {
+  util::Rng rng(4);
+  // Radius chosen comfortably above the connectivity threshold so the
+  // retry loop succeeds.
+  const GeometricTopology g = make_connected_unit_disk(25, 1.0, 0.45, rng);
+  EXPECT_TRUE(g.topology.is_connected());
+}
+
+TEST(TopologyGenDeath, TinyRingAborts) {
+  EXPECT_DEATH((void)make_ring(2), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace m2hew::net

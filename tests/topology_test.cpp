@@ -1,0 +1,101 @@
+#include "net/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace m2hew::net {
+namespace {
+
+TEST(Topology, EmptyGraph) {
+  const Topology t(0);
+  EXPECT_EQ(t.node_count(), 0u);
+  EXPECT_EQ(t.edge_count(), 0u);
+  EXPECT_TRUE(t.is_connected());
+}
+
+TEST(Topology, AddEdgeIsSymmetric) {
+  Topology t(3);
+  t.add_edge(0, 1);
+  t.finalize();
+  EXPECT_TRUE(t.has_edge(0, 1));
+  EXPECT_TRUE(t.has_edge(1, 0));
+  EXPECT_FALSE(t.has_edge(0, 2));
+  EXPECT_EQ(t.edge_count(), 1u);
+}
+
+TEST(Topology, NeighborsAreSortedAfterFinalize) {
+  Topology t(5);
+  t.add_edge(2, 4);
+  t.add_edge(2, 0);
+  t.add_edge(2, 3);
+  t.finalize();
+  const auto nbrs = t.neighbors(2);
+  const std::vector<NodeId> expected{0, 3, 4};
+  EXPECT_TRUE(std::equal(nbrs.begin(), nbrs.end(), expected.begin(),
+                         expected.end()));
+}
+
+TEST(Topology, DegreeAndMaxDegree) {
+  Topology t(4);
+  t.add_edge(0, 1);
+  t.add_edge(0, 2);
+  t.add_edge(0, 3);
+  t.finalize();
+  EXPECT_EQ(t.degree(0), 3u);
+  EXPECT_EQ(t.degree(1), 1u);
+  EXPECT_EQ(t.max_degree(), 3u);
+}
+
+TEST(Topology, EdgesAreNormalizedPairs) {
+  Topology t(3);
+  t.add_edge(2, 1);
+  t.finalize();
+  ASSERT_EQ(t.edges().size(), 1u);
+  EXPECT_EQ(t.edges()[0], std::make_pair(NodeId{1}, NodeId{2}));
+}
+
+TEST(Topology, ConnectivityDetection) {
+  Topology connected(3);
+  connected.add_edge(0, 1);
+  connected.add_edge(1, 2);
+  connected.finalize();
+  EXPECT_TRUE(connected.is_connected());
+
+  Topology split(4);
+  split.add_edge(0, 1);
+  split.add_edge(2, 3);
+  split.finalize();
+  EXPECT_FALSE(split.is_connected());
+
+  const Topology singleton(1);
+  EXPECT_TRUE(singleton.is_connected());
+
+  const Topology isolated(2);
+  EXPECT_FALSE(isolated.is_connected());
+}
+
+TEST(TopologyDeath, SelfLoopAborts) {
+  Topology t(2);
+  EXPECT_DEATH(t.add_edge(1, 1), "CHECK failed");
+}
+
+TEST(TopologyDeath, DuplicateEdgeAborts) {
+  Topology t(2);
+  t.add_edge(0, 1);
+  EXPECT_DEATH(t.add_edge(1, 0), "CHECK failed");
+}
+
+TEST(TopologyDeath, OutOfRangeNodeAborts) {
+  Topology t(2);
+  EXPECT_DEATH(t.add_edge(0, 2), "CHECK failed");
+}
+
+TEST(TopologyDeath, NeighborsBeforeFinalizeAborts) {
+  Topology t(3);
+  t.add_edge(0, 1);
+  EXPECT_DEATH((void)t.neighbors(0), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace m2hew::net

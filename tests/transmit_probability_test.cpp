@@ -1,0 +1,102 @@
+#include "core/transmit_probability.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace m2hew::core {
+namespace {
+
+TEST(Alg1SlotProbability, MatchesFormula) {
+  // p = min(1/2, a / 2^i)
+  EXPECT_DOUBLE_EQ(alg1_slot_probability(1, 1), 0.5);
+  EXPECT_DOUBLE_EQ(alg1_slot_probability(1, 2), 0.25);
+  EXPECT_DOUBLE_EQ(alg1_slot_probability(4, 3), 0.5);
+  EXPECT_DOUBLE_EQ(alg1_slot_probability(4, 4), 0.25);
+  EXPECT_DOUBLE_EQ(alg1_slot_probability(4, 5), 0.125);
+  EXPECT_DOUBLE_EQ(alg1_slot_probability(3, 10), 3.0 / 1024.0);
+}
+
+TEST(Alg1SlotProbability, CappedAtHalf) {
+  for (unsigned i = 1; i <= 20; ++i) {
+    EXPECT_LE(alg1_slot_probability(1000, i), 0.5);
+  }
+}
+
+TEST(Alg1SlotProbability, HugeSlotIndexUnderflowsGracefully) {
+  EXPECT_GE(alg1_slot_probability(8, 200), 0.0);
+  EXPECT_LT(alg1_slot_probability(8, 200), 1e-30);
+}
+
+TEST(Alg3Probability, MatchesFormula) {
+  EXPECT_DOUBLE_EQ(alg3_probability(4, 16), 0.25);
+  EXPECT_DOUBLE_EQ(alg3_probability(16, 16), 0.5);  // capped
+  EXPECT_DOUBLE_EQ(alg3_probability(1, 100), 0.01);
+}
+
+TEST(Alg4Probability, MatchesFormulaWithThreeSlots) {
+  // p = min(1/2, a / (3·Δ_est))
+  EXPECT_DOUBLE_EQ(alg4_probability(6, 4), 0.5);
+  EXPECT_DOUBLE_EQ(alg4_probability(3, 4), 0.25);
+  EXPECT_DOUBLE_EQ(alg4_probability(1, 10), 1.0 / 30.0);
+}
+
+TEST(Alg4Probability, SlotCountScalesDenominator) {
+  EXPECT_DOUBLE_EQ(alg4_probability(4, 4, 2), 0.5);
+  EXPECT_DOUBLE_EQ(alg4_probability(4, 4, 4), 0.25);
+  EXPECT_DOUBLE_EQ(alg4_probability(4, 4, 8), 0.125);
+}
+
+TEST(StageLength, CeilLog2Values) {
+  EXPECT_EQ(stage_length(1), 1u);
+  EXPECT_EQ(stage_length(2), 1u);
+  EXPECT_EQ(stage_length(3), 2u);
+  EXPECT_EQ(stage_length(4), 2u);
+  EXPECT_EQ(stage_length(5), 3u);
+  EXPECT_EQ(stage_length(8), 3u);
+  EXPECT_EQ(stage_length(9), 4u);
+  EXPECT_EQ(stage_length(1024), 10u);
+  EXPECT_EQ(stage_length(1025), 11u);
+}
+
+// Property sweep: the closed forms equal the direct min(...) expressions
+// for a grid of (a, i / Δ_est) combinations.
+class ProbabilityFormulaSweep
+    : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ProbabilityFormulaSweep, Alg1AgreesWithDirectFormula) {
+  const std::size_t a = GetParam();
+  for (unsigned i = 1; i <= 24; ++i) {
+    const double direct =
+        std::min(0.5, static_cast<double>(a) / std::pow(2.0, i));
+    EXPECT_DOUBLE_EQ(alg1_slot_probability(a, i), direct);
+  }
+}
+
+TEST_P(ProbabilityFormulaSweep, Alg3AndAlg4AgreeWithDirectFormula) {
+  const std::size_t a = GetParam();
+  for (std::size_t d : {1ul, 2ul, 3ul, 7ul, 16ul, 100ul, 1000ul}) {
+    EXPECT_DOUBLE_EQ(
+        alg3_probability(a, d),
+        std::min(0.5, static_cast<double>(a) / static_cast<double>(d)));
+    EXPECT_DOUBLE_EQ(alg4_probability(a, d),
+                     std::min(0.5, static_cast<double>(a) /
+                                       (3.0 * static_cast<double>(d))));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AvailableSizes, ProbabilityFormulaSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 32, 257));
+
+TEST(ProbabilityDeath, ZeroArgumentsAbort) {
+  EXPECT_DEATH((void)alg1_slot_probability(0, 1), "CHECK failed");
+  EXPECT_DEATH((void)alg1_slot_probability(1, 0), "CHECK failed");
+  EXPECT_DEATH((void)alg3_probability(0, 1), "CHECK failed");
+  EXPECT_DEATH((void)alg3_probability(1, 0), "CHECK failed");
+  EXPECT_DEATH((void)alg4_probability(1, 1, 0), "CHECK failed");
+  EXPECT_DEATH((void)stage_length(0), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace m2hew::core

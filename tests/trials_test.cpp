@@ -1,0 +1,111 @@
+#include "runner/trials.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/algorithms.hpp"
+#include "runner/scenario.hpp"
+
+namespace m2hew::runner {
+namespace {
+
+[[nodiscard]] net::Network small_net() {
+  ScenarioConfig config;
+  config.topology = TopologyKind::kClique;
+  config.n = 5;
+  config.channels = ChannelKind::kHomogeneous;
+  config.universe = 3;
+  config.set_size = 3;
+  return build_scenario(config, 1);
+}
+
+TEST(SyncTrials, AllTrialsCompleteWithGenerousBudget) {
+  const net::Network network = small_net();
+  SyncTrialConfig config;
+  config.trials = 10;
+  config.engine.max_slots = 100000;
+  const SyncTrialStats stats =
+      run_sync_trials(network, core::make_algorithm1(8), config);
+  EXPECT_EQ(stats.trials, 10u);
+  EXPECT_EQ(stats.completed, 10u);
+  EXPECT_DOUBLE_EQ(stats.success_rate(), 1.0);
+  EXPECT_EQ(stats.completion_slots.count(), 10u);
+  EXPECT_GT(stats.completion_slots.summarize().mean, 0.0);
+}
+
+TEST(SyncTrials, TinyBudgetFailsTrials) {
+  const net::Network network = small_net();
+  SyncTrialConfig config;
+  config.trials = 5;
+  config.engine.max_slots = 1;
+  const SyncTrialStats stats =
+      run_sync_trials(network, core::make_algorithm1(8), config);
+  EXPECT_LT(stats.success_rate(), 1.0);
+}
+
+TEST(SyncTrials, TrialsAreIndependentButSeeded) {
+  const net::Network network = small_net();
+  SyncTrialConfig config;
+  config.trials = 8;
+  config.engine.max_slots = 100000;
+  const SyncTrialStats a =
+      run_sync_trials(network, core::make_algorithm1(8), config);
+  const SyncTrialStats b =
+      run_sync_trials(network, core::make_algorithm1(8), config);
+  // Same root seed -> identical trial outcomes.
+  ASSERT_EQ(a.completion_slots.count(), b.completion_slots.count());
+  for (std::size_t i = 0; i < a.completion_slots.count(); ++i) {
+    EXPECT_EQ(a.completion_slots.values()[i], b.completion_slots.values()[i]);
+  }
+  // Different trials inside a run should not all take identical time.
+  const auto summary = a.completion_slots.summarize();
+  EXPECT_GT(summary.max, summary.min);
+}
+
+TEST(SyncTrials, PerTrialHookCanChangeStartSlots) {
+  const net::Network network = small_net();
+  SyncTrialConfig config;
+  config.trials = 4;
+  config.engine.max_slots = 100000;
+  std::size_t hook_calls = 0;
+  config.per_trial = [&hook_calls, &network](std::size_t,
+                                             sim::SlotEngineConfig& engine) {
+    ++hook_calls;
+    engine.start_slots.assign(network.node_count(), 0);
+    engine.start_slots[0] = 50;
+  };
+  const SyncTrialStats stats =
+      run_sync_trials(network, core::make_algorithm3(8), config);
+  EXPECT_EQ(hook_calls, 4u);
+  EXPECT_EQ(stats.completed, 4u);
+  // Node 0 is silent for 50 slots, so completion can't be earlier.
+  EXPECT_GE(stats.completion_slots.summarize().min, 50.0);
+}
+
+TEST(AsyncTrials, CompleteAndMeasureFrames) {
+  const net::Network network = small_net();
+  AsyncTrialConfig config;
+  config.trials = 5;
+  config.engine.frame_length = 3.0;
+  config.engine.max_real_time = 1e6;
+  const AsyncTrialStats stats =
+      run_async_trials(network, core::make_algorithm4(8), config);
+  EXPECT_EQ(stats.completed, 5u);
+  EXPECT_EQ(stats.max_full_frames.count(), 5u);
+  EXPECT_GT(stats.max_full_frames.summarize().mean, 0.0);
+  EXPECT_GT(stats.completion_after_ts.summarize().mean, 0.0);
+}
+
+TEST(AsyncTrials, FailuresAreCounted) {
+  const net::Network network = small_net();
+  AsyncTrialConfig config;
+  config.trials = 3;
+  config.engine.frame_length = 3.0;
+  config.engine.max_real_time = 3.0;  // one frame: surely incomplete
+  const AsyncTrialStats stats =
+      run_async_trials(network, core::make_algorithm4(8), config);
+  EXPECT_EQ(stats.completed, 0u);
+  EXPECT_DOUBLE_EQ(stats.success_rate(), 0.0);
+}
+
+}  // namespace
+}  // namespace m2hew::runner

@@ -1,0 +1,331 @@
+// m2hew_cli — run neighbor-discovery experiments from the command line.
+//
+// Examples:
+//   m2hew_cli --topology=clique --n=16 --algorithm=alg3 --trials=30
+//   m2hew_cli --topology=unit-disk --n=24 --channels=primary-users
+//             --algorithm=alg4 --delta-est=8 --drift=0.14   (one line)
+//   m2hew_cli --topology=line --channels=chain --set-size=8 --overlap=2
+//             --algorithm=alg1 --epsilon=0.05               (one line)
+//
+// Run with --help for the full flag list.
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "core/adaptive.hpp"
+#include "core/algorithms.hpp"
+#include "core/baseline_deterministic.hpp"
+#include "core/bounds.hpp"
+#include "core/multi_radio.hpp"
+#include "core/termination.hpp"
+#include "core/transmit_probability.hpp"
+#include "net/serialize.hpp"
+#include "runner/scenario.hpp"
+#include "runner/trials.hpp"
+#include "sim/clock.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace m2hew;
+
+constexpr const char* kUsage = R"(m2hew_cli — M2HeW neighbor-discovery simulator
+
+Network:
+  --topology=<line|ring|grid|star|clique|erdos-renyi|unit-disk|
+              watts-strogatz|barabasi-albert>   (default clique)
+  --n=<nodes>                 (default 16)
+  --channels=<homogeneous|uniform|variable|chain|primary-users>
+                              (default uniform)
+  --universe=<channels>       (default 10)
+  --set-size=<|A(u)|>         (default 4)
+  --overlap=<k>               chain overlap (default 2)
+  --asymmetric-drop=<p>       drop one arc direction w.p. p (default 0)
+  --propagation=<full|random|lowpass>  (default full)
+  --prop-keep=<p>             random-mask keep probability (default 0.7)
+
+Algorithm:
+  --algorithm=<alg1|alg2|alg2x|alg3|alg4|baseline|deterministic|adaptive>
+                              (default alg3)
+  --delta-est=<bound>         degree bound for alg1/alg3/alg4 (default 8)
+  --terminate-after=<slots>   optional silence-based termination
+  --radios=<R>                multi-radio alg3 (R transceivers per node)
+
+Network I/O:
+  --save-network=<path>       write the generated network and exit
+  --load-network=<path>       run on a previously saved network (overrides
+                              all network flags)
+
+Execution:
+  --trials=<count>            (default 30)
+  --seed=<seed>               (default 1)
+  --epsilon=<eps>             for bound reporting (default 0.1)
+  --max-slots=<budget>        sync slot budget (default 10000000)
+  --loss=<p>                  per-reception loss probability (default 0)
+  --drift=<delta>             alg4 max clock drift (default 1/7)
+  --frame-length=<L>          alg4 frame length (default 3)
+)";
+
+[[nodiscard]] runner::ScenarioConfig scenario_from_flags(
+    const util::Flags& flags) {
+  runner::ScenarioConfig config;
+  const std::string topology = flags.get_string("topology", "clique");
+  if (topology == "line") {
+    config.topology = runner::TopologyKind::kLine;
+  } else if (topology == "ring") {
+    config.topology = runner::TopologyKind::kRing;
+  } else if (topology == "grid") {
+    config.topology = runner::TopologyKind::kGrid;
+    config.grid_rows = 2;
+  } else if (topology == "star") {
+    config.topology = runner::TopologyKind::kStar;
+  } else if (topology == "clique") {
+    config.topology = runner::TopologyKind::kClique;
+  } else if (topology == "erdos-renyi") {
+    config.topology = runner::TopologyKind::kErdosRenyi;
+  } else if (topology == "unit-disk") {
+    config.topology = runner::TopologyKind::kUnitDisk;
+    config.ud_radius = 0.4;
+  } else if (topology == "watts-strogatz") {
+    config.topology = runner::TopologyKind::kWattsStrogatz;
+  } else if (topology == "barabasi-albert") {
+    config.topology = runner::TopologyKind::kBarabasiAlbert;
+  } else {
+    std::fprintf(stderr, "unknown --topology=%s\n", topology.c_str());
+    std::exit(2);
+  }
+
+  config.n = static_cast<net::NodeId>(flags.get_int("n", 16));
+  config.universe =
+      static_cast<net::ChannelId>(flags.get_int("universe", 10));
+  config.set_size =
+      static_cast<net::ChannelId>(flags.get_int("set-size", 4));
+  config.chain_overlap =
+      static_cast<net::ChannelId>(flags.get_int("overlap", 2));
+
+  const std::string channels = flags.get_string("channels", "uniform");
+  if (channels == "homogeneous") {
+    config.channels = runner::ChannelKind::kHomogeneous;
+  } else if (channels == "uniform") {
+    config.channels = runner::ChannelKind::kUniformRandom;
+  } else if (channels == "variable") {
+    config.channels = runner::ChannelKind::kVariableRandom;
+    config.min_size = 2;
+    config.max_size = config.set_size;
+  } else if (channels == "chain") {
+    config.channels = runner::ChannelKind::kChainOverlap;
+    config.topology = runner::TopologyKind::kLine;
+  } else if (channels == "primary-users") {
+    config.channels = runner::ChannelKind::kPrimaryUsers;
+    config.topology = runner::TopologyKind::kUnitDisk;
+    config.ud_radius = 0.4;
+  } else {
+    std::fprintf(stderr, "unknown --channels=%s\n", channels.c_str());
+    std::exit(2);
+  }
+
+  config.asymmetric_drop = flags.get_double("asymmetric-drop", 0.0);
+  const std::string propagation = flags.get_string("propagation", "full");
+  if (propagation == "full") {
+    config.propagation = runner::PropagationKind::kFull;
+  } else if (propagation == "random") {
+    config.propagation = runner::PropagationKind::kRandomMask;
+  } else if (propagation == "lowpass") {
+    config.propagation = runner::PropagationKind::kLowpass;
+  } else {
+    std::fprintf(stderr, "unknown --propagation=%s\n", propagation.c_str());
+    std::exit(2);
+  }
+  config.prop_keep = flags.get_double("prop-keep", 0.7);
+  return config;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Flags flags(argc, argv);
+  if (flags.has("help")) {
+    std::fputs(kUsage, stdout);
+    return 0;
+  }
+
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const auto delta_est =
+      static_cast<std::size_t>(flags.get_int("delta-est", 8));
+  const std::size_t trials =
+      static_cast<std::size_t>(flags.get_int("trials", 30));
+  const double epsilon = flags.get_double("epsilon", 0.1);
+  const double loss = flags.get_double("loss", 0.0);
+  const std::string algorithm = flags.get_string("algorithm", "alg3");
+  const auto terminate_after =
+      static_cast<std::uint64_t>(flags.get_int("terminate-after", 0));
+
+  std::string scenario_text;
+  const net::Network network = [&]() -> net::Network {
+    const std::string load_path = flags.get_string("load-network");
+    if (!load_path.empty()) {
+      // Consume (and ignore) the network-shape flags so they do not show
+      // up as typos when a file overrides them.
+      (void)scenario_from_flags(flags);
+      scenario_text = "loaded from " + load_path;
+      return net::load_network_file(load_path);
+    }
+    const runner::ScenarioConfig scenario = scenario_from_flags(flags);
+    scenario_text = runner::describe(scenario);
+    return runner::build_scenario(scenario, seed);
+  }();
+
+  const std::string save_path = flags.get_string("save-network");
+  if (!save_path.empty()) {
+    net::save_network_file(save_path, network);
+    std::printf("network written to %s\n", save_path.c_str());
+    return 0;
+  }
+
+  core::BoundParams params;
+  params.n = network.node_count();
+  params.s = network.max_channel_set_size();
+  params.delta = std::max<std::size_t>(1, network.max_channel_degree());
+  params.delta_est = delta_est;
+  params.rho = network.min_span_ratio();
+  params.epsilon = epsilon;
+
+  std::printf("scenario: %s\n", scenario_text.c_str());
+  std::printf("network:  N=%u S=%zu Delta=%zu rho=%.4f links=%zu arcs=%zu\n",
+              network.node_count(), params.s, params.delta, params.rho,
+              network.links().size(), network.topology().arc_count());
+
+  util::Table table({"metric", "value"});
+  auto report_sync = [&](const runner::SyncTrialStats& stats, double bound,
+                         const char* bound_name) {
+    const auto summary = stats.completion_slots.summarize();
+    table.row().cell("trials").cell(stats.trials);
+    table.row().cell("completed").cell(stats.completed);
+    table.row().cell("success rate").cell(stats.success_rate(), 3);
+    table.row().cell("mean slots").cell(summary.mean, 1);
+    table.row().cell("p50 slots").cell(summary.p50, 1);
+    table.row().cell("p95 slots").cell(summary.p95, 1);
+    table.row().cell("max slots").cell(summary.max, 1);
+    table.row().cell(bound_name).cell(bound, 0);
+  };
+
+  const auto radios = static_cast<unsigned>(flags.get_int("radios", 1));
+  if (radios > 1) {
+    // Multi-radio Algorithm 3 (extension; cf. related work [19]).
+    util::RunningStats slots;
+    std::size_t completed = 0;
+    const util::SeedSequence seeds(seed);
+    for (std::size_t t = 0; t < trials; ++t) {
+      sim::MultiRadioEngineConfig engine;
+      engine.max_slots = static_cast<std::uint64_t>(
+          flags.get_int("max-slots", 10'000'000));
+      engine.seed = seeds.derive(t);
+      const auto result = sim::run_multi_radio_engine(
+          network, core::make_multi_radio_alg3(radios, delta_est), engine);
+      if (result.complete) {
+        ++completed;
+        slots.add(static_cast<double>(result.completion_slot));
+      }
+    }
+    table.row().cell("radios").cell(static_cast<std::size_t>(radios));
+    table.row().cell("trials").cell(trials);
+    table.row().cell("completed").cell(completed);
+    table.row().cell("mean slots").cell(slots.mean(), 1);
+    table.row().cell("max slots").cell(slots.max(), 1);
+    std::printf("\n%s", table.render().c_str());
+    return 0;
+  }
+
+  if (algorithm == "alg4") {
+    runner::AsyncTrialConfig trial;
+    trial.trials = trials;
+    trial.seed = seed;
+    trial.engine.frame_length = flags.get_double("frame-length", 3.0);
+    trial.engine.max_real_time = 1e8;
+    trial.engine.loss_probability = loss;
+    const double drift = flags.get_double("drift", 1.0 / 7.0);
+    if (drift > 0.0) {
+      trial.engine.clock_builder = [drift](net::NodeId,
+                                           std::uint64_t clock_seed) {
+        return std::make_unique<sim::PiecewiseDriftClock>(
+            sim::PiecewiseDriftClock::Config{.max_drift = drift,
+                                             .min_segment = 15.0,
+                                             .max_segment = 60.0},
+            clock_seed);
+      };
+    }
+    auto factory = core::make_algorithm4(delta_est);
+    if (terminate_after > 0) {
+      factory = core::with_termination(std::move(factory), terminate_after);
+    }
+    const auto stats = runner::run_async_trials(network, factory, trial);
+    const auto frames = stats.max_full_frames.summarize();
+    table.row().cell("trials").cell(stats.trials);
+    table.row().cell("completed").cell(stats.completed);
+    table.row().cell("success rate").cell(stats.success_rate(), 3);
+    table.row().cell("mean full frames").cell(frames.mean, 1);
+    table.row().cell("p95 full frames").cell(frames.p95, 1);
+    table.row().cell("thm9 frame bound")
+        .cell(core::theorem9_frame_bound(params), 0);
+  } else {
+    runner::SyncTrialConfig trial;
+    trial.trials = trials;
+    trial.seed = seed;
+    trial.engine.max_slots = static_cast<std::uint64_t>(
+        flags.get_int("max-slots", 10'000'000));
+    trial.engine.loss_probability = loss;
+
+    sim::SyncPolicyFactory factory;
+    double bound = 0.0;
+    const char* bound_name = "bound";
+    if (algorithm == "alg1") {
+      factory = core::make_algorithm1(delta_est);
+      bound = core::theorem1_slot_bound(params);
+      bound_name = "thm1 slot bound";
+    } else if (algorithm == "alg2") {
+      factory = core::make_algorithm2();
+      bound = core::theorem2_slot_bound(params);
+      bound_name = "thm2 slot bound";
+    } else if (algorithm == "alg2x") {
+      factory = core::make_algorithm2(core::EstimateSchedule::kDouble);
+      bound = core::theorem2_slot_bound(params);
+      bound_name = "thm2 slot bound (d+=1 schedule)";
+    } else if (algorithm == "alg3") {
+      factory = core::make_algorithm3(delta_est);
+      bound = core::theorem3_slot_bound(params);
+      bound_name = "thm3 slot bound";
+    } else if (algorithm == "baseline") {
+      factory = core::make_universal_baseline(network.universe_size(), 0.5);
+      bound_name = "(no closed-form bound)";
+    } else if (algorithm == "deterministic") {
+      factory = core::make_deterministic_baseline(network.universe_size());
+      bound = static_cast<double>(network.node_count()) *
+              network.universe_size();
+      bound_name = "N x |U| sweep (deterministic guarantee)";
+    } else if (algorithm == "adaptive") {
+      factory = core::make_adaptive();
+      bound_name = "(adaptive; no closed-form bound)";
+    } else {
+      std::fprintf(stderr, "unknown --algorithm=%s\n", algorithm.c_str());
+      return 2;
+    }
+    if (terminate_after > 0) {
+      factory = core::with_termination(std::move(factory), terminate_after);
+    }
+    const auto stats = runner::run_sync_trials(network, factory, trial);
+    report_sync(stats, bound, bound_name);
+  }
+
+  std::printf("\n%s", table.render().c_str());
+
+  const auto leftovers = flags.unconsumed();
+  if (!leftovers.empty()) {
+    for (const auto& name : leftovers) {
+      std::fprintf(stderr, "warning: unknown flag --%s ignored\n",
+                   name.c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,161 @@
+// m2hew_experiment — run a parameter sweep described by an INI file.
+//
+//   $ m2hew_experiment sweep.ini
+//
+// Example file:
+//
+//   [experiment]
+//   name        = rho_sweep
+//   algorithm   = alg3          ; alg1 | alg2 | alg3 | alg4 | baseline |
+//                               ; adaptive
+//   delta-est   = 8
+//   trials      = 30
+//   seed        = 1
+//   max-slots   = 1000000
+//   sweep-key   = overlap       ; any scenario key (see scenario_kv.hpp)
+//   sweep-values = 8 4 2 1
+//   plot        = 1             ; optional ascii plot of mean vs sweep value
+//
+//   [scenario]
+//   topology  = line
+//   channels  = chain
+//   n         = 12
+//   set-size  = 8
+//
+// Output: a table (one row per sweep value), optional plot, and
+// results/<name>.csv.
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/adaptive.hpp"
+#include "core/algorithms.hpp"
+#include "runner/report.hpp"
+#include "runner/scenario.hpp"
+#include "runner/scenario_kv.hpp"
+#include "runner/trials.hpp"
+#include "util/ascii_plot.hpp"
+#include "util/csv.hpp"
+#include "util/ini.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace m2hew;
+
+[[nodiscard]] std::string format_value(double value) {
+  char buf[32];
+  if (value == std::floor(value)) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%g", value);
+  }
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: m2hew_experiment <file.ini>\n");
+    return 2;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", argv[1]);
+    return 2;
+  }
+  const util::IniFile ini = util::IniFile::parse(in);
+
+  const std::string name = ini.get("experiment", "name", "experiment");
+  const std::string algorithm = ini.get("experiment", "algorithm", "alg3");
+  const auto delta_est =
+      static_cast<std::size_t>(ini.get_int("experiment", "delta-est", 8));
+  const auto trials =
+      static_cast<std::size_t>(ini.get_int("experiment", "trials", 30));
+  const auto seed =
+      static_cast<std::uint64_t>(ini.get_int("experiment", "seed", 1));
+  const auto max_slots = static_cast<std::uint64_t>(
+      ini.get_int("experiment", "max-slots", 1'000'000));
+  const std::string sweep_key = ini.get("experiment", "sweep-key");
+  std::vector<double> sweep_values =
+      ini.get_list("experiment", "sweep-values");
+  if (sweep_values.empty()) sweep_values.push_back(0.0);  // single run
+
+  runner::ScenarioConfig base;
+  for (const std::string& key : ini.keys("scenario")) {
+    if (!runner::apply_scenario_setting(base, key,
+                                        ini.get("scenario", key))) {
+      std::fprintf(stderr, "unknown scenario key '%s'\n", key.c_str());
+      return 2;
+    }
+  }
+
+  auto make_factory = [&]() -> sim::SyncPolicyFactory {
+    if (algorithm == "alg1") return core::make_algorithm1(delta_est);
+    if (algorithm == "alg2") return core::make_algorithm2();
+    if (algorithm == "alg3") return core::make_algorithm3(delta_est);
+    if (algorithm == "adaptive") return core::make_adaptive();
+    if (algorithm == "baseline") {
+      return core::make_universal_baseline(base.universe, 0.5);
+    }
+    std::fprintf(stderr,
+                 "unknown/unsupported algorithm '%s' (alg4 needs the async "
+                 "engine; use m2hew_cli)\n",
+                 algorithm.c_str());
+    std::exit(2);
+  };
+
+  std::printf("experiment: %s (%s, %zu trials/point)\n", name.c_str(),
+              algorithm.c_str(), trials);
+
+  auto csv_file = runner::open_results_csv(name);
+  util::CsvWriter csv(csv_file);
+  csv.header({"sweep_value", "success_rate", "mean_slots", "p50_slots",
+              "p95_slots"});
+
+  util::Table table({sweep_key.empty() ? "run" : sweep_key, "success",
+                     "mean slots", "p50", "p95"});
+  std::vector<double> means;
+  for (const double value : sweep_values) {
+    runner::ScenarioConfig scenario = base;
+    if (!sweep_key.empty()) {
+      if (!runner::apply_scenario_setting(scenario, sweep_key,
+                                          format_value(value))) {
+        std::fprintf(stderr, "unknown sweep key '%s'\n", sweep_key.c_str());
+        return 2;
+      }
+    }
+    const net::Network network = runner::build_scenario(scenario, seed);
+    runner::SyncTrialConfig trial;
+    trial.trials = trials;
+    trial.seed = seed;
+    trial.engine.max_slots = max_slots;
+    const auto stats =
+        runner::run_sync_trials(network, make_factory(), trial);
+    const auto summary = stats.completion_slots.summarize();
+    means.push_back(summary.mean);
+    table.row()
+        .cell(format_value(value))
+        .cell(stats.success_rate(), 2)
+        .cell(summary.mean, 1)
+        .cell(summary.p50, 1)
+        .cell(summary.p95, 1);
+    csv.field(value).field(stats.success_rate()).field(summary.mean);
+    csv.field(summary.p50).field(summary.p95);
+    csv.end_row();
+  }
+  std::printf("\n%s", table.render().c_str());
+
+  if (ini.get_int("experiment", "plot", 0) != 0 && sweep_values.size() > 1) {
+    util::PlotOptions plot;
+    plot.x_label = sweep_key;
+    plot.y_label = "mean slots";
+    std::printf("\n%s", util::ascii_plot(sweep_values, means, plot).c_str());
+  }
+  std::printf("\nwrote %s/%s.csv\n", runner::results_dir().c_str(),
+              name.c_str());
+  return 0;
+}
