@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_unreliable_channels.dir/bench_e10_unreliable_channels.cpp.o"
+  "CMakeFiles/bench_e10_unreliable_channels.dir/bench_e10_unreliable_channels.cpp.o.d"
+  "bench_e10_unreliable_channels"
+  "bench_e10_unreliable_channels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_unreliable_channels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_asymmetric.dir/bench_e11_asymmetric.cpp.o"
+  "CMakeFiles/bench_e11_asymmetric.dir/bench_e11_asymmetric.cpp.o.d"
+  "bench_e11_asymmetric"
+  "bench_e11_asymmetric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_asymmetric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e12_propagation.dir/bench_e12_propagation.cpp.o"
+  "CMakeFiles/bench_e12_propagation.dir/bench_e12_propagation.cpp.o.d"
+  "bench_e12_propagation"
+  "bench_e12_propagation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e12_propagation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

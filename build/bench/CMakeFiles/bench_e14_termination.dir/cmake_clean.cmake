@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e14_termination.dir/bench_e14_termination.cpp.o"
+  "CMakeFiles/bench_e14_termination.dir/bench_e14_termination.cpp.o.d"
+  "bench_e14_termination"
+  "bench_e14_termination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e14_termination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e15_two_hop.dir/bench_e15_two_hop.cpp.o"
+  "CMakeFiles/bench_e15_two_hop.dir/bench_e15_two_hop.cpp.o.d"
+  "bench_e15_two_hop"
+  "bench_e15_two_hop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e15_two_hop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

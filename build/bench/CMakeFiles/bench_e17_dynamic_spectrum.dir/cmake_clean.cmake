@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e17_dynamic_spectrum.dir/bench_e17_dynamic_spectrum.cpp.o"
+  "CMakeFiles/bench_e17_dynamic_spectrum.dir/bench_e17_dynamic_spectrum.cpp.o.d"
+  "bench_e17_dynamic_spectrum"
+  "bench_e17_dynamic_spectrum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e17_dynamic_spectrum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e18_multi_radio.dir/bench_e18_multi_radio.cpp.o"
+  "CMakeFiles/bench_e18_multi_radio.dir/bench_e18_multi_radio.cpp.o.d"
+  "bench_e18_multi_radio"
+  "bench_e18_multi_radio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e18_multi_radio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_alg1_sync.dir/bench_e1_alg1_sync.cpp.o"
+  "CMakeFiles/bench_e1_alg1_sync.dir/bench_e1_alg1_sync.cpp.o.d"
+  "bench_e1_alg1_sync"
+  "bench_e1_alg1_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_alg1_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

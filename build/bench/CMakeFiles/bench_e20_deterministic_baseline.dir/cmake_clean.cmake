@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e20_deterministic_baseline.dir/bench_e20_deterministic_baseline.cpp.o"
+  "CMakeFiles/bench_e20_deterministic_baseline.dir/bench_e20_deterministic_baseline.cpp.o.d"
+  "bench_e20_deterministic_baseline"
+  "bench_e20_deterministic_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e20_deterministic_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

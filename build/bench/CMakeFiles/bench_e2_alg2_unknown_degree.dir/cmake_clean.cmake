@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_alg2_unknown_degree.dir/bench_e2_alg2_unknown_degree.cpp.o"
+  "CMakeFiles/bench_e2_alg2_unknown_degree.dir/bench_e2_alg2_unknown_degree.cpp.o.d"
+  "bench_e2_alg2_unknown_degree"
+  "bench_e2_alg2_unknown_degree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_alg2_unknown_degree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

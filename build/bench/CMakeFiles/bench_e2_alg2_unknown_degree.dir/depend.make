@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_e2_alg2_unknown_degree.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_alg3_variable_start.dir/bench_e3_alg3_variable_start.cpp.o"
+  "CMakeFiles/bench_e3_alg3_variable_start.dir/bench_e3_alg3_variable_start.cpp.o.d"
+  "bench_e3_alg3_variable_start"
+  "bench_e3_alg3_variable_start.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_alg3_variable_start.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_alg4_async.dir/bench_e5_alg4_async.cpp.o"
+  "CMakeFiles/bench_e5_alg4_async.dir/bench_e5_alg4_async.cpp.o.d"
+  "bench_e5_alg4_async"
+  "bench_e5_alg4_async.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_alg4_async.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

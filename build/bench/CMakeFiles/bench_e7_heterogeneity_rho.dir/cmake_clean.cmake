@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_heterogeneity_rho.dir/bench_e7_heterogeneity_rho.cpp.o"
+  "CMakeFiles/bench_e7_heterogeneity_rho.dir/bench_e7_heterogeneity_rho.cpp.o.d"
+  "bench_e7_heterogeneity_rho"
+  "bench_e7_heterogeneity_rho.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_heterogeneity_rho.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

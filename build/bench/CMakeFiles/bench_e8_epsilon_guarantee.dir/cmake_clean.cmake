@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_epsilon_guarantee.dir/bench_e8_epsilon_guarantee.cpp.o"
+  "CMakeFiles/bench_e8_epsilon_guarantee.dir/bench_e8_epsilon_guarantee.cpp.o.d"
+  "bench_e8_epsilon_guarantee"
+  "bench_e8_epsilon_guarantee.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_epsilon_guarantee.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_coverage_probability.dir/bench_e9_coverage_probability.cpp.o"
+  "CMakeFiles/bench_e9_coverage_probability.dir/bench_e9_coverage_probability.cpp.o.d"
+  "bench_e9_coverage_probability"
+  "bench_e9_coverage_probability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_coverage_probability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

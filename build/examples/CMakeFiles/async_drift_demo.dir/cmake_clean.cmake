@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/async_drift_demo.dir/async_drift_demo.cpp.o"
+  "CMakeFiles/async_drift_demo.dir/async_drift_demo.cpp.o.d"
+  "async_drift_demo"
+  "async_drift_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/async_drift_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cognitive_radio_field.dir/cognitive_radio_field.cpp.o"
+  "CMakeFiles/cognitive_radio_field.dir/cognitive_radio_field.cpp.o.d"
+  "cognitive_radio_field"
+  "cognitive_radio_field.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cognitive_radio_field.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/link_scheduling.dir/link_scheduling.cpp.o"
+  "CMakeFiles/link_scheduling.dir/link_scheduling.cpp.o.d"
+  "link_scheduling"
+  "link_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/link_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/two_hop_clustering.dir/two_hop_clustering.cpp.o"
+  "CMakeFiles/two_hop_clustering.dir/two_hop_clustering.cpp.o.d"
+  "two_hop_clustering"
+  "two_hop_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/two_hop_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

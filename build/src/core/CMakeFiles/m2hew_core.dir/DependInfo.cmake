@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptive.cpp" "src/core/CMakeFiles/m2hew_core.dir/adaptive.cpp.o" "gcc" "src/core/CMakeFiles/m2hew_core.dir/adaptive.cpp.o.d"
+  "/root/repo/src/core/algorithm1.cpp" "src/core/CMakeFiles/m2hew_core.dir/algorithm1.cpp.o" "gcc" "src/core/CMakeFiles/m2hew_core.dir/algorithm1.cpp.o.d"
+  "/root/repo/src/core/algorithm2.cpp" "src/core/CMakeFiles/m2hew_core.dir/algorithm2.cpp.o" "gcc" "src/core/CMakeFiles/m2hew_core.dir/algorithm2.cpp.o.d"
+  "/root/repo/src/core/algorithm3.cpp" "src/core/CMakeFiles/m2hew_core.dir/algorithm3.cpp.o" "gcc" "src/core/CMakeFiles/m2hew_core.dir/algorithm3.cpp.o.d"
+  "/root/repo/src/core/algorithm4.cpp" "src/core/CMakeFiles/m2hew_core.dir/algorithm4.cpp.o" "gcc" "src/core/CMakeFiles/m2hew_core.dir/algorithm4.cpp.o.d"
+  "/root/repo/src/core/algorithms.cpp" "src/core/CMakeFiles/m2hew_core.dir/algorithms.cpp.o" "gcc" "src/core/CMakeFiles/m2hew_core.dir/algorithms.cpp.o.d"
+  "/root/repo/src/core/baseline_deterministic.cpp" "src/core/CMakeFiles/m2hew_core.dir/baseline_deterministic.cpp.o" "gcc" "src/core/CMakeFiles/m2hew_core.dir/baseline_deterministic.cpp.o.d"
+  "/root/repo/src/core/baseline_universal.cpp" "src/core/CMakeFiles/m2hew_core.dir/baseline_universal.cpp.o" "gcc" "src/core/CMakeFiles/m2hew_core.dir/baseline_universal.cpp.o.d"
+  "/root/repo/src/core/bounds.cpp" "src/core/CMakeFiles/m2hew_core.dir/bounds.cpp.o" "gcc" "src/core/CMakeFiles/m2hew_core.dir/bounds.cpp.o.d"
+  "/root/repo/src/core/multi_radio.cpp" "src/core/CMakeFiles/m2hew_core.dir/multi_radio.cpp.o" "gcc" "src/core/CMakeFiles/m2hew_core.dir/multi_radio.cpp.o.d"
+  "/root/repo/src/core/termination.cpp" "src/core/CMakeFiles/m2hew_core.dir/termination.cpp.o" "gcc" "src/core/CMakeFiles/m2hew_core.dir/termination.cpp.o.d"
+  "/root/repo/src/core/transmit_probability.cpp" "src/core/CMakeFiles/m2hew_core.dir/transmit_probability.cpp.o" "gcc" "src/core/CMakeFiles/m2hew_core.dir/transmit_probability.cpp.o.d"
+  "/root/repo/src/core/two_hop.cpp" "src/core/CMakeFiles/m2hew_core.dir/two_hop.cpp.o" "gcc" "src/core/CMakeFiles/m2hew_core.dir/two_hop.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/m2hew_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/m2hew_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/m2hew_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

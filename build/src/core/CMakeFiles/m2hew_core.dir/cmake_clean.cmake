@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m2hew_core.dir/adaptive.cpp.o"
+  "CMakeFiles/m2hew_core.dir/adaptive.cpp.o.d"
+  "CMakeFiles/m2hew_core.dir/algorithm1.cpp.o"
+  "CMakeFiles/m2hew_core.dir/algorithm1.cpp.o.d"
+  "CMakeFiles/m2hew_core.dir/algorithm2.cpp.o"
+  "CMakeFiles/m2hew_core.dir/algorithm2.cpp.o.d"
+  "CMakeFiles/m2hew_core.dir/algorithm3.cpp.o"
+  "CMakeFiles/m2hew_core.dir/algorithm3.cpp.o.d"
+  "CMakeFiles/m2hew_core.dir/algorithm4.cpp.o"
+  "CMakeFiles/m2hew_core.dir/algorithm4.cpp.o.d"
+  "CMakeFiles/m2hew_core.dir/algorithms.cpp.o"
+  "CMakeFiles/m2hew_core.dir/algorithms.cpp.o.d"
+  "CMakeFiles/m2hew_core.dir/baseline_deterministic.cpp.o"
+  "CMakeFiles/m2hew_core.dir/baseline_deterministic.cpp.o.d"
+  "CMakeFiles/m2hew_core.dir/baseline_universal.cpp.o"
+  "CMakeFiles/m2hew_core.dir/baseline_universal.cpp.o.d"
+  "CMakeFiles/m2hew_core.dir/bounds.cpp.o"
+  "CMakeFiles/m2hew_core.dir/bounds.cpp.o.d"
+  "CMakeFiles/m2hew_core.dir/multi_radio.cpp.o"
+  "CMakeFiles/m2hew_core.dir/multi_radio.cpp.o.d"
+  "CMakeFiles/m2hew_core.dir/termination.cpp.o"
+  "CMakeFiles/m2hew_core.dir/termination.cpp.o.d"
+  "CMakeFiles/m2hew_core.dir/transmit_probability.cpp.o"
+  "CMakeFiles/m2hew_core.dir/transmit_probability.cpp.o.d"
+  "CMakeFiles/m2hew_core.dir/two_hop.cpp.o"
+  "CMakeFiles/m2hew_core.dir/two_hop.cpp.o.d"
+  "libm2hew_core.a"
+  "libm2hew_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m2hew_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

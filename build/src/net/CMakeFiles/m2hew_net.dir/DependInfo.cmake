@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/channel_assign.cpp" "src/net/CMakeFiles/m2hew_net.dir/channel_assign.cpp.o" "gcc" "src/net/CMakeFiles/m2hew_net.dir/channel_assign.cpp.o.d"
+  "/root/repo/src/net/channel_set.cpp" "src/net/CMakeFiles/m2hew_net.dir/channel_set.cpp.o" "gcc" "src/net/CMakeFiles/m2hew_net.dir/channel_set.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/net/CMakeFiles/m2hew_net.dir/network.cpp.o" "gcc" "src/net/CMakeFiles/m2hew_net.dir/network.cpp.o.d"
+  "/root/repo/src/net/primary_user.cpp" "src/net/CMakeFiles/m2hew_net.dir/primary_user.cpp.o" "gcc" "src/net/CMakeFiles/m2hew_net.dir/primary_user.cpp.o.d"
+  "/root/repo/src/net/propagation.cpp" "src/net/CMakeFiles/m2hew_net.dir/propagation.cpp.o" "gcc" "src/net/CMakeFiles/m2hew_net.dir/propagation.cpp.o.d"
+  "/root/repo/src/net/serialize.cpp" "src/net/CMakeFiles/m2hew_net.dir/serialize.cpp.o" "gcc" "src/net/CMakeFiles/m2hew_net.dir/serialize.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/net/CMakeFiles/m2hew_net.dir/topology.cpp.o" "gcc" "src/net/CMakeFiles/m2hew_net.dir/topology.cpp.o.d"
+  "/root/repo/src/net/topology_gen.cpp" "src/net/CMakeFiles/m2hew_net.dir/topology_gen.cpp.o" "gcc" "src/net/CMakeFiles/m2hew_net.dir/topology_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/m2hew_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

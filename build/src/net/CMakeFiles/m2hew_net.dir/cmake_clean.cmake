@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m2hew_net.dir/channel_assign.cpp.o"
+  "CMakeFiles/m2hew_net.dir/channel_assign.cpp.o.d"
+  "CMakeFiles/m2hew_net.dir/channel_set.cpp.o"
+  "CMakeFiles/m2hew_net.dir/channel_set.cpp.o.d"
+  "CMakeFiles/m2hew_net.dir/network.cpp.o"
+  "CMakeFiles/m2hew_net.dir/network.cpp.o.d"
+  "CMakeFiles/m2hew_net.dir/primary_user.cpp.o"
+  "CMakeFiles/m2hew_net.dir/primary_user.cpp.o.d"
+  "CMakeFiles/m2hew_net.dir/propagation.cpp.o"
+  "CMakeFiles/m2hew_net.dir/propagation.cpp.o.d"
+  "CMakeFiles/m2hew_net.dir/serialize.cpp.o"
+  "CMakeFiles/m2hew_net.dir/serialize.cpp.o.d"
+  "CMakeFiles/m2hew_net.dir/topology.cpp.o"
+  "CMakeFiles/m2hew_net.dir/topology.cpp.o.d"
+  "CMakeFiles/m2hew_net.dir/topology_gen.cpp.o"
+  "CMakeFiles/m2hew_net.dir/topology_gen.cpp.o.d"
+  "libm2hew_net.a"
+  "libm2hew_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m2hew_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runner/link_stats.cpp" "src/runner/CMakeFiles/m2hew_runner.dir/link_stats.cpp.o" "gcc" "src/runner/CMakeFiles/m2hew_runner.dir/link_stats.cpp.o.d"
+  "/root/repo/src/runner/report.cpp" "src/runner/CMakeFiles/m2hew_runner.dir/report.cpp.o" "gcc" "src/runner/CMakeFiles/m2hew_runner.dir/report.cpp.o.d"
+  "/root/repo/src/runner/scenario.cpp" "src/runner/CMakeFiles/m2hew_runner.dir/scenario.cpp.o" "gcc" "src/runner/CMakeFiles/m2hew_runner.dir/scenario.cpp.o.d"
+  "/root/repo/src/runner/scenario_kv.cpp" "src/runner/CMakeFiles/m2hew_runner.dir/scenario_kv.cpp.o" "gcc" "src/runner/CMakeFiles/m2hew_runner.dir/scenario_kv.cpp.o.d"
+  "/root/repo/src/runner/trials.cpp" "src/runner/CMakeFiles/m2hew_runner.dir/trials.cpp.o" "gcc" "src/runner/CMakeFiles/m2hew_runner.dir/trials.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/m2hew_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/m2hew_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/m2hew_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/m2hew_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

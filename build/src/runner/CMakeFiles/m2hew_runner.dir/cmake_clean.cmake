@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m2hew_runner.dir/link_stats.cpp.o"
+  "CMakeFiles/m2hew_runner.dir/link_stats.cpp.o.d"
+  "CMakeFiles/m2hew_runner.dir/report.cpp.o"
+  "CMakeFiles/m2hew_runner.dir/report.cpp.o.d"
+  "CMakeFiles/m2hew_runner.dir/scenario.cpp.o"
+  "CMakeFiles/m2hew_runner.dir/scenario.cpp.o.d"
+  "CMakeFiles/m2hew_runner.dir/scenario_kv.cpp.o"
+  "CMakeFiles/m2hew_runner.dir/scenario_kv.cpp.o.d"
+  "CMakeFiles/m2hew_runner.dir/trials.cpp.o"
+  "CMakeFiles/m2hew_runner.dir/trials.cpp.o.d"
+  "libm2hew_runner.a"
+  "libm2hew_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m2hew_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/admissible.cpp" "src/sim/CMakeFiles/m2hew_sim.dir/admissible.cpp.o" "gcc" "src/sim/CMakeFiles/m2hew_sim.dir/admissible.cpp.o.d"
+  "/root/repo/src/sim/async_engine.cpp" "src/sim/CMakeFiles/m2hew_sim.dir/async_engine.cpp.o" "gcc" "src/sim/CMakeFiles/m2hew_sim.dir/async_engine.cpp.o.d"
+  "/root/repo/src/sim/clock.cpp" "src/sim/CMakeFiles/m2hew_sim.dir/clock.cpp.o" "gcc" "src/sim/CMakeFiles/m2hew_sim.dir/clock.cpp.o.d"
+  "/root/repo/src/sim/discovery_state.cpp" "src/sim/CMakeFiles/m2hew_sim.dir/discovery_state.cpp.o" "gcc" "src/sim/CMakeFiles/m2hew_sim.dir/discovery_state.cpp.o.d"
+  "/root/repo/src/sim/multi_radio_engine.cpp" "src/sim/CMakeFiles/m2hew_sim.dir/multi_radio_engine.cpp.o" "gcc" "src/sim/CMakeFiles/m2hew_sim.dir/multi_radio_engine.cpp.o.d"
+  "/root/repo/src/sim/slot_engine.cpp" "src/sim/CMakeFiles/m2hew_sim.dir/slot_engine.cpp.o" "gcc" "src/sim/CMakeFiles/m2hew_sim.dir/slot_engine.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/sim/CMakeFiles/m2hew_sim.dir/trace.cpp.o" "gcc" "src/sim/CMakeFiles/m2hew_sim.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/m2hew_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/m2hew_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m2hew_sim.dir/admissible.cpp.o"
+  "CMakeFiles/m2hew_sim.dir/admissible.cpp.o.d"
+  "CMakeFiles/m2hew_sim.dir/async_engine.cpp.o"
+  "CMakeFiles/m2hew_sim.dir/async_engine.cpp.o.d"
+  "CMakeFiles/m2hew_sim.dir/clock.cpp.o"
+  "CMakeFiles/m2hew_sim.dir/clock.cpp.o.d"
+  "CMakeFiles/m2hew_sim.dir/discovery_state.cpp.o"
+  "CMakeFiles/m2hew_sim.dir/discovery_state.cpp.o.d"
+  "CMakeFiles/m2hew_sim.dir/multi_radio_engine.cpp.o"
+  "CMakeFiles/m2hew_sim.dir/multi_radio_engine.cpp.o.d"
+  "CMakeFiles/m2hew_sim.dir/slot_engine.cpp.o"
+  "CMakeFiles/m2hew_sim.dir/slot_engine.cpp.o.d"
+  "CMakeFiles/m2hew_sim.dir/trace.cpp.o"
+  "CMakeFiles/m2hew_sim.dir/trace.cpp.o.d"
+  "libm2hew_sim.a"
+  "libm2hew_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m2hew_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

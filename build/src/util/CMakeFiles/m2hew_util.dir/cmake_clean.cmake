@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m2hew_util.dir/ascii_plot.cpp.o"
+  "CMakeFiles/m2hew_util.dir/ascii_plot.cpp.o.d"
+  "CMakeFiles/m2hew_util.dir/csv.cpp.o"
+  "CMakeFiles/m2hew_util.dir/csv.cpp.o.d"
+  "CMakeFiles/m2hew_util.dir/flags.cpp.o"
+  "CMakeFiles/m2hew_util.dir/flags.cpp.o.d"
+  "CMakeFiles/m2hew_util.dir/histogram.cpp.o"
+  "CMakeFiles/m2hew_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/m2hew_util.dir/ini.cpp.o"
+  "CMakeFiles/m2hew_util.dir/ini.cpp.o.d"
+  "CMakeFiles/m2hew_util.dir/log.cpp.o"
+  "CMakeFiles/m2hew_util.dir/log.cpp.o.d"
+  "CMakeFiles/m2hew_util.dir/rng.cpp.o"
+  "CMakeFiles/m2hew_util.dir/rng.cpp.o.d"
+  "CMakeFiles/m2hew_util.dir/stats.cpp.o"
+  "CMakeFiles/m2hew_util.dir/stats.cpp.o.d"
+  "CMakeFiles/m2hew_util.dir/table.cpp.o"
+  "CMakeFiles/m2hew_util.dir/table.cpp.o.d"
+  "libm2hew_util.a"
+  "libm2hew_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m2hew_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

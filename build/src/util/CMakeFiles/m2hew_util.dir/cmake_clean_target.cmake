@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libm2hew_util.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for m2hew_util.
+# This may be replaced when dependencies are built.

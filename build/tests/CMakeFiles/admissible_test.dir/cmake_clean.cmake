@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/admissible_test.dir/admissible_test.cpp.o"
+  "CMakeFiles/admissible_test.dir/admissible_test.cpp.o.d"
+  "admissible_test"
+  "admissible_test.pdb"
+  "admissible_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/admissible_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algorithm3_test.dir/algorithm3_test.cpp.o"
+  "CMakeFiles/algorithm3_test.dir/algorithm3_test.cpp.o.d"
+  "algorithm3_test"
+  "algorithm3_test.pdb"
+  "algorithm3_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algorithm3_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algorithm4_test.dir/algorithm4_test.cpp.o"
+  "CMakeFiles/algorithm4_test.dir/algorithm4_test.cpp.o.d"
+  "algorithm4_test"
+  "algorithm4_test.pdb"
+  "algorithm4_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algorithm4_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/async_engine_test.dir/async_engine_test.cpp.o"
+  "CMakeFiles/async_engine_test.dir/async_engine_test.cpp.o.d"
+  "async_engine_test"
+  "async_engine_test.pdb"
+  "async_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/async_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

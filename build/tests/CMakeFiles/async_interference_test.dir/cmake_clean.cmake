@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/async_interference_test.dir/async_interference_test.cpp.o"
+  "CMakeFiles/async_interference_test.dir/async_interference_test.cpp.o.d"
+  "async_interference_test"
+  "async_interference_test.pdb"
+  "async_interference_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/async_interference_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/async_reference_test.dir/async_reference_test.cpp.o"
+  "CMakeFiles/async_reference_test.dir/async_reference_test.cpp.o.d"
+  "async_reference_test"
+  "async_reference_test.pdb"
+  "async_reference_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/async_reference_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_deterministic_test.dir/baseline_deterministic_test.cpp.o"
+  "CMakeFiles/baseline_deterministic_test.dir/baseline_deterministic_test.cpp.o.d"
+  "baseline_deterministic_test"
+  "baseline_deterministic_test.pdb"
+  "baseline_deterministic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_deterministic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/channel_assign_test.dir/channel_assign_test.cpp.o"
+  "CMakeFiles/channel_assign_test.dir/channel_assign_test.cpp.o.d"
+  "channel_assign_test"
+  "channel_assign_test.pdb"
+  "channel_assign_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/channel_assign_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

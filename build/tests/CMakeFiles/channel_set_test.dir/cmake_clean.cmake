@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/channel_set_test.dir/channel_set_test.cpp.o"
+  "CMakeFiles/channel_set_test.dir/channel_set_test.cpp.o.d"
+  "channel_set_test"
+  "channel_set_test.pdb"
+  "channel_set_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/channel_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/discovery_state_test.cpp" "tests/CMakeFiles/discovery_state_test.dir/discovery_state_test.cpp.o" "gcc" "tests/CMakeFiles/discovery_state_test.dir/discovery_state_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runner/CMakeFiles/m2hew_runner.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/m2hew_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/m2hew_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/m2hew_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/m2hew_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discovery_state_test.dir/discovery_state_test.cpp.o"
+  "CMakeFiles/discovery_state_test.dir/discovery_state_test.cpp.o.d"
+  "discovery_state_test"
+  "discovery_state_test.pdb"
+  "discovery_state_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discovery_state_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

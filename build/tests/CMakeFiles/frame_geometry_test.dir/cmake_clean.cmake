@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frame_geometry_test.dir/frame_geometry_test.cpp.o"
+  "CMakeFiles/frame_geometry_test.dir/frame_geometry_test.cpp.o.d"
+  "frame_geometry_test"
+  "frame_geometry_test.pdb"
+  "frame_geometry_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frame_geometry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_reference_test.dir/fuzz_reference_test.cpp.o"
+  "CMakeFiles/fuzz_reference_test.dir/fuzz_reference_test.cpp.o.d"
+  "fuzz_reference_test"
+  "fuzz_reference_test.pdb"
+  "fuzz_reference_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_reference_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

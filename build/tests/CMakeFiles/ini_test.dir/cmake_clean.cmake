@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ini_test.dir/ini_test.cpp.o"
+  "CMakeFiles/ini_test.dir/ini_test.cpp.o.d"
+  "ini_test"
+  "ini_test.pdb"
+  "ini_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ini_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

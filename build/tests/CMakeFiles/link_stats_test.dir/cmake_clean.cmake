@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/link_stats_test.dir/link_stats_test.cpp.o"
+  "CMakeFiles/link_stats_test.dir/link_stats_test.cpp.o.d"
+  "link_stats_test"
+  "link_stats_test.pdb"
+  "link_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/link_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

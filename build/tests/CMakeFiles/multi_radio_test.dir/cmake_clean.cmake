@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_radio_test.dir/multi_radio_test.cpp.o"
+  "CMakeFiles/multi_radio_test.dir/multi_radio_test.cpp.o.d"
+  "multi_radio_test"
+  "multi_radio_test.pdb"
+  "multi_radio_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_radio_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

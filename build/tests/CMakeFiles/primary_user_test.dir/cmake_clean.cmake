@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/primary_user_test.dir/primary_user_test.cpp.o"
+  "CMakeFiles/primary_user_test.dir/primary_user_test.cpp.o.d"
+  "primary_user_test"
+  "primary_user_test.pdb"
+  "primary_user_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/primary_user_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

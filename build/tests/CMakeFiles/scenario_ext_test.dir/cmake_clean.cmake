@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenario_ext_test.dir/scenario_ext_test.cpp.o"
+  "CMakeFiles/scenario_ext_test.dir/scenario_ext_test.cpp.o.d"
+  "scenario_ext_test"
+  "scenario_ext_test.pdb"
+  "scenario_ext_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenario_ext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

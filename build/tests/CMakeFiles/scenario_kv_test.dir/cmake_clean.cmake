@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenario_kv_test.dir/scenario_kv_test.cpp.o"
+  "CMakeFiles/scenario_kv_test.dir/scenario_kv_test.cpp.o.d"
+  "scenario_kv_test"
+  "scenario_kv_test.pdb"
+  "scenario_kv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenario_kv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slot_engine_test.dir/slot_engine_test.cpp.o"
+  "CMakeFiles/slot_engine_test.dir/slot_engine_test.cpp.o.d"
+  "slot_engine_test"
+  "slot_engine_test.pdb"
+  "slot_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slot_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

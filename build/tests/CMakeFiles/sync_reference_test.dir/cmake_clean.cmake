@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sync_reference_test.dir/sync_reference_test.cpp.o"
+  "CMakeFiles/sync_reference_test.dir/sync_reference_test.cpp.o.d"
+  "sync_reference_test"
+  "sync_reference_test.pdb"
+  "sync_reference_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sync_reference_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topology_gen_test.dir/topology_gen_test.cpp.o"
+  "CMakeFiles/topology_gen_test.dir/topology_gen_test.cpp.o.d"
+  "topology_gen_test"
+  "topology_gen_test.pdb"
+  "topology_gen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topology_gen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

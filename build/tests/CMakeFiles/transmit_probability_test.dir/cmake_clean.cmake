@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transmit_probability_test.dir/transmit_probability_test.cpp.o"
+  "CMakeFiles/transmit_probability_test.dir/transmit_probability_test.cpp.o.d"
+  "transmit_probability_test"
+  "transmit_probability_test.pdb"
+  "transmit_probability_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transmit_probability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m2hew_cli.dir/m2hew_cli.cpp.o"
+  "CMakeFiles/m2hew_cli.dir/m2hew_cli.cpp.o.d"
+  "m2hew_cli"
+  "m2hew_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m2hew_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m2hew_experiment.dir/m2hew_experiment.cpp.o"
+  "CMakeFiles/m2hew_experiment.dir/m2hew_experiment.cpp.o.d"
+  "m2hew_experiment"
+  "m2hew_experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m2hew_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

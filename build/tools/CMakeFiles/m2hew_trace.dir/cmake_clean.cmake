@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m2hew_trace.dir/m2hew_trace.cpp.o"
+  "CMakeFiles/m2hew_trace.dir/m2hew_trace.cpp.o.d"
+  "m2hew_trace"
+  "m2hew_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m2hew_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

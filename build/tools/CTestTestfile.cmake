@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(trace_tool_smoke "/root/repo/build/tools/m2hew_trace" "--topology=line" "--n=4" "--slots=30")
+set_tests_properties(trace_tool_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(trace_tool_deterministic "/root/repo/build/tools/m2hew_trace" "--algorithm=deterministic" "--topology=clique" "--n=3" "--channels=homogeneous" "--universe=2" "--set-size=2" "--slots=12")
+set_tests_properties(trace_tool_deterministic PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(experiment_tool_smoke "/root/repo/build/tools/m2hew_experiment" "/root/repo/build/tools/smoke_sweep.ini")
+set_tests_properties(experiment_tool_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;37;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_help "/root/repo/build/tools/m2hew_cli" "--help")
+set_tests_properties(cli_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;41;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_alg1 "/root/repo/build/tools/m2hew_cli" "--topology=clique" "--n=6" "--algorithm=alg1" "--trials=3")
+set_tests_properties(cli_alg1 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;42;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_alg2 "/root/repo/build/tools/m2hew_cli" "--topology=ring" "--n=8" "--channels=homogeneous" "--algorithm=alg2" "--trials=3")
+set_tests_properties(cli_alg2 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;44;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_alg3_asym "/root/repo/build/tools/m2hew_cli" "--topology=erdos-renyi" "--n=10" "--algorithm=alg3" "--asymmetric-drop=0.5" "--trials=3")
+set_tests_properties(cli_alg3_asym PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;46;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_alg4 "/root/repo/build/tools/m2hew_cli" "--topology=clique" "--n=6" "--algorithm=alg4" "--trials=2" "--drift=0.1")
+set_tests_properties(cli_alg4 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;48;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_baseline "/root/repo/build/tools/m2hew_cli" "--topology=clique" "--n=6" "--algorithm=baseline" "--trials=2")
+set_tests_properties(cli_baseline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;50;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_chain_termination "/root/repo/build/tools/m2hew_cli" "--channels=chain" "--n=8" "--set-size=6" "--overlap=2" "--algorithm=alg3" "--trials=3" "--terminate-after=5000")
+set_tests_properties(cli_chain_termination PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;52;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_propagation "/root/repo/build/tools/m2hew_cli" "--topology=clique" "--n=8" "--channels=homogeneous" "--set-size=8" "--universe=8" "--propagation=random" "--prop-keep=0.6" "--algorithm=alg3" "--trials=3")
+set_tests_properties(cli_propagation PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;55;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_adaptive "/root/repo/build/tools/m2hew_cli" "--topology=clique" "--n=6" "--algorithm=adaptive" "--trials=3")
+set_tests_properties(cli_adaptive PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;58;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_deterministic "/root/repo/build/tools/m2hew_cli" "--topology=clique" "--n=6" "--algorithm=deterministic" "--trials=2")
+set_tests_properties(cli_deterministic PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;60;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_multi_radio "/root/repo/build/tools/m2hew_cli" "--topology=clique" "--n=6" "--channels=homogeneous" "--set-size=6" "--universe=6" "--radios=3" "--trials=3")
+set_tests_properties(cli_multi_radio PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;62;add_test;/root/repo/tools/CMakeLists.txt;0;")
