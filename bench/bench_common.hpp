@@ -9,11 +9,54 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "core/bounds.hpp"
 #include "net/network.hpp"
+#include "runner/trials.hpp"
 
 namespace m2hew::benchx {
+
+/// Strips --threads=N from argv (call *before* benchmark::Initialize so it
+/// is not reported as unrecognized) and installs it as the process-wide
+/// default for every trial config in the binary. 0 = all cores (also the
+/// default when the flag is absent), 1 = serial. Aggregate results are
+/// identical at any value — only wall-clock changes.
+inline void strip_threads_flag(int* argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      runner::set_default_trial_threads(
+          static_cast<std::size_t>(std::strtoull(argv[i] + 10, nullptr, 10)));
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  *argc = out;
+}
+
+/// One-line throughput report for a SyncTrialStats/AsyncTrialStats, so a
+/// bench can show what a specific run sustained.
+template <typename Stats>
+void report_throughput(const char* label, const Stats& stats) {
+  std::printf("[throughput] %-24s %4zu trials in %7.3f s  "
+              "(%8.1f trials/s, %zu threads)\n",
+              label, stats.trials, stats.elapsed_seconds,
+              stats.trials_per_second(), stats.threads_used);
+}
+
+/// Cumulative trial-layer throughput for the whole binary; call at the end
+/// of main so every bench report closes with its own throughput line.
+inline void print_trial_throughput() {
+  const runner::TrialThroughput totals = runner::trial_throughput_totals();
+  if (totals.trials == 0) return;
+  std::printf("\n[throughput] trial layer: %zu trials across %zu runs in "
+              "%.3f s (%.1f trials/s, default %zu threads)\n",
+              totals.trials, totals.runs, totals.busy_seconds,
+              totals.trials_per_second(),
+              runner::default_trial_threads());
+}
 
 /// Extracts the paper's bound parameters from a built network.
 [[nodiscard]] inline core::BoundParams bound_params(

@@ -121,9 +121,11 @@ void reproduce_table() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  m2hew::benchx::strip_threads_flag(&argc, argv);
   ::benchmark::Initialize(&argc, argv);
   if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   ::benchmark::RunSpecifiedBenchmarks();
   reproduce_table();
+  m2hew::benchx::print_trial_throughput();
   return 0;
 }

@@ -8,6 +8,8 @@
 // 0 … 0.45, sampled over random piecewise-drift clocks and offsets.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
+
 #include <algorithm>
 #include <memory>
 
@@ -174,9 +176,11 @@ void reproduce_table() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  m2hew::benchx::strip_threads_flag(&argc, argv);
   ::benchmark::Initialize(&argc, argv);
   if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   ::benchmark::RunSpecifiedBenchmarks();
   reproduce_table();
+  m2hew::benchx::print_trial_throughput();
   return 0;
 }

@@ -88,5 +88,10 @@ int main() {
       "two-node instance — Assumption 1 is what the *worst-case* guarantee\n"
       "(Lemma 7's aligned-pair construction) needs, not a cliff in average\n"
       "behaviour.\n");
+  const auto throughput = runner::trial_throughput_totals();
+  std::printf("(%zu trials in %.3f s — %.1f trials/s on %zu workers)\n",
+              throughput.trials, throughput.busy_seconds,
+              throughput.trials_per_second(),
+              runner::default_trial_threads());
   return 0;
 }

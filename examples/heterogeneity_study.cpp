@@ -75,5 +75,10 @@ int main() {
       "1/rho trend the theorems predict (homogeneous rho=%.2f case took\n"
       "%.1f slots on average).\n",
       base_rho, base_alg3);
+  const auto throughput = runner::trial_throughput_totals();
+  std::printf("(%zu trials in %.3f s — %.1f trials/s on %zu workers)\n",
+              throughput.trials, throughput.busy_seconds,
+              throughput.trials_per_second(),
+              runner::default_trial_threads());
   return 0;
 }

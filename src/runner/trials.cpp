@@ -1,52 +1,175 @@
 #include "runner/trials.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <vector>
 
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace m2hew::runner {
+namespace {
+
+std::atomic<std::size_t> g_default_threads{0};  // 0 = not set yet
+
+// Process-wide throughput totals; relaxed atomics are enough because the
+// numbers are reporting-only and never gate control flow.
+std::atomic<std::size_t> g_total_runs{0};
+std::atomic<std::size_t> g_total_trials{0};
+std::atomic<double> g_total_busy_seconds{0.0};
+
+void record_run(std::size_t trials, double seconds) noexcept {
+  g_total_runs.fetch_add(1, std::memory_order_relaxed);
+  g_total_trials.fetch_add(trials, std::memory_order_relaxed);
+  double seen = g_total_busy_seconds.load(std::memory_order_relaxed);
+  while (!g_total_busy_seconds.compare_exchange_weak(
+      seen, seen + seconds, std::memory_order_relaxed)) {
+  }
+}
+
+using Clock = std::chrono::steady_clock;
+
+[[nodiscard]] double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Effective worker count: resolve the 0 default, never more workers than
+/// trials, never fewer than one.
+[[nodiscard]] std::size_t resolve_threads(std::size_t requested,
+                                          std::size_t trials) {
+  std::size_t threads =
+      requested == 0 ? default_trial_threads() : requested;
+  threads = std::min(threads, std::max<std::size_t>(trials, 1));
+  return std::max<std::size_t>(threads, 1);
+}
+
+/// Runs body(0..count-1) either inline (threads == 1) or on a pool.
+/// Bodies write only to their own index's slot, so any schedule yields
+/// the same buffer contents.
+template <typename Body>
+void dispatch_trials(std::size_t count, std::size_t threads,
+                     const Body& body) {
+  if (threads <= 1) {
+    for (std::size_t t = 0; t < count; ++t) body(t);
+    return;
+  }
+  util::ThreadPool pool(threads);
+  pool.parallel_for(count, body);
+}
+
+}  // namespace
+
+void set_default_trial_threads(std::size_t threads) noexcept {
+  g_default_threads.store(threads == 0 ? util::ThreadPool::default_threads()
+                                       : threads,
+                          std::memory_order_relaxed);
+}
+
+std::size_t default_trial_threads() noexcept {
+  const std::size_t set = g_default_threads.load(std::memory_order_relaxed);
+  return set == 0 ? util::ThreadPool::default_threads() : set;
+}
+
+TrialThroughput trial_throughput_totals() noexcept {
+  TrialThroughput totals;
+  totals.runs = g_total_runs.load(std::memory_order_relaxed);
+  totals.trials = g_total_trials.load(std::memory_order_relaxed);
+  totals.busy_seconds = g_total_busy_seconds.load(std::memory_order_relaxed);
+  return totals;
+}
 
 SyncTrialStats run_sync_trials(const net::Network& network,
                                const sim::SyncPolicyFactory& factory,
                                const SyncTrialConfig& config) {
+  const auto start = Clock::now();
   const util::SeedSequence seeds(config.seed);
   SyncTrialStats stats;
   stats.trials = config.trials;
+  stats.threads_used = resolve_threads(config.threads, config.trials);
+
+  // Engine configs are prepared serially in trial order so per_trial
+  // hooks keep their single-threaded contract.
+  std::vector<sim::SlotEngineConfig> engines;
+  engines.reserve(config.trials);
   for (std::size_t t = 0; t < config.trials; ++t) {
-    sim::SlotEngineConfig engine = config.engine;
-    engine.seed = seeds.derive(t);
-    if (config.per_trial) config.per_trial(t, engine);
-    const auto result = sim::run_slot_engine(network, factory, engine);
-    if (result.complete) {
-      ++stats.completed;
-      stats.completion_slots.add(
-          static_cast<double>(result.completion_slot));
-    }
+    engines.push_back(config.engine);
+    engines.back().seed = seeds.derive(t);
+    if (config.per_trial) config.per_trial(t, engines.back());
   }
+
+  // Per-trial outcomes land in slot t; the reduction below walks them in
+  // trial order, so parallel output is identical to serial output.
+  struct Outcome {
+    bool complete = false;
+    double completion_slot = 0.0;
+  };
+  std::vector<Outcome> outcomes(config.trials);
+  dispatch_trials(config.trials, stats.threads_used, [&](std::size_t t) {
+    const auto result = sim::run_slot_engine(network, factory, engines[t]);
+    outcomes[t] = {result.complete,
+                   static_cast<double>(result.completion_slot)};
+  });
+
+  stats.completion_slots.reserve(config.trials);
+  for (const Outcome& outcome : outcomes) {
+    if (!outcome.complete) continue;
+    ++stats.completed;
+    stats.completion_slots.add(outcome.completion_slot);
+  }
+  stats.elapsed_seconds = seconds_since(start);
+  record_run(stats.trials, stats.elapsed_seconds);
   return stats;
 }
 
 AsyncTrialStats run_async_trials(const net::Network& network,
                                  const sim::AsyncPolicyFactory& factory,
                                  const AsyncTrialConfig& config) {
+  const auto start = Clock::now();
   const util::SeedSequence seeds(config.seed);
   AsyncTrialStats stats;
   stats.trials = config.trials;
+  stats.threads_used = resolve_threads(config.threads, config.trials);
+
+  std::vector<sim::AsyncEngineConfig> engines;
+  engines.reserve(config.trials);
   for (std::size_t t = 0; t < config.trials; ++t) {
-    sim::AsyncEngineConfig engine = config.engine;
-    engine.seed = seeds.derive(t);
-    if (config.per_trial) config.per_trial(t, engine);
-    const auto result = sim::run_async_engine(network, factory, engine);
+    engines.push_back(config.engine);
+    engines.back().seed = seeds.derive(t);
+    if (config.per_trial) config.per_trial(t, engines.back());
+  }
+
+  struct Outcome {
+    bool complete = false;
+    double after_ts = 0.0;
+    double max_frames = 0.0;
+  };
+  std::vector<Outcome> outcomes(config.trials);
+  dispatch_trials(config.trials, stats.threads_used, [&](std::size_t t) {
+    const auto result = sim::run_async_engine(network, factory, engines[t]);
+    Outcome outcome;
+    outcome.complete = result.complete;
     if (result.complete) {
-      ++stats.completed;
-      stats.completion_after_ts.add(result.completion_time - result.t_s);
+      outcome.after_ts = result.completion_time - result.t_s;
       std::uint64_t max_frames = 0;
       for (const std::uint64_t f : result.full_frames_since_ts) {
         max_frames = std::max(max_frames, f);
       }
-      stats.max_full_frames.add(static_cast<double>(max_frames));
+      outcome.max_frames = static_cast<double>(max_frames);
     }
+    outcomes[t] = outcome;
+  });
+
+  stats.completion_after_ts.reserve(config.trials);
+  stats.max_full_frames.reserve(config.trials);
+  for (const Outcome& outcome : outcomes) {
+    if (!outcome.complete) continue;
+    ++stats.completed;
+    stats.completion_after_ts.add(outcome.after_ts);
+    stats.max_full_frames.add(outcome.max_frames);
   }
+  stats.elapsed_seconds = seconds_since(start);
+  record_run(stats.trials, stats.elapsed_seconds);
   return stats;
 }
 

@@ -1,5 +1,12 @@
 // Multi-trial experiment runners: repeat an engine run over independent
 // seeds and aggregate completion statistics, the unit of every bench.
+//
+// Trials are dispatched across a worker pool (TrialConfig::threads) but
+// the aggregate output is bit-for-bit identical to a serial run: trial t
+// always uses seeds.derive(t), per-trial results land in a buffer indexed
+// by t, and the reduction walks that buffer in trial order. See
+// docs/EXTENDING.md "Parallel trials & determinism" for the policy-author
+// contract this relies on.
 #pragma once
 
 #include <functional>
@@ -11,6 +18,28 @@
 
 namespace m2hew::runner {
 
+/// Process-wide default worker count used when a trial config leaves
+/// `threads == 0`. Starts at hardware concurrency; tools set it from
+/// --threads so every run_*_trials call in the binary picks it up.
+void set_default_trial_threads(std::size_t threads) noexcept;
+[[nodiscard]] std::size_t default_trial_threads() noexcept;
+
+/// Cumulative trial-layer activity of this process, summed over every
+/// run_sync_trials / run_async_trials call. Benches and tools print this
+/// once at the end so every report carries its own throughput.
+struct TrialThroughput {
+  std::size_t runs = 0;
+  std::size_t trials = 0;
+  double busy_seconds = 0.0;  ///< sum of per-run wall-clock durations
+
+  [[nodiscard]] double trials_per_second() const noexcept {
+    return busy_seconds <= 0.0
+               ? 0.0
+               : static_cast<double>(trials) / busy_seconds;
+  }
+};
+[[nodiscard]] TrialThroughput trial_throughput_totals() noexcept;
+
 /// Aggregate over synchronous trials.
 struct SyncTrialStats {
   std::size_t trials = 0;
@@ -18,11 +47,21 @@ struct SyncTrialStats {
   /// Completion slot (0-based index of the covering slot) of completed
   /// trials only.
   util::Samples completion_slots;
+  /// Wall-clock duration of the whole run and the worker count that
+  /// produced it (throughput reporting; not part of the deterministic
+  /// aggregate).
+  double elapsed_seconds = 0.0;
+  std::size_t threads_used = 1;
 
   [[nodiscard]] double success_rate() const noexcept {
     return trials == 0 ? 0.0
                        : static_cast<double>(completed) /
                              static_cast<double>(trials);
+  }
+  [[nodiscard]] double trials_per_second() const noexcept {
+    return elapsed_seconds <= 0.0
+               ? 0.0
+               : static_cast<double>(trials) / elapsed_seconds;
   }
 };
 
@@ -31,8 +70,14 @@ struct SyncTrialConfig {
   std::uint64_t seed = 1;  ///< root seed; trial t uses derive(seed, t)
   sim::SlotEngineConfig engine;  ///< engine.seed is overwritten per trial
   /// Optional per-trial hook to vary the engine config (e.g. randomized
-  /// start slots). Called with (trial index, config to mutate).
+  /// start slots). Called with (trial index, config to mutate). Hooks run
+  /// serially on the calling thread, in trial order, before any trial
+  /// executes — they need not be thread-safe.
   std::function<void(std::size_t, sim::SlotEngineConfig&)> per_trial;
+  /// Worker threads for the trial fan-out: 1 = serial on the calling
+  /// thread, 0 = default_trial_threads(). Aggregate results are identical
+  /// for every value.
+  std::size_t threads = 0;
 };
 
 [[nodiscard]] SyncTrialStats run_sync_trials(
@@ -48,11 +93,19 @@ struct AsyncTrialStats {
   /// max over nodes of full frames since T_s at completion (Theorem 9's
   /// measured quantity), completed trials only.
   util::Samples max_full_frames;
+  /// Throughput fields; see SyncTrialStats.
+  double elapsed_seconds = 0.0;
+  std::size_t threads_used = 1;
 
   [[nodiscard]] double success_rate() const noexcept {
     return trials == 0 ? 0.0
                        : static_cast<double>(completed) /
                              static_cast<double>(trials);
+  }
+  [[nodiscard]] double trials_per_second() const noexcept {
+    return elapsed_seconds <= 0.0
+               ? 0.0
+               : static_cast<double>(trials) / elapsed_seconds;
   }
 };
 
@@ -60,7 +113,10 @@ struct AsyncTrialConfig {
   std::size_t trials = 30;
   std::uint64_t seed = 1;
   sim::AsyncEngineConfig engine;
+  /// Serial, trial-ordered hook; see SyncTrialConfig::per_trial.
   std::function<void(std::size_t, sim::AsyncEngineConfig&)> per_trial;
+  /// Worker threads; see SyncTrialConfig::threads.
+  std::size_t threads = 0;
 };
 
 [[nodiscard]] AsyncTrialStats run_async_trials(

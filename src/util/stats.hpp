@@ -62,6 +62,15 @@ class Samples {
   [[nodiscard]] Summary summarize() const { return util::summarize(values_); }
   [[nodiscard]] double quantile(double q) const;
   void clear() noexcept { values_.clear(); }
+  void reserve(std::size_t n) { values_.reserve(n); }
+
+  /// Appends another accumulator's samples, preserving their order. For a
+  /// deterministic parallel reduction, merge per-shard accumulators in a
+  /// fixed shard order; the result is then identical to a serial run.
+  void merge(const Samples& other) {
+    values_.insert(values_.end(), other.values_.begin(),
+                   other.values_.end());
+  }
 
  private:
   std::vector<double> values_;

@@ -1,0 +1,91 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+#include <exception>
+#include <memory>
+
+namespace m2hew::util {
+
+std::size_t ThreadPool::default_threads() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = default_threads();
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_task_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push(std::move(task));
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) return;  // stop_ set and nothing left to run
+    std::function<void()> task = std::move(queue_.front());
+    queue_.pop();
+    ++active_;
+    lock.unlock();
+    task();
+    lock.lock();
+    --active_;
+    if (queue_.empty() && active_ == 0) cv_idle_.notify_all();
+  }
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  // Shared-ownership state so lanes stay valid even though submit() copies
+  // the closures; `body` itself outlives wait_idle() below, so a reference
+  // capture is safe and avoids copying a potentially heavy closure.
+  auto next = std::make_shared<std::atomic<std::size_t>>(0);
+  auto failed = std::make_shared<std::atomic<bool>>(false);
+  auto error = std::make_shared<std::exception_ptr>();
+  auto error_mutex = std::make_shared<std::mutex>();
+  const std::size_t lanes = std::min(size(), count);
+  for (std::size_t i = 0; i < lanes; ++i) {
+    submit([next, failed, error, error_mutex, count, &body] {
+      try {
+        for (std::size_t t = next->fetch_add(1, std::memory_order_relaxed);
+             t < count;
+             t = next->fetch_add(1, std::memory_order_relaxed)) {
+          if (failed->load(std::memory_order_relaxed)) return;  // fail fast
+          body(t);
+        }
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(*error_mutex);
+        if (!*error) *error = std::current_exception();
+        failed->store(true, std::memory_order_relaxed);
+      }
+    });
+  }
+  wait_idle();
+  if (*error) std::rethrow_exception(*error);
+}
+
+}  // namespace m2hew::util

@@ -1,0 +1,58 @@
+// Small fixed-size worker pool for embarrassingly-parallel fan-out (the
+// trial layer in runner/trials.*). Tasks are opaque std::functions; the
+// pool makes no ordering guarantee between them, so callers that need
+// deterministic output must write results into pre-indexed slots and
+// reduce in index order after wait_idle() (see run_sync_trials).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace m2hew::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 = default_threads().
+  explicit ThreadPool(std::size_t threads = 0);
+  /// Drains the queue (pending tasks still run), then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues a task for execution on some worker.
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and no worker is running a task.
+  /// Note: waits for *all* tasks in the pool, not just the caller's.
+  void wait_idle();
+
+  /// Runs body(0) .. body(count-1), distributing indices dynamically over
+  /// the workers, and returns when all have finished. Rethrows the first
+  /// exception any body raised (remaining indices may be skipped).
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& body);
+
+  /// One worker per hardware core; 1 when the hardware cannot tell.
+  [[nodiscard]] static std::size_t default_threads() noexcept;
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t active_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace m2hew::util

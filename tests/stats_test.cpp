@@ -116,6 +116,39 @@ TEST(Samples, QuantileAndSummary) {
   EXPECT_EQ(samples.count(), 0u);
 }
 
+TEST(Samples, MergePreservesShardOrder) {
+  // Shard-ordered merge is what makes the parallel trial reduction
+  // deterministic: merging [a] then [b] must equal adding a's values then
+  // b's, element for element.
+  Samples whole;
+  Samples left;
+  Samples right;
+  for (const double x : {2.0, 4.0, 6.0}) {
+    whole.add(x);
+    left.add(x);
+  }
+  for (const double x : {1.0, 3.0}) {
+    whole.add(x);
+    right.add(x);
+  }
+  left.merge(right);
+  ASSERT_EQ(left.count(), whole.count());
+  for (std::size_t i = 0; i < whole.count(); ++i) {
+    EXPECT_EQ(left.values()[i], whole.values()[i]);
+  }
+}
+
+TEST(Samples, MergeWithEmptyIsNoOp) {
+  Samples a;
+  a.add(1.0);
+  Samples empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_EQ(empty.values()[0], 1.0);
+}
+
 TEST(WilsonInterval, ContainsPointEstimate) {
   const Interval iv = wilson_interval(30, 100);
   EXPECT_LT(iv.lo, 0.3);

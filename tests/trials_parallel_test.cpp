@@ -1,0 +1,240 @@
+// Parallel trial dispatch must be invisible in the results: for any thread
+// count, run_sync_trials / run_async_trials return bit-identical aggregates
+// to the serial path (same root seed -> same per-trial seeds -> same
+// outcomes, reduced in trial order). Also exercises the worker pool around
+// its edges (trial counts below / at / above the thread count).
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/algorithms.hpp"
+#include "runner/scenario.hpp"
+#include "runner/trials.hpp"
+#include "util/thread_pool.hpp"
+
+namespace m2hew::runner {
+namespace {
+
+[[nodiscard]] net::Network small_net() {
+  ScenarioConfig config;
+  config.topology = TopologyKind::kClique;
+  config.n = 6;
+  config.channels = ChannelKind::kUniformRandom;
+  config.universe = 6;
+  config.set_size = 3;
+  return build_scenario(config, 7);
+}
+
+void expect_identical(const SyncTrialStats& a, const SyncTrialStats& b) {
+  EXPECT_EQ(a.trials, b.trials);
+  EXPECT_EQ(a.completed, b.completed);
+  ASSERT_EQ(a.completion_slots.count(), b.completion_slots.count());
+  for (std::size_t i = 0; i < a.completion_slots.count(); ++i) {
+    EXPECT_EQ(a.completion_slots.values()[i], b.completion_slots.values()[i])
+        << "trial-ordered sample " << i << " diverged";
+  }
+  const auto sa = a.completion_slots.summarize();
+  const auto sb = b.completion_slots.summarize();
+  EXPECT_EQ(sa.mean, sb.mean);
+  EXPECT_EQ(sa.stddev, sb.stddev);
+  EXPECT_EQ(sa.min, sb.min);
+  EXPECT_EQ(sa.max, sb.max);
+  EXPECT_EQ(sa.p50, sb.p50);
+  EXPECT_EQ(sa.p99, sb.p99);
+}
+
+void expect_identical(const AsyncTrialStats& a, const AsyncTrialStats& b) {
+  EXPECT_EQ(a.trials, b.trials);
+  EXPECT_EQ(a.completed, b.completed);
+  ASSERT_EQ(a.completion_after_ts.count(), b.completion_after_ts.count());
+  for (std::size_t i = 0; i < a.completion_after_ts.count(); ++i) {
+    EXPECT_EQ(a.completion_after_ts.values()[i],
+              b.completion_after_ts.values()[i]);
+  }
+  ASSERT_EQ(a.max_full_frames.count(), b.max_full_frames.count());
+  for (std::size_t i = 0; i < a.max_full_frames.count(); ++i) {
+    EXPECT_EQ(a.max_full_frames.values()[i], b.max_full_frames.values()[i]);
+  }
+  const auto sa = a.completion_after_ts.summarize();
+  const auto sb = b.completion_after_ts.summarize();
+  EXPECT_EQ(sa.mean, sb.mean);
+  EXPECT_EQ(sa.stddev, sb.stddev);
+}
+
+TEST(ParallelSyncTrials, SerialAndParallelAreBitIdentical) {
+  const net::Network network = small_net();
+  SyncTrialConfig config;
+  config.trials = 12;
+  config.seed = 42;
+  config.engine.max_slots = 100000;
+
+  config.threads = 1;
+  const SyncTrialStats serial =
+      run_sync_trials(network, core::make_algorithm1(8), config);
+  EXPECT_EQ(serial.threads_used, 1u);
+
+  config.threads = 4;
+  const SyncTrialStats parallel =
+      run_sync_trials(network, core::make_algorithm1(8), config);
+  EXPECT_GE(parallel.threads_used, 1u);
+
+  expect_identical(serial, parallel);
+}
+
+TEST(ParallelSyncTrials, TrialCountsBelowAtAndAboveThreadCount) {
+  const net::Network network = small_net();
+  for (const std::size_t trials : {1ul, 2ul, 4ul, 13ul}) {
+    SyncTrialConfig config;
+    config.trials = trials;
+    config.seed = 5;
+    config.engine.max_slots = 100000;
+
+    config.threads = 1;
+    const SyncTrialStats serial =
+        run_sync_trials(network, core::make_algorithm3(8), config);
+    config.threads = 4;
+    const SyncTrialStats parallel =
+        run_sync_trials(network, core::make_algorithm3(8), config);
+    // Never more workers than trials.
+    EXPECT_LE(parallel.threads_used, std::max<std::size_t>(trials, 1));
+    expect_identical(serial, parallel);
+  }
+}
+
+TEST(ParallelSyncTrials, PerTrialHooksRunSeriallyInTrialOrder) {
+  const net::Network network = small_net();
+  SyncTrialConfig config;
+  config.trials = 9;
+  config.threads = 4;
+  config.engine.max_slots = 100000;
+  // Unsynchronized state: safe because hooks run on the calling thread,
+  // in trial order, before any trial executes.
+  std::vector<std::size_t> order;
+  config.per_trial = [&order](std::size_t t, sim::SlotEngineConfig&) {
+    order.push_back(t);
+  };
+  const SyncTrialStats stats =
+      run_sync_trials(network, core::make_algorithm3(8), config);
+  EXPECT_EQ(stats.trials, 9u);
+  ASSERT_EQ(order.size(), 9u);
+  for (std::size_t t = 0; t < order.size(); ++t) EXPECT_EQ(order[t], t);
+}
+
+TEST(ParallelSyncTrials, RecordsWallClockAndThroughput) {
+  const net::Network network = small_net();
+  SyncTrialConfig config;
+  config.trials = 6;
+  config.engine.max_slots = 100000;
+  const auto before = trial_throughput_totals();
+  const SyncTrialStats stats =
+      run_sync_trials(network, core::make_algorithm1(8), config);
+  EXPECT_GT(stats.elapsed_seconds, 0.0);
+  EXPECT_GT(stats.trials_per_second(), 0.0);
+  const auto after = trial_throughput_totals();
+  EXPECT_EQ(after.runs, before.runs + 1);
+  EXPECT_EQ(after.trials, before.trials + 6);
+  EXPECT_GE(after.busy_seconds, before.busy_seconds);
+}
+
+TEST(ParallelAsyncTrials, SerialAndParallelAreBitIdentical) {
+  const net::Network network = small_net();
+  AsyncTrialConfig config;
+  config.trials = 10;
+  config.seed = 9;
+  config.engine.frame_length = 3.0;
+  config.engine.max_real_time = 1e6;
+
+  config.threads = 1;
+  const AsyncTrialStats serial =
+      run_async_trials(network, core::make_algorithm4(8), config);
+  config.threads = 4;
+  const AsyncTrialStats parallel =
+      run_async_trials(network, core::make_algorithm4(8), config);
+  expect_identical(serial, parallel);
+}
+
+TEST(ParallelAsyncTrials, EdgeTrialCounts) {
+  const net::Network network = small_net();
+  for (const std::size_t trials : {1ul, 4ul, 7ul}) {
+    AsyncTrialConfig config;
+    config.trials = trials;
+    config.seed = 11;
+    config.engine.frame_length = 3.0;
+    config.engine.max_real_time = 1e6;
+
+    config.threads = 1;
+    const AsyncTrialStats serial =
+        run_async_trials(network, core::make_algorithm4(8), config);
+    config.threads = 4;
+    const AsyncTrialStats parallel =
+        run_async_trials(network, core::make_algorithm4(8), config);
+    expect_identical(serial, parallel);
+  }
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  util::ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  for (const std::size_t count : {0ul, 1ul, 3ul, 4ul, 100ul}) {
+    std::vector<std::atomic<int>> hits(count);
+    pool.parallel_for(count, [&hits](std::size_t i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < count; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " of " << count;
+    }
+  }
+}
+
+TEST(ThreadPool, SubmitAndWaitIdleDrainsAllTasks) {
+  util::ThreadPool pool(3);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 20);
+}
+
+TEST(ThreadPool, DestructorRunsPendingTasks) {
+  std::atomic<int> done{0};
+  {
+    util::ThreadPool pool(2);
+    for (int i = 0; i < 10; ++i) {
+      pool.submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }
+  EXPECT_EQ(done.load(), 10);
+}
+
+TEST(ThreadPool, ParallelForPropagatesFirstException) {
+  util::ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(32,
+                                 [](std::size_t i) {
+                                   if (i == 7) {
+                                     throw std::runtime_error("boom");
+                                   }
+                                 }),
+               std::runtime_error);
+  // The pool must remain usable afterwards.
+  std::atomic<int> done{0};
+  pool.parallel_for(8, [&done](std::size_t) {
+    done.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(done.load(), 8);
+}
+
+TEST(DefaultTrialThreads, SettableAndResolves) {
+  const std::size_t original = default_trial_threads();
+  EXPECT_GE(original, 1u);
+  set_default_trial_threads(3);
+  EXPECT_EQ(default_trial_threads(), 3u);
+  set_default_trial_threads(0);  // back to hardware concurrency
+  EXPECT_EQ(default_trial_threads(), util::ThreadPool::default_threads());
+}
+
+}  // namespace
+}  // namespace m2hew::runner

@@ -26,6 +26,7 @@
 #include "sim/clock.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -60,6 +61,8 @@ Network I/O:
 
 Execution:
   --trials=<count>            (default 30)
+  --threads=<workers>         trial fan-out; 0 = all cores, 1 = serial
+                              (default 0; results identical either way)
   --seed=<seed>               (default 1)
   --epsilon=<eps>             for bound reporting (default 0.1)
   --max-slots=<budget>        sync slot budget (default 10000000)
@@ -156,6 +159,8 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(flags.get_int("delta-est", 8));
   const std::size_t trials =
       static_cast<std::size_t>(flags.get_int("trials", 30));
+  const std::size_t threads =
+      static_cast<std::size_t>(flags.get_int("threads", 0));
   const double epsilon = flags.get_double("epsilon", 0.1);
   const double loss = flags.get_double("loss", 0.0);
   const std::string algorithm = flags.get_string("algorithm", "alg3");
@@ -198,6 +203,11 @@ int main(int argc, char** argv) {
               network.links().size(), network.topology().arc_count());
 
   util::Table table({"metric", "value"});
+  auto report_throughput = [&](const auto& stats) {
+    table.row().cell("threads").cell(stats.threads_used);
+    table.row().cell("wall time (s)").cell(stats.elapsed_seconds, 3);
+    table.row().cell("trials/sec").cell(stats.trials_per_second(), 1);
+  };
   auto report_sync = [&](const runner::SyncTrialStats& stats, double bound,
                          const char* bound_name) {
     const auto summary = stats.completion_slots.summarize();
@@ -209,31 +219,44 @@ int main(int argc, char** argv) {
     table.row().cell("p95 slots").cell(summary.p95, 1);
     table.row().cell("max slots").cell(summary.max, 1);
     table.row().cell(bound_name).cell(bound, 0);
+    report_throughput(stats);
   };
 
   const auto radios = static_cast<unsigned>(flags.get_int("radios", 1));
   if (radios > 1) {
-    // Multi-radio Algorithm 3 (extension; cf. related work [19]).
+    // Multi-radio Algorithm 3 (extension; cf. related work [19]). Fanned
+    // out over the pool directly: outcomes land in per-trial slots and are
+    // reduced in trial order, same recipe as runner::run_sync_trials.
+    const auto max_slots = static_cast<std::uint64_t>(
+        flags.get_int("max-slots", 10'000'000));
+    const util::SeedSequence seeds(seed);
+    const auto factory = core::make_multi_radio_alg3(radios, delta_est);
+    std::vector<double> outcome_slots(trials, -1.0);  // -1 = incomplete
+    util::ThreadPool pool(threads == 0 ? runner::default_trial_threads()
+                                       : threads);
+    pool.parallel_for(trials, [&](std::size_t t) {
+      sim::MultiRadioEngineConfig engine;
+      engine.max_slots = max_slots;
+      engine.seed = seeds.derive(t);
+      const auto result =
+          sim::run_multi_radio_engine(network, factory, engine);
+      if (result.complete) {
+        outcome_slots[t] = static_cast<double>(result.completion_slot);
+      }
+    });
     util::RunningStats slots;
     std::size_t completed = 0;
-    const util::SeedSequence seeds(seed);
-    for (std::size_t t = 0; t < trials; ++t) {
-      sim::MultiRadioEngineConfig engine;
-      engine.max_slots = static_cast<std::uint64_t>(
-          flags.get_int("max-slots", 10'000'000));
-      engine.seed = seeds.derive(t);
-      const auto result = sim::run_multi_radio_engine(
-          network, core::make_multi_radio_alg3(radios, delta_est), engine);
-      if (result.complete) {
-        ++completed;
-        slots.add(static_cast<double>(result.completion_slot));
-      }
+    for (const double s : outcome_slots) {
+      if (s < 0.0) continue;
+      ++completed;
+      slots.add(s);
     }
     table.row().cell("radios").cell(static_cast<std::size_t>(radios));
     table.row().cell("trials").cell(trials);
     table.row().cell("completed").cell(completed);
     table.row().cell("mean slots").cell(slots.mean(), 1);
     table.row().cell("max slots").cell(slots.max(), 1);
+    table.row().cell("threads").cell(pool.size());
     std::printf("\n%s", table.render().c_str());
     return 0;
   }
@@ -242,6 +265,7 @@ int main(int argc, char** argv) {
     runner::AsyncTrialConfig trial;
     trial.trials = trials;
     trial.seed = seed;
+    trial.threads = threads;
     trial.engine.frame_length = flags.get_double("frame-length", 3.0);
     trial.engine.max_real_time = 1e8;
     trial.engine.loss_probability = loss;
@@ -269,10 +293,12 @@ int main(int argc, char** argv) {
     table.row().cell("p95 full frames").cell(frames.p95, 1);
     table.row().cell("thm9 frame bound")
         .cell(core::theorem9_frame_bound(params), 0);
+    report_throughput(stats);
   } else {
     runner::SyncTrialConfig trial;
     trial.trials = trials;
     trial.seed = seed;
+    trial.threads = threads;
     trial.engine.max_slots = static_cast<std::uint64_t>(
         flags.get_int("max-slots", 10'000'000));
     trial.engine.loss_probability = loss;

@@ -10,6 +10,7 @@
 //                               ; adaptive
 //   delta-est   = 8
 //   trials      = 30
+//   threads     = 0             ; trial fan-out: 0 = all cores, 1 = serial
 //   seed        = 1
 //   max-slots   = 1000000
 //   sweep-key   = overlap       ; any scenario key (see scenario_kv.hpp)
@@ -75,6 +76,8 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(ini.get_int("experiment", "delta-est", 8));
   const auto trials =
       static_cast<std::size_t>(ini.get_int("experiment", "trials", 30));
+  const auto threads =
+      static_cast<std::size_t>(ini.get_int("experiment", "threads", 0));
   const auto seed =
       static_cast<std::uint64_t>(ini.get_int("experiment", "seed", 1));
   const auto max_slots = static_cast<std::uint64_t>(
@@ -114,11 +117,14 @@ int main(int argc, char** argv) {
   auto csv_file = runner::open_results_csv(name);
   util::CsvWriter csv(csv_file);
   csv.header({"sweep_value", "success_rate", "mean_slots", "p50_slots",
-              "p95_slots"});
+              "p95_slots", "trials_per_sec"});
 
   util::Table table({sweep_key.empty() ? "run" : sweep_key, "success",
-                     "mean slots", "p50", "p95"});
+                     "mean slots", "p50", "p95", "trials/s"});
   std::vector<double> means;
+  double total_seconds = 0.0;
+  std::size_t total_trials = 0;
+  std::size_t threads_used = 1;
   for (const double value : sweep_values) {
     runner::ScenarioConfig scenario = base;
     if (!sweep_key.empty()) {
@@ -132,22 +138,34 @@ int main(int argc, char** argv) {
     runner::SyncTrialConfig trial;
     trial.trials = trials;
     trial.seed = seed;
+    trial.threads = threads;
     trial.engine.max_slots = max_slots;
     const auto stats =
         runner::run_sync_trials(network, make_factory(), trial);
     const auto summary = stats.completion_slots.summarize();
     means.push_back(summary.mean);
+    total_seconds += stats.elapsed_seconds;
+    total_trials += stats.trials;
+    threads_used = stats.threads_used;
     table.row()
         .cell(format_value(value))
         .cell(stats.success_rate(), 2)
         .cell(summary.mean, 1)
         .cell(summary.p50, 1)
-        .cell(summary.p95, 1);
+        .cell(summary.p95, 1)
+        .cell(stats.trials_per_second(), 1);
     csv.field(value).field(stats.success_rate()).field(summary.mean);
     csv.field(summary.p50).field(summary.p95);
+    csv.field(stats.trials_per_second());
     csv.end_row();
   }
   std::printf("\n%s", table.render().c_str());
+  std::printf("\n%zu trials in %.3f s (%.1f trials/s, %zu threads)\n",
+              total_trials, total_seconds,
+              total_seconds > 0.0
+                  ? static_cast<double>(total_trials) / total_seconds
+                  : 0.0,
+              threads_used);
 
   if (ini.get_int("experiment", "plot", 0) != 0 && sweep_values.size() > 1) {
     util::PlotOptions plot;
