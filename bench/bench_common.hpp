@@ -7,16 +7,29 @@
 //      table for the experiment and writes results/<exp>.csv.
 #pragma once
 
+#include <benchmark/benchmark.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <utility>
 
 #include "core/bounds.hpp"
 #include "net/network.hpp"
+#include "runner/report.hpp"
 #include "runner/trials.hpp"
 
 namespace m2hew::benchx {
+
+/// A scenario parameter recorded into the bench's JSON artifact. Values
+/// are kept as strings; numeric parameters are formatted by the caller.
+using BenchParam = std::pair<const char*, std::string>;
 
 /// Strips --threads=N from argv (call *before* benchmark::Initialize so it
 /// is not reported as unrecognized) and installs it as the process-wide
@@ -74,6 +87,96 @@ inline void print_trial_throughput() {
 /// Ratio formatter for "measured / bound" columns.
 [[nodiscard]] inline double ratio(double measured, double bound) {
   return bound == 0.0 ? 0.0 : measured / bound;
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+[[nodiscard]] inline std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Writes results/BENCH_<id>.json: the machine-readable artifact for one
+/// bench run — scenario parameters, per-run completion statistics (from
+/// runner::trial_run_log(), in call order), and the binary's cumulative
+/// trials/sec. CI and the checked-in artifacts both come from this.
+inline void write_bench_json(const char* bench_id,
+                             std::initializer_list<BenchParam> params) {
+  std::filesystem::create_directories(runner::results_dir());
+  const std::string path =
+      runner::results_dir() + "/BENCH_" + bench_id + ".json";
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot open %s\n", path.c_str());
+    return;
+  }
+  out << "{\n  \"bench\": \"" << json_escape(bench_id) << "\",\n";
+  out << "  \"params\": {";
+  bool first = true;
+  for (const BenchParam& p : params) {
+    out << (first ? "\n" : ",\n") << "    \"" << json_escape(p.first)
+        << "\": \"" << json_escape(p.second) << "\"";
+    first = false;
+  }
+  out << (first ? "},\n" : "\n  },\n");
+  char buf[256];
+  out << "  \"runs\": [";
+  first = true;
+  for (const runner::TrialRunRecord& run : runner::trial_run_log()) {
+    std::snprintf(buf, sizeof buf,
+                  "{\"async\": %s, \"trials\": %zu, \"completed\": %zu, "
+                  "\"success_rate\": %.6g, \"mean_completion\": %.6g, "
+                  "\"p90_completion\": %.6g, \"elapsed_seconds\": %.6g, "
+                  "\"threads\": %zu}",
+                  run.async ? "true" : "false", run.trials, run.completed,
+                  run.success_rate(), run.mean_completion,
+                  run.p90_completion, run.elapsed_seconds, run.threads_used);
+    out << (first ? "\n" : ",\n") << "    " << buf;
+    first = false;
+  }
+  out << (first ? "],\n" : "\n  ],\n");
+  const runner::TrialThroughput totals = runner::trial_throughput_totals();
+  std::snprintf(buf, sizeof buf,
+                "  \"throughput\": {\"runs\": %zu, \"trials\": %zu, "
+                "\"busy_seconds\": %.6g, \"trials_per_second\": %.6g, "
+                "\"default_threads\": %zu}\n",
+                totals.runs, totals.trials, totals.busy_seconds,
+                totals.trials_per_second(), runner::default_trial_threads());
+  out << buf << "}\n";
+  std::printf("[artifact] wrote %s\n", path.c_str());
+}
+
+/// Shared main for every bench binary: strips --threads, runs the
+/// google-benchmark timed sections, then the reproduction section, then
+/// prints the throughput line and emits results/BENCH_<id>.json. `params`
+/// are the scenario parameters embedded in the artifact.
+inline int bench_main(int argc, char** argv, const char* bench_id,
+                      void (*reproduce)(),
+                      std::initializer_list<BenchParam> params = {}) {
+  strip_threads_flag(&argc, argv);
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  reproduce();
+  print_trial_throughput();
+  write_bench_json(bench_id, params);
+  return 0;
 }
 
 }  // namespace m2hew::benchx

@@ -121,11 +121,11 @@ void reproduce_table() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  m2hew::benchx::strip_threads_flag(&argc, argv);
-  ::benchmark::Initialize(&argc, argv);
-  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  ::benchmark::RunSpecifiedBenchmarks();
-  reproduce_table();
-  m2hew::benchx::print_trial_throughput();
-  return 0;
+  return m2hew::benchx::bench_main(
+      argc, argv, "e10_unreliable_channels", reproduce_table,
+      {{"experiment", "E10"},
+       {"topology", "erdos_renyi n=12 p=0.5"},
+       {"universe", "8"},
+       {"set_size", "4"},
+       {"loss_q", "swept"}});
 }

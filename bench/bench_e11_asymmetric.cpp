@@ -122,11 +122,10 @@ void reproduce_table() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  m2hew::benchx::strip_threads_flag(&argc, argv);
-  ::benchmark::Initialize(&argc, argv);
-  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  ::benchmark::RunSpecifiedBenchmarks();
-  reproduce_table();
-  m2hew::benchx::print_trial_throughput();
-  return 0;
+  return m2hew::benchx::bench_main(
+      argc, argv, "e11_asymmetric", reproduce_table,
+      {{"experiment", "E11"},
+       {"topology", "erdos_renyi n=16 p=0.5 asymmetric"},
+       {"universe", "10"},
+       {"set_size", "4"}});
 }

@@ -117,11 +117,10 @@ void reproduce_table() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  m2hew::benchx::strip_threads_flag(&argc, argv);
-  ::benchmark::Initialize(&argc, argv);
-  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  ::benchmark::RunSpecifiedBenchmarks();
-  reproduce_table();
-  m2hew::benchx::print_trial_throughput();
-  return 0;
+  return m2hew::benchx::bench_main(
+      argc, argv, "e12_propagation", reproduce_table,
+      {{"experiment", "E12"},
+       {"topology", "clique n=10"},
+       {"channels", "homogeneous |U|=8"},
+       {"masks", "random swept"}});
 }

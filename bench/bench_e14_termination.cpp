@@ -136,11 +136,11 @@ void reproduce_table() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  m2hew::benchx::strip_threads_flag(&argc, argv);
-  ::benchmark::Initialize(&argc, argv);
-  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  ::benchmark::RunSpecifiedBenchmarks();
-  reproduce_table();
-  m2hew::benchx::print_trial_throughput();
-  return 0;
+  return m2hew::benchx::bench_main(
+      argc, argv, "e14_termination", reproduce_table,
+      {{"experiment", "E14"},
+       {"topology", "unit_disk n=16"},
+       {"universe", "8"},
+       {"set_size", "4"},
+       {"trials_per_row", "40"}});
 }

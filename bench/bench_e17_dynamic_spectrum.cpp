@@ -131,11 +131,11 @@ void reproduce_table() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  m2hew::benchx::strip_threads_flag(&argc, argv);
-  ::benchmark::Initialize(&argc, argv);
-  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  ::benchmark::RunSpecifiedBenchmarks();
-  reproduce_table();
-  m2hew::benchx::print_trial_throughput();
-  return 0;
+  return m2hew::benchx::bench_main(
+      argc, argv, "e17_dynamic_spectrum", reproduce_table,
+      {{"experiment", "E17"},
+       {"topology", "unit_disk n=14"},
+       {"universe", "6"},
+       {"primary_users", "10 period=300 duty swept"},
+       {"trials_per_row", "25"}});
 }

@@ -121,11 +121,10 @@ void reproduce_table() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  m2hew::benchx::strip_threads_flag(&argc, argv);
-  ::benchmark::Initialize(&argc, argv);
-  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  ::benchmark::RunSpecifiedBenchmarks();
-  reproduce_table();
-  m2hew::benchx::print_trial_throughput();
-  return 0;
+  return m2hew::benchx::bench_main(
+      argc, argv, "e19_admissible_density", reproduce_table,
+      {{"experiment", "E19"},
+       {"clocks", "piecewise_drift"},
+       {"frames_per_node", "600"},
+       {"instances_per_row", "40"}});
 }

@@ -196,11 +196,12 @@ void reproduce_table() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  m2hew::benchx::strip_threads_flag(&argc, argv);
-  ::benchmark::Initialize(&argc, argv);
-  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  ::benchmark::RunSpecifiedBenchmarks();
-  reproduce_table();
-  m2hew::benchx::print_trial_throughput();
-  return 0;
+  return m2hew::benchx::bench_main(
+      argc, argv, "e1_alg1_sync", reproduce_table,
+      {{"experiment", "E1"},
+       {"topology", "clique+ring"},
+       {"universe", "12"},
+       {"set_size", "4"},
+       {"delta_est", "16"},
+       {"epsilon", "0.1"}});
 }

@@ -119,11 +119,11 @@ void reproduce_table() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  m2hew::benchx::strip_threads_flag(&argc, argv);
-  ::benchmark::Initialize(&argc, argv);
-  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  ::benchmark::RunSpecifiedBenchmarks();
-  reproduce_table();
-  m2hew::benchx::print_trial_throughput();
-  return 0;
+  return m2hew::benchx::bench_main(
+      argc, argv, "e2_alg2_unknown_degree", reproduce_table,
+      {{"experiment", "E2"},
+       {"topology", "erdos_renyi p=0.4"},
+       {"universe", "10"},
+       {"set_size", "4"},
+       {"epsilon", "0.1"}});
 }

@@ -167,11 +167,11 @@ void reproduce_table() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  m2hew::benchx::strip_threads_flag(&argc, argv);
-  ::benchmark::Initialize(&argc, argv);
-  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  ::benchmark::RunSpecifiedBenchmarks();
-  reproduce_table();
-  m2hew::benchx::print_trial_throughput();
-  return 0;
+  return m2hew::benchx::bench_main(
+      argc, argv, "e3_alg3_variable_start", reproduce_table,
+      {{"experiment", "E3"},
+       {"topology", "unit_disk n=24"},
+       {"universe", "10"},
+       {"set_size", "4"},
+       {"epsilon", "0.1"}});
 }

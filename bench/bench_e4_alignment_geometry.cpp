@@ -176,11 +176,10 @@ void reproduce_table() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  m2hew::benchx::strip_threads_flag(&argc, argv);
-  ::benchmark::Initialize(&argc, argv);
-  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  ::benchmark::RunSpecifiedBenchmarks();
-  reproduce_table();
-  m2hew::benchx::print_trial_throughput();
-  return 0;
+  return m2hew::benchx::bench_main(
+      argc, argv, "e4_alignment_geometry", reproduce_table,
+      {{"experiment", "E4"},
+       {"clocks", "piecewise_drift"},
+       {"frame_length", "3"},
+       {"slots_per_frame", "3"}});
 }

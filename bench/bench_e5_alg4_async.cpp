@@ -200,11 +200,12 @@ void reproduce_table() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  m2hew::benchx::strip_threads_flag(&argc, argv);
-  ::benchmark::Initialize(&argc, argv);
-  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  ::benchmark::RunSpecifiedBenchmarks();
-  reproduce_table();
-  m2hew::benchx::print_trial_throughput();
-  return 0;
+  return m2hew::benchx::bench_main(
+      argc, argv, "e5_alg4_async", reproduce_table,
+      {{"experiment", "E5"},
+       {"topology", "unit_disk n=12"},
+       {"universe", "8"},
+       {"set_size", "4"},
+       {"frame_length", "3"},
+       {"epsilon", "0.1"}});
 }

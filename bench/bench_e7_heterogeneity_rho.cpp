@@ -154,11 +154,10 @@ void reproduce_table() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  m2hew::benchx::strip_threads_flag(&argc, argv);
-  ::benchmark::Initialize(&argc, argv);
-  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  ::benchmark::RunSpecifiedBenchmarks();
-  reproduce_table();
-  m2hew::benchx::print_trial_throughput();
-  return 0;
+  return m2hew::benchx::bench_main(
+      argc, argv, "e7_heterogeneity_rho", reproduce_table,
+      {{"experiment", "E7"},
+       {"topology", "line n=12"},
+       {"channels", "chain_overlap S=8"},
+       {"rho", "k/S swept"}});
 }

@@ -202,11 +202,11 @@ void reproduce_table() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  m2hew::benchx::strip_threads_flag(&argc, argv);
-  ::benchmark::Initialize(&argc, argv);
-  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  ::benchmark::RunSpecifiedBenchmarks();
-  reproduce_table();
-  m2hew::benchx::print_trial_throughput();
-  return 0;
+  return m2hew::benchx::bench_main(
+      argc, argv, "e9_coverage_probability", reproduce_table,
+      {{"experiment", "E9"},
+       {"topology", "clique n=5"},
+       {"universe", "6"},
+       {"set_size", "3"},
+       {"trials", "6000"}});
 }

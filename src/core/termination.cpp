@@ -25,6 +25,11 @@ sim::SlotAction TerminatingSyncPolicy::next_slot(util::Rng& rng) {
   return action;
 }
 
+void TerminatingSyncPolicy::observe_listen_outcome(
+    sim::ListenOutcome outcome) {
+  inner_->observe_listen_outcome(outcome);
+}
+
 void TerminatingSyncPolicy::observe_reception(net::NodeId from,
                                               bool first_time) {
   inner_->observe_reception(from, first_time);

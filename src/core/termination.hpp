@@ -30,6 +30,11 @@ class TerminatingSyncPolicy final : public sim::SyncPolicy {
 
   [[nodiscard]] sim::SlotAction next_slot(util::Rng& rng) override;
   void observe_reception(net::NodeId from, bool first_time) override;
+  /// Forwarded verbatim to the inner policy: a wrapper must relay every
+  /// observe_* callback or a feedback-driven inner policy (e.g. the
+  /// collision-detecting AdaptiveDegreePolicy) silently goes blind. The
+  /// termination decision itself only uses first-time receptions.
+  void observe_listen_outcome(sim::ListenOutcome outcome) override;
 
   [[nodiscard]] bool terminated() const noexcept { return terminated_; }
   /// Node-local slot index at which the node stopped (if it has).

@@ -60,15 +60,42 @@ void Network::build(const PropagationFilter* propagation) {
     std::sort(list.begin(), list.end());
   }
 
-  // Incoming-arc views (span pointers are stable: spans_ is fully built).
-  in_links_.assign(n, {});
-  for (std::size_t i = 0; i < arcs.size(); ++i) {
-    const auto& [from, to] = arcs[i];
-    in_links_[to].push_back({from, &spans_[i]});
+  // Flat CSR of incoming arcs (span pointers are stable: spans_ is fully
+  // built). Counting pass -> offsets, then fill each node's slice and sort
+  // it by source id.
+  in_link_offsets_.assign(n + 1, 0);
+  for (const auto& [from, to] : arcs) {
+    ++in_link_offsets_[to + 1];
   }
-  for (auto& list : in_links_) {
-    std::sort(list.begin(), list.end(),
-              [](const InLink& a, const InLink& b) { return a.from < b.from; });
+  for (NodeId u = 0; u < n; ++u) {
+    in_link_offsets_[u + 1] += in_link_offsets_[u];
+  }
+  in_links_flat_.assign(arcs.size(), InLink{});
+  {
+    std::vector<std::size_t> cursor(in_link_offsets_.begin(),
+                                    in_link_offsets_.end() - 1);
+    for (std::size_t i = 0; i < arcs.size(); ++i) {
+      const auto& [from, to] = arcs[i];
+      in_links_flat_[cursor[to]++] = {from, &spans_[i]};
+    }
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    std::sort(
+        in_links_flat_.begin() + static_cast<std::ptrdiff_t>(
+                                     in_link_offsets_[u]),
+        in_links_flat_.begin() + static_cast<std::ptrdiff_t>(
+                                     in_link_offsets_[u + 1]),
+        [](const InLink& a, const InLink& b) { return a.from < b.from; });
+  }
+
+  // Dense arc matrix for O(1) in_span() on the sizes the engines sweep.
+  if (n <= kDenseArcLimit) {
+    arc_matrix_.assign(static_cast<std::size_t>(n) * n, -1);
+    for (std::size_t i = 0; i < arcs.size(); ++i) {
+      const auto& [from, to] = arcs[i];
+      arc_matrix_[static_cast<std::size_t>(to) * n + from] =
+          static_cast<std::int32_t>(i);
+    }
   }
 
   for (NodeId u = 0; u < n; ++u) {
@@ -105,7 +132,22 @@ const ChannelSet& Network::span(NodeId from, NodeId to) const {
 
 std::span<const Network::InLink> Network::in_links(NodeId u) const {
   M2HEW_CHECK(u < node_count());
-  return in_links_[u];
+  return {in_links_flat_.data() + in_link_offsets_[u],
+          in_link_offsets_[u + 1] - in_link_offsets_[u]};
+}
+
+const ChannelSet* Network::in_span(NodeId from, NodeId to) const {
+  M2HEW_DCHECK(from < node_count() && to < node_count());
+  if (!arc_matrix_.empty()) {
+    const std::int32_t idx =
+        arc_matrix_[static_cast<std::size_t>(to) * node_count() + from];
+    return idx < 0 ? nullptr : &spans_[static_cast<std::size_t>(idx)];
+  }
+  const auto links = in_links(to);
+  const auto it = std::lower_bound(
+      links.begin(), links.end(), from,
+      [](const InLink& entry, NodeId key) { return entry.from < key; });
+  return it != links.end() && it->from == from ? it->span : nullptr;
 }
 
 double Network::span_ratio(Link link) const {

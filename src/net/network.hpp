@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <span>
 #include <vector>
@@ -65,7 +66,20 @@ class Network {
     NodeId from = kInvalidNode;
     const ChannelSet* span = nullptr;
   };
+  /// Incoming arcs of u, sorted by source id (a view into one flat
+  /// CSR-style array shared by all nodes).
   [[nodiscard]] std::span<const InLink> in_links(NodeId u) const;
+
+  /// span(from, to) if the arc from→to exists, nullptr otherwise. O(1)
+  /// through a dense arc matrix when node_count() <= kDenseArcLimit,
+  /// O(log indeg(to)) otherwise. This is the adjacency filter of the
+  /// engines' reception hot path: a listener resolves the per-channel
+  /// transmitter bucket against it instead of scanning all in-neighbors.
+  [[nodiscard]] const ChannelSet* in_span(NodeId from, NodeId to) const;
+
+  /// Largest node count for which the dense O(1) arc matrix is built
+  /// (4 MiB of int32 at the limit; DiscoveryState is O(N²) anyway).
+  static constexpr std::size_t kDenseArcLimit = 1024;
 
   /// |span(from, to)| / |A(to)| for a discovery link.
   [[nodiscard]] double span_ratio(Link link) const;
@@ -98,9 +112,15 @@ class Network {
 
   // Per-arc spans, parallel to topology_.arcs().
   std::vector<ChannelSet> spans_;
-  // Per-node incoming arcs with span pointers (into spans_), sorted by
-  // source id; used by the engines' reception loops.
-  std::vector<std::vector<InLink>> in_links_;
+  // Flat in-neighbor adjacency (CSR): node u's incoming arcs, with span
+  // pointers into spans_, live in
+  // in_links_flat_[in_link_offsets_[u] .. in_link_offsets_[u+1]), sorted
+  // by source id; used by the engines' reception loops.
+  std::vector<InLink> in_links_flat_;
+  std::vector<std::size_t> in_link_offsets_;
+  // Dense (to, from) -> index into spans_ matrix (-1 = no arc), built only
+  // for node counts up to kDenseArcLimit; makes in_span() O(1).
+  std::vector<std::int32_t> arc_matrix_;
   // Per-node sorted (source, arc index) pairs for O(log indeg) lookup.
   std::vector<std::vector<std::pair<NodeId, std::size_t>>> arc_index_of_;
   std::vector<Link> links_;

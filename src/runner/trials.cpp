@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <mutex>
 #include <vector>
 
 #include "util/rng.hpp"
@@ -26,6 +27,37 @@ void record_run(std::size_t trials, double seconds) noexcept {
   while (!g_total_busy_seconds.compare_exchange_weak(
       seen, seen + seconds, std::memory_order_relaxed)) {
   }
+}
+
+// Per-run log for the bench JSON artifacts; run_*_trials may be invoked
+// from several threads, so the vector is mutex-guarded.
+std::mutex g_run_log_mutex;
+std::vector<TrialRunRecord>& run_log() {
+  static std::vector<TrialRunRecord> log;
+  return log;
+}
+
+void append_run_record(TrialRunRecord record) {
+  const std::lock_guard<std::mutex> lock(g_run_log_mutex);
+  run_log().push_back(record);
+}
+
+/// Builds the log entry shared by both runners from the aggregate stats.
+template <typename Stats>
+[[nodiscard]] TrialRunRecord make_run_record(const Stats& stats, bool async,
+                                             const util::Samples& completion) {
+  TrialRunRecord record;
+  record.async = async;
+  record.trials = stats.trials;
+  record.completed = stats.completed;
+  if (stats.completed > 0) {
+    const util::Summary summary = completion.summarize();
+    record.mean_completion = summary.mean;
+    record.p90_completion = summary.p90;
+  }
+  record.elapsed_seconds = stats.elapsed_seconds;
+  record.threads_used = stats.threads_used;
+  return record;
 }
 
 using Clock = std::chrono::steady_clock;
@@ -79,6 +111,11 @@ TrialThroughput trial_throughput_totals() noexcept {
   return totals;
 }
 
+std::vector<TrialRunRecord> trial_run_log() {
+  const std::lock_guard<std::mutex> lock(g_run_log_mutex);
+  return run_log();
+}
+
 SyncTrialStats run_sync_trials(const net::Network& network,
                                const sim::SyncPolicyFactory& factory,
                                const SyncTrialConfig& config) {
@@ -119,6 +156,8 @@ SyncTrialStats run_sync_trials(const net::Network& network,
   }
   stats.elapsed_seconds = seconds_since(start);
   record_run(stats.trials, stats.elapsed_seconds);
+  append_run_record(
+      make_run_record(stats, /*async=*/false, stats.completion_slots));
   return stats;
 }
 
@@ -170,6 +209,8 @@ AsyncTrialStats run_async_trials(const net::Network& network,
   }
   stats.elapsed_seconds = seconds_since(start);
   record_run(stats.trials, stats.elapsed_seconds);
+  append_run_record(
+      make_run_record(stats, /*async=*/true, stats.completion_after_ts));
   return stats;
 }
 

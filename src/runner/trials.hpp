@@ -40,6 +40,31 @@ struct TrialThroughput {
 };
 [[nodiscard]] TrialThroughput trial_throughput_totals() noexcept;
 
+/// One completed run_sync_trials / run_async_trials call. The process
+/// keeps a log of these (in call order) so bench binaries can emit their
+/// completion statistics into the machine-readable BENCH_<id>.json
+/// artifact without per-bench wiring.
+struct TrialRunRecord {
+  bool async = false;
+  std::size_t trials = 0;
+  std::size_t completed = 0;
+  /// Mean / p90 of completion slots (sync) or completion-after-T_s
+  /// (async), over completed trials; zero when none completed.
+  double mean_completion = 0.0;
+  double p90_completion = 0.0;
+  double elapsed_seconds = 0.0;
+  std::size_t threads_used = 1;
+
+  [[nodiscard]] double success_rate() const noexcept {
+    return trials == 0 ? 0.0
+                       : static_cast<double>(completed) /
+                             static_cast<double>(trials);
+  }
+};
+
+/// Snapshot of every trial run executed by this process so far.
+[[nodiscard]] std::vector<TrialRunRecord> trial_run_log();
+
 /// Aggregate over synchronous trials.
 struct SyncTrialStats {
   std::size_t trials = 0;

@@ -34,6 +34,13 @@ struct NodeState {
   double start_time = 0.0;       // real time the node starts discovery
 };
 
+// One live transmit frame in the per-channel interval index: the frame
+// record is copied so the index never dangles into a pruned history.
+struct TxEntry {
+  net::NodeId sender = net::kInvalidNode;
+  FrameRecord frame;
+};
+
 enum class EventKind : unsigned char { kFrameEnd = 0, kFrameStart = 1 };
 
 struct Event {
@@ -70,6 +77,13 @@ AsyncEngineResult run_async_engine(const net::Network& network,
 
   std::vector<NodeState> nodes(n);
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue;
+
+  // Per-channel interval index of live transmit frames (indexed reception
+  // path): appended in event order — so sorted by frame start — and
+  // pruned from the front with the same retention horizon as the
+  // per-node histories.
+  std::vector<std::deque<TxEntry>> live_tx(
+      config.indexed_reception ? network.universe_size() : 0);
 
   double t_s = 0.0;
   for (net::NodeId u = 0; u < n; ++u) {
@@ -160,6 +174,17 @@ AsyncEngineResult run_async_engine(const net::Network& network,
       ++result.frames_started[ev.node];
       node.local_next += config.frame_length;
 
+      // Keep the transmit-frame index in step: insert the new live frame
+      // (a copy, so pruning a node's history never dangles the index) and
+      // drop entries that no retained listening frame can overlap.
+      if (config.indexed_reception && frame.mode == Mode::kTransmit) {
+        std::deque<TxEntry>& live = live_tx[frame.channel];
+        while (!live.empty() && live.front().frame.end < horizon) {
+          live.pop_front();
+        }
+        live.push_back({ev.node, frame});
+      }
+
       if (frame.mode == Mode::kReceive) {
         queue.push({frame.end, EventKind::kFrameEnd, ev.node, seq});
       }
@@ -183,22 +208,53 @@ AsyncEngineResult run_async_engine(const net::Network& network,
       const FrameRecord* frame;
     };
     std::vector<Burst> bursts;
-    for (const net::Network::InLink& in : network.in_links(u)) {
-      if (!in.span->contains(c)) continue;
-      for (const FrameRecord& f : nodes[in.from].history) {
-        if (f.mode != Mode::kTransmit || f.channel != c) continue;
-        if (f.start < g.end && f.end > g.start) {
-          bursts.push_back({in.from, &f});
+    if (config.indexed_reception) {
+      // Touch only live transmissions on c: prune the channel's index to
+      // the retention horizon, filter by overlap and the flat in-neighbor
+      // adjacency, then sort into the reference path's (sender id, frame
+      // start) order so callbacks and loss_rng draws are bit-identical.
+      std::deque<TxEntry>& live = live_tx[c];
+      const double horizon = ev.time - 4.0 * max_frame_real_len;
+      while (!live.empty() && live.front().frame.end < horizon) {
+        live.pop_front();
+      }
+      for (const TxEntry& entry : live) {
+        if (entry.sender == u) continue;
+        if (entry.frame.start >= g.end || entry.frame.end <= g.start) {
+          continue;
+        }
+        const net::ChannelSet* span = network.in_span(entry.sender, u);
+        if (span == nullptr || !span->contains(c)) continue;
+        bursts.push_back({entry.sender, &entry.frame});
+      }
+      std::sort(bursts.begin(), bursts.end(),
+                [](const Burst& a, const Burst& b) {
+                  return a.sender != b.sender
+                             ? a.sender < b.sender
+                             : a.frame->start < b.frame->start;
+                });
+    } else {
+      for (const net::Network::InLink& in : network.in_links(u)) {
+        if (!in.span->contains(c)) continue;
+        for (const FrameRecord& f : nodes[in.from].history) {
+          if (f.mode != Mode::kTransmit || f.channel != c) continue;
+          if (f.start < g.end && f.end > g.start) {
+            bursts.push_back({in.from, &f});
+          }
         }
       }
     }
 
     // Whether sender `who` actually emits during slot j of frame f: under
-    // dynamic interference, a jammed transmitter vacates that slot.
+    // dynamic interference, a jammed transmitter vacates that slot. The
+    // PU field is sampled at the slot midpoint — the same instant the
+    // listener side samples below — so both ends of a link always agree
+    // about one interference burst.
     auto slot_transmitted = [&config](net::NodeId who, const FrameRecord& f,
                                       unsigned j) {
       if (!config.interference) return true;
-      return !config.interference(f.bounds[j], who, f.channel);
+      return !config.interference((f.bounds[j] + f.bounds[j + 1]) / 2.0, who,
+                                  f.channel);
     };
     // Whether any non-suppressed slot of `other` overlaps (s0, s1).
     auto burst_interferes = [&](const Burst& other, double s0, double s1) {

@@ -41,13 +41,25 @@ struct AsyncEngineConfig {
   /// Probability that an otherwise-clear slot reception is lost.
   double loss_probability = 0.0;
   /// Optional dynamic primary-user interference, queried in *real time*:
-  /// returns true iff a PU is active at (time, node, channel). A
-  /// transmitted slot is suppressed when the transmitter is jammed at the
-  /// slot's start (sensing precedes each slot); a reception fails when the
-  /// receiver is jammed at the candidate slot's midpoint. PU activity is
-  /// assumed roughly constant over one slot (periods ≫ L/3).
+  /// returns true iff a PU is active at (time, node, channel). Both sides
+  /// of a link sample the same instant — the slot's midpoint: a
+  /// transmitted slot is suppressed when the transmitter is jammed at its
+  /// midpoint, and a reception fails when the receiver is jammed at the
+  /// candidate slot's midpoint — so a burst can never be seen by one end
+  /// of a link and missed by the other. PU activity is assumed roughly
+  /// constant over one slot (periods ≫ L/3).
   std::function<bool(double, net::NodeId, net::ChannelId)> interference;
   std::uint64_t seed = 1;
+  /// Reception-resolution strategy. true (default): a per-channel
+  /// interval index of live transmit frames, maintained incrementally as
+  /// frames start and pruned with the retention horizon, so resolving a
+  /// listening frame touches only actual transmissions on its channel.
+  /// false: the original rescan of every in-neighbor's entire retained
+  /// frame history, kept as the naive reference implementation for the
+  /// equivalence property test. Both paths are bit-identical by contract:
+  /// candidate transmit frames are processed in (sender id, frame start)
+  /// order, so policy callbacks, loss_rng draws and recorded times agree.
+  bool indexed_reception = true;
   bool stop_when_complete = true;
   /// Builds the clock for a node; default (null) = ideal clocks with zero
   /// offset. Seeded deterministically per node by the engine.

@@ -39,6 +39,12 @@ SlotEngineResult run_slot_engine(const net::Network& network,
                           DiscoveryState(network)};
   std::vector<SlotAction> actions(n);
 
+  // Per-channel transmitter buckets for the indexed reception path,
+  // allocated once and cleared per slot through the touched list.
+  std::vector<std::vector<net::NodeId>> buckets(
+      config.indexed_reception ? network.universe_size() : 0);
+  std::vector<net::ChannelId> touched;
+
   for (std::uint64_t slot = 0; slot < config.max_slots; ++slot) {
     ++result.slots_executed;
 
@@ -65,7 +71,11 @@ SlotEngineResult run_slot_engine(const net::Network& network,
       }
     }
 
+    // Radio accounting starts at the node's start slot: before that the
+    // node is not executing and its radio is off (E13's idle energy would
+    // otherwise be inflated for late starters).
     for (net::NodeId u = 0; u < n; ++u) {
+      if (slot < start_of(u)) continue;
       switch (actions[u].mode) {
         case Mode::kTransmit:
           ++result.activity[u].transmit;
@@ -76,6 +86,20 @@ SlotEngineResult run_slot_engine(const net::Network& network,
         case Mode::kQuiet:
           ++result.activity[u].quiet;
           break;
+      }
+    }
+
+    // One O(#transmitters) sweep groups this slot's (non-suppressed)
+    // transmitters by channel; each bucket is sorted by node id because
+    // the sweep runs in id order.
+    if (config.indexed_reception) {
+      for (const net::ChannelId c : touched) buckets[c].clear();
+      touched.clear();
+      for (net::NodeId u = 0; u < n; ++u) {
+        if (actions[u].mode != Mode::kTransmit) continue;
+        std::vector<net::NodeId>& bucket = buckets[actions[u].channel];
+        if (bucket.empty()) touched.push_back(actions[u].channel);
+        bucket.push_back(u);
       }
     }
 
@@ -95,14 +119,31 @@ SlotEngineResult run_slot_engine(const net::Network& network,
 
       net::NodeId sender = net::kInvalidNode;
       bool collision = false;
-      for (const net::Network::InLink& in : network.in_links(u)) {
-        if (actions[in.from].mode == Mode::kTransmit &&
-            actions[in.from].channel == c && in.span->contains(c)) {
+      if (config.indexed_reception) {
+        // Resolve against only this channel's transmitters, filtered by
+        // the flat in-neighbor adjacency, early-exiting at the second
+        // matching sender. Every bucket entry already transmits on c, so
+        // the match set — and therefore sender/collision — is identical
+        // to the reference scan below.
+        for (const net::NodeId v : buckets[c]) {
+          const net::ChannelSet* span = network.in_span(v, u);
+          if (span == nullptr || !span->contains(c)) continue;
           if (sender != net::kInvalidNode) {
             collision = true;
             break;
           }
-          sender = in.from;
+          sender = v;
+        }
+      } else {
+        for (const net::Network::InLink& in : network.in_links(u)) {
+          if (actions[in.from].mode == Mode::kTransmit &&
+              actions[in.from].channel == c && in.span->contains(c)) {
+            if (sender != net::kInvalidNode) {
+              collision = true;
+              break;
+            }
+            sender = in.from;
+          }
         }
       }
       if (collision) {

@@ -40,6 +40,17 @@ struct SlotEngineConfig {
   InterferenceSchedule interference;
   /// Root seed; node RNGs are derived as (seed, node).
   std::uint64_t seed = 1;
+  /// Reception-resolution strategy. true (default): one O(#transmitters)
+  /// sweep per slot groups transmitters into per-channel buckets and each
+  /// listener resolves against only its channel's bucket through
+  /// net::Network::in_span(). false: the original per-listener scan over
+  /// all in-neighbors, kept as the naive reference implementation for the
+  /// equivalence property test (tests/engine_equivalence_test.cpp).
+  /// Both paths are bit-identical by contract: same policy-callback order
+  /// (listeners in node-id order, one listen outcome per listening slot)
+  /// and same loss_rng draw order (one draw per otherwise-clear
+  /// reception, in listener order).
+  bool indexed_reception = true;
   /// Stop as soon as discovery completes (otherwise run the full budget).
   bool stop_when_complete = true;
   /// Optional observer invoked on every clear reception:
@@ -54,8 +65,9 @@ struct SlotEngineResult {
   /// covered; meaningful only if complete.
   std::uint64_t completion_slot = 0;
   std::uint64_t slots_executed = 0;
-  /// Per-node slot counts by radio mode over the whole run (slots before a
-  /// node's start count as quiet).
+  /// Per-node slot counts by radio mode from the node's start slot on
+  /// (slots before a node starts are not radio activity and are not
+  /// counted, so activity[u].total() can be less than slots_executed).
   std::vector<RadioActivity> activity;
   DiscoveryState state;
 };

@@ -93,6 +93,50 @@ TEST(AsyncInterference, PartialJamLeavesOtherSlotsUsable) {
   EXPECT_DOUBLE_EQ(result.state.first_coverage_time({0, 1}), 2.0);
 }
 
+TEST(AsyncInterference, NarrowBurstAtSlotStartDoesNotSuppress) {
+  // Regression: transmitter-side suppression used to sample the slot
+  // *start* while the listener sampled the *midpoint*, so one narrow PU
+  // burst could make the two sides of a link disagree. Both now sample
+  // the midpoint: a burst over [0, 0.2) at the transmitter leaves slot
+  // [0,1]'s midpoint clear, so the very first slot is transmitted and
+  // heard (the old start sample would have vacated it and pushed
+  // delivery to 2.0).
+  const net::Network network = pair_net();
+  sim::AsyncEngineConfig config;
+  config.frame_length = 3.0;
+  config.max_real_time = 3.5;
+  config.stop_when_complete = false;
+  config.interference = [](double t, net::NodeId node, net::ChannelId c) {
+    return node == 0 && c == 0 && t < 0.2;
+  };
+  const auto result =
+      sim::run_async_engine(network, fixed({kTx0, kRx0}), config);
+  ASSERT_TRUE(result.state.is_covered({0, 1}));
+  EXPECT_DOUBLE_EQ(result.state.first_coverage_time({0, 1}), 1.0);
+}
+
+TEST(AsyncInterference, MidSlotBurstSuppressesTransmitterAndListenerAlike) {
+  // A burst covering slot [0,1]'s midpoint — whether observed at the
+  // transmitter or the listener — kills exactly that slot on both sides;
+  // delivery lands via the untouched slot [1,2].
+  const net::Network network = pair_net();
+  for (const net::NodeId jammed : {net::NodeId{0}, net::NodeId{1}}) {
+    sim::AsyncEngineConfig config;
+    config.frame_length = 3.0;
+    config.max_real_time = 3.5;
+    config.stop_when_complete = false;
+    config.interference = [jammed](double t, net::NodeId node,
+                                   net::ChannelId c) {
+      return node == jammed && c == 0 && t >= 0.4 && t < 0.6;
+    };
+    const auto result =
+        sim::run_async_engine(network, fixed({kTx0, kRx0}), config);
+    ASSERT_TRUE(result.state.is_covered({0, 1})) << "jammed " << jammed;
+    EXPECT_DOUBLE_EQ(result.state.first_coverage_time({0, 1}), 2.0)
+        << "jammed " << jammed;
+  }
+}
+
 TEST(AsyncInterference, JammedInterfererDoesNotCollide) {
   // Star: node 1 transmits cleanly; node 2 would collide but its
   // transmissions are suppressed by a PU at node 2 on channel 0.

@@ -60,7 +60,10 @@ TEST(SlotEngineEnergy, ModesAreCounted) {
   EXPECT_EQ(result.activity[2].quiet, 10u);
 }
 
-TEST(SlotEngineEnergy, PreStartSlotsCountAsQuiet) {
+TEST(SlotEngineEnergy, PreStartSlotsAreNotRadioActivity) {
+  // A node that starts at slot 4 has no radio before then: nothing — not
+  // even quiet slots — may be accounted, or idle energy (E13) is inflated
+  // for late starters.
   net::Topology t(2);
   t.add_edge(0, 1);
   const net::Network network(
@@ -75,9 +78,42 @@ TEST(SlotEngineEnergy, PreStartSlotsCountAsQuiet) {
     return std::make_unique<ConstPolicy>(SlotAction{Mode::kReceive, 0});
   };
   const auto result = run_slot_engine(network, factory, config);
-  EXPECT_EQ(result.activity[0].quiet, 4u);
+  EXPECT_EQ(result.activity[0].quiet, 0u);
   EXPECT_EQ(result.activity[0].receive, 6u);
+  EXPECT_EQ(result.activity[0].total(), 6u);
   EXPECT_EQ(result.activity[1].receive, 10u);
+}
+
+TEST(SlotEngineEnergy, VariableStartActivityTotalsMatchActiveSpans) {
+  // Mixed modes and staggered starts: each node's accounted activity is
+  // exactly the slots from its start to the budget, no more and no less.
+  net::Topology t(3);
+  t.add_edge(0, 1);
+  t.add_edge(1, 2);
+  const net::Network network(
+      std::move(t),
+      std::vector<net::ChannelSet>(3, net::ChannelSet(1, {0})));
+  SlotEngineConfig config;
+  config.max_slots = 12;
+  config.stop_when_complete = false;
+  config.start_slots = {0, 5, 11};
+  const SyncPolicyFactory factory = [](const net::Network&, net::NodeId u)
+      -> std::unique_ptr<SyncPolicy> {
+    const SlotAction actions[] = {{Mode::kTransmit, 0},
+                                  {Mode::kReceive, 0},
+                                  {Mode::kQuiet, net::kInvalidChannel}};
+    return std::make_unique<ConstPolicy>(actions[u]);
+  };
+  const auto result = run_slot_engine(network, factory, config);
+  ASSERT_EQ(result.slots_executed, 12u);
+  for (net::NodeId u = 0; u < 3; ++u) {
+    EXPECT_EQ(result.activity[u].total(),
+              result.slots_executed - config.start_slots[u])
+        << "node " << u;
+  }
+  EXPECT_EQ(result.activity[0].transmit, 12u);
+  EXPECT_EQ(result.activity[1].receive, 7u);
+  EXPECT_EQ(result.activity[2].quiet, 1u);
 }
 
 class ConstFramePolicy final : public AsyncPolicy {

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <vector>
 
+#include "core/adaptive.hpp"
 #include "core/algorithms.hpp"
 #include "net/topology_gen.hpp"
 #include "sim/slot_engine.hpp"
@@ -64,6 +66,50 @@ TEST(TerminatingSyncPolicy, SameSlotReceptionRescindsTermination) {
   policy.observe_reception(2, /*first_time=*/true);
   EXPECT_FALSE(policy.terminated());
   EXPECT_EQ(policy.next_slot(rng).mode, sim::Mode::kReceive);
+}
+
+TEST(TerminatingSyncPolicy, ForwardsListenOutcomesToInner) {
+  // Regression: the wrapper used to swallow observe_listen_outcome, so a
+  // collision-detecting inner policy wrapped by with_termination lost all
+  // silence/collision feedback.
+  class RecordingInner final : public sim::SyncPolicy {
+   public:
+    sim::SlotAction next_slot(util::Rng&) override {
+      return {sim::Mode::kReceive, 0};
+    }
+    void observe_listen_outcome(sim::ListenOutcome outcome) override {
+      outcomes.push_back(outcome);
+    }
+    std::vector<sim::ListenOutcome> outcomes;
+  };
+  auto owned = std::make_unique<RecordingInner>();
+  RecordingInner* inner = owned.get();
+  TerminatingSyncPolicy policy(std::move(owned), 100);
+  util::Rng rng(1);
+  (void)policy.next_slot(rng);
+  policy.observe_listen_outcome(sim::ListenOutcome::kCollision);
+  policy.observe_listen_outcome(sim::ListenOutcome::kSilence);
+  policy.observe_listen_outcome(sim::ListenOutcome::kClear);
+  ASSERT_EQ(inner->outcomes.size(), 3u);
+  EXPECT_EQ(inner->outcomes[0], sim::ListenOutcome::kCollision);
+  EXPECT_EQ(inner->outcomes[1], sim::ListenOutcome::kSilence);
+  EXPECT_EQ(inner->outcomes[2], sim::ListenOutcome::kClear);
+}
+
+TEST(TerminatingSyncPolicy, AdaptiveInnerStillAdaptsWhenWrapped) {
+  // Composition regression: an AdaptiveDegreePolicy under with_termination
+  // semantics must keep raising its estimate on observed collisions.
+  auto owned = std::make_unique<AdaptiveDegreePolicy>(
+      net::ChannelSet(2, {0, 1}));
+  AdaptiveDegreePolicy* adaptive = owned.get();
+  const std::size_t before = adaptive->current_estimate();
+  TerminatingSyncPolicy policy(std::move(owned), 1000);
+  util::Rng rng(1);
+  for (int i = 0; i < 20; ++i) {
+    (void)policy.next_slot(rng);
+    policy.observe_listen_outcome(sim::ListenOutcome::kCollision);
+  }
+  EXPECT_GT(adaptive->current_estimate(), before);
 }
 
 TEST(TerminatingAsyncPolicy, FrameCountedTermination) {
