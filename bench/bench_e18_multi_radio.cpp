@@ -15,6 +15,7 @@
 #include "core/multi_radio.hpp"
 #include "runner/report.hpp"
 #include "runner/scenario.hpp"
+#include "runner/trials.hpp"
 #include "util/ascii_plot.hpp"
 #include "util/csv.hpp"
 #include "util/rng.hpp"
@@ -73,20 +74,16 @@ void reproduce_table() {
   bool monotone = true;
   double previous = 1e300;
   for (const unsigned radios : {1u, 2u, 4u, 8u}) {
-    util::Samples slots;
-    constexpr std::size_t kTrials = 30;
-    const util::SeedSequence seeds(80 + radios);
-    for (std::size_t t = 0; t < kTrials; ++t) {
-      sim::MultiRadioEngineConfig engine;
-      engine.max_slots = 5'000'000;
-      engine.seed = seeds.derive(t);
-      const auto result = sim::run_multi_radio_engine(
-          network, core::make_multi_radio_alg3(radios, kDeltaEst), engine);
-      if (result.complete) {
-        slots.add(static_cast<double>(result.completion_slot));
-      }
-    }
-    const auto summary = slots.summarize();
+    // The root seed 80+radios reproduces the per-trial seeds of earlier
+    // revisions (the runner derives trial t's seed the same way), so the
+    // completion statistics are bit-identical to the direct-loop version.
+    runner::MultiRadioTrialConfig trial;
+    trial.trials = 30;
+    trial.seed = 80 + radios;
+    trial.engine.max_slots = 5'000'000;
+    const auto stats = runner::run_multi_radio_trials(
+        network, core::make_multi_radio_alg3(radios, kDeltaEst), trial);
+    const auto summary = stats.completion_slots.summarize();
     if (radios == 1) r1_mean = summary.mean;
     monotone &= summary.mean <= previous * 1.1;  // noise margin
     previous = summary.mean;

@@ -46,15 +46,15 @@ constexpr std::size_t kDeltaEst = 16;
 void randomize_starts(const net::Network& network, std::uint64_t spread,
                       std::uint64_t trial, sim::SlotEngineConfig& engine) {
   util::Rng rng(util::SeedSequence(4711).derive(trial, spread));
-  engine.start_slots.assign(network.node_count(), 0);
+  engine.starts.assign(network.node_count(), 0);
   std::uint64_t latest = 0;
   for (net::NodeId u = 0; u < network.node_count(); ++u) {
-    engine.start_slots[u] = spread == 0 ? 0 : rng.uniform(spread + 1);
-    latest = std::max(latest, engine.start_slots[u]);
+    engine.starts[u] = spread == 0 ? 0 : rng.uniform(spread + 1);
+    latest = std::max(latest, engine.starts[u]);
   }
   // Ensure the spread is actually realized so "slots after T_s" compares
   // like with like.
-  if (network.node_count() > 0) engine.start_slots[0] = spread;
+  if (network.node_count() > 0) engine.starts[0] = spread;
 }
 
 void BM_Alg3_Discover(benchmark::State& state) {

@@ -140,9 +140,9 @@ void reproduce_table() {
     trial.per_trial = [offset_frames, &network](
                           std::size_t t, sim::AsyncEngineConfig& engine) {
       util::Rng rng(util::SeedSequence(31).derive(t));
-      engine.start_times.assign(network.node_count(), 0.0);
+      engine.starts.assign(network.node_count(), 0.0);
       for (net::NodeId u = 0; u < network.node_count(); ++u) {
-        engine.start_times[u] =
+        engine.starts[u] =
             rng.uniform_double(0.0, offset_frames * kL + 1e-9);
       }
     };

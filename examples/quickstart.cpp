@@ -33,9 +33,9 @@ int main() {
   sim::SlotEngineConfig engine;
   engine.max_slots = 1'000'000;
   engine.seed = 42;
-  engine.start_slots.assign(network.node_count(), 0);
+  engine.starts.assign(network.node_count(), 0);
   for (net::NodeId u = 0; u < network.node_count(); ++u) {
-    engine.start_slots[u] = 5ull * u;
+    engine.starts[u] = 5ull * u;
   }
   const auto result =
       sim::run_slot_engine(network, core::make_algorithm3(8), engine);

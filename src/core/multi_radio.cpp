@@ -54,4 +54,37 @@ sim::MultiRadioPolicyFactory make_multi_radio_alg3(unsigned radios,
   };
 }
 
+SingleRadioSyncAdapter::SingleRadioSyncAdapter(
+    std::unique_ptr<sim::SyncPolicy> inner)
+    : inner_(std::move(inner)) {
+  M2HEW_CHECK_MSG(inner_ != nullptr, "adapter needs a policy");
+}
+
+std::vector<sim::SlotAction> SingleRadioSyncAdapter::next_slot(
+    util::Rng& rng) {
+  return {inner_->next_slot(rng)};
+}
+
+void SingleRadioSyncAdapter::observe_reception(unsigned radio,
+                                               net::NodeId from,
+                                               bool first_time) {
+  (void)radio;
+  inner_->observe_reception(from, first_time);
+}
+
+void SingleRadioSyncAdapter::observe_listen_outcome(
+    unsigned radio, sim::ListenOutcome outcome) {
+  (void)radio;
+  inner_->observe_listen_outcome(outcome);
+}
+
+sim::MultiRadioPolicyFactory as_multi_radio(sim::SyncPolicyFactory factory) {
+  M2HEW_CHECK_MSG(factory != nullptr, "as_multi_radio needs a factory");
+  return [factory = std::move(factory)](const net::Network& network,
+                                        net::NodeId u)
+             -> std::unique_ptr<sim::MultiRadioPolicy> {
+    return std::make_unique<SingleRadioSyncAdapter>(factory(network, u));
+  };
+}
+
 }  // namespace m2hew::core

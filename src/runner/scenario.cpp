@@ -1,5 +1,6 @@
 #include "runner/scenario.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "net/channel_assign.hpp"
@@ -200,6 +201,43 @@ std::string describe(const ScenarioConfig& c) {
     text += " prop=lowpass";
   }
   return text;
+}
+
+namespace {
+
+template <typename Time>
+[[nodiscard]] std::string describe_engine_knobs(
+    const sim::EngineCommon<Time>& engine) {
+  std::string text;
+  if (engine.loss_probability > 0.0) {
+    text += " loss=" + std::to_string(engine.loss_probability);
+  }
+  if (!engine.starts.empty()) {
+    Time max_start = Time{};
+    for (const Time start : engine.starts) {
+      max_start = std::max(max_start, start);
+    }
+    text += " starts=var(max=" + std::to_string(max_start) + ")";
+  }
+  if (engine.interference) {
+    text += " interference=dynamic";
+  }
+  if (!engine.indexed_reception) {
+    text += " reception=reference";
+  }
+  return text;
+}
+
+}  // namespace
+
+std::string describe(const ScenarioConfig& config,
+                     const sim::EngineCommon<std::uint64_t>& engine) {
+  return describe(config) + describe_engine_knobs(engine);
+}
+
+std::string describe(const ScenarioConfig& config,
+                     const sim::EngineCommon<double>& engine) {
+  return describe(config) + describe_engine_knobs(engine);
 }
 
 }  // namespace m2hew::runner

@@ -7,6 +7,7 @@
 
 #include "net/network.hpp"
 #include "net/types.hpp"
+#include "sim/engine_common.hpp"
 
 namespace m2hew::runner {
 
@@ -81,5 +82,15 @@ struct ScenarioConfig {
 
 /// One-line human-readable description for bench output.
 [[nodiscard]] std::string describe(const ScenarioConfig& config);
+
+/// Same, but also reporting the engine knobs that change the channel
+/// model — message loss, variable start schedules, dynamic interference
+/// and the reference reception path — so a bench line fully identifies
+/// its workload. Overloaded for the slotted and async time axes.
+[[nodiscard]] std::string describe(
+    const ScenarioConfig& config,
+    const sim::EngineCommon<std::uint64_t>& engine);
+[[nodiscard]] std::string describe(const ScenarioConfig& config,
+                                   const sim::EngineCommon<double>& engine);
 
 }  // namespace m2hew::runner

@@ -214,4 +214,46 @@ AsyncTrialStats run_async_trials(const net::Network& network,
   return stats;
 }
 
+MultiRadioTrialStats run_multi_radio_trials(
+    const net::Network& network, const sim::MultiRadioPolicyFactory& factory,
+    const MultiRadioTrialConfig& config) {
+  const auto start = Clock::now();
+  const util::SeedSequence seeds(config.seed);
+  MultiRadioTrialStats stats;
+  stats.trials = config.trials;
+  stats.threads_used = resolve_threads(config.threads, config.trials);
+
+  std::vector<sim::MultiRadioEngineConfig> engines;
+  engines.reserve(config.trials);
+  for (std::size_t t = 0; t < config.trials; ++t) {
+    engines.push_back(config.engine);
+    engines.back().seed = seeds.derive(t);
+    if (config.per_trial) config.per_trial(t, engines.back());
+  }
+
+  struct Outcome {
+    bool complete = false;
+    double completion_slot = 0.0;
+  };
+  std::vector<Outcome> outcomes(config.trials);
+  dispatch_trials(config.trials, stats.threads_used, [&](std::size_t t) {
+    const auto result =
+        sim::run_multi_radio_engine(network, factory, engines[t]);
+    outcomes[t] = {result.complete,
+                   static_cast<double>(result.completion_slot)};
+  });
+
+  stats.completion_slots.reserve(config.trials);
+  for (const Outcome& outcome : outcomes) {
+    if (!outcome.complete) continue;
+    ++stats.completed;
+    stats.completion_slots.add(outcome.completion_slot);
+  }
+  stats.elapsed_seconds = seconds_since(start);
+  record_run(stats.trials, stats.elapsed_seconds);
+  append_run_record(
+      make_run_record(stats, /*async=*/false, stats.completion_slots));
+  return stats;
+}
+
 }  // namespace m2hew::runner

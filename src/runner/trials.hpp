@@ -13,6 +13,7 @@
 
 #include "net/network.hpp"
 #include "sim/async_engine.hpp"
+#include "sim/multi_radio_engine.hpp"
 #include "sim/slot_engine.hpp"
 #include "util/stats.hpp"
 
@@ -147,5 +148,23 @@ struct AsyncTrialConfig {
 [[nodiscard]] AsyncTrialStats run_async_trials(
     const net::Network& network, const sim::AsyncPolicyFactory& factory,
     const AsyncTrialConfig& config);
+
+/// Multi-radio trials aggregate the same quantities as synchronous ones
+/// (the engine is slotted), so the stats type is shared.
+using MultiRadioTrialStats = SyncTrialStats;
+
+struct MultiRadioTrialConfig {
+  std::size_t trials = 30;
+  std::uint64_t seed = 1;
+  sim::MultiRadioEngineConfig engine;
+  /// Serial, trial-ordered hook; see SyncTrialConfig::per_trial.
+  std::function<void(std::size_t, sim::MultiRadioEngineConfig&)> per_trial;
+  /// Worker threads; see SyncTrialConfig::threads.
+  std::size_t threads = 0;
+};
+
+[[nodiscard]] MultiRadioTrialStats run_multi_radio_trials(
+    const net::Network& network, const sim::MultiRadioPolicyFactory& factory,
+    const MultiRadioTrialConfig& config);
 
 }  // namespace m2hew::runner

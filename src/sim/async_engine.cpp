@@ -5,6 +5,7 @@
 #include <deque>
 #include <queue>
 
+#include "sim/trial_setup.hpp"
 #include "util/check.hpp"
 
 namespace m2hew::sim {
@@ -25,8 +26,6 @@ struct FrameRecord {
 
 struct NodeState {
   std::unique_ptr<Clock> clock;
-  std::unique_ptr<AsyncPolicy> policy;
-  util::Rng rng{0};
   double local_next = 0.0;       // local time of the next frame start
   std::uint64_t next_seq = 0;    // sequence number of the next frame
   std::uint64_t base_seq = 0;    // sequence number of history.front()
@@ -68,12 +67,9 @@ AsyncEngineResult run_async_engine(const net::Network& network,
   M2HEW_CHECK(config.frame_length > 0.0);
   M2HEW_CHECK(config.slots_per_frame >= 1 &&
               config.slots_per_frame <= kMaxSlotsPerFrame);
-  M2HEW_CHECK(config.start_times.empty() || config.start_times.size() == n);
-  M2HEW_CHECK(config.loss_probability >= 0.0 &&
-              config.loss_probability < 1.0);
+  validate_engine_common(config, n);
 
-  const util::SeedSequence seeds(config.seed);
-  util::Rng loss_rng(seeds.derive(static_cast<std::uint64_t>(n) + 1));
+  TrialSetup<AsyncPolicy> setup(network, factory, config.seed);
 
   std::vector<NodeState> nodes(n);
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue;
@@ -88,16 +84,12 @@ AsyncEngineResult run_async_engine(const net::Network& network,
   double t_s = 0.0;
   for (net::NodeId u = 0; u < n; ++u) {
     NodeState& node = nodes[u];
-    node.rng = util::Rng(seeds.derive(u));
-    node.policy = factory(network, u);
-    M2HEW_CHECK_MSG(node.policy != nullptr, "factory returned null");
-    const std::uint64_t clock_seed = seeds.derive(u, 0xC10C);
+    const std::uint64_t clock_seed = setup.seeds().derive(u, 0xC10C);
     node.clock = config.clock_builder
                      ? config.clock_builder(u, clock_seed)
                      : std::make_unique<IdealClock>(0.0);
     M2HEW_CHECK_MSG(node.clock != nullptr, "clock builder returned null");
-    node.start_time = config.start_times.empty() ? 0.0 : config.start_times[u];
-    M2HEW_CHECK(node.start_time >= 0.0);
+    node.start_time = start_of(config.starts, u);
     t_s = std::max(t_s, node.start_time);
     node.local_next = node.clock->local_at_real(node.start_time);
     queue.push({node.start_time, EventKind::kFrameStart, u, 0});
@@ -113,7 +105,8 @@ AsyncEngineResult run_async_engine(const net::Network& network,
 
   // History retention: a frame overlapping a just-ended listening frame g
   // started no earlier than g.start minus one (maximal) frame length. Track
-  // the longest real frame seen and keep a few multiples of it.
+  // the longest real frame seen and keep a few multiples of it
+  // (kHistoryHorizonFactor, shared with the live-transmit index).
   double max_frame_real_len = 0.0;
   double last_covered_time = 0.0;
 
@@ -144,26 +137,18 @@ AsyncEngineResult run_async_engine(const net::Network& network,
       max_frame_real_len =
           std::max(max_frame_real_len, frame.end - frame.start);
 
-      const FrameAction action = node.policy->next_frame(node.rng);
+      const FrameAction action = setup.policy(ev.node).next_frame(
+          setup.rng(ev.node));
       frame.mode = action.mode;
       frame.channel = action.channel;
       if (action.mode != Mode::kQuiet) {
         M2HEW_DCHECK(network.available(ev.node).contains(action.channel));
       }
-      switch (frame.mode) {
-        case Mode::kTransmit:
-          ++result.activity[ev.node].transmit;
-          break;
-        case Mode::kReceive:
-          ++result.activity[ev.node].receive;
-          break;
-        case Mode::kQuiet:
-          ++result.activity[ev.node].quiet;
-          break;
-      }
+      count_mode(result.activity[ev.node], frame.mode);
 
       // Prune history that can no longer overlap any live listening frame.
-      const double horizon = ev.time - 4.0 * max_frame_real_len;
+      const double horizon =
+          ev.time - kHistoryHorizonFactor * max_frame_real_len;
       while (!node.history.empty() && node.history.front().end < horizon) {
         node.history.pop_front();
         ++node.base_seq;
@@ -214,7 +199,8 @@ AsyncEngineResult run_async_engine(const net::Network& network,
       // adjacency, then sort into the reference path's (sender id, frame
       // start) order so callbacks and loss_rng draws are bit-identical.
       std::deque<TxEntry>& live = live_tx[c];
-      const double horizon = ev.time - 4.0 * max_frame_real_len;
+      const double horizon =
+          ev.time - kHistoryHorizonFactor * max_frame_real_len;
       while (!live.empty() && live.front().frame.end < horizon) {
         live.pop_front();
       }
@@ -294,7 +280,7 @@ AsyncEngineResult run_async_engine(const net::Network& network,
         }
         if (interfered) continue;
         if (config.loss_probability > 0.0 &&
-            loss_rng.bernoulli(config.loss_probability)) {
+            setup.loss_rng().bernoulli(config.loss_probability)) {
           continue;
         }
         const bool first_time =
@@ -302,15 +288,14 @@ AsyncEngineResult run_async_engine(const net::Network& network,
         if (first_time) {
           last_covered_time = std::max(last_covered_time, s1);
         }
-        node.policy->observe_reception(burst.sender, first_time);
+        setup.policy(u).observe_reception(burst.sender, first_time);
         break;  // one clear slot from this sender suffices
       }
     }
 
-    if (!result.complete && result.state.complete()) {
-      result.complete = true;
-      result.completion_time = last_covered_time;
-      if (config.stop_when_complete) break;
+    if (note_completion(result.state, result.complete, result.completion_time,
+                        last_covered_time, config.stop_when_complete)) {
+      break;
     }
   }
 

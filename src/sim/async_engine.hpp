@@ -12,6 +12,12 @@
 // completely within g and no other neighbor of u transmits on c during any
 // part of that slot. A transmitting node sends the same message in every
 // slot of its frame.
+//
+// Per-trial seeding and the common knobs (seed, loss, interference,
+// indexed_reception, stop_when_complete, starts) come from the shared
+// medium core (sim/engine_common.hpp, sim/trial_setup.hpp); the frame
+// overlap/burst resolution stays engine-specific because the async medium
+// is continuous, not slotted.
 #pragma once
 
 #include <cstdint>
@@ -23,44 +29,36 @@
 #include "sim/clock.hpp"
 #include "sim/discovery_state.hpp"
 #include "sim/energy.hpp"
+#include "sim/engine_common.hpp"
 #include "sim/policy.hpp"
 
 namespace m2hew::sim {
 
-struct AsyncEngineConfig {
+/// Engine-specific knobs on top of the shared core (see EngineCommon).
+/// `starts` entries are real times; `interference` is queried in *real
+/// time*. Both sides of a link sample the same instant — the slot's
+/// midpoint: a transmitted slot is suppressed when the transmitter is
+/// jammed at its midpoint, and a reception fails when the receiver is
+/// jammed at the candidate slot's midpoint — so a burst can never be seen
+/// by one end of a link and missed by the other. PU activity is assumed
+/// roughly constant over one slot (periods ≫ L/3). The async
+/// `indexed_reception` index is a per-channel interval index of live
+/// transmit frames, maintained incrementally as frames start and pruned
+/// with the shared retention horizon (kHistoryHorizonFactor), so
+/// resolving a listening frame touches only actual transmissions on its
+/// channel; the reference path rescans every in-neighbor's entire
+/// retained frame history. Both paths are bit-identical by contract:
+/// candidate transmit frames are processed in (sender id, frame start)
+/// order, so policy callbacks, loss-RNG draws and recorded times agree.
+struct AsyncEngineConfig : AsyncEngineCommon {
   /// Frame length L in local clock units.
   double frame_length = 1.0;
   /// Slots per frame; the paper's Algorithm 4 uses 3 (Lemma 7 depends on
   /// it). Exposed for the slot-count ablation in bench E5.
   unsigned slots_per_frame = 3;
-  /// Real time at which each node starts discovery (empty = all at 0).
-  std::vector<double> start_times;
   /// Hard budgets.
   double max_real_time = 1e12;
   std::uint64_t max_frames_per_node = 10'000'000;
-  /// Probability that an otherwise-clear slot reception is lost.
-  double loss_probability = 0.0;
-  /// Optional dynamic primary-user interference, queried in *real time*:
-  /// returns true iff a PU is active at (time, node, channel). Both sides
-  /// of a link sample the same instant — the slot's midpoint: a
-  /// transmitted slot is suppressed when the transmitter is jammed at its
-  /// midpoint, and a reception fails when the receiver is jammed at the
-  /// candidate slot's midpoint — so a burst can never be seen by one end
-  /// of a link and missed by the other. PU activity is assumed roughly
-  /// constant over one slot (periods ≫ L/3).
-  std::function<bool(double, net::NodeId, net::ChannelId)> interference;
-  std::uint64_t seed = 1;
-  /// Reception-resolution strategy. true (default): a per-channel
-  /// interval index of live transmit frames, maintained incrementally as
-  /// frames start and pruned with the retention horizon, so resolving a
-  /// listening frame touches only actual transmissions on its channel.
-  /// false: the original rescan of every in-neighbor's entire retained
-  /// frame history, kept as the naive reference implementation for the
-  /// equivalence property test. Both paths are bit-identical by contract:
-  /// candidate transmit frames are processed in (sender id, frame start)
-  /// order, so policy callbacks, loss_rng draws and recorded times agree.
-  bool indexed_reception = true;
-  bool stop_when_complete = true;
   /// Builds the clock for a node; default (null) = ideal clocks with zero
   /// offset. Seeded deterministically per node by the engine.
   std::function<std::unique_ptr<Clock>(net::NodeId, std::uint64_t)>

@@ -1,0 +1,130 @@
+// Shared engine-core configuration and bookkeeping (the channel-medium
+// core). The paper defines ONE channel semantics (§II); the three engines
+// (slot, async, multi-radio) differ only in how time is sliced. Everything
+// a trial needs regardless of the slicing lives here: the root seed, the
+// loss model, the dynamic primary-user field, the reception-resolution
+// strategy switch, the stop condition and the per-node start schedule —
+// plus the one validation routine and the activity/completion accounting
+// all engines share.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <type_traits>
+#include <vector>
+
+#include "net/types.hpp"
+#include "sim/discovery_state.hpp"
+#include "sim/energy.hpp"
+#include "sim/radio.hpp"
+#include "util/check.hpp"
+
+namespace m2hew::sim {
+
+/// Configuration shared by every engine, parameterized on the engine's
+/// time axis: `std::uint64_t` (global slot index) for the slotted engines,
+/// `double` (real time) for the asynchronous engine. Engine configs
+/// inherit from this, so common knobs read identically across engines
+/// (`config.loss_probability`, `config.starts`, ...).
+template <typename Time>
+struct EngineCommon {
+  using TimePoint = Time;
+
+  /// Root seed; node RNGs are derived as (seed, node) and the loss-model
+  /// stream as (seed, N+1) — see TrialSetup.
+  std::uint64_t seed = 1;
+
+  /// Probability that an otherwise-clear reception is lost (models
+  /// unreliable channels, §V extension (b)). 0 = reliable. A lost message
+  /// is reported to the listener as silence (signal below sensitivity).
+  double loss_probability = 0.0;
+
+  /// Optional dynamic primary-user interference, queried per
+  /// (time, node, channel). While active at a node on a channel: the
+  /// node's transmissions there are suppressed (spectrum sensing vacates
+  /// the channel) and listening there yields kCollision (PU noise). Null
+  /// = no external interference. Must be deterministic.
+  std::function<bool(Time, net::NodeId, net::ChannelId)> interference;
+
+  /// Reception-resolution strategy. true (default): resolve through the
+  /// per-channel transmitter index (SlotMedium for the slotted engines,
+  /// the live transmit-frame interval index for the async engine).
+  /// false: the original per-listener scan over all in-neighbors, kept as
+  /// the naive reference implementation for the equivalence property
+  /// tests. Both paths are bit-identical by contract — same policy
+  /// callback order and same loss-RNG draw order (see
+  /// docs/EXTENDING.md "Indexed reception & engine determinism").
+  bool indexed_reception = true;
+
+  /// Stop as soon as discovery completes (otherwise run the full budget).
+  bool stop_when_complete = true;
+
+  /// Per-node start schedule: global slot (slotted engines) or real time
+  /// (async engine) at which each node begins executing. Before its start
+  /// a node is silent and deaf and its radio is off. Empty = all nodes
+  /// start at 0.
+  std::vector<Time> starts;
+};
+
+/// The slotted engines' common config (slot, multi-radio).
+using SlotEngineCommon = EngineCommon<std::uint64_t>;
+/// The asynchronous engine's common config.
+using AsyncEngineCommon = EngineCommon<double>;
+
+/// The one validation routine for the shared knobs; every engine calls
+/// this in its M2HEW_CHECK preamble.
+template <typename Time>
+inline void validate_engine_common(const EngineCommon<Time>& config,
+                                   net::NodeId nodes) {
+  M2HEW_CHECK(config.starts.empty() || config.starts.size() == nodes);
+  M2HEW_CHECK(config.loss_probability >= 0.0 &&
+              config.loss_probability < 1.0);
+  if constexpr (std::is_floating_point_v<Time>) {
+    for (const Time start : config.starts) M2HEW_CHECK(start >= Time{0});
+  }
+}
+
+/// Start time of node `u` under a (possibly empty) start schedule.
+template <typename Time>
+[[nodiscard]] inline Time start_of(const std::vector<Time>& starts,
+                                   net::NodeId u) {
+  return starts.empty() ? Time{} : starts[u];
+}
+
+/// Folds one slot/frame action mode into a node's activity tally.
+inline void count_mode(RadioActivity& activity, Mode mode) {
+  switch (mode) {
+    case Mode::kTransmit:
+      ++activity.transmit;
+      break;
+    case Mode::kReceive:
+      ++activity.receive;
+      break;
+    case Mode::kQuiet:
+      ++activity.quiet;
+      break;
+  }
+}
+
+/// Completion accounting shared by all engines: latches (complete,
+/// completion) the first time the state covers every link and returns
+/// true iff the engine should stop now.
+template <typename Time>
+[[nodiscard]] inline bool note_completion(const DiscoveryState& state,
+                                          bool& complete, Time& completion,
+                                          Time now, bool stop_when_complete) {
+  if (complete || !state.complete()) return false;
+  complete = true;
+  completion = now;
+  return stop_when_complete;
+}
+
+/// History-retention horizon factor shared by the async engine's frame
+/// histories and its per-channel live-transmit index: entries ending
+/// before `now - kHistoryHorizonFactor × max frame length` can no longer
+/// overlap any unresolved listening frame and are pruned. A tighter
+/// factor can drop a transmit frame a still-unresolved listening frame
+/// overlaps (see docs/EXTENDING.md).
+inline constexpr double kHistoryHorizonFactor = 4.0;
+
+}  // namespace m2hew::sim

@@ -1,5 +1,7 @@
 #include "sim/multi_radio_engine.hpp"
 
+#include "sim/slot_medium.hpp"
+#include "sim/trial_setup.hpp"
 #include "util/check.hpp"
 
 namespace m2hew::sim {
@@ -8,21 +10,21 @@ MultiRadioEngineResult run_multi_radio_engine(
     const net::Network& network, const MultiRadioPolicyFactory& factory,
     const MultiRadioEngineConfig& config) {
   const net::NodeId n = network.node_count();
-  const util::SeedSequence seeds(config.seed);
+  M2HEW_CHECK(config.max_slots >= 1);
+  validate_engine_common(config, n);
 
-  std::vector<util::Rng> rngs;
-  rngs.reserve(n);
-  std::vector<std::unique_ptr<MultiRadioPolicy>> policies;
-  policies.reserve(n);
+  TrialSetup<MultiRadioPolicy> setup(network, factory, config.seed);
   for (net::NodeId u = 0; u < n; ++u) {
-    rngs.emplace_back(seeds.derive(u));
-    policies.push_back(factory(network, u));
-    M2HEW_CHECK_MSG(policies.back() != nullptr, "factory returned null");
-    M2HEW_CHECK(policies.back()->radio_count() >= 1);
+    M2HEW_CHECK(setup.policy(u).radio_count() >= 1);
   }
 
-  MultiRadioEngineResult result{false, 0, 0, DiscoveryState(network)};
+  MultiRadioEngineResult result{false,
+                                0,
+                                0,
+                                std::vector<RadioActivity>(n),
+                                DiscoveryState(network)};
   std::vector<std::vector<SlotAction>> actions(n);
+  SlotMedium medium(network.universe_size(), config.indexed_reception);
   // Per-node channel usage scratch for validating radio distinctness.
   std::vector<net::ChannelId> used;
 
@@ -30,8 +32,14 @@ MultiRadioEngineResult run_multi_radio_engine(
     ++result.slots_executed;
 
     for (net::NodeId u = 0; u < n; ++u) {
-      actions[u] = policies[u]->next_slot(rngs[u]);
-      M2HEW_CHECK_MSG(actions[u].size() == policies[u]->radio_count(),
+      if (slot < start_of(config.starts, u)) {
+        // Not started: all radios quiet, and the policy is not polled (its
+        // slot indices are node-local, as in the slot engine).
+        actions[u].assign(setup.policy(u).radio_count(), SlotAction{});
+        continue;
+      }
+      actions[u] = setup.policy(u).next_slot(setup.rng(u));
+      M2HEW_CHECK_MSG(actions[u].size() == setup.policy(u).radio_count(),
                       "policy returned wrong radio count");
       used.clear();
       for (const SlotAction& action : actions[u]) {
@@ -45,36 +53,98 @@ MultiRadioEngineResult run_multi_radio_engine(
       }
     }
 
-    // Reception per listening radio.
-    for (net::NodeId u = 0; u < n; ++u) {
-      for (const SlotAction& mine : actions[u]) {
-        if (mine.mode != Mode::kReceive) continue;
-        const net::ChannelId c = mine.channel;
-        net::NodeId sender = net::kInvalidNode;
-        bool collision = false;
-        for (const net::Network::InLink& in : network.in_links(u)) {
-          if (!in.span->contains(c)) continue;
-          for (const SlotAction& theirs : actions[in.from]) {
-            if (theirs.mode != Mode::kTransmit || theirs.channel != c) {
-              continue;
-            }
-            if (sender != net::kInvalidNode) {
-              collision = true;
-              break;
-            }
-            sender = in.from;
+    // Transmissions on a channel with active primary-user interference at
+    // the transmitter are suppressed (the node senses the PU and vacates,
+    // idling that radio for the slot).
+    if (config.interference) {
+      for (net::NodeId u = 0; u < n; ++u) {
+        for (SlotAction& action : actions[u]) {
+          if (action.mode == Mode::kTransmit &&
+              config.interference(slot, u, action.channel)) {
+            action.mode = Mode::kQuiet;
           }
-          if (collision) break;
         }
-        if (collision || sender == net::kInvalidNode) continue;
-        result.state.record_reception(sender, u, static_cast<double>(slot));
       }
     }
 
-    if (!result.complete && result.state.complete()) {
-      result.complete = true;
-      result.completion_slot = slot;
-      if (config.stop_when_complete) break;
+    // Radio accounting starts at the node's start slot, one count per
+    // radio per slot.
+    for (net::NodeId u = 0; u < n; ++u) {
+      if (slot < start_of(config.starts, u)) continue;
+      for (const SlotAction& action : actions[u]) {
+        count_mode(result.activity[u], action.mode);
+      }
+    }
+
+    // One sweep groups this slot's (non-suppressed) transmitting radios by
+    // channel; the sweep runs in node id order so each bucket stays
+    // id-sorted (distinct-channel validation guarantees a node appears at
+    // most once per bucket).
+    if (config.indexed_reception) {
+      medium.begin_slot();
+      for (net::NodeId u = 0; u < n; ++u) {
+        for (const SlotAction& action : actions[u]) {
+          if (action.mode != Mode::kTransmit) continue;
+          medium.add_transmitter(action.channel, u);
+        }
+      }
+    }
+
+    // Reception resolution, per listening radio in (node id, radio index)
+    // order — the slot engine's listener order, so with one radio per node
+    // the policy callbacks and loss-RNG draws are bit-identical to
+    // run_slot_engine.
+    for (net::NodeId u = 0; u < n; ++u) {
+      for (unsigned r = 0; r < actions[u].size(); ++r) {
+        const SlotAction& mine = actions[u][r];
+        if (mine.mode != Mode::kReceive) continue;
+        const net::ChannelId c = mine.channel;
+
+        // Active primary-user noise at the listener drowns the channel.
+        if (config.interference && config.interference(slot, u, c)) {
+          setup.policy(u).observe_listen_outcome(r, ListenOutcome::kCollision);
+          continue;
+        }
+
+        const SlotMedium::Resolution heard =
+            config.indexed_reception
+                ? medium.resolve(network, u, c)
+                : SlotMedium::resolve_reference(
+                      network, u, c, [&](net::NodeId v) {
+                        for (const SlotAction& theirs : actions[v]) {
+                          if (theirs.mode == Mode::kTransmit &&
+                              theirs.channel == c) {
+                            return true;
+                          }
+                        }
+                        return false;
+                      });
+        if (heard.collision) {
+          setup.policy(u).observe_listen_outcome(r, ListenOutcome::kCollision);
+          continue;
+        }
+        if (heard.sender == net::kInvalidNode) {
+          setup.policy(u).observe_listen_outcome(r, ListenOutcome::kSilence);
+          continue;
+        }
+        if (config.loss_probability > 0.0 &&
+            setup.loss_rng().bernoulli(config.loss_probability)) {
+          setup.policy(u).observe_listen_outcome(r, ListenOutcome::kSilence);
+          continue;
+        }
+        const bool first_time = result.state.record_reception(
+            heard.sender, u, static_cast<double>(slot));
+        setup.policy(u).observe_listen_outcome(r, ListenOutcome::kClear);
+        setup.policy(u).observe_reception(r, heard.sender, first_time);
+        if (config.on_reception) {
+          config.on_reception(slot, heard.sender, u, c);
+        }
+      }
+    }
+
+    if (note_completion(result.state, result.complete, result.completion_slot,
+                        slot, config.stop_when_complete)) {
+      break;
     }
   }
   return result;

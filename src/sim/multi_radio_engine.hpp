@@ -3,12 +3,17 @@
 // paper's algorithms assume a single transceiver (§II); this engine
 // quantifies what extra interfaces buy (bench E18).
 //
-// Semantics per slot: every radio of every node independently transmits,
-// receives or idles on a channel. Radios of one node must be tuned to
-// distinct channels (no self-interference is modelled beyond that
-// constraint; ideal channel filters are assumed). A listening radio hears
-// a clear message iff exactly one radio among its node's in-neighbors
-// transmits on its channel.
+// Semantics per slot: every radio of every started node independently
+// transmits, receives or idles on a channel. Radios of one node must be
+// tuned to distinct channels (no self-interference is modelled beyond
+// that constraint; ideal channel filters are assumed). A listening radio
+// hears a clear message iff exactly one in-neighbor of its node transmits
+// on its channel over an arc carrying that channel — the §II semantics,
+// resolved per radio through the same SlotMedium as the single-radio slot
+// engine, with the same loss, primary-user interference, start-schedule
+// and indexed/reference machinery (see sim/engine_common.hpp). With
+// radio_count == 1 for every node this engine is bit-identical to
+// run_slot_engine (the engine-parity property test enforces it).
 #pragma once
 
 #include <cstdint>
@@ -18,6 +23,8 @@
 
 #include "net/network.hpp"
 #include "sim/discovery_state.hpp"
+#include "sim/energy.hpp"
+#include "sim/engine_common.hpp"
 #include "sim/radio.hpp"
 #include "util/rng.hpp"
 
@@ -25,27 +32,52 @@ namespace m2hew::sim {
 
 /// Per-slot policy for a node with a fixed number of radios. The returned
 /// vector must have exactly `radio_count` entries with pairwise-distinct
-/// channels among non-quiet entries.
+/// channels among non-quiet entries. Feedback mirrors SyncPolicy, tagged
+/// with the radio index it arrived on.
 class MultiRadioPolicy {
  public:
   virtual ~MultiRadioPolicy() = default;
   [[nodiscard]] virtual std::vector<SlotAction> next_slot(util::Rng& rng) = 0;
   [[nodiscard]] virtual unsigned radio_count() const = 0;
+  /// Called when radio `radio` clearly receives from `from`.
+  virtual void observe_reception(unsigned radio, net::NodeId from,
+                                 bool first_time) {
+    (void)radio;
+    (void)from;
+    (void)first_time;
+  }
+  /// Called once per listening radio per slot with what that radio heard.
+  virtual void observe_listen_outcome(unsigned radio, ListenOutcome outcome) {
+    (void)radio;
+    (void)outcome;
+  }
 };
 
 using MultiRadioPolicyFactory = std::function<std::unique_ptr<MultiRadioPolicy>(
     const net::Network&, net::NodeId)>;
 
-struct MultiRadioEngineConfig {
+/// Engine-specific knobs on top of the shared core (seed, loss,
+/// interference, indexed_reception, stop_when_complete, starts — see
+/// EngineCommon). `starts` entries are global slot indices, as in the
+/// single-radio slot engine.
+struct MultiRadioEngineConfig : SlotEngineCommon {
+  /// Hard budget on global slots simulated.
   std::uint64_t max_slots = 1'000'000;
-  std::uint64_t seed = 1;
-  bool stop_when_complete = true;
+  /// Optional observer invoked on every clear reception:
+  /// (global slot, sender, receiver, channel).
+  std::function<void(std::uint64_t, net::NodeId, net::NodeId, net::ChannelId)>
+      on_reception;
 };
 
 struct MultiRadioEngineResult {
   bool complete = false;
   std::uint64_t completion_slot = 0;
   std::uint64_t slots_executed = 0;
+  /// Per-node slot counts by radio mode from the node's start slot on,
+  /// summed over the node's radios (one count per radio per started slot,
+  /// so activity[u].total() == started slots × radio_count). Suppressed
+  /// transmissions count as quiet, exactly as in the slot engine.
+  std::vector<RadioActivity> activity;
   DiscoveryState state;
 };
 

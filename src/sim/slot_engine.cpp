@@ -1,7 +1,7 @@
 #include "sim/slot_engine.hpp"
 
-#include <memory>
-
+#include "sim/slot_medium.hpp"
+#include "sim/trial_setup.hpp"
 #include "util/check.hpp"
 
 namespace m2hew::sim {
@@ -10,27 +10,9 @@ SlotEngineResult run_slot_engine(const net::Network& network,
                                  const SyncPolicyFactory& factory,
                                  const SlotEngineConfig& config) {
   const net::NodeId n = network.node_count();
-  M2HEW_CHECK(config.start_slots.empty() || config.start_slots.size() == n);
-  M2HEW_CHECK(config.loss_probability >= 0.0 &&
-              config.loss_probability < 1.0);
+  validate_engine_common(config, n);
 
-  const util::SeedSequence seeds(config.seed);
-  std::vector<util::Rng> rngs;
-  rngs.reserve(n);
-  std::vector<std::unique_ptr<SyncPolicy>> policies;
-  policies.reserve(n);
-  for (net::NodeId u = 0; u < n; ++u) {
-    rngs.emplace_back(seeds.derive(u));
-    policies.push_back(factory(network, u));
-    M2HEW_CHECK_MSG(policies.back() != nullptr, "factory returned null");
-  }
-  // Separate stream for the loss model so enabling loss does not perturb
-  // the nodes' random choices.
-  util::Rng loss_rng(seeds.derive(n + 1));
-
-  auto start_of = [&config](net::NodeId u) -> std::uint64_t {
-    return config.start_slots.empty() ? 0 : config.start_slots[u];
-  };
+  TrialSetup<SyncPolicy> setup(network, factory, config.seed);
 
   SlotEngineResult result{false,
                           0,
@@ -38,19 +20,14 @@ SlotEngineResult run_slot_engine(const net::Network& network,
                           std::vector<RadioActivity>(n),
                           DiscoveryState(network)};
   std::vector<SlotAction> actions(n);
-
-  // Per-channel transmitter buckets for the indexed reception path,
-  // allocated once and cleared per slot through the touched list.
-  std::vector<std::vector<net::NodeId>> buckets(
-      config.indexed_reception ? network.universe_size() : 0);
-  std::vector<net::ChannelId> touched;
+  SlotMedium medium(network.universe_size(), config.indexed_reception);
 
   for (std::uint64_t slot = 0; slot < config.max_slots; ++slot) {
     ++result.slots_executed;
 
     for (net::NodeId u = 0; u < n; ++u) {
-      if (slot >= start_of(u)) {
-        actions[u] = policies[u]->next_slot(rngs[u]);
+      if (slot >= start_of(config.starts, u)) {
+        actions[u] = setup.policy(u).next_slot(setup.rng(u));
         if (actions[u].mode != Mode::kQuiet) {
           M2HEW_DCHECK(network.available(u).contains(actions[u].channel));
         }
@@ -75,31 +52,18 @@ SlotEngineResult run_slot_engine(const net::Network& network,
     // node is not executing and its radio is off (E13's idle energy would
     // otherwise be inflated for late starters).
     for (net::NodeId u = 0; u < n; ++u) {
-      if (slot < start_of(u)) continue;
-      switch (actions[u].mode) {
-        case Mode::kTransmit:
-          ++result.activity[u].transmit;
-          break;
-        case Mode::kReceive:
-          ++result.activity[u].receive;
-          break;
-        case Mode::kQuiet:
-          ++result.activity[u].quiet;
-          break;
-      }
+      if (slot < start_of(config.starts, u)) continue;
+      count_mode(result.activity[u], actions[u].mode);
     }
 
     // One O(#transmitters) sweep groups this slot's (non-suppressed)
-    // transmitters by channel; each bucket is sorted by node id because
-    // the sweep runs in id order.
+    // transmitters by channel; the sweep runs in node id order so each
+    // bucket stays id-sorted.
     if (config.indexed_reception) {
-      for (const net::ChannelId c : touched) buckets[c].clear();
-      touched.clear();
+      medium.begin_slot();
       for (net::NodeId u = 0; u < n; ++u) {
         if (actions[u].mode != Mode::kTransmit) continue;
-        std::vector<net::NodeId>& bucket = buckets[actions[u].channel];
-        if (bucket.empty()) touched.push_back(actions[u].channel);
-        bucket.push_back(u);
+        medium.add_transmitter(actions[u].channel, u);
       }
     }
 
@@ -113,65 +77,43 @@ SlotEngineResult run_slot_engine(const net::Network& network,
 
       // Active primary-user noise at the listener drowns the channel.
       if (config.interference && config.interference(slot, u, c)) {
-        policies[u]->observe_listen_outcome(ListenOutcome::kCollision);
+        setup.policy(u).observe_listen_outcome(ListenOutcome::kCollision);
         continue;
       }
 
-      net::NodeId sender = net::kInvalidNode;
-      bool collision = false;
-      if (config.indexed_reception) {
-        // Resolve against only this channel's transmitters, filtered by
-        // the flat in-neighbor adjacency, early-exiting at the second
-        // matching sender. Every bucket entry already transmits on c, so
-        // the match set — and therefore sender/collision — is identical
-        // to the reference scan below.
-        for (const net::NodeId v : buckets[c]) {
-          const net::ChannelSet* span = network.in_span(v, u);
-          if (span == nullptr || !span->contains(c)) continue;
-          if (sender != net::kInvalidNode) {
-            collision = true;
-            break;
-          }
-          sender = v;
-        }
-      } else {
-        for (const net::Network::InLink& in : network.in_links(u)) {
-          if (actions[in.from].mode == Mode::kTransmit &&
-              actions[in.from].channel == c && in.span->contains(c)) {
-            if (sender != net::kInvalidNode) {
-              collision = true;
-              break;
-            }
-            sender = in.from;
-          }
-        }
-      }
-      if (collision) {
-        policies[u]->observe_listen_outcome(ListenOutcome::kCollision);
+      const SlotMedium::Resolution heard =
+          config.indexed_reception
+              ? medium.resolve(network, u, c)
+              : SlotMedium::resolve_reference(
+                    network, u, c, [&](net::NodeId v) {
+                      return actions[v].mode == Mode::kTransmit &&
+                             actions[v].channel == c;
+                    });
+      if (heard.collision) {
+        setup.policy(u).observe_listen_outcome(ListenOutcome::kCollision);
         continue;
       }
-      if (sender == net::kInvalidNode) {
-        policies[u]->observe_listen_outcome(ListenOutcome::kSilence);
+      if (heard.sender == net::kInvalidNode) {
+        setup.policy(u).observe_listen_outcome(ListenOutcome::kSilence);
         continue;
       }
       if (config.loss_probability > 0.0 &&
-          loss_rng.bernoulli(config.loss_probability)) {
-        policies[u]->observe_listen_outcome(ListenOutcome::kSilence);
+          setup.loss_rng().bernoulli(config.loss_probability)) {
+        setup.policy(u).observe_listen_outcome(ListenOutcome::kSilence);
         continue;
       }
-      const bool first_time =
-          result.state.record_reception(sender, u, static_cast<double>(slot));
-      policies[u]->observe_listen_outcome(ListenOutcome::kClear);
-      policies[u]->observe_reception(sender, first_time);
+      const bool first_time = result.state.record_reception(
+          heard.sender, u, static_cast<double>(slot));
+      setup.policy(u).observe_listen_outcome(ListenOutcome::kClear);
+      setup.policy(u).observe_reception(heard.sender, first_time);
       if (config.on_reception) {
-        config.on_reception(slot, sender, u, c);
+        config.on_reception(slot, heard.sender, u, c);
       }
     }
 
-    if (!result.complete && result.state.complete()) {
-      result.complete = true;
-      result.completion_slot = slot;
-      if (config.stop_when_complete) break;
+    if (note_completion(result.state, result.complete, result.completion_slot,
+                        slot, config.stop_when_complete)) {
+      break;
     }
   }
   return result;

@@ -6,53 +6,36 @@
 // the *only* neighbor of u transmitting on c in that slot (collisions
 // produce indistinguishable noise; nodes cannot detect collisions).
 //
-// Variable start times (§III-B) are modeled by per-node start slots: before
-// its start slot a node is silent and deaf; its policy's slot indices are
-// node-local, matching a node that simply begins executing later.
+// Variable start times (§III-B) are modeled by per-node start slots
+// (EngineCommon::starts): before its start slot a node is silent and deaf;
+// its policy's slot indices are node-local, matching a node that simply
+// begins executing later.
+//
+// The channel semantics, loss model, interference model, per-trial
+// seeding and reception resolution all live in the shared medium core
+// (sim/engine_common.hpp, sim/trial_setup.hpp, sim/slot_medium.hpp) and
+// are common to every engine.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <optional>
 #include <vector>
 
 #include "net/network.hpp"
 #include "sim/discovery_state.hpp"
 #include "sim/energy.hpp"
+#include "sim/engine_common.hpp"
 #include "sim/interference.hpp"
 #include "sim/policy.hpp"
 
 namespace m2hew::sim {
 
-struct SlotEngineConfig {
+/// Engine-specific knobs on top of the shared core (seed, loss,
+/// interference, indexed_reception, stop_when_complete, starts — see
+/// EngineCommon). `starts` entries are global slot indices.
+struct SlotEngineConfig : SlotEngineCommon {
   /// Hard budget on global slots simulated.
   std::uint64_t max_slots = 1'000'000;
-  /// Global slot at which each node starts (empty = all start at slot 0).
-  std::vector<std::uint64_t> start_slots;
-  /// Probability that an otherwise-clear reception is lost (models
-  /// unreliable channels, §V extension (b)). 0 = reliable. A lost message
-  /// is reported to the listener as silence (signal below sensitivity).
-  double loss_probability = 0.0;
-  /// Optional dynamic primary-user interference. While active at a node on
-  /// a channel: the node's transmissions there are suppressed (spectrum
-  /// sensing vacates the channel) and listening there yields kCollision
-  /// (PU noise). Null = no external interference.
-  InterferenceSchedule interference;
-  /// Root seed; node RNGs are derived as (seed, node).
-  std::uint64_t seed = 1;
-  /// Reception-resolution strategy. true (default): one O(#transmitters)
-  /// sweep per slot groups transmitters into per-channel buckets and each
-  /// listener resolves against only its channel's bucket through
-  /// net::Network::in_span(). false: the original per-listener scan over
-  /// all in-neighbors, kept as the naive reference implementation for the
-  /// equivalence property test (tests/engine_equivalence_test.cpp).
-  /// Both paths are bit-identical by contract: same policy-callback order
-  /// (listeners in node-id order, one listen outcome per listening slot)
-  /// and same loss_rng draw order (one draw per otherwise-clear
-  /// reception, in listener order).
-  bool indexed_reception = true;
-  /// Stop as soon as discovery completes (otherwise run the full budget).
-  bool stop_when_complete = true;
   /// Optional observer invoked on every clear reception:
   /// (global slot, sender, receiver, channel).
   std::function<void(std::uint64_t, net::NodeId, net::NodeId, net::ChannelId)>

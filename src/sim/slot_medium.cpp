@@ -1,0 +1,38 @@
+#include "sim/slot_medium.hpp"
+
+namespace m2hew::sim {
+
+SlotMedium::SlotMedium(net::ChannelId universe_size, bool indexed)
+    : buckets_(indexed ? universe_size : 0) {}
+
+void SlotMedium::begin_slot() {
+  for (const net::ChannelId c : touched_) buckets_[c].clear();
+  touched_.clear();
+}
+
+void SlotMedium::add_transmitter(net::ChannelId channel, net::NodeId node) {
+  std::vector<net::NodeId>& bucket = buckets_[channel];
+  if (bucket.empty()) touched_.push_back(channel);
+  bucket.push_back(node);
+}
+
+SlotMedium::Resolution SlotMedium::resolve(const net::Network& network,
+                                           net::NodeId listener,
+                                           net::ChannelId channel) const {
+  // Every bucket entry already transmits on `channel`, so filtering by the
+  // flat in-neighbor adjacency yields exactly the reference scan's match
+  // set — and therefore the same sender/collision outcome.
+  Resolution out;
+  for (const net::NodeId v : buckets_[channel]) {
+    const net::ChannelSet* span = network.in_span(v, listener);
+    if (span == nullptr || !span->contains(channel)) continue;
+    if (out.sender != net::kInvalidNode) {
+      out.collision = true;
+      break;
+    }
+    out.sender = v;
+  }
+  return out;
+}
+
+}  // namespace m2hew::sim

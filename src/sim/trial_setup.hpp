@@ -1,0 +1,62 @@
+// Per-trial random machinery, built identically by every engine: the
+// trial's seed tree, one RNG and one policy instance per node, and the
+// separate loss-model stream. Extracted so a new engine cannot diverge in
+// seed derivation — the parallel-trials determinism contract
+// (docs/EXTENDING.md) depends on every engine deriving node RNGs as
+// (seed, node).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/network.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace m2hew::sim {
+
+/// Owns the per-node RNGs, the per-node policies built through the
+/// engine's factory, and the loss RNG. The loss stream is derived as
+/// (seed, N+1) — separate from every node stream — so enabling message
+/// loss never perturbs the nodes' own random choices.
+template <typename Policy>
+class TrialSetup {
+ public:
+  using Factory = std::function<std::unique_ptr<Policy>(const net::Network&,
+                                                        net::NodeId)>;
+
+  TrialSetup(const net::Network& network, const Factory& factory,
+             std::uint64_t seed)
+      : seeds_(seed),
+        loss_rng_(seeds_.derive(
+            static_cast<std::uint64_t>(network.node_count()) + 1)) {
+    const net::NodeId n = network.node_count();
+    rngs_.reserve(n);
+    policies_.reserve(n);
+    for (net::NodeId u = 0; u < n; ++u) {
+      rngs_.emplace_back(seeds_.derive(u));
+      policies_.push_back(factory(network, u));
+      M2HEW_CHECK_MSG(policies_.back() != nullptr, "factory returned null");
+    }
+  }
+
+  /// The trial's seed tree, for engine-specific extra streams (e.g. the
+  /// async engine's per-node clock seeds).
+  [[nodiscard]] const util::SeedSequence& seeds() const noexcept {
+    return seeds_;
+  }
+  [[nodiscard]] util::Rng& rng(net::NodeId u) noexcept { return rngs_[u]; }
+  [[nodiscard]] Policy& policy(net::NodeId u) noexcept {
+    return *policies_[u];
+  }
+  [[nodiscard]] util::Rng& loss_rng() noexcept { return loss_rng_; }
+
+ private:
+  util::SeedSequence seeds_;
+  util::Rng loss_rng_;
+  std::vector<util::Rng> rngs_;
+  std::vector<std::unique_ptr<Policy>> policies_;
+};
+
+}  // namespace m2hew::sim

@@ -109,7 +109,7 @@ TEST(AsyncEngine, PartialOverlapInterferenceKillsOnlyOverlappedSlots) {
   AsyncEngineConfig config;
   config.frame_length = 3.0;
   config.max_real_time = 3.1;  // only the hub's first listening frame
-  config.start_times = {0.0, 0.0, 1.5};
+  config.starts = {0.0, 0.0, 1.5};
   config.stop_when_complete = false;
   const auto result = run_async_engine(
       network, scripted({{kRx0, kQuiet}, {kTx0, kQuiet}, {kTx0, kQuiet}}),
@@ -123,7 +123,7 @@ TEST(AsyncEngine, MisalignedFramesStillDeliver) {
   const net::Network network = two_node_net();
   AsyncEngineConfig config;
   config.frame_length = 3.0;
-  config.start_times = {1.3, 0.0};  // transmitter offset inside listener frame
+  config.starts = {1.3, 0.0};  // transmitter offset inside listener frame
   config.max_real_time = 100.0;
   const auto result = run_async_engine(
       network, scripted({{kTx0}, {kRx0}}), config);
@@ -163,7 +163,7 @@ TEST(AsyncEngine, TsIsLatestStart) {
   const net::Network network = two_node_net();
   AsyncEngineConfig config;
   config.frame_length = 3.0;
-  config.start_times = {0.0, 7.5};
+  config.starts = {0.0, 7.5};
   config.max_real_time = 100.0;
   // Node 0 transmits its first three frames ([0,3), [3,6), [6,9)) then
   // listens; node 1 (starting at 7.5) listens one frame then transmits.
@@ -247,7 +247,7 @@ TEST(AsyncEngineDeath, BadSlotCountAborts) {
 TEST(AsyncEngineDeath, WrongStartTimesSizeAborts) {
   const net::Network network = two_node_net();
   AsyncEngineConfig config;
-  config.start_times = {0.0};
+  config.starts = {0.0};
   EXPECT_DEATH(
       (void)run_async_engine(network, scripted({{kRx0}, {kRx0}}), config),
       "CHECK failed");

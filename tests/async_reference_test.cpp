@@ -182,7 +182,7 @@ TEST_P(AsyncReference, EngineMatchesBruteForce) {
   sim::AsyncEngineConfig config;
   config.frame_length = kL;
   config.slots_per_frame = kSlots;
-  config.start_times = inst.start_times;
+  config.starts = inst.start_times;
   config.max_frames_per_node = kFrames;
   config.max_real_time = 1e9;
   config.stop_when_complete = false;

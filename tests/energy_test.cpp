@@ -72,7 +72,7 @@ TEST(SlotEngineEnergy, PreStartSlotsAreNotRadioActivity) {
   SlotEngineConfig config;
   config.max_slots = 10;
   config.stop_when_complete = false;
-  config.start_slots = {4, 0};
+  config.starts = {4, 0};
   const SyncPolicyFactory factory = [](const net::Network&, net::NodeId)
       -> std::unique_ptr<SyncPolicy> {
     return std::make_unique<ConstPolicy>(SlotAction{Mode::kReceive, 0});
@@ -96,7 +96,7 @@ TEST(SlotEngineEnergy, VariableStartActivityTotalsMatchActiveSpans) {
   SlotEngineConfig config;
   config.max_slots = 12;
   config.stop_when_complete = false;
-  config.start_slots = {0, 5, 11};
+  config.starts = {0, 5, 11};
   const SyncPolicyFactory factory = [](const net::Network&, net::NodeId u)
       -> std::unique_ptr<SyncPolicy> {
     const SlotAction actions[] = {{Mode::kTransmit, 0},
@@ -108,7 +108,7 @@ TEST(SlotEngineEnergy, VariableStartActivityTotalsMatchActiveSpans) {
   ASSERT_EQ(result.slots_executed, 12u);
   for (net::NodeId u = 0; u < 3; ++u) {
     EXPECT_EQ(result.activity[u].total(),
-              result.slots_executed - config.start_slots[u])
+              result.slots_executed - config.starts[u])
         << "node " << u;
   }
   EXPECT_EQ(result.activity[0].transmit, 12u);

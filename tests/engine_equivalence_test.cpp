@@ -105,8 +105,8 @@ TEST_P(EngineEquivalence, SlotEngineIndexedMatchesReference) {
       return pseudo_pu(slot, node, c);
     };
   }
-  config.start_slots.assign(n, 0);
-  for (auto& s : config.start_slots) s = rng.uniform(25);
+  config.starts.assign(n, 0);
+  for (auto& s : config.starts) s = rng.uniform(25);
 
   sim::SyncPolicyFactory factory;
   switch (seed % 4) {
@@ -162,8 +162,8 @@ TEST_P(EngineEquivalence, AsyncEngineIndexedMatchesReference) {
       return pseudo_pu(static_cast<std::uint64_t>(time * 4.0), node, c);
     };
   }
-  config.start_times.assign(n, 0.0);
-  for (auto& t : config.start_times) t = rng.uniform_double() * 10.0;
+  config.starts.assign(n, 0.0);
+  for (auto& t : config.starts) t = rng.uniform_double() * 10.0;
   config.clock_builder = [](net::NodeId, std::uint64_t clock_seed) {
     sim::PiecewiseDriftClock::Config drift;
     drift.max_drift = 0.1;

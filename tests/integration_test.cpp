@@ -80,9 +80,9 @@ TEST(Integration, Algorithm3HandlesStaggeredStarts) {
   sim::SlotEngineConfig engine;
   engine.max_slots = 500000;
   engine.seed = 102;
-  engine.start_slots.assign(network.node_count(), 0);
+  engine.starts.assign(network.node_count(), 0);
   for (net::NodeId u = 0; u < network.node_count(); ++u) {
-    engine.start_slots[u] = 37ull * u;  // heavily staggered
+    engine.starts[u] = 37ull * u;  // heavily staggered
   }
   const auto result =
       sim::run_slot_engine(network, core::make_algorithm3(8), engine);
@@ -115,9 +115,9 @@ TEST(Integration, Algorithm4WithDriftingClocksAndOffsets) {
   engine.frame_length = 3.0;
   engine.max_real_time = 3e6;
   engine.seed = 104;
-  engine.start_times.assign(network.node_count(), 0.0);
+  engine.starts.assign(network.node_count(), 0.0);
   for (net::NodeId u = 0; u < network.node_count(); ++u) {
-    engine.start_times[u] = 1.7 * u;
+    engine.starts[u] = 1.7 * u;
   }
   engine.clock_builder = [](net::NodeId, std::uint64_t seed) {
     return std::make_unique<sim::PiecewiseDriftClock>(

@@ -197,5 +197,225 @@ TEST(MultiRadioDeath, InvalidConstruction) {
   EXPECT_DEATH(core::MultiRadioAlg3Policy(empty, 1, 4), "CHECK failed");
 }
 
+TEST(MultiRadioEngineDeath, InvalidConfigAborts) {
+  const net::Network network = pair_net();
+  const auto factory = scripted({{{kTx0, kQuiet}}, {{kRx0, kQuiet}}});
+  {
+    sim::MultiRadioEngineConfig config;
+    config.loss_probability = 1.0;  // would loop forever; [0,1) only
+    EXPECT_DEATH(
+        (void)sim::run_multi_radio_engine(network, factory, config),
+        "CHECK failed");
+  }
+  {
+    sim::MultiRadioEngineConfig config;
+    config.starts = {0, 0, 0};  // 3 entries for a 2-node network
+    EXPECT_DEATH(
+        (void)sim::run_multi_radio_engine(network, factory, config),
+        "CHECK failed");
+  }
+  {
+    sim::MultiRadioEngineConfig config;
+    config.max_slots = 0;
+    EXPECT_DEATH(
+        (void)sim::run_multi_radio_engine(network, factory, config),
+        "CHECK failed");
+  }
+}
+
+TEST(MultiRadioEngine, MessageLossDropsSomeReceptions) {
+  // Node 0 transmits every slot on channel 0; node 1 always listens there.
+  // Without loss every slot delivers; with q = 0.5 the delivered count
+  // must land strictly between 0 and the slot count (the chance of either
+  // extreme is 2^-2000).
+  const net::Network network = pair_net();
+  const auto factory = scripted({{{kTx0, kQuiet}}, {{kRx0, kQuiet}}});
+  sim::MultiRadioEngineConfig config;
+  config.max_slots = 2000;
+  config.stop_when_complete = false;
+
+  const auto reliable = sim::run_multi_radio_engine(network, factory, config);
+  EXPECT_EQ(reliable.state.reception_count(), 2000u);
+
+  config.loss_probability = 0.5;
+  const auto lossy = sim::run_multi_radio_engine(network, factory, config);
+  EXPECT_GT(lossy.state.reception_count(), 0u);
+  EXPECT_LT(lossy.state.reception_count(), 2000u);
+  EXPECT_TRUE(lossy.state.is_covered({0, 1}));
+}
+
+TEST(MultiRadioEngine, TransmitterSideInterferenceSuppresses) {
+  // A jammed transmitter vacates the channel: its radio idles (counted as
+  // quiet) and nothing is delivered.
+  const net::Network network = pair_net();
+  const auto factory = scripted({{{kTx0, kQuiet}}, {{kRx0, kQuiet}}});
+  sim::MultiRadioEngineConfig config;
+  config.max_slots = 5;
+  config.stop_when_complete = false;
+  config.interference = [](std::uint64_t, net::NodeId node, net::ChannelId) {
+    return node == 0;  // PU active at the transmitter only
+  };
+  const auto result = sim::run_multi_radio_engine(network, factory, config);
+  EXPECT_EQ(result.state.covered_links(), 0u);
+  EXPECT_EQ(result.activity[0].transmit, 0u);
+  EXPECT_EQ(result.activity[0].quiet, 10u);  // both radios, 5 slots
+}
+
+TEST(MultiRadioEngine, ListenerSideInterferenceDrownsChannel) {
+  // PU noise at the listener: the transmitter is unaffected (its slots
+  // count as transmit) but the listener hears only noise.
+  const net::Network network = pair_net();
+  const auto factory = scripted({{{kTx0, kQuiet}}, {{kRx0, kQuiet}}});
+  sim::MultiRadioEngineConfig config;
+  config.max_slots = 5;
+  config.stop_when_complete = false;
+  config.interference = [](std::uint64_t, net::NodeId node, net::ChannelId) {
+    return node == 1;
+  };
+  const auto result = sim::run_multi_radio_engine(network, factory, config);
+  EXPECT_EQ(result.state.covered_links(), 0u);
+  EXPECT_EQ(result.activity[0].transmit, 5u);
+}
+
+TEST(MultiRadioEngine, StartScheduleGatesPollingAndActivity) {
+  // Node 0 starts at slot 3: before that it is silent (no receptions at
+  // node 1) and its radios are off (no activity counted).
+  const net::Network network = pair_net();
+  const auto factory = scripted({{{kTx0, kQuiet}}, {{kRx0, kQuiet}}});
+  sim::MultiRadioEngineConfig config;
+  config.max_slots = 10;
+  config.stop_when_complete = false;
+  config.starts = {3, 0};
+  const auto result = sim::run_multi_radio_engine(network, factory, config);
+  ASSERT_TRUE(result.state.is_covered({0, 1}));
+  EXPECT_DOUBLE_EQ(result.state.first_coverage_time({0, 1}), 3.0);
+  EXPECT_EQ(result.state.reception_count(), 7u);
+  EXPECT_EQ(result.activity[0].total(), 14u);  // 7 slots x 2 radios
+  EXPECT_EQ(result.activity[1].total(), 20u);
+}
+
+// Records every feedback callback with its radio index.
+class ProbeMultiPolicy final : public sim::MultiRadioPolicy {
+ public:
+  struct Feedback {
+    std::vector<std::pair<unsigned, net::NodeId>> receptions;
+    std::vector<std::pair<unsigned, sim::ListenOutcome>> outcomes;
+  };
+
+  ProbeMultiPolicy(std::vector<sim::SlotAction> actions,
+                   std::shared_ptr<Feedback> feedback)
+      : actions_(std::move(actions)), feedback_(std::move(feedback)) {}
+
+  std::vector<sim::SlotAction> next_slot(util::Rng&) override {
+    return actions_;
+  }
+  unsigned radio_count() const override {
+    return static_cast<unsigned>(actions_.size());
+  }
+  void observe_reception(unsigned radio, net::NodeId from,
+                         bool first_time) override {
+    (void)first_time;
+    feedback_->receptions.emplace_back(radio, from);
+  }
+  void observe_listen_outcome(unsigned radio,
+                              sim::ListenOutcome outcome) override {
+    feedback_->outcomes.emplace_back(radio, outcome);
+  }
+
+ private:
+  std::vector<sim::SlotAction> actions_;
+  std::shared_ptr<Feedback> feedback_;
+};
+
+TEST(MultiRadioEngine, FeedbackCarriesRadioIndex) {
+  // Node 1 listens on channel 0 (radio 0) and channel 1 (radio 1); node 0
+  // transmits on channel 0 only. Radio 0 must report a clear reception
+  // from node 0, radio 1 silence.
+  const net::Network network = pair_net();
+  auto feedback = std::make_shared<ProbeMultiPolicy::Feedback>();
+  const auto factory = [&feedback](const net::Network&, net::NodeId u)
+      -> std::unique_ptr<sim::MultiRadioPolicy> {
+    if (u == 0) {
+      return std::make_unique<ProbeMultiPolicy>(
+          std::vector<sim::SlotAction>{kTx0, kQuiet}, feedback);
+    }
+    return std::make_unique<ProbeMultiPolicy>(
+        std::vector<sim::SlotAction>{kRx0, kRx1}, feedback);
+  };
+  sim::MultiRadioEngineConfig config;
+  config.max_slots = 1;
+  config.stop_when_complete = false;
+  const auto result = sim::run_multi_radio_engine(network, factory, config);
+  EXPECT_TRUE(result.state.is_covered({0, 1}));
+  ASSERT_EQ(feedback->receptions.size(), 1u);
+  EXPECT_EQ(feedback->receptions[0], (std::pair<unsigned, net::NodeId>{0, 0}));
+  ASSERT_EQ(feedback->outcomes.size(), 2u);
+  EXPECT_EQ(feedback->outcomes[0],
+            (std::pair<unsigned, sim::ListenOutcome>{
+                0, sim::ListenOutcome::kClear}));
+  EXPECT_EQ(feedback->outcomes[1],
+            (std::pair<unsigned, sim::ListenOutcome>{
+                1, sim::ListenOutcome::kSilence}));
+}
+
+TEST(MultiRadioEngine, IndexedMatchesReferenceWithManyRadios) {
+  // The indexed/reference bit-identity contract must hold for R > 1 too
+  // (the single-radio case is covered by the engine-parity test).
+  const net::Network network(
+      net::make_clique(8),
+      std::vector<net::ChannelSet>(8, net::ChannelSet::full(8)));
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    sim::MultiRadioEngineConfig config;
+    config.max_slots = 3000;
+    config.seed = seed;
+    config.loss_probability = 0.2;
+    config.starts = {0, 1, 2, 3, 4, 5, 6, 7};
+    config.interference = [](std::uint64_t slot, net::NodeId node,
+                             net::ChannelId c) {
+      return (slot + node + c) % 5 == 0;
+    };
+    sim::MultiRadioEngineConfig reference = config;
+    reference.indexed_reception = false;
+
+    const auto a = sim::run_multi_radio_engine(
+        network, core::make_multi_radio_alg3(3, 8), config);
+    const auto b = sim::run_multi_radio_engine(
+        network, core::make_multi_radio_alg3(3, 8), reference);
+    EXPECT_EQ(a.complete, b.complete);
+    EXPECT_EQ(a.completion_slot, b.completion_slot);
+    EXPECT_EQ(a.state.reception_count(), b.state.reception_count());
+    for (const net::Link link : network.links()) {
+      ASSERT_EQ(a.state.is_covered(link), b.state.is_covered(link));
+      if (a.state.is_covered(link)) {
+        EXPECT_DOUBLE_EQ(a.state.first_coverage_time(link),
+                         b.state.first_coverage_time(link));
+      }
+    }
+  }
+}
+
+TEST(MultiRadioTrials, RunnerIsDeterministicAcrossThreadCounts) {
+  const net::Network network(
+      net::make_clique(6),
+      std::vector<net::ChannelSet>(6, net::ChannelSet::full(6)));
+  runner::MultiRadioTrialConfig config;
+  config.trials = 8;
+  config.seed = 7;
+  config.engine.max_slots = 200000;
+  config.threads = 1;
+  const auto serial = runner::run_multi_radio_trials(
+      network, core::make_multi_radio_alg3(2, 6), config);
+  config.threads = 4;
+  const auto parallel = runner::run_multi_radio_trials(
+      network, core::make_multi_radio_alg3(2, 6), config);
+  EXPECT_EQ(serial.completed, parallel.completed);
+  ASSERT_EQ(serial.completion_slots.values().size(),
+            parallel.completion_slots.values().size());
+  for (std::size_t i = 0; i < serial.completion_slots.values().size(); ++i) {
+    EXPECT_DOUBLE_EQ(serial.completion_slots.values()[i],
+                     parallel.completion_slots.values()[i]);
+  }
+}
+
 }  // namespace
 }  // namespace m2hew

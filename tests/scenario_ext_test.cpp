@@ -116,5 +116,41 @@ TEST(ScenarioExt, CombinedAsymmetryAndMasks) {
   EXPECT_LE(network.links().size(), network.topology().arc_count());
 }
 
+TEST(ScenarioExt, DescribeReportsEngineKnobs) {
+  ScenarioConfig config;
+  config.topology = TopologyKind::kClique;
+  config.n = 6;
+
+  sim::SlotEngineCommon engine;
+  // Default engine knobs add nothing to the base description.
+  EXPECT_EQ(describe(config, engine), describe(config));
+
+  engine.loss_probability = 0.25;
+  engine.starts = {0, 5, 10, 0, 0, 0};
+  engine.interference = [](std::uint64_t, net::NodeId, net::ChannelId) {
+    return false;
+  };
+  engine.indexed_reception = false;
+  const std::string text = describe(config, engine);
+  EXPECT_NE(text.find("loss=0.25"), std::string::npos);
+  EXPECT_NE(text.find("starts=var(max=10)"), std::string::npos);
+  EXPECT_NE(text.find("interference=dynamic"), std::string::npos);
+  EXPECT_NE(text.find("reception=reference"), std::string::npos);
+}
+
+TEST(ScenarioExt, DescribeReportsAsyncEngineKnobs) {
+  ScenarioConfig config;
+  config.topology = TopologyKind::kRing;
+  config.n = 5;
+
+  sim::EngineCommon<double> engine;
+  engine.loss_probability = 0.1;
+  engine.starts = {0.0, 2.5, 1.0, 0.0, 0.0};
+  const std::string text = describe(config, engine);
+  EXPECT_NE(text.find("loss=0.1"), std::string::npos);
+  EXPECT_NE(text.find("starts=var(max=2.5"), std::string::npos);
+  EXPECT_EQ(text.find("interference="), std::string::npos);
+}
+
 }  // namespace
 }  // namespace m2hew::runner

@@ -137,7 +137,7 @@ TEST(SlotEngine, StartSlotsDelayParticipation) {
   const net::Network network = two_node_net();
   SlotEngineConfig config;
   config.max_slots = 10;
-  config.start_slots = {3, 0};
+  config.starts = {3, 0};
   // Node 0's script begins at global slot 3 (node-local slot 0 = Tx).
   const auto result = run_slot_engine(
       network, scripted({{kTx0}, {kRx0}}), config);
@@ -156,7 +156,7 @@ TEST(SlotEngine, BeforeStartNodeDoesNotInterfere) {
       std::vector<net::ChannelSet>(3, net::ChannelSet(1, {0})));
   SlotEngineConfig config;
   config.max_slots = 1;
-  config.start_slots = {0, 0, 5};
+  config.starts = {0, 0, 5};
   const auto result = run_slot_engine(
       network, scripted({{kRx0}, {kTx0}, {kTx0}}), config);
   EXPECT_TRUE(result.state.is_covered({1, 0}));
@@ -202,7 +202,7 @@ TEST(SlotEngine, BudgetExhaustionReportsIncomplete) {
 TEST(SlotEngineDeath, WrongStartSlotsSizeAborts) {
   const net::Network network = two_node_net();
   SlotEngineConfig config;
-  config.start_slots = {0};
+  config.starts = {0};
   EXPECT_DEATH(
       (void)run_slot_engine(network, scripted({{kRx0}, {kRx0}}), config),
       "CHECK failed");

@@ -124,7 +124,7 @@ TEST_P(SyncReference, EngineMatchesBruteForce) {
 
   sim::SlotEngineConfig config;
   config.max_slots = kSlotCount + 20;
-  config.start_slots = inst.start_slots;
+  config.starts = inst.start_slots;
   config.stop_when_complete = false;
   const auto scripts = inst.scripts;
   const sim::SyncPolicyFactory factory =

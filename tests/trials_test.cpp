@@ -70,8 +70,8 @@ TEST(SyncTrials, PerTrialHookCanChangeStartSlots) {
   config.per_trial = [&hook_calls, &network](std::size_t,
                                              sim::SlotEngineConfig& engine) {
     ++hook_calls;
-    engine.start_slots.assign(network.node_count(), 0);
-    engine.start_slots[0] = 50;
+    engine.starts.assign(network.node_count(), 0);
+    engine.starts[0] = 50;
   };
   const SyncTrialStats stats =
       run_sync_trials(network, core::make_algorithm3(8), config);

@@ -178,7 +178,9 @@ int main(int argc, char** argv) {
       return net::load_network_file(load_path);
     }
     const runner::ScenarioConfig scenario = scenario_from_flags(flags);
-    scenario_text = runner::describe(scenario);
+    sim::SlotEngineCommon engine_knobs;
+    engine_knobs.loss_probability = loss;
+    scenario_text = runner::describe(scenario, engine_knobs);
     return runner::build_scenario(scenario, seed);
   }();
 
@@ -224,39 +226,26 @@ int main(int argc, char** argv) {
 
   const auto radios = static_cast<unsigned>(flags.get_int("radios", 1));
   if (radios > 1) {
-    // Multi-radio Algorithm 3 (extension; cf. related work [19]). Fanned
-    // out over the pool directly: outcomes land in per-trial slots and are
-    // reduced in trial order, same recipe as runner::run_sync_trials.
-    const auto max_slots = static_cast<std::uint64_t>(
+    // Multi-radio Algorithm 3 (extension; cf. related work [19]), through
+    // the same trial runner as the single-radio engines — so it shares
+    // the loss model, the worker pool and the bench run log.
+    runner::MultiRadioTrialConfig trial;
+    trial.trials = trials;
+    trial.seed = seed;
+    trial.threads = threads;
+    trial.engine.max_slots = static_cast<std::uint64_t>(
         flags.get_int("max-slots", 10'000'000));
-    const util::SeedSequence seeds(seed);
-    const auto factory = core::make_multi_radio_alg3(radios, delta_est);
-    std::vector<double> outcome_slots(trials, -1.0);  // -1 = incomplete
-    util::ThreadPool pool(threads == 0 ? runner::default_trial_threads()
-                                       : threads);
-    pool.parallel_for(trials, [&](std::size_t t) {
-      sim::MultiRadioEngineConfig engine;
-      engine.max_slots = max_slots;
-      engine.seed = seeds.derive(t);
-      const auto result =
-          sim::run_multi_radio_engine(network, factory, engine);
-      if (result.complete) {
-        outcome_slots[t] = static_cast<double>(result.completion_slot);
-      }
-    });
-    util::RunningStats slots;
-    std::size_t completed = 0;
-    for (const double s : outcome_slots) {
-      if (s < 0.0) continue;
-      ++completed;
-      slots.add(s);
-    }
+    trial.engine.loss_probability = loss;
+    const auto stats = runner::run_multi_radio_trials(
+        network, core::make_multi_radio_alg3(radios, delta_est), trial);
+    const auto summary = stats.completion_slots.summarize();
     table.row().cell("radios").cell(static_cast<std::size_t>(radios));
-    table.row().cell("trials").cell(trials);
-    table.row().cell("completed").cell(completed);
-    table.row().cell("mean slots").cell(slots.mean(), 1);
-    table.row().cell("max slots").cell(slots.max(), 1);
-    table.row().cell("threads").cell(pool.size());
+    table.row().cell("trials").cell(stats.trials);
+    table.row().cell("completed").cell(stats.completed);
+    table.row().cell("success rate").cell(stats.success_rate(), 3);
+    table.row().cell("mean slots").cell(summary.mean, 1);
+    table.row().cell("max slots").cell(summary.max, 1);
+    report_throughput(stats);
     std::printf("\n%s", table.render().c_str());
     return 0;
   }
