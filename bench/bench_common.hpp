@@ -135,7 +135,7 @@ inline void write_bench_json(const char* bench_id,
     first = false;
   }
   out << (first ? "},\n" : "\n  },\n");
-  char buf[256];
+  char buf[512];
   out << "  \"runs\": [";
   first = true;
   for (const runner::TrialRunRecord& run : runner::trial_run_log()) {
@@ -148,6 +148,22 @@ inline void write_bench_json(const char* bench_id,
                   run.success_rate(), run.mean_completion,
                   run.p90_completion, run.elapsed_seconds, run.threads_used);
     out << (first ? "\n" : ",\n") << "    " << buf;
+    if (run.fault_trials > 0) {
+      // Robustness block for faulted runs: rewrite the closing brace into
+      // a nested object so fault-free artifacts stay byte-stable.
+      out.seekp(-1, std::ios_base::cur);
+      std::snprintf(buf, sizeof buf,
+                    ", \"robustness\": {\"fault_trials\": %zu, "
+                    "\"mean_surviving_recall\": %.6g, "
+                    "\"mean_ghost_entries\": %.6g, "
+                    "\"mean_rediscovery\": %.6g, "
+                    "\"recovered_links\": %zu, "
+                    "\"rediscovered_links\": %zu}}",
+                    run.fault_trials, run.mean_surviving_recall,
+                    run.mean_ghost_entries, run.mean_rediscovery,
+                    run.recovered_links, run.rediscovered_links);
+      out << buf;
+    }
     first = false;
   }
   out << (first ? "],\n" : "\n  ],\n");

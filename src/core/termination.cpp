@@ -11,8 +11,31 @@ TerminatingSyncPolicy::TerminatingSyncPolicy(
   M2HEW_CHECK(threshold_ >= 1);
 }
 
+TerminatingSyncPolicy::TerminatingSyncPolicy(
+    std::unique_ptr<sim::SyncPolicy> inner, std::uint64_t silence_threshold,
+    net::ChannelSet beacon_channels, std::uint64_t beacon_period)
+    : inner_(std::move(inner)),
+      threshold_(silence_threshold),
+      beacon_channels_(std::move(beacon_channels)),
+      beacon_period_(beacon_period) {
+  M2HEW_CHECK_MSG(inner_ != nullptr, "null inner policy");
+  M2HEW_CHECK(threshold_ >= 1);
+}
+
 sim::SlotAction TerminatingSyncPolicy::next_slot(util::Rng& rng) {
   if (terminated_) {
+    // Maintenance beacon: one deterministic announcement every
+    // beacon_period-th slot, round-robin over the beacon channels. No RNG
+    // draw in either branch — a terminated node's random stream is frozen.
+    if (beacon_period_ > 0 && !beacon_channels_.empty()) {
+      ++beacon_clock_;
+      if (beacon_clock_ % beacon_period_ == 0) {
+        const net::ChannelId c =
+            beacon_channels_.nth(beacon_index_ % beacon_channels_.size());
+        ++beacon_index_;
+        return sim::SlotAction{sim::Mode::kTransmit, c};
+      }
+    }
     return sim::SlotAction{};  // quiet forever
   }
   const sim::SlotAction action = inner_->next_slot(rng);
@@ -75,6 +98,18 @@ sim::SyncPolicyFactory with_termination(sim::SyncPolicyFactory inner,
              -> std::unique_ptr<sim::SyncPolicy> {
     return std::make_unique<TerminatingSyncPolicy>(inner(network, u),
                                                    silence_threshold);
+  };
+}
+
+sim::SyncPolicyFactory with_termination_beacon(
+    sim::SyncPolicyFactory inner, std::uint64_t silence_threshold,
+    std::uint64_t beacon_period) {
+  return [inner = std::move(inner), silence_threshold, beacon_period](
+             const net::Network& network, net::NodeId u)
+             -> std::unique_ptr<sim::SyncPolicy> {
+    return std::make_unique<TerminatingSyncPolicy>(
+        inner(network, u), silence_threshold, network.available(u),
+        beacon_period);
   };
 }
 

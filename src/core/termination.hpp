@@ -12,11 +12,20 @@
 // heard it can be starved — termination can make the network-wide
 // discovery incomplete. The threshold must be scaled like the per-link
 // coverage time (ρ/coverage-probability) for a target confidence.
+//
+// Under churn (sim::FaultPlan) plain termination has a second failure
+// mode: a neighbor that crashes, recovers and resets its policy can never
+// rediscover an already-terminated node. The optional *maintenance
+// beacon* addresses it: a terminated node keeps transmitting one
+// deterministic announcement every `beacon_period`-th slot, cycling
+// through its available channels — an O(1/period) duty cycle that keeps
+// the node discoverable without resuming the full algorithm.
 #pragma once
 
 #include <cstddef>
 #include <memory>
 
+#include "net/channel_set.hpp"
 #include "sim/policy.hpp"
 
 namespace m2hew::core {
@@ -27,6 +36,16 @@ class TerminatingSyncPolicy final : public sim::SyncPolicy {
  public:
   TerminatingSyncPolicy(std::unique_ptr<sim::SyncPolicy> inner,
                         std::uint64_t silence_threshold);
+
+  /// Maintenance-beacon variant: after terminating, transmit every
+  /// `beacon_period`-th slot, cycling deterministically (no RNG draws, so
+  /// the node's random stream is unchanged) through `beacon_channels` —
+  /// normally the node's A(u). beacon_period == 0 or an empty set means
+  /// plain termination (radio off forever).
+  TerminatingSyncPolicy(std::unique_ptr<sim::SyncPolicy> inner,
+                        std::uint64_t silence_threshold,
+                        net::ChannelSet beacon_channels,
+                        std::uint64_t beacon_period);
 
   [[nodiscard]] sim::SlotAction next_slot(util::Rng& rng) override;
   void observe_reception(net::NodeId from, bool first_time) override;
@@ -45,9 +64,13 @@ class TerminatingSyncPolicy final : public sim::SyncPolicy {
  private:
   std::unique_ptr<sim::SyncPolicy> inner_;
   std::uint64_t threshold_;
+  net::ChannelSet beacon_channels_;
+  std::uint64_t beacon_period_ = 0;
   std::uint64_t silent_slots_ = 0;
   std::uint64_t slot_ = 0;
   std::uint64_t termination_slot_ = 0;
+  std::uint64_t beacon_clock_ = 0;  // slots since termination
+  std::size_t beacon_index_ = 0;    // next beacon channel (round-robin)
   bool terminated_ = false;
 };
 
@@ -73,6 +96,14 @@ class TerminatingAsyncPolicy final : public sim::AsyncPolicy {
 /// silence threshold (in slots).
 [[nodiscard]] sim::SyncPolicyFactory with_termination(
     sim::SyncPolicyFactory inner, std::uint64_t silence_threshold);
+
+/// Termination with a maintenance beacon over each node's A(u): every
+/// `beacon_period`-th slot after terminating the node announces itself on
+/// the next of its available channels (round-robin), so neighbors that
+/// recover from a crash with reset state can still rediscover it.
+[[nodiscard]] sim::SyncPolicyFactory with_termination_beacon(
+    sim::SyncPolicyFactory inner, std::uint64_t silence_threshold,
+    std::uint64_t beacon_period);
 
 /// Frame-count variant for the asynchronous system.
 [[nodiscard]] sim::AsyncPolicyFactory with_termination(

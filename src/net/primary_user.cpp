@@ -127,4 +127,86 @@ DynamicPrimaryUserField::interference_for(
   };
 }
 
+ScheduledPrimaryUserField::ScheduledPrimaryUserField(
+    ChannelId universe_size, std::vector<ScheduledPrimaryUser> users)
+    : universe_(universe_size), users_(std::move(users)) {
+  for (const auto& pu : users_) {
+    M2HEW_CHECK_MSG(pu.user.channel < universe_, "PU channel outside universe");
+    M2HEW_CHECK(pu.user.radius >= 0.0);
+    M2HEW_CHECK(pu.on_until >= pu.on_from);
+  }
+}
+
+ScheduledPrimaryUserField ScheduledPrimaryUserField::random(
+    ChannelId universe_size, std::size_t count, double side, double min_radius,
+    double max_radius, double horizon, double min_on, double max_on,
+    util::Rng& rng) {
+  M2HEW_CHECK(min_radius >= 0.0 && min_radius <= max_radius);
+  M2HEW_CHECK(horizon >= 0.0);
+  M2HEW_CHECK(min_on >= 0.0 && min_on <= max_on);
+  std::vector<ScheduledPrimaryUser> users;
+  users.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    ScheduledPrimaryUser pu;
+    pu.user.position = {rng.uniform_double(0.0, side),
+                        rng.uniform_double(0.0, side)};
+    pu.user.radius = rng.uniform_double(min_radius, max_radius);
+    pu.user.channel = static_cast<ChannelId>(rng.uniform(universe_size));
+    pu.on_from = rng.uniform_double(0.0, horizon);
+    pu.on_until = pu.on_from + rng.uniform_double(min_on, max_on);
+    users.push_back(pu);
+  }
+  return ScheduledPrimaryUserField(universe_size, std::move(users));
+}
+
+bool ScheduledPrimaryUserField::occupied(double t, Point where,
+                                         ChannelId c) const {
+  for (const auto& pu : users_) {
+    if (pu.user.channel != c || !pu.active_at(t)) continue;
+    if (squared_distance(pu.user.position, where) <=
+        pu.user.radius * pu.user.radius) {
+      return true;
+    }
+  }
+  return false;
+}
+
+ChannelSet ScheduledPrimaryUserField::occupied_at(double t,
+                                                  Point where) const {
+  ChannelSet occupied(universe_);
+  for (const auto& pu : users_) {
+    if (!pu.active_at(t)) continue;
+    if (squared_distance(pu.user.position, where) <=
+        pu.user.radius * pu.user.radius) {
+      occupied.insert(pu.user.channel);
+    }
+  }
+  return occupied;
+}
+
+std::function<bool(double, NodeId, ChannelId)>
+ScheduledPrimaryUserField::interference_for(
+    const std::vector<Point>& positions) const {
+  // Precompute, per node, the indices of PUs whose disk covers it.
+  std::vector<std::vector<std::size_t>> covering(positions.size());
+  for (std::size_t p = 0; p < users_.size(); ++p) {
+    const auto& pu = users_[p];
+    for (std::size_t u = 0; u < positions.size(); ++u) {
+      if (squared_distance(pu.user.position, positions[u]) <=
+          pu.user.radius * pu.user.radius) {
+        covering[u].push_back(p);
+      }
+    }
+  }
+  return [field = *this, covering = std::move(covering)](
+             double t, NodeId node, ChannelId channel) {
+    M2HEW_DCHECK(node < covering.size());
+    for (const std::size_t p : covering[node]) {
+      const auto& pu = field.users_[p];
+      if (pu.user.channel == channel && pu.active_at(t)) return true;
+    }
+    return false;
+  };
+}
+
 }  // namespace m2hew::net

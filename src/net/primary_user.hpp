@@ -107,4 +107,60 @@ class DynamicPrimaryUserField {
   std::vector<DynamicPrimaryUser> users_;
 };
 
+/// A primary user with one explicit activation interval: active during
+/// [on_from, on_until) on the engine's time axis (global slot index for the
+/// slotted engines, real time for the async engine — the field is agnostic;
+/// slot indices are exact in a double up to 2^53). Unlike DynamicPrimaryUser
+/// this models one-shot spectrum dynamics — a licensed transmitter that
+/// switches on (or off) mid-run and changes the effective A(u) while the
+/// algorithm executes. The fault-injection layer (sim::FaultPlan) is the
+/// main client.
+struct ScheduledPrimaryUser {
+  PrimaryUser user;
+  double on_from = 0.0;
+  double on_until = 0.0;
+
+  [[nodiscard]] bool active_at(double t) const noexcept {
+    return t >= on_from && t < on_until;
+  }
+};
+
+class ScheduledPrimaryUserField {
+ public:
+  ScheduledPrimaryUserField(ChannelId universe_size,
+                            std::vector<ScheduledPrimaryUser> users);
+
+  /// Random field: geometry as PrimaryUserField::random; every PU gets one
+  /// activation interval with start uniform in [0, horizon) and length
+  /// uniform in [min_on, max_on).
+  [[nodiscard]] static ScheduledPrimaryUserField random(
+      ChannelId universe_size, std::size_t count, double side,
+      double min_radius, double max_radius, double horizon, double min_on,
+      double max_on, util::Rng& rng);
+
+  [[nodiscard]] ChannelId universe_size() const noexcept { return universe_; }
+  [[nodiscard]] const std::vector<ScheduledPrimaryUser>& users()
+      const noexcept {
+    return users_;
+  }
+
+  /// True iff some PU on channel c covering `where` is active at time t.
+  [[nodiscard]] bool occupied(double t, Point where, ChannelId c) const;
+
+  /// Channels occupied at `where` at time t (the instantaneous complement
+  /// of the node's effective available set).
+  [[nodiscard]] ChannelSet occupied_at(double t, Point where) const;
+
+  /// Per-(time, node, channel) interference predicate for nodes at the
+  /// given positions. Coverage geometry is precomputed per node; the field
+  /// is captured by value, so the returned function is a pure function of
+  /// its arguments and safe to share across trial threads.
+  [[nodiscard]] std::function<bool(double, NodeId, ChannelId)>
+  interference_for(const std::vector<Point>& positions) const;
+
+ private:
+  ChannelId universe_;
+  std::vector<ScheduledPrimaryUser> users_;
+};
+
 }  // namespace m2hew::net

@@ -34,33 +34,55 @@ void write_network(std::ostream& out, const Network& network) {
   }
 }
 
+namespace {
+
+/// Parse failure helper: every malformed input path in read_network throws
+/// std::runtime_error (never CHECK-aborts), with the 1-based line number
+/// and the offending line so callers can show a useful diagnostic.
+[[noreturn]] void parse_fail(std::size_t line_number, const std::string& line,
+                             const std::string& message) {
+  throw std::runtime_error("network parse error at line " +
+                           std::to_string(line_number) + ": " + message +
+                           (line.empty() ? "" : " ('" + line + "')"));
+}
+
+}  // namespace
+
 Network read_network(std::istream& in) {
   std::string line;
+  std::size_t line_number = 0;
   auto next_line = [&](std::string& out_line) {
     while (std::getline(in, out_line)) {
+      ++line_number;
       if (!out_line.empty() && out_line[0] != '#') return true;
     }
     return false;
   };
+  auto fail = [&](const std::string& message) {
+    parse_fail(line_number, line, message);
+  };
 
-  M2HEW_CHECK_MSG(next_line(line) && line == "m2hew-network v1",
-                  "bad magic line");
+  if (!next_line(line) || line != "m2hew-network v1") {
+    fail("bad magic line (expected 'm2hew-network v1')");
+  }
 
-  M2HEW_CHECK_MSG(next_line(line), "missing header");
+  if (!next_line(line)) fail("truncated: missing header");
   std::istringstream header(line);
   std::string word;
   NodeId n = 0;
   ChannelId universe = 0;
   header >> word;
-  M2HEW_CHECK_MSG(word == "nodes", "expected 'nodes'");
+  if (word != "nodes") fail("expected 'nodes'");
   header >> n >> word >> universe;
-  M2HEW_CHECK_MSG(word == "universe" && !header.fail(), "bad header");
-  M2HEW_CHECK(n >= 1);
+  if (word != "universe" || header.fail()) fail("bad header");
+  if (n < 1) fail("node count must be >= 1");
+  if (universe < 1) fail("universe size must be >= 1");
 
   Topology topology(n);
   std::vector<ChannelSet> assignment(n, ChannelSet(universe));
   std::vector<bool> avail_seen(n, false);
   std::map<std::pair<NodeId, NodeId>, ChannelSet> spans;
+  std::map<std::pair<NodeId, NodeId>, bool> arcs_seen;
 
   while (next_line(line)) {
     std::istringstream row(line);
@@ -69,33 +91,58 @@ Network read_network(std::istream& in) {
       NodeId from = kInvalidNode;
       NodeId to = kInvalidNode;
       row >> from >> to;
-      M2HEW_CHECK_MSG(!row.fail(), "bad arc line");
+      if (row.fail()) fail("bad arc line");
+      // Pre-validate everything Topology::add_arc would CHECK so corrupted
+      // files surface as exceptions, not aborts.
+      if (from >= n || to >= n) fail("arc endpoint out of range");
+      if (from == to) fail("arc is a self-loop");
+      if (!arcs_seen.emplace(std::make_pair(from, to), true).second) {
+        fail("duplicate arc");
+      }
       topology.add_arc(from, to);
     } else if (word == "avail") {
       NodeId u = kInvalidNode;
       row >> u;
-      M2HEW_CHECK_MSG(!row.fail() && u < n, "bad avail line");
-      M2HEW_CHECK_MSG(!avail_seen[u], "duplicate avail line");
+      if (row.fail() || u >= n) fail("bad avail line");
+      if (avail_seen[u]) fail("duplicate avail line");
       avail_seen[u] = true;
       ChannelId c = 0;
-      while (row >> c) assignment[u].insert(c);
+      while (row >> c) {
+        if (c >= universe) fail("avail channel out of range");
+        assignment[u].insert(c);
+      }
+      if (!row.eof()) fail("avail channel is not a number");
+      if (assignment[u].empty()) fail("node with empty available set");
     } else if (word == "span") {
       NodeId from = kInvalidNode;
       NodeId to = kInvalidNode;
       row >> from >> to;
-      M2HEW_CHECK_MSG(!row.fail() && from < n && to < n, "bad span line");
+      if (row.fail() || from >= n || to >= n) fail("bad span line");
       ChannelSet span(universe);
       ChannelId c = 0;
-      while (row >> c) span.insert(c);
+      while (row >> c) {
+        if (c >= universe) fail("span channel out of range");
+        span.insert(c);
+      }
+      if (!row.eof()) fail("span channel is not a number");
       const bool inserted =
           spans.emplace(std::make_pair(from, to), std::move(span)).second;
-      M2HEW_CHECK_MSG(inserted, "duplicate span line");
+      if (!inserted) fail("duplicate span line");
     } else {
-      M2HEW_CHECK_MSG(false, "unknown record type");
+      fail("unknown record type '" + word + "'");
     }
   }
   for (NodeId u = 0; u < n; ++u) {
-    M2HEW_CHECK_MSG(avail_seen[u], "missing avail line for a node");
+    if (!avail_seen[u]) {
+      parse_fail(line_number, "",
+                 "truncated: missing avail line for node " +
+                     std::to_string(u));
+    }
+  }
+  for (const auto& [arc, span] : spans) {
+    if (!arcs_seen.count(arc)) {
+      parse_fail(line_number, "", "span line for a nonexistent arc");
+    }
   }
 
   if (spans.empty()) {

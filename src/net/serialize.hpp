@@ -24,7 +24,10 @@ namespace m2hew::net {
 /// Writes the network to `out` in the v1 text format.
 void write_network(std::ostream& out, const Network& network);
 
-/// Parses a v1 network. Aborts (CHECK) on malformed input.
+/// Parses a v1 network. Malformed input (bad magic, out-of-range
+/// endpoints or channels, duplicate or missing records, non-numeric
+/// tokens, truncation) throws std::runtime_error whose message names the
+/// offending 1-based line, so callers can reject a bad file gracefully.
 [[nodiscard]] Network read_network(std::istream& in);
 
 /// Convenience file wrappers. Throw std::runtime_error on I/O failure.

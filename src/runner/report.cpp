@@ -22,6 +22,28 @@ bool print_verdict(bool ok, std::string_view what) {
   return ok;
 }
 
+void print_robustness(const RobustnessStats& robustness) {
+  if (!robustness.enabled()) return;
+  const util::Summary recall = robustness.surviving_recall.summarize();
+  const util::Summary ghosts = robustness.ghost_entries.summarize();
+  std::printf("robustness over %zu faulted trial(s):\n",
+              robustness.fault_trials);
+  std::printf("  surviving-neighbor recall: mean %.4f  min %.4f\n",
+              recall.mean, recall.min);
+  std::printf("  ghost neighbor entries:    mean %.2f  max %.0f\n",
+              ghosts.mean, ghosts.max);
+  if (robustness.recovered_links > 0) {
+    std::printf("  rediscovered links:        %zu / %zu (%.1f%%)\n",
+                robustness.rediscovered_links, robustness.recovered_links,
+                100.0 * robustness.rediscovery_rate());
+  }
+  if (robustness.rediscovery_times.count() > 0) {
+    const util::Summary redisc = robustness.rediscovery_times.summarize();
+    std::printf("  time-to-rediscovery:       mean %.1f  p90 %.1f\n",
+                redisc.mean, redisc.p90);
+  }
+}
+
 std::string results_dir() { return "results"; }
 
 std::ofstream open_results_csv(std::string_view name) {

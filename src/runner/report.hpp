@@ -1,10 +1,13 @@
 // Reporting helpers shared by the bench binaries: a standard banner, a
-// paper-vs-measured verdict line, and CSV output under results/.
+// paper-vs-measured verdict line, robustness-metric lines, and CSV output
+// under results/.
 #pragma once
 
 #include <fstream>
 #include <string>
 #include <string_view>
+
+#include "runner/trials.hpp"
 
 namespace m2hew::runner {
 
@@ -14,6 +17,11 @@ void print_banner(std::string_view experiment_id, std::string_view claim,
 
 /// Prints a PASS/FAIL verdict with context; returns `ok` for chaining.
 bool print_verdict(bool ok, std::string_view what);
+
+/// Prints the fault-robustness block (surviving-neighbor recall, ghost
+/// entries, time-to-rediscovery) for a trial run. No-op when the run
+/// carried no fault plan, so callers can invoke it unconditionally.
+void print_robustness(const RobustnessStats& robustness);
 
 /// Opens results/<name>.csv (creating results/ if needed) for a bench to
 /// stream rows into. Throws on failure.

@@ -225,6 +225,28 @@ template <typename Time>
   if (!engine.indexed_reception) {
     text += " reception=reference";
   }
+  if (engine.faults.any()) {
+    text += " faults=";
+    std::string parts;
+    if (engine.faults.churn.enabled()) {
+      parts += "churn(p=" +
+               std::to_string(engine.faults.churn.crash_probability) + ")";
+    }
+    if (engine.faults.burst_loss.enabled) {
+      if (!parts.empty()) parts += "+";
+      parts += "burst-loss";
+    }
+    if (!engine.faults.spectrum.empty()) {
+      if (!parts.empty()) parts += "+";
+      parts += "spectrum(" +
+               std::to_string(engine.faults.spectrum.size()) + ")";
+    }
+    if (engine.faults.drift_wander.enabled) {
+      if (!parts.empty()) parts += "+";
+      parts += "drift-wander";
+    }
+    text += parts;
+  }
   return text;
 }
 

@@ -42,6 +42,21 @@ void append_run_record(TrialRunRecord record) {
   run_log().push_back(record);
 }
 
+/// Folds one trial's robustness report into the aggregate, in trial order
+/// (so the aggregate is bit-identical at any thread count).
+void reduce_robustness(RobustnessStats& agg,
+                       const sim::RobustnessReport& report) {
+  if (!report.enabled) return;
+  ++agg.fault_trials;
+  agg.surviving_recall.add(report.surviving_recall());
+  agg.ghost_entries.add(static_cast<double>(report.ghost_entries));
+  if (report.rediscovered_links > 0) {
+    agg.rediscovery_times.add(report.mean_rediscovery);
+  }
+  agg.recovered_links += report.recovered_links;
+  agg.rediscovered_links += report.rediscovered_links;
+}
+
 /// Builds the log entry shared by both runners from the aggregate stats.
 template <typename Stats>
 [[nodiscard]] TrialRunRecord make_run_record(const Stats& stats, bool async,
@@ -57,6 +72,17 @@ template <typename Stats>
   }
   record.elapsed_seconds = stats.elapsed_seconds;
   record.threads_used = stats.threads_used;
+  const RobustnessStats& robust = stats.robustness;
+  if (robust.enabled()) {
+    record.fault_trials = robust.fault_trials;
+    record.mean_surviving_recall = robust.surviving_recall.summarize().mean;
+    record.mean_ghost_entries = robust.ghost_entries.summarize().mean;
+    if (robust.rediscovery_times.count() > 0) {
+      record.mean_rediscovery = robust.rediscovery_times.summarize().mean;
+    }
+    record.recovered_links = robust.recovered_links;
+    record.rediscovered_links = robust.rediscovered_links;
+  }
   return record;
 }
 
@@ -140,16 +166,19 @@ SyncTrialStats run_sync_trials(const net::Network& network,
   struct Outcome {
     bool complete = false;
     double completion_slot = 0.0;
+    sim::RobustnessReport robustness;
   };
   std::vector<Outcome> outcomes(config.trials);
   dispatch_trials(config.trials, stats.threads_used, [&](std::size_t t) {
     const auto result = sim::run_slot_engine(network, factory, engines[t]);
     outcomes[t] = {result.complete,
-                   static_cast<double>(result.completion_slot)};
+                   static_cast<double>(result.completion_slot),
+                   result.robustness};
   });
 
   stats.completion_slots.reserve(config.trials);
   for (const Outcome& outcome : outcomes) {
+    reduce_robustness(stats.robustness, outcome.robustness);
     if (!outcome.complete) continue;
     ++stats.completed;
     stats.completion_slots.add(outcome.completion_slot);
@@ -182,12 +211,14 @@ AsyncTrialStats run_async_trials(const net::Network& network,
     bool complete = false;
     double after_ts = 0.0;
     double max_frames = 0.0;
+    sim::RobustnessReport robustness;
   };
   std::vector<Outcome> outcomes(config.trials);
   dispatch_trials(config.trials, stats.threads_used, [&](std::size_t t) {
     const auto result = sim::run_async_engine(network, factory, engines[t]);
     Outcome outcome;
     outcome.complete = result.complete;
+    outcome.robustness = result.robustness;
     if (result.complete) {
       outcome.after_ts = result.completion_time - result.t_s;
       std::uint64_t max_frames = 0;
@@ -202,6 +233,7 @@ AsyncTrialStats run_async_trials(const net::Network& network,
   stats.completion_after_ts.reserve(config.trials);
   stats.max_full_frames.reserve(config.trials);
   for (const Outcome& outcome : outcomes) {
+    reduce_robustness(stats.robustness, outcome.robustness);
     if (!outcome.complete) continue;
     ++stats.completed;
     stats.completion_after_ts.add(outcome.after_ts);
@@ -234,17 +266,20 @@ MultiRadioTrialStats run_multi_radio_trials(
   struct Outcome {
     bool complete = false;
     double completion_slot = 0.0;
+    sim::RobustnessReport robustness;
   };
   std::vector<Outcome> outcomes(config.trials);
   dispatch_trials(config.trials, stats.threads_used, [&](std::size_t t) {
     const auto result =
         sim::run_multi_radio_engine(network, factory, engines[t]);
     outcomes[t] = {result.complete,
-                   static_cast<double>(result.completion_slot)};
+                   static_cast<double>(result.completion_slot),
+                   result.robustness};
   });
 
   stats.completion_slots.reserve(config.trials);
   for (const Outcome& outcome : outcomes) {
+    reduce_robustness(stats.robustness, outcome.robustness);
     if (!outcome.complete) continue;
     ++stats.completed;
     stats.completion_slots.add(outcome.completion_slot);

@@ -41,6 +41,31 @@ struct TrialThroughput {
 };
 [[nodiscard]] TrialThroughput trial_throughput_totals() noexcept;
 
+/// Robustness aggregates over faulted trials, shared by every trial-stats
+/// type. Populated only from trials whose engine config carried a fault
+/// plan (sim::FaultPlan::any()); `fault_trials` counts those.
+struct RobustnessStats {
+  std::size_t fault_trials = 0;
+  /// Per-trial discovery recall restricted to surviving true neighbors.
+  util::Samples surviving_recall;
+  /// Per-trial ghost-neighbor-entry count (stale table knowledge).
+  util::Samples ghost_entries;
+  /// Per-trial mean time-to-rediscovery, over trials with at least one
+  /// rediscovered link (engine time units).
+  util::Samples rediscovery_times;
+  /// Links eligible for / achieving rediscovery, summed over fault trials.
+  std::size_t recovered_links = 0;
+  std::size_t rediscovered_links = 0;
+
+  [[nodiscard]] bool enabled() const noexcept { return fault_trials > 0; }
+  [[nodiscard]] double rediscovery_rate() const noexcept {
+    return recovered_links == 0
+               ? 0.0
+               : static_cast<double>(rediscovered_links) /
+                     static_cast<double>(recovered_links);
+  }
+};
+
 /// One completed run_sync_trials / run_async_trials call. The process
 /// keeps a log of these (in call order) so bench binaries can emit their
 /// completion statistics into the machine-readable BENCH_<id>.json
@@ -55,6 +80,14 @@ struct TrialRunRecord {
   double p90_completion = 0.0;
   double elapsed_seconds = 0.0;
   std::size_t threads_used = 1;
+  /// Robustness aggregates, all zero unless some trial carried a fault
+  /// plan; means are over fault trials.
+  std::size_t fault_trials = 0;
+  double mean_surviving_recall = 0.0;
+  double mean_ghost_entries = 0.0;
+  double mean_rediscovery = 0.0;
+  std::size_t recovered_links = 0;
+  std::size_t rediscovered_links = 0;
 
   [[nodiscard]] double success_rate() const noexcept {
     return trials == 0 ? 0.0
@@ -73,6 +106,8 @@ struct SyncTrialStats {
   /// Completion slot (0-based index of the covering slot) of completed
   /// trials only.
   util::Samples completion_slots;
+  /// Robustness aggregates from faulted trials (empty without a plan).
+  RobustnessStats robustness;
   /// Wall-clock duration of the whole run and the worker count that
   /// produced it (throughput reporting; not part of the deterministic
   /// aggregate).
@@ -119,6 +154,8 @@ struct AsyncTrialStats {
   /// max over nodes of full frames since T_s at completion (Theorem 9's
   /// measured quantity), completed trials only.
   util::Samples max_full_frames;
+  /// Robustness aggregates from faulted trials (empty without a plan).
+  RobustnessStats robustness;
   /// Throughput fields; see SyncTrialStats.
   double elapsed_seconds = 0.0;
   std::size_t threads_used = 1;

@@ -70,6 +70,16 @@ AsyncEngineResult run_async_engine(const net::Network& network,
   validate_engine_common(config, n);
 
   TrialSetup<AsyncPolicy> setup(network, factory, config.seed);
+  FaultState<double> faults(network, setup.seeds(), config.faults);
+
+  // External interference at (time, node, channel): the configured PU
+  // schedule OR an active scheduled spectrum fault.
+  const bool has_interference =
+      static_cast<bool>(config.interference) || faults.has_spectrum();
+  const auto jammed = [&](double t, net::NodeId who, net::ChannelId c) {
+    return (config.interference && config.interference(t, who, c)) ||
+           faults.spectrum_blocked(t, who, c);
+  };
 
   std::vector<NodeState> nodes(n);
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue;
@@ -85,9 +95,21 @@ AsyncEngineResult run_async_engine(const net::Network& network,
   for (net::NodeId u = 0; u < n; ++u) {
     NodeState& node = nodes[u];
     const std::uint64_t clock_seed = setup.seeds().derive(u, 0xC10C);
-    node.clock = config.clock_builder
-                     ? config.clock_builder(u, clock_seed)
-                     : std::make_unique<IdealClock>(0.0);
+    if (config.faults.drift_wander.enabled) {
+      // Drift-wander fault: per-node piecewise drift within the δ bound,
+      // seeded from the standard clock stream. Takes precedence over
+      // clock_builder so one knob turns the perturbation on for any
+      // scenario.
+      const DriftWanderSpec& dw = config.faults.drift_wander;
+      node.clock = std::make_unique<PiecewiseDriftClock>(
+          PiecewiseDriftClock::Config{dw.max_drift, dw.min_segment,
+                                      dw.max_segment, 0.0},
+          clock_seed);
+    } else {
+      node.clock = config.clock_builder
+                       ? config.clock_builder(u, clock_seed)
+                       : std::make_unique<IdealClock>(0.0);
+    }
     M2HEW_CHECK_MSG(node.clock != nullptr, "clock builder returned null");
     node.start_time = start_of(config.starts, u);
     t_s = std::max(t_s, node.start_time);
@@ -109,6 +131,7 @@ AsyncEngineResult run_async_engine(const net::Network& network,
   // (kHistoryHorizonFactor, shared with the live-transmit index).
   double max_frame_real_len = 0.0;
   double last_covered_time = 0.0;
+  double end_time = 0.0;  // time of the last processed event (for assess)
 
   const double slot_local_len =
       config.frame_length / static_cast<double>(config.slots_per_frame);
@@ -117,6 +140,7 @@ AsyncEngineResult run_async_engine(const net::Network& network,
     const Event ev = queue.top();
     queue.pop();
     if (ev.time > config.max_real_time) break;
+    end_time = ev.time;
 
     NodeState& node = nodes[ev.node];
 
@@ -137,14 +161,26 @@ AsyncEngineResult run_async_engine(const net::Network& network,
       max_frame_real_len =
           std::max(max_frame_real_len, frame.end - frame.start);
 
-      const FrameAction action = setup.policy(ev.node).next_frame(
-          setup.rng(ev.node));
-      frame.mode = action.mode;
-      frame.channel = action.channel;
-      if (action.mode != Mode::kQuiet) {
-        M2HEW_DCHECK(network.available(ev.node).contains(action.channel));
+      // Churn is sampled at frame starts: a node that is down when its
+      // next frame would begin keeps its radio off for the whole frame —
+      // the policy is not polled (its frame indices are node-local and
+      // resume after recovery), the frame stays quiet in the history so
+      // the seq/timing bookkeeping is undisturbed, and neither activity
+      // nor frames_started are counted.
+      const bool down = faults.down_at(ev.node, ev.time);
+      if (!down) {
+        if (faults.consume_reset(ev.node, ev.time)) {
+          setup.reset_policy(ev.node);
+        }
+        const FrameAction action = setup.policy(ev.node).next_frame(
+            setup.rng(ev.node));
+        frame.mode = action.mode;
+        frame.channel = action.channel;
+        if (action.mode != Mode::kQuiet) {
+          M2HEW_DCHECK(network.available(ev.node).contains(action.channel));
+        }
+        count_mode(result.activity[ev.node], frame.mode);
       }
-      count_mode(result.activity[ev.node], frame.mode);
 
       // Prune history that can no longer overlap any live listening frame.
       const double horizon =
@@ -156,7 +192,7 @@ AsyncEngineResult run_async_engine(const net::Network& network,
 
       const std::uint64_t seq = node.next_seq++;
       node.history.push_back(frame);
-      ++result.frames_started[ev.node];
+      if (!down) ++result.frames_started[ev.node];
       node.local_next += config.frame_length;
 
       // Keep the transmit-frame index in step: insert the new live frame
@@ -236,17 +272,16 @@ AsyncEngineResult run_async_engine(const net::Network& network,
     // PU field is sampled at the slot midpoint — the same instant the
     // listener side samples below — so both ends of a link always agree
     // about one interference burst.
-    auto slot_transmitted = [&config](net::NodeId who, const FrameRecord& f,
-                                      unsigned j) {
-      if (!config.interference) return true;
-      return !config.interference((f.bounds[j] + f.bounds[j + 1]) / 2.0, who,
-                                  f.channel);
+    auto slot_transmitted = [&](net::NodeId who, const FrameRecord& f,
+                                unsigned j) {
+      if (!has_interference) return true;
+      return !jammed((f.bounds[j] + f.bounds[j + 1]) / 2.0, who, f.channel);
     };
     // Whether any non-suppressed slot of `other` overlaps (s0, s1).
     auto burst_interferes = [&](const Burst& other, double s0, double s1) {
       const FrameRecord& h = *other.frame;
       if (h.start >= s1 || h.end <= s0) return false;
-      if (!config.interference) return true;  // contiguous burst
+      if (!has_interference) return true;  // contiguous burst
       for (unsigned j = 0; j < h.slots; ++j) {
         if (h.bounds[j] < s1 && h.bounds[j + 1] > s0 &&
             slot_transmitted(other.sender, h, j)) {
@@ -266,8 +301,7 @@ AsyncEngineResult run_async_engine(const net::Network& network,
         const double s1 = f.bounds[j + 1];
         if (s0 < g.start || s1 > g.end) continue;
         if (!slot_transmitted(burst.sender, f, j)) continue;
-        if (config.interference &&
-            config.interference((s0 + s1) / 2.0, u, c)) {
+        if (has_interference && jammed((s0 + s1) / 2.0, u, c)) {
           continue;  // PU noise at the listener drowns this slot
         }
         bool interfered = false;
@@ -279,12 +313,13 @@ AsyncEngineResult run_async_engine(const net::Network& network,
           }
         }
         if (interfered) continue;
-        if (config.loss_probability > 0.0 &&
-            setup.loss_rng().bernoulli(config.loss_probability)) {
+        if (faults.message_lost(burst.sender, u, setup.loss_rng(),
+                                config.loss_probability)) {
           continue;
         }
         const bool first_time =
             result.state.record_reception(burst.sender, u, s1);
+        faults.note_reception(burst.sender, u, s1);
         if (first_time) {
           last_covered_time = std::max(last_covered_time, s1);
         }
@@ -298,6 +333,8 @@ AsyncEngineResult run_async_engine(const net::Network& network,
       break;
     }
   }
+
+  result.robustness = faults.assess(result.state, end_time);
 
   if (result.complete) {
     // Count, per node, full frames contained in [T_s, completion_time]

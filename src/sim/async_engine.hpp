@@ -80,6 +80,9 @@ struct AsyncEngineResult {
   /// Empty unless complete.
   std::vector<std::uint64_t> full_frames_since_ts;
   DiscoveryState state;
+  /// Fault-robustness metrics; RobustnessReport::enabled is false when the
+  /// config carried no fault plan.
+  RobustnessReport robustness;
 };
 
 [[nodiscard]] AsyncEngineResult run_async_engine(

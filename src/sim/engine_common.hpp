@@ -16,6 +16,7 @@
 #include "net/types.hpp"
 #include "sim/discovery_state.hpp"
 #include "sim/energy.hpp"
+#include "sim/fault_plan.hpp"
 #include "sim/radio.hpp"
 #include "util/check.hpp"
 
@@ -64,6 +65,12 @@ struct EngineCommon {
   /// a node is silent and deaf and its radio is off. Empty = all nodes
   /// start at 0.
   std::vector<Time> starts;
+
+  /// Fault-injection and dynamics plan: node churn, Gilbert–Elliott burst
+  /// loss, scheduled spectrum faults and (async) drift wander — see
+  /// sim/fault_plan.hpp. The default (all disabled) is the paper's static
+  /// network and is guaranteed not to perturb any random stream.
+  FaultPlan<Time> faults;
 };
 
 /// The slotted engines' common config (slot, multi-radio).
@@ -82,6 +89,7 @@ inline void validate_engine_common(const EngineCommon<Time>& config,
   if constexpr (std::is_floating_point_v<Time>) {
     for (const Time start : config.starts) M2HEW_CHECK(start >= Time{0});
   }
+  validate_fault_plan(config.faults, nodes, config.loss_probability);
 }
 
 /// Start time of node `u` under a (possibly empty) start schedule.

@@ -1,0 +1,207 @@
+#include "sim/fault_plan.hpp"
+
+#include <algorithm>
+
+namespace m2hew::sim {
+
+namespace {
+
+// Uniform draw in [lo, hi] on the engine's time axis: inclusive integer
+// range for slot indices, half-open real range for the async engine (the
+// distinction is immaterial for a continuous axis).
+template <typename Time>
+[[nodiscard]] Time draw_time(util::Rng& rng, Time lo, Time hi) {
+  if constexpr (std::is_floating_point_v<Time>) {
+    return rng.uniform_double(lo, hi);
+  } else {
+    return lo + rng.uniform(hi - lo + 1);
+  }
+}
+
+}  // namespace
+
+template <typename Time>
+FaultState<Time>::FaultState(const net::Network& network,
+                             const util::SeedSequence& seeds,
+                             const FaultPlan<Time>& plan)
+    : network_(&network),
+      plan_(&plan),
+      churn_(plan.churn.enabled()),
+      n_(network.node_count()) {
+  if (churn_) {
+    schedule_.resize(n_);
+    reset_pending_.assign(n_, 0);
+    for (net::NodeId u = 0; u < n_; ++u) {
+      // One private stream per node: the schedule never consumes from the
+      // node policy stream or the loss stream, and derive() is pure, so
+      // attaching churn perturbs nothing else. All three values are drawn
+      // unconditionally to keep the stream layout independent of the
+      // crash coin.
+      util::Rng rng(seeds.derive(u, kChurnStreamSalt));
+      const bool crashes = rng.bernoulli(plan.churn.crash_probability);
+      const Time crash = draw_time<Time>(rng, plan.churn.earliest_crash,
+                                         plan.churn.latest_crash);
+      const Time down =
+          draw_time<Time>(rng, plan.churn.min_down, plan.churn.max_down);
+      NodeChurn& c = schedule_[u];
+      c.crashes = crashes;
+      c.crash = crash;
+      c.recovers = down > Time{0};
+      c.recovery = crash + down;
+      if (c.crashes && c.recovers && plan.churn.reset_policy_on_recovery) {
+        reset_pending_[u] = 1;
+      }
+    }
+    post_recovery_.assign(static_cast<std::size_t>(n_) * n_, -1.0);
+  }
+  if (plan.burst_loss.enabled) {
+    ge_state_.assign(static_cast<std::size_t>(n_) * n_, 0);
+  }
+  if (!plan.spectrum.empty()) {
+    M2HEW_CHECK(plan.positions.size() == n_);
+    for (const net::ScheduledPrimaryUser& pu : plan.spectrum) {
+      M2HEW_CHECK_MSG(pu.user.channel < network.universe_size(),
+                      "spectrum-fault PU channel outside universe");
+    }
+    spectrum_cover_.resize(n_);
+    for (std::uint32_t p = 0; p < plan.spectrum.size(); ++p) {
+      const net::ScheduledPrimaryUser& pu = plan.spectrum[p];
+      for (net::NodeId u = 0; u < n_; ++u) {
+        if (net::squared_distance(pu.user.position, plan.positions[u]) <=
+            pu.user.radius * pu.user.radius) {
+          spectrum_cover_[u].push_back(p);
+        }
+      }
+    }
+  }
+}
+
+template <typename Time>
+bool FaultState<Time>::spectrum_blocked(Time t, net::NodeId u,
+                                        net::ChannelId c) const {
+  if (spectrum_cover_.empty()) return false;
+  for (const std::uint32_t p : spectrum_cover_[u]) {
+    const net::ScheduledPrimaryUser& pu = plan_->spectrum[p];
+    if (pu.user.channel == c && pu.active_at(static_cast<double>(t))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+template <typename Time>
+bool FaultState<Time>::message_lost(net::NodeId sender, net::NodeId receiver,
+                                    util::Rng& loss_rng, double iid_loss) {
+  if (plan_->burst_loss.enabled) {
+    const GilbertElliottSpec& ge = plan_->burst_loss;
+    std::uint8_t& s =
+        ge_state_[static_cast<std::size_t>(sender) * n_ + receiver];
+    if (loss_rng.bernoulli(s == 0 ? ge.p_good_to_bad : ge.p_bad_to_good)) {
+      s ^= 1u;
+    }
+    return loss_rng.bernoulli(s == 0 ? ge.loss_good : ge.loss_bad);
+  }
+  return iid_loss > 0.0 && loss_rng.bernoulli(iid_loss);
+}
+
+template <typename Time>
+void FaultState<Time>::note_reception(net::NodeId sender,
+                                      net::NodeId receiver, Time t) {
+  if (!churn_) return;
+  // A link is a rediscovery candidate iff at least one endpoint crashes
+  // and every crashed endpoint recovers; the clock starts at the latest
+  // such recovery.
+  bool relevant = false;
+  Time threshold{};
+  for (const net::NodeId end : {sender, receiver}) {
+    const NodeChurn& c = schedule_[end];
+    if (!c.crashes) continue;
+    if (!c.recovers) return;  // link dead: endpoint never comes back
+    relevant = true;
+    threshold = std::max(threshold, c.recovery);
+  }
+  if (!relevant || t < threshold) return;
+  double& cell =
+      post_recovery_[static_cast<std::size_t>(sender) * n_ + receiver];
+  if (cell < 0.0) cell = static_cast<double>(t);
+}
+
+template <typename Time>
+RobustnessReport FaultState<Time>::assess(const DiscoveryState& state,
+                                          Time end) const {
+  RobustnessReport r;
+  r.enabled = plan_->any();
+  if (!r.enabled) return r;
+
+  if (churn_) {
+    for (net::NodeId u = 0; u < n_; ++u) {
+      // A crash scheduled past the end of the run never happened.
+      if (schedule_[u].crashes && schedule_[u].crash <= end) {
+        ++r.crashed_nodes;
+      }
+      if (down_at(u, end)) ++r.down_at_end;
+    }
+  }
+
+  double rediscovery_sum = 0.0;
+  for (const net::Link link : network_->links()) {
+    if (down_at(link.from, end) || down_at(link.to, end)) continue;
+    ++r.surviving_links;
+    if (state.is_covered(link)) ++r.covered_surviving_links;
+    if (!churn_) continue;
+    bool relevant = false;
+    Time threshold{};
+    for (const net::NodeId node : {link.from, link.to}) {
+      const NodeChurn& c = schedule_[node];
+      // Only crashes that happened during the run count; an endpoint that
+      // crashed and never recovered is still down (link not surviving).
+      if (!c.crashes || c.crash > end) continue;
+      relevant = true;
+      threshold = std::max(threshold, c.recovery);
+    }
+    if (!relevant) continue;
+    ++r.recovered_links;
+    const double t =
+        post_recovery_[static_cast<std::size_t>(link.from) * n_ + link.to];
+    if (t >= 0.0) {
+      ++r.rediscovered_links;
+      const double took = t - static_cast<double>(threshold);
+      rediscovery_sum += took;
+      r.max_rediscovery = std::max(r.max_rediscovery, took);
+    }
+  }
+  if (r.rediscovered_links > 0) {
+    r.mean_rediscovery =
+        rediscovery_sum / static_cast<double>(r.rediscovered_links);
+  }
+
+  // Ghost entries: stale table knowledge at the end of the run. An entry
+  // is a ghost when its subject crashed and is still down, or when every
+  // common channel it records is blocked by an active spectrum fault at
+  // either endpoint (the link's effective span vanished).
+  if (churn_ || has_spectrum()) {
+    for (net::NodeId u = 0; u < n_; ++u) {
+      for (const NeighborRecord& entry : state.neighbor_table(u)) {
+        const net::NodeId v = entry.neighbor;
+        bool ghost = down_at(v, end);
+        if (!ghost && has_spectrum() && !entry.common_channels.empty()) {
+          ghost = true;
+          for (const net::ChannelId c : entry.common_channels.to_vector()) {
+            if (!spectrum_blocked(end, u, c) &&
+                !spectrum_blocked(end, v, c)) {
+              ghost = false;
+              break;
+            }
+          }
+        }
+        if (ghost) ++r.ghost_entries;
+      }
+    }
+  }
+  return r;
+}
+
+template class FaultState<std::uint64_t>;
+template class FaultState<double>;
+
+}  // namespace m2hew::sim

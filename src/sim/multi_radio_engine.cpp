@@ -14,9 +14,20 @@ MultiRadioEngineResult run_multi_radio_engine(
   validate_engine_common(config, n);
 
   TrialSetup<MultiRadioPolicy> setup(network, factory, config.seed);
+  FaultState<std::uint64_t> faults(network, setup.seeds(), config.faults);
   for (net::NodeId u = 0; u < n; ++u) {
     M2HEW_CHECK(setup.policy(u).radio_count() >= 1);
   }
+
+  // External interference at (slot, node, channel): the configured PU
+  // schedule OR an active scheduled spectrum fault.
+  const bool has_interference =
+      static_cast<bool>(config.interference) || faults.has_spectrum();
+  const auto jammed = [&](std::uint64_t slot, net::NodeId who,
+                          net::ChannelId c) {
+    return (config.interference && config.interference(slot, who, c)) ||
+           faults.spectrum_blocked(slot, who, c);
+  };
 
   MultiRadioEngineResult result{false,
                                 0,
@@ -32,12 +43,13 @@ MultiRadioEngineResult run_multi_radio_engine(
     ++result.slots_executed;
 
     for (net::NodeId u = 0; u < n; ++u) {
-      if (slot < start_of(config.starts, u)) {
-        // Not started: all radios quiet, and the policy is not polled (its
-        // slot indices are node-local, as in the slot engine).
+      if (slot < start_of(config.starts, u) || faults.down_at(u, slot)) {
+        // Not started or crashed: all radios quiet, and the policy is not
+        // polled (its slot indices are node-local, as in the slot engine).
         actions[u].assign(setup.policy(u).radio_count(), SlotAction{});
         continue;
       }
+      if (faults.consume_reset(u, slot)) setup.reset_policy(u);
       actions[u] = setup.policy(u).next_slot(setup.rng(u));
       M2HEW_CHECK_MSG(actions[u].size() == setup.policy(u).radio_count(),
                       "policy returned wrong radio count");
@@ -56,11 +68,11 @@ MultiRadioEngineResult run_multi_radio_engine(
     // Transmissions on a channel with active primary-user interference at
     // the transmitter are suppressed (the node senses the PU and vacates,
     // idling that radio for the slot).
-    if (config.interference) {
+    if (has_interference) {
       for (net::NodeId u = 0; u < n; ++u) {
         for (SlotAction& action : actions[u]) {
           if (action.mode == Mode::kTransmit &&
-              config.interference(slot, u, action.channel)) {
+              jammed(slot, u, action.channel)) {
             action.mode = Mode::kQuiet;
           }
         }
@@ -68,9 +80,11 @@ MultiRadioEngineResult run_multi_radio_engine(
     }
 
     // Radio accounting starts at the node's start slot, one count per
-    // radio per slot.
+    // radio per slot; a crashed node's radios are off.
     for (net::NodeId u = 0; u < n; ++u) {
-      if (slot < start_of(config.starts, u)) continue;
+      if (slot < start_of(config.starts, u) || faults.down_at(u, slot)) {
+        continue;
+      }
       for (const SlotAction& action : actions[u]) {
         count_mode(result.activity[u], action.mode);
       }
@@ -101,7 +115,7 @@ MultiRadioEngineResult run_multi_radio_engine(
         const net::ChannelId c = mine.channel;
 
         // Active primary-user noise at the listener drowns the channel.
-        if (config.interference && config.interference(slot, u, c)) {
+        if (has_interference && jammed(slot, u, c)) {
           setup.policy(u).observe_listen_outcome(r, ListenOutcome::kCollision);
           continue;
         }
@@ -127,13 +141,14 @@ MultiRadioEngineResult run_multi_radio_engine(
           setup.policy(u).observe_listen_outcome(r, ListenOutcome::kSilence);
           continue;
         }
-        if (config.loss_probability > 0.0 &&
-            setup.loss_rng().bernoulli(config.loss_probability)) {
+        if (faults.message_lost(heard.sender, u, setup.loss_rng(),
+                                config.loss_probability)) {
           setup.policy(u).observe_listen_outcome(r, ListenOutcome::kSilence);
           continue;
         }
         const bool first_time = result.state.record_reception(
             heard.sender, u, static_cast<double>(slot));
+        faults.note_reception(heard.sender, u, slot);
         setup.policy(u).observe_listen_outcome(r, ListenOutcome::kClear);
         setup.policy(u).observe_reception(r, heard.sender, first_time);
         if (config.on_reception) {
@@ -147,6 +162,9 @@ MultiRadioEngineResult run_multi_radio_engine(
       break;
     }
   }
+  result.robustness = faults.assess(
+      result.state,
+      result.slots_executed == 0 ? 0 : result.slots_executed - 1);
   return result;
 }
 

@@ -79,6 +79,9 @@ struct MultiRadioEngineResult {
   /// transmissions count as quiet, exactly as in the slot engine.
   std::vector<RadioActivity> activity;
   DiscoveryState state;
+  /// Fault-robustness metrics; RobustnessReport::enabled is false when the
+  /// config carried no fault plan.
+  RobustnessReport robustness;
 };
 
 [[nodiscard]] MultiRadioEngineResult run_multi_radio_engine(

@@ -13,6 +13,17 @@ SlotEngineResult run_slot_engine(const net::Network& network,
   validate_engine_common(config, n);
 
   TrialSetup<SyncPolicy> setup(network, factory, config.seed);
+  FaultState<std::uint64_t> faults(network, setup.seeds(), config.faults);
+
+  // External interference at (slot, node, channel): the configured PU
+  // schedule OR an active scheduled spectrum fault.
+  const bool has_interference =
+      static_cast<bool>(config.interference) || faults.has_spectrum();
+  const auto jammed = [&](std::uint64_t slot, net::NodeId who,
+                          net::ChannelId c) {
+    return (config.interference && config.interference(slot, who, c)) ||
+           faults.spectrum_blocked(slot, who, c);
+  };
 
   SlotEngineResult result{false,
                           0,
@@ -26,23 +37,24 @@ SlotEngineResult run_slot_engine(const net::Network& network,
     ++result.slots_executed;
 
     for (net::NodeId u = 0; u < n; ++u) {
-      if (slot >= start_of(config.starts, u)) {
+      if (slot >= start_of(config.starts, u) && !faults.down_at(u, slot)) {
+        if (faults.consume_reset(u, slot)) setup.reset_policy(u);
         actions[u] = setup.policy(u).next_slot(setup.rng(u));
         if (actions[u].mode != Mode::kQuiet) {
           M2HEW_DCHECK(network.available(u).contains(actions[u].channel));
         }
       } else {
-        actions[u] = SlotAction{};  // not started: quiet
+        actions[u] = SlotAction{};  // not started or crashed: quiet
       }
     }
 
     // Transmissions on a channel with active primary-user interference at
     // the transmitter are suppressed (the node senses the PU and vacates,
     // idling its radio for the slot).
-    if (config.interference) {
+    if (has_interference) {
       for (net::NodeId u = 0; u < n; ++u) {
         if (actions[u].mode == Mode::kTransmit &&
-            config.interference(slot, u, actions[u].channel)) {
+            jammed(slot, u, actions[u].channel)) {
           actions[u].mode = Mode::kQuiet;
         }
       }
@@ -50,9 +62,12 @@ SlotEngineResult run_slot_engine(const net::Network& network,
 
     // Radio accounting starts at the node's start slot: before that the
     // node is not executing and its radio is off (E13's idle energy would
-    // otherwise be inflated for late starters).
+    // otherwise be inflated for late starters). A crashed node's radio is
+    // off for the same reason.
     for (net::NodeId u = 0; u < n; ++u) {
-      if (slot < start_of(config.starts, u)) continue;
+      if (slot < start_of(config.starts, u) || faults.down_at(u, slot)) {
+        continue;
+      }
       count_mode(result.activity[u], actions[u].mode);
     }
 
@@ -76,7 +91,7 @@ SlotEngineResult run_slot_engine(const net::Network& network,
       const net::ChannelId c = actions[u].channel;
 
       // Active primary-user noise at the listener drowns the channel.
-      if (config.interference && config.interference(slot, u, c)) {
+      if (has_interference && jammed(slot, u, c)) {
         setup.policy(u).observe_listen_outcome(ListenOutcome::kCollision);
         continue;
       }
@@ -97,13 +112,14 @@ SlotEngineResult run_slot_engine(const net::Network& network,
         setup.policy(u).observe_listen_outcome(ListenOutcome::kSilence);
         continue;
       }
-      if (config.loss_probability > 0.0 &&
-          setup.loss_rng().bernoulli(config.loss_probability)) {
+      if (faults.message_lost(heard.sender, u, setup.loss_rng(),
+                              config.loss_probability)) {
         setup.policy(u).observe_listen_outcome(ListenOutcome::kSilence);
         continue;
       }
       const bool first_time = result.state.record_reception(
           heard.sender, u, static_cast<double>(slot));
+      faults.note_reception(heard.sender, u, slot);
       setup.policy(u).observe_listen_outcome(ListenOutcome::kClear);
       setup.policy(u).observe_reception(heard.sender, first_time);
       if (config.on_reception) {
@@ -116,6 +132,9 @@ SlotEngineResult run_slot_engine(const net::Network& network,
       break;
     }
   }
+  result.robustness = faults.assess(
+      result.state,
+      result.slots_executed == 0 ? 0 : result.slots_executed - 1);
   return result;
 }
 

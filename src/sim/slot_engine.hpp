@@ -53,6 +53,9 @@ struct SlotEngineResult {
   /// counted, so activity[u].total() can be less than slots_executed).
   std::vector<RadioActivity> activity;
   DiscoveryState state;
+  /// Fault-robustness metrics; RobustnessReport::enabled is false when the
+  /// config carried no fault plan.
+  RobustnessReport robustness;
 };
 
 /// Runs one trial. The factory is invoked once per node.

@@ -28,7 +28,9 @@ class TrialSetup {
 
   TrialSetup(const net::Network& network, const Factory& factory,
              std::uint64_t seed)
-      : seeds_(seed),
+      : network_(&network),
+        factory_(factory),
+        seeds_(seed),
         loss_rng_(seeds_.derive(
             static_cast<std::uint64_t>(network.node_count()) + 1)) {
     const net::NodeId n = network.node_count();
@@ -39,6 +41,17 @@ class TrialSetup {
       policies_.push_back(factory(network, u));
       M2HEW_CHECK_MSG(policies_.back() != nullptr, "factory returned null");
     }
+  }
+
+  /// Rebuilds node u's policy from scratch through the same factory — the
+  /// fault layer's "reboot lost volatile state" semantics (a churned node
+  /// recovering with ChurnSpec::reset_policy_on_recovery). The node keeps
+  /// its RNG stream: a reboot does not re-seed the hardware generator, and
+  /// keeping the stream preserves the one-stream-per-node determinism
+  /// contract.
+  void reset_policy(net::NodeId u) {
+    policies_[u] = factory_(*network_, u);
+    M2HEW_CHECK_MSG(policies_[u] != nullptr, "factory returned null");
   }
 
   /// The trial's seed tree, for engine-specific extra streams (e.g. the
@@ -53,6 +66,8 @@ class TrialSetup {
   [[nodiscard]] util::Rng& loss_rng() noexcept { return loss_rng_; }
 
  private:
+  const net::Network* network_;
+  Factory factory_;
   util::SeedSequence seeds_;
   util::Rng loss_rng_;
   std::vector<util::Rng> rngs_;

@@ -19,25 +19,43 @@ namespace {
 
 }  // namespace
 
-IniFile IniFile::parse(std::istream& in) {
+IniFile IniFile::parse(std::istream& in, IniParseError* error) {
   IniFile file;
   std::string current;  // current section name
   std::string line;
+  std::size_t line_number = 0;
+  const auto fail = [&](const char* message) {
+    if (error == nullptr) {
+      M2HEW_CHECK_MSG(false, message);
+    }
+    error->line = line_number;
+    error->message = message;
+    error->text = line;
+  };
   while (std::getline(in, line)) {
+    ++line_number;
     const std::string_view trimmed = trim(line);
     if (trimmed.empty() || trimmed[0] == '#' || trimmed[0] == ';') continue;
     if (trimmed.front() == '[') {
-      M2HEW_CHECK_MSG(trimmed.back() == ']', "unterminated section header");
+      if (trimmed.back() != ']') {
+        fail("unterminated section header");
+        return file;
+      }
       current = std::string(trim(trimmed.substr(1, trimmed.size() - 2)));
       file.sections_[current];  // create even if empty
       continue;
     }
     const auto eq = trimmed.find('=');
-    M2HEW_CHECK_MSG(eq != std::string_view::npos,
-                    "expected 'key = value' line");
+    if (eq == std::string_view::npos) {
+      fail("expected 'key = value' line");
+      return file;
+    }
     const std::string key{trim(trimmed.substr(0, eq))};
     const std::string value{trim(trimmed.substr(eq + 1))};
-    M2HEW_CHECK_MSG(!key.empty(), "empty key");
+    if (key.empty()) {
+      fail("empty key");
+      return file;
+    }
     Section& section = file.sections_[current];
     if (section.values.emplace(key, value).second) {
       section.order.push_back(key);
@@ -48,9 +66,9 @@ IniFile IniFile::parse(std::istream& in) {
   return file;
 }
 
-IniFile IniFile::parse_string(std::string_view text) {
+IniFile IniFile::parse_string(std::string_view text, IniParseError* error) {
   std::istringstream in{std::string(text)};
-  return parse(in);
+  return parse(in, error);
 }
 
 bool IniFile::has_section(std::string_view section) const {

@@ -12,12 +12,28 @@
 
 namespace m2hew::util {
 
+/// Recoverable description of the first malformed line hit by
+/// IniFile::parse. `line` is 1-based; `text` is the offending line verbatim
+/// (untrimmed) so tools can echo it back to the user.
+struct IniParseError {
+  std::size_t line = 0;
+  std::string message;
+  std::string text;
+
+  [[nodiscard]] bool ok() const noexcept { return line == 0; }
+};
+
 class IniFile {
  public:
-  /// Parses the stream; aborts (CHECK) on malformed lines. Keys outside any
-  /// section belong to the unnamed section "".
-  [[nodiscard]] static IniFile parse(std::istream& in);
-  [[nodiscard]] static IniFile parse_string(std::string_view text);
+  /// Parses the stream. With `error == nullptr` malformed lines abort
+  /// (CHECK); otherwise the first malformed line is reported through
+  /// `*error` (with its 1-based line number) and parsing stops there,
+  /// returning the sections parsed so far. Keys outside any section belong
+  /// to the unnamed section "".
+  [[nodiscard]] static IniFile parse(std::istream& in,
+                                     IniParseError* error = nullptr);
+  [[nodiscard]] static IniFile parse_string(std::string_view text,
+                                            IniParseError* error = nullptr);
 
   [[nodiscard]] bool has_section(std::string_view section) const;
   [[nodiscard]] bool has(std::string_view section,

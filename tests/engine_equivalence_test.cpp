@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdlib>
 #include <memory>
 #include <vector>
 
@@ -18,15 +19,24 @@
 #include "core/algorithms.hpp"
 #include "core/termination.hpp"
 #include "net/channel_assign.hpp"
+#include "net/primary_user.hpp"
 #include "net/propagation.hpp"
 #include "net/topology_gen.hpp"
 #include "sim/async_engine.hpp"
 #include "sim/clock.hpp"
+#include "sim/fault_plan.hpp"
 #include "sim/slot_engine.hpp"
 #include "util/rng.hpp"
 
 namespace m2hew {
 namespace {
+
+// Soak runs (ci.yml) export M2HEW_SOAK_SEED to shift every scenario seed,
+// widening property coverage across scheduled runs without code changes.
+[[nodiscard]] std::uint64_t soak_offset() {
+  const char* env = std::getenv("M2HEW_SOAK_SEED");
+  return env == nullptr ? 0 : std::strtoull(env, nullptr, 10);
+}
 
 // Deterministic pseudo-random interference field: active ~20% of the time,
 // decorrelated across (time quantum, node, channel).
@@ -48,6 +58,49 @@ namespace {
   return masked ? net::Network(std::move(topology), std::move(assignment),
                                net::random_propagation_filter(6, 0.7, seed))
                 : net::Network(std::move(topology), std::move(assignment));
+}
+
+// Randomized fault plan over the first `horizon` time units: churn, burst
+// loss and scheduled spectrum faults mixed in by seed bits. The identity
+// contract must hold with ANY plan attached — the plan rides in the shared
+// config and is consumed identically on both reception paths.
+template <typename Time>
+[[nodiscard]] sim::FaultPlan<Time> make_fault_plan(std::uint64_t seed,
+                                                   net::NodeId n,
+                                                   double horizon) {
+  sim::FaultPlan<Time> plan;
+  util::Rng rng(seed ^ 0xFA157);
+  if (seed % 2 == 0) {
+    plan.churn.crash_probability = 0.3 + 0.2 * static_cast<double>(seed % 3);
+    plan.churn.earliest_crash = static_cast<Time>(horizon * 0.05);
+    plan.churn.latest_crash = static_cast<Time>(horizon * 0.5);
+    plan.churn.min_down = static_cast<Time>(horizon * 0.05);
+    plan.churn.max_down = static_cast<Time>(horizon * 0.3);
+    plan.churn.reset_policy_on_recovery = (seed % 4) == 0;
+  }
+  if (seed % 3 == 0) {
+    plan.burst_loss.enabled = true;
+    plan.burst_loss.p_good_to_bad = 0.05;
+    plan.burst_loss.p_bad_to_good = 0.2;
+    plan.burst_loss.loss_good = 0.02;
+    plan.burst_loss.loss_bad = 0.8;
+  }
+  if (seed % 5 == 0) {
+    for (net::NodeId u = 0; u < n; ++u) {
+      plan.positions.push_back(
+          {rng.uniform_double(), rng.uniform_double()});
+    }
+    for (int i = 0; i < 4; ++i) {
+      net::ScheduledPrimaryUser pu;
+      pu.user.position = {rng.uniform_double(), rng.uniform_double()};
+      pu.user.radius = 0.3 + 0.3 * rng.uniform_double();
+      pu.user.channel = static_cast<net::ChannelId>(rng.uniform(6));
+      pu.on_from = horizon * 0.6 * rng.uniform_double();
+      pu.on_until = pu.on_from + horizon * 0.3 * rng.uniform_double();
+      plan.spectrum.push_back(pu);
+    }
+  }
+  return plan;
 }
 
 void expect_same_state(const net::Network& network,
@@ -75,6 +128,20 @@ void expect_same_state(const net::Network& network,
   }
 }
 
+void expect_same_robustness(const sim::RobustnessReport& a,
+                            const sim::RobustnessReport& b) {
+  EXPECT_EQ(a.enabled, b.enabled);
+  EXPECT_EQ(a.crashed_nodes, b.crashed_nodes);
+  EXPECT_EQ(a.down_at_end, b.down_at_end);
+  EXPECT_EQ(a.surviving_links, b.surviving_links);
+  EXPECT_EQ(a.covered_surviving_links, b.covered_surviving_links);
+  EXPECT_EQ(a.ghost_entries, b.ghost_entries);
+  EXPECT_EQ(a.recovered_links, b.recovered_links);
+  EXPECT_EQ(a.rediscovered_links, b.rediscovered_links);
+  EXPECT_DOUBLE_EQ(a.mean_rediscovery, b.mean_rediscovery);
+  EXPECT_DOUBLE_EQ(a.max_rediscovery, b.max_rediscovery);
+}
+
 void expect_same_activity(const std::vector<sim::RadioActivity>& a,
                           const std::vector<sim::RadioActivity>& b) {
   ASSERT_EQ(a.size(), b.size());
@@ -88,7 +155,7 @@ void expect_same_activity(const std::vector<sim::RadioActivity>& a,
 class EngineEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(EngineEquivalence, SlotEngineIndexedMatchesReference) {
-  const std::uint64_t seed = GetParam();
+  const std::uint64_t seed = GetParam() + soak_offset();
   util::Rng rng(seed);
   const auto n = static_cast<net::NodeId>(8 + 8 * (seed % 3));
   const net::Network network = random_network(
@@ -107,6 +174,8 @@ TEST_P(EngineEquivalence, SlotEngineIndexedMatchesReference) {
   }
   config.starts.assign(n, 0);
   for (auto& s : config.starts) s = rng.uniform(25);
+  config.faults = make_fault_plan<std::uint64_t>(seed, n, 400.0);
+  if (config.faults.burst_loss.enabled) config.loss_probability = 0.0;
 
   sim::SyncPolicyFactory factory;
   switch (seed % 4) {
@@ -139,10 +208,11 @@ TEST_P(EngineEquivalence, SlotEngineIndexedMatchesReference) {
   EXPECT_EQ(a.slots_executed, b.slots_executed);
   expect_same_activity(a.activity, b.activity);
   expect_same_state(network, a.state, b.state);
+  expect_same_robustness(a.robustness, b.robustness);
 }
 
 TEST_P(EngineEquivalence, AsyncEngineIndexedMatchesReference) {
-  const std::uint64_t seed = GetParam();
+  const std::uint64_t seed = GetParam() + soak_offset();
   util::Rng rng(seed ^ 0xA5A5);
   const auto n = static_cast<net::NodeId>(6 + 4 * (seed % 2));
   const net::Network network = random_network(
@@ -164,6 +234,13 @@ TEST_P(EngineEquivalence, AsyncEngineIndexedMatchesReference) {
   }
   config.starts.assign(n, 0.0);
   for (auto& t : config.starts) t = rng.uniform_double() * 10.0;
+  config.faults = make_fault_plan<double>(seed, n, 500.0);
+  if (config.faults.burst_loss.enabled) config.loss_probability = 0.0;
+  if (seed % 7 == 0) {
+    // Drift wander replaces the clock_builder below on these seeds.
+    config.faults.drift_wander.enabled = true;
+    config.faults.drift_wander.max_drift = 0.12;
+  }
   config.clock_builder = [](net::NodeId, std::uint64_t clock_seed) {
     sim::PiecewiseDriftClock::Config drift;
     drift.max_drift = 0.1;
@@ -191,6 +268,7 @@ TEST_P(EngineEquivalence, AsyncEngineIndexedMatchesReference) {
   EXPECT_EQ(a.full_frames_since_ts, b.full_frames_since_ts);
   expect_same_activity(a.activity, b.activity);
   expect_same_state(network, a.state, b.state);
+  expect_same_robustness(a.robustness, b.robustness);
 }
 
 INSTANTIATE_TEST_SUITE_P(Sweep, EngineEquivalence,

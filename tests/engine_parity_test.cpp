@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdlib>
 #include <vector>
 
 #include "core/adaptive.hpp"
@@ -19,14 +20,23 @@
 #include "core/multi_radio.hpp"
 #include "core/termination.hpp"
 #include "net/channel_assign.hpp"
+#include "net/primary_user.hpp"
 #include "net/propagation.hpp"
 #include "net/topology_gen.hpp"
+#include "sim/fault_plan.hpp"
 #include "sim/multi_radio_engine.hpp"
 #include "sim/slot_engine.hpp"
 #include "util/rng.hpp"
 
 namespace m2hew {
 namespace {
+
+// Soak runs (ci.yml) export M2HEW_SOAK_SEED to shift every scenario seed,
+// widening property coverage across scheduled runs without code changes.
+[[nodiscard]] std::uint64_t soak_offset() {
+  const char* env = std::getenv("M2HEW_SOAK_SEED");
+  return env == nullptr ? 0 : std::strtoull(env, nullptr, 10);
+}
 
 // Deterministic pseudo-random interference field (same recipe as the
 // engine-equivalence test): active ~20% of the time, decorrelated across
@@ -49,6 +59,48 @@ namespace {
   return masked ? net::Network(std::move(topology), std::move(assignment),
                                net::random_propagation_filter(6, 0.7, seed))
                 : net::Network(std::move(topology), std::move(assignment));
+}
+
+// Randomized fault plan (same recipe as the engine-equivalence test):
+// churn, burst loss and scheduled spectrum faults mixed in by seed bits.
+// Parity must hold with ANY plan attached — the plan lives in the shared
+// SlotEngineCommon slice, so the assignment below carries it over.
+[[nodiscard]] sim::SlotFaultPlan make_fault_plan(std::uint64_t seed,
+                                                 net::NodeId n,
+                                                 double horizon) {
+  sim::SlotFaultPlan plan;
+  util::Rng rng(seed ^ 0xFA157);
+  if (seed % 2 == 0) {
+    plan.churn.crash_probability = 0.3 + 0.2 * static_cast<double>(seed % 3);
+    plan.churn.earliest_crash = static_cast<std::uint64_t>(horizon * 0.05);
+    plan.churn.latest_crash = static_cast<std::uint64_t>(horizon * 0.5);
+    plan.churn.min_down = static_cast<std::uint64_t>(horizon * 0.05);
+    plan.churn.max_down = static_cast<std::uint64_t>(horizon * 0.3);
+    plan.churn.reset_policy_on_recovery = (seed % 4) == 0;
+  }
+  if (seed % 3 == 0) {
+    plan.burst_loss.enabled = true;
+    plan.burst_loss.p_good_to_bad = 0.05;
+    plan.burst_loss.p_bad_to_good = 0.2;
+    plan.burst_loss.loss_good = 0.02;
+    plan.burst_loss.loss_bad = 0.8;
+  }
+  if (seed % 5 == 0) {
+    for (net::NodeId u = 0; u < n; ++u) {
+      plan.positions.push_back(
+          {rng.uniform_double(), rng.uniform_double()});
+    }
+    for (int i = 0; i < 4; ++i) {
+      net::ScheduledPrimaryUser pu;
+      pu.user.position = {rng.uniform_double(), rng.uniform_double()};
+      pu.user.radius = 0.3 + 0.3 * rng.uniform_double();
+      pu.user.channel = static_cast<net::ChannelId>(rng.uniform(6));
+      pu.on_from = horizon * 0.6 * rng.uniform_double();
+      pu.on_until = pu.on_from + horizon * 0.3 * rng.uniform_double();
+      plan.spectrum.push_back(pu);
+    }
+  }
+  return plan;
 }
 
 void expect_same_state(const net::Network& network,
@@ -79,7 +131,7 @@ void expect_same_state(const net::Network& network,
 class EngineParity : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(EngineParity, SingleRadioMatchesSlotEngine) {
-  const std::uint64_t seed = GetParam();
+  const std::uint64_t seed = GetParam() + soak_offset();
   util::Rng rng(seed ^ 0x5151);
   const auto n = static_cast<net::NodeId>(8 + 8 * (seed % 3));
   const net::Network network = random_network(
@@ -99,6 +151,10 @@ TEST_P(EngineParity, SingleRadioMatchesSlotEngine) {
   }
   slot_config.starts.assign(n, 0);
   for (auto& s : slot_config.starts) s = rng.uniform(25);
+  slot_config.faults = make_fault_plan(seed, n, 400.0);
+  if (slot_config.faults.burst_loss.enabled) {
+    slot_config.loss_probability = 0.0;
+  }
 
   sim::SyncPolicyFactory factory;
   switch (seed % 4) {
@@ -132,6 +188,17 @@ TEST_P(EngineParity, SingleRadioMatchesSlotEngine) {
   EXPECT_EQ(single.complete, multi.complete);
   EXPECT_EQ(single.completion_slot, multi.completion_slot);
   EXPECT_EQ(single.slots_executed, multi.slots_executed);
+  EXPECT_EQ(single.robustness.enabled, multi.robustness.enabled);
+  EXPECT_EQ(single.robustness.crashed_nodes, multi.robustness.crashed_nodes);
+  EXPECT_EQ(single.robustness.ghost_entries, multi.robustness.ghost_entries);
+  EXPECT_EQ(single.robustness.surviving_links,
+            multi.robustness.surviving_links);
+  EXPECT_EQ(single.robustness.covered_surviving_links,
+            multi.robustness.covered_surviving_links);
+  EXPECT_EQ(single.robustness.rediscovered_links,
+            multi.robustness.rediscovered_links);
+  EXPECT_DOUBLE_EQ(single.robustness.mean_rediscovery,
+                   multi.robustness.mean_rediscovery);
   ASSERT_EQ(single.activity.size(), multi.activity.size());
   for (std::size_t u = 0; u < single.activity.size(); ++u) {
     EXPECT_EQ(single.activity[u].transmit, multi.activity[u].transmit)

@@ -68,6 +68,44 @@ TEST(Ini, WhitespaceAndCommentsIgnored) {
   EXPECT_EQ(ini.get("s", "key"), "spaced value here");
 }
 
+// With an IniParseError out-param, malformed input is recoverable: the
+// parser reports the 1-based line, a message and the offending text, and
+// returns what it parsed before the error (tools print file:line and exit
+// nonzero instead of aborting).
+TEST(IniParseError, ReportsLineMessageAndText) {
+  IniParseError error;
+  const IniFile ini = IniFile::parse_string(
+      "[a]\nx = 1\n[unterminated\ny = 2\n", &error);
+  EXPECT_FALSE(error.ok());
+  EXPECT_EQ(error.line, 3u);
+  EXPECT_FALSE(error.message.empty());
+  EXPECT_EQ(error.text, "[unterminated");
+  // The prefix before the bad line is still available.
+  EXPECT_EQ(ini.get_int("a", "x"), 1);
+  // Parsing stopped at the error, so the following line never landed.
+  EXPECT_FALSE(ini.has("a", "y"));
+}
+
+TEST(IniParseError, MissingEqualsAndEmptyKey) {
+  IniParseError error;
+  (void)IniFile::parse_string("no equals sign\n", &error);
+  EXPECT_EQ(error.line, 1u);
+  EXPECT_EQ(error.text, "no equals sign");
+
+  error = IniParseError{};
+  (void)IniFile::parse_string("[a]\n\n= novalue\n", &error);
+  EXPECT_EQ(error.line, 3u);
+}
+
+TEST(IniParseError, OkWhenInputIsWellFormed) {
+  IniParseError error;
+  const IniFile ini = IniFile::parse_string(kSample, &error);
+  EXPECT_TRUE(error.ok());
+  EXPECT_EQ(error.line, 0u);
+  EXPECT_EQ(ini.get_int("experiment", "trials"), 30);
+}
+
+// Without an out-param the historical contract stands: CHECK-abort.
 TEST(IniDeath, MalformedLinesAbort) {
   EXPECT_DEATH((void)IniFile::parse_string("[unterminated\n"),
                "CHECK failed");

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <thread>
+#include <vector>
+
 #include "util/rng.hpp"
 
 namespace m2hew::net {
@@ -76,8 +80,111 @@ TEST(PrimaryUserField, SpatialVariationProducesHeterogeneity) {
   EXPECT_FALSE(a == b);
 }
 
+TEST(PrimaryUserField, ExactDiskBoundaryIsOccupied) {
+  // Exactly-representable distances: radius 0.5 reached axially at
+  // (0.5, 0) and diagonally at the 3-4-5 point (0.3, 0.4) — both must be
+  // inside (the disk is closed), matching the <= in the implementation.
+  const PrimaryUserField field(2, {{{0.0, 0.0}, 0.5, 0}});
+  EXPECT_TRUE(field.occupied_at({0.5, 0.0}).contains(0));
+  EXPECT_TRUE(field.occupied_at({0.0, -0.5}).contains(0));
+  EXPECT_TRUE(field.occupied_at({0.3, 0.4}).contains(0));
+  EXPECT_FALSE(field.occupied_at({0.5000001, 0.0}).contains(0));
+}
+
 TEST(PrimaryUserFieldDeath, ChannelOutsideUniverseAborts) {
   EXPECT_DEATH(PrimaryUserField(2, {{{0.0, 0.0}, 1.0, 2}}), "CHECK failed");
+}
+
+TEST(ScheduledPrimaryUserField, ActivationIntervalIsHalfOpen) {
+  const ScheduledPrimaryUser pu{{{0.0, 0.0}, 1.0, 0}, 10.0, 20.0};
+  EXPECT_FALSE(pu.active_at(9.999999));
+  EXPECT_TRUE(pu.active_at(10.0));  // on_from is inclusive
+  EXPECT_TRUE(pu.active_at(19.999999));
+  EXPECT_FALSE(pu.active_at(20.0));  // on_until is exclusive
+}
+
+TEST(ScheduledPrimaryUserField, OccupiedNeedsActiveCoveringMatchingPu) {
+  const ScheduledPrimaryUserField field(
+      3, {{{{0.0, 0.0}, 0.5, 1}, 10.0, 20.0}});
+  // Active, covered (boundary point included), right channel.
+  EXPECT_TRUE(field.occupied(15.0, {0.3, 0.4}, 1));
+  // Wrong channel / outside disk / outside interval.
+  EXPECT_FALSE(field.occupied(15.0, {0.3, 0.4}, 0));
+  EXPECT_FALSE(field.occupied(15.0, {0.6, 0.4}, 1));
+  EXPECT_FALSE(field.occupied(9.0, {0.3, 0.4}, 1));
+  EXPECT_FALSE(field.occupied(20.0, {0.3, 0.4}, 1));
+  EXPECT_EQ(field.occupied_at(15.0, {0.0, 0.0}), ChannelSet(3, {1}));
+  EXPECT_EQ(field.occupied_at(25.0, {0.0, 0.0}).size(), 0u);
+}
+
+TEST(ScheduledPrimaryUserField, RandomFieldRespectsConfig) {
+  util::Rng rng(3);
+  const ScheduledPrimaryUserField field = ScheduledPrimaryUserField::random(
+      8, 20, 1.5, 0.1, 0.3, 1000.0, 50.0, 200.0, rng);
+  EXPECT_EQ(field.users().size(), 20u);
+  for (const auto& pu : field.users()) {
+    EXPECT_LT(pu.user.channel, 8u);
+    EXPECT_GE(pu.user.radius, 0.1);
+    EXPECT_LE(pu.user.radius, 0.3);
+    EXPECT_GE(pu.on_from, 0.0);
+    EXPECT_LT(pu.on_from, 1000.0);
+    EXPECT_GE(pu.on_until - pu.on_from, 50.0);
+    EXPECT_LE(pu.on_until - pu.on_from, 200.0);
+  }
+}
+
+// The interference callback is shared across trial threads by the parallel
+// runner and queried at whatever times each trial has reached — i.e. out
+// of time order, concurrently. It must be a pure function of (t, node,
+// channel): precompute serial reference answers, then replay them from
+// several threads each walking the query grid in a different order.
+TEST(ScheduledPrimaryUserField, InterferenceCallbackIsPureUnderThreads) {
+  util::Rng rng(11);
+  const ScheduledPrimaryUserField field = ScheduledPrimaryUserField::random(
+      6, 15, 1.0, 0.2, 0.5, 500.0, 20.0, 120.0, rng);
+  std::vector<Point> positions;
+  for (int i = 0; i < 10; ++i) {
+    positions.push_back({rng.uniform_double(), rng.uniform_double()});
+  }
+  const auto interference = field.interference_for(positions);
+
+  struct Query {
+    double t;
+    NodeId node;
+    ChannelId channel;
+    bool expected;
+  };
+  std::vector<Query> queries;
+  for (double t = 0.0; t < 520.0; t += 7.0) {
+    for (NodeId u = 0; u < 10; ++u) {
+      for (ChannelId c = 0; c < 6; ++c) {
+        queries.push_back({t, u, c, interference(t, u, c)});
+      }
+    }
+  }
+
+  std::vector<std::size_t> mismatches(4, 0);
+  std::vector<std::thread> threads;
+  for (std::size_t worker = 0; worker < 4; ++worker) {
+    threads.emplace_back([&, worker] {
+      // Each worker visits the grid in a different (and non-monotone in
+      // time) order: strided from a different offset, reversed for odd
+      // workers.
+      const std::size_t count = queries.size();
+      for (std::size_t i = 0; i < count; ++i) {
+        const std::size_t raw = (i * 13 + worker * 101) % count;
+        const std::size_t idx = (worker % 2 == 0) ? raw : count - 1 - raw;
+        const Query& q = queries[idx];
+        if (interference(q.t, q.node, q.channel) != q.expected) {
+          ++mismatches[worker];
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (std::size_t worker = 0; worker < 4; ++worker) {
+    EXPECT_EQ(mismatches[worker], 0u) << "worker " << worker;
+  }
 }
 
 }  // namespace

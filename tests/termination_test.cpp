@@ -33,6 +33,79 @@ TEST(TerminatingSyncPolicy, GoesQuietAfterThreshold) {
   }
 }
 
+TEST(TerminatingSyncPolicy, BeaconTransmitsRoundRobinAfterTermination) {
+  // Period 4 over channels {1, 3, 5}: the node transmits on every 4th
+  // post-termination slot, cycling 1, 3, 5, 1, ... and is quiet otherwise.
+  TerminatingSyncPolicy policy(std::make_unique<AlwaysReceive>(), 3,
+                               net::ChannelSet(6, {1, 3, 5}), 4);
+  util::Rng rng(1);
+  for (int i = 0; i < 3; ++i) (void)policy.next_slot(rng);
+  ASSERT_TRUE(policy.terminated());
+  const std::vector<net::ChannelId> expected = {1, 3, 5, 1, 3, 5};
+  std::size_t beacons = 0;
+  for (int slot = 1; slot <= 24; ++slot) {
+    const sim::SlotAction action = policy.next_slot(rng);
+    if (slot % 4 == 0) {
+      ASSERT_EQ(action.mode, sim::Mode::kTransmit) << "slot " << slot;
+      ASSERT_LT(beacons, expected.size());
+      EXPECT_EQ(action.channel, expected[beacons]) << "slot " << slot;
+      ++beacons;
+    } else {
+      EXPECT_EQ(action.mode, sim::Mode::kQuiet) << "slot " << slot;
+    }
+  }
+  EXPECT_EQ(beacons, 6u);
+}
+
+TEST(TerminatingSyncPolicy, BeaconDrawsNoRandomness) {
+  // The beacon schedule is deterministic: a terminated node must not touch
+  // its RNG, or it would perturb replay of the node's random stream.
+  TerminatingSyncPolicy policy(std::make_unique<AlwaysReceive>(), 2,
+                               net::ChannelSet(4, {0, 2}), 3);
+  util::Rng rng(99);
+  util::Rng untouched(99);
+  for (int i = 0; i < 30; ++i) (void)policy.next_slot(rng);
+  EXPECT_TRUE(policy.terminated());
+  EXPECT_EQ(rng.uniform(1u << 20), untouched.uniform(1u << 20));
+}
+
+TEST(TerminatingSyncPolicy, ZeroPeriodOrEmptySetMeansPlainTermination) {
+  TerminatingSyncPolicy zero_period(std::make_unique<AlwaysReceive>(), 2,
+                                    net::ChannelSet(4, {0, 2}), 0);
+  TerminatingSyncPolicy empty_set(std::make_unique<AlwaysReceive>(), 2,
+                                  net::ChannelSet(4), 5);
+  util::Rng rng(1);
+  for (int i = 0; i < 2; ++i) {
+    (void)zero_period.next_slot(rng);
+    (void)empty_set.next_slot(rng);
+  }
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(zero_period.next_slot(rng).mode, sim::Mode::kQuiet);
+    EXPECT_EQ(empty_set.next_slot(rng).mode, sim::Mode::kQuiet);
+  }
+}
+
+TEST(TerminatingSyncPolicy, BeaconFactoryUsesNodeAvailableSet) {
+  // with_termination_beacon wires each node's A(u) as its beacon set.
+  const net::Network network(
+      net::make_clique(2),
+      {net::ChannelSet(5, {2, 4}), net::ChannelSet(5, {0, 1, 2, 3, 4})});
+  const sim::SyncPolicyFactory factory =
+      with_termination_beacon(core::make_algorithm1(4), 3, 2);
+  const auto policy = factory(network, 0);
+  util::Rng rng(7);
+  for (int i = 0; i < 3; ++i) (void)policy->next_slot(rng);
+  std::vector<net::ChannelId> beacon_channels;
+  for (int i = 0; i < 8; ++i) {
+    const sim::SlotAction action = policy->next_slot(rng);
+    if (action.mode == sim::Mode::kTransmit) {
+      beacon_channels.push_back(action.channel);
+    }
+  }
+  EXPECT_EQ(beacon_channels,
+            (std::vector<net::ChannelId>{2, 4, 2, 4}));
+}
+
 TEST(TerminatingSyncPolicy, NewNeighborResetsSilence) {
   TerminatingSyncPolicy policy(std::make_unique<AlwaysReceive>(), 5);
   util::Rng rng(1);

@@ -10,6 +10,7 @@
 // Run with --help for the full flag list.
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
 #include <memory>
 #include <string>
 
@@ -21,9 +22,11 @@
 #include "core/termination.hpp"
 #include "core/transmit_probability.hpp"
 #include "net/serialize.hpp"
+#include "runner/report.hpp"
 #include "runner/scenario.hpp"
 #include "runner/trials.hpp"
 #include "sim/clock.hpp"
+#include "sim/fault_plan.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
@@ -69,7 +72,76 @@ Execution:
   --loss=<p>                  per-reception loss probability (default 0)
   --drift=<delta>             alg4 max clock drift (default 1/7)
   --frame-length=<L>          alg4 frame length (default 3)
+
+Fault injection (sim::FaultPlan; all off by default):
+  --churn-prob=<p>            per-node crash probability
+  --churn-from=<t>            earliest crash time   (default 200)
+  --churn-until=<t>           latest crash time     (default 2000)
+  --churn-down-min=<t>        min downtime          (default 100)
+  --churn-down-max=<t>        max downtime          (default 1000)
+  --churn-reset=<0|1>         reset policy state on recovery (default 1)
+  --burst-loss=<p>            Gilbert-Elliott bad-state loss (enables the
+                              bursty model; mutually exclusive with --loss)
+  --burst-p-gb=<p>            good->bad transition prob (default 0.01)
+  --burst-p-bg=<p>            bad->good transition prob (default 0.1)
+  --burst-loss-good=<p>       good-state loss prob (default 0)
+  --drift-wander=<delta>      alg4 drift re-drawn per segment within delta
+                              (replaces --drift's fixed-rate clock)
 )";
+
+/// One-line flag-validation diagnostic; exits 2 (usage error) on failure so
+/// bad knobs fail fast instead of tripping a CHECK deep in the engine.
+void require_flag(bool ok, const char* message) {
+  if (ok) return;
+  std::fprintf(stderr, "m2hew_cli: %s\n", message);
+  std::exit(2);
+}
+
+/// Builds the engine fault plan from the --churn-*/--burst-* flags. Shared
+/// by the slotted and async paths; Time is uint64_t slots or real seconds.
+template <typename Time>
+void apply_fault_flags(const util::Flags& flags,
+                       sim::FaultPlan<Time>& faults) {
+  const double churn_prob = flags.get_double("churn-prob", 0.0);
+  require_flag(churn_prob >= 0.0 && churn_prob <= 1.0,
+               "--churn-prob must be in [0, 1]");
+  if (churn_prob > 0.0) {
+    const double from = flags.get_double("churn-from", 200.0);
+    const double until = flags.get_double("churn-until", 2000.0);
+    const double down_min = flags.get_double("churn-down-min", 100.0);
+    const double down_max = flags.get_double("churn-down-max", 1000.0);
+    require_flag(from >= 0.0 && until >= from,
+                 "--churn-from/--churn-until must satisfy 0 <= from <= "
+                 "until");
+    require_flag(down_min >= 0.0 && down_max >= down_min,
+                 "--churn-down-min/--churn-down-max must satisfy 0 <= min "
+                 "<= max");
+    faults.churn.crash_probability = churn_prob;
+    faults.churn.earliest_crash = static_cast<Time>(from);
+    faults.churn.latest_crash = static_cast<Time>(until);
+    faults.churn.min_down = static_cast<Time>(down_min);
+    faults.churn.max_down = static_cast<Time>(down_max);
+    faults.churn.reset_policy_on_recovery =
+        flags.get_int("churn-reset", 1) != 0;
+  }
+  const double burst_bad = flags.get_double("burst-loss", 0.0);
+  require_flag(burst_bad >= 0.0 && burst_bad <= 1.0,
+               "--burst-loss must be in [0, 1]");
+  if (burst_bad > 0.0) {
+    const double p_gb = flags.get_double("burst-p-gb", 0.01);
+    const double p_bg = flags.get_double("burst-p-bg", 0.1);
+    const double loss_good = flags.get_double("burst-loss-good", 0.0);
+    require_flag(p_gb >= 0.0 && p_gb <= 1.0 && p_bg >= 0.0 && p_bg <= 1.0,
+                 "--burst-p-gb/--burst-p-bg must be in [0, 1]");
+    require_flag(loss_good >= 0.0 && loss_good <= 1.0,
+                 "--burst-loss-good must be in [0, 1]");
+    faults.burst_loss.enabled = true;
+    faults.burst_loss.loss_bad = burst_bad;
+    faults.burst_loss.p_good_to_bad = p_gb;
+    faults.burst_loss.p_bad_to_good = p_bg;
+    faults.burst_loss.loss_good = loss_good;
+  }
+}
 
 [[nodiscard]] runner::ScenarioConfig scenario_from_flags(
     const util::Flags& flags) {
@@ -154,6 +226,49 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  // Range-check every numeric knob up front (exit 2 with a one-line
+  // diagnostic) so a typo'd flag cannot reach a CHECK deep in the engine.
+  require_flag(flags.get_int("n", 16) >= 1, "--n must be >= 1");
+  require_flag(flags.get_int("universe", 10) >= 1,
+               "--universe must be >= 1");
+  require_flag(flags.get_int("set-size", 4) >= 1,
+               "--set-size must be >= 1");
+  require_flag(flags.get_int("trials", 30) >= 1, "--trials must be >= 1");
+  require_flag(flags.get_int("threads", 0) >= 0,
+               "--threads must be >= 0 (0 = all cores)");
+  require_flag(flags.get_int("seed", 1) >= 0, "--seed must be >= 0");
+  require_flag(flags.get_int("delta-est", 8) >= 1,
+               "--delta-est must be >= 1");
+  require_flag(flags.get_int("max-slots", 10'000'000) >= 1,
+               "--max-slots must be >= 1");
+  require_flag(flags.get_int("radios", 1) >= 1, "--radios must be >= 1");
+  require_flag(flags.get_int("terminate-after", 0) >= 0,
+               "--terminate-after must be >= 0");
+  {
+    const double loss_p = flags.get_double("loss", 0.0);
+    require_flag(loss_p >= 0.0 && loss_p <= 1.0,
+                 "--loss must be in [0, 1]");
+    const double eps = flags.get_double("epsilon", 0.1);
+    require_flag(eps > 0.0 && eps < 1.0, "--epsilon must be in (0, 1)");
+    const double drift = flags.get_double("drift", 1.0 / 7.0);
+    require_flag(drift >= 0.0 && drift < 1.0,
+                 "--drift must be in [0, 1)");
+    const double wander = flags.get_double("drift-wander", 0.0);
+    require_flag(wander >= 0.0 && wander < 1.0,
+                 "--drift-wander must be in [0, 1)");
+    require_flag(flags.get_double("frame-length", 3.0) > 0.0,
+                 "--frame-length must be > 0");
+    const double drop = flags.get_double("asymmetric-drop", 0.0);
+    require_flag(drop >= 0.0 && drop <= 1.0,
+                 "--asymmetric-drop must be in [0, 1]");
+    const double keep = flags.get_double("prop-keep", 0.7);
+    require_flag(keep >= 0.0 && keep <= 1.0,
+                 "--prop-keep must be in [0, 1]");
+    require_flag(!(loss_p > 0.0 && flags.get_double("burst-loss", 0.0) > 0.0),
+                 "--loss and --burst-loss are mutually exclusive (i.i.d. vs "
+                 "Gilbert-Elliott loss)");
+  }
+
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
   const auto delta_est =
       static_cast<std::size_t>(flags.get_int("delta-est", 8));
@@ -175,11 +290,18 @@ int main(int argc, char** argv) {
       // up as typos when a file overrides them.
       (void)scenario_from_flags(flags);
       scenario_text = "loaded from " + load_path;
-      return net::load_network_file(load_path);
+      try {
+        return net::load_network_file(load_path);
+      } catch (const std::runtime_error& e) {
+        std::fprintf(stderr, "m2hew_cli: %s: %s\n", load_path.c_str(),
+                     e.what());
+        std::exit(2);
+      }
     }
     const runner::ScenarioConfig scenario = scenario_from_flags(flags);
     sim::SlotEngineCommon engine_knobs;
     engine_knobs.loss_probability = loss;
+    apply_fault_flags(flags, engine_knobs.faults);
     scenario_text = runner::describe(scenario, engine_knobs);
     return runner::build_scenario(scenario, seed);
   }();
@@ -236,6 +358,7 @@ int main(int argc, char** argv) {
     trial.engine.max_slots = static_cast<std::uint64_t>(
         flags.get_int("max-slots", 10'000'000));
     trial.engine.loss_probability = loss;
+    apply_fault_flags(flags, trial.engine.faults);
     const auto stats = runner::run_multi_radio_trials(
         network, core::make_multi_radio_alg3(radios, delta_est), trial);
     const auto summary = stats.completion_slots.summarize();
@@ -247,9 +370,11 @@ int main(int argc, char** argv) {
     table.row().cell("max slots").cell(summary.max, 1);
     report_throughput(stats);
     std::printf("\n%s", table.render().c_str());
+    runner::print_robustness(stats.robustness);
     return 0;
   }
 
+  runner::RobustnessStats robustness;
   if (algorithm == "alg4") {
     runner::AsyncTrialConfig trial;
     trial.trials = trials;
@@ -258,6 +383,12 @@ int main(int argc, char** argv) {
     trial.engine.frame_length = flags.get_double("frame-length", 3.0);
     trial.engine.max_real_time = 1e8;
     trial.engine.loss_probability = loss;
+    apply_fault_flags(flags, trial.engine.faults);
+    const double wander = flags.get_double("drift-wander", 0.0);
+    if (wander > 0.0) {
+      trial.engine.faults.drift_wander.enabled = true;
+      trial.engine.faults.drift_wander.max_drift = wander;
+    }
     const double drift = flags.get_double("drift", 1.0 / 7.0);
     if (drift > 0.0) {
       trial.engine.clock_builder = [drift](net::NodeId,
@@ -283,6 +414,7 @@ int main(int argc, char** argv) {
     table.row().cell("thm9 frame bound")
         .cell(core::theorem9_frame_bound(params), 0);
     report_throughput(stats);
+    robustness = stats.robustness;
   } else {
     runner::SyncTrialConfig trial;
     trial.trials = trials;
@@ -291,6 +423,7 @@ int main(int argc, char** argv) {
     trial.engine.max_slots = static_cast<std::uint64_t>(
         flags.get_int("max-slots", 10'000'000));
     trial.engine.loss_probability = loss;
+    apply_fault_flags(flags, trial.engine.faults);
 
     sim::SyncPolicyFactory factory;
     double bound = 0.0;
@@ -331,9 +464,11 @@ int main(int argc, char** argv) {
     }
     const auto stats = runner::run_sync_trials(network, factory, trial);
     report_sync(stats, bound, bound_name);
+    robustness = stats.robustness;
   }
 
   std::printf("\n%s", table.render().c_str());
+  runner::print_robustness(robustness);
 
   const auto leftovers = flags.unconsumed();
   if (!leftovers.empty()) {

@@ -23,7 +23,19 @@
 //   n         = 12
 //   set-size  = 8
 //
-// Output: a table (one row per sweep value), optional plot, and
+//   [faults]                  ; optional deterministic fault injection
+//   crash-prob  = 0.3         ; per-node crash probability (node churn)
+//   crash-from  = 200         ; crash window [crash-from, crash-until]
+//   crash-until = 2000
+//   down-min    = 100         ; downtime window [down-min, down-max]
+//   down-max    = 1000
+//   reset-on-recovery = 1     ; restart policy state after recovery
+//   burst-loss  = 0.9         ; Gilbert-Elliott bad-state loss (bursty)
+//   burst-p-gb  = 0.01        ; good->bad transition probability
+//   burst-p-bg  = 0.1         ; bad->good transition probability
+//
+// Output: a table (one row per sweep value), optional plot, robustness
+// metrics per sweep value when [faults] is present, and
 // results/<name>.csv.
 #include <cmath>
 #include <cstdio>
@@ -37,6 +49,7 @@
 #include "runner/scenario.hpp"
 #include "runner/scenario_kv.hpp"
 #include "runner/trials.hpp"
+#include "sim/fault_plan.hpp"
 #include "util/ascii_plot.hpp"
 #include "util/csv.hpp"
 #include "util/ini.hpp"
@@ -68,7 +81,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cannot open %s\n", argv[1]);
     return 2;
   }
-  const util::IniFile ini = util::IniFile::parse(in);
+  util::IniParseError parse_error;
+  const util::IniFile ini = util::IniFile::parse(in, &parse_error);
+  if (!parse_error.ok()) {
+    std::fprintf(stderr, "%s:%zu: %s\n  %s\n", argv[1], parse_error.line,
+                 parse_error.message.c_str(), parse_error.text.c_str());
+    return 2;
+  }
 
   const std::string name = ini.get("experiment", "name", "experiment");
   const std::string algorithm = ini.get("experiment", "algorithm", "alg3");
@@ -93,6 +112,50 @@ int main(int argc, char** argv) {
                                         ini.get("scenario", key))) {
       std::fprintf(stderr, "unknown scenario key '%s'\n", key.c_str());
       return 2;
+    }
+  }
+
+  // Optional [faults] section: deterministic fault injection for every run
+  // in the sweep (docs/MODEL.md "Fault model").
+  sim::SlotFaultPlan faults;
+  if (ini.has_section("faults")) {
+    for (const std::string& key : ini.keys("faults")) {
+      static constexpr const char* kKnown[] = {
+          "crash-prob",      "crash-from",      "crash-until",
+          "down-min",        "down-max",        "reset-on-recovery",
+          "burst-loss",      "burst-p-gb",      "burst-p-bg",
+          "burst-loss-good"};
+      bool known = false;
+      for (const char* k : kKnown) known |= key == k;
+      if (!known) {
+        std::fprintf(stderr, "unknown [faults] key '%s'\n", key.c_str());
+        return 2;
+      }
+    }
+    const double crash_prob = ini.get_double("faults", "crash-prob", 0.0);
+    if (crash_prob > 0.0) {
+      faults.churn.crash_probability = crash_prob;
+      faults.churn.earliest_crash = static_cast<std::uint64_t>(
+          ini.get_int("faults", "crash-from", 200));
+      faults.churn.latest_crash = static_cast<std::uint64_t>(
+          ini.get_int("faults", "crash-until", 2000));
+      faults.churn.min_down = static_cast<std::uint64_t>(
+          ini.get_int("faults", "down-min", 100));
+      faults.churn.max_down = static_cast<std::uint64_t>(
+          ini.get_int("faults", "down-max", 1000));
+      faults.churn.reset_policy_on_recovery =
+          ini.get_int("faults", "reset-on-recovery", 1) != 0;
+    }
+    const double burst_bad = ini.get_double("faults", "burst-loss", 0.0);
+    if (burst_bad > 0.0) {
+      faults.burst_loss.enabled = true;
+      faults.burst_loss.loss_bad = burst_bad;
+      faults.burst_loss.p_good_to_bad =
+          ini.get_double("faults", "burst-p-gb", 0.01);
+      faults.burst_loss.p_bad_to_good =
+          ini.get_double("faults", "burst-p-bg", 0.1);
+      faults.burst_loss.loss_good =
+          ini.get_double("faults", "burst-loss-good", 0.0);
     }
   }
 
@@ -140,8 +203,14 @@ int main(int argc, char** argv) {
     trial.seed = seed;
     trial.threads = threads;
     trial.engine.max_slots = max_slots;
+    trial.engine.faults = faults;
     const auto stats =
         runner::run_sync_trials(network, make_factory(), trial);
+    if (stats.robustness.enabled()) {
+      std::printf("[%s = %s]\n", sweep_key.empty() ? "run" : sweep_key.c_str(),
+                  format_value(value).c_str());
+      runner::print_robustness(stats.robustness);
+    }
     const auto summary = stats.completion_slots.summarize();
     means.push_back(summary.mean);
     total_seconds += stats.elapsed_seconds;
