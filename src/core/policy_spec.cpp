@@ -1,0 +1,71 @@
+#include "core/policy_spec.hpp"
+
+#include "core/algorithms.hpp"
+#include "core/transmit_probability.hpp"
+#include "util/check.hpp"
+
+namespace m2hew::core {
+
+sim::SyncPolicyFactory make_policy_factory(const SyncPolicySpec& spec) {
+  switch (spec.kind) {
+    case SyncPolicySpec::Kind::kAlgorithm1:
+      return make_algorithm1(spec.delta_est);
+    case SyncPolicySpec::Kind::kAlgorithm2:
+      return make_algorithm2(spec.schedule);
+    case SyncPolicySpec::Kind::kAlgorithm3:
+      return make_algorithm3(spec.delta_est);
+  }
+  M2HEW_CHECK_MSG(false, "unknown SyncPolicySpec kind");
+  return {};
+}
+
+sim::SoaPolicyTable build_soa_policy_table(const net::Network& network,
+                                           const SyncPolicySpec& spec) {
+  sim::SoaPolicyTable table;
+  const std::size_t s = network.max_channel_set_size();
+
+  const auto fill_staged = [&table, s]() {
+    table.staged = true;
+    table.max_available = s;
+    const unsigned stride = sim::SoaPolicyTable::kMaxStageSlot + 1;
+    // Row a = 0 stays zero: the kernel rejects empty available sets, so
+    // it is never read (and alg1_slot_probability requires a >= 1).
+    table.p_staged.assign((s + 1) * stride, 0.0);
+    for (std::size_t a = 1; a <= s; ++a) {
+      for (unsigned i = 1; i <= sim::SoaPolicyTable::kMaxStageSlot; ++i) {
+        table.p_staged[a * stride + i] = alg1_slot_probability(a, i);
+      }
+    }
+  };
+
+  switch (spec.kind) {
+    case SyncPolicySpec::Kind::kAlgorithm1:
+      M2HEW_CHECK(spec.delta_est >= 1);
+      fill_staged();
+      table.escalating = false;
+      table.initial_estimate = spec.delta_est;
+      table.initial_stage_slots = stage_length(spec.delta_est);
+      break;
+    case SyncPolicySpec::Kind::kAlgorithm2:
+      fill_staged();
+      table.escalating = true;
+      table.escalate_double = spec.schedule == EstimateSchedule::kDouble;
+      table.initial_estimate = 2;
+      table.initial_stage_slots = stage_length(2);
+      table.stage_length = &stage_length;
+      break;
+    case SyncPolicySpec::Kind::kAlgorithm3: {
+      table.staged = false;
+      const net::NodeId n = network.node_count();
+      table.p_constant.reserve(n);
+      for (net::NodeId u = 0; u < n; ++u) {
+        table.p_constant.push_back(
+            alg3_probability(network.available(u).size(), spec.delta_est));
+      }
+      break;
+    }
+  }
+  return table;
+}
+
+}  // namespace m2hew::core

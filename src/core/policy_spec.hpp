@@ -1,0 +1,52 @@
+// SyncPolicySpec: a value-type description of which synchronous algorithm
+// to run, convertible BOTH into the classic virtual-policy factory (the
+// bit-exactness oracle, sim/policy.hpp) and into the flat policy table the
+// SoA kernel consumes (sim/soa_policy.hpp). Keeping one spec as the single
+// source for both representations is what lets the runner switch kernels
+// per-flag while the equivalence suite pins them together.
+#pragma once
+
+#include <cstddef>
+
+#include "core/algorithm2.hpp"
+#include "net/network.hpp"
+#include "sim/policy.hpp"
+#include "sim/soa_policy.hpp"
+
+namespace m2hew::core {
+
+struct SyncPolicySpec {
+  enum class Kind {
+    kAlgorithm1,  ///< staged, fixed degree bound delta_est
+    kAlgorithm2,  ///< staged, escalating estimate per `schedule`
+    kAlgorithm3,  ///< constant probability from delta_est
+  };
+
+  Kind kind = Kind::kAlgorithm1;
+  std::size_t delta_est = 8;  ///< Algorithms 1 and 3
+  EstimateSchedule schedule = EstimateSchedule::kIncrement;  ///< Algorithm 2
+
+  [[nodiscard]] static SyncPolicySpec algorithm1(std::size_t delta_est) {
+    return {Kind::kAlgorithm1, delta_est, EstimateSchedule::kIncrement};
+  }
+  [[nodiscard]] static SyncPolicySpec algorithm2(
+      EstimateSchedule schedule = EstimateSchedule::kIncrement) {
+    return {Kind::kAlgorithm2, 0, schedule};
+  }
+  [[nodiscard]] static SyncPolicySpec algorithm3(std::size_t delta_est) {
+    return {Kind::kAlgorithm3, delta_est, EstimateSchedule::kIncrement};
+  }
+};
+
+/// The classic virtual-policy oracle for the spec (make_algorithm1/2/3).
+[[nodiscard]] sim::SyncPolicyFactory make_policy_factory(
+    const SyncPolicySpec& spec);
+
+/// The SoA kernel's flat representation of the spec over this network:
+/// staged probabilities filled by the same alg1_slot_probability /
+/// alg3_probability calls the policies make, so every double matches
+/// bit-for-bit.
+[[nodiscard]] sim::SoaPolicyTable build_soa_policy_table(
+    const net::Network& network, const SyncPolicySpec& spec);
+
+}  // namespace m2hew::core

@@ -1,13 +1,14 @@
 #include "net/channel_set.hpp"
 
 #include <bit>
+#include <string>
 
 #include "util/check.hpp"
 
 namespace m2hew::net {
 
 ChannelSet::ChannelSet(ChannelId universe_size)
-    : universe_(universe_size), words_((universe_size + 63) / 64, 0) {}
+    : universe_(universe_size), words_(word_count(universe_size), 0) {}
 
 ChannelSet::ChannelSet(ChannelId universe_size,
                        std::initializer_list<ChannelId> ids)
@@ -49,39 +50,62 @@ void ChannelSet::clear() noexcept {
   count_ = 0;
 }
 
-void ChannelSet::check_universe(const ChannelSet& other) const {
-  M2HEW_CHECK_MSG(universe_ == other.universe_,
-                  "channel sets over different universes");
+void ChannelSet::check_universe(const ChannelSet& other,
+                                const char* op) const {
+  if (universe_ == other.universe_) return;
+  throw ChannelSetError(std::string("ChannelSet::") + op +
+                        ": universe mismatch (" +
+                        std::to_string(universe_) + " vs " +
+                        std::to_string(other.universe_) + " channels)");
+}
+
+void ChannelSet::recount() noexcept {
+  std::size_t total = 0;
+  for (const std::uint64_t w : words_) {
+    total += static_cast<std::size_t>(std::popcount(w));
+  }
+  count_ = total;
 }
 
 ChannelSet ChannelSet::intersect(const ChannelSet& other) const {
-  check_universe(other);
-  ChannelSet out(universe_);
-  for (std::size_t i = 0; i < words_.size(); ++i) {
-    out.words_[i] = words_[i] & other.words_[i];
-    out.count_ += static_cast<std::size_t>(std::popcount(out.words_[i]));
-  }
-  return out;
+  check_universe(other, "intersect");
+  ChannelSet out(*this);
+  return out.intersect_with(other);
 }
 
 ChannelSet ChannelSet::unite(const ChannelSet& other) const {
-  check_universe(other);
-  ChannelSet out(universe_);
-  for (std::size_t i = 0; i < words_.size(); ++i) {
-    out.words_[i] = words_[i] | other.words_[i];
-    out.count_ += static_cast<std::size_t>(std::popcount(out.words_[i]));
-  }
-  return out;
+  check_universe(other, "unite");
+  ChannelSet out(*this);
+  return out.unite_with(other);
 }
 
 ChannelSet ChannelSet::subtract(const ChannelSet& other) const {
-  check_universe(other);
-  ChannelSet out(universe_);
+  check_universe(other, "subtract");
+  ChannelSet out(*this);
+  return out.subtract_with(other);
+}
+
+ChannelSet& ChannelSet::intersect_with(const ChannelSet& other) {
+  check_universe(other, "intersect_with");
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  recount();
+  return *this;
+}
+
+ChannelSet& ChannelSet::unite_with(const ChannelSet& other) {
+  check_universe(other, "unite_with");
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  recount();
+  return *this;
+}
+
+ChannelSet& ChannelSet::subtract_with(const ChannelSet& other) {
+  check_universe(other, "subtract_with");
   for (std::size_t i = 0; i < words_.size(); ++i) {
-    out.words_[i] = words_[i] & ~other.words_[i];
-    out.count_ += static_cast<std::size_t>(std::popcount(out.words_[i]));
+    words_[i] &= ~other.words_[i];
   }
-  return out;
+  recount();
+  return *this;
 }
 
 std::size_t ChannelSet::intersection_size(
@@ -95,20 +119,39 @@ std::size_t ChannelSet::intersection_size(
   return total;
 }
 
+namespace {
+
+/// Position of the (k+1)-th set bit of `word` (0-based rank k). Requires
+/// k < popcount(word). Skips whole bytes by popcount, then resolves the
+/// remaining rank inside one byte — at most 7 bit-clears instead of up to
+/// 63 for a full-word linear select.
+unsigned select_in_word(std::uint64_t word, std::size_t k) noexcept {
+  unsigned base = 0;
+  for (;;) {
+    const auto byte_pop =
+        static_cast<std::size_t>(std::popcount(word & 0xFFULL));
+    if (k < byte_pop) break;
+    k -= byte_pop;
+    word >>= 8;
+    base += 8;
+  }
+  auto byte = static_cast<std::uint64_t>(word & 0xFFULL);
+  for (; k > 0; --k) byte &= byte - 1;
+  return base + static_cast<unsigned>(std::countr_zero(byte));
+}
+
+}  // namespace
+
 ChannelId ChannelSet::nth(std::size_t k) const {
   M2HEW_CHECK_MSG(k < count_, "nth index out of range");
   for (std::size_t i = 0; i < words_.size(); ++i) {
-    std::uint64_t word = words_[i];
+    const std::uint64_t word = words_[i];
     const auto in_word = static_cast<std::size_t>(std::popcount(word));
     if (k >= in_word) {
       k -= in_word;
       continue;
     }
-    // Select the (k+1)-th set bit in `word` by clearing k lowest set bits.
-    for (std::size_t j = 0; j < k; ++j) word &= word - 1;
-    return static_cast<ChannelId>(i * 64 +
-                                  static_cast<std::size_t>(
-                                      std::countr_zero(word)));
+    return static_cast<ChannelId>(i * 64 + select_in_word(word, k));
   }
   M2HEW_CHECK_MSG(false, "unreachable: count_ inconsistent with words_");
   return kInvalidChannel;

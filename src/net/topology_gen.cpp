@@ -1,5 +1,9 @@
 #include "net/topology_gen.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
 #include "util/check.hpp"
 
 namespace m2hew::net {
@@ -21,8 +25,15 @@ Topology make_ring(NodeId n) {
 }
 
 Topology make_grid(NodeId rows, NodeId cols) {
-  Topology t(rows * cols);
-  auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
+  // rows and cols are 32-bit; their product must be computed in 64 bits or
+  // a large grid silently wraps (e.g. 70000×70000 → a tiny node count).
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(rows) * static_cast<std::uint64_t>(cols);
+  M2HEW_CHECK_MSG(total < kInvalidNode, "grid node count overflows NodeId");
+  Topology t(static_cast<NodeId>(total));
+  auto id = [cols](NodeId r, NodeId c) {
+    return static_cast<NodeId>(static_cast<std::uint64_t>(r) * cols + c);
+  };
   for (NodeId r = 0; r < rows; ++r) {
     for (NodeId c = 0; c < cols; ++c) {
       if (c + 1 < cols) t.add_edge(id(r, c), id(r, c + 1));
@@ -62,6 +73,34 @@ Topology make_erdos_renyi(NodeId n, double p, util::Rng& rng) {
   return t;
 }
 
+Topology make_erdos_renyi_sparse(NodeId n, double p, util::Rng& rng) {
+  M2HEW_CHECK(p >= 0.0 && p <= 1.0);
+  if (p >= 1.0) return make_clique(n);
+  Topology t(n);
+  if (p > 0.0 && n > 1) {
+    // Batagelj–Brandes skip sampling: enumerate the pairs (v, w), w < v, in
+    // lexicographic order and jump geometrically between successive edges.
+    // O(n + m) instead of the O(n²) coin-per-pair loop — the only way an
+    // N=10⁵–10⁶ sparse graph is affordable.
+    const double log_skip = std::log1p(-p);
+    std::uint64_t v = 1;
+    std::int64_t w = -1;
+    while (v < n) {
+      const double r = rng.uniform_double();  // in [0, 1)
+      w += 1 + static_cast<std::int64_t>(std::log1p(-r) / log_skip);
+      while (v < n && w >= static_cast<std::int64_t>(v)) {
+        w -= static_cast<std::int64_t>(v);
+        ++v;
+      }
+      if (v < n) {
+        t.add_edge(static_cast<NodeId>(v), static_cast<NodeId>(w));
+      }
+    }
+  }
+  t.finalize();
+  return t;
+}
+
 GeometricTopology make_unit_disk(NodeId n, double side, double radius,
                                  util::Rng& rng) {
   M2HEW_CHECK(side > 0.0 && radius > 0.0);
@@ -77,6 +116,82 @@ GeometricTopology make_unit_disk(NodeId n, double side, double radius,
     for (NodeId j = i + 1; j < n; ++j) {
       if (squared_distance(g.positions[i], g.positions[j]) <= r2) {
         g.topology.add_edge(i, j);
+      }
+    }
+  }
+  g.topology.finalize();
+  return g;
+}
+
+GeometricTopology make_unit_disk_bucketed(NodeId n, double side,
+                                          double radius, util::Rng& rng) {
+  M2HEW_CHECK(side > 0.0 && radius > 0.0);
+  GeometricTopology g;
+  // Positions are drawn exactly as in make_unit_disk (same stream, same
+  // order), so the two generators place identical points for a given Rng
+  // state; only the edge-finding strategy differs.
+  g.positions.reserve(n);
+  for (NodeId i = 0; i < n; ++i) {
+    g.positions.push_back(
+        {rng.uniform_double(0.0, side), rng.uniform_double(0.0, side)});
+  }
+  g.topology = Topology(n);
+
+  // Bucket nodes into a grid of cells at least `radius` wide, so a node's
+  // neighbors can only lie in its own or the 8 adjacent cells. Expected
+  // cost is O(n · density) versus the all-pairs O(n²) scan. The axis count
+  // is capped near 2√n to keep the bucket array O(n) even for tiny radii;
+  // capping only enlarges cells, which stays correct.
+  const double ideal_cells = std::floor(side / radius);
+  std::size_t cells_per_axis =
+      ideal_cells < 1.0 ? 1 : static_cast<std::size_t>(ideal_cells);
+  const auto cell_cap = static_cast<std::size_t>(
+                            2.0 * std::sqrt(static_cast<double>(n))) +
+                        1;
+  cells_per_axis = std::min(cells_per_axis, cell_cap);
+  const double cell = side / static_cast<double>(cells_per_axis);
+  auto cell_of = [&](const Point& pt) {
+    auto cx = static_cast<std::size_t>(pt.x / cell);
+    auto cy = static_cast<std::size_t>(pt.y / cell);
+    cx = std::min(cx, cells_per_axis - 1);
+    cy = std::min(cy, cells_per_axis - 1);
+    return cy * cells_per_axis + cx;
+  };
+  std::vector<std::vector<NodeId>> buckets(cells_per_axis * cells_per_axis);
+  for (NodeId i = 0; i < n; ++i) buckets[cell_of(g.positions[i])].push_back(i);
+
+  const double r2 = radius * radius;
+  for (std::size_t cy = 0; cy < cells_per_axis; ++cy) {
+    for (std::size_t cx = 0; cx < cells_per_axis; ++cx) {
+      const auto& mine = buckets[cy * cells_per_axis + cx];
+      if (mine.empty()) continue;
+      // Visit each unordered cell pair once: self cell plus the 4 forward
+      // neighbors (E, SW, S, SE); the backward 4 are covered from the
+      // other side.
+      static constexpr int kDx[] = {0, 1, -1, 0, 1};
+      static constexpr int kDy[] = {0, 0, 1, 1, 1};
+      for (int d = 0; d < 5; ++d) {
+        const auto nx = static_cast<std::int64_t>(cx) + kDx[d];
+        const auto ny = static_cast<std::int64_t>(cy) + kDy[d];
+        if (nx < 0 || ny < 0 ||
+            nx >= static_cast<std::int64_t>(cells_per_axis) ||
+            ny >= static_cast<std::int64_t>(cells_per_axis)) {
+          continue;
+        }
+        const auto& theirs =
+            buckets[static_cast<std::size_t>(ny) * cells_per_axis +
+                    static_cast<std::size_t>(nx)];
+        const bool same_cell = d == 0;
+        for (std::size_t a = 0; a < mine.size(); ++a) {
+          const std::size_t b_start = same_cell ? a + 1 : 0;
+          for (std::size_t b = b_start; b < theirs.size(); ++b) {
+            const NodeId i = mine[a];
+            const NodeId j = theirs[b];
+            if (squared_distance(g.positions[i], g.positions[j]) <= r2) {
+              g.topology.add_edge(i, j);
+            }
+          }
+        }
       }
     }
   }
@@ -105,7 +220,9 @@ Topology make_watts_strogatz(NodeId n, NodeId k, double beta,
   // is rewired to a uniform random non-duplicate endpoint w.p. beta.
   for (NodeId i = 0; i < n; ++i) {
     for (NodeId j = 1; j <= k / 2; ++j) {
-      NodeId target = (i + j) % n;
+      // 64-bit sum: i + j can wrap uint32 when n approaches 2^32.
+      NodeId target = static_cast<NodeId>(
+          (static_cast<std::uint64_t>(i) + j) % n);
       if (rng.bernoulli(beta)) {
         // Rewire: pick a fresh endpoint avoiding self-loops/duplicates.
         for (int attempt = 0; attempt < 64; ++attempt) {

@@ -23,6 +23,13 @@ namespace m2hew::net {
 /// G(n, p): every pair is an edge independently with probability p.
 [[nodiscard]] Topology make_erdos_renyi(NodeId n, double p, util::Rng& rng);
 
+/// G(n, p) by Batagelj–Brandes geometric skip sampling: O(n + m) time, so
+/// sparse million-node graphs are affordable. Same distribution as
+/// make_erdos_renyi but a different (much shorter) RNG draw sequence, so
+/// instances differ for the same seed.
+[[nodiscard]] Topology make_erdos_renyi_sparse(NodeId n, double p,
+                                               util::Rng& rng);
+
 /// A topology together with node positions (used by the primary-user model).
 struct GeometricTopology {
   Topology topology;
@@ -33,6 +40,14 @@ struct GeometricTopology {
 /// radius.
 [[nodiscard]] GeometricTopology make_unit_disk(NodeId n, double side,
                                                double radius, util::Rng& rng);
+
+/// Unit-disk graph via spatial bucketing: identical node placement and edge
+/// set to make_unit_disk for the same Rng state, but found in
+/// O(n · density) by scanning only adjacent radius-sized cells. Use for
+/// N ≥ 10⁴ where the all-pairs scan is prohibitive.
+[[nodiscard]] GeometricTopology make_unit_disk_bucketed(NodeId n, double side,
+                                                        double radius,
+                                                        util::Rng& rng);
 
 /// Unit-disk graph, retrying placement until connected (up to `attempts`
 /// resamples; checks connectivity each time). Returns the first connected

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <memory>
 #include <mutex>
 #include <vector>
 
+#include "sim/soa_kernel.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -171,6 +173,79 @@ SyncTrialStats run_sync_trials(const net::Network& network,
   std::vector<Outcome> outcomes(config.trials);
   dispatch_trials(config.trials, stats.threads_used, [&](std::size_t t) {
     const auto result = sim::run_slot_engine(network, factory, engines[t]);
+    outcomes[t] = {result.complete,
+                   static_cast<double>(result.completion_slot),
+                   result.robustness};
+  });
+
+  stats.completion_slots.reserve(config.trials);
+  for (const Outcome& outcome : outcomes) {
+    reduce_robustness(stats.robustness, outcome.robustness);
+    if (!outcome.complete) continue;
+    ++stats.completed;
+    stats.completion_slots.add(outcome.completion_slot);
+  }
+  stats.elapsed_seconds = seconds_since(start);
+  record_run(stats.trials, stats.elapsed_seconds);
+  append_run_record(
+      make_run_record(stats, /*async=*/false, stats.completion_slots));
+  return stats;
+}
+
+SyncTrialStats run_sync_trials(const net::Network& network,
+                               const core::SyncPolicySpec& spec,
+                               const SyncTrialConfig& config) {
+  if (config.kernel == SyncKernel::kEngine) {
+    return run_sync_trials(network, core::make_policy_factory(spec), config);
+  }
+
+  const auto start = Clock::now();
+  const util::SeedSequence seeds(config.seed);
+  SyncTrialStats stats;
+  stats.trials = config.trials;
+  stats.threads_used = resolve_threads(config.threads, config.trials);
+
+  std::vector<sim::SlotEngineConfig> engines;
+  engines.reserve(config.trials);
+  for (std::size_t t = 0; t < config.trials; ++t) {
+    engines.push_back(config.engine);
+    engines.back().seed = seeds.derive(t);
+    if (config.per_trial) config.per_trial(t, engines.back());
+  }
+
+  const sim::SoaPolicyTable table = core::build_soa_policy_table(network, spec);
+
+  // One flattened kernel per worker, handed out through a free-list: a
+  // kernel's per-trial arrays are reused across runs but never shared
+  // between concurrent trials. Results depend only on the trial config,
+  // so which kernel object serves which trial is irrelevant.
+  std::vector<std::unique_ptr<sim::SoaSlotKernel>> idle_kernels;
+  std::mutex kernel_mutex;
+  const std::size_t kernel_count =
+      std::min(stats.threads_used, std::max<std::size_t>(config.trials, 1));
+  idle_kernels.reserve(kernel_count);
+  for (std::size_t k = 0; k < kernel_count; ++k) {
+    idle_kernels.push_back(std::make_unique<sim::SoaSlotKernel>(network));
+  }
+
+  struct Outcome {
+    bool complete = false;
+    double completion_slot = 0.0;
+    sim::RobustnessReport robustness;
+  };
+  std::vector<Outcome> outcomes(config.trials);
+  dispatch_trials(config.trials, stats.threads_used, [&](std::size_t t) {
+    std::unique_ptr<sim::SoaSlotKernel> kernel;
+    {
+      const std::lock_guard<std::mutex> lock(kernel_mutex);
+      kernel = std::move(idle_kernels.back());
+      idle_kernels.pop_back();
+    }
+    const auto result = kernel->run(table, engines[t]);
+    {
+      const std::lock_guard<std::mutex> lock(kernel_mutex);
+      idle_kernels.push_back(std::move(kernel));
+    }
     outcomes[t] = {result.complete,
                    static_cast<double>(result.completion_slot),
                    result.robustness};

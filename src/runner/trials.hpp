@@ -11,6 +11,7 @@
 
 #include <functional>
 
+#include "core/policy_spec.hpp"
 #include "net/network.hpp"
 #include "sim/async_engine.hpp"
 #include "sim/multi_radio_engine.hpp"
@@ -126,6 +127,14 @@ struct SyncTrialStats {
   }
 };
 
+/// Which synchronous inner loop executes each trial. Both produce
+/// bit-identical aggregates (the SoA==engine equivalence suite pins the
+/// per-trial results); kSoa is the large-N path.
+enum class SyncKernel {
+  kEngine,  ///< run_slot_engine: virtual policies, DiscoveryState matrix
+  kSoa,     ///< sim::SoaSlotKernel: flat arrays, CSR coverage
+};
+
 struct SyncTrialConfig {
   std::size_t trials = 30;
   std::uint64_t seed = 1;  ///< root seed; trial t uses derive(seed, t)
@@ -139,11 +148,22 @@ struct SyncTrialConfig {
   /// thread, 0 = default_trial_threads(). Aggregate results are identical
   /// for every value.
   std::size_t threads = 0;
+  /// Inner loop selection; honored only by the SyncPolicySpec overload
+  /// (the factory overload has no data representation to hand the SoA
+  /// kernel and always runs the classic engine).
+  SyncKernel kernel = SyncKernel::kEngine;
 };
 
 [[nodiscard]] SyncTrialStats run_sync_trials(
     const net::Network& network, const sim::SyncPolicyFactory& factory,
     const SyncTrialConfig& config);
+
+/// Spec-driven synchronous trials: dispatches on `config.kernel`, running
+/// either the classic slot engine (via the spec's policy factory) or the
+/// SoA kernel (via the spec's policy table). Identical stats either way.
+[[nodiscard]] SyncTrialStats run_sync_trials(const net::Network& network,
+                                             const core::SyncPolicySpec& spec,
+                                             const SyncTrialConfig& config);
 
 /// Aggregate over asynchronous trials.
 struct AsyncTrialStats {

@@ -129,6 +129,17 @@ void FaultState<Time>::note_reception(net::NodeId sender,
 template <typename Time>
 RobustnessReport FaultState<Time>::assess(const DiscoveryState& state,
                                           Time end) const {
+  // Neighbor-table entries are exactly the covered in-arcs with the
+  // network span as common channels (see DiscoveryState::record_reception),
+  // so assessing through the coverage oracle is equivalent — and keeps the
+  // DiscoveryState-free SoA kernel on the same code path.
+  return assess_covered(
+      [&state](net::Link link) { return state.is_covered(link); }, end);
+}
+
+template <typename Time>
+RobustnessReport FaultState<Time>::assess_covered(
+    const std::function<bool(net::Link)>& is_covered, Time end) const {
   RobustnessReport r;
   r.enabled = plan_->any();
   if (!r.enabled) return r;
@@ -147,7 +158,7 @@ RobustnessReport FaultState<Time>::assess(const DiscoveryState& state,
   for (const net::Link link : network_->links()) {
     if (down_at(link.from, end) || down_at(link.to, end)) continue;
     ++r.surviving_links;
-    if (state.is_covered(link)) ++r.covered_surviving_links;
+    if (is_covered(link)) ++r.covered_surviving_links;
     if (!churn_) continue;
     bool relevant = false;
     Time threshold{};
@@ -178,15 +189,20 @@ RobustnessReport FaultState<Time>::assess(const DiscoveryState& state,
   // Ghost entries: stale table knowledge at the end of the run. An entry
   // is a ghost when its subject crashed and is still down, or when every
   // common channel it records is blocked by an active spectrum fault at
-  // either endpoint (the link's effective span vanished).
+  // either endpoint (the link's effective span vanished). A table entry at
+  // u exists exactly for each covered link (v, u) and records the span, so
+  // covered links stand in for the tables themselves.
   if (churn_ || has_spectrum()) {
-    for (net::NodeId u = 0; u < n_; ++u) {
-      for (const NeighborRecord& entry : state.neighbor_table(u)) {
-        const net::NodeId v = entry.neighbor;
-        bool ghost = down_at(v, end);
-        if (!ghost && has_spectrum() && !entry.common_channels.empty()) {
+    for (const net::Link link : network_->links()) {
+      if (!is_covered(link)) continue;
+      const net::NodeId v = link.from;
+      const net::NodeId u = link.to;
+      bool ghost = down_at(v, end);
+      if (!ghost && has_spectrum()) {
+        const net::ChannelSet& common = network_->span(v, u);
+        if (!common.empty()) {
           ghost = true;
-          for (const net::ChannelId c : entry.common_channels.to_vector()) {
+          for (const net::ChannelId c : common.to_vector()) {
             if (!spectrum_blocked(end, u, c) &&
                 !spectrum_blocked(end, v, c)) {
               ghost = false;
@@ -194,8 +210,8 @@ RobustnessReport FaultState<Time>::assess(const DiscoveryState& state,
             }
           }
         }
-        if (ghost) ++r.ghost_entries;
       }
+      if (ghost) ++r.ghost_entries;
     }
   }
   return r;

@@ -26,6 +26,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <type_traits>
 #include <vector>
 
@@ -257,6 +258,16 @@ class FaultState {
   /// `end` is the engine's last executed slot / last processed event time.
   [[nodiscard]] RobustnessReport assess(const DiscoveryState& state,
                                         Time end) const;
+
+  /// Coverage-oracle form for engines that never materialize a
+  /// DiscoveryState (the SoA kernel keeps only a CSR coverage bitmap):
+  /// `is_covered(link)` answers whether the directed discovery link was
+  /// covered. Neighbor-table entries are reconstructed as exactly the
+  /// covered links with the network spans as common channels — the
+  /// invariant DiscoveryState::record_reception maintains — so this
+  /// produces a report identical to assess() for the same coverage.
+  [[nodiscard]] RobustnessReport assess_covered(
+      const std::function<bool(net::Link)>& is_covered, Time end) const;
 
  private:
   struct NodeChurn {

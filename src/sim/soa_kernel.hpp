@@ -1,0 +1,110 @@
+// SoaSlotKernel: structure-of-arrays re-implementation of the slot
+// engine's inner loop, for the N=10⁵–10⁶ regime the paper's asymptotic
+// claims live in.
+//
+// run_slot_engine pays, per node per slot, a virtual policy dispatch and
+// (per trial) a heap-allocated policy object, and its DiscoveryState is a
+// dense N² matrix. This kernel replaces all three:
+//
+//   * policy-as-data  — per-node flat arrays (stage counter, stage length,
+//     degree estimate) stepped against a precomputed probability matrix
+//     (sim/soa_policy.hpp, built by core); no virtual calls, no per-node
+//     allocations;
+//   * word-level spans — each in-arc's span is a flat span-of-words slice;
+//     the reception scan tests channel membership with one shift/mask;
+//   * CSR coverage    — covered/first-slot live per in-arc position in the
+//     network's in-link CSR order, O(arcs) not O(N²);
+//   * per-trial arena — every array is sized at construction and reused
+//     across run() calls; steady-state slots allocate nothing.
+//
+// Bit-exactness contract: for any network, SoaPolicyTable built from a
+// core::SyncPolicySpec, and SlotEngineConfig, run() produces the same
+// completion flag/slot, per-node activity, per-link first-coverage slots
+// and robustness report as run_slot_engine with the spec's oracle factory
+// (policies draw channel-then-coin from the same per-node streams; losses
+// draw in listener order from the same loss stream). The randomized
+// equivalence suite (tests/soa_kernel_test.cpp) enforces this, exactly as
+// indexed==reference reception was pinned before.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/network.hpp"
+#include "sim/energy.hpp"
+#include "sim/fault_plan.hpp"
+#include "sim/radio.hpp"
+#include "sim/slot_engine.hpp"
+#include "sim/soa_policy.hpp"
+
+namespace m2hew::sim {
+
+/// Result of one SoA-kernel trial. Mirrors SlotEngineResult, with the N²
+/// DiscoveryState replaced by CSR-indexed coverage (position = index into
+/// the receiver's in-link list, offset by in_offsets[receiver]).
+struct SoaSlotKernelResult {
+  bool complete = false;
+  std::uint64_t completion_slot = 0;
+  std::uint64_t slots_executed = 0;
+  std::vector<RadioActivity> activity;
+  RobustnessReport robustness;
+
+  std::uint64_t total_links = 0;
+  std::uint64_t covered_links = 0;
+  std::uint64_t receptions = 0;
+
+  /// In-link CSR mirror: arc a of receiver u (sources sorted ascending)
+  /// sits at position in_offsets[u] + a; in_sources names the sender.
+  std::vector<std::size_t> in_offsets;
+  std::vector<net::NodeId> in_sources;
+  /// Per arc position: 1 iff the link was covered, and the global slot of
+  /// its first coverage (-1.0 while uncovered).
+  std::vector<std::uint8_t> covered;
+  std::vector<double> first_slot;
+
+  [[nodiscard]] bool is_covered(net::Link link) const;
+  /// First-coverage slot of a covered link; requires is_covered(link).
+  [[nodiscard]] double first_coverage_slot(net::Link link) const;
+};
+
+class SoaSlotKernel {
+ public:
+  /// Flattens the network once: available-channel CSR, in-link CSR with
+  /// word-level span copies. Reused across run() calls (trials).
+  explicit SoaSlotKernel(const net::Network& network);
+
+  /// Runs one trial. `config.indexed_reception` is ignored (the kernel has
+  /// a single reception path, bit-identical to both engine paths); every
+  /// other knob — seed, loss, interference, starts, faults, max_slots,
+  /// stop_when_complete, on_reception — behaves exactly as in
+  /// run_slot_engine.
+  [[nodiscard]] SoaSlotKernelResult run(const SoaPolicyTable& table,
+                                        const SlotEngineConfig& config);
+
+ private:
+  const net::Network* network_;
+  net::NodeId n_ = 0;
+  std::size_t span_stride_ = 0;  // words per span slice
+  std::uint64_t total_links_ = 0;
+
+  // Immutable per-network flattening.
+  std::vector<std::size_t> avail_off_;      // n+1
+  std::vector<net::ChannelId> avail_flat_;  // A(u) members, ascending
+  std::vector<std::size_t> in_off_;         // n+1
+  std::vector<net::NodeId> in_src_;         // arc → sender
+  std::vector<std::uint64_t> span_words_;   // arc → span bitset slice
+
+  // Per-trial state, sized once and reset at each run().
+  std::vector<Mode> mode_;
+  std::vector<net::ChannelId> channel_;
+  std::vector<std::uint32_t> slot_in_stage_;
+  std::vector<std::uint32_t> stage_slots_;
+  std::vector<std::uint64_t> estimate_;
+};
+
+/// One-shot convenience wrapper: flatten, run one trial, return.
+[[nodiscard]] SoaSlotKernelResult run_soa_slot_kernel(
+    const net::Network& network, const SoaPolicyTable& table,
+    const SlotEngineConfig& config);
+
+}  // namespace m2hew::sim

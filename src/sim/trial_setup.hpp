@@ -16,6 +16,34 @@
 
 namespace m2hew::sim {
 
+/// The trial's random streams alone — seed tree, one RNG per node
+/// (derive(seed, u)), and the loss stream (derive(seed, N+1)) — without
+/// any policy objects. The SoA kernel consumes this directly; TrialSetup
+/// layers per-node policy instances on top. One definition of the
+/// derivation rule means the kernel cannot drift from the engines.
+class TrialStreams {
+ public:
+  TrialStreams(net::NodeId node_count, std::uint64_t seed)
+      : seeds_(seed),
+        loss_rng_(seeds_.derive(static_cast<std::uint64_t>(node_count) + 1)) {
+    rngs_.reserve(node_count);
+    for (net::NodeId u = 0; u < node_count; ++u) {
+      rngs_.emplace_back(seeds_.derive(u));
+    }
+  }
+
+  [[nodiscard]] const util::SeedSequence& seeds() const noexcept {
+    return seeds_;
+  }
+  [[nodiscard]] util::Rng& rng(net::NodeId u) noexcept { return rngs_[u]; }
+  [[nodiscard]] util::Rng& loss_rng() noexcept { return loss_rng_; }
+
+ private:
+  util::SeedSequence seeds_;
+  util::Rng loss_rng_;
+  std::vector<util::Rng> rngs_;
+};
+
 /// Owns the per-node RNGs, the per-node policies built through the
 /// engine's factory, and the loss RNG. The loss stream is derived as
 /// (seed, N+1) — separate from every node stream — so enabling message
@@ -30,14 +58,10 @@ class TrialSetup {
              std::uint64_t seed)
       : network_(&network),
         factory_(factory),
-        seeds_(seed),
-        loss_rng_(seeds_.derive(
-            static_cast<std::uint64_t>(network.node_count()) + 1)) {
+        streams_(network.node_count(), seed) {
     const net::NodeId n = network.node_count();
-    rngs_.reserve(n);
     policies_.reserve(n);
     for (net::NodeId u = 0; u < n; ++u) {
-      rngs_.emplace_back(seeds_.derive(u));
       policies_.push_back(factory(network, u));
       M2HEW_CHECK_MSG(policies_.back() != nullptr, "factory returned null");
     }
@@ -57,20 +81,20 @@ class TrialSetup {
   /// The trial's seed tree, for engine-specific extra streams (e.g. the
   /// async engine's per-node clock seeds).
   [[nodiscard]] const util::SeedSequence& seeds() const noexcept {
-    return seeds_;
+    return streams_.seeds();
   }
-  [[nodiscard]] util::Rng& rng(net::NodeId u) noexcept { return rngs_[u]; }
+  [[nodiscard]] util::Rng& rng(net::NodeId u) noexcept {
+    return streams_.rng(u);
+  }
   [[nodiscard]] Policy& policy(net::NodeId u) noexcept {
     return *policies_[u];
   }
-  [[nodiscard]] util::Rng& loss_rng() noexcept { return loss_rng_; }
+  [[nodiscard]] util::Rng& loss_rng() noexcept { return streams_.loss_rng(); }
 
  private:
   const net::Network* network_;
   Factory factory_;
-  util::SeedSequence seeds_;
-  util::Rng loss_rng_;
-  std::vector<util::Rng> rngs_;
+  TrialStreams streams_;
   std::vector<std::unique_ptr<Policy>> policies_;
 };
 

@@ -52,8 +52,8 @@ void RunningStats::merge(const RunningStats& other) noexcept {
 }
 
 double quantile_sorted(std::span<const double> sorted, double q) {
-  M2HEW_CHECK(!sorted.empty());
   M2HEW_CHECK(q >= 0.0 && q <= 1.0);
+  if (sorted.empty()) return 0.0;
   if (sorted.size() == 1) return sorted[0];
   const double pos = q * static_cast<double>(sorted.size() - 1);
   const auto idx = static_cast<std::size_t>(pos);

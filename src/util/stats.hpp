@@ -49,6 +49,10 @@ struct Summary {
 [[nodiscard]] Summary summarize(std::span<const double> samples);
 
 /// Linear-interpolated quantile of a **sorted** sample vector, q in [0, 1].
+/// Empty input yields 0.0 — the same default the Summary quantile fields
+/// carry when there are no samples — so quantile(q) and summarize() never
+/// disagree on degenerate inputs. q=0 is the minimum, q=1 the maximum, and
+/// a single sample is every quantile of itself.
 [[nodiscard]] double quantile_sorted(std::span<const double> sorted, double q);
 
 /// Sample accumulator retaining all values; convenience for benches.
@@ -60,6 +64,8 @@ class Samples {
     return values_;
   }
   [[nodiscard]] Summary summarize() const { return util::summarize(values_); }
+  /// Quantile over the retained samples; 0.0 when empty, matching the
+  /// zero-initialized p50/p90/p95/p99 fields summarize() reports then.
   [[nodiscard]] double quantile(double q) const;
   void clear() noexcept { values_.clear(); }
   void reserve(std::size_t n) { values_.reserve(n); }

@@ -77,6 +77,51 @@ TEST(Rng, UniformIsRoughlyUniform) {
   }
 }
 
+// Modulo-bias regression at a large bound. With bound = 3·2^62, a naive
+// `next() % bound` folds the top quarter of the 64-bit range back onto
+// [0, 2^62), giving the first third of the output range probability 1/2
+// instead of 1/3 — a bias far outside any statistical noise. The
+// multiply-shift rejection in Rng::uniform must keep all thirds at 1/3.
+// Chi-squared with 2 degrees of freedom: 99.9th percentile is 13.8.
+TEST(Rng, UniformUnbiasedAtLargeBound) {
+  constexpr std::uint64_t kBound = 3ULL << 62;  // 0xC000000000000000
+  constexpr std::uint64_t kThird = 1ULL << 62;
+  constexpr int kDraws = 100000;
+  Rng rng(0xB1A5ED);
+  std::array<std::int64_t, 3> counts{};
+  for (int i = 0; i < kDraws; ++i) {
+    const std::uint64_t x = rng.uniform(kBound);
+    ASSERT_LT(x, kBound);
+    ++counts[x / kThird];
+  }
+  const double expected = kDraws / 3.0;
+  double chi2 = 0.0;
+  for (const auto c : counts) {
+    const double diff = static_cast<double>(c) - expected;
+    chi2 += diff * diff / expected;
+  }
+  EXPECT_LT(chi2, 13.8) << counts[0] << " " << counts[1] << " " << counts[2];
+}
+
+// Same check near the opposite hazard: a bound just above 2^63, where the
+// acceptance region of a rejection sampler is barely over half the 64-bit
+// range. Buckets are the two halves of [0, bound).
+TEST(Rng, UniformUnbiasedJustAbovePowerOfTwo) {
+  constexpr std::uint64_t kBound = (1ULL << 63) + (1ULL << 62);
+  constexpr int kDraws = 100000;
+  Rng rng(0xFEED);
+  std::int64_t low = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    const std::uint64_t x = rng.uniform(kBound);
+    ASSERT_LT(x, kBound);
+    if (x < kBound / 2) ++low;
+  }
+  const double expected = kDraws / 2.0;
+  const double diff = static_cast<double>(low) - expected;
+  const double chi2 = 2.0 * diff * diff / expected;
+  EXPECT_LT(chi2, 10.8);  // chi² df=1, 99.9th percentile
+}
+
 TEST(Rng, UniformRangeInclusiveEndpointsReachable) {
   Rng rng(6);
   bool saw_lo = false;

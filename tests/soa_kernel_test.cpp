@@ -1,0 +1,307 @@
+// Bit-exactness suite for the SoA slot kernel against its oracle, the
+// classic slot engine running the virtual policies.
+//
+// The kernel's contract (sim/soa_kernel.hpp) is exact identity — same
+// completion flag and slot, same per-node activity counters, same per-link
+// coverage and first-coverage slots, same robustness report — for ANY
+// topology, channel assignment, spec-representable policy, loss rate,
+// interference schedule, start pattern, fault plan and seed. The sweep
+// below randomizes all of those, exactly as engine_equivalence_test pins
+// the indexed reception path to the reference scan.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
+#include "core/policy_spec.hpp"
+#include "net/channel_assign.hpp"
+#include "net/propagation.hpp"
+#include "net/topology_gen.hpp"
+#include "runner/trials.hpp"
+#include "sim/fault_plan.hpp"
+#include "sim/slot_engine.hpp"
+#include "sim/soa_kernel.hpp"
+#include "util/rng.hpp"
+
+namespace m2hew {
+namespace {
+
+// Soak runs (ci.yml) export M2HEW_SOAK_SEED to shift every scenario seed,
+// widening property coverage across scheduled runs without code changes.
+[[nodiscard]] std::uint64_t soak_offset() {
+  const char* env = std::getenv("M2HEW_SOAK_SEED");
+  return env == nullptr ? 0 : std::strtoull(env, nullptr, 10);
+}
+
+// Deterministic pseudo-random interference field: active ~20% of the time,
+// decorrelated across (slot, node, channel).
+[[nodiscard]] bool pseudo_pu(std::uint64_t slot, net::NodeId node,
+                             net::ChannelId channel) {
+  std::uint64_t h = (slot + 1) * 0x9E3779B97F4A7C15ull;
+  h ^= (static_cast<std::uint64_t>(node) + 1) * 0xBF58476D1CE4E5B9ull;
+  h ^= (static_cast<std::uint64_t>(channel) + 1) * 0x94D049BB133111EBull;
+  h ^= h >> 31;
+  return h % 5 == 0;
+}
+
+// A different topology family per seed residue, so the sweep covers CSR
+// shapes from near-regular (grid) through heavy-tailed (Barabási-Albert).
+[[nodiscard]] net::Topology random_topology(std::uint64_t seed, net::NodeId n,
+                                            util::Rng& rng) {
+  switch (seed % 5) {
+    case 0:
+      return net::make_erdos_renyi(n, 0.4, rng);
+    case 1:
+      return net::make_erdos_renyi_sparse(n, 0.25, rng);
+    case 2:
+      return net::make_unit_disk_bucketed(n, 3.0, 1.2, rng).topology;
+    case 3:
+      return net::make_grid(4, n / 4);
+    default:
+      return net::make_barabasi_albert(n, 3, rng);
+  }
+}
+
+[[nodiscard]] net::Network random_network(std::uint64_t seed, net::NodeId n,
+                                          util::Rng& rng) {
+  net::Topology topology = random_topology(seed, n, rng);
+  if (seed % 2 == 0) topology = net::make_asymmetric(topology, 0.3, rng);
+  const net::ChannelId universe = (seed % 3 == 0) ? 7 : 6;
+  auto assignment =
+      (seed % 3 == 0)
+          ? net::variable_size_random_assignment(n, universe, 2, 5, rng)
+          : net::uniform_random_assignment(n, universe, 3, rng);
+  if (seed % 4 == 1) {
+    return net::Network(std::move(topology), std::move(assignment),
+                        net::random_propagation_filter(universe, 0.7, seed));
+  }
+  return net::Network(std::move(topology), std::move(assignment));
+}
+
+// Randomized fault plan mixing churn, burst loss and scheduled spectrum
+// faults by seed bits (same recipe as the engine equivalence sweep).
+[[nodiscard]] sim::FaultPlan<std::uint64_t> make_fault_plan(
+    std::uint64_t seed, net::NodeId n, double horizon) {
+  sim::FaultPlan<std::uint64_t> plan;
+  util::Rng rng(seed ^ 0xFA157);
+  if (seed % 2 == 0) {
+    plan.churn.crash_probability = 0.3 + 0.2 * static_cast<double>(seed % 3);
+    plan.churn.earliest_crash = static_cast<std::uint64_t>(horizon * 0.05);
+    plan.churn.latest_crash = static_cast<std::uint64_t>(horizon * 0.5);
+    plan.churn.min_down = static_cast<std::uint64_t>(horizon * 0.05);
+    plan.churn.max_down = static_cast<std::uint64_t>(horizon * 0.3);
+    plan.churn.reset_policy_on_recovery = (seed % 4) == 0;
+  }
+  if (seed % 3 == 0) {
+    plan.burst_loss.enabled = true;
+    plan.burst_loss.p_good_to_bad = 0.05;
+    plan.burst_loss.p_bad_to_good = 0.2;
+    plan.burst_loss.loss_good = 0.02;
+    plan.burst_loss.loss_bad = 0.8;
+  }
+  if (seed % 5 == 0) {
+    for (net::NodeId u = 0; u < n; ++u) {
+      plan.positions.push_back({rng.uniform_double(), rng.uniform_double()});
+    }
+    for (int i = 0; i < 4; ++i) {
+      net::ScheduledPrimaryUser pu;
+      pu.user.position = {rng.uniform_double(), rng.uniform_double()};
+      pu.user.radius = 0.3 + 0.3 * rng.uniform_double();
+      pu.user.channel = static_cast<net::ChannelId>(rng.uniform(6));
+      pu.on_from = horizon * 0.6 * rng.uniform_double();
+      pu.on_until = pu.on_from + horizon * 0.3 * rng.uniform_double();
+      plan.spectrum.push_back(pu);
+    }
+  }
+  return plan;
+}
+
+[[nodiscard]] core::SyncPolicySpec spec_for(std::uint64_t seed) {
+  switch (seed % 4) {
+    case 0:
+      return core::SyncPolicySpec::algorithm1(16);
+    case 1:
+      return core::SyncPolicySpec::algorithm2();
+    case 2:
+      return core::SyncPolicySpec::algorithm2(core::EstimateSchedule::kDouble);
+    default:
+      return core::SyncPolicySpec::algorithm3(8);
+  }
+}
+
+[[nodiscard]] sim::SlotEngineConfig random_config(std::uint64_t seed,
+                                                  net::NodeId n,
+                                                  util::Rng& rng) {
+  sim::SlotEngineConfig config;
+  config.max_slots = 400;
+  config.seed = seed;
+  config.stop_when_complete = (seed % 2) != 0;
+  config.loss_probability = (seed % 3 == 1) ? 0.25 : 0.0;
+  if (seed % 2 == 0) {
+    config.interference = [](std::uint64_t slot, net::NodeId node,
+                             net::ChannelId c) {
+      return pseudo_pu(slot, node, c);
+    };
+  }
+  config.starts.assign(n, 0);
+  for (auto& s : config.starts) s = rng.uniform(25);
+  config.faults = make_fault_plan(seed, n, 400.0);
+  if (config.faults.burst_loss.enabled) config.loss_probability = 0.0;
+  return config;
+}
+
+void expect_same_robustness(const sim::RobustnessReport& a,
+                            const sim::RobustnessReport& b) {
+  EXPECT_EQ(a.enabled, b.enabled);
+  EXPECT_EQ(a.crashed_nodes, b.crashed_nodes);
+  EXPECT_EQ(a.down_at_end, b.down_at_end);
+  EXPECT_EQ(a.surviving_links, b.surviving_links);
+  EXPECT_EQ(a.covered_surviving_links, b.covered_surviving_links);
+  EXPECT_EQ(a.ghost_entries, b.ghost_entries);
+  EXPECT_EQ(a.recovered_links, b.recovered_links);
+  EXPECT_EQ(a.rediscovered_links, b.rediscovered_links);
+  EXPECT_DOUBLE_EQ(a.mean_rediscovery, b.mean_rediscovery);
+  EXPECT_DOUBLE_EQ(a.max_rediscovery, b.max_rediscovery);
+}
+
+class SoaKernelEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SoaKernelEquivalence, MatchesSlotEngineBitExactly) {
+  const std::uint64_t seed = GetParam() + soak_offset();
+  util::Rng rng(seed ^ 0x50A);
+  const auto n = static_cast<net::NodeId>(12 + 4 * (seed % 4));
+  const net::Network network = random_network(seed, n, rng);
+  const core::SyncPolicySpec spec = spec_for(seed);
+  const sim::SlotEngineConfig config = random_config(seed, n, rng);
+
+  const auto engine =
+      sim::run_slot_engine(network, core::make_policy_factory(spec), config);
+  const auto soa = sim::run_soa_slot_kernel(
+      network, core::build_soa_policy_table(network, spec), config);
+
+  EXPECT_EQ(engine.complete, soa.complete);
+  EXPECT_EQ(engine.completion_slot, soa.completion_slot);
+  EXPECT_EQ(engine.slots_executed, soa.slots_executed);
+
+  ASSERT_EQ(engine.activity.size(), soa.activity.size());
+  for (std::size_t u = 0; u < engine.activity.size(); ++u) {
+    EXPECT_EQ(engine.activity[u].transmit, soa.activity[u].transmit)
+        << "node " << u;
+    EXPECT_EQ(engine.activity[u].receive, soa.activity[u].receive)
+        << "node " << u;
+    EXPECT_EQ(engine.activity[u].quiet, soa.activity[u].quiet) << "node " << u;
+  }
+
+  EXPECT_EQ(engine.state.covered_links(),
+            static_cast<std::size_t>(soa.covered_links));
+  EXPECT_EQ(engine.state.reception_count(),
+            static_cast<std::size_t>(soa.receptions));
+  EXPECT_EQ(network.links().size(),
+            static_cast<std::size_t>(soa.total_links));
+  for (const net::Link link : network.links()) {
+    ASSERT_EQ(engine.state.is_covered(link), soa.is_covered(link))
+        << "link " << link.from << "->" << link.to;
+    if (engine.state.is_covered(link)) {
+      EXPECT_DOUBLE_EQ(engine.state.first_coverage_time(link),
+                       soa.first_coverage_slot(link))
+          << "link " << link.from << "->" << link.to;
+    }
+  }
+
+  expect_same_robustness(engine.robustness, soa.robustness);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SoaKernelEquivalence,
+                         ::testing::Range<std::uint64_t>(1, 33));
+
+// One kernel object must be reusable across trials (the per-trial arena):
+// running the same config twice on one instance is bit-identical.
+TEST(SoaKernel, ReusedInstanceIsDeterministic) {
+  util::Rng rng(7);
+  const net::Network network = random_network(9, 16, rng);
+  const core::SyncPolicySpec spec = core::SyncPolicySpec::algorithm2();
+  const sim::SoaPolicyTable table =
+      core::build_soa_policy_table(network, spec);
+  sim::SlotEngineConfig config;
+  config.max_slots = 300;
+  config.seed = 42;
+  config.loss_probability = 0.2;
+
+  sim::SoaSlotKernel kernel(network);
+  const auto first = kernel.run(table, config);
+  const auto second = kernel.run(table, config);
+  EXPECT_EQ(first.complete, second.complete);
+  EXPECT_EQ(first.completion_slot, second.completion_slot);
+  EXPECT_EQ(first.receptions, second.receptions);
+  EXPECT_EQ(first.covered, second.covered);
+  EXPECT_EQ(first.first_slot, second.first_slot);
+}
+
+void expect_same_stats(const runner::SyncTrialStats& a,
+                       const runner::SyncTrialStats& b) {
+  EXPECT_EQ(a.trials, b.trials);
+  EXPECT_EQ(a.completed, b.completed);
+  const auto sa = a.completion_slots.summarize();
+  const auto sb = b.completion_slots.summarize();
+  EXPECT_DOUBLE_EQ(sa.mean, sb.mean);
+  EXPECT_DOUBLE_EQ(sa.p50, sb.p50);
+  EXPECT_DOUBLE_EQ(sa.p95, sb.p95);
+  EXPECT_DOUBLE_EQ(sa.max, sb.max);
+  EXPECT_EQ(a.robustness.fault_trials, b.robustness.fault_trials);
+  EXPECT_EQ(a.robustness.recovered_links, b.robustness.recovered_links);
+  EXPECT_EQ(a.robustness.rediscovered_links, b.robustness.rediscovered_links);
+}
+
+// The runner's kernel switch: the spec overload must aggregate identically
+// under --kernel=engine and --kernel=soa, and — like every trial runner —
+// identically at any worker count.
+TEST(SoaKernelTrials, EngineAndSoaAggregatesMatch) {
+  util::Rng rng(11);
+  const net::Network network = random_network(10, 14, rng);
+
+  runner::SyncTrialConfig config;
+  config.trials = 12;
+  config.seed = 5;
+  config.threads = 1;
+  config.engine.max_slots = 400;
+  config.engine.faults = make_fault_plan(10, 14, 400.0);
+  config.engine.loss_probability =
+      config.engine.faults.burst_loss.enabled ? 0.0 : 0.1;
+  const core::SyncPolicySpec spec = core::SyncPolicySpec::algorithm1(12);
+
+  config.kernel = runner::SyncKernel::kEngine;
+  const auto engine_stats = runner::run_sync_trials(network, spec, config);
+  config.kernel = runner::SyncKernel::kSoa;
+  const auto soa_stats = runner::run_sync_trials(network, spec, config);
+  expect_same_stats(engine_stats, soa_stats);
+}
+
+TEST(SoaKernelTrials, SerialMatchesParallelUnderSoa) {
+  util::Rng rng(13);
+  const net::Network network = random_network(12, 16, rng);
+
+  runner::SyncTrialConfig config;
+  config.trials = 16;
+  config.seed = 9;
+  config.engine.max_slots = 500;
+  config.engine.faults = make_fault_plan(12, 16, 500.0);
+  config.engine.loss_probability =
+      config.engine.faults.burst_loss.enabled ? 0.0 : 0.15;
+  config.kernel = runner::SyncKernel::kSoa;
+  config.per_trial = [](std::size_t t, sim::SlotEngineConfig& engine) {
+    engine.starts.assign(16, 0);
+    for (std::size_t u = 0; u < engine.starts.size(); ++u) {
+      engine.starts[u] = (t * 7 + u * 3) % 20;
+    }
+  };
+
+  config.threads = 1;
+  const auto serial = runner::run_sync_trials(network, spec_for(4), config);
+  config.threads = 4;
+  const auto parallel = runner::run_sync_trials(network, spec_for(4), config);
+  expect_same_stats(serial, parallel);
+}
+
+}  // namespace
+}  // namespace m2hew

@@ -87,6 +87,40 @@ TEST(QuantileSorted, SingleElement) {
   EXPECT_DOUBLE_EQ(quantile_sorted(v, 1.0), 7.0);
 }
 
+TEST(QuantileSorted, EmptyIsZeroLikeSummary) {
+  // quantile() on no samples must agree with the zero-valued p50/p90/p95/
+  // p99 fields summarize() reports for an empty input, instead of dying.
+  EXPECT_DOUBLE_EQ(quantile_sorted({}, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted({}, 1.0), 0.0);
+  const Samples none;
+  EXPECT_DOUBLE_EQ(none.quantile(0.99), 0.0);
+  const Summary s = none.summarize();
+  EXPECT_DOUBLE_EQ(none.quantile(0.5), s.p50);
+  EXPECT_DOUBLE_EQ(none.quantile(0.99), s.p99);
+}
+
+TEST(QuantileSorted, MatchesSummaryFieldsOnRandomSamples) {
+  Rng rng(42);
+  Samples samples;
+  for (int i = 0; i < 257; ++i) samples.add(rng.uniform_double(-5.0, 5.0));
+  const Summary s = samples.summarize();
+  EXPECT_DOUBLE_EQ(samples.quantile(0.50), s.p50);
+  EXPECT_DOUBLE_EQ(samples.quantile(0.90), s.p90);
+  EXPECT_DOUBLE_EQ(samples.quantile(0.95), s.p95);
+  EXPECT_DOUBLE_EQ(samples.quantile(0.99), s.p99);
+  EXPECT_DOUBLE_EQ(samples.quantile(0.0), s.min);
+  EXPECT_DOUBLE_EQ(samples.quantile(1.0), s.max);
+}
+
+TEST(QuantileSorted, TwoElements) {
+  const std::vector<double> v{1.0, 3.0};
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.25), 1.5);
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.5), 2.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 1.0), 3.0);
+}
+
 TEST(Summarize, KnownVector) {
   std::vector<double> v;
   for (int i = 1; i <= 100; ++i) v.push_back(static_cast<double>(i));

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
+
 #include "util/rng.hpp"
 
 namespace m2hew::net {
@@ -88,6 +91,73 @@ TEST(TopologyGen, ConnectedUnitDiskIsConnected) {
   // retry loop succeeds.
   const GeometricTopology g = make_connected_unit_disk(25, 1.0, 0.45, rng);
   EXPECT_TRUE(g.topology.is_connected());
+}
+
+TEST(TopologyGen, SparseErdosRenyiDensityMatchesP) {
+  util::Rng rng(11);
+  const NodeId n = 400;
+  const double p = 0.03;
+  const Topology t = make_erdos_renyi_sparse(n, p, rng);
+  const double pairs = n * (n - 1) / 2.0;
+  const double expected = pairs * p;
+  // ~2394 expected edges, sd ≈ 48; a 5-sigma band keeps this stable.
+  EXPECT_NEAR(static_cast<double>(t.edge_count()), expected,
+              5.0 * std::sqrt(expected));
+  for (const auto& [u, v] : t.arcs()) {
+    EXPECT_NE(u, v);
+    EXPECT_LT(u, n);
+    EXPECT_LT(v, n);
+  }
+  EXPECT_TRUE(t.is_symmetric());
+}
+
+TEST(TopologyGen, SparseErdosRenyiExtremes) {
+  util::Rng rng(12);
+  EXPECT_EQ(make_erdos_renyi_sparse(50, 0.0, rng).edge_count(), 0u);
+  EXPECT_EQ(make_erdos_renyi_sparse(10, 1.0, rng).edge_count(), 45u);
+  EXPECT_EQ(make_erdos_renyi_sparse(0, 0.5, rng).node_count(), 0u);
+  EXPECT_EQ(make_erdos_renyi_sparse(1, 0.5, rng).edge_count(), 0u);
+}
+
+TEST(TopologyGen, BucketedUnitDiskMatchesDenseScan) {
+  // Identical seed → identical node placement; the edge sets must agree
+  // exactly, bucketed scan or not.
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    util::Rng dense_rng(seed);
+    util::Rng bucket_rng(seed);
+    const GeometricTopology dense = make_unit_disk(150, 10.0, 1.7, dense_rng);
+    const GeometricTopology bucketed =
+        make_unit_disk_bucketed(150, 10.0, 1.7, bucket_rng);
+    ASSERT_EQ(dense.positions.size(), bucketed.positions.size());
+    for (std::size_t i = 0; i < dense.positions.size(); ++i) {
+      EXPECT_EQ(dense.positions[i].x, bucketed.positions[i].x);
+      EXPECT_EQ(dense.positions[i].y, bucketed.positions[i].y);
+    }
+    ASSERT_EQ(dense.topology.edge_count(), bucketed.topology.edge_count());
+    for (const auto& [u, v] : dense.topology.edges()) {
+      EXPECT_TRUE(bucketed.topology.has_edge(u, v));
+    }
+  }
+}
+
+TEST(TopologyGen, BucketedUnitDiskTinyRadius) {
+  // Radius far below cell-cap granularity: the cap enlarges cells; edges
+  // must still match the dense scan.
+  util::Rng a(7);
+  util::Rng b(7);
+  const GeometricTopology dense = make_unit_disk(60, 50.0, 0.9, a);
+  const GeometricTopology bucketed = make_unit_disk_bucketed(60, 50.0, 0.9, b);
+  EXPECT_EQ(dense.topology.edge_count(), bucketed.topology.edge_count());
+  for (const auto& [u, v] : dense.topology.edges()) {
+    EXPECT_TRUE(bucketed.topology.has_edge(u, v));
+  }
+}
+
+TEST(TopologyGenDeath, GridNodeCountOverflowAborts) {
+  // 70000 × 70000 = 4.9e9 exceeds NodeId; 32-bit arithmetic would wrap to
+  // ~605M and silently build the wrong graph. Must die on the CHECK
+  // instead (and before trying to allocate it).
+  EXPECT_DEATH((void)make_grid(70000, 70000), "CHECK failed");
 }
 
 TEST(TopologyGenDeath, TinyRingAborts) {

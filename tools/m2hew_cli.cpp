@@ -19,6 +19,7 @@
 #include "core/baseline_deterministic.hpp"
 #include "core/bounds.hpp"
 #include "core/multi_radio.hpp"
+#include "core/policy_spec.hpp"
 #include "core/termination.hpp"
 #include "core/transmit_probability.hpp"
 #include "net/serialize.hpp"
@@ -63,6 +64,10 @@ Network I/O:
                               all network flags)
 
 Execution:
+  --kernel=<engine|soa>       sync inner loop: classic slot engine or the
+                              structure-of-arrays kernel (default engine;
+                              soa supports alg1/alg2/alg2x/alg3, identical
+                              results, built for large N)
   --trials=<count>            (default 30)
   --threads=<workers>         trial fan-out; 0 = all cores, 1 = serial
                               (default 0; results identical either way)
@@ -424,6 +429,48 @@ int main(int argc, char** argv) {
         flags.get_int("max-slots", 10'000'000));
     trial.engine.loss_probability = loss;
     apply_fault_flags(flags, trial.engine.faults);
+
+    const std::string kernel = flags.get_string("kernel", "engine");
+    require_flag(kernel == "engine" || kernel == "soa",
+                 "--kernel must be engine or soa");
+    if (kernel == "soa") {
+      // The SoA kernel consumes a policy-as-data table, so it covers
+      // exactly the spec-representable algorithms.
+      core::SyncPolicySpec spec;
+      double bound = 0.0;
+      const char* bound_name = "bound";
+      if (algorithm == "alg1") {
+        spec = core::SyncPolicySpec::algorithm1(delta_est);
+        bound = core::theorem1_slot_bound(params);
+        bound_name = "thm1 slot bound";
+      } else if (algorithm == "alg2") {
+        spec = core::SyncPolicySpec::algorithm2();
+        bound = core::theorem2_slot_bound(params);
+        bound_name = "thm2 slot bound";
+      } else if (algorithm == "alg2x") {
+        spec = core::SyncPolicySpec::algorithm2(core::EstimateSchedule::kDouble);
+        bound = core::theorem2_slot_bound(params);
+        bound_name = "thm2 slot bound (d+=1 schedule)";
+      } else if (algorithm == "alg3") {
+        spec = core::SyncPolicySpec::algorithm3(delta_est);
+        bound = core::theorem3_slot_bound(params);
+        bound_name = "thm3 slot bound";
+      } else {
+        std::fprintf(stderr,
+                     "--kernel=soa supports only alg1/alg2/alg2x/alg3 "
+                     "(got --algorithm=%s)\n",
+                     algorithm.c_str());
+        return 2;
+      }
+      require_flag(terminate_after == 0,
+                   "--terminate-after requires --kernel=engine");
+      trial.kernel = runner::SyncKernel::kSoa;
+      const auto stats = runner::run_sync_trials(network, spec, trial);
+      report_sync(stats, bound, bound_name);
+      std::printf("\n%s", table.render().c_str());
+      runner::print_robustness(stats.robustness);
+      return 0;
+    }
 
     sim::SyncPolicyFactory factory;
     double bound = 0.0;
