@@ -19,6 +19,7 @@
 #include <string>
 #include <string_view>
 #include <utility>
+#include <vector>
 
 #include "core/bounds.hpp"
 #include "net/network.hpp"
@@ -91,31 +92,15 @@ inline void print_trial_throughput() {
 
 /// Minimal JSON string escaping (quotes, backslashes, control chars).
 [[nodiscard]] inline std::string json_escape(std::string_view text) {
-  std::string out;
-  out.reserve(text.size());
-  for (const char c : text) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
+  return runner::json_escape(text);
 }
 
 /// Writes results/BENCH_<id>.json: the machine-readable artifact for one
 /// bench run — scenario parameters, per-run completion statistics (from
 /// runner::trial_run_log(), in call order), and the binary's cumulative
-/// trials/sec. CI and the checked-in artifacts both come from this.
+/// trials/sec. The document itself comes from the shared serializer in
+/// runner/report.hpp — the same one the sweep daemon's cached artifacts
+/// use — so CI's bench-smoke validator covers both producers.
 inline void write_bench_json(const char* bench_id,
                              std::initializer_list<BenchParam> params) {
   std::filesystem::create_directories(runner::results_dir());
@@ -126,55 +111,13 @@ inline void write_bench_json(const char* bench_id,
     std::fprintf(stderr, "warning: cannot open %s\n", path.c_str());
     return;
   }
-  out << "{\n  \"bench\": \"" << json_escape(bench_id) << "\",\n";
-  out << "  \"params\": {";
-  bool first = true;
-  for (const BenchParam& p : params) {
-    out << (first ? "\n" : ",\n") << "    \"" << json_escape(p.first)
-        << "\": \"" << json_escape(p.second) << "\"";
-    first = false;
-  }
-  out << (first ? "},\n" : "\n  },\n");
-  char buf[512];
-  out << "  \"runs\": [";
-  first = true;
-  for (const runner::TrialRunRecord& run : runner::trial_run_log()) {
-    std::snprintf(buf, sizeof buf,
-                  "{\"async\": %s, \"trials\": %zu, \"completed\": %zu, "
-                  "\"success_rate\": %.6g, \"mean_completion\": %.6g, "
-                  "\"p90_completion\": %.6g, \"elapsed_seconds\": %.6g, "
-                  "\"threads\": %zu}",
-                  run.async ? "true" : "false", run.trials, run.completed,
-                  run.success_rate(), run.mean_completion,
-                  run.p90_completion, run.elapsed_seconds, run.threads_used);
-    out << (first ? "\n" : ",\n") << "    " << buf;
-    if (run.fault_trials > 0) {
-      // Robustness block for faulted runs: rewrite the closing brace into
-      // a nested object so fault-free artifacts stay byte-stable.
-      out.seekp(-1, std::ios_base::cur);
-      std::snprintf(buf, sizeof buf,
-                    ", \"robustness\": {\"fault_trials\": %zu, "
-                    "\"mean_surviving_recall\": %.6g, "
-                    "\"mean_ghost_entries\": %.6g, "
-                    "\"mean_rediscovery\": %.6g, "
-                    "\"recovered_links\": %zu, "
-                    "\"rediscovered_links\": %zu}}",
-                    run.fault_trials, run.mean_surviving_recall,
-                    run.mean_ghost_entries, run.mean_rediscovery,
-                    run.recovered_links, run.rediscovered_links);
-      out << buf;
-    }
-    first = false;
-  }
-  out << (first ? "],\n" : "\n  ],\n");
-  const runner::TrialThroughput totals = runner::trial_throughput_totals();
-  std::snprintf(buf, sizeof buf,
-                "  \"throughput\": {\"runs\": %zu, \"trials\": %zu, "
-                "\"busy_seconds\": %.6g, \"trials_per_second\": %.6g, "
-                "\"default_threads\": %zu}\n",
-                totals.runs, totals.trials, totals.busy_seconds,
-                totals.trials_per_second(), runner::default_trial_threads());
-  out << buf << "}\n";
+  std::vector<runner::BenchJsonParam> doc_params;
+  doc_params.reserve(params.size());
+  for (const BenchParam& p : params) doc_params.emplace_back(p);
+  const std::vector<runner::TrialRunRecord> runs = runner::trial_run_log();
+  runner::write_bench_json_doc(out, bench_id, doc_params, runs,
+                               runner::trial_throughput_totals(),
+                               runner::default_trial_threads());
   std::printf("[artifact] wrote %s\n", path.c_str());
 }
 

@@ -46,6 +46,83 @@ void print_robustness(const RobustnessStats& robustness) {
 
 std::string results_dir() { return "results"; }
 
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_bench_json_doc(std::ostream& out, std::string_view bench_id,
+                          std::span<const BenchJsonParam> params,
+                          std::span<const TrialRunRecord> runs,
+                          const TrialThroughput& throughput,
+                          std::size_t default_threads) {
+  out << "{\n  \"bench\": \"" << json_escape(bench_id) << "\",\n";
+  out << "  \"params\": {";
+  bool first = true;
+  for (const BenchJsonParam& p : params) {
+    out << (first ? "\n" : ",\n") << "    \"" << json_escape(p.first)
+        << "\": \"" << json_escape(p.second) << "\"";
+    first = false;
+  }
+  out << (first ? "},\n" : "\n  },\n");
+  char buf[512];
+  out << "  \"runs\": [";
+  first = true;
+  for (const TrialRunRecord& run : runs) {
+    std::snprintf(buf, sizeof buf,
+                  "{\"async\": %s, \"trials\": %zu, \"completed\": %zu, "
+                  "\"success_rate\": %.6g, \"mean_completion\": %.6g, "
+                  "\"p90_completion\": %.6g, \"elapsed_seconds\": %.6g, "
+                  "\"threads\": %zu}",
+                  run.async ? "true" : "false", run.trials, run.completed,
+                  run.success_rate(), run.mean_completion,
+                  run.p90_completion, run.elapsed_seconds, run.threads_used);
+    out << (first ? "\n" : ",\n") << "    " << buf;
+    if (run.fault_trials > 0) {
+      // Robustness block for faulted runs: rewrite the closing brace into
+      // a nested object so fault-free documents stay byte-stable.
+      out.seekp(-1, std::ios_base::cur);
+      std::snprintf(buf, sizeof buf,
+                    ", \"robustness\": {\"fault_trials\": %zu, "
+                    "\"mean_surviving_recall\": %.6g, "
+                    "\"mean_ghost_entries\": %.6g, "
+                    "\"mean_rediscovery\": %.6g, "
+                    "\"recovered_links\": %zu, "
+                    "\"rediscovered_links\": %zu}}",
+                    run.fault_trials, run.mean_surviving_recall,
+                    run.mean_ghost_entries, run.mean_rediscovery,
+                    run.recovered_links, run.rediscovered_links);
+      out << buf;
+    }
+    first = false;
+  }
+  out << (first ? "],\n" : "\n  ],\n");
+  std::snprintf(buf, sizeof buf,
+                "  \"throughput\": {\"runs\": %zu, \"trials\": %zu, "
+                "\"busy_seconds\": %.6g, \"trials_per_second\": %.6g, "
+                "\"default_threads\": %zu}\n",
+                throughput.runs, throughput.trials, throughput.busy_seconds,
+                throughput.trials_per_second(), default_threads);
+  out << buf << "}\n";
+}
+
 std::ofstream open_results_csv(std::string_view name) {
   std::filesystem::create_directories(results_dir());
   const std::string path =

@@ -4,8 +4,10 @@
 #pragma once
 
 #include <fstream>
+#include <span>
 #include <string>
 #include <string_view>
+#include <utility>
 
 #include "runner/trials.hpp"
 
@@ -29,5 +31,22 @@ void print_robustness(const RobustnessStats& robustness);
 
 /// Directory where benches drop CSVs ("results").
 [[nodiscard]] std::string results_dir();
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+[[nodiscard]] std::string json_escape(std::string_view text);
+
+/// A (name, value) scenario parameter embedded in a bench JSON document.
+using BenchJsonParam = std::pair<std::string, std::string>;
+
+/// Writes the machine-readable result document shared by the bench
+/// binaries (results/BENCH_<id>.json) and the sweep service's cached
+/// artifacts: {"bench", "params", "runs", "throughput"}. One serializer
+/// produces both, so results/ tooling and the CI bench-smoke validator
+/// accept daemon output unchanged — the schema cannot drift apart.
+void write_bench_json_doc(std::ostream& out, std::string_view bench_id,
+                          std::span<const BenchJsonParam> params,
+                          std::span<const TrialRunRecord> runs,
+                          const TrialThroughput& throughput,
+                          std::size_t default_threads);
 
 }  // namespace m2hew::runner

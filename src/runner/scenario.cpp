@@ -7,6 +7,7 @@
 #include "net/primary_user.hpp"
 #include "net/propagation.hpp"
 #include "net/topology_gen.hpp"
+#include "runner/trials.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
@@ -260,6 +261,17 @@ std::string describe(const ScenarioConfig& config,
 std::string describe(const ScenarioConfig& config,
                      const sim::EngineCommon<double>& engine) {
   return describe(config) + describe_engine_knobs(engine);
+}
+
+std::string describe(const ScenarioConfig& config,
+                     const sim::EngineCommon<std::uint64_t>& engine,
+                     SyncKernel kernel, std::size_t process_workers) {
+  std::string text = describe(config, engine);
+  if (kernel == SyncKernel::kSoa) text += " kernel=soa";
+  if (process_workers > 0) {
+    text += " workers=" + std::to_string(process_workers);
+  }
+  return text;
 }
 
 }  // namespace m2hew::runner

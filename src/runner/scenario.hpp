@@ -93,4 +93,17 @@ struct ScenarioConfig {
 [[nodiscard]] std::string describe(const ScenarioConfig& config,
                                    const sim::EngineCommon<double>& engine);
 
+enum class SyncKernel;  // runner/trials.hpp
+
+/// Same again for slotted runs, additionally naming the execution knobs:
+/// the sync inner loop when it is not the default (`kernel=soa`) and, when
+/// nonzero, the process-worker fan-out of a daemon-sharded run
+/// (`workers=K`). Neither knob changes results — both are pinned
+/// bit-identical by the equivalence suites — but a report line should say
+/// which machinery produced it.
+[[nodiscard]] std::string describe(
+    const ScenarioConfig& config,
+    const sim::EngineCommon<std::uint64_t>& engine, SyncKernel kernel,
+    std::size_t process_workers = 0);
+
 }  // namespace m2hew::runner

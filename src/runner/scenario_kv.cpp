@@ -1,33 +1,40 @@
 #include "runner/scenario_kv.hpp"
 
+#include <cstdint>
 #include <cstdlib>
+#include <optional>
 #include <string>
 
 #include "util/check.hpp"
+#include "util/ini.hpp"
 
 namespace m2hew::runner {
 
 namespace {
 
-[[nodiscard]] double parse_double(std::string_view value) {
+// The parse helpers return nullopt on malformed input; whether that is a
+// recoverable error or an abort is decided once, in the applier, by the
+// presence of an error sink.
+
+[[nodiscard]] std::optional<double> parse_double(std::string_view value) {
   const std::string text(value);
   char* end = nullptr;
   const double parsed = std::strtod(text.c_str(), &end);
-  M2HEW_CHECK_MSG(end != text.c_str() && *end == '\0',
-                  "scenario value is not a number");
+  if (end == text.c_str() || *end != '\0') return std::nullopt;
   return parsed;
 }
 
-[[nodiscard]] std::uint64_t parse_unsigned(std::string_view value) {
+[[nodiscard]] std::optional<std::uint64_t> parse_unsigned(
+    std::string_view value) {
   const std::string text(value);
   char* end = nullptr;
   const unsigned long long parsed = std::strtoull(text.c_str(), &end, 10);
-  M2HEW_CHECK_MSG(end != text.c_str() && *end == '\0',
-                  "scenario value is not an unsigned integer");
+  if (end == text.c_str() || *end != '\0') return std::nullopt;
   return parsed;
 }
 
-[[nodiscard]] TopologyKind parse_topology(std::string_view value) {
+[[nodiscard]] std::optional<TopologyKind> parse_topology(
+    std::string_view value) {
   if (value == "line") return TopologyKind::kLine;
   if (value == "ring") return TopologyKind::kRing;
   if (value == "grid") return TopologyKind::kGrid;
@@ -37,78 +44,172 @@ namespace {
   if (value == "unit-disk") return TopologyKind::kUnitDisk;
   if (value == "watts-strogatz") return TopologyKind::kWattsStrogatz;
   if (value == "barabasi-albert") return TopologyKind::kBarabasiAlbert;
-  M2HEW_CHECK_MSG(false, "unknown topology name");
-  return TopologyKind::kClique;
+  return std::nullopt;
 }
 
-[[nodiscard]] ChannelKind parse_channels(std::string_view value) {
+[[nodiscard]] std::optional<ChannelKind> parse_channels(
+    std::string_view value) {
   if (value == "homogeneous") return ChannelKind::kHomogeneous;
   if (value == "uniform") return ChannelKind::kUniformRandom;
   if (value == "variable") return ChannelKind::kVariableRandom;
   if (value == "chain") return ChannelKind::kChainOverlap;
   if (value == "primary-users") return ChannelKind::kPrimaryUsers;
-  M2HEW_CHECK_MSG(false, "unknown channel kind");
-  return ChannelKind::kHomogeneous;
+  return std::nullopt;
 }
 
-[[nodiscard]] PropagationKind parse_propagation(std::string_view value) {
+[[nodiscard]] std::optional<PropagationKind> parse_propagation(
+    std::string_view value) {
   if (value == "full") return PropagationKind::kFull;
   if (value == "random") return PropagationKind::kRandomMask;
   if (value == "lowpass") return PropagationKind::kLowpass;
-  M2HEW_CHECK_MSG(false, "unknown propagation kind");
-  return PropagationKind::kFull;
+  return std::nullopt;
 }
 
 }  // namespace
 
 bool apply_scenario_setting(ScenarioConfig& config, std::string_view key,
-                            std::string_view value) {
+                            std::string_view value, std::string* error) {
+  // Typed fetchers: on malformed input they record a message and leave the
+  // config untouched. `bad` distinguishes a parse failure (key was known,
+  // value was not) from the unknown-key `return false` at the bottom.
+  bool bad = false;
+  const auto fail = [&](const char* what) {
+    bad = true;
+    const std::string message = "scenario key '" + std::string(key) +
+                                "': " + what + " (got '" +
+                                std::string(value) + "')";
+    if (error == nullptr) M2HEW_CHECK_MSG(false, message.c_str());
+    *error = message;
+  };
+  const auto as_double = [&]() -> double {
+    const auto parsed = parse_double(value);
+    if (!parsed.has_value()) {
+      fail("expected a number");
+      return 0.0;
+    }
+    return *parsed;
+  };
+  const auto as_unsigned = [&]() -> std::uint64_t {
+    const auto parsed = parse_unsigned(value);
+    if (!parsed.has_value()) {
+      fail("expected an unsigned integer");
+      return 0;
+    }
+    return *parsed;
+  };
+
   if (key == "topology") {
-    config.topology = parse_topology(value);
+    const auto parsed = parse_topology(value);
+    if (!parsed.has_value()) {
+      fail("unknown topology name");
+    } else {
+      config.topology = *parsed;
+    }
   } else if (key == "n") {
-    config.n = static_cast<net::NodeId>(parse_unsigned(value));
+    config.n = static_cast<net::NodeId>(as_unsigned());
   } else if (key == "grid-rows") {
-    config.grid_rows = static_cast<net::NodeId>(parse_unsigned(value));
+    config.grid_rows = static_cast<net::NodeId>(as_unsigned());
   } else if (key == "er-p") {
-    config.er_edge_probability = parse_double(value);
+    config.er_edge_probability = as_double();
   } else if (key == "ud-side") {
-    config.ud_side = parse_double(value);
+    config.ud_side = as_double();
   } else if (key == "ud-radius") {
-    config.ud_radius = parse_double(value);
+    config.ud_radius = as_double();
   } else if (key == "ws-k") {
-    config.ws_k = static_cast<net::NodeId>(parse_unsigned(value));
+    config.ws_k = static_cast<net::NodeId>(as_unsigned());
   } else if (key == "ws-beta") {
-    config.ws_beta = parse_double(value);
+    config.ws_beta = as_double();
   } else if (key == "ba-m") {
-    config.ba_m = static_cast<net::NodeId>(parse_unsigned(value));
+    config.ba_m = static_cast<net::NodeId>(as_unsigned());
   } else if (key == "channels") {
-    config.channels = parse_channels(value);
+    const auto parsed = parse_channels(value);
+    if (!parsed.has_value()) {
+      fail("unknown channel kind");
+    } else {
+      config.channels = *parsed;
+    }
   } else if (key == "universe") {
-    config.universe = static_cast<net::ChannelId>(parse_unsigned(value));
+    config.universe = static_cast<net::ChannelId>(as_unsigned());
   } else if (key == "set-size") {
-    config.set_size = static_cast<net::ChannelId>(parse_unsigned(value));
+    config.set_size = static_cast<net::ChannelId>(as_unsigned());
   } else if (key == "min-size") {
-    config.min_size = static_cast<net::ChannelId>(parse_unsigned(value));
+    config.min_size = static_cast<net::ChannelId>(as_unsigned());
   } else if (key == "max-size") {
-    config.max_size = static_cast<net::ChannelId>(parse_unsigned(value));
+    config.max_size = static_cast<net::ChannelId>(as_unsigned());
   } else if (key == "overlap") {
-    config.chain_overlap = static_cast<net::ChannelId>(parse_unsigned(value));
+    config.chain_overlap = static_cast<net::ChannelId>(as_unsigned());
   } else if (key == "pu-count") {
-    config.pu_count = parse_unsigned(value);
+    config.pu_count = as_unsigned();
   } else if (key == "pu-min-radius") {
-    config.pu_min_radius = parse_double(value);
+    config.pu_min_radius = as_double();
   } else if (key == "pu-max-radius") {
-    config.pu_max_radius = parse_double(value);
+    config.pu_max_radius = as_double();
   } else if (key == "asymmetric-drop") {
-    config.asymmetric_drop = parse_double(value);
+    config.asymmetric_drop = as_double();
   } else if (key == "propagation") {
-    config.propagation = parse_propagation(value);
+    const auto parsed = parse_propagation(value);
+    if (!parsed.has_value()) {
+      fail("unknown propagation kind");
+    } else {
+      config.propagation = *parsed;
+    }
   } else if (key == "prop-keep") {
-    config.prop_keep = parse_double(value);
+    config.prop_keep = as_double();
   } else if (key == "require-nonempty-spans") {
     config.require_nonempty_spans = value == "true" || value == "1";
   } else {
+    if (error != nullptr) {
+      *error = "unknown scenario key '" + std::string(key) + "'";
+    }
     return false;
+  }
+  return !bad;
+}
+
+bool apply_scenario_setting(ScenarioConfig& config, std::string_view key,
+                            std::string_view value) {
+  return apply_scenario_setting(config, key, value, nullptr);
+}
+
+bool parse_faults_section(const util::IniFile& ini,
+                          sim::SlotFaultPlan& faults, std::string* error) {
+  if (!ini.has_section("faults")) return true;
+  static constexpr const char* kKnown[] = {
+      "crash-prob", "crash-from", "crash-until",       "down-min",
+      "down-max",   "burst-loss", "reset-on-recovery", "burst-p-gb",
+      "burst-p-bg", "burst-loss-good"};
+  for (const std::string& key : ini.keys("faults")) {
+    bool known = false;
+    for (const char* k : kKnown) known |= key == k;
+    if (!known) {
+      if (error != nullptr) *error = "unknown [faults] key '" + key + "'";
+      return false;
+    }
+  }
+  const double crash_prob = ini.get_double("faults", "crash-prob", 0.0);
+  if (crash_prob > 0.0) {
+    faults.churn.crash_probability = crash_prob;
+    faults.churn.earliest_crash =
+        static_cast<std::uint64_t>(ini.get_int("faults", "crash-from", 200));
+    faults.churn.latest_crash = static_cast<std::uint64_t>(
+        ini.get_int("faults", "crash-until", 2000));
+    faults.churn.min_down =
+        static_cast<std::uint64_t>(ini.get_int("faults", "down-min", 100));
+    faults.churn.max_down =
+        static_cast<std::uint64_t>(ini.get_int("faults", "down-max", 1000));
+    faults.churn.reset_policy_on_recovery =
+        ini.get_int("faults", "reset-on-recovery", 1) != 0;
+  }
+  const double burst_bad = ini.get_double("faults", "burst-loss", 0.0);
+  if (burst_bad > 0.0) {
+    faults.burst_loss.enabled = true;
+    faults.burst_loss.loss_bad = burst_bad;
+    faults.burst_loss.p_good_to_bad =
+        ini.get_double("faults", "burst-p-gb", 0.01);
+    faults.burst_loss.p_bad_to_good =
+        ini.get_double("faults", "burst-p-bg", 0.1);
+    faults.burst_loss.loss_good =
+        ini.get_double("faults", "burst-loss-good", 0.0);
   }
   return true;
 }

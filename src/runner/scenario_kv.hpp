@@ -3,9 +3,15 @@
 // keys. Keys mirror the CLI flag names.
 #pragma once
 
+#include <string>
 #include <string_view>
 
 #include "runner/scenario.hpp"
+#include "sim/fault_plan.hpp"
+
+namespace m2hew::util {
+class IniFile;
+}
 
 namespace m2hew::runner {
 
@@ -20,5 +26,25 @@ namespace m2hew::runner {
 [[nodiscard]] bool apply_scenario_setting(ScenarioConfig& config,
                                           std::string_view key,
                                           std::string_view value);
+
+/// Recoverable form for long-lived callers (the sweep daemon must not be
+/// killed by one bad spec): with a non-null `error`, malformed values and
+/// unknown keys report a one-line message through it and return false
+/// instead of aborting. Passing nullptr restores the aborting behavior.
+[[nodiscard]] bool apply_scenario_setting(ScenarioConfig& config,
+                                          std::string_view key,
+                                          std::string_view value,
+                                          std::string* error);
+
+/// Parses an optional `[faults]` INI section into a slot-time fault plan —
+/// the format documented in tools/m2hew_experiment.cpp and read unchanged
+/// by the sweep daemon's specs. Returns false with a one-line message in
+/// `*error` on an unknown key; a missing section is a no-op success.
+///
+/// Keys: crash-prob, crash-from, crash-until, down-min, down-max,
+/// reset-on-recovery, burst-loss, burst-p-gb, burst-p-bg, burst-loss-good.
+[[nodiscard]] bool parse_faults_section(const util::IniFile& ini,
+                                        sim::SlotFaultPlan& faults,
+                                        std::string* error);
 
 }  // namespace m2hew::runner

@@ -1,0 +1,147 @@
+#include "runner/streaming.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "util/check.hpp"
+
+namespace m2hew::runner {
+
+TrialOutcomeRecord make_outcome_record(
+    std::size_t trial, bool complete, std::uint64_t completion_slot,
+    const sim::RobustnessReport& robustness) {
+  TrialOutcomeRecord record;
+  record.trial = trial;
+  record.complete = complete;
+  record.completion_slot = static_cast<double>(completion_slot);
+  record.fault_enabled = robustness.enabled;
+  record.surviving_links = robustness.surviving_links;
+  record.covered_surviving_links = robustness.covered_surviving_links;
+  record.ghost_entries = robustness.ghost_entries;
+  record.recovered_links = robustness.recovered_links;
+  record.rediscovered_links = robustness.rediscovered_links;
+  record.mean_rediscovery = robustness.mean_rediscovery;
+  return record;
+}
+
+sim::RobustnessReport to_robustness_report(const TrialOutcomeRecord& record) {
+  sim::RobustnessReport report;
+  report.enabled = record.fault_enabled;
+  report.surviving_links = record.surviving_links;
+  report.covered_surviving_links = record.covered_surviving_links;
+  report.ghost_entries = record.ghost_entries;
+  report.recovered_links = record.recovered_links;
+  report.rediscovered_links = record.rediscovered_links;
+  report.mean_rediscovery = record.mean_rediscovery;
+  return report;
+}
+
+std::string encode_outcome_record(const TrialOutcomeRecord& record) {
+  // %a renders the exact binary representation of the doubles, so decode
+  // reproduces them bit-for-bit; everything else is integral.
+  char buf[256];
+  std::snprintf(buf, sizeof buf, "R %zu %d %a %d %zu %zu %zu %zu %zu %a",
+                record.trial, record.complete ? 1 : 0,
+                record.completion_slot, record.fault_enabled ? 1 : 0,
+                record.surviving_links, record.covered_surviving_links,
+                record.ghost_entries, record.recovered_links,
+                record.rediscovered_links, record.mean_rediscovery);
+  return buf;
+}
+
+std::optional<TrialOutcomeRecord> decode_outcome_record(
+    std::string_view line) {
+  if (line.size() < 2 || line[0] != 'R' || line[1] != ' ') return {};
+  const std::string text(line.substr(2));
+  TrialOutcomeRecord record;
+  int complete = 0;
+  int fault = 0;
+  int consumed = -1;
+  const int matched = std::sscanf(
+      text.c_str(), "%zu %d %la %d %zu %zu %zu %zu %zu %la%n",
+      &record.trial, &complete, &record.completion_slot, &fault,
+      &record.surviving_links, &record.covered_surviving_links,
+      &record.ghost_entries, &record.recovered_links,
+      &record.rediscovered_links, &record.mean_rediscovery, &consumed);
+  if (matched != 10 || consumed < 0 ||
+      static_cast<std::size_t>(consumed) != text.size()) {
+    return {};
+  }
+  if ((complete != 0 && complete != 1) || (fault != 0 && fault != 1)) {
+    return {};
+  }
+  record.complete = complete == 1;
+  record.fault_enabled = fault == 1;
+  return record;
+}
+
+std::string encode_end_marker(std::size_t shard, std::size_t emitted) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "E %zu %zu", shard, emitted);
+  return buf;
+}
+
+std::optional<std::pair<std::size_t, std::size_t>> decode_end_marker(
+    std::string_view line) {
+  if (line.size() < 2 || line[0] != 'E' || line[1] != ' ') return {};
+  const std::string text(line.substr(2));
+  std::size_t shard = 0;
+  std::size_t emitted = 0;
+  int consumed = -1;
+  if (std::sscanf(text.c_str(), "%zu %zu%n", &shard, &emitted, &consumed) !=
+          2 ||
+      consumed < 0 || static_cast<std::size_t>(consumed) != text.size()) {
+    return {};
+  }
+  return std::make_pair(shard, emitted);
+}
+
+StreamingSyncReducer::StreamingSyncReducer(std::size_t trials)
+    : trials_(trials), seen_(trials, false) {
+  stats_.trials = trials;
+  stats_.completion_slots.reserve(trials);
+}
+
+bool StreamingSyncReducer::offer(const TrialOutcomeRecord& record) {
+  if (record.trial >= trials_ || seen_[record.trial]) return false;
+  seen_[record.trial] = true;
+  ++received_;
+  pending_.emplace(record.trial, record);
+  drain();
+  return true;
+}
+
+void StreamingSyncReducer::drain() {
+  // Fold the contiguous run starting at next_; everything later stays
+  // buffered. This is the only place records enter the aggregate, so the
+  // fold order is the trial order no matter how offers interleave.
+  for (auto it = pending_.begin();
+       it != pending_.end() && it->first == next_;
+       it = pending_.erase(it), ++next_) {
+    const TrialOutcomeRecord& record = it->second;
+    fold_robustness(stats_.robustness, to_robustness_report(record));
+    if (!record.complete) continue;
+    ++stats_.completed;
+    stats_.completion_slots.add(record.completion_slot);
+  }
+}
+
+std::vector<std::size_t> StreamingSyncReducer::missing_trials() const {
+  std::vector<std::size_t> missing;
+  for (std::size_t t = 0; t < trials_; ++t) {
+    if (!seen_[t]) missing.push_back(t);
+  }
+  return missing;
+}
+
+SyncTrialStats StreamingSyncReducer::finish(double elapsed_seconds,
+                                            std::size_t workers) {
+  M2HEW_CHECK_MSG(all_received(), "streaming reduction finished early");
+  M2HEW_CHECK(pending_.empty());
+  stats_.elapsed_seconds = elapsed_seconds;
+  stats_.threads_used = workers;
+  log_trial_run(make_sync_run_record(stats_));
+  return stats_;
+}
+
+}  // namespace m2hew::runner

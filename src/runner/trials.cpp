@@ -44,21 +44,6 @@ void append_run_record(TrialRunRecord record) {
   run_log().push_back(record);
 }
 
-/// Folds one trial's robustness report into the aggregate, in trial order
-/// (so the aggregate is bit-identical at any thread count).
-void reduce_robustness(RobustnessStats& agg,
-                       const sim::RobustnessReport& report) {
-  if (!report.enabled) return;
-  ++agg.fault_trials;
-  agg.surviving_recall.add(report.surviving_recall());
-  agg.ghost_entries.add(static_cast<double>(report.ghost_entries));
-  if (report.rediscovered_links > 0) {
-    agg.rediscovery_times.add(report.mean_rediscovery);
-  }
-  agg.recovered_links += report.recovered_links;
-  agg.rediscovered_links += report.rediscovered_links;
-}
-
 /// Builds the log entry shared by both runners from the aggregate stats.
 template <typename Stats>
 [[nodiscard]] TrialRunRecord make_run_record(const Stats& stats, bool async,
@@ -144,6 +129,28 @@ std::vector<TrialRunRecord> trial_run_log() {
   return run_log();
 }
 
+void fold_robustness(RobustnessStats& aggregate,
+                     const sim::RobustnessReport& report) {
+  if (!report.enabled) return;
+  ++aggregate.fault_trials;
+  aggregate.surviving_recall.add(report.surviving_recall());
+  aggregate.ghost_entries.add(static_cast<double>(report.ghost_entries));
+  if (report.rediscovered_links > 0) {
+    aggregate.rediscovery_times.add(report.mean_rediscovery);
+  }
+  aggregate.recovered_links += report.recovered_links;
+  aggregate.rediscovered_links += report.rediscovered_links;
+}
+
+TrialRunRecord make_sync_run_record(const SyncTrialStats& stats) {
+  return make_run_record(stats, /*async=*/false, stats.completion_slots);
+}
+
+void log_trial_run(const TrialRunRecord& record) {
+  record_run(record.trials, record.elapsed_seconds);
+  append_run_record(record);
+}
+
 SyncTrialStats run_sync_trials(const net::Network& network,
                                const sim::SyncPolicyFactory& factory,
                                const SyncTrialConfig& config) {
@@ -180,7 +187,7 @@ SyncTrialStats run_sync_trials(const net::Network& network,
 
   stats.completion_slots.reserve(config.trials);
   for (const Outcome& outcome : outcomes) {
-    reduce_robustness(stats.robustness, outcome.robustness);
+    fold_robustness(stats.robustness, outcome.robustness);
     if (!outcome.complete) continue;
     ++stats.completed;
     stats.completion_slots.add(outcome.completion_slot);
@@ -253,7 +260,7 @@ SyncTrialStats run_sync_trials(const net::Network& network,
 
   stats.completion_slots.reserve(config.trials);
   for (const Outcome& outcome : outcomes) {
-    reduce_robustness(stats.robustness, outcome.robustness);
+    fold_robustness(stats.robustness, outcome.robustness);
     if (!outcome.complete) continue;
     ++stats.completed;
     stats.completion_slots.add(outcome.completion_slot);
@@ -308,7 +315,7 @@ AsyncTrialStats run_async_trials(const net::Network& network,
   stats.completion_after_ts.reserve(config.trials);
   stats.max_full_frames.reserve(config.trials);
   for (const Outcome& outcome : outcomes) {
-    reduce_robustness(stats.robustness, outcome.robustness);
+    fold_robustness(stats.robustness, outcome.robustness);
     if (!outcome.complete) continue;
     ++stats.completed;
     stats.completion_after_ts.add(outcome.after_ts);
@@ -354,7 +361,7 @@ MultiRadioTrialStats run_multi_radio_trials(
 
   stats.completion_slots.reserve(config.trials);
   for (const Outcome& outcome : outcomes) {
-    reduce_robustness(stats.robustness, outcome.robustness);
+    fold_robustness(stats.robustness, outcome.robustness);
     if (!outcome.complete) continue;
     ++stats.completed;
     stats.completion_slots.add(outcome.completion_slot);

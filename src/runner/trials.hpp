@@ -224,4 +224,23 @@ struct MultiRadioTrialConfig {
     const net::Network& network, const sim::MultiRadioPolicyFactory& factory,
     const MultiRadioTrialConfig& config);
 
+// --- Reduction building blocks shared with the streaming path ----------
+//
+// The sweep service (src/service/) reduces worker-streamed per-trial
+// records through runner/streaming.hpp, which reuses exactly these hooks;
+// keeping them here is what makes "daemon-sharded == batch, bit-identical"
+// a structural property rather than a test-enforced coincidence.
+
+/// Folds one trial's robustness report into the aggregate. Call in trial
+/// order: the retained Samples preserve insertion order.
+void fold_robustness(RobustnessStats& aggregate,
+                     const sim::RobustnessReport& report);
+
+/// Builds the run-log entry for a finished slotted aggregate.
+[[nodiscard]] TrialRunRecord make_sync_run_record(const SyncTrialStats& stats);
+
+/// Appends a record to the process-wide run log and throughput totals —
+/// so daemon-sharded runs surface in bench JSON exactly like batch runs.
+void log_trial_run(const TrialRunRecord& record);
+
 }  // namespace m2hew::runner

@@ -1,0 +1,56 @@
+// Content-addressed result cache for the sweep service.
+//
+// An artifact is the bench-schema JSON document for one completed sweep,
+// stored at <dir>/<hash>.json where <hash> is scenario_hash_hex(spec) —
+// i.e. fnv1a64(resolved canonical spec ‖ binary version). Because the key
+// covers everything that determines the numbers (spec semantics, seed
+// range via the spec's seed/trials fields, simulator build), a lookup hit
+// IS the result: resubmitting an identical spec never re-simulates, and
+// changing any effective parameter or rebuilding the binary naturally
+// misses. There is no TTL and no explicit invalidation — stale entries are
+// simply never addressed again (operators may delete the directory at any
+// time; see docs/OPERATIONS.md "Cache layout").
+//
+// Writes are tmp+rename in the same directory, so readers never observe a
+// torn artifact and a crashed writer leaves only a .tmp to sweep up.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "service/sweep_runner.hpp"
+#include "service/sweep_spec.hpp"
+
+namespace m2hew::service {
+
+class ArtifactCache {
+ public:
+  /// Creates `dir` (one level) if missing.
+  explicit ArtifactCache(std::string dir);
+
+  [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
+  /// Final path of the artifact for a cache key (whether or not present).
+  [[nodiscard]] std::string path_for(const std::string& hash_hex) const;
+  [[nodiscard]] bool contains(const std::string& hash_hex) const;
+
+  /// Atomically publishes an artifact (tmp + rename). Returns false on
+  /// I/O failure.
+  [[nodiscard]] bool store(const std::string& hash_hex,
+                           const std::string& json) const;
+
+ private:
+  std::string dir_;
+};
+
+/// Renders a completed sweep as the shared bench JSON schema
+/// (runner::write_bench_json_doc): one run entry per sweep point, in
+/// sweep order, with the spec identity (name, algorithm, hash, binary
+/// version, sweep key/values, worker count) in "params".
+void write_sweep_artifact(std::ostream& out, const SweepSpec& spec,
+                          const SweepResult& result);
+
+/// Convenience string form of write_sweep_artifact.
+[[nodiscard]] std::string sweep_artifact_json(const SweepSpec& spec,
+                                              const SweepResult& result);
+
+}  // namespace m2hew::service

@@ -1,0 +1,281 @@
+#include "service/daemon.hpp"
+
+#include <dirent.h>
+#include <poll.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string_view>
+#include <vector>
+
+#include "runner/report.hpp"
+#include "service/artifact_cache.hpp"
+#include "service/sweep_runner.hpp"
+#include "service/sweep_spec.hpp"
+#include "util/hash.hpp"
+#include "util/ini.hpp"
+#include "util/ipc.hpp"
+#include "util/log.hpp"
+
+namespace m2hew::service {
+
+namespace {
+
+[[nodiscard]] bool ensure_dir(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) == 0) return true;
+  struct stat st {};
+  return ::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+[[nodiscard]] bool ends_with(std::string_view text, std::string_view tail) {
+  return text.size() >= tail.size() &&
+         text.substr(text.size() - tail.size()) == tail;
+}
+
+/// *.ini file stems under `dir`, sorted by name (submission order for
+/// timestamp-prefixed names; deterministic regardless).
+[[nodiscard]] std::vector<std::string> scan_jobs(const std::string& dir) {
+  std::vector<std::string> jobs;
+  DIR* handle = ::opendir(dir.c_str());
+  if (handle == nullptr) return jobs;
+  while (dirent* entry = ::readdir(handle)) {
+    const std::string_view name = entry->d_name;
+    if (!ends_with(name, ".ini")) continue;
+    jobs.emplace_back(name.substr(0, name.size() - 4));
+  }
+  ::closedir(handle);
+  std::sort(jobs.begin(), jobs.end());
+  return jobs;
+}
+
+struct JobStatus {
+  std::string job;
+  std::string state;          // "running" | "done" | "failed"
+  std::string scenario_hash;  // empty until the spec parsed
+  std::string cache;          // "hit" | "miss", set when state == "done"
+  std::string artifact;       // cache path, set when state == "done"
+  std::string error;          // set when state == "failed"
+  std::size_t workers = 0;
+};
+
+void write_status(const std::string& status_dir, const JobStatus& status) {
+  std::ostringstream json;
+  json << "{\n  \"job\": \"" << runner::json_escape(status.job) << "\",\n"
+       << "  \"state\": \"" << runner::json_escape(status.state) << "\",\n"
+       << "  \"scenario_hash\": \""
+       << runner::json_escape(status.scenario_hash) << "\",\n"
+       << "  \"cache\": \"" << runner::json_escape(status.cache) << "\",\n"
+       << "  \"artifact\": \"" << runner::json_escape(status.artifact)
+       << "\",\n"
+       << "  \"workers\": " << status.workers << ",\n"
+       << "  \"error\": \"" << runner::json_escape(status.error) << "\"\n"
+       << "}\n";
+  const std::string final_path = status_dir + "/" + status.job + ".json";
+  const std::string tmp_path = final_path + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::trunc);
+    out << json.str();
+  }
+  if (std::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    M2HEW_LOG_ERROR("sweepd: cannot publish status %s", final_path.c_str());
+  }
+}
+
+void move_spec(const std::string& from, const std::string& to) {
+  if (std::rename(from.c_str(), to.c_str()) != 0) {
+    M2HEW_LOG_ERROR("sweepd: cannot move %s -> %s", from.c_str(),
+                    to.c_str());
+    std::remove(from.c_str());  // never reprocess
+  }
+}
+
+/// Runs the sweep and publishes the artifact inside a forked child, so a
+/// spec that trips an engine CHECK (or any other abort) fails the job,
+/// not the daemon. The child's single status line is "OK" or
+/// "ERR <message>"; a child that dies without one failed.
+[[nodiscard]] bool run_job_in_child(const SweepSpec& spec,
+                                    const ArtifactCache& cache,
+                                    const std::string& hash_hex,
+                                    std::size_t workers,
+                                    std::string* error) {
+  std::vector<util::WorkerProcess> child;
+  child.push_back(util::spawn_worker([&](int write_fd) {
+    FILE* pipe = ::fdopen(write_fd, "w");
+    if (pipe == nullptr) return 1;
+    SweepResult result;
+    std::string run_error;
+    if (!run_sweep(spec, workers, result, &run_error)) {
+      std::fprintf(pipe, "ERR %s\n", run_error.c_str());
+      std::fflush(pipe);
+      return 1;
+    }
+    if (!cache.store(hash_hex, sweep_artifact_json(spec, result))) {
+      std::fprintf(pipe, "ERR cannot write artifact\n");
+      std::fflush(pipe);
+      return 1;
+    }
+    std::fputs("OK\n", pipe);
+    std::fflush(pipe);
+    return 0;
+  }));
+
+  bool ok = false;
+  std::string reported;
+  util::drain_workers(child, [&](std::size_t, std::string_view line) {
+    if (line == "OK") {
+      ok = true;
+    } else if (line.substr(0, 4) == "ERR ") {
+      reported = std::string(line.substr(4));
+    }
+  });
+  if (ok && child.front().exited_cleanly) return true;
+  *error = !reported.empty()
+               ? reported
+               : "job process died (internal check failure?)";
+  return false;
+}
+
+void process_job(const std::string& job, const DaemonConfig& config,
+                 const std::string& incoming_dir,
+                 const std::string& status_dir, const std::string& done_dir,
+                 const std::string& failed_dir, const ArtifactCache& cache) {
+  const std::string spec_path = incoming_dir + "/" + job + ".ini";
+  JobStatus status;
+  status.job = job;
+  status.workers = config.workers;
+
+  const auto fail = [&](const std::string& message) {
+    status.state = "failed";
+    status.error = message;
+    write_status(status_dir, status);
+    move_spec(spec_path, failed_dir + "/" + job + ".ini");
+    M2HEW_LOG_WARN("sweepd: job %s failed: %s", job.c_str(),
+                   message.c_str());
+  };
+
+  std::ifstream in(spec_path);
+  if (!in) {
+    fail("cannot open spec file");
+    return;
+  }
+  std::ostringstream raw;
+  raw << in.rdbuf();
+
+  util::IniParseError parse_error;
+  const util::IniFile ini =
+      util::IniFile::parse_string(raw.str(), &parse_error);
+  if (!parse_error.ok()) {
+    // The canonical hash of what did parse ties this log line to later
+    // resubmissions of the (fixed) spec in operator greps.
+    const std::string partial_hash =
+        util::hash_hex(util::fnv1a64(ini.canonical_text()));
+    M2HEW_LOG_WARN("sweepd: job %s spec-hash %s: parse error at line %zu: "
+                   "%s (offending text: '%s')",
+                   job.c_str(), partial_hash.c_str(), parse_error.line,
+                   parse_error.message.c_str(), parse_error.text.c_str());
+    fail("parse error at line " + std::to_string(parse_error.line) + ": " +
+         parse_error.message);
+    return;
+  }
+
+  SweepSpec spec;
+  std::string spec_error;
+  if (!parse_sweep_spec(ini, spec, &spec_error)) {
+    const std::string partial_hash =
+        util::hash_hex(util::fnv1a64(ini.canonical_text()));
+    M2HEW_LOG_WARN("sweepd: job %s spec-hash %s: invalid spec: %s",
+                   job.c_str(), partial_hash.c_str(), spec_error.c_str());
+    fail(spec_error);
+    return;
+  }
+
+  const std::string hash_hex = scenario_hash_hex(spec);
+  status.scenario_hash = hash_hex;
+  status.artifact = cache.path_for(hash_hex);
+
+  if (cache.contains(hash_hex)) {
+    status.state = "done";
+    status.cache = "hit";
+    write_status(status_dir, status);
+    move_spec(spec_path, done_dir + "/" + job + ".ini");
+    M2HEW_LOG_INFO("sweepd: job %s spec-hash %s: cache hit (%s)",
+                   job.c_str(), hash_hex.c_str(), status.artifact.c_str());
+    return;
+  }
+
+  status.state = "running";
+  write_status(status_dir, status);
+  M2HEW_LOG_INFO(
+      "sweepd: job %s spec-hash %s: running %zu point(s) x %zu trial(s), "
+      "%zu worker(s)",
+      job.c_str(), hash_hex.c_str(), spec.sweep_values.size(), spec.trials,
+      config.workers);
+
+  std::string run_error;
+  if (!run_job_in_child(spec, cache, hash_hex, config.workers,
+                        &run_error)) {
+    M2HEW_LOG_WARN("sweepd: job %s spec-hash %s: %s", job.c_str(),
+                   hash_hex.c_str(), run_error.c_str());
+    fail(run_error);
+    return;
+  }
+  status.state = "done";
+  status.cache = "miss";
+  write_status(status_dir, status);
+  move_spec(spec_path, done_dir + "/" + job + ".ini");
+  M2HEW_LOG_INFO("sweepd: job %s spec-hash %s: done (%s)", job.c_str(),
+                 hash_hex.c_str(), status.artifact.c_str());
+}
+
+}  // namespace
+
+int run_daemon(const DaemonConfig& config) {
+  const std::string incoming_dir = config.spool_dir + "/incoming";
+  const std::string status_dir = config.spool_dir + "/status";
+  const std::string done_dir = config.spool_dir + "/done";
+  const std::string failed_dir = config.spool_dir + "/failed";
+  const std::string cache_dir =
+      config.cache_dir.empty() ? config.spool_dir + "/cache"
+                               : config.cache_dir;
+  const std::string sentinel = config.spool_dir + "/shutdown";
+
+  if (!ensure_dir(config.spool_dir) || !ensure_dir(incoming_dir) ||
+      !ensure_dir(status_dir) || !ensure_dir(done_dir) ||
+      !ensure_dir(failed_dir)) {
+    M2HEW_LOG_ERROR("sweepd: cannot create spool under %s",
+                    config.spool_dir.c_str());
+    return 1;
+  }
+  const ArtifactCache cache(cache_dir);
+
+  M2HEW_LOG_INFO("sweepd: spool %s, cache %s, %zu worker(s), version %s",
+                 config.spool_dir.c_str(), cache_dir.c_str(), config.workers,
+                 binary_version().c_str());
+
+  while (true) {
+    struct stat st {};
+    if (::stat(sentinel.c_str(), &st) == 0) {
+      std::remove(sentinel.c_str());
+      M2HEW_LOG_INFO("sweepd: shutdown sentinel seen, exiting cleanly");
+      return 0;
+    }
+    const std::vector<std::string> jobs = scan_jobs(incoming_dir);
+    for (const std::string& job : jobs) {
+      process_job(job, config, incoming_dir, status_dir, done_dir,
+                  failed_dir, cache);
+    }
+    if (config.once && jobs.empty()) {
+      M2HEW_LOG_INFO("sweepd: backlog drained (--once), exiting cleanly");
+      return 0;
+    }
+    if (jobs.empty()) {
+      ::poll(nullptr, 0, config.poll_ms);  // portable millisecond sleep
+    }
+  }
+}
+
+}  // namespace m2hew::service

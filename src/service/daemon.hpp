@@ -1,0 +1,43 @@
+// The sweep daemon: a long-lived service consuming sweep specs from a
+// spool directory and publishing cached artifacts.
+//
+// Spool layout (all created on startup):
+//
+//   <spool>/incoming/<job>.ini   submissions; <job> (the file stem) names
+//                                the job. Writers should create the file
+//                                elsewhere and rename(2) it in.
+//   <spool>/status/<job>.json    one status document per job, rewritten
+//                                atomically as the job advances:
+//                                {"job","state","scenario_hash","cache",
+//                                 "artifact","workers","error"}.
+//   <spool>/done/<job>.ini       the spec, moved here after success;
+//   <spool>/failed/<job>.ini     ... or here after failure.
+//   <spool>/shutdown             sentinel; the daemon removes it and exits
+//                                cleanly when it appears.
+//
+// Jobs are processed one at a time, oldest name first; parallelism lives
+// INSIDE a job (trial sharding across forked workers), not across jobs,
+// so two specs never compete for cores. Each job body runs in a forked
+// child: a spec that trips an internal CHECK kills the job, not the
+// daemon. See docs/OPERATIONS.md for the operator guide.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace m2hew::service {
+
+struct DaemonConfig {
+  std::string spool_dir = "sweepd";
+  std::string cache_dir;      ///< empty = <spool>/cache
+  std::size_t workers = 1;    ///< trial-shard processes per sweep point
+  int poll_ms = 200;          ///< incoming/ scan interval
+  bool once = false;          ///< drain the current backlog, then exit
+};
+
+/// Runs the daemon loop. Returns 0 on clean shutdown (sentinel or --once
+/// drain), nonzero only on spool-setup failure. Individual job failures
+/// are reported in status files and never abort the daemon.
+[[nodiscard]] int run_daemon(const DaemonConfig& config);
+
+}  // namespace m2hew::service

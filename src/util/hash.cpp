@@ -1,0 +1,29 @@
+#include "util/hash.hpp"
+
+#include <cstdio>
+
+namespace m2hew::util {
+
+std::uint64_t fnv1a64(std::string_view bytes, std::uint64_t state) noexcept {
+  for (const char c : bytes) {
+    state ^= static_cast<unsigned char>(c);
+    state *= kFnv64Prime;
+  }
+  // Fold the length in so concatenation boundaries matter:
+  // fnv1a64("ab") != fnv1a64("b", fnv1a64("a")) would otherwise collide
+  // with differently-split field sequences.
+  for (std::size_t len = bytes.size(); len != 0; len >>= 8) {
+    state ^= len & 0xff;
+    state *= kFnv64Prime;
+  }
+  return state;
+}
+
+std::string hash_hex(std::uint64_t hash) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(hash));
+  return buf;
+}
+
+}  // namespace m2hew::util

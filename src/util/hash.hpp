@@ -1,0 +1,31 @@
+// Stable content hashing for cache keys and spec traceability.
+//
+// The sweep service keys its artifact cache on a hash of the canonicalized
+// spec text plus the binary version (src/service/sweep_spec.hpp), so the
+// hash must be stable across platforms, processes and time — never use
+// std::hash here. FNV-1a (64-bit) is used: tiny, well-known, and with the
+// input length folded in at the end, adequate for cache keying where a
+// collision costs a wrong cache hit on a human-inspected artifact, not a
+// correctness silently lost. If stronger keys are ever needed, widen this
+// to 128 bits behind the same helpers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace m2hew::util {
+
+inline constexpr std::uint64_t kFnv64OffsetBasis = 0xcbf29ce484222325ull;
+inline constexpr std::uint64_t kFnv64Prime = 0x100000001b3ull;
+
+/// FNV-1a over a byte string, continuing from `state` so multiple fields
+/// can be chained: h = fnv1a64(b, fnv1a64(a)).
+[[nodiscard]] std::uint64_t fnv1a64(
+    std::string_view bytes, std::uint64_t state = kFnv64OffsetBasis) noexcept;
+
+/// Lower-case 16-hex-digit rendering, the textual form used in cache file
+/// names, status files and daemon logs.
+[[nodiscard]] std::string hash_hex(std::uint64_t hash);
+
+}  // namespace m2hew::util

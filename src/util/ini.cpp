@@ -133,4 +133,45 @@ std::vector<std::string> IniFile::keys(std::string_view section) const {
   return it->second.order;
 }
 
+std::vector<std::string> IniFile::section_names() const {
+  std::vector<std::string> out;
+  out.reserve(sections_.size());
+  for (const auto& [name, section] : sections_) out.push_back(name);
+  return out;
+}
+
+std::string IniFile::canonical_text() const {
+  // sections_ and each Section::values are std::maps, so plain iteration
+  // is already name-sorted; only value whitespace needs normalizing.
+  const auto collapse = [](std::string_view value) {
+    std::string out;
+    out.reserve(value.size());
+    bool in_space = false;
+    for (const char c : value) {
+      if (c == ' ' || c == '\t') {
+        in_space = !out.empty();
+        continue;
+      }
+      if (in_space) out += ' ';
+      in_space = false;
+      out += c;
+    }
+    return out;
+  };
+  std::string text;
+  for (const auto& [name, section] : sections_) {
+    if (section.values.empty()) continue;  // empty sections carry no state
+    text += '[';
+    text += name;
+    text += "]\n";
+    for (const auto& [key, value] : section.values) {
+      text += key;
+      text += " = ";
+      text += collapse(value);
+      text += '\n';
+    }
+  }
+  return text;
+}
+
 }  // namespace m2hew::util

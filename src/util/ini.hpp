@@ -59,6 +59,18 @@ class IniFile {
   [[nodiscard]] std::vector<std::string> keys(
       std::string_view section) const;
 
+  /// All section names, sorted. Validators use this to reject sections a
+  /// format does not define (catching e.g. a misspelled `[fault]`).
+  [[nodiscard]] std::vector<std::string> section_names() const;
+
+  /// Canonical rendering of the parsed file: sections sorted by name, keys
+  /// sorted within each section, exactly `key = value` per line with runs
+  /// of whitespace inside values collapsed to single spaces. Two spec
+  /// files that differ only in key order, comments, blank lines or
+  /// whitespace produce identical canonical text — the property the sweep
+  /// service's content-addressed cache key relies on (docs/OPERATIONS.md).
+  [[nodiscard]] std::string canonical_text() const;
+
  private:
   struct Section {
     std::vector<std::string> order;

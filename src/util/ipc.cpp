@@ -1,0 +1,103 @@
+#include "util/ipc.hpp"
+
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/check.hpp"
+
+namespace m2hew::util {
+
+WorkerProcess spawn_worker(const std::function<int(int write_fd)>& body) {
+  int fds[2];
+  M2HEW_CHECK_MSG(pipe(fds) == 0, "pipe() failed");
+  const pid_t pid = fork();
+  M2HEW_CHECK_MSG(pid >= 0, "fork() failed");
+  if (pid == 0) {
+    close(fds[0]);
+    int status = 1;
+    try {
+      status = body(fds[1]);
+    } catch (...) {
+      status = 1;
+    }
+    close(fds[1]);
+    _exit(status);
+  }
+  close(fds[1]);
+  WorkerProcess worker;
+  worker.pid = pid;
+  worker.read_fd = fds[0];
+  return worker;
+}
+
+namespace {
+
+/// Appends `bytes` to the worker's buffer and emits every complete line.
+void feed_lines(
+    WorkerProcess& worker, std::size_t index, const char* bytes,
+    std::size_t count,
+    const std::function<void(std::size_t, std::string_view)>& on_line) {
+  worker.line_buffer.append(bytes, count);
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t nl = worker.line_buffer.find('\n', start);
+    if (nl == std::string::npos) break;
+    on_line(index, std::string_view(worker.line_buffer)
+                       .substr(start, nl - start));
+    start = nl + 1;
+  }
+  worker.line_buffer.erase(0, start);
+}
+
+}  // namespace
+
+void drain_workers(
+    std::vector<WorkerProcess>& workers,
+    const std::function<void(std::size_t, std::string_view)>& on_line) {
+  std::vector<pollfd> fds;
+  std::vector<std::size_t> owner;  // fds[i] belongs to workers[owner[i]]
+  char buf[4096];
+  for (;;) {
+    fds.clear();
+    owner.clear();
+    for (std::size_t i = 0; i < workers.size(); ++i) {
+      if (workers[i].eof) continue;
+      fds.push_back({workers[i].read_fd, POLLIN, 0});
+      owner.push_back(i);
+    }
+    if (fds.empty()) break;
+    const int ready = poll(fds.data(), fds.size(), -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      M2HEW_CHECK_MSG(false, "poll() failed");
+    }
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+      if (fds[i].revents == 0) continue;
+      WorkerProcess& worker = workers[owner[i]];
+      const ssize_t n = read(worker.read_fd, buf, sizeof buf);
+      if (n > 0) {
+        feed_lines(worker, owner[i], buf, static_cast<std::size_t>(n),
+                   on_line);
+        continue;
+      }
+      if (n < 0 && (errno == EINTR || errno == EAGAIN)) continue;
+      // EOF or unrecoverable error: the worker is done (or dead). A
+      // partial line left in the buffer is intentionally discarded.
+      worker.eof = true;
+      close(worker.read_fd);
+      worker.read_fd = -1;
+    }
+  }
+  for (WorkerProcess& worker : workers) {
+    int status = 0;
+    const pid_t reaped = waitpid(worker.pid, &status, 0);
+    worker.exited_cleanly = reaped == worker.pid && WIFEXITED(status) &&
+                            WEXITSTATUS(status) == 0;
+  }
+}
+
+}  // namespace m2hew::util

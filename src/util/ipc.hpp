@@ -1,0 +1,50 @@
+// Process-level worker fan-out: fork a child running a C++ callable whose
+// stdout-side is a pipe, read the workers' line-oriented output as it
+// arrives, and reap exit statuses.
+//
+// The sweep service (src/service/sweep_runner.hpp) shards trials across
+// these workers. fork() without exec() is used deliberately: the parent is
+// single-threaded at every spawn site (the daemon's dispatch loop and the
+// test binaries), the child inherits the already-built network and spec by
+// copy-on-write instead of re-parsing them, and no binary-path coupling
+// leaks into the library. A child must terminate via _exit (through
+// run_worker's return), never by unwinding into the parent's stack.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace m2hew::util {
+
+/// One forked worker and its read end. `line_buffer` accumulates bytes
+/// until '\n'; a trailing partial line at EOF (worker died mid-write) is
+/// discarded by drain_workers.
+struct WorkerProcess {
+  int pid = -1;
+  int read_fd = -1;
+  bool eof = false;
+  std::string line_buffer;
+  /// Filled by drain_workers after waitpid: true iff the worker exited
+  /// normally with status 0.
+  bool exited_cleanly = false;
+};
+
+/// Forks a child that runs `body(write_fd)` and _exits with its return
+/// value; the parent gets the worker handle. The write end is closed in
+/// the parent, the read end in the child. Aborts on fork/pipe failure
+/// (resource exhaustion — nothing sensible to recover).
+[[nodiscard]] WorkerProcess spawn_worker(
+    const std::function<int(int write_fd)>& body);
+
+/// Reads every worker until EOF, invoking `on_line(worker_index, line)` for
+/// each complete '\n'-terminated line (newline stripped), then reaps all
+/// children and fills `exited_cleanly`. Uses poll(2) so slow and fast
+/// workers interleave without blocking each other. Partial trailing lines
+/// are dropped: a record is only a record once its newline made it through
+/// the pipe (see docs/OPERATIONS.md "Worker protocol").
+void drain_workers(
+    std::vector<WorkerProcess>& workers,
+    const std::function<void(std::size_t, std::string_view)>& on_line);
+
+}  // namespace m2hew::util

@@ -1,0 +1,182 @@
+// Sweep-spec parsing, canonicalization and cache keying
+// (service/sweep_spec.hpp, service/artifact_cache.hpp).
+#include "service/sweep_spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "service/artifact_cache.hpp"
+#include "util/ini.hpp"
+
+namespace m2hew::service {
+namespace {
+
+constexpr const char* kBaseSpec = R"(
+[experiment]
+name = spec_test
+algorithm = alg3
+delta-est = 4
+trials = 5
+seed = 9
+max-slots = 200000
+sweep-key = overlap
+sweep-values = 4 2
+
+[scenario]
+topology = line
+channels = chain
+n = 8
+set-size = 4
+)";
+
+[[nodiscard]] SweepSpec parse_or_die(const std::string& text) {
+  const util::IniFile ini = util::IniFile::parse_string(text);
+  SweepSpec spec;
+  std::string error;
+  EXPECT_TRUE(parse_sweep_spec(ini, spec, &error)) << error;
+  return spec;
+}
+
+[[nodiscard]] std::string parse_error_of(const std::string& text) {
+  const util::IniFile ini = util::IniFile::parse_string(text);
+  SweepSpec spec;
+  std::string error;
+  EXPECT_FALSE(parse_sweep_spec(ini, spec, &error));
+  return error;
+}
+
+TEST(SweepSpec, ParsesEveryField) {
+  const SweepSpec spec = parse_or_die(kBaseSpec);
+  EXPECT_EQ(spec.name, "spec_test");
+  EXPECT_EQ(spec.algorithm, "alg3");
+  EXPECT_EQ(spec.delta_est, 4u);
+  EXPECT_EQ(spec.trials, 5u);
+  EXPECT_EQ(spec.seed, 9u);
+  EXPECT_EQ(spec.max_slots, 200000u);
+  EXPECT_EQ(spec.kernel, runner::SyncKernel::kEngine);
+  EXPECT_EQ(spec.sweep_key, "overlap");
+  ASSERT_EQ(spec.sweep_values.size(), 2u);
+  EXPECT_EQ(spec.scenario.n, 8u);
+  EXPECT_EQ(spec.scenario.channels, runner::ChannelKind::kChainOverlap);
+}
+
+TEST(SweepSpec, RejectsBadInput) {
+  EXPECT_NE(parse_error_of("[experiment]\nalgorithm = alg9\n"), "");
+  EXPECT_NE(parse_error_of("[experiment]\ntrials = 0\n"), "");
+  EXPECT_NE(parse_error_of("[experiment]\ntrials = many\n"), "");
+  EXPECT_NE(parse_error_of("[experiment]\nkernel = gpu\n"), "");
+  EXPECT_NE(parse_error_of("[experiment]\nkernel = soa\n"
+                           "algorithm = adaptive\n"),
+            "");
+  EXPECT_NE(parse_error_of("[experiment]\nbanana = 1\n"), "");
+  EXPECT_NE(parse_error_of("[scenario]\nbanana = 1\n"), "");
+  EXPECT_NE(parse_error_of("[scenario]\nn = minus-two\n"), "");
+  EXPECT_NE(parse_error_of("[scenario]\ntopology = moebius\n"), "");
+  EXPECT_NE(parse_error_of("[faults]\nbanana = 1\n"), "");
+  EXPECT_NE(parse_error_of("[experimnet]\nname = typo\n"), "");
+  EXPECT_NE(parse_error_of("name = outside-any-section\n"), "");
+  // Sweep points are validated at parse time, not mid-run.
+  EXPECT_NE(parse_error_of("[experiment]\nsweep-key = banana\n"
+                           "sweep-values = 1 2\n"),
+            "");
+}
+
+TEST(SweepSpec, CanonicalizationIgnoresFormattingOnly) {
+  const SweepSpec base = parse_or_die(kBaseSpec);
+
+  // Reordered keys and sections, comments, blank lines, crazy whitespace.
+  const SweepSpec shuffled = parse_or_die(R"(
+; a comment
+[scenario]
+set-size  =   4
+n=8
+channels = chain
+topology = line
+
+# comment between sections
+[experiment]
+sweep-values =    4     2
+sweep-key = overlap
+max-slots = 200000
+seed=9
+trials = 5
+delta-est = 4
+algorithm = alg3
+name = spec_test
+)");
+  EXPECT_EQ(base.canonical(), shuffled.canonical());
+  EXPECT_EQ(scenario_hash(base), scenario_hash(shuffled));
+
+  // Writing a default out explicitly is the same spec.
+  const SweepSpec with_default =
+      parse_or_die(std::string(kBaseSpec) + "universe = 8\n");
+  EXPECT_EQ(scenario_hash(base), scenario_hash(with_default));
+}
+
+TEST(SweepSpec, HashCoversEveryEffectiveParameter) {
+  const std::uint64_t base = scenario_hash(parse_or_die(kBaseSpec));
+  const auto changed = [&](const std::string& extra) {
+    return scenario_hash(parse_or_die(std::string(kBaseSpec) + extra));
+  };
+  EXPECT_NE(base, changed("universe = 16\n"));
+  EXPECT_NE(base, changed("[experiment]\nseed = 10\n"));
+  EXPECT_NE(base, changed("[experiment]\ntrials = 6\n"));
+  EXPECT_NE(base, changed("[experiment]\nkernel = soa\n"));
+  EXPECT_NE(base, changed("[experiment]\nname = other\n"));
+  EXPECT_NE(base, changed("[faults]\ncrash-prob = 0.2\n"));
+  // ini parse keeps the LAST assignment of a repeated key, so the
+  // appended [experiment]/[scenario] lines above genuinely took effect.
+}
+
+TEST(SweepSpec, HashCoversBinaryVersion) {
+  const SweepSpec spec = parse_or_die(kBaseSpec);
+  const std::uint64_t before = scenario_hash(spec);
+  ::setenv("M2HEW_BINARY_VERSION", "spec-test-fake-version", 1);
+  const std::uint64_t after = scenario_hash(spec);
+  ::unsetenv("M2HEW_BINARY_VERSION");
+  EXPECT_NE(before, after);
+  EXPECT_EQ(scenario_hash(spec), before);  // env restored -> key restored
+}
+
+TEST(SweepSpec, FormatSweepValue) {
+  EXPECT_EQ(format_sweep_value(4.0), "4");
+  EXPECT_EQ(format_sweep_value(0.25), "0.25");
+  EXPECT_EQ(format_sweep_value(-3.0), "-3");
+}
+
+TEST(ArtifactCache, HitMissStoreAndInvalidation) {
+  char tmpl[] = "/tmp/m2hew_cache_test_XXXXXX";
+  ASSERT_NE(::mkdtemp(tmpl), nullptr);
+  const std::string dir = std::string(tmpl) + "/cache";
+  const ArtifactCache cache(dir);
+
+  const SweepSpec spec = parse_or_die(kBaseSpec);
+  const std::string key = scenario_hash_hex(spec);
+  EXPECT_FALSE(cache.contains(key));  // cold cache: miss
+
+  ASSERT_TRUE(cache.store(key, "{\"bench\": \"spec_test\"}\n"));
+  EXPECT_TRUE(cache.contains(key));  // warm cache: hit
+  {
+    std::ifstream in(cache.path_for(key));
+    std::string content;
+    std::getline(in, content);
+    EXPECT_EQ(content, "{\"bench\": \"spec_test\"}");
+  }
+
+  // A different effective spec — and the same spec under a different
+  // binary version — address different entries (natural invalidation).
+  const SweepSpec other =
+      parse_or_die(std::string(kBaseSpec) + "[experiment]\nseed = 10\n");
+  EXPECT_FALSE(cache.contains(scenario_hash_hex(other)));
+  ::setenv("M2HEW_BINARY_VERSION", "rebuilt", 1);
+  EXPECT_FALSE(cache.contains(scenario_hash_hex(spec)));
+  ::unsetenv("M2HEW_BINARY_VERSION");
+  EXPECT_TRUE(cache.contains(scenario_hash_hex(spec)));
+}
+
+}  // namespace
+}  // namespace m2hew::service

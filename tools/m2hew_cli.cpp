@@ -286,6 +286,9 @@ int main(int argc, char** argv) {
   const std::string algorithm = flags.get_string("algorithm", "alg3");
   const auto terminate_after =
       static_cast<std::uint64_t>(flags.get_int("terminate-after", 0));
+  const std::string kernel = flags.get_string("kernel", "engine");
+  require_flag(kernel == "engine" || kernel == "soa",
+               "--kernel must be engine or soa");
 
   std::string scenario_text;
   const net::Network network = [&]() -> net::Network {
@@ -307,7 +310,10 @@ int main(int argc, char** argv) {
     sim::SlotEngineCommon engine_knobs;
     engine_knobs.loss_probability = loss;
     apply_fault_flags(flags, engine_knobs.faults);
-    scenario_text = runner::describe(scenario, engine_knobs);
+    scenario_text = runner::describe(scenario, engine_knobs,
+                                     kernel == "soa"
+                                         ? runner::SyncKernel::kSoa
+                                         : runner::SyncKernel::kEngine);
     return runner::build_scenario(scenario, seed);
   }();
 
@@ -430,9 +436,6 @@ int main(int argc, char** argv) {
     trial.engine.loss_probability = loss;
     apply_fault_flags(flags, trial.engine.faults);
 
-    const std::string kernel = flags.get_string("kernel", "engine");
-    require_flag(kernel == "engine" || kernel == "soa",
-                 "--kernel must be engine or soa");
     if (kernel == "soa") {
       // The SoA kernel consumes a policy-as-data table, so it covers
       // exactly the spec-representable algorithms.

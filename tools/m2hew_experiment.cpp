@@ -116,46 +116,14 @@ int main(int argc, char** argv) {
   }
 
   // Optional [faults] section: deterministic fault injection for every run
-  // in the sweep (docs/MODEL.md "Fault model").
+  // in the sweep (docs/MODEL.md "Fault model"). The parser is shared with
+  // the sweep daemon, which reads the same spec format.
   sim::SlotFaultPlan faults;
-  if (ini.has_section("faults")) {
-    for (const std::string& key : ini.keys("faults")) {
-      static constexpr const char* kKnown[] = {
-          "crash-prob",      "crash-from",      "crash-until",
-          "down-min",        "down-max",        "reset-on-recovery",
-          "burst-loss",      "burst-p-gb",      "burst-p-bg",
-          "burst-loss-good"};
-      bool known = false;
-      for (const char* k : kKnown) known |= key == k;
-      if (!known) {
-        std::fprintf(stderr, "unknown [faults] key '%s'\n", key.c_str());
-        return 2;
-      }
-    }
-    const double crash_prob = ini.get_double("faults", "crash-prob", 0.0);
-    if (crash_prob > 0.0) {
-      faults.churn.crash_probability = crash_prob;
-      faults.churn.earliest_crash = static_cast<std::uint64_t>(
-          ini.get_int("faults", "crash-from", 200));
-      faults.churn.latest_crash = static_cast<std::uint64_t>(
-          ini.get_int("faults", "crash-until", 2000));
-      faults.churn.min_down = static_cast<std::uint64_t>(
-          ini.get_int("faults", "down-min", 100));
-      faults.churn.max_down = static_cast<std::uint64_t>(
-          ini.get_int("faults", "down-max", 1000));
-      faults.churn.reset_policy_on_recovery =
-          ini.get_int("faults", "reset-on-recovery", 1) != 0;
-    }
-    const double burst_bad = ini.get_double("faults", "burst-loss", 0.0);
-    if (burst_bad > 0.0) {
-      faults.burst_loss.enabled = true;
-      faults.burst_loss.loss_bad = burst_bad;
-      faults.burst_loss.p_good_to_bad =
-          ini.get_double("faults", "burst-p-gb", 0.01);
-      faults.burst_loss.p_bad_to_good =
-          ini.get_double("faults", "burst-p-bg", 0.1);
-      faults.burst_loss.loss_good =
-          ini.get_double("faults", "burst-loss-good", 0.0);
+  {
+    std::string fault_error;
+    if (!runner::parse_faults_section(ini, faults, &fault_error)) {
+      std::fprintf(stderr, "%s\n", fault_error.c_str());
+      return 2;
     }
   }
 

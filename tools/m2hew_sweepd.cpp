@@ -1,0 +1,68 @@
+// m2hew_sweepd — the sharded sweep daemon.
+//
+//   $ m2hew_sweepd --dir=sweepd --workers=4 &
+//   $ m2hew_sweep sweep.ini --dir=sweepd        # submit + wait (client)
+//
+// Watches <dir>/incoming/ for sweep specs (the m2hew_experiment INI
+// format), runs each spec's trials sharded across --workers forked
+// processes with streaming aggregation, and publishes one bench-schema
+// JSON artifact per unique spec into the content-addressed cache at
+// --cache-dir (default <dir>/cache). Resubmitting an unchanged spec with
+// an unchanged binary is answered from the cache without simulating.
+//
+// Flags:
+//   --dir=PATH       spool directory (default "sweepd"; created)
+//   --cache-dir=PATH artifact cache (default <dir>/cache)
+//   --workers=N      trial-shard processes per sweep point (default 1;
+//                    results are bit-identical for every value)
+//   --poll-ms=N      incoming/ scan interval (default 200)
+//   --once           drain the current backlog, then exit (CI / tests)
+//   --log-level=L    debug|info|warn|error (default info)
+//
+// Shutdown: create <dir>/shutdown (the client's --shutdown does this);
+// the daemon finishes the job in progress, removes the sentinel and exits
+// with status 0. See docs/OPERATIONS.md for the full operator guide.
+#include <cstdio>
+#include <string>
+
+#include "service/daemon.hpp"
+#include "util/flags.hpp"
+#include "util/log.hpp"
+
+int main(int argc, char** argv) {
+  using namespace m2hew;
+  const util::Flags flags(argc, argv);
+
+  const std::string level = flags.get_string("log-level", "info");
+  if (level == "debug") {
+    util::set_log_level(util::LogLevel::kDebug);
+  } else if (level == "warn") {
+    util::set_log_level(util::LogLevel::kWarn);
+  } else if (level == "error") {
+    util::set_log_level(util::LogLevel::kError);
+  } else {
+    util::set_log_level(util::LogLevel::kInfo);
+  }
+
+  service::DaemonConfig config;
+  config.spool_dir = flags.get_string("dir", "sweepd");
+  config.cache_dir = flags.get_string("cache-dir", "");
+  config.workers = static_cast<std::size_t>(flags.get_int("workers", 1));
+  config.poll_ms = static_cast<int>(flags.get_int("poll-ms", 200));
+  config.once = flags.get_bool("once", false);
+  if (config.workers == 0) config.workers = 1;
+  if (config.poll_ms <= 0) config.poll_ms = 200;
+
+  for (const std::string& unknown : flags.unconsumed()) {
+    std::fprintf(stderr, "m2hew_sweepd: unknown flag --%s\n",
+                 unknown.c_str());
+    return 2;
+  }
+  if (!flags.positional().empty()) {
+    std::fprintf(stderr,
+                 "m2hew_sweepd takes no positional arguments (submit specs "
+                 "with m2hew_sweep)\n");
+    return 2;
+  }
+  return service::run_daemon(config);
+}
