@@ -95,8 +95,23 @@ inline void print_trial_throughput() {
   return runner::json_escape(text);
 }
 
+/// Parameters registered while reproduce() runs — values that only exist
+/// after the simulations (energy per discovery, measured quantiles, ...).
+/// bench_main's params list is fixed at the call site before anything has
+/// run; this registry is the escape hatch for computed results, appended
+/// after the static params in the JSON artifact.
+inline std::vector<runner::BenchJsonParam>& computed_bench_params() {
+  static std::vector<runner::BenchJsonParam> params;
+  return params;
+}
+
+inline void add_bench_param(std::string name, std::string value) {
+  computed_bench_params().emplace_back(std::move(name), std::move(value));
+}
+
 /// Writes results/BENCH_<id>.json: the machine-readable artifact for one
-/// bench run — scenario parameters, per-run completion statistics (from
+/// bench run — scenario parameters (static ones first, then any
+/// registered via add_bench_param), per-run completion statistics (from
 /// runner::trial_run_log(), in call order), and the binary's cumulative
 /// trials/sec. The document itself comes from the shared serializer in
 /// runner/report.hpp — the same one the sweep daemon's cached artifacts
@@ -112,8 +127,11 @@ inline void write_bench_json(const char* bench_id,
     return;
   }
   std::vector<runner::BenchJsonParam> doc_params;
-  doc_params.reserve(params.size());
+  doc_params.reserve(params.size() + computed_bench_params().size());
   for (const BenchParam& p : params) doc_params.emplace_back(p);
+  for (const runner::BenchJsonParam& p : computed_bench_params()) {
+    doc_params.push_back(p);
+  }
   const std::vector<runner::TrialRunRecord> runs = runner::trial_run_log();
   runner::write_bench_json_doc(out, bench_id, doc_params, runs,
                                runner::trial_throughput_totals(),

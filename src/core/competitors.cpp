@@ -1,0 +1,192 @@
+#include "core/competitors.hpp"
+
+#include <memory>
+
+#include "net/network.hpp"
+#include "util/check.hpp"
+
+namespace m2hew::core {
+
+namespace {
+
+/// Prime-pair ladder for Mc-Dis duty classes: coprime pairs with duty
+/// cycles from ~67% down to ~23%, so a heterogeneous deployment mixes
+/// eager and frugal nodes exactly as the Mc-Dis evaluation does.
+constexpr std::uint32_t kPrimeLadder[][2] = {
+    {2, 3}, {3, 5}, {5, 7}, {7, 11}};
+constexpr std::size_t kPrimeClasses =
+    sizeof(kPrimeLadder) / sizeof(kPrimeLadder[0]);
+
+[[nodiscard]] net::ChannelId smallest_prime_at_least(net::ChannelId x) {
+  if (x < 2) return 2;
+  for (net::ChannelId candidate = x;; ++candidate) {
+    bool prime = true;
+    for (net::ChannelId d = 2; d * d <= candidate; ++d) {
+      if (candidate % d == 0) {
+        prime = false;
+        break;
+      }
+    }
+    if (prime) return candidate;
+  }
+}
+
+}  // namespace
+
+// --- ConsistentHopPolicy -----------------------------------------------
+
+ConsistentHopPolicy::ConsistentHopPolicy(const net::ChannelSet& available,
+                                         net::ChannelId universe_size)
+    : available_(available),
+      channels_(available.to_vector()),
+      universe_size_(universe_size) {
+  M2HEW_CHECK_MSG(!channels_.empty(), "node needs a non-empty channel set");
+  M2HEW_CHECK(universe_size_ >= 1);
+}
+
+sim::SlotAction ConsistentHopPolicy::next_slot(util::Rng& rng) {
+  const auto w = static_cast<net::ChannelId>(slot_ % universe_size_);
+  ++slot_;
+
+  sim::SlotAction action;
+  action.channel = available_.contains(w)
+                       ? w
+                       : channels_[w % channels_.size()];
+  action.mode = rng.bernoulli(kCompetitorTransmitProbability)
+                    ? sim::Mode::kTransmit
+                    : sim::Mode::kReceive;
+  return action;
+}
+
+sim::SyncPolicyFactory make_consistent_hop() {
+  return [](const net::Network& network,
+            net::NodeId u) -> std::unique_ptr<sim::SyncPolicy> {
+    return std::make_unique<ConsistentHopPolicy>(network.available(u),
+                                                 network.universe_size());
+  };
+}
+
+// --- McDisPolicy -------------------------------------------------------
+
+McDisPolicy::McDisPolicy(const net::ChannelSet& available, net::NodeId id)
+    : channels_(available.to_vector()),
+      p1_(kPrimeLadder[id % kPrimeClasses][0]),
+      p2_(kPrimeLadder[id % kPrimeClasses][1]) {
+  M2HEW_CHECK_MSG(!channels_.empty(), "node needs a non-empty channel set");
+}
+
+sim::SlotAction McDisPolicy::next_slot(util::Rng& rng) {
+  const std::uint64_t t = slot_++;
+  sim::SlotAction action;
+  if (t % p1_ != 0 && t % p2_ != 0) {
+    action.mode = sim::Mode::kQuiet;  // asleep: no RNG draw at all
+    return action;
+  }
+  // Awake: uniformly random available channel, then the transmit coin
+  // (the engine's draw order). The primes only decide WHEN both ends of
+  // a pair are awake; a deterministic round-robin over sorted A(u) would
+  // let same-class neighbors — awake at exactly the same slots, counters
+  // in lockstep — walk index-misaligned sets forever without meeting.
+  action.channel =
+      channels_[rng.uniform(static_cast<std::uint32_t>(channels_.size()))];
+  action.mode = rng.bernoulli(kCompetitorTransmitProbability)
+                    ? sim::Mode::kTransmit
+                    : sim::Mode::kReceive;
+  return action;
+}
+
+double McDisPolicy::duty_cycle() const noexcept {
+  const double a = static_cast<double>(p1_);
+  const double b = static_cast<double>(p2_);
+  return 1.0 / a + 1.0 / b - 1.0 / (a * b);
+}
+
+sim::SyncPolicyFactory make_mcdis() {
+  return [](const net::Network& network,
+            net::NodeId u) -> std::unique_ptr<sim::SyncPolicy> {
+    return std::make_unique<McDisPolicy>(network.available(u), u);
+  };
+}
+
+// --- BlindRendezvousPolicy ---------------------------------------------
+
+BlindRendezvousPolicy::BlindRendezvousPolicy(
+    const net::ChannelSet& available, net::NodeId id, net::NodeId id_bound,
+    net::ChannelId universe_size)
+    : available_(available),
+      channels_(available.to_vector()),
+      id_(id),
+      universe_size_(universe_size),
+      prime_(smallest_prime_at_least(universe_size)) {
+  M2HEW_CHECK_MSG(!channels_.empty(), "node needs a non-empty channel set");
+  M2HEW_CHECK(universe_size_ >= 1);
+  M2HEW_CHECK_MSG(id_ < id_bound, "node id outside the agreed id range");
+}
+
+sim::SlotAction BlindRendezvousPolicy::next_slot(util::Rng& rng) {
+  // The id offsets the schedule phase by whole thirds of the 3P round.
+  // The original guarantee is phase-agnostic (it holds under arbitrary
+  // clock offsets), and under our synchronized starts the offset is what
+  // makes one node of a pair jump while the other stays: a jumper sweeps
+  // every channel mod P inside its 2P window, so any pair in different
+  // offset classes meets on the stayer's channel once per round.
+  const std::uint64_t local = slot_++ + (id_ % 3) * prime_;
+  const std::uint64_t period = 3ull * prime_;
+  const std::uint64_t round = local / period;
+  const std::uint64_t phase = local % period;
+
+  std::uint64_t raw;
+  if (phase < 2ull * prime_) {
+    // Jump: the stride is derived from the node id and rotated per round
+    // at an id-dependent rate, so same-offset-class pairs still get
+    // rounds with distinct strides — and distinct strides s_u != s_v make
+    // (id_u - id_v) + (s_u - s_v)·phase ≡ 0 (mod P) solvable with
+    // phase < P, a guaranteed meeting inside the jump window. A shared
+    // stride would keep the pairwise channel difference constant forever
+    // under synchronized clocks (the n>=5 deadlock this replaced).
+    std::uint64_t stride = 1;
+    if (prime_ > 2) {
+      const std::uint64_t lanes = prime_ - 1;
+      const std::uint64_t rotation = 1 + id_ / lanes;
+      stride = (id_ % lanes + round * rotation) % lanes + 1;
+    }
+    raw = (id_ + stride * phase) % prime_;
+  } else {
+    // Stay: park on one (round-rotated) channel for a full P slots.
+    raw = (id_ + round) % prime_;
+  }
+
+  sim::SlotAction action;
+  const auto raw_channel = static_cast<net::ChannelId>(raw);
+  if (raw_channel < universe_size_ && available_.contains(raw_channel)) {
+    action.channel = raw_channel;
+  } else {
+    // Unavailable raw channel: substitute a uniformly random available
+    // one, as the heterogeneous-model rendezvous adaptations do. A
+    // deterministic fold (sorted A(u)[raw mod |A|]) traps synchronized
+    // deployments: the pairwise meeting raws are periodic in the round
+    // index, and when a pair's folded channels never coincide on that
+    // orbit the pair never meets at all.
+    action.channel = channels_[rng.uniform(
+        static_cast<std::uint32_t>(channels_.size()))];
+  }
+
+  // Randomized beacon role on the deterministic channel schedule: a
+  // deterministic role split would replay the same collisions every
+  // schedule period under synchronized clocks (see header).
+  action.mode = rng.bernoulli(kCompetitorTransmitProbability)
+                    ? sim::Mode::kTransmit
+                    : sim::Mode::kReceive;
+  return action;
+}
+
+sim::SyncPolicyFactory make_blind_rendezvous() {
+  return [](const net::Network& network,
+            net::NodeId u) -> std::unique_ptr<sim::SyncPolicy> {
+    return std::make_unique<BlindRendezvousPolicy>(
+        network.available(u), u, network.node_count(),
+        network.universe_size());
+  };
+}
+
+}  // namespace m2hew::core

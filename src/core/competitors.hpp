@@ -1,0 +1,119 @@
+// Competitor discovery policies from the related literature (ROADMAP item
+// 2): the rivals the paper's Algorithms 1-4 are raced against in the E24
+// tournament bench. Each is a plain sim::SyncPolicy over the existing
+// engine contract — same per-node RNG stream, same A(u)-only knowledge —
+// so every determinism suite (serial==parallel, engine parity at R=1,
+// wrapper forwarding) applies to them unchanged.
+//
+// Spec-expressibility (see docs/MODEL.md "Competitor policies"):
+//   - ConsistentHopPolicy IS expressible as policy-as-data: its channel
+//     choice is a precomputable per-node map over a global hop sequence
+//     and its transmit law a constant coin, so SyncPolicySpec grows a
+//     kConsistentHop kind and the SoA kernel a deterministic channel law.
+//   - McDisPolicy and BlindRendezvousPolicy are oracle-only: their slot
+//     decision depends on per-node identity (prime class / jump stride)
+//     and a duty-cycle or schedule phase, which the flat SoaPolicyTable
+//     deliberately does not model. They run on the classic engine only.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/channel_set.hpp"
+#include "sim/policy.hpp"
+
+namespace m2hew::core {
+
+/// The symmetric transmit coin shared by the randomized competitors (and
+/// by the consistent-hop SoA table builder, so oracle and kernel flip the
+/// bit-identical probability).
+inline constexpr double kCompetitorTransmitProbability = 0.5;
+
+/// Consistent channel hopping (after arXiv:2506.18381): every node tracks
+/// the same global hop sequence w_t = t mod |U| over the agreed universe;
+/// a node that holds channel w_t tunes to it, a node that lacks it remaps
+/// consistently into its own available set (sorted A(u)[w_t mod |A(u)|]).
+/// Nodes sharing a channel therefore meet on it at the same local time,
+/// while heterogeneous nodes still use every slot (no quiet slots, unlike
+/// the universal baseline). Transmit/receive is a fair coin — the only
+/// RNG draw per slot.
+class ConsistentHopPolicy final : public sim::SyncPolicy {
+ public:
+  ConsistentHopPolicy(const net::ChannelSet& available,
+                      net::ChannelId universe_size);
+
+  [[nodiscard]] sim::SlotAction next_slot(util::Rng& rng) override;
+
+ private:
+  net::ChannelSet available_;
+  std::vector<net::ChannelId> channels_;  // sorted A(u)
+  net::ChannelId universe_size_;
+  std::uint64_t slot_ = 0;  // node-local hop clock
+};
+
+/// Mc-Dis heterogeneous multi-channel discovery (after arXiv:1307.3630):
+/// prime-pair duty cycling. Each node draws a (p1, p2) prime pair from a
+/// fixed ladder by id class and is awake only in slots t with t % p1 == 0
+/// or t % p2 == 0 — coprime pairs guarantee overlapping active slots for
+/// any two nodes within p1*p2' slots (CRT), at a duty cycle of roughly
+/// 1/p1 + 1/p2. Awake slots pick a uniformly random available channel
+/// and flip a fair transmit coin (two draws); asleep slots are
+/// radio-quiet and draw nothing from the RNG stream.
+class McDisPolicy final : public sim::SyncPolicy {
+ public:
+  McDisPolicy(const net::ChannelSet& available, net::NodeId id);
+
+  [[nodiscard]] sim::SlotAction next_slot(util::Rng& rng) override;
+
+  /// Fraction of slots this node is awake: 1/p1 + 1/p2 - 1/(p1*p2).
+  [[nodiscard]] double duty_cycle() const noexcept;
+
+ private:
+  std::vector<net::ChannelId> channels_;  // sorted A(u)
+  std::uint32_t p1_;
+  std::uint32_t p2_;
+  std::uint64_t slot_ = 0;  // node-local slot clock
+};
+
+/// Deterministic blind rendezvous (after arXiv:1401.7313): jump-stay
+/// channel sequences over the smallest prime P >= |U|. Each node runs
+/// the 3P-slot round at an id-derived phase offset (the guarantee is
+/// phase-agnostic, and the offset is what lets one node jump while a
+/// peer stays under synchronized starts), jumping for 2P slots with an
+/// id-derived round-rotated stride coprime to P, then staying for P
+/// slots. Unavailable raw channels are replaced by a uniformly random
+/// available one (the heterogeneous-model adaptation) and the
+/// transmit/receive role is the shared fair coin: the deterministic
+/// alternatives for either choice replay the same misses/collisions
+/// every schedule period under synchronized clocks and deadlock from
+/// n >= 5 (multi-user rendezvous analyses assume asynchronous starts
+/// to break that symmetry).
+class BlindRendezvousPolicy final : public sim::SyncPolicy {
+ public:
+  BlindRendezvousPolicy(const net::ChannelSet& available, net::NodeId id,
+                        net::NodeId id_bound, net::ChannelId universe_size);
+
+  [[nodiscard]] sim::SlotAction next_slot(util::Rng& rng) override;
+
+  /// The sequence period prime P (smallest prime >= max(|U|, 2)).
+  [[nodiscard]] net::ChannelId period_prime() const noexcept {
+    return prime_;
+  }
+
+ private:
+  net::ChannelSet available_;
+  std::vector<net::ChannelId> channels_;  // sorted A(u)
+  net::NodeId id_;
+  net::ChannelId universe_size_;
+  net::ChannelId prime_;
+  std::uint64_t slot_ = 0;
+};
+
+/// Factories (ids are node indices, id_bound the node count, |U| read
+/// from the network — the same globally-agreed knowledge the baselines
+/// assume).
+[[nodiscard]] sim::SyncPolicyFactory make_consistent_hop();
+[[nodiscard]] sim::SyncPolicyFactory make_mcdis();
+[[nodiscard]] sim::SyncPolicyFactory make_blind_rendezvous();
+
+}  // namespace m2hew::core

@@ -1,6 +1,7 @@
 #include "core/policy_spec.hpp"
 
 #include "core/algorithms.hpp"
+#include "core/competitors.hpp"
 #include "core/transmit_probability.hpp"
 #include "util/check.hpp"
 
@@ -14,6 +15,8 @@ sim::SyncPolicyFactory make_policy_factory(const SyncPolicySpec& spec) {
       return make_algorithm2(spec.schedule);
     case SyncPolicySpec::Kind::kAlgorithm3:
       return make_algorithm3(spec.delta_est);
+    case SyncPolicySpec::Kind::kConsistentHop:
+      return make_consistent_hop();
   }
   M2HEW_CHECK_MSG(false, "unknown SyncPolicySpec kind");
   return {};
@@ -61,6 +64,32 @@ sim::SoaPolicyTable build_soa_policy_table(const net::Network& network,
       for (net::NodeId u = 0; u < n; ++u) {
         table.p_constant.push_back(
             alg3_probability(network.available(u).size(), spec.delta_est));
+      }
+      break;
+    }
+    case SyncPolicySpec::Kind::kConsistentHop: {
+      // Constant fair coin + the deterministic hop map: entry w of node
+      // u's row is w itself when u holds channel w, else the consistent
+      // remap into sorted A(u) — the same rule ConsistentHopPolicy
+      // applies per slot, precomputed once per universe position.
+      table.staged = false;
+      table.channel_law = sim::SoaChannelLaw::kConsistentHop;
+      const net::ChannelId universe = network.universe_size();
+      M2HEW_CHECK(universe >= 1);
+      table.hop_period = universe;
+      const net::NodeId n = network.node_count();
+      table.p_constant.assign(n, kCompetitorTransmitProbability);
+      table.hop_map.reserve(static_cast<std::size_t>(n) * universe);
+      for (net::NodeId u = 0; u < n; ++u) {
+        const net::ChannelSet& available = network.available(u);
+        const auto channels = available.to_vector();
+        M2HEW_CHECK_MSG(!channels.empty(),
+                        "node needs a non-empty channel set");
+        for (net::ChannelId w = 0; w < universe; ++w) {
+          table.hop_map.push_back(available.contains(w)
+                                      ? w
+                                      : channels[w % channels.size()]);
+        }
       }
       break;
     }

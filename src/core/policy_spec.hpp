@@ -17,9 +17,10 @@ namespace m2hew::core {
 
 struct SyncPolicySpec {
   enum class Kind {
-    kAlgorithm1,  ///< staged, fixed degree bound delta_est
-    kAlgorithm2,  ///< staged, escalating estimate per `schedule`
-    kAlgorithm3,  ///< constant probability from delta_est
+    kAlgorithm1,     ///< staged, fixed degree bound delta_est
+    kAlgorithm2,     ///< staged, escalating estimate per `schedule`
+    kAlgorithm3,     ///< constant probability from delta_est
+    kConsistentHop,  ///< competitor: deterministic hop map, fair coin
   };
 
   Kind kind = Kind::kAlgorithm1;
@@ -35,6 +36,13 @@ struct SyncPolicySpec {
   }
   [[nodiscard]] static SyncPolicySpec algorithm3(std::size_t delta_est) {
     return {Kind::kAlgorithm3, delta_est, EstimateSchedule::kIncrement};
+  }
+  /// Consistent channel hopping (core/competitors.hpp): the one
+  /// competitor whose slot decision is a pure function of precomputable
+  /// per-node data, so it rides the SoA kernel like the paper's
+  /// algorithms do.
+  [[nodiscard]] static SyncPolicySpec consistent_hop() {
+    return {Kind::kConsistentHop, 0, EstimateSchedule::kIncrement};
   }
 };
 

@@ -274,4 +274,48 @@ std::string describe(const ScenarioConfig& config,
   return text;
 }
 
+std::string describe_policy(std::string_view algorithm,
+                            std::size_t delta_est) {
+  const std::string name(algorithm);
+  const std::string with_delta =
+      " (delta_est=" + std::to_string(delta_est) + ")";
+  if (algorithm == "alg1") {
+    return name + ": paper Algorithm 1, staged" + with_delta;
+  }
+  if (algorithm == "alg2") {
+    return name + ": paper Algorithm 2, escalating estimate d+=1";
+  }
+  if (algorithm == "alg2x") {
+    return name + ": paper Algorithm 2, doubling-estimate ablation";
+  }
+  if (algorithm == "alg3") {
+    return name + ": paper Algorithm 3, constant probability" + with_delta;
+  }
+  if (algorithm == "alg4") {
+    return name + ": paper Algorithm 4, asynchronous frames" + with_delta;
+  }
+  if (algorithm == "baseline") {
+    return name + ": universal-channel round-robin strawman";
+  }
+  if (algorithm == "deterministic") {
+    return name + ": TDMA-by-identifier deterministic baseline";
+  }
+  if (algorithm == "adaptive") {
+    return name + ": collision-feedback adaptive-degree extension";
+  }
+  if (algorithm == "mcdis") {
+    return name + ": competitor Mc-Dis prime-pair duty cycling "
+                  "(arXiv:1307.3630)";
+  }
+  if (algorithm == "rendezvous") {
+    return name + ": competitor deterministic blind rendezvous, jump-stay "
+                  "(arXiv:1401.7313)";
+  }
+  if (algorithm == "consistent-hop") {
+    return name + ": competitor consistent channel hopping "
+                  "(arXiv:2506.18381)";
+  }
+  return name + " (unknown policy)";
+}
+
 }  // namespace m2hew::runner

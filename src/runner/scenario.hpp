@@ -4,6 +4,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 
 #include "net/network.hpp"
 #include "net/types.hpp"
@@ -105,5 +106,13 @@ enum class SyncKernel;  // runner/trials.hpp
     const ScenarioConfig& config,
     const sim::EngineCommon<std::uint64_t>& engine, SyncKernel kernel,
     std::size_t process_workers = 0);
+
+/// One-line description of a policy/algorithm name as the front ends
+/// spell it (--algorithm=/--policy= values, INI `algorithm =`): the
+/// paper's algorithms, the repo baselines, and the competitor policies
+/// from the related literature (core/competitors.hpp). Unknown names
+/// come back as "<name> (unknown policy)" so report lines never lie.
+[[nodiscard]] std::string describe_policy(std::string_view algorithm,
+                                          std::size_t delta_est);
 
 }  // namespace m2hew::runner

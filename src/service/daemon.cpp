@@ -2,10 +2,12 @@
 
 #include <dirent.h>
 #include <poll.h>
+#include <signal.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -22,6 +24,27 @@
 #include "util/log.hpp"
 
 namespace m2hew::service {
+
+namespace {
+
+volatile std::sig_atomic_t g_shutdown = 0;
+
+void handle_shutdown_signal(int) { g_shutdown = 1; }
+
+}  // namespace
+
+void install_shutdown_handlers() {
+  struct sigaction action {};
+  action.sa_handler = handle_shutdown_signal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // no SA_RESTART: blocking poll must wake (EINTR)
+  sigaction(SIGTERM, &action, nullptr);
+  sigaction(SIGINT, &action, nullptr);
+}
+
+bool shutdown_requested() { return g_shutdown != 0; }
+
+void clear_shutdown_flag() { g_shutdown = 0; }
 
 namespace {
 
@@ -50,6 +73,27 @@ namespace {
   ::closedir(handle);
   std::sort(jobs.begin(), jobs.end());
   return jobs;
+}
+
+/// Removes every *.tmp under `dir` — half-written status documents or
+/// cache artifacts left behind by a daemon that was killed mid-rename.
+/// Their final paths never existed (write_status and ArtifactCache::store
+/// publish by rename), so deleting the temps loses nothing.
+void remove_stale_tmp(const std::string& dir) {
+  DIR* handle = ::opendir(dir.c_str());
+  if (handle == nullptr) return;
+  std::size_t removed = 0;
+  while (dirent* entry = ::readdir(handle)) {
+    const std::string_view name = entry->d_name;
+    if (!ends_with(name, ".tmp")) continue;
+    const std::string path = dir + "/" + std::string(name);
+    if (std::remove(path.c_str()) == 0) ++removed;
+  }
+  ::closedir(handle);
+  if (removed > 0) {
+    M2HEW_LOG_INFO("sweepd: removed %zu stale .tmp file(s) under %s",
+                   removed, dir.c_str());
+  }
 }
 
 struct JobStatus {
@@ -96,7 +140,9 @@ void move_spec(const std::string& from, const std::string& to) {
 /// Runs the sweep and publishes the artifact inside a forked child, so a
 /// spec that trips an engine CHECK (or any other abort) fails the job,
 /// not the daemon. The child's single status line is "OK" or
-/// "ERR <message>"; a child that dies without one failed.
+/// "ERR <message>"; a child that dies without one failed. A daemon-level
+/// shutdown forwards SIGTERM to the child, which drains its own shard
+/// workers and reports "ERR interrupted by shutdown".
 [[nodiscard]] bool run_job_in_child(const SweepSpec& spec,
                                     const ArtifactCache& cache,
                                     const std::string& hash_hex,
@@ -104,38 +150,45 @@ void move_spec(const std::string& from, const std::string& to) {
                                     std::string* error) {
   std::vector<util::WorkerProcess> child;
   child.push_back(util::spawn_worker([&](int write_fd) {
-    FILE* pipe = ::fdopen(write_fd, "w");
-    if (pipe == nullptr) return 1;
+    // spawn_worker reset SIGTERM to default; re-install the flag handler
+    // so this job process can interrupt run_sweep and drain its shard
+    // workers instead of dying with them still running.
+    clear_shutdown_flag();
+    install_shutdown_handlers();
+    const auto reply = [write_fd](const std::string& line) {
+      return util::write_all(write_fd, line + "\n") ? 0 : 1;
+    };
     SweepResult result;
     std::string run_error;
     if (!run_sweep(spec, workers, result, &run_error)) {
-      std::fprintf(pipe, "ERR %s\n", run_error.c_str());
-      std::fflush(pipe);
+      reply("ERR " + run_error);
       return 1;
     }
     if (!cache.store(hash_hex, sweep_artifact_json(spec, result))) {
-      std::fprintf(pipe, "ERR cannot write artifact\n");
-      std::fflush(pipe);
+      reply("ERR cannot write artifact");
       return 1;
     }
-    std::fputs("OK\n", pipe);
-    std::fflush(pipe);
-    return 0;
+    return reply("OK");
   }));
 
   bool ok = false;
   std::string reported;
-  util::drain_workers(child, [&](std::size_t, std::string_view line) {
-    if (line == "OK") {
-      ok = true;
-    } else if (line.substr(0, 4) == "ERR ") {
-      reported = std::string(line.substr(4));
-    }
-  });
+  util::drain_workers(
+      child,
+      [&](std::size_t, std::string_view line) {
+        if (line == "OK") {
+          ok = true;
+        } else if (line.substr(0, 4) == "ERR ") {
+          reported = std::string(line.substr(4));
+        }
+      },
+      [] { return shutdown_requested(); });
   if (ok && child.front().exited_cleanly) return true;
   *error = !reported.empty()
                ? reported
-               : "job process died (internal check failure?)";
+               : shutdown_requested()
+                     ? "interrupted by shutdown"
+                     : "job process died (internal check failure?)";
   return false;
 }
 
@@ -218,6 +271,19 @@ void process_job(const std::string& job, const DaemonConfig& config,
   std::string run_error;
   if (!run_job_in_child(spec, cache, hash_hex, config.workers,
                         &run_error)) {
+    if (shutdown_requested()) {
+      // Not a failure: the spec stays in incoming/ so a restarted daemon
+      // re-runs the job from scratch (the cache dedupes nothing here —
+      // the interrupted job never stored its artifact).
+      status.state = "interrupted";
+      status.error = run_error;
+      write_status(status_dir, status);
+      M2HEW_LOG_INFO(
+          "sweepd: job %s spec-hash %s: interrupted by shutdown, spec left "
+          "in incoming/",
+          job.c_str(), hash_hex.c_str());
+      return;
+    }
     M2HEW_LOG_WARN("sweepd: job %s spec-hash %s: %s", job.c_str(),
                    hash_hex.c_str(), run_error.c_str());
     fail(run_error);
@@ -252,11 +318,20 @@ int run_daemon(const DaemonConfig& config) {
   }
   const ArtifactCache cache(cache_dir);
 
+  clear_shutdown_flag();
+  install_shutdown_handlers();
+  // A predecessor killed mid-publish leaves half-written temps behind;
+  // they are unreferenced (publication is by rename) and only confuse
+  // spool scans.
+  remove_stale_tmp(status_dir);
+  remove_stale_tmp(cache_dir);
+
   M2HEW_LOG_INFO("sweepd: spool %s, cache %s, %zu worker(s), version %s",
                  config.spool_dir.c_str(), cache_dir.c_str(), config.workers,
                  binary_version().c_str());
 
   while (true) {
+    if (shutdown_requested()) break;
     struct stat st {};
     if (::stat(sentinel.c_str(), &st) == 0) {
       std::remove(sentinel.c_str());
@@ -265,6 +340,7 @@ int run_daemon(const DaemonConfig& config) {
     }
     const std::vector<std::string> jobs = scan_jobs(incoming_dir);
     for (const std::string& job : jobs) {
+      if (shutdown_requested()) break;
       process_job(job, config, incoming_dir, status_dir, done_dir,
                   failed_dir, cache);
     }
@@ -272,10 +348,18 @@ int run_daemon(const DaemonConfig& config) {
       M2HEW_LOG_INFO("sweepd: backlog drained (--once), exiting cleanly");
       return 0;
     }
-    if (jobs.empty()) {
+    if (jobs.empty() && !shutdown_requested()) {
       ::poll(nullptr, 0, config.poll_ms);  // portable millisecond sleep
     }
   }
+
+  // Signal-driven shutdown: every child has been drained and reaped by
+  // this point (process_job blocks on its job child, which blocks on its
+  // shard workers). Leave the spool as a successor expects it.
+  remove_stale_tmp(status_dir);
+  remove_stale_tmp(cache_dir);
+  M2HEW_LOG_INFO("sweepd: shutdown signal seen, exiting cleanly");
+  return 0;
 }
 
 }  // namespace m2hew::service

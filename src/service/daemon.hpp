@@ -20,12 +20,32 @@
 // so two specs never compete for cores. Each job body runs in a forked
 // child: a spec that trips an internal CHECK kills the job, not the
 // daemon. See docs/OPERATIONS.md for the operator guide.
+//
+// Signals: SIGTERM/SIGINT request a graceful shutdown. An in-flight job
+// is interrupted down the whole process tree (daemon -> job child ->
+// shard workers), every child is reaped, the job's status becomes
+// "interrupted" and its spec STAYS in incoming/ — a restarted daemon
+// resumes it from scratch. Stale status/cache *.tmp files are removed on
+// startup and on shutdown, so a killed daemon never leaves debris that a
+// successor would trip over.
 #pragma once
 
 #include <cstddef>
 #include <string>
 
 namespace m2hew::service {
+
+/// Installs a flag-setting SIGTERM/SIGINT handler (no SA_RESTART, so
+/// blocking poll(2) wakes with EINTR). run_daemon installs it itself; the
+/// job child re-installs it after spawn_worker's reset-to-default so it
+/// can drain its own shard workers gracefully.
+void install_shutdown_handlers();
+
+/// True once SIGTERM/SIGINT landed after install_shutdown_handlers().
+[[nodiscard]] bool shutdown_requested();
+
+/// Clears the shutdown flag (daemon startup, job-child startup, tests).
+void clear_shutdown_flag();
 
 struct DaemonConfig {
   std::string spool_dir = "sweepd";

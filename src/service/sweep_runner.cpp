@@ -13,7 +13,9 @@
 
 #include "core/adaptive.hpp"
 #include "core/algorithms.hpp"
+#include "core/competitors.hpp"
 #include "core/policy_spec.hpp"
+#include "service/daemon.hpp"
 #include "runner/scenario_kv.hpp"
 #include "runner/streaming.hpp"
 #include "sim/slot_engine.hpp"
@@ -34,7 +36,7 @@ using Clock = std::chrono::steady_clock;
 
 [[nodiscard]] bool is_spec_algorithm(std::string_view algorithm) {
   return algorithm == "alg1" || algorithm == "alg2" || algorithm == "alg2x" ||
-         algorithm == "alg3";
+         algorithm == "alg3" || algorithm == "consistent-hop";
 }
 
 [[nodiscard]] core::SyncPolicySpec make_policy_spec(const SweepSpec& spec) {
@@ -45,11 +47,16 @@ using Clock = std::chrono::steady_clock;
   if (spec.algorithm == "alg2x") {
     return core::SyncPolicySpec::algorithm2(core::EstimateSchedule::kDouble);
   }
+  if (spec.algorithm == "consistent-hop") {
+    return core::SyncPolicySpec::consistent_hop();
+  }
   return core::SyncPolicySpec::algorithm3(spec.delta_est);
 }
 
 [[nodiscard]] sim::SyncPolicyFactory make_factory(const SweepSpec& spec) {
   if (spec.algorithm == "adaptive") return core::make_adaptive();
+  if (spec.algorithm == "mcdis") return core::make_mcdis();
+  if (spec.algorithm == "rendezvous") return core::make_blind_rendezvous();
   // parse_sweep_spec admits exactly one other non-spec algorithm.
   return core::make_universal_baseline(spec.scenario.universe, 0.5);
 }
@@ -127,40 +134,53 @@ void maybe_kill_for_test(std::size_t shard, std::size_t emitted,
     std::vector<std::size_t> mine;
     for (std::size_t t = w; t < spec.trials; t += workers) mine.push_back(t);
     procs.push_back(util::spawn_worker([&, w, mine](int write_fd) {
-      FILE* pipe = ::fdopen(write_fd, "w");
-      if (pipe == nullptr) return 1;
+      // write_all loops over partial writes/EINTR; false means the
+      // parent's read end is gone (EPIPE — spawn_worker ignores
+      // SIGPIPE). Exiting nonzero without the end marker routes those
+      // trials through the parent's missing-trials recovery.
+      bool pipe_ok = true;
       std::size_t emitted = 0;
       run_trial_subset(network, spec, pspec, table, engine_base, mine,
                        [&](const runner::TrialOutcomeRecord& record) {
+                         if (!pipe_ok) return;
                          const std::string line =
-                             runner::encode_outcome_record(record);
-                         std::fputs(line.c_str(), pipe);
-                         std::fputc('\n', pipe);
-                         std::fflush(pipe);
+                             runner::encode_outcome_record(record) + "\n";
+                         pipe_ok = util::write_all(write_fd, line);
+                         if (!pipe_ok) return;
                          ++emitted;
                          maybe_kill_for_test(w, emitted, mine.size());
                        });
-      const std::string end_line = runner::encode_end_marker(w, emitted);
-      std::fputs(end_line.c_str(), pipe);
-      std::fputc('\n', pipe);
-      std::fflush(pipe);
-      return 0;
+      if (!pipe_ok) return 1;
+      const std::string end_line =
+          runner::encode_end_marker(w, emitted) + "\n";
+      return util::write_all(write_fd, end_line) ? 0 : 1;
     }));
   }
 
   std::size_t end_markers = 0;
   std::size_t malformed = 0;
-  util::drain_workers(procs, [&](std::size_t, std::string_view line) {
-    if (const auto record = runner::decode_outcome_record(line)) {
-      reducer.offer(*record);
-      return;
-    }
-    if (runner::decode_end_marker(line).has_value()) {
-      ++end_markers;
-      return;
-    }
-    ++malformed;
-  });
+  util::drain_workers(
+      procs,
+      [&](std::size_t, std::string_view line) {
+        if (const auto record = runner::decode_outcome_record(line)) {
+          reducer.offer(*record);
+          return;
+        }
+        if (runner::decode_end_marker(line).has_value()) {
+          ++end_markers;
+          return;
+        }
+        ++malformed;
+      },
+      [] { return shutdown_requested(); });
+  if (shutdown_requested() && !reducer.all_received()) {
+    // Shutdown landed mid-point: the workers were SIGTERMed and drained,
+    // but the point is incomplete. Do NOT fall through to the
+    // missing-trials recovery — that would re-run the remainder of an
+    // arbitrarily long sweep during a termination request.
+    *error = "interrupted by shutdown";
+    return false;
+  }
   if (malformed > 0) {
     *error = "worker protocol violation: " + std::to_string(malformed) +
              " malformed line(s)";
@@ -218,6 +238,13 @@ bool run_sweep(const SweepSpec& spec, std::size_t workers,
   if (spec_algorithm) pspec = make_policy_spec(spec);
 
   for (const double value : spec.sweep_values) {
+    if (shutdown_requested()) {
+      // Between-point interruption check (the batch path below is not
+      // interruptible inside a point; the sharded path also checks in
+      // its worker drain).
+      *error = "interrupted by shutdown";
+      return false;
+    }
     runner::ScenarioConfig scenario = spec.scenario;
     if (!spec.sweep_key.empty()) {
       if (!runner::apply_scenario_setting(scenario, spec.sweep_key,

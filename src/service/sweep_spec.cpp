@@ -234,17 +234,23 @@ bool parse_sweep_spec(const util::IniFile& ini, SweepSpec& spec,
     return false;
   }
 
+  // Spec-representable algorithms (policy-as-data: run on either kernel);
+  // consistent-hop is the one competitor expressible as data.
   const bool spec_algorithm =
       spec.algorithm == "alg1" || spec.algorithm == "alg2" ||
-      spec.algorithm == "alg2x" || spec.algorithm == "alg3";
+      spec.algorithm == "alg2x" || spec.algorithm == "alg3" ||
+      spec.algorithm == "consistent-hop";
   if (!spec_algorithm && spec.algorithm != "adaptive" &&
-      spec.algorithm != "baseline") {
+      spec.algorithm != "baseline" && spec.algorithm != "mcdis" &&
+      spec.algorithm != "rendezvous") {
     *error = "[experiment] unknown algorithm '" + spec.algorithm +
-             "' (alg1|alg2|alg2x|alg3|adaptive|baseline)";
+             "' (alg1|alg2|alg2x|alg3|adaptive|baseline|mcdis|rendezvous|"
+             "consistent-hop)";
     return false;
   }
   if (spec.kernel == runner::SyncKernel::kSoa && !spec_algorithm) {
-    *error = "[experiment] kernel = soa supports only alg1/alg2/alg2x/alg3";
+    *error = "[experiment] kernel = soa supports only "
+             "alg1/alg2/alg2x/alg3/consistent-hop";
     return false;
   }
 

@@ -67,6 +67,7 @@ SoaSlotKernel::SoaSlotKernel(const net::Network& network)
   slot_in_stage_.resize(n_);
   stage_slots_.resize(n_);
   estimate_.resize(n_);
+  hop_clock_.resize(n_);
 }
 
 SoaSlotKernelResult SoaSlotKernel::run(const SoaPolicyTable& table,
@@ -104,6 +105,7 @@ SoaSlotKernelResult SoaSlotKernel::run(const SoaPolicyTable& table,
             table.initial_stage_slots);
   std::fill(estimate_.begin(), estimate_.end(),
             static_cast<std::uint64_t>(table.initial_estimate));
+  std::fill(hop_clock_.begin(), hop_clock_.end(), std::uint64_t{0});
 
   const unsigned p_stride = SoaPolicyTable::kMaxStageSlot + 1;
   const double* const p_staged = table.p_staged.data();
@@ -114,9 +116,11 @@ SoaSlotKernelResult SoaSlotKernel::run(const SoaPolicyTable& table,
   for (std::uint64_t slot = 0; slot < config.max_slots; ++slot) {
     ++result.slots_executed;
 
-    // Action pass: identical draw order to the virtual policies — one
-    // uniform channel pick, then one Bernoulli coin (the staged/constant
-    // probabilities are always in (0, 1/2], so the coin always draws).
+    // Action pass: identical draw order to the virtual policies — under
+    // the uniform channel law one uniform channel pick then one Bernoulli
+    // coin; under the consistent-hop law the channel is a table lookup
+    // and only the coin draws (the staged/constant probabilities are
+    // always in (0, 1/2], so the coin always draws).
     for (net::NodeId u = 0; u < n; ++u) {
       if (slot < start_of(config.starts, u) || faults.down_at(u, slot)) {
         mode_[u] = Mode::kQuiet;
@@ -126,12 +130,20 @@ SoaSlotKernelResult SoaSlotKernel::run(const SoaPolicyTable& table,
         slot_in_stage_[u] = 0;
         stage_slots_[u] = table.initial_stage_slots;
         estimate_[u] = static_cast<std::uint64_t>(table.initial_estimate);
+        hop_clock_[u] = 0;
       }
       util::Rng& rng = streams.rng(u);
       const std::size_t off = avail_off_[u];
       const std::size_t len = avail_off_[u + 1] - off;
-      channel_[u] =
-          avail_flat_[off + static_cast<std::size_t>(rng.uniform(len))];
+      if (table.channel_law == SoaChannelLaw::kConsistentHop) {
+        const std::size_t w =
+            static_cast<std::size_t>(hop_clock_[u]++ % table.hop_period);
+        channel_[u] =
+            table.hop_map[static_cast<std::size_t>(u) * table.hop_period + w];
+      } else {
+        channel_[u] =
+            avail_flat_[off + static_cast<std::size_t>(rng.uniform(len))];
+      }
       double p;
       if (table.staged) {
         const unsigned i = slot_in_stage_[u] + 1;  // paper's index, 1-based

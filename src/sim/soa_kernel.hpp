@@ -100,6 +100,9 @@ class SoaSlotKernel {
   std::vector<std::uint32_t> slot_in_stage_;
   std::vector<std::uint32_t> stage_slots_;
   std::vector<std::uint64_t> estimate_;
+  /// Consistent-hop channel law only: node-local active-slot clock
+  /// (resets with the policy on churn recovery, like a fresh oracle).
+  std::vector<std::uint64_t> hop_clock_;
 };
 
 /// One-shot convenience wrapper: flatten, run one trial, return.

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "net/types.hpp"
 #include "util/check.hpp"
 
 namespace m2hew::sim {
@@ -25,6 +26,15 @@ namespace m2hew::sim {
 /// definition, core::stage_length) so the escalating kernel can size new
 /// stages without sim depending on core.
 using StageLengthFn = unsigned (*)(std::size_t);
+
+/// How a node picks its slot channel. The paper's algorithms draw one
+/// uniform channel from A(u); the consistent-hop competitor follows a
+/// precomputed deterministic per-node map over a global hop sequence
+/// (w_t = local_t mod hop_period) and draws nothing for the channel.
+enum class SoaChannelLaw {
+  kUniformRandom,   ///< one rng.uniform(|A(u)|) draw per active slot
+  kConsistentHop,   ///< hop_map lookup, zero channel draws
+};
 
 /// One trial-independent description of a synchronous policy family,
 /// shared by every node (per-node variation enters only through the
@@ -60,6 +70,18 @@ struct SoaPolicyTable {
   /// Constant law: per-node transmit probability, indexed by node id.
   std::vector<double> p_constant;
 
+  /// Channel selection law; kConsistentHop replaces the uniform draw with
+  /// a lookup into `hop_map` at (local-slot mod hop_period), so the
+  /// kernel and the oracle policy both make exactly one RNG draw (the
+  /// transmit coin) per active slot.
+  SoaChannelLaw channel_law = SoaChannelLaw::kUniformRandom;
+  /// Consistent hop only: global sequence period (the universe size).
+  std::size_t hop_period = 0;
+  /// Consistent hop only: node-major map, stride hop_period — entry
+  /// [u * hop_period + w] is node u's channel when the global sequence is
+  /// at w. Built in core so the remap rule has one definition.
+  std::vector<net::ChannelId> hop_map;
+
   [[nodiscard]] double staged_probability(std::size_t available,
                                           unsigned slot_in_stage) const {
     M2HEW_DCHECK(available <= max_available);
@@ -70,6 +92,10 @@ struct SoaPolicyTable {
   /// Structural validity (not bit-exactness — the equivalence suite pins
   /// that); kernels check this once per trial.
   [[nodiscard]] bool valid(std::size_t node_count) const {
+    if (channel_law == SoaChannelLaw::kConsistentHop &&
+        (hop_period == 0 || hop_map.size() != node_count * hop_period)) {
+      return false;
+    }
     if (staged) {
       if (p_staged.size() !=
           (max_available + 1) * (kMaxStageSlot + 1)) {

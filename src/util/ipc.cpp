@@ -1,6 +1,7 @@
 #include "util/ipc.hpp"
 
 #include <poll.h>
+#include <signal.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -18,6 +19,12 @@ WorkerProcess spawn_worker(const std::function<int(int write_fd)>& body) {
   M2HEW_CHECK_MSG(pid >= 0, "fork() failed");
   if (pid == 0) {
     close(fds[0]);
+    // Restore default termination (the parent may run a shutdown-flag
+    // handler that must not leak into workers) and make a vanished
+    // reader an EPIPE from write, not a fatal SIGPIPE.
+    signal(SIGTERM, SIG_DFL);
+    signal(SIGINT, SIG_DFL);
+    signal(SIGPIPE, SIG_IGN);
     int status = 1;
     try {
       status = body(fds[1]);
@@ -32,6 +39,21 @@ WorkerProcess spawn_worker(const std::function<int(int write_fd)>& body) {
   worker.pid = pid;
   worker.read_fd = fds[0];
   return worker;
+}
+
+bool write_all(int fd, std::string_view data) {
+  std::size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n =
+        write(fd, data.data() + written, data.size() - written);
+    if (n > 0) {
+      written += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;  // EPIPE, EIO, ... — nothing retryable
+  }
+  return true;
 }
 
 namespace {
@@ -57,11 +79,22 @@ void feed_lines(
 
 void drain_workers(
     std::vector<WorkerProcess>& workers,
-    const std::function<void(std::size_t, std::string_view)>& on_line) {
+    const std::function<void(std::size_t, std::string_view)>& on_line,
+    const std::function<bool()>& interrupted) {
   std::vector<pollfd> fds;
   std::vector<std::size_t> owner;  // fds[i] belongs to workers[owner[i]]
   char buf[4096];
+  bool forwarded_term = false;
   for (;;) {
+    if (!forwarded_term && interrupted && interrupted()) {
+      // Shutdown requested: terminate live workers once, then keep
+      // draining — their pipes still hold completed records, and every
+      // child must be reaped regardless.
+      for (const WorkerProcess& worker : workers) {
+        if (!worker.eof && worker.pid > 0) kill(worker.pid, SIGTERM);
+      }
+      forwarded_term = true;
+    }
     fds.clear();
     owner.clear();
     for (std::size_t i = 0; i < workers.size(); ++i) {
@@ -72,7 +105,7 @@ void drain_workers(
     if (fds.empty()) break;
     const int ready = poll(fds.data(), fds.size(), -1);
     if (ready < 0) {
-      if (errno == EINTR) continue;
+      if (errno == EINTR) continue;  // signal: re-check interrupted()
       M2HEW_CHECK_MSG(false, "poll() failed");
     }
     for (std::size_t i = 0; i < fds.size(); ++i) {

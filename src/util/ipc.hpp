@@ -13,6 +13,7 @@
 
 #include <functional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace m2hew::util {
@@ -34,8 +35,21 @@ struct WorkerProcess {
 /// value; the parent gets the worker handle. The write end is closed in
 /// the parent, the read end in the child. Aborts on fork/pipe failure
 /// (resource exhaustion — nothing sensible to recover).
+///
+/// The child resets SIGTERM/SIGINT to their default dispositions (a
+/// shutdown-flag handler inherited from a daemon parent would otherwise
+/// turn termination into a no-op in the child) and ignores SIGPIPE, so a
+/// write after the parent closed its read end surfaces as EPIPE through
+/// write_all's return value instead of killing the worker silently.
 [[nodiscard]] WorkerProcess spawn_worker(
     const std::function<int(int write_fd)>& body);
+
+/// Writes all of `data` to `fd`, looping over partial writes and EINTR.
+/// Returns false on any unrecoverable error (EPIPE included: with SIGPIPE
+/// ignored a closed read end lands here). Worker bodies treat false as
+/// "reader is gone": exit nonzero without the end marker and let the
+/// parent's missing-trials recovery path take over.
+[[nodiscard]] bool write_all(int fd, std::string_view data);
 
 /// Reads every worker until EOF, invoking `on_line(worker_index, line)` for
 /// each complete '\n'-terminated line (newline stripped), then reaps all
@@ -43,8 +57,16 @@ struct WorkerProcess {
 /// workers interleave without blocking each other. Partial trailing lines
 /// are dropped: a record is only a record once its newline made it through
 /// the pipe (see docs/OPERATIONS.md "Worker protocol").
+///
+/// `interrupted`, when provided, is consulted each drain iteration (it is
+/// also what wakes the loop: poll returns EINTR when a signal lands). The
+/// first time it returns true, every still-live worker is sent SIGTERM
+/// once; draining then continues to EOF so exit statuses and already
+/// pipelined records are still collected — interruption changes how soon
+/// workers stop, never the reap/recovery contract.
 void drain_workers(
     std::vector<WorkerProcess>& workers,
-    const std::function<void(std::size_t, std::string_view)>& on_line);
+    const std::function<void(std::size_t, std::string_view)>& on_line,
+    const std::function<bool()>& interrupted = nullptr);
 
 }  // namespace m2hew::util

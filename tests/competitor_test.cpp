@@ -1,0 +1,243 @@
+// Determinism and equivalence contracts for the competitor policies
+// (core/competitors.hpp, the E24 tournament entrants):
+//   - serial == parallel bit-identity through run_sync_trials,
+//   - with_termination wrapper composition keeps the activity invariant,
+//   - the consistent-hop SyncPolicySpec equals its virtual-policy oracle
+//     on BOTH kernels, bit-for-bit, including under a fault plan,
+//   - each competitor actually completes discovery on a clean clique.
+#include "core/competitors.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/policy_spec.hpp"
+#include "core/termination.hpp"
+#include "runner/scenario.hpp"
+#include "runner/trials.hpp"
+#include "sim/fault_plan.hpp"
+#include "sim/slot_engine.hpp"
+#include "sim/soa_kernel.hpp"
+
+namespace m2hew {
+namespace {
+
+struct Competitor {
+  const char* name;
+  sim::SyncPolicyFactory factory;
+};
+
+[[nodiscard]] std::vector<Competitor> competitors() {
+  std::vector<Competitor> list;
+  list.push_back({"mcdis", core::make_mcdis()});
+  list.push_back({"rendezvous", core::make_blind_rendezvous()});
+  list.push_back({"consistent-hop", core::make_consistent_hop()});
+  return list;
+}
+
+[[nodiscard]] net::Network heterogeneous_net(std::uint64_t seed) {
+  runner::ScenarioConfig config;
+  config.topology = runner::TopologyKind::kClique;
+  config.n = 10;
+  config.channels = runner::ChannelKind::kVariableRandom;
+  config.universe = 8;
+  config.min_size = 2;
+  config.max_size = 6;
+  return runner::build_scenario(config, seed);
+}
+
+void expect_identical(const runner::SyncTrialStats& a,
+                      const runner::SyncTrialStats& b) {
+  EXPECT_EQ(a.trials, b.trials);
+  EXPECT_EQ(a.completed, b.completed);
+  ASSERT_EQ(a.completion_slots.count(), b.completion_slots.count());
+  for (std::size_t i = 0; i < a.completion_slots.count(); ++i) {
+    EXPECT_EQ(a.completion_slots.values()[i], b.completion_slots.values()[i])
+        << "trial-ordered sample " << i;
+  }
+}
+
+TEST(CompetitorPolicies, SerialAndParallelTrialsAreBitIdentical) {
+  const net::Network network = heterogeneous_net(11);
+  for (const Competitor& competitor : competitors()) {
+    runner::SyncTrialConfig config;
+    config.trials = 10;
+    config.seed = 77;
+    config.engine.max_slots = 500000;
+
+    config.threads = 1;
+    const auto serial =
+        runner::run_sync_trials(network, competitor.factory, config);
+    config.threads = 4;
+    const auto parallel =
+        runner::run_sync_trials(network, competitor.factory, config);
+    expect_identical(serial, parallel);
+    // The contract is vacuous if nothing ever finishes.
+    EXPECT_GT(serial.completed, 0u) << competitor.name;
+  }
+}
+
+TEST(CompetitorPolicies, CompleteDiscoveryOnCleanClique) {
+  const net::Network network = heterogeneous_net(23);
+  for (const Competitor& competitor : competitors()) {
+    runner::SyncTrialConfig config;
+    config.trials = 5;
+    config.seed = 9;
+    config.threads = 1;
+    config.engine.max_slots = 2000000;
+    const auto stats =
+        runner::run_sync_trials(network, competitor.factory, config);
+    EXPECT_EQ(stats.completed, stats.trials) << competitor.name;
+  }
+}
+
+TEST(CompetitorPolicies, ComposeWithTerminationWrapper) {
+  // with_termination must forward competitor decisions unchanged until the
+  // silence threshold trips; afterwards the node is quiet but every slot
+  // is still accounted for (the engine's activity invariant).
+  const net::Network network = heterogeneous_net(5);
+  for (const Competitor& competitor : competitors()) {
+    sim::SlotEngineConfig config;
+    config.max_slots = 4000;
+    config.seed = 31;
+    config.stop_when_complete = false;
+    const auto wrapped = sim::run_slot_engine(
+        network, core::with_termination(competitor.factory, 300), config);
+    ASSERT_EQ(wrapped.activity.size(), network.node_count());
+    for (const sim::RadioActivity& a : wrapped.activity) {
+      EXPECT_EQ(a.total(), 4000u) << competitor.name;
+    }
+    // Before any termination can trigger, the wrapper is transparent: the
+    // first 300 slots of a wrapped run equal an unwrapped run's prefix, so
+    // coverage at that horizon matches exactly.
+    sim::SlotEngineConfig prefix = config;
+    prefix.max_slots = 300;
+    const auto bare =
+        sim::run_slot_engine(network, competitor.factory, prefix);
+    const auto wrapped_prefix = sim::run_slot_engine(
+        network, core::with_termination(competitor.factory, 300), prefix);
+    EXPECT_EQ(bare.state.covered_links(),
+              wrapped_prefix.state.covered_links())
+        << competitor.name;
+    EXPECT_EQ(bare.state.reception_count(),
+              wrapped_prefix.state.reception_count())
+        << competitor.name;
+  }
+}
+
+// Fault plan mixing churn and burst loss inside the run's horizon, so the
+// spec-vs-oracle identity below is exercised on the faulted code paths.
+[[nodiscard]] sim::FaultPlan<std::uint64_t> faulted_plan() {
+  sim::FaultPlan<std::uint64_t> plan;
+  plan.churn.crash_probability = 0.4;
+  plan.churn.earliest_crash = 50;
+  plan.churn.latest_crash = 600;
+  plan.churn.min_down = 50;
+  plan.churn.max_down = 200;
+  plan.churn.reset_policy_on_recovery = true;
+  plan.burst_loss.enabled = true;
+  plan.burst_loss.p_good_to_bad = 0.05;
+  plan.burst_loss.p_bad_to_good = 0.2;
+  plan.burst_loss.loss_good = 0.02;
+  plan.burst_loss.loss_bad = 0.8;
+  return plan;
+}
+
+TEST(ConsistentHopSpec, SpecFactoryEqualsOracleFactory) {
+  // SyncPolicySpec::consistent_hop() through make_policy_factory must be
+  // THE SAME policy as make_consistent_hop(): same draws, same actions.
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    const net::Network network = heterogeneous_net(seed);
+    sim::SlotEngineConfig config;
+    config.max_slots = 2000;
+    config.seed = seed;
+    config.stop_when_complete = false;
+    if (seed % 2 == 1) config.faults = faulted_plan();
+
+    const auto oracle =
+        sim::run_slot_engine(network, core::make_consistent_hop(), config);
+    const auto via_spec = sim::run_slot_engine(
+        network,
+        core::make_policy_factory(core::SyncPolicySpec::consistent_hop()),
+        config);
+
+    EXPECT_EQ(oracle.complete, via_spec.complete);
+    EXPECT_EQ(oracle.completion_slot, via_spec.completion_slot);
+    EXPECT_EQ(oracle.state.covered_links(), via_spec.state.covered_links());
+    EXPECT_EQ(oracle.state.reception_count(),
+              via_spec.state.reception_count());
+    ASSERT_EQ(oracle.activity.size(), via_spec.activity.size());
+    for (std::size_t u = 0; u < oracle.activity.size(); ++u) {
+      EXPECT_EQ(oracle.activity[u].transmit, via_spec.activity[u].transmit);
+      EXPECT_EQ(oracle.activity[u].receive, via_spec.activity[u].receive);
+      EXPECT_EQ(oracle.activity[u].quiet, via_spec.activity[u].quiet);
+    }
+  }
+}
+
+TEST(ConsistentHopSpec, SoaKernelMatchesOracleBitExactly) {
+  // The SoA flat table built from the consistent-hop spec runs the exact
+  // run the classic engine runs with the virtual policy — including under
+  // churn + burst loss (the soa_kernel_test sweep covers alg1-3; this
+  // pins the competitor's hop-map channel law).
+  for (const std::uint64_t seed : {4u, 5u, 6u, 7u}) {
+    const net::Network network = heterogeneous_net(seed);
+    const core::SyncPolicySpec spec = core::SyncPolicySpec::consistent_hop();
+    sim::SlotEngineConfig config;
+    config.max_slots = 1500;
+    config.seed = seed;
+    config.stop_when_complete = (seed % 2) != 0;
+    if (seed % 2 == 0) config.faults = faulted_plan();
+
+    const auto engine = sim::run_slot_engine(
+        network, core::make_policy_factory(spec), config);
+    const auto soa = sim::run_soa_slot_kernel(
+        network, core::build_soa_policy_table(network, spec), config);
+
+    EXPECT_EQ(engine.complete, soa.complete);
+    EXPECT_EQ(engine.completion_slot, soa.completion_slot);
+    EXPECT_EQ(engine.slots_executed, soa.slots_executed);
+    EXPECT_EQ(engine.state.covered_links(),
+              static_cast<std::size_t>(soa.covered_links));
+    EXPECT_EQ(engine.state.reception_count(),
+              static_cast<std::size_t>(soa.receptions));
+    ASSERT_EQ(engine.activity.size(), soa.activity.size());
+    for (std::size_t u = 0; u < engine.activity.size(); ++u) {
+      EXPECT_EQ(engine.activity[u].transmit, soa.activity[u].transmit)
+          << "node " << u;
+      EXPECT_EQ(engine.activity[u].receive, soa.activity[u].receive)
+          << "node " << u;
+      EXPECT_EQ(engine.activity[u].quiet, soa.activity[u].quiet)
+          << "node " << u;
+    }
+  }
+}
+
+TEST(McDisPolicy, DutyCycleAndQuietSlots) {
+  // The prime pair decides the awake pattern: a (2,3) node is asleep only
+  // in slots ≡ 1 or 5 (mod 6) — and asleep slots draw nothing, so two
+  // policies fed different RNGs agree on their wake schedule.
+  net::ChannelSet channels(4, {0, 1, 2, 3});
+  core::McDisPolicy policy(channels, /*id=*/0);  // class 0 -> primes (2,3)
+  EXPECT_NEAR(policy.duty_cycle(), 1.0 / 2 + 1.0 / 3 - 1.0 / 6, 1e-12);
+  util::Rng rng(99);
+  std::size_t quiet = 0;
+  for (std::uint64_t t = 0; t < 60; ++t) {
+    const sim::SlotAction action = policy.next_slot(rng);
+    const bool asleep = (t % 2 != 0 && t % 3 != 0);
+    EXPECT_EQ(action.mode == sim::Mode::kQuiet, asleep) << "slot " << t;
+    if (asleep) ++quiet;
+  }
+  EXPECT_EQ(quiet, 20u);  // 1/3 of slots for the (2,3) pair
+}
+
+TEST(BlindRendezvousPolicy, PeriodPrimeCoversUniverse) {
+  net::ChannelSet channels(8, {0, 1, 2, 3, 4, 5, 6, 7});
+  core::BlindRendezvousPolicy policy(channels, /*id=*/3, /*id_bound=*/10,
+                                     /*universe_size=*/8);
+  EXPECT_EQ(policy.period_prime(), 11u);  // smallest prime >= 8
+}
+
+}  // namespace
+}  // namespace m2hew

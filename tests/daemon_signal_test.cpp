@@ -1,0 +1,182 @@
+// Signal-driven shutdown contract of the sweep daemon (service/daemon.hpp):
+// SIGTERM mid-sweep exits 0 after draining the in-flight job, leaves zero
+// orphaned processes and zero stale *.tmp files, parks the interrupted
+// spec back in incoming/ with an "interrupted" status — and a restarted
+// daemon completes it with an artifact bit-identical (modulo timing
+// fields) to an in-process run_sweep of the same spec.
+#include "service/daemon.hpp"
+
+#include <dirent.h>
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "service/artifact_cache.hpp"
+#include "service/sweep_runner.hpp"
+#include "service/sweep_spec.hpp"
+#include "util/ini.hpp"
+
+namespace m2hew::service {
+namespace {
+
+// Heavy enough (3 points x 5000 faulted trials, ~4 s at 2 workers) that a
+// SIGTERM sent shortly after the status flips to "running" reliably lands
+// mid-sweep, yet a full completion stays test-suite friendly.
+constexpr const char* kSlowSpec = R"(
+[experiment]
+name = signal_test
+algorithm = alg3
+delta-est = 8
+trials = 5000
+seed = 4
+max-slots = 200000
+sweep-key = set-size
+sweep-values = 4 3 2
+
+[scenario]
+topology = clique
+channels = uniform
+n = 12
+universe = 8
+
+[faults]
+crash-prob = 0.4
+crash-from = 50
+crash-until = 2000
+down-min = 100
+down-max = 600
+reset-on-recovery = 1
+)";
+
+[[nodiscard]] std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+[[nodiscard]] std::size_t count_tmp_files(const std::string& dir) {
+  std::size_t count = 0;
+  DIR* handle = ::opendir(dir.c_str());
+  if (handle == nullptr) return 0;
+  while (dirent* entry = ::readdir(handle)) {
+    const std::string_view name = entry->d_name;
+    if (name.size() >= 4 && name.substr(name.size() - 4) == ".tmp") ++count;
+  }
+  ::closedir(handle);
+  return count;
+}
+
+/// Strips wall-clock-dependent content so two runs of the same spec
+/// compare equal: per-run "elapsed_seconds"/"threads" suffixes and the
+/// throughput line. Everything else in the artifact is deterministic.
+[[nodiscard]] std::string strip_volatile(const std::string& json) {
+  std::istringstream in(json);
+  std::ostringstream out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("\"busy_seconds\"") != std::string::npos) continue;
+    const std::size_t at = line.find("\"elapsed_seconds\"");
+    if (at != std::string::npos) line.resize(at);
+    out << line << '\n';
+  }
+  return out.str();
+}
+
+TEST(DaemonSignals, SigtermMidSweepDrainsCleanlyAndResumesOnRestart) {
+  char tmpl[] = "/tmp/m2hew_signal_test_XXXXXX";
+  ASSERT_NE(::mkdtemp(tmpl), nullptr);
+  const std::string spool = std::string(tmpl) + "/spool";
+  ASSERT_EQ(::mkdir(spool.c_str(), 0755), 0);
+  ASSERT_EQ(::mkdir((spool + "/incoming").c_str(), 0755), 0);
+  {
+    std::ofstream out(spool + "/incoming/slow.ini");
+    out << kSlowSpec;
+  }
+
+  DaemonConfig config;
+  config.spool_dir = spool;
+  config.workers = 2;
+  config.poll_ms = 20;
+  config.once = false;  // watch mode: only the signal can end it
+
+  // The daemon runs in its own process group so the no-orphans check can
+  // probe every process it ever forked with one kill(-pgid, 0).
+  const pid_t daemon_pid = ::fork();
+  ASSERT_GE(daemon_pid, 0);
+  if (daemon_pid == 0) {
+    ::setpgid(0, 0);
+    ::_exit(run_daemon(config));
+  }
+  ::setpgid(daemon_pid, daemon_pid);  // parent side of the pgid race
+
+  // Wait (<= 15 s) for the job to actually be running.
+  const std::string status_path = spool + "/status/slow.json";
+  bool running = false;
+  for (int i = 0; i < 1500 && !running; ++i) {
+    running = read_file(status_path).find("\"state\": \"running\"") !=
+              std::string::npos;
+    if (!running) ::usleep(10 * 1000);
+  }
+  ASSERT_TRUE(running) << "daemon never started the job";
+  ::usleep(300 * 1000);  // let the sweep get firmly mid-flight
+
+  ASSERT_EQ(::kill(daemon_pid, SIGTERM), 0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(daemon_pid, &status, 0), daemon_pid);
+  ASSERT_TRUE(WIFEXITED(status)) << "daemon killed instead of exiting";
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+
+  // No orphans: the daemon's whole process group is gone (job child and
+  // shard workers included).
+  errno = 0;
+  EXPECT_EQ(::kill(-daemon_pid, 0), -1);
+  EXPECT_EQ(errno, ESRCH);
+
+  // Clean spool: no half-written temps anywhere, the interrupted spec
+  // still queued, and the status honest about what happened.
+  EXPECT_EQ(count_tmp_files(spool + "/status"), 0u);
+  EXPECT_EQ(count_tmp_files(spool + "/cache"), 0u);
+  struct stat st {};
+  EXPECT_EQ(::stat((spool + "/incoming/slow.ini").c_str(), &st), 0)
+      << "interrupted spec must stay in incoming/ for the restart";
+  const std::string interrupted = read_file(status_path);
+  EXPECT_NE(interrupted.find("\"state\": \"interrupted\""),
+            std::string::npos)
+      << interrupted;
+
+  // Restart (--once): the job completes from scratch.
+  DaemonConfig once = config;
+  once.once = true;
+  ASSERT_EQ(run_daemon(once), 0);
+  const std::string done = read_file(status_path);
+  EXPECT_NE(done.find("\"state\": \"done\""), std::string::npos) << done;
+  EXPECT_NE(done.find("\"cache\": \"miss\""), std::string::npos) << done;
+
+  // The artifact equals an in-process run of the same spec, modulo the
+  // timing fields — interruption must not have poisoned any state the
+  // rerun could observe.
+  const util::IniFile ini = util::IniFile::parse_string(kSlowSpec);
+  SweepSpec spec;
+  std::string error;
+  ASSERT_TRUE(parse_sweep_spec(ini, spec, &error)) << error;
+  SweepResult oracle;
+  ASSERT_TRUE(run_sweep(spec, config.workers, oracle, &error)) << error;
+
+  const std::string artifact =
+      read_file(spool + "/cache/" + scenario_hash_hex(spec) + ".json");
+  ASSERT_FALSE(artifact.empty());
+  EXPECT_EQ(strip_volatile(artifact),
+            strip_volatile(sweep_artifact_json(spec, oracle)));
+}
+
+}  // namespace
+}  // namespace m2hew::service

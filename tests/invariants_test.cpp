@@ -7,6 +7,7 @@
 #include "core/adaptive.hpp"
 #include "core/algorithms.hpp"
 #include "core/baseline_deterministic.hpp"
+#include "core/competitors.hpp"
 #include "runner/scenario.hpp"
 #include "sim/async_engine.hpp"
 #include "sim/slot_engine.hpp"
@@ -40,6 +41,9 @@ TEST_P(SyncInvariants, HoldAcrossAlgorithmsAndScenarios) {
       {"adaptive", core::make_adaptive()},
       {"baseline", core::make_universal_baseline(9, 0.5)},
       {"deterministic", core::make_deterministic_baseline(9)},
+      {"mcdis", core::make_mcdis()},
+      {"rendezvous", core::make_blind_rendezvous()},
+      {"consistent-hop", core::make_consistent_hop()},
   };
   for (const SyncCase& test_case : cases) {
     sim::SlotEngineConfig config;

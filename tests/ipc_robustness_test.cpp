@@ -1,0 +1,105 @@
+// Robustness contracts of the worker IPC layer (util/ipc.hpp):
+//   - write_all pushes arbitrarily large payloads through a pipe whose
+//     capacity forces partial writes,
+//   - a worker writing after the parent closed its read end sees EPIPE
+//     (SIGPIPE ignored) and exits nonzero instead of dying silently,
+//   - drain_workers' `interrupted` hook SIGTERMs live workers once and
+//     still reaps every child.
+#include "util/ipc.hpp"
+
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <string>
+#include <vector>
+
+namespace m2hew::util {
+namespace {
+
+TEST(WriteAll, LargePayloadSurvivesPartialWrites) {
+  // 4 MiB >> any pipe buffer: the single write_all call in the child must
+  // loop over partial writes while the parent drains concurrently.
+  constexpr std::size_t kLines = 1 << 16;
+  const std::string payload(63, 'x');  // 64 bytes per line with '\n'
+
+  std::vector<WorkerProcess> workers;
+  workers.push_back(spawn_worker([&](int write_fd) {
+    std::string bulk;
+    bulk.reserve(kLines * (payload.size() + 1));
+    for (std::size_t i = 0; i < kLines; ++i) {
+      bulk += payload;
+      bulk += '\n';
+    }
+    return write_all(write_fd, bulk) ? 0 : 1;
+  }));
+
+  std::size_t lines = 0;
+  bool all_intact = true;
+  drain_workers(workers, [&](std::size_t, std::string_view line) {
+    ++lines;
+    all_intact &= (line == payload);
+  });
+  EXPECT_EQ(lines, kLines);
+  EXPECT_TRUE(all_intact);
+  EXPECT_TRUE(workers[0].exited_cleanly);
+}
+
+TEST(WriteAll, EpipeReturnsFalseInsteadOfKillingWorker) {
+  // The parent closes its read end immediately; the worker keeps writing
+  // until the pipe buffer is exhausted and write(2) fails with EPIPE.
+  // With SIGPIPE ignored in spawn_worker children, write_all returns
+  // false and the worker exits through its own nonzero path — exactly the
+  // missing-end-marker shape the sweep runner's recovery handles.
+  WorkerProcess worker = spawn_worker([](int write_fd) {
+    const std::string chunk(1 << 16, 'y');
+    for (int i = 0; i < 1024; ++i) {
+      if (!write_all(write_fd, chunk)) return 7;  // EPIPE lands here
+    }
+    return 0;
+  });
+  ASSERT_GE(worker.pid, 0);
+  ASSERT_EQ(::close(worker.read_fd), 0);
+  worker.read_fd = -1;
+  worker.eof = true;
+
+  int status = 0;
+  ASSERT_EQ(::waitpid(worker.pid, &status, 0), worker.pid);
+  ASSERT_TRUE(WIFEXITED(status)) << "worker was killed by a signal";
+  EXPECT_EQ(WEXITSTATUS(status), 7);
+}
+
+TEST(DrainWorkers, InterruptedHookTerminatesAndReapsWorkers) {
+  // Three workers each write one record then sleep "forever". Once every
+  // record arrived the interrupted hook reports true, so each worker gets
+  // SIGTERM (default disposition — spawn_worker resets it) and
+  // drain_workers still reaps all of them.
+  std::vector<WorkerProcess> workers;
+  for (int w = 0; w < 3; ++w) {
+    workers.push_back(spawn_worker([w](int write_fd) {
+      const std::string line = "ready " + std::to_string(w) + "\n";
+      if (!write_all(write_fd, line)) return 1;
+      for (;;) ::pause();  // only a signal ends this worker
+      return 0;
+    }));
+  }
+
+  std::size_t lines = 0;
+  drain_workers(
+      workers, [&](std::size_t, std::string_view) { ++lines; },
+      [&] { return lines == 3; });
+
+  EXPECT_EQ(lines, 3u);
+  for (const WorkerProcess& worker : workers) {
+    EXPECT_TRUE(worker.eof);
+    // SIGTERM death is not a clean exit — the caller's recovery notices.
+    EXPECT_FALSE(worker.exited_cleanly);
+    // Reaped: the pid no longer exists (or was recycled — ESRCH check is
+    // inherently racy, so only assert waitpid has nothing left).
+    EXPECT_EQ(::waitpid(worker.pid, nullptr, WNOHANG), -1);
+  }
+}
+
+}  // namespace
+}  // namespace m2hew::util

@@ -18,6 +18,7 @@
 #include "core/algorithms.hpp"
 #include "core/baseline_deterministic.hpp"
 #include "core/bounds.hpp"
+#include "core/competitors.hpp"
 #include "core/multi_radio.hpp"
 #include "core/policy_spec.hpp"
 #include "core/termination.hpp"
@@ -52,8 +53,10 @@ Network:
   --prop-keep=<p>             random-mask keep probability (default 0.7)
 
 Algorithm:
-  --algorithm=<alg1|alg2|alg2x|alg3|alg4|baseline|deterministic|adaptive>
-                              (default alg3)
+  --algorithm=<alg1|alg2|alg2x|alg3|alg4|baseline|deterministic|adaptive|
+               mcdis|rendezvous|consistent-hop>   (default alg3)
+  --policy=<same values>      alias for --algorithm (competitor-tournament
+                              spelling; --algorithm wins when both given)
   --delta-est=<bound>         degree bound for alg1/alg3/alg4 (default 8)
   --terminate-after=<slots>   optional silence-based termination
   --radios=<R>                multi-radio alg3 (R transceivers per node)
@@ -283,7 +286,15 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(flags.get_int("threads", 0));
   const double epsilon = flags.get_double("epsilon", 0.1);
   const double loss = flags.get_double("loss", 0.0);
-  const std::string algorithm = flags.get_string("algorithm", "alg3");
+  // --policy= is an alias for --algorithm= (the tournament bench and the
+  // related-work docs spell it "policy"); --algorithm wins when both are
+  // given. Both flags are always consumed so neither shows up as a typo.
+  const std::string algorithm_flag = flags.get_string("algorithm", "");
+  const std::string policy_flag = flags.get_string("policy", "");
+  const std::string algorithm =
+      !algorithm_flag.empty() ? algorithm_flag
+                              : (!policy_flag.empty() ? policy_flag
+                                                      : std::string("alg3"));
   const auto terminate_after =
       static_cast<std::uint64_t>(flags.get_int("terminate-after", 0));
   const std::string kernel = flags.get_string("kernel", "engine");
@@ -333,6 +344,8 @@ int main(int argc, char** argv) {
   params.epsilon = epsilon;
 
   std::printf("scenario: %s\n", scenario_text.c_str());
+  std::printf("policy:   %s\n",
+              runner::describe_policy(algorithm, delta_est).c_str());
   std::printf("network:  N=%u S=%zu Delta=%zu rho=%.4f links=%zu arcs=%zu\n",
               network.node_count(), params.s, params.delta, params.rho,
               network.links().size(), network.topology().arc_count());
@@ -458,9 +471,13 @@ int main(int argc, char** argv) {
         spec = core::SyncPolicySpec::algorithm3(delta_est);
         bound = core::theorem3_slot_bound(params);
         bound_name = "thm3 slot bound";
+      } else if (algorithm == "consistent-hop") {
+        spec = core::SyncPolicySpec::consistent_hop();
+        bound_name = "(competitor hop; no closed-form bound)";
       } else {
         std::fprintf(stderr,
-                     "--kernel=soa supports only alg1/alg2/alg2x/alg3 "
+                     "--kernel=soa supports only "
+                     "alg1/alg2/alg2x/alg3/consistent-hop "
                      "(got --algorithm=%s)\n",
                      algorithm.c_str());
         return 2;
@@ -505,6 +522,15 @@ int main(int argc, char** argv) {
     } else if (algorithm == "adaptive") {
       factory = core::make_adaptive();
       bound_name = "(adaptive; no closed-form bound)";
+    } else if (algorithm == "mcdis") {
+      factory = core::make_mcdis();
+      bound_name = "(competitor Mc-Dis; no closed-form bound)";
+    } else if (algorithm == "rendezvous") {
+      factory = core::make_blind_rendezvous();
+      bound_name = "(competitor jump-stay; no closed-form bound)";
+    } else if (algorithm == "consistent-hop") {
+      factory = core::make_consistent_hop();
+      bound_name = "(competitor hop; no closed-form bound)";
     } else {
       std::fprintf(stderr, "unknown --algorithm=%s\n", algorithm.c_str());
       return 2;

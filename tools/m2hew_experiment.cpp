@@ -7,7 +7,8 @@
 //   [experiment]
 //   name        = rho_sweep
 //   algorithm   = alg3          ; alg1 | alg2 | alg3 | alg4 | baseline |
-//                               ; adaptive
+//                               ; adaptive | mcdis | rendezvous |
+//                               ; consistent-hop
 //   delta-est   = 8
 //   trials      = 30
 //   threads     = 0             ; trial fan-out: 0 = all cores, 1 = serial
@@ -45,6 +46,7 @@
 
 #include "core/adaptive.hpp"
 #include "core/algorithms.hpp"
+#include "core/competitors.hpp"
 #include "runner/report.hpp"
 #include "runner/scenario.hpp"
 #include "runner/scenario_kv.hpp"
@@ -135,6 +137,9 @@ int main(int argc, char** argv) {
     if (algorithm == "baseline") {
       return core::make_universal_baseline(base.universe, 0.5);
     }
+    if (algorithm == "mcdis") return core::make_mcdis();
+    if (algorithm == "rendezvous") return core::make_blind_rendezvous();
+    if (algorithm == "consistent-hop") return core::make_consistent_hop();
     std::fprintf(stderr,
                  "unknown/unsupported algorithm '%s' (alg4 needs the async "
                  "engine; use m2hew_cli)\n",
@@ -144,6 +149,8 @@ int main(int argc, char** argv) {
 
   std::printf("experiment: %s (%s, %zu trials/point)\n", name.c_str(),
               algorithm.c_str(), trials);
+  std::printf("policy:     %s\n",
+              runner::describe_policy(algorithm, delta_est).c_str());
 
   auto csv_file = runner::open_results_csv(name);
   util::CsvWriter csv(csv_file);

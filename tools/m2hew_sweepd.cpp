@@ -19,9 +19,17 @@
 //   --once           drain the current backlog, then exit (CI / tests)
 //   --log-level=L    debug|info|warn|error (default info)
 //
-// Shutdown: create <dir>/shutdown (the client's --shutdown does this);
-// the daemon finishes the job in progress, removes the sentinel and exits
-// with status 0. See docs/OPERATIONS.md for the full operator guide.
+// Shutdown, two ways:
+//   sentinel — create <dir>/shutdown (the client's --shutdown does this);
+//     the daemon finishes the job in progress, removes the sentinel and
+//     exits with status 0.
+//   signal — SIGTERM or SIGINT (service managers, ^C). The in-flight job
+//     is interrupted: shard workers are SIGTERMed and reaped, the job's
+//     status becomes "interrupted" and its spec stays in incoming/, so a
+//     restarted daemon re-runs it. The daemon then removes any stale
+//     status/cache *.tmp files and exits with status 0. No orphan
+//     processes and no half-written artifacts survive either path.
+// See docs/OPERATIONS.md for the full operator guide.
 #include <cstdio>
 #include <string>
 
