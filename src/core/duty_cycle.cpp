@@ -1,0 +1,47 @@
+#include "core/duty_cycle.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace m2hew::core {
+
+DutyCycledSyncPolicy::DutyCycledSyncPolicy(
+    std::unique_ptr<sim::SyncPolicy> inner, std::uint64_t duty_on,
+    std::uint64_t duty_period)
+    : inner_(std::move(inner)), duty_on_(duty_on), duty_period_(duty_period) {
+  M2HEW_CHECK(inner_ != nullptr);
+  M2HEW_CHECK_MSG(duty_on >= 1 && duty_on <= duty_period,
+                  "need 1 <= duty_on <= duty_period");
+}
+
+sim::SlotAction DutyCycledSyncPolicy::next_slot(util::Rng& rng) {
+  const bool active = slot_ % duty_period_ < duty_on_;
+  ++slot_;
+  if (!active) return sim::SlotAction{};  // radio off, no draws
+  return inner_->next_slot(rng);
+}
+
+void DutyCycledSyncPolicy::observe_reception(net::NodeId from,
+                                             bool first_time) {
+  inner_->observe_reception(from, first_time);
+}
+
+void DutyCycledSyncPolicy::observe_listen_outcome(sim::ListenOutcome outcome) {
+  inner_->observe_listen_outcome(outcome);
+}
+
+sim::SyncPolicyFactory with_duty_cycle(sim::SyncPolicyFactory inner,
+                                       std::uint64_t duty_on,
+                                       std::uint64_t duty_period) {
+  M2HEW_CHECK_MSG(duty_on >= 1 && duty_on <= duty_period,
+                  "need 1 <= duty_on <= duty_period");
+  if (duty_on == duty_period) return inner;  // always on
+  return [inner = std::move(inner), duty_on, duty_period](
+             const net::Network& network, net::NodeId u) {
+    return std::make_unique<DutyCycledSyncPolicy>(inner(network, u), duty_on,
+                                                  duty_period);
+  };
+}
+
+}  // namespace m2hew::core

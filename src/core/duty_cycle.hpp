@@ -1,0 +1,54 @@
+// Duty cycling — the energy knob of the contact-tracing profile.
+//
+// Low-power discovery deployments (BLE beacons, sensor wakeup schedules)
+// do not run the radio every slot: the protocol is active for a fixed
+// prefix of each period and the radio is off for the rest. This module
+// wraps any synchronous policy in such a schedule: during the first
+// `duty_on` slots of every `duty_period`-slot window the inner policy
+// runs unmodified; during the remaining slots the node is quiet, the
+// inner policy is NOT polled and no RNG draws occur — so the wrapped
+// policy consumes exactly the random stream it would consume running
+// `duty_on` of every `duty_period` slots back-to-back, and its node-local
+// slot arithmetic (stage counters etc.) advances only on active slots.
+//
+// With mobility (net/topology_provider.hpp) this is the latency/energy
+// trade-off the E25 bench sweeps: a lower duty cycle spends less energy
+// per contact but risks missing short contacts entirely.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "sim/policy.hpp"
+
+namespace m2hew::core {
+
+/// Wraps a synchronous policy in an on/off schedule: active during the
+/// first `duty_on` slots of each `duty_period` window (node-local slots,
+/// so late starters keep a full window), quiet otherwise.
+class DutyCycledSyncPolicy final : public sim::SyncPolicy {
+ public:
+  DutyCycledSyncPolicy(std::unique_ptr<sim::SyncPolicy> inner,
+                       std::uint64_t duty_on, std::uint64_t duty_period);
+
+  [[nodiscard]] sim::SlotAction next_slot(util::Rng& rng) override;
+  /// Observations are forwarded verbatim (they can only arrive for active
+  /// slots — an off slot never listens).
+  void observe_reception(net::NodeId from, bool first_time) override;
+  void observe_listen_outcome(sim::ListenOutcome outcome) override;
+
+ private:
+  std::unique_ptr<sim::SyncPolicy> inner_;
+  std::uint64_t duty_on_;
+  std::uint64_t duty_period_;
+  std::uint64_t slot_ = 0;  // node-local slot index
+};
+
+/// Wraps an existing factory so every node runs duty-cycled. Requires
+/// 1 <= duty_on <= duty_period; duty_on == duty_period returns the inner
+/// factory unchanged (always on).
+[[nodiscard]] sim::SyncPolicyFactory with_duty_cycle(
+    sim::SyncPolicyFactory inner, std::uint64_t duty_on,
+    std::uint64_t duty_period);
+
+}  // namespace m2hew::core

@@ -123,19 +123,11 @@ GeometricTopology make_unit_disk(NodeId n, double side, double radius,
   return g;
 }
 
-GeometricTopology make_unit_disk_bucketed(NodeId n, double side,
-                                          double radius, util::Rng& rng) {
+Topology unit_disk_topology(std::span<const Point> positions, double side,
+                            double radius) {
   M2HEW_CHECK(side > 0.0 && radius > 0.0);
-  GeometricTopology g;
-  // Positions are drawn exactly as in make_unit_disk (same stream, same
-  // order), so the two generators place identical points for a given Rng
-  // state; only the edge-finding strategy differs.
-  g.positions.reserve(n);
-  for (NodeId i = 0; i < n; ++i) {
-    g.positions.push_back(
-        {rng.uniform_double(0.0, side), rng.uniform_double(0.0, side)});
-  }
-  g.topology = Topology(n);
+  const auto n = static_cast<NodeId>(positions.size());
+  Topology t(n);
 
   // Bucket nodes into a grid of cells at least `radius` wide, so a node's
   // neighbors can only lie in its own or the 8 adjacent cells. Expected
@@ -158,7 +150,7 @@ GeometricTopology make_unit_disk_bucketed(NodeId n, double side,
     return cy * cells_per_axis + cx;
   };
   std::vector<std::vector<NodeId>> buckets(cells_per_axis * cells_per_axis);
-  for (NodeId i = 0; i < n; ++i) buckets[cell_of(g.positions[i])].push_back(i);
+  for (NodeId i = 0; i < n; ++i) buckets[cell_of(positions[i])].push_back(i);
 
   const double r2 = radius * radius;
   for (std::size_t cy = 0; cy < cells_per_axis; ++cy) {
@@ -187,15 +179,31 @@ GeometricTopology make_unit_disk_bucketed(NodeId n, double side,
           for (std::size_t b = b_start; b < theirs.size(); ++b) {
             const NodeId i = mine[a];
             const NodeId j = theirs[b];
-            if (squared_distance(g.positions[i], g.positions[j]) <= r2) {
-              g.topology.add_edge(i, j);
+            if (squared_distance(positions[i], positions[j]) <= r2) {
+              t.add_edge(i, j);
             }
           }
         }
       }
     }
   }
-  g.topology.finalize();
+  t.finalize();
+  return t;
+}
+
+GeometricTopology make_unit_disk_bucketed(NodeId n, double side,
+                                          double radius, util::Rng& rng) {
+  M2HEW_CHECK(side > 0.0 && radius > 0.0);
+  GeometricTopology g;
+  // Positions are drawn exactly as in make_unit_disk (same stream, same
+  // order), so the two generators place identical points for a given Rng
+  // state; only the edge-finding strategy differs.
+  g.positions.reserve(n);
+  for (NodeId i = 0; i < n; ++i) {
+    g.positions.push_back(
+        {rng.uniform_double(0.0, side), rng.uniform_double(0.0, side)});
+  }
+  g.topology = unit_disk_topology(g.positions, side, radius);
   return g;
 }
 

@@ -4,6 +4,7 @@
 // model for wireless ad-hoc deployments).
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "net/topology.hpp"
@@ -48,6 +49,14 @@ struct GeometricTopology {
 [[nodiscard]] GeometricTopology make_unit_disk_bucketed(NodeId n, double side,
                                                         double radius,
                                                         util::Rng& rng);
+
+/// The edge-finding half of make_unit_disk_bucketed, over caller-supplied
+/// positions (all in [0, side]²): cell-bucketed unit-disk topology, same
+/// edge set and insertion order as the generator produces for those
+/// positions. This is the per-epoch link recompute of the mobility layer
+/// (net/topology_provider.hpp), which advances positions itself.
+[[nodiscard]] Topology unit_disk_topology(std::span<const Point> positions,
+                                          double side, double radius);
 
 /// Unit-disk graph, retrying placement until connected (up to `attempts`
 /// resamples; checks connectivity each time). Returns the first connected

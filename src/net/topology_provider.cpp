@@ -1,0 +1,68 @@
+#include "net/topology_provider.hpp"
+
+#include <unordered_set>
+#include <utility>
+
+#include "net/topology_gen.hpp"
+#include "util/check.hpp"
+
+namespace m2hew::net {
+
+const Network& StaticTopologyProvider::epoch(std::size_t e) const {
+  M2HEW_CHECK_MSG(e == 0, "static topology has a single epoch");
+  return *network_;
+}
+
+EpochTopologyProvider::EpochTopologyProvider(const MobilityConfig& config,
+                                             std::vector<ChannelSet> assignment,
+                                             std::uint64_t seed)
+    : config_(config) {
+  validate_mobility_config(config);
+  M2HEW_CHECK_MSG(assignment.size() == config.nodes,
+                  "channel assignment must cover every mobile node");
+
+  RandomWaypointModel model(config, seed);
+  epochs_.reserve(config.epochs);
+  positions_.reserve(config.epochs);
+  // Union = every edge seen in any epoch, inserted in (epoch, discovery)
+  // order so the arc list is reproducible. Keyed on the undirected pair.
+  Topology union_topology(config.nodes);
+  std::unordered_set<std::uint64_t> seen;
+  auto edge_key = [](NodeId a, NodeId b) {
+    if (a > b) std::swap(a, b);
+    return (static_cast<std::uint64_t>(a) << 32) | b;
+  };
+
+  for (std::size_t e = 0; e < config.epochs; ++e) {
+    if (e > 0) model.advance_epoch();
+    const std::span<const Point> pos = model.positions();
+    positions_.emplace_back(pos.begin(), pos.end());
+    Topology t = unit_disk_topology(pos, config.side, config.radius);
+    for (const auto& [a, b] : t.edges()) {
+      if (seen.insert(edge_key(a, b)).second) union_topology.add_edge(a, b);
+    }
+    epochs_.emplace_back(std::move(t), assignment);
+  }
+
+  if (config.epochs > 1) {
+    union_topology.finalize();
+    union_ = std::make_unique<Network>(std::move(union_topology),
+                                       std::move(assignment));
+  }
+}
+
+const Network& EpochTopologyProvider::epoch(std::size_t e) const {
+  M2HEW_CHECK(e < epochs_.size());
+  return epochs_[e];
+}
+
+const Network& EpochTopologyProvider::union_network() const {
+  return union_ ? *union_ : epochs_.front();
+}
+
+std::span<const Point> EpochTopologyProvider::positions(std::size_t e) const {
+  M2HEW_CHECK(e < positions_.size());
+  return positions_[e];
+}
+
+}  // namespace m2hew::net

@@ -44,6 +44,32 @@ void print_robustness(const RobustnessStats& robustness) {
   }
 }
 
+void print_encounters(const EncounterStats& encounters) {
+  if (!encounters.enabled()) return;
+  std::printf("encounters over %zu trial(s): %llu contacts, %llu detected "
+              "(%.1f%%)\n",
+              encounters.trials,
+              static_cast<unsigned long long>(encounters.contacts),
+              static_cast<unsigned long long>(encounters.detected),
+              100.0 * encounters.detection_rate());
+  if (encounters.detection_latency.count() > 0) {
+    const util::Summary latency = encounters.detection_latency.summarize();
+    const util::Summary fraction =
+        encounters.latency_over_duration.summarize();
+    std::printf("  detection latency:   mean %.1f  p90 %.1f slots "
+                "(%.1f%% of contact duration)\n",
+                latency.mean, latency.p90, 100.0 * fraction.mean);
+  }
+  if (encounters.missed_fraction.count() > 0) {
+    std::printf("  missed contacts:     mean %.1f%% per trial\n",
+                100.0 * encounters.missed_fraction.summarize().mean);
+  }
+  if (encounters.energy_per_detected.count() > 0) {
+    std::printf("  energy per detected: mean %.1f units\n",
+                encounters.energy_per_detected.summarize().mean);
+  }
+}
+
 std::string results_dir() { return "results"; }
 
 std::string json_escape(std::string_view text) {
@@ -109,6 +135,25 @@ void write_bench_json_doc(std::ostream& out, std::string_view bench_id,
                     run.fault_trials, run.mean_surviving_recall,
                     run.mean_ghost_entries, run.mean_rediscovery,
                     run.recovered_links, run.rediscovered_links);
+      out << buf;
+    }
+    if (run.encounter_trials > 0) {
+      // Encounter block for mobility runs, same brace-rewrite scheme.
+      out.seekp(-1, std::ios_base::cur);
+      std::snprintf(
+          buf, sizeof buf,
+          ", \"encounters\": {\"trials\": %zu, \"contacts\": %llu, "
+          "\"detected\": %llu, \"mean_detection_latency\": %.6g, "
+          "\"p90_detection_latency\": %.6g, "
+          "\"mean_latency_fraction\": %.6g, "
+          "\"mean_missed_fraction\": %.6g, "
+          "\"mean_energy_per_detected\": %.6g}}",
+          run.encounter_trials,
+          static_cast<unsigned long long>(run.contacts),
+          static_cast<unsigned long long>(run.detected_contacts),
+          run.mean_detection_latency, run.p90_detection_latency,
+          run.mean_latency_fraction, run.mean_missed_fraction,
+          run.mean_energy_per_detected);
       out << buf;
     }
     first = false;

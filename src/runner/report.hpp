@@ -25,6 +25,11 @@ bool print_verdict(bool ok, std::string_view what);
 /// carried no fault plan, so callers can invoke it unconditionally.
 void print_robustness(const RobustnessStats& robustness);
 
+/// Prints the encounter block (contacts detected, detection latency vs
+/// contact duration, missed fraction, energy per detected contact) for a
+/// mobility run. No-op when the run tracked no contacts.
+void print_encounters(const EncounterStats& encounters);
+
 /// Opens results/<name>.csv (creating results/ if needed) for a bench to
 /// stream rows into. Throws on failure.
 [[nodiscard]] std::ofstream open_results_csv(std::string_view name);

@@ -150,6 +150,73 @@ net::Network build_scenario(const ScenarioConfig& config, std::uint64_t seed) {
   return net::Network(std::move(topology), std::move(assignment));
 }
 
+std::unique_ptr<net::EpochTopologyProvider> build_mobility_provider(
+    const ScenarioConfig& config, const MobilitySpec& mobility,
+    std::uint64_t seed) {
+  M2HEW_CHECK_MSG(mobility.enabled, "mobility spec is disabled");
+  M2HEW_CHECK_MSG(config.topology == TopologyKind::kUnitDisk,
+                  "mobility needs a unit-disk scenario");
+  M2HEW_CHECK_MSG(config.channels == ChannelKind::kHomogeneous ||
+                      config.channels == ChannelKind::kUniformRandom ||
+                      config.channels == ChannelKind::kVariableRandom,
+                  "mobility needs a position-independent channel kind");
+  M2HEW_CHECK(mobility.epoch_slots >= 1);
+  M2HEW_CHECK_MSG(
+      mobility.duty_on >= 1 && mobility.duty_on <= mobility.duty_period,
+      "need 1 <= duty_on <= duty_period");
+
+  // Same assignment stream as build_scenario (derive(0xBEEF)); positions
+  // come from the mobility model, so the topology draw is skipped.
+  util::Rng rng(util::SeedSequence(seed).derive(0xBEEF));
+  net::ChannelAssignment assignment;
+  switch (config.channels) {
+    case ChannelKind::kHomogeneous:
+      assignment =
+          net::homogeneous_assignment(config.n, config.universe,
+                                      config.set_size);
+      break;
+    case ChannelKind::kUniformRandom:
+      assignment = net::uniform_random_assignment(config.n, config.universe,
+                                                  config.set_size, rng);
+      break;
+    case ChannelKind::kVariableRandom:
+      assignment = net::variable_size_random_assignment(
+          config.n, config.universe, config.min_size, config.max_size, rng);
+      break;
+    default:
+      M2HEW_CHECK_MSG(false, "unreachable channel kind");
+  }
+
+  net::MobilityConfig mc;
+  mc.nodes = config.n;
+  mc.side = config.ud_side;
+  mc.radius = config.ud_radius;
+  mc.speed_min = mobility.speed_min;
+  mc.speed_max = mobility.speed_max;
+  mc.pause_epochs = mobility.pause_epochs;
+  mc.epochs = mobility.epochs;
+  return std::make_unique<net::EpochTopologyProvider>(
+      mc, std::move(assignment), seed);
+}
+
+std::string describe_mobility(const MobilitySpec& mobility) {
+  if (!mobility.enabled) return "";
+  std::string text =
+      " mobility=rwp(epochs=" + std::to_string(mobility.epochs) +
+      ",epoch_slots=" + std::to_string(mobility.epoch_slots) +
+      ",speed=" + std::to_string(mobility.speed_min) + ".." +
+      std::to_string(mobility.speed_max);
+  if (mobility.pause_epochs > 0) {
+    text += ",pause<=" + std::to_string(mobility.pause_epochs);
+  }
+  text += ")";
+  if (mobility.duty_period > mobility.duty_on) {
+    text += " duty=" + std::to_string(mobility.duty_on) + "/" +
+            std::to_string(mobility.duty_period);
+  }
+  return text;
+}
+
 std::string describe(const ScenarioConfig& c) {
   auto topo = [&]() -> std::string {
     switch (c.topology) {

@@ -3,10 +3,12 @@
 // that a scenario is describable in EXPERIMENTS.md by its config alone.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <string_view>
 
 #include "net/network.hpp"
+#include "net/topology_provider.hpp"
 #include "net/types.hpp"
 #include "sim/engine_common.hpp"
 
@@ -81,6 +83,36 @@ struct ScenarioConfig {
 [[nodiscard]] net::Network build_scenario(const ScenarioConfig& config,
                                           std::uint64_t seed);
 
+/// Mobility workload riding on a scenario (ROADMAP open item 4): random
+/// waypoint over the scenario's unit-disk square, link set recomputed
+/// every `epoch_slots` slots, plus an optional duty-cycle schedule for
+/// the policies. Requires TopologyKind::kUnitDisk and a
+/// position-independent channel kind (homogeneous / uniform-random /
+/// variable-random) — build_mobility_provider CHECKs both.
+struct MobilitySpec {
+  bool enabled = false;
+  std::size_t epochs = 8;           ///< epochs in the topology schedule
+  std::uint64_t epoch_slots = 500;  ///< slots per epoch
+  double speed_min = 0.0;           ///< units per epoch
+  double speed_max = 0.05;          ///< units per epoch
+  std::uint64_t pause_epochs = 0;   ///< max pause at a reached waypoint
+  /// Duty cycle: nodes run the policy during the first `duty_on` slots of
+  /// every `duty_period` window and sleep otherwise. 1/1 = always on.
+  std::uint64_t duty_on = 1;
+  std::uint64_t duty_period = 1;
+};
+
+/// Builds the epoch topology provider for a mobile scenario: waypoint
+/// trajectories from (seed, net::kMobilityStreamSalt) streams, one channel
+/// assignment drawn exactly like build_scenario's (same derive(0xBEEF)
+/// stream), per-epoch unit-disk link sets. Engines must then be run on
+/// provider->union_network() with config.topology/epoch_length set.
+/// Unlike build_scenario there is no nonempty-span retry: an arc whose
+/// span is empty simply never becomes a discovery link, in any epoch.
+[[nodiscard]] std::unique_ptr<net::EpochTopologyProvider>
+build_mobility_provider(const ScenarioConfig& config,
+                        const MobilitySpec& mobility, std::uint64_t seed);
+
 /// One-line human-readable description for bench output.
 [[nodiscard]] std::string describe(const ScenarioConfig& config);
 
@@ -106,6 +138,10 @@ enum class SyncKernel;  // runner/trials.hpp
     const ScenarioConfig& config,
     const sim::EngineCommon<std::uint64_t>& engine, SyncKernel kernel,
     std::size_t process_workers = 0);
+
+/// Mobility suffix for report lines (" mobility=rwp(...) duty=a/b");
+/// empty when the spec is disabled, so callers append unconditionally.
+[[nodiscard]] std::string describe_mobility(const MobilitySpec& mobility);
 
 /// One-line description of a policy/algorithm name as the front ends
 /// spell it (--algorithm=/--policy= values, INI `algorithm =`): the

@@ -214,4 +214,52 @@ bool parse_faults_section(const util::IniFile& ini,
   return true;
 }
 
+bool parse_mobility_section(const util::IniFile& ini, MobilitySpec& mobility,
+                            std::string* error) {
+  if (!ini.has_section("mobility")) return true;
+  static constexpr const char* kKnown[] = {
+      "epochs",       "epoch-slots", "speed-min", "speed-max",
+      "pause-epochs", "duty-on",     "duty-period"};
+  for (const std::string& key : ini.keys("mobility")) {
+    bool known = false;
+    for (const char* k : kKnown) known |= key == k;
+    if (!known) {
+      if (error != nullptr) *error = "unknown [mobility] key '" + key + "'";
+      return false;
+    }
+  }
+  mobility.enabled = true;
+  mobility.epochs =
+      static_cast<std::size_t>(ini.get_int("mobility", "epochs", 8));
+  mobility.epoch_slots =
+      static_cast<std::uint64_t>(ini.get_int("mobility", "epoch-slots", 500));
+  mobility.speed_min = ini.get_double("mobility", "speed-min", 0.0);
+  mobility.speed_max = ini.get_double("mobility", "speed-max", 0.05);
+  mobility.pause_epochs =
+      static_cast<std::uint64_t>(ini.get_int("mobility", "pause-epochs", 0));
+  mobility.duty_on =
+      static_cast<std::uint64_t>(ini.get_int("mobility", "duty-on", 1));
+  mobility.duty_period =
+      static_cast<std::uint64_t>(ini.get_int("mobility", "duty-period", 1));
+  if (mobility.epochs < 1 || mobility.epoch_slots < 1) {
+    if (error != nullptr) {
+      *error = "[mobility] epochs and epoch-slots must be >= 1";
+    }
+    return false;
+  }
+  if (mobility.speed_min < 0.0 || mobility.speed_max < mobility.speed_min) {
+    if (error != nullptr) {
+      *error = "[mobility] need 0 <= speed-min <= speed-max";
+    }
+    return false;
+  }
+  if (mobility.duty_on < 1 || mobility.duty_on > mobility.duty_period) {
+    if (error != nullptr) {
+      *error = "[mobility] need 1 <= duty-on <= duty-period";
+    }
+    return false;
+  }
+  return true;
+}
+
 }  // namespace m2hew::runner

@@ -47,4 +47,15 @@ namespace m2hew::runner {
                                         sim::SlotFaultPlan& faults,
                                         std::string* error);
 
+/// Parses an optional `[mobility]` INI section into a MobilitySpec (and
+/// sets `enabled` when the section is present). Returns false with a
+/// one-line message in `*error` on an unknown key or out-of-range value;
+/// a missing section is a no-op success.
+///
+/// Keys: epochs, epoch-slots, speed-min, speed-max, pause-epochs, duty-on,
+/// duty-period.
+[[nodiscard]] bool parse_mobility_section(const util::IniFile& ini,
+                                         MobilitySpec& mobility,
+                                         std::string* error);
+
 }  // namespace m2hew::runner

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <vector>
 
 #include "sim/soa_kernel.hpp"
@@ -70,6 +71,26 @@ template <typename Stats>
     record.recovered_links = robust.recovered_links;
     record.rediscovered_links = robust.rediscovered_links;
   }
+  const EncounterStats& enc = stats.encounters;
+  if (enc.enabled()) {
+    record.encounter_trials = enc.trials;
+    record.contacts = enc.contacts;
+    record.detected_contacts = enc.detected;
+    if (enc.detection_latency.count() > 0) {
+      const util::Summary latency = enc.detection_latency.summarize();
+      record.mean_detection_latency = latency.mean;
+      record.p90_detection_latency = latency.p90;
+      record.mean_latency_fraction =
+          enc.latency_over_duration.summarize().mean;
+    }
+    if (enc.missed_fraction.count() > 0) {
+      record.mean_missed_fraction = enc.missed_fraction.summarize().mean;
+    }
+    if (enc.energy_per_detected.count() > 0) {
+      record.mean_energy_per_detected =
+          enc.energy_per_detected.summarize().mean;
+    }
+  }
   return record;
 }
 
@@ -77,6 +98,18 @@ using Clock = std::chrono::steady_clock;
 
 [[nodiscard]] double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Chains a per-trial encounter tracker in front of whatever on_reception
+/// hook the config already carries. The tracker must outlive the run.
+void attach_tracker(sim::SlotEngineConfig& cfg,
+                    sim::EncounterTracker& tracker) {
+  cfg.on_reception = [&tracker, inner = std::move(cfg.on_reception)](
+                         std::uint64_t slot, net::NodeId sender,
+                         net::NodeId receiver, net::ChannelId channel) {
+    tracker.on_reception(slot, sender, receiver);
+    if (inner) inner(slot, sender, receiver, channel);
+  };
 }
 
 /// Effective worker count: resolve the 0 default, never more workers than
@@ -142,6 +175,29 @@ void fold_robustness(RobustnessStats& aggregate,
   aggregate.rediscovered_links += report.rediscovered_links;
 }
 
+void fold_encounters(EncounterStats& aggregate,
+                     const sim::EncounterReport& report,
+                     double trial_energy) {
+  ++aggregate.trials;
+  aggregate.contacts += report.contacts;
+  aggregate.detected += report.detected;
+  for (const double v : report.detection_latency) {
+    aggregate.detection_latency.add(v);
+  }
+  for (const double v : report.latency_over_duration) {
+    aggregate.latency_over_duration.add(v);
+  }
+  if (report.contacts > 0) {
+    aggregate.missed_fraction.add(
+        static_cast<double>(report.contacts - report.detected) /
+        static_cast<double>(report.contacts));
+  }
+  if (report.detected > 0) {
+    aggregate.energy_per_detected.add(trial_energy /
+                                      static_cast<double>(report.detected));
+  }
+}
+
 TrialRunRecord make_sync_run_record(const SyncTrialStats& stats) {
   return make_run_record(stats, /*async=*/false, stats.completion_slots);
 }
@@ -176,18 +232,34 @@ SyncTrialStats run_sync_trials(const net::Network& network,
     bool complete = false;
     double completion_slot = 0.0;
     sim::RobustnessReport robustness;
+    sim::EncounterReport encounters;
+    double energy = 0.0;
   };
   std::vector<Outcome> outcomes(config.trials);
   dispatch_trials(config.trials, stats.threads_used, [&](std::size_t t) {
+    std::optional<sim::EncounterTracker> tracker;
+    if (config.encounters != nullptr) {
+      tracker.emplace(*config.encounters);
+      attach_tracker(engines[t], *tracker);
+    }
     const auto result = sim::run_slot_engine(network, factory, engines[t]);
     outcomes[t] = {result.complete,
                    static_cast<double>(result.completion_slot),
-                   result.robustness};
+                   result.robustness,
+                   {},
+                   0.0};
+    if (tracker.has_value()) {
+      outcomes[t].encounters = tracker->report();
+      outcomes[t].energy = sim::total_activity(result.activity).energy();
+    }
   });
 
   stats.completion_slots.reserve(config.trials);
   for (const Outcome& outcome : outcomes) {
     fold_robustness(stats.robustness, outcome.robustness);
+    if (config.encounters != nullptr) {
+      fold_encounters(stats.encounters, outcome.encounters, outcome.energy);
+    }
     if (!outcome.complete) continue;
     ++stats.completed;
     stats.completion_slots.add(outcome.completion_slot);
@@ -239,6 +311,8 @@ SyncTrialStats run_sync_trials(const net::Network& network,
     bool complete = false;
     double completion_slot = 0.0;
     sim::RobustnessReport robustness;
+    sim::EncounterReport encounters;
+    double energy = 0.0;
   };
   std::vector<Outcome> outcomes(config.trials);
   dispatch_trials(config.trials, stats.threads_used, [&](std::size_t t) {
@@ -248,6 +322,11 @@ SyncTrialStats run_sync_trials(const net::Network& network,
       kernel = std::move(idle_kernels.back());
       idle_kernels.pop_back();
     }
+    std::optional<sim::EncounterTracker> tracker;
+    if (config.encounters != nullptr) {
+      tracker.emplace(*config.encounters);
+      attach_tracker(engines[t], *tracker);
+    }
     const auto result = kernel->run(table, engines[t]);
     {
       const std::lock_guard<std::mutex> lock(kernel_mutex);
@@ -255,12 +334,21 @@ SyncTrialStats run_sync_trials(const net::Network& network,
     }
     outcomes[t] = {result.complete,
                    static_cast<double>(result.completion_slot),
-                   result.robustness};
+                   result.robustness,
+                   {},
+                   0.0};
+    if (tracker.has_value()) {
+      outcomes[t].encounters = tracker->report();
+      outcomes[t].energy = sim::total_activity(result.activity).energy();
+    }
   });
 
   stats.completion_slots.reserve(config.trials);
   for (const Outcome& outcome : outcomes) {
     fold_robustness(stats.robustness, outcome.robustness);
+    if (config.encounters != nullptr) {
+      fold_encounters(stats.encounters, outcome.encounters, outcome.energy);
+    }
     if (!outcome.complete) continue;
     ++stats.completed;
     stats.completion_slots.add(outcome.completion_slot);

@@ -14,6 +14,7 @@
 #include "core/policy_spec.hpp"
 #include "net/network.hpp"
 #include "sim/async_engine.hpp"
+#include "sim/encounter.hpp"
 #include "sim/multi_radio_engine.hpp"
 #include "sim/slot_engine.hpp"
 #include "util/stats.hpp"
@@ -67,6 +68,33 @@ struct RobustnessStats {
   }
 };
 
+/// Encounter (contact) aggregates over trials run against a time-varying
+/// topology with an sim::EncounterIndex attached
+/// (SyncTrialConfig::encounters); `trials` counts those. All Samples are
+/// filled in trial order, so parallel == serial bit-for-bit.
+struct EncounterStats {
+  std::size_t trials = 0;
+  /// Observable contacts / contacts detected at least once, summed.
+  std::uint64_t contacts = 0;
+  std::uint64_t detected = 0;
+  /// Per detected contact: slots from contact open to first reception,
+  /// and the same normalized by the contact's duration.
+  util::Samples detection_latency;
+  util::Samples latency_over_duration;
+  /// Per trial: fraction of contacts never detected.
+  util::Samples missed_fraction;
+  /// Per trial with >= 1 detection: total radio energy (RadioActivity
+  /// default costs) divided by detected-contact count.
+  util::Samples energy_per_detected;
+
+  [[nodiscard]] bool enabled() const noexcept { return trials > 0; }
+  [[nodiscard]] double detection_rate() const noexcept {
+    return contacts == 0 ? 0.0
+                         : static_cast<double>(detected) /
+                               static_cast<double>(contacts);
+  }
+};
+
 /// One completed run_sync_trials / run_async_trials call. The process
 /// keeps a log of these (in call order) so bench binaries can emit their
 /// completion statistics into the machine-readable BENCH_<id>.json
@@ -89,6 +117,17 @@ struct TrialRunRecord {
   double mean_rediscovery = 0.0;
   std::size_t recovered_links = 0;
   std::size_t rediscovered_links = 0;
+  /// Encounter aggregates, all zero unless the run tracked contacts
+  /// (EncounterStats::enabled()); means are over detected contacts or
+  /// encounter trials as documented on EncounterStats.
+  std::size_t encounter_trials = 0;
+  std::uint64_t contacts = 0;
+  std::uint64_t detected_contacts = 0;
+  double mean_detection_latency = 0.0;
+  double p90_detection_latency = 0.0;
+  double mean_latency_fraction = 0.0;
+  double mean_missed_fraction = 0.0;
+  double mean_energy_per_detected = 0.0;
 
   [[nodiscard]] double success_rate() const noexcept {
     return trials == 0 ? 0.0
@@ -109,6 +148,8 @@ struct SyncTrialStats {
   util::Samples completion_slots;
   /// Robustness aggregates from faulted trials (empty without a plan).
   RobustnessStats robustness;
+  /// Encounter aggregates (empty unless SyncTrialConfig::encounters set).
+  EncounterStats encounters;
   /// Wall-clock duration of the whole run and the worker count that
   /// produced it (throughput reporting; not part of the deterministic
   /// aggregate).
@@ -152,6 +193,11 @@ struct SyncTrialConfig {
   /// (the factory overload has no data representation to hand the SoA
   /// kernel and always runs the classic engine).
   SyncKernel kernel = SyncKernel::kEngine;
+  /// Optional contact schedule (caller-owned, must outlive the run): when
+  /// set, every trial tracks per-contact detection through the engine's
+  /// on_reception hook — chained after any hook the per_trial callback
+  /// installs — and the aggregate lands in SyncTrialStats::encounters.
+  const sim::EncounterIndex* encounters = nullptr;
 };
 
 [[nodiscard]] SyncTrialStats run_sync_trials(
@@ -176,6 +222,9 @@ struct AsyncTrialStats {
   util::Samples max_full_frames;
   /// Robustness aggregates from faulted trials (empty without a plan).
   RobustnessStats robustness;
+  /// Always empty today (contact tracking is slotted-only); present so the
+  /// shared run-record reduction treats both stats types uniformly.
+  EncounterStats encounters;
   /// Throughput fields; see SyncTrialStats.
   double elapsed_seconds = 0.0;
   std::size_t threads_used = 1;
@@ -235,6 +284,11 @@ struct MultiRadioTrialConfig {
 /// order: the retained Samples preserve insertion order.
 void fold_robustness(RobustnessStats& aggregate,
                      const sim::RobustnessReport& report);
+
+/// Folds one trial's encounter report (plus the trial's total radio
+/// energy under the default costs) into the aggregate, in trial order.
+void fold_encounters(EncounterStats& aggregate,
+                     const sim::EncounterReport& report, double trial_energy);
 
 /// Builds the run-log entry for a finished slotted aggregate.
 [[nodiscard]] TrialRunRecord make_sync_run_record(const SyncTrialStats& stats);

@@ -9,12 +9,16 @@
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
+#include <memory>
+#include <optional>
 #include <string_view>
 
 #include "core/adaptive.hpp"
 #include "core/algorithms.hpp"
 #include "core/competitors.hpp"
+#include "core/duty_cycle.hpp"
 #include "core/policy_spec.hpp"
+#include "net/topology_provider.hpp"
 #include "service/daemon.hpp"
 #include "runner/scenario_kv.hpp"
 #include "runner/streaming.hpp"
@@ -84,9 +88,13 @@ void run_trial_subset(
     }
     return;
   }
-  const sim::SyncPolicyFactory factory =
+  // Duty cycling wraps policy objects, so it rides the factory path only;
+  // parse_sweep_spec rejects duty-cycled SoA specs.
+  const sim::SyncPolicyFactory factory = core::with_duty_cycle(
       pspec != nullptr ? core::make_policy_factory(*pspec)
-                       : make_factory(spec);
+                       : make_factory(spec),
+      spec.mobility.enabled ? spec.mobility.duty_on : 1,
+      spec.mobility.enabled ? spec.mobility.duty_period : 1);
   for (const std::size_t t : indices) {
     sim::SlotEngineConfig engine = engine_base;
     engine.seed = seeds.derive(t);
@@ -254,10 +262,27 @@ bool run_sweep(const SweepSpec& spec, std::size_t workers,
     }
     if (!validate_buildable(scenario, error)) return false;
 
-    const net::Network network = runner::build_scenario(scenario, spec.seed);
+    // Mobile specs run every engine on the provider's union network; the
+    // per-epoch link sets ride along inside the engine config. The daemon
+    // reports completion/robustness only (encounter metrics are a batch
+    // front-end feature — the wire format stays unchanged).
+    std::unique_ptr<net::EpochTopologyProvider> provider;
+    std::optional<net::Network> static_network;
+    if (spec.mobility.enabled) {
+      provider =
+          runner::build_mobility_provider(scenario, spec.mobility, spec.seed);
+    } else {
+      static_network.emplace(runner::build_scenario(scenario, spec.seed));
+    }
+    const net::Network& network =
+        provider != nullptr ? provider->union_network() : *static_network;
     sim::SlotEngineConfig engine;
     engine.max_slots = spec.max_slots;
     engine.faults = spec.faults;
+    if (provider != nullptr) {
+      engine.topology = provider.get();
+      engine.epoch_length = spec.mobility.epoch_slots;
+    }
 
     runner::SyncTrialStats stats;
     // Never more processes than trials: surplus shards would be empty.
@@ -270,10 +295,27 @@ bool run_sweep(const SweepSpec& spec, std::size_t workers,
       trial.threads = 1;  // the service's unit of fan-out is the process
       trial.engine = engine;
       trial.kernel = spec.kernel;
-      stats = spec_algorithm
-                  ? runner::run_sync_trials(network, pspec, trial)
-                  : runner::run_sync_trials(network, make_factory(spec),
-                                            trial);
+      const bool duty_cycled =
+          spec.mobility.enabled &&
+          spec.mobility.duty_on != spec.mobility.duty_period;
+      if (duty_cycled) {
+        // Duty cycling wraps policy objects, so route spec algorithms
+        // through the factory path (parse rejects duty-cycled SoA specs;
+        // the spec overload below would bypass the wrapper).
+        stats = runner::run_sync_trials(
+            network,
+            core::with_duty_cycle(spec_algorithm
+                                      ? core::make_policy_factory(pspec)
+                                      : make_factory(spec),
+                                  spec.mobility.duty_on,
+                                  spec.mobility.duty_period),
+            trial);
+      } else {
+        stats = spec_algorithm
+                    ? runner::run_sync_trials(network, pspec, trial)
+                    : runner::run_sync_trials(network, make_factory(spec),
+                                              trial);
+      }
     } else {
       const bool soa = spec.kernel == runner::SyncKernel::kSoa;
       sim::SoaPolicyTable table;

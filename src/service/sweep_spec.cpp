@@ -170,6 +170,17 @@ std::string SweepSpec::canonical() const {
     emit_f64(out, "burst-p-bg", faults.burst_loss.p_bad_to_good);
     emit_f64(out, "burst-loss-good", faults.burst_loss.loss_good);
   }
+
+  out += "[mobility]\n";
+  if (mobility.enabled) {
+    emit_u64(out, "epochs", mobility.epochs);
+    emit_u64(out, "epoch-slots", mobility.epoch_slots);
+    emit_f64(out, "speed-min", mobility.speed_min);
+    emit_f64(out, "speed-max", mobility.speed_max);
+    emit_u64(out, "pause-epochs", mobility.pause_epochs);
+    emit_u64(out, "duty-on", mobility.duty_on);
+    emit_u64(out, "duty-period", mobility.duty_period);
+  }
   return out;
 }
 
@@ -179,10 +190,10 @@ bool parse_sweep_spec(const util::IniFile& ini, SweepSpec& spec,
 
   for (const std::string& section : ini.section_names()) {
     if (section != "experiment" && section != "scenario" &&
-        section != "faults") {
+        section != "faults" && section != "mobility") {
       *error = section.empty()
                    ? "keys outside any section (expected [experiment], "
-                     "[scenario] or [faults])"
+                     "[scenario], [faults] or [mobility])"
                    : "unknown section [" + section + "]";
       return false;
     }
@@ -306,6 +317,36 @@ bool parse_sweep_spec(const util::IniFile& ini, SweepSpec& spec,
   }
 
   if (!runner::parse_faults_section(ini, spec.faults, error)) return false;
+
+  if (!runner::parse_mobility_section(ini, spec.mobility, error)) {
+    return false;
+  }
+  if (spec.mobility.enabled) {
+    // Mobile specs fail at submission, not mid-sweep: the provider needs
+    // the unit-disk square and a position-independent channel assignment,
+    // and duty cycling wraps policy objects (engine kernel only).
+    if (spec.scenario.topology != runner::TopologyKind::kUnitDisk) {
+      *error = "[mobility] requires [scenario] topology = unit-disk";
+      return false;
+    }
+    if (spec.scenario.channels != runner::ChannelKind::kHomogeneous &&
+        spec.scenario.channels != runner::ChannelKind::kUniformRandom &&
+        spec.scenario.channels != runner::ChannelKind::kVariableRandom) {
+      *error = "[mobility] requires [scenario] channels = "
+               "homogeneous|uniform|variable";
+      return false;
+    }
+    if (spec.kernel == runner::SyncKernel::kSoa &&
+        spec.mobility.duty_on != spec.mobility.duty_period) {
+      *error = "[mobility] duty cycling (duty-on < duty-period) requires "
+               "kernel = engine";
+      return false;
+    }
+    if (spec.sweep_key == "topology" || spec.sweep_key == "channels") {
+      *error = "[mobility] cannot sweep the topology/channel kind";
+      return false;
+    }
+  }
   return true;
 }
 

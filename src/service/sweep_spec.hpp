@@ -43,6 +43,10 @@ struct SweepSpec {
   std::vector<double> sweep_values;  ///< one 0.0 entry when no sweep-key
   runner::ScenarioConfig scenario;
   sim::SlotFaultPlan faults;
+  /// Optional [mobility] section (random-waypoint epoch dynamics). When
+  /// enabled the runner builds an epoch topology provider per point and
+  /// reports encounter metrics alongside completion statistics.
+  runner::MobilitySpec mobility;
 
   /// Deterministic rendering of every effective field, fixed order,
   /// hexfloat doubles. This — not the submitted file text — is what gets

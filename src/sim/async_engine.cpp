@@ -136,6 +136,12 @@ AsyncEngineResult run_async_engine(const net::Network& network,
   const double slot_local_len =
       config.frame_length / static_cast<double>(config.slots_per_frame);
 
+  // Time-varying topology: a listening frame resolves against the link set
+  // of the epoch its frame STARTS in (frames are not split at epoch
+  // boundaries — see docs/MODEL.md "Time-varying topology & mobility").
+  const net::TopologyProvider* provider =
+      topology_provider_of(config, network);
+
   while (!queue.empty()) {
     const Event ev = queue.top();
     queue.pop();
@@ -219,6 +225,10 @@ AsyncEngineResult run_async_engine(const net::Network& network,
         node.history[static_cast<std::size_t>(ev.frame_seq - node.base_seq)];
     const net::ChannelId c = g.channel;
     const net::NodeId u = ev.node;
+    const net::Network& adj =
+        provider != nullptr
+            ? provider->epoch(epoch_at(*provider, config.epoch_length, g.start))
+            : network;
 
     // Collect all in-neighbor transmissions on c that overlap g and whose
     // arc to u actually carries c (a transmission that does not propagate
@@ -245,7 +255,7 @@ AsyncEngineResult run_async_engine(const net::Network& network,
         if (entry.frame.start >= g.end || entry.frame.end <= g.start) {
           continue;
         }
-        const net::ChannelSet* span = network.in_span(entry.sender, u);
+        const net::ChannelSet* span = adj.in_span(entry.sender, u);
         if (span == nullptr || !span->contains(c)) continue;
         bursts.push_back({entry.sender, &entry.frame});
       }
@@ -256,7 +266,7 @@ AsyncEngineResult run_async_engine(const net::Network& network,
                              : a.frame->start < b.frame->start;
                 });
     } else {
-      for (const net::Network::InLink& in : network.in_links(u)) {
+      for (const net::Network::InLink& in : adj.in_links(u)) {
         if (!in.span->contains(c)) continue;
         for (const FrameRecord& f : nodes[in.from].history) {
           if (f.mode != Mode::kTransmit || f.channel != c) continue;

@@ -1,0 +1,108 @@
+#include "sim/encounter.hpp"
+
+#include <algorithm>
+
+#include "net/network.hpp"
+#include "util/check.hpp"
+
+namespace m2hew::sim {
+
+EncounterIndex::EncounterIndex(const net::TopologyProvider& provider,
+                               std::uint64_t epoch_slots,
+                               std::uint64_t max_slots) {
+  M2HEW_CHECK(epoch_slots >= 1 && max_slots >= 1);
+  const net::Network& u_net = provider.union_network();
+  const net::NodeId n = u_net.node_count();
+  const std::size_t epochs = provider.epoch_count();
+
+  arc_off_.reserve(static_cast<std::size_t>(n) + 1);
+  arc_off_.push_back(0);
+  for (net::NodeId u = 0; u < n; ++u) {
+    for (const net::Network::InLink& in : u_net.in_links(u)) {
+      arc_src_.push_back(in.from);
+      // Walk the epoch schedule for this arc, closing a contact at every
+      // active→absent transition (or at the schedule's end).
+      std::uint64_t run_start = 0;
+      bool in_run = false;
+      for (std::size_t e = 0; e < epochs; ++e) {
+        const bool active = provider.epoch(e).in_span(in.from, u) != nullptr;
+        if (active && !in_run) {
+          in_run = true;
+          run_start = static_cast<std::uint64_t>(e) * epoch_slots;
+        } else if (!active && in_run) {
+          in_run = false;
+          const std::uint64_t run_end =
+              static_cast<std::uint64_t>(e) * epoch_slots;
+          if (run_start < max_slots) {
+            contacts_.push_back({run_start, std::min(run_end, max_slots)});
+          }
+        }
+      }
+      if (in_run) {
+        // The last epoch extends to the end of the trial budget (runs
+        // longer than the schedule stay on the final epoch).
+        if (run_start < max_slots) contacts_.push_back({run_start, max_slots});
+      }
+      contact_off_.push_back(contacts_.size());
+    }
+    arc_off_.push_back(arc_src_.size());
+  }
+  contact_off_.insert(contact_off_.begin(), 0);
+}
+
+std::size_t EncounterIndex::contact_at(net::NodeId sender,
+                                       net::NodeId receiver,
+                                       std::uint64_t slot) const {
+  const auto begin =
+      arc_src_.begin() + static_cast<std::ptrdiff_t>(arc_off_[receiver]);
+  const auto end =
+      arc_src_.begin() + static_cast<std::ptrdiff_t>(arc_off_[receiver + 1]);
+  const auto it = std::lower_bound(begin, end, sender);
+  if (it == end || *it != sender) return npos;
+  const auto arc = static_cast<std::size_t>(it - arc_src_.begin());
+
+  // Last contact of this arc starting at or before `slot`.
+  const auto c_begin =
+      contacts_.begin() + static_cast<std::ptrdiff_t>(contact_off_[arc]);
+  const auto c_end =
+      contacts_.begin() + static_cast<std::ptrdiff_t>(contact_off_[arc + 1]);
+  const auto c = std::upper_bound(
+      c_begin, c_end, slot,
+      [](std::uint64_t s, const Contact& contact) {
+        return s < contact.start_slot;
+      });
+  if (c == c_begin) return npos;
+  const auto idx = static_cast<std::size_t>((c - 1) - contacts_.begin());
+  return slot < contacts_[idx].end_slot ? idx : npos;
+}
+
+EncounterTracker::EncounterTracker(const EncounterIndex& index)
+    : index_(&index), first_detection_(index.contact_count(), -1.0) {}
+
+void EncounterTracker::on_reception(std::uint64_t slot, net::NodeId sender,
+                                    net::NodeId receiver) {
+  const std::size_t c = index_->contact_at(sender, receiver, slot);
+  if (c == EncounterIndex::npos) return;  // reception outside any contact
+  if (first_detection_[c] < 0.0) {
+    first_detection_[c] = static_cast<double>(slot);
+  }
+}
+
+EncounterReport EncounterTracker::report() const {
+  EncounterReport r;
+  const std::vector<Contact>& contacts = index_->contacts();
+  r.contacts = contacts.size();
+  for (std::size_t c = 0; c < contacts.size(); ++c) {
+    if (first_detection_[c] < 0.0) continue;
+    ++r.detected;
+    const double latency =
+        first_detection_[c] - static_cast<double>(contacts[c].start_slot);
+    const double duration = static_cast<double>(contacts[c].end_slot -
+                                                contacts[c].start_slot);
+    r.detection_latency.push_back(latency);
+    r.latency_over_duration.push_back(latency / duration);
+  }
+  return r;
+}
+
+}  // namespace m2hew::sim

@@ -8,11 +8,14 @@
 // all engines share.
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <type_traits>
 #include <vector>
 
+#include "net/topology_provider.hpp"
 #include "net/types.hpp"
 #include "sim/discovery_state.hpp"
 #include "sim/energy.hpp"
@@ -71,6 +74,18 @@ struct EngineCommon {
   /// sim/fault_plan.hpp. The default (all disabled) is the paper's static
   /// network and is guaranteed not to perturb any random stream.
   FaultPlan<Time> faults;
+
+  /// Optional time-varying topology (net/topology_provider.hpp). When set,
+  /// the Network the engine was handed must be the provider's
+  /// union_network(); arcs carry traffic only while present in the
+  /// current epoch. Null = the handed Network is static (today's path).
+  const net::TopologyProvider* topology = nullptr;
+
+  /// Epoch duration: slots (slotted engines) or real time (async engine)
+  /// per epoch. Epoch e spans [e·epoch_length, (e+1)·epoch_length); runs
+  /// longer than epoch_count() epochs stay on the last epoch. Must be > 0
+  /// whenever `topology` has more than one epoch.
+  Time epoch_length{};
 };
 
 /// The slotted engines' common config (slot, multi-radio).
@@ -90,6 +105,36 @@ inline void validate_engine_common(const EngineCommon<Time>& config,
     for (const Time start : config.starts) M2HEW_CHECK(start >= Time{0});
   }
   validate_fault_plan(config.faults, nodes, config.loss_probability);
+}
+
+/// Resolves the topology provider an engine should run against, checking
+/// the contract that the engine's Network is the provider's union: the
+/// engine's discovery state, policies and completion test all live on the
+/// union network, while the provider's epoch(e) gates which arcs carry
+/// traffic. Returns null for the static single-epoch fast path (no
+/// provider, or a provider whose single epoch IS the engine network).
+template <typename Time>
+[[nodiscard]] inline const net::TopologyProvider* topology_provider_of(
+    const EngineCommon<Time>& config, const net::Network& network) {
+  if (config.topology == nullptr) return nullptr;
+  M2HEW_CHECK_MSG(&config.topology->union_network() == &network,
+                  "engine must be built on the provider's union network");
+  if (config.topology->epoch_count() == 1 &&
+      &config.topology->epoch(0) == &network) {
+    return nullptr;  // static case: the union is the only epoch
+  }
+  M2HEW_CHECK_MSG(config.epoch_length > Time{},
+                  "multi-epoch topology needs a positive epoch_length");
+  return config.topology;
+}
+
+/// Epoch index in force at time `t`: floor(t / epoch_length), clamped to
+/// the provider's last epoch.
+template <typename Time>
+[[nodiscard]] inline std::size_t epoch_at(const net::TopologyProvider& provider,
+                                          Time epoch_length, Time t) {
+  const auto e = static_cast<std::size_t>(t / epoch_length);
+  return std::min(e, provider.epoch_count() - 1);
 }
 
 /// Start time of node `u` under a (possibly empty) start schedule.

@@ -39,8 +39,17 @@ MultiRadioEngineResult run_multi_radio_engine(
   // Per-node channel usage scratch for validating radio distinctness.
   std::vector<net::ChannelId> used;
 
+  // Time-varying topology: `cur` is the link set in force this slot,
+  // swapped at epoch boundaries (see run_slot_engine).
+  const net::TopologyProvider* provider =
+      topology_provider_of(config, network);
+  const net::Network* cur = &network;
+
   for (std::uint64_t slot = 0; slot < config.max_slots; ++slot) {
     ++result.slots_executed;
+    if (provider != nullptr) {
+      cur = &provider->epoch(epoch_at(*provider, config.epoch_length, slot));
+    }
 
     for (net::NodeId u = 0; u < n; ++u) {
       if (slot < start_of(config.starts, u) || faults.down_at(u, slot)) {
@@ -122,9 +131,9 @@ MultiRadioEngineResult run_multi_radio_engine(
 
         const SlotMedium::Resolution heard =
             config.indexed_reception
-                ? medium.resolve(network, u, c)
+                ? medium.resolve(*cur, u, c)
                 : SlotMedium::resolve_reference(
-                      network, u, c, [&](net::NodeId v) {
+                      *cur, u, c, [&](net::NodeId v) {
                         for (const SlotAction& theirs : actions[v]) {
                           if (theirs.mode == Mode::kTransmit &&
                               theirs.channel == c) {

@@ -33,8 +33,18 @@ SlotEngineResult run_slot_engine(const net::Network& network,
   std::vector<SlotAction> actions(n);
   SlotMedium medium(network.universe_size(), config.indexed_reception);
 
+  // Time-varying topology: `cur` is the link set in force this slot,
+  // swapped at epoch boundaries. Policies, discovery state and completion
+  // stay on the union `network`; only reception resolution sees `cur`.
+  const net::TopologyProvider* provider =
+      topology_provider_of(config, network);
+  const net::Network* cur = &network;
+
   for (std::uint64_t slot = 0; slot < config.max_slots; ++slot) {
     ++result.slots_executed;
+    if (provider != nullptr) {
+      cur = &provider->epoch(epoch_at(*provider, config.epoch_length, slot));
+    }
 
     for (net::NodeId u = 0; u < n; ++u) {
       if (slot >= start_of(config.starts, u) && !faults.down_at(u, slot)) {
@@ -98,9 +108,9 @@ SlotEngineResult run_slot_engine(const net::Network& network,
 
       const SlotMedium::Resolution heard =
           config.indexed_reception
-              ? medium.resolve(network, u, c)
+              ? medium.resolve(*cur, u, c)
               : SlotMedium::resolve_reference(
-                    network, u, c, [&](net::NodeId v) {
+                    *cur, u, c, [&](net::NodeId v) {
                       return actions[v].mode == Mode::kTransmit &&
                              actions[v].channel == c;
                     });

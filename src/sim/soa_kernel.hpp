@@ -76,12 +76,18 @@ class SoaSlotKernel {
   /// Runs one trial. `config.indexed_reception` is ignored (the kernel has
   /// a single reception path, bit-identical to both engine paths); every
   /// other knob — seed, loss, interference, starts, faults, max_slots,
-  /// stop_when_complete, on_reception — behaves exactly as in
-  /// run_slot_engine.
+  /// stop_when_complete, on_reception, topology/epoch_length — behaves
+  /// exactly as in run_slot_engine. With a multi-epoch provider the kernel
+  /// must have been flattened from the provider's union network.
   [[nodiscard]] SoaSlotKernelResult run(const SoaPolicyTable& table,
                                         const SlotEngineConfig& config);
 
  private:
+  /// Rebuilds the per-arc epoch-activity mask for `e` (cached on
+  /// (provider, epoch), so consecutive slots of one epoch — and repeated
+  /// trials over the same provider — pay nothing).
+  void refresh_active(const net::TopologyProvider& provider, std::size_t e);
+
   const net::Network* network_;
   net::NodeId n_ = 0;
   std::size_t span_stride_ = 0;  // words per span slice
@@ -103,6 +109,15 @@ class SoaSlotKernel {
   /// Consistent-hop channel law only: node-local active-slot clock
   /// (resets with the policy on churn recovery, like a fresh oracle).
   std::vector<std::uint64_t> hop_clock_;
+
+  /// Time-varying topology support (config.topology set): the kernel's
+  /// CSR stays flattened from the UNION network; this per-arc byte mask
+  /// marks which union arcs exist in the cached epoch. Sized lazily at
+  /// the first multi-epoch run, then reused — the slot loop itself never
+  /// allocates.
+  std::vector<std::uint8_t> active_;
+  const net::TopologyProvider* active_provider_ = nullptr;
+  std::size_t active_epoch_ = 0;
 };
 
 /// One-shot convenience wrapper: flatten, run one trial, return.

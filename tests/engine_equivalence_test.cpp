@@ -17,14 +17,19 @@
 
 #include "core/adaptive.hpp"
 #include "core/algorithms.hpp"
+#include "core/duty_cycle.hpp"
+#include "core/multi_radio.hpp"
 #include "core/termination.hpp"
 #include "net/channel_assign.hpp"
+#include "net/mobility.hpp"
 #include "net/primary_user.hpp"
 #include "net/propagation.hpp"
 #include "net/topology_gen.hpp"
+#include "net/topology_provider.hpp"
 #include "sim/async_engine.hpp"
 #include "sim/clock.hpp"
 #include "sim/fault_plan.hpp"
+#include "sim/multi_radio_engine.hpp"
 #include "sim/slot_engine.hpp"
 #include "util/rng.hpp"
 
@@ -266,6 +271,167 @@ TEST_P(EngineEquivalence, AsyncEngineIndexedMatchesReference) {
   EXPECT_DOUBLE_EQ(a.t_s, b.t_s);
   EXPECT_EQ(a.frames_started, b.frames_started);
   EXPECT_EQ(a.full_frames_since_ts, b.full_frames_since_ts);
+  expect_same_activity(a.activity, b.activity);
+  expect_same_state(network, a.state, b.state);
+  expect_same_robustness(a.robustness, b.robustness);
+}
+
+// A moving epoch schedule for the dynamic-topology legs below: the
+// indexed/reference contract must also hold while the engines swap
+// adjacency at epoch boundaries (net/topology_provider.hpp) — both paths
+// filter receptions through the same per-epoch network.
+[[nodiscard]] net::MobilityConfig mobility_config(std::uint64_t seed,
+                                                  net::NodeId n) {
+  net::MobilityConfig config;
+  config.nodes = n;
+  config.side = 1.0;
+  config.radius = 0.45;
+  config.speed_min = 0.02;
+  config.speed_max = 0.05 + 0.05 * static_cast<double>(seed % 3);
+  config.pause_epochs = seed % 2;
+  config.epochs = 3 + seed % 3;
+  return config;
+}
+
+TEST_P(EngineEquivalence, SlotEngineEpochScheduleIndexedMatchesReference) {
+  const std::uint64_t seed = GetParam() + soak_offset();
+  util::Rng rng(seed ^ 0xE90);
+  const auto n = static_cast<net::NodeId>(10 + 4 * (seed % 3));
+  const auto assignment = net::uniform_random_assignment(n, 6, 3, rng);
+  const net::EpochTopologyProvider provider(mobility_config(seed, n),
+                                            assignment, seed);
+  const net::Network& network = provider.union_network();
+
+  sim::SlotEngineConfig config;
+  config.max_slots = 400;
+  config.seed = seed;
+  config.stop_when_complete = (seed % 2) != 0;
+  config.loss_probability = (seed % 3 == 1) ? 0.25 : 0.0;
+  if (seed % 2 == 0) {
+    config.interference = [](std::uint64_t slot, net::NodeId node,
+                             net::ChannelId c) {
+      return pseudo_pu(slot, node, c);
+    };
+  }
+  config.starts.assign(n, 0);
+  for (auto& s : config.starts) s = rng.uniform(25);
+  config.faults = make_fault_plan<std::uint64_t>(seed, n, 400.0);
+  if (config.faults.burst_loss.enabled) config.loss_probability = 0.0;
+  config.topology = &provider;
+  config.epoch_length = 60 + 20 * (seed % 3);
+
+  // Half the seeds run duty-cycled (the contact-tracing configuration):
+  // off-slot quiescence must be identical on both reception paths too.
+  sim::SyncPolicyFactory factory = (seed % 2 == 0)
+                                       ? core::make_algorithm3(8)
+                                       : core::make_algorithm2();
+  if (seed % 2 == 0) {
+    factory = core::with_duty_cycle(std::move(factory), 1, 1 + seed % 3);
+  }
+
+  sim::SlotEngineConfig indexed = config;
+  indexed.indexed_reception = true;
+  sim::SlotEngineConfig reference = config;
+  reference.indexed_reception = false;
+
+  const auto a = sim::run_slot_engine(network, factory, indexed);
+  const auto b = sim::run_slot_engine(network, factory, reference);
+
+  EXPECT_EQ(a.complete, b.complete);
+  EXPECT_EQ(a.completion_slot, b.completion_slot);
+  EXPECT_EQ(a.slots_executed, b.slots_executed);
+  expect_same_activity(a.activity, b.activity);
+  expect_same_state(network, a.state, b.state);
+  expect_same_robustness(a.robustness, b.robustness);
+}
+
+TEST_P(EngineEquivalence, AsyncEngineEpochScheduleIndexedMatchesReference) {
+  const std::uint64_t seed = GetParam() + soak_offset();
+  util::Rng rng(seed ^ 0xE91);
+  const auto n = static_cast<net::NodeId>(8 + 4 * (seed % 2));
+  const auto assignment = net::uniform_random_assignment(n, 6, 3, rng);
+  const net::EpochTopologyProvider provider(mobility_config(seed, n),
+                                            assignment, seed);
+  const net::Network& network = provider.union_network();
+
+  sim::AsyncEngineConfig config;
+  config.frame_length = 3.0;
+  config.slots_per_frame = 3;
+  config.max_real_time = 400.0;
+  config.max_frames_per_node = 4000;
+  config.seed = seed;
+  config.stop_when_complete = (seed % 2) == 0;
+  config.loss_probability = (seed % 3 == 2) ? 0.2 : 0.0;
+  config.starts.assign(n, 0.0);
+  for (auto& t : config.starts) t = rng.uniform_double() * 10.0;
+  config.faults = make_fault_plan<double>(seed, n, 400.0);
+  if (config.faults.burst_loss.enabled) config.loss_probability = 0.0;
+  config.clock_builder = [](net::NodeId, std::uint64_t clock_seed) {
+    sim::PiecewiseDriftClock::Config drift;
+    drift.max_drift = 0.1;
+    drift.min_segment = 10.0;
+    drift.max_segment = 40.0;
+    return std::make_unique<sim::PiecewiseDriftClock>(drift, clock_seed);
+  };
+  config.topology = &provider;
+  config.epoch_length = 40.0 + 15.0 * static_cast<double>(seed % 2);
+
+  const sim::AsyncPolicyFactory factory =
+      (seed % 2 == 0) ? core::make_algorithm4(6)
+                      : core::with_termination(core::make_algorithm4(4), 80);
+
+  sim::AsyncEngineConfig indexed = config;
+  indexed.indexed_reception = true;
+  sim::AsyncEngineConfig reference = config;
+  reference.indexed_reception = false;
+
+  const auto a = sim::run_async_engine(network, factory, indexed);
+  const auto b = sim::run_async_engine(network, factory, reference);
+
+  EXPECT_EQ(a.complete, b.complete);
+  EXPECT_DOUBLE_EQ(a.completion_time, b.completion_time);
+  EXPECT_DOUBLE_EQ(a.t_s, b.t_s);
+  EXPECT_EQ(a.frames_started, b.frames_started);
+  expect_same_activity(a.activity, b.activity);
+  expect_same_state(network, a.state, b.state);
+  expect_same_robustness(a.robustness, b.robustness);
+}
+
+TEST_P(EngineEquivalence, MultiRadioEpochScheduleIndexedMatchesReference) {
+  const std::uint64_t seed = GetParam() + soak_offset();
+  util::Rng rng(seed ^ 0xE92);
+  const auto n = static_cast<net::NodeId>(10 + 2 * (seed % 3));
+  const auto assignment = net::uniform_random_assignment(n, 6, 3, rng);
+  const net::EpochTopologyProvider provider(mobility_config(seed, n),
+                                            assignment, seed);
+  const net::Network& network = provider.union_network();
+
+  sim::MultiRadioEngineConfig config;
+  config.max_slots = 300;
+  config.seed = seed;
+  config.stop_when_complete = (seed % 2) != 0;
+  config.loss_probability = (seed % 3 == 1) ? 0.2 : 0.0;
+  config.starts.assign(n, 0);
+  for (auto& s : config.starts) s = rng.uniform(20);
+  config.faults = make_fault_plan<std::uint64_t>(seed, n, 300.0);
+  if (config.faults.burst_loss.enabled) config.loss_probability = 0.0;
+  config.topology = &provider;
+  config.epoch_length = 50 + 25 * (seed % 2);
+
+  const sim::MultiRadioPolicyFactory factory =
+      core::make_multi_radio_alg3(1 + static_cast<unsigned>(seed % 2), 8);
+
+  sim::MultiRadioEngineConfig indexed = config;
+  indexed.indexed_reception = true;
+  sim::MultiRadioEngineConfig reference = config;
+  reference.indexed_reception = false;
+
+  const auto a = sim::run_multi_radio_engine(network, factory, indexed);
+  const auto b = sim::run_multi_radio_engine(network, factory, reference);
+
+  EXPECT_EQ(a.complete, b.complete);
+  EXPECT_EQ(a.completion_slot, b.completion_slot);
+  EXPECT_EQ(a.slots_executed, b.slots_executed);
   expect_same_activity(a.activity, b.activity);
   expect_same_state(network, a.state, b.state);
   expect_same_robustness(a.robustness, b.robustness);

@@ -16,8 +16,10 @@
 
 #include "core/policy_spec.hpp"
 #include "net/channel_assign.hpp"
+#include "net/mobility.hpp"
 #include "net/propagation.hpp"
 #include "net/topology_gen.hpp"
+#include "net/topology_provider.hpp"
 #include "runner/trials.hpp"
 #include "sim/fault_plan.hpp"
 #include "sim/slot_engine.hpp"
@@ -199,6 +201,70 @@ TEST_P(SoaKernelEquivalence, MatchesSlotEngineBitExactly) {
             static_cast<std::size_t>(soa.receptions));
   EXPECT_EQ(network.links().size(),
             static_cast<std::size_t>(soa.total_links));
+  for (const net::Link link : network.links()) {
+    ASSERT_EQ(engine.state.is_covered(link), soa.is_covered(link))
+        << "link " << link.from << "->" << link.to;
+    if (engine.state.is_covered(link)) {
+      EXPECT_DOUBLE_EQ(engine.state.first_coverage_time(link),
+                       soa.first_coverage_slot(link))
+          << "link " << link.from << "->" << link.to;
+    }
+  }
+
+  expect_same_robustness(engine.robustness, soa.robustness);
+}
+
+// The dynamic-topology leg: under a moving epoch schedule the kernel
+// filters its immutable union CSR through the per-epoch active-arc mask;
+// the oracle swaps whole adjacency views. Identity must survive the
+// filter — same candidate order, same RNG draws, same receptions.
+TEST_P(SoaKernelEquivalence, MatchesSlotEngineUnderEpochSchedule) {
+  const std::uint64_t seed = GetParam() + soak_offset();
+  util::Rng rng(seed ^ 0x50B);
+  const auto n = static_cast<net::NodeId>(12 + 4 * (seed % 4));
+
+  net::MobilityConfig mobility;
+  mobility.nodes = n;
+  mobility.side = 1.0;
+  mobility.radius = 0.45;
+  mobility.speed_min = 0.02;
+  mobility.speed_max = 0.05 + 0.05 * static_cast<double>(seed % 3);
+  mobility.pause_epochs = seed % 2;
+  mobility.epochs = 3 + seed % 3;
+  const auto assignment =
+      (seed % 3 == 0)
+          ? net::variable_size_random_assignment(n, 7, 2, 5, rng)
+          : net::uniform_random_assignment(n, 6, 3, rng);
+  const net::EpochTopologyProvider provider(mobility, assignment, seed);
+  const net::Network& network = provider.union_network();
+
+  const core::SyncPolicySpec spec = spec_for(seed);
+  sim::SlotEngineConfig config = random_config(seed, n, rng);
+  config.topology = &provider;
+  config.epoch_length = 50 + 25 * (seed % 3);
+
+  const auto engine =
+      sim::run_slot_engine(network, core::make_policy_factory(spec), config);
+  const auto soa = sim::run_soa_slot_kernel(
+      network, core::build_soa_policy_table(network, spec), config);
+
+  EXPECT_EQ(engine.complete, soa.complete);
+  EXPECT_EQ(engine.completion_slot, soa.completion_slot);
+  EXPECT_EQ(engine.slots_executed, soa.slots_executed);
+
+  ASSERT_EQ(engine.activity.size(), soa.activity.size());
+  for (std::size_t u = 0; u < engine.activity.size(); ++u) {
+    EXPECT_EQ(engine.activity[u].transmit, soa.activity[u].transmit)
+        << "node " << u;
+    EXPECT_EQ(engine.activity[u].receive, soa.activity[u].receive)
+        << "node " << u;
+    EXPECT_EQ(engine.activity[u].quiet, soa.activity[u].quiet) << "node " << u;
+  }
+
+  EXPECT_EQ(engine.state.covered_links(),
+            static_cast<std::size_t>(soa.covered_links));
+  EXPECT_EQ(engine.state.reception_count(),
+            static_cast<std::size_t>(soa.receptions));
   for (const net::Link link : network.links()) {
     ASSERT_EQ(engine.state.is_covered(link), soa.is_covered(link))
         << "link " << link.from << "->" << link.to;

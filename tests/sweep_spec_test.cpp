@@ -142,6 +142,126 @@ TEST(SweepSpec, HashCoversBinaryVersion) {
   EXPECT_EQ(scenario_hash(spec), before);  // env restored -> key restored
 }
 
+constexpr const char* kMobileSpec = R"(
+[experiment]
+name = mobile_test
+algorithm = alg3
+delta-est = 8
+trials = 4
+seed = 3
+max-slots = 2000
+sweep-key = ud-radius
+sweep-values = 0.3 0.4
+
+[scenario]
+topology = unit-disk
+channels = uniform
+n = 12
+universe = 8
+set-size = 4
+
+[mobility]
+epochs = 4
+epoch-slots = 100
+speed-min = 0.01
+speed-max = 0.05
+pause-epochs = 1
+duty-on = 1
+duty-period = 2
+)";
+
+TEST(SweepSpec, MobilityParsesAndCanonicalizes) {
+  const SweepSpec spec = parse_or_die(kMobileSpec);
+  EXPECT_TRUE(spec.mobility.enabled);
+  EXPECT_EQ(spec.mobility.epochs, 4u);
+  EXPECT_EQ(spec.mobility.epoch_slots, 100u);
+  EXPECT_DOUBLE_EQ(spec.mobility.speed_min, 0.01);
+  EXPECT_DOUBLE_EQ(spec.mobility.speed_max, 0.05);
+  EXPECT_EQ(spec.mobility.pause_epochs, 1u);
+  EXPECT_EQ(spec.mobility.duty_on, 1u);
+  EXPECT_EQ(spec.mobility.duty_period, 2u);
+
+  // The canonical form renders the mobility block, so mobile and static
+  // specs can never alias in the artifact cache; a section written in a
+  // different key order canonicalizes identically.
+  EXPECT_NE(spec.canonical().find("[mobility]"), std::string::npos);
+  EXPECT_NE(spec.canonical().find("epoch-slots = 100"), std::string::npos);
+  const SweepSpec reordered = parse_or_die(R"(
+[mobility]
+duty-period = 2
+duty-on = 1
+pause-epochs = 1
+speed-max = 0.05
+speed-min = 0.01
+epoch-slots = 100
+epochs = 4
+
+[scenario]
+set-size = 4
+universe = 8
+n = 12
+channels = uniform
+topology = unit-disk
+
+[experiment]
+sweep-values = 0.3 0.4
+sweep-key = ud-radius
+max-slots = 2000
+seed = 3
+trials = 4
+delta-est = 8
+algorithm = alg3
+name = mobile_test
+)");
+  EXPECT_EQ(spec.canonical(), reordered.canonical());
+  EXPECT_EQ(scenario_hash(spec), scenario_hash(reordered));
+}
+
+TEST(SweepSpec, MobilityAffectsTheCacheKey) {
+  const std::uint64_t base = scenario_hash(parse_or_die(kMobileSpec));
+  const auto changed = [&](const std::string& extra) {
+    return scenario_hash(parse_or_die(std::string(kMobileSpec) + extra));
+  };
+  EXPECT_NE(base, changed("[mobility]\nspeed-max = 0.1\n"));
+  EXPECT_NE(base, changed("[mobility]\nepochs = 8\n"));
+  EXPECT_NE(base, changed("[mobility]\nduty-period = 4\n"));
+}
+
+TEST(SweepSpec, MobilityValidation) {
+  // The provider needs the unit-disk square and position-independent
+  // channels; duty cycling wraps policy objects so it needs the engine
+  // kernel; topology/channel-kind sweeps make no sense while mobility
+  // regenerates the link set.
+  EXPECT_NE(parse_error_of("[scenario]\ntopology = line\n"
+                           "[mobility]\nepochs = 2\n"),
+            "");
+  EXPECT_NE(parse_error_of("[scenario]\ntopology = unit-disk\n"
+                           "channels = chain\n"
+                           "[mobility]\nepochs = 2\n"),
+            "");
+  EXPECT_NE(parse_error_of(std::string(kMobileSpec) +
+                           "[experiment]\nkernel = soa\n"),
+            "");
+  // Full-duty soa IS allowed: the restriction is only the duty wrapper.
+  const SweepSpec soa_full_duty = parse_or_die(
+      std::string(kMobileSpec) + "[experiment]\nkernel = soa\n"
+                                 "[mobility]\nduty-period = 1\n");
+  EXPECT_EQ(soa_full_duty.kernel, runner::SyncKernel::kSoa);
+  // Bad mobility ranges fail at submission.
+  EXPECT_NE(parse_error_of(std::string(kMobileSpec) +
+                           "[mobility]\nepoch-slots = 0\n"),
+            "");
+  EXPECT_NE(parse_error_of(std::string(kMobileSpec) +
+                           "[mobility]\nspeed-min = 0.2\n"),
+            "");
+  EXPECT_NE(parse_error_of(std::string(kMobileSpec) +
+                           "[mobility]\nduty-on = 3\n"),
+            "");
+  EXPECT_NE(parse_error_of(std::string(kMobileSpec) +
+                           "[mobility]\nbanana = 1\n"),
+            "");
+}
+
 TEST(SweepSpec, FormatSweepValue) {
   EXPECT_EQ(format_sweep_value(4.0), "4");
   EXPECT_EQ(format_sweep_value(0.25), "0.25");

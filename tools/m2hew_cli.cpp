@@ -10,6 +10,7 @@
 // Run with --help for the full flag list.
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 #include <stdexcept>
 #include <memory>
 #include <string>
@@ -19,15 +20,18 @@
 #include "core/baseline_deterministic.hpp"
 #include "core/bounds.hpp"
 #include "core/competitors.hpp"
+#include "core/duty_cycle.hpp"
 #include "core/multi_radio.hpp"
 #include "core/policy_spec.hpp"
 #include "core/termination.hpp"
 #include "core/transmit_probability.hpp"
 #include "net/serialize.hpp"
+#include "net/topology_provider.hpp"
 #include "runner/report.hpp"
 #include "runner/scenario.hpp"
 #include "runner/trials.hpp"
 #include "sim/clock.hpp"
+#include "sim/encounter.hpp"
 #include "sim/fault_plan.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
@@ -80,6 +84,19 @@ Execution:
   --loss=<p>                  per-reception loss probability (default 0)
   --drift=<delta>             alg4 max clock drift (default 1/7)
   --frame-length=<L>          alg4 frame length (default 3)
+
+Mobility (random waypoint over the unit-disk square; slotted only):
+  --mobility=<off|rwp>        epoch-based link dynamics (default off;
+                              requires --topology=unit-disk and a
+                              position-independent channel kind)
+  --mobility-epochs=<E>       epochs in the topology schedule (default 8)
+  --mobility-epoch-slots=<S>  slots per epoch (default 500)
+  --mobility-speed-min=<v>    min node speed, units/epoch (default 0)
+  --mobility-speed-max=<v>    max node speed, units/epoch (default 0.05)
+  --mobility-pause=<E>        max pause epochs at a waypoint (default 0)
+  --duty-on=<k>               policy active k slots out of every
+  --duty-period=<p>           p slots (default 1/1 = always on; k < p
+                              requires --mobility=rwp and --kernel=engine)
 
 Fault injection (sim::FaultPlan; all off by default):
   --churn-prob=<p>            per-node crash probability
@@ -225,6 +242,46 @@ void apply_fault_flags(const util::Flags& flags,
   return config;
 }
 
+/// Reads the --mobility-*/--duty-* flags into a MobilitySpec, range-checking
+/// every knob (exit 2) so a bad value never reaches a CHECK in the builder.
+[[nodiscard]] runner::MobilitySpec mobility_from_flags(
+    const util::Flags& flags) {
+  runner::MobilitySpec mobility;
+  const std::string mode = flags.get_string("mobility", "off");
+  require_flag(mode == "off" || mode == "rwp",
+               "--mobility must be off or rwp");
+  mobility.enabled = mode == "rwp";
+  require_flag(flags.get_int("mobility-epochs", 8) >= 1,
+               "--mobility-epochs must be >= 1");
+  require_flag(flags.get_int("mobility-epoch-slots", 500) >= 1,
+               "--mobility-epoch-slots must be >= 1");
+  require_flag(flags.get_int("mobility-pause", 0) >= 0,
+               "--mobility-pause must be >= 0");
+  require_flag(flags.get_int("duty-on", 1) >= 1, "--duty-on must be >= 1");
+  require_flag(flags.get_int("duty-period", 1) >= 1,
+               "--duty-period must be >= 1");
+  mobility.epochs =
+      static_cast<std::size_t>(flags.get_int("mobility-epochs", 8));
+  mobility.epoch_slots =
+      static_cast<std::uint64_t>(flags.get_int("mobility-epoch-slots", 500));
+  mobility.speed_min = flags.get_double("mobility-speed-min", 0.0);
+  mobility.speed_max = flags.get_double("mobility-speed-max", 0.05);
+  mobility.pause_epochs =
+      static_cast<std::uint64_t>(flags.get_int("mobility-pause", 0));
+  mobility.duty_on = static_cast<std::uint64_t>(flags.get_int("duty-on", 1));
+  mobility.duty_period =
+      static_cast<std::uint64_t>(flags.get_int("duty-period", 1));
+  require_flag(mobility.speed_min >= 0.0 &&
+                   mobility.speed_max >= mobility.speed_min,
+               "--mobility-speed-min/--mobility-speed-max must satisfy "
+               "0 <= min <= max");
+  require_flag(mobility.duty_on <= mobility.duty_period,
+               "--duty-on/--duty-period must satisfy on <= period");
+  require_flag(mobility.enabled || mobility.duty_on == mobility.duty_period,
+               "--duty-on < --duty-period requires --mobility=rwp");
+  return mobility;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -300,33 +357,72 @@ int main(int argc, char** argv) {
   const std::string kernel = flags.get_string("kernel", "engine");
   require_flag(kernel == "engine" || kernel == "soa",
                "--kernel must be engine or soa");
+  const runner::MobilitySpec mobility = mobility_from_flags(flags);
+  require_flag(!(kernel == "soa" && mobility.duty_on != mobility.duty_period),
+               "--duty-on < --duty-period requires --kernel=engine (duty "
+               "cycling wraps policy objects, not SoA policy tables)");
 
   std::string scenario_text;
-  const net::Network network = [&]() -> net::Network {
-    const std::string load_path = flags.get_string("load-network");
-    if (!load_path.empty()) {
-      // Consume (and ignore) the network-shape flags so they do not show
-      // up as typos when a file overrides them.
-      (void)scenario_from_flags(flags);
-      scenario_text = "loaded from " + load_path;
-      try {
-        return net::load_network_file(load_path);
-      } catch (const std::runtime_error& e) {
-        std::fprintf(stderr, "m2hew_cli: %s: %s\n", load_path.c_str(),
-                     e.what());
-        std::exit(2);
-      }
-    }
+  std::optional<net::Network> owned_network;
+  std::unique_ptr<net::EpochTopologyProvider> provider;
+  if (mobility.enabled) {
+    // Mobile runs own their network through the epoch provider: engines
+    // run on the union network and swap per-epoch adjacency internally.
+    require_flag(flags.get_string("load-network").empty(),
+                 "--mobility=rwp cannot run on a loaded network "
+                 "(trajectories need the unit-disk scenario)");
+    require_flag(flags.get_string("save-network").empty(),
+                 "--mobility=rwp has no single link set to --save-network");
+    require_flag(algorithm != "alg4",
+                 "--mobility=rwp is slotted-only (alg4 runs on real time)");
+    require_flag(flags.get_int("radios", 1) == 1,
+                 "--mobility=rwp supports single-radio runs only");
     const runner::ScenarioConfig scenario = scenario_from_flags(flags);
+    require_flag(scenario.topology == runner::TopologyKind::kUnitDisk,
+                 "--mobility=rwp requires --topology=unit-disk");
+    require_flag(
+        scenario.channels == runner::ChannelKind::kHomogeneous ||
+            scenario.channels == runner::ChannelKind::kUniformRandom ||
+            scenario.channels == runner::ChannelKind::kVariableRandom,
+        "--mobility=rwp requires --channels=homogeneous|uniform|variable");
+    provider = runner::build_mobility_provider(scenario, mobility, seed);
     sim::SlotEngineCommon engine_knobs;
     engine_knobs.loss_probability = loss;
     apply_fault_flags(flags, engine_knobs.faults);
-    scenario_text = runner::describe(scenario, engine_knobs,
-                                     kernel == "soa"
-                                         ? runner::SyncKernel::kSoa
-                                         : runner::SyncKernel::kEngine);
-    return runner::build_scenario(scenario, seed);
-  }();
+    scenario_text =
+        runner::describe(scenario, engine_knobs,
+                         kernel == "soa" ? runner::SyncKernel::kSoa
+                                         : runner::SyncKernel::kEngine) +
+        runner::describe_mobility(mobility);
+  } else {
+    owned_network.emplace([&]() -> net::Network {
+      const std::string load_path = flags.get_string("load-network");
+      if (!load_path.empty()) {
+        // Consume (and ignore) the network-shape flags so they do not show
+        // up as typos when a file overrides them.
+        (void)scenario_from_flags(flags);
+        scenario_text = "loaded from " + load_path;
+        try {
+          return net::load_network_file(load_path);
+        } catch (const std::runtime_error& e) {
+          std::fprintf(stderr, "m2hew_cli: %s: %s\n", load_path.c_str(),
+                       e.what());
+          std::exit(2);
+        }
+      }
+      const runner::ScenarioConfig scenario = scenario_from_flags(flags);
+      sim::SlotEngineCommon engine_knobs;
+      engine_knobs.loss_probability = loss;
+      apply_fault_flags(flags, engine_knobs.faults);
+      scenario_text = runner::describe(scenario, engine_knobs,
+                                       kernel == "soa"
+                                           ? runner::SyncKernel::kSoa
+                                           : runner::SyncKernel::kEngine);
+      return runner::build_scenario(scenario, seed);
+    }());
+  }
+  const net::Network& network =
+      provider != nullptr ? provider->union_network() : *owned_network;
 
   const std::string save_path = flags.get_string("save-network");
   if (!save_path.empty()) {
@@ -399,6 +495,7 @@ int main(int argc, char** argv) {
   }
 
   runner::RobustnessStats robustness;
+  runner::EncounterStats encounter_stats;
   if (algorithm == "alg4") {
     runner::AsyncTrialConfig trial;
     trial.trials = trials;
@@ -449,6 +546,17 @@ int main(int argc, char** argv) {
     trial.engine.loss_probability = loss;
     apply_fault_flags(flags, trial.engine.faults);
 
+    // Mobile run: point the engines at the epoch schedule and track
+    // per-contact detection through the reception hook.
+    std::optional<sim::EncounterIndex> encounter_index;
+    if (provider != nullptr) {
+      trial.engine.topology = provider.get();
+      trial.engine.epoch_length = mobility.epoch_slots;
+      encounter_index.emplace(*provider, mobility.epoch_slots,
+                              trial.engine.max_slots);
+      trial.encounters = &*encounter_index;
+    }
+
     if (kernel == "soa") {
       // The SoA kernel consumes a policy-as-data table, so it covers
       // exactly the spec-representable algorithms.
@@ -489,6 +597,9 @@ int main(int argc, char** argv) {
       report_sync(stats, bound, bound_name);
       std::printf("\n%s", table.render().c_str());
       runner::print_robustness(stats.robustness);
+      if (stats.encounters.enabled()) {
+        runner::print_encounters(stats.encounters);
+      }
       return 0;
     }
 
@@ -538,13 +649,19 @@ int main(int argc, char** argv) {
     if (terminate_after > 0) {
       factory = core::with_termination(std::move(factory), terminate_after);
     }
+    if (mobility.enabled) {
+      factory = core::with_duty_cycle(std::move(factory), mobility.duty_on,
+                                      mobility.duty_period);
+    }
     const auto stats = runner::run_sync_trials(network, factory, trial);
     report_sync(stats, bound, bound_name);
     robustness = stats.robustness;
+    encounter_stats = stats.encounters;
   }
 
   std::printf("\n%s", table.render().c_str());
   runner::print_robustness(robustness);
+  if (encounter_stats.enabled()) runner::print_encounters(encounter_stats);
 
   const auto leftovers = flags.unconsumed();
   if (!leftovers.empty()) {

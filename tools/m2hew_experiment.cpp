@@ -35,22 +35,41 @@
 //   burst-p-gb  = 0.01        ; good->bad transition probability
 //   burst-p-bg  = 0.1         ; bad->good transition probability
 //
+//   [mobility]                ; optional random-waypoint link dynamics
+//   epochs      = 8           ; topology schedule length (epochs)
+//   epoch-slots = 500         ; slots per epoch
+//   speed-min   = 0.0         ; node speed range, units per epoch
+//   speed-max   = 0.05
+//   pause-epochs = 0          ; max pause at a reached waypoint
+//   duty-on     = 1           ; policy active duty-on slots of every
+//   duty-period = 1           ; duty-period window (1/1 = always on)
+//
+// [mobility] requires a unit-disk scenario with a position-independent
+// channel kind (homogeneous / uniform / variable); runs then track
+// per-contact detection latency, missed contacts and energy per detected
+// contact (sim/encounter.hpp).
+//
 // Output: a table (one row per sweep value), optional plot, robustness
-// metrics per sweep value when [faults] is present, and
-// results/<name>.csv.
+// metrics per sweep value when [faults] is present, encounter metrics per
+// sweep value when [mobility] is present, and results/<name>.csv.
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/adaptive.hpp"
 #include "core/algorithms.hpp"
 #include "core/competitors.hpp"
+#include "core/duty_cycle.hpp"
+#include "net/topology_provider.hpp"
 #include "runner/report.hpp"
 #include "runner/scenario.hpp"
 #include "runner/scenario_kv.hpp"
 #include "runner/trials.hpp"
+#include "sim/encounter.hpp"
 #include "sim/fault_plan.hpp"
 #include "util/ascii_plot.hpp"
 #include "util/csv.hpp"
@@ -129,6 +148,19 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Optional [mobility] section: random-waypoint epoch dynamics. Every
+  // sweep point rebuilds the trajectory/link schedule from the same seed,
+  // so a swept scenario key (say ud-radius) changes the link sets but not
+  // the node paths.
+  runner::MobilitySpec mobility;
+  {
+    std::string mobility_error;
+    if (!runner::parse_mobility_section(ini, mobility, &mobility_error)) {
+      std::fprintf(stderr, "%s\n", mobility_error.c_str());
+      return 2;
+    }
+  }
+
   auto make_factory = [&]() -> sim::SyncPolicyFactory {
     if (algorithm == "alg1") return core::make_algorithm1(delta_est);
     if (algorithm == "alg2") return core::make_algorithm2();
@@ -151,11 +183,21 @@ int main(int argc, char** argv) {
               algorithm.c_str(), trials);
   std::printf("policy:     %s\n",
               runner::describe_policy(algorithm, delta_est).c_str());
+  if (mobility.enabled) {
+    std::printf("mobility:  %s\n", runner::describe_mobility(mobility).c_str());
+  }
 
   auto csv_file = runner::open_results_csv(name);
   util::CsvWriter csv(csv_file);
-  csv.header({"sweep_value", "success_rate", "mean_slots", "p50_slots",
-              "p95_slots", "trials_per_sec"});
+  if (mobility.enabled) {
+    csv.header({"sweep_value", "success_rate", "mean_slots", "p50_slots",
+                "p95_slots", "trials_per_sec", "contacts",
+                "detected_contacts", "mean_detection_latency",
+                "mean_missed_fraction"});
+  } else {
+    csv.header({"sweep_value", "success_rate", "mean_slots", "p50_slots",
+                "p95_slots", "trials_per_sec"});
+  }
 
   util::Table table({sweep_key.empty() ? "run" : sweep_key, "success",
                      "mean slots", "p50", "p95", "trials/s"});
@@ -172,19 +214,52 @@ int main(int argc, char** argv) {
         return 2;
       }
     }
-    const net::Network network = runner::build_scenario(scenario, seed);
+    std::unique_ptr<net::EpochTopologyProvider> provider;
+    std::optional<net::Network> static_network;
+    if (mobility.enabled) {
+      if (scenario.topology != runner::TopologyKind::kUnitDisk ||
+          (scenario.channels != runner::ChannelKind::kHomogeneous &&
+           scenario.channels != runner::ChannelKind::kUniformRandom &&
+           scenario.channels != runner::ChannelKind::kVariableRandom)) {
+        std::fprintf(stderr,
+                     "[mobility] requires topology=unit-disk and "
+                     "channels=homogeneous|uniform|variable\n");
+        return 2;
+      }
+      provider = runner::build_mobility_provider(scenario, mobility, seed);
+    } else {
+      static_network.emplace(runner::build_scenario(scenario, seed));
+    }
+    const net::Network& network =
+        provider != nullptr ? provider->union_network() : *static_network;
     runner::SyncTrialConfig trial;
     trial.trials = trials;
     trial.seed = seed;
     trial.threads = threads;
     trial.engine.max_slots = max_slots;
     trial.engine.faults = faults;
-    const auto stats =
-        runner::run_sync_trials(network, make_factory(), trial);
-    if (stats.robustness.enabled()) {
+    std::optional<sim::EncounterIndex> encounter_index;
+    if (provider != nullptr) {
+      trial.engine.topology = provider.get();
+      trial.engine.epoch_length = mobility.epoch_slots;
+      encounter_index.emplace(*provider, mobility.epoch_slots, max_slots);
+      trial.encounters = &*encounter_index;
+    }
+    sim::SyncPolicyFactory factory = make_factory();
+    if (mobility.enabled) {
+      factory = core::with_duty_cycle(std::move(factory), mobility.duty_on,
+                                      mobility.duty_period);
+    }
+    const auto stats = runner::run_sync_trials(network, factory, trial);
+    if (stats.robustness.enabled() || stats.encounters.enabled()) {
       std::printf("[%s = %s]\n", sweep_key.empty() ? "run" : sweep_key.c_str(),
                   format_value(value).c_str());
-      runner::print_robustness(stats.robustness);
+      if (stats.robustness.enabled()) {
+        runner::print_robustness(stats.robustness);
+      }
+      if (stats.encounters.enabled()) {
+        runner::print_encounters(stats.encounters);
+      }
     }
     const auto summary = stats.completion_slots.summarize();
     means.push_back(summary.mean);
@@ -201,6 +276,13 @@ int main(int argc, char** argv) {
     csv.field(value).field(stats.success_rate()).field(summary.mean);
     csv.field(summary.p50).field(summary.p95);
     csv.field(stats.trials_per_second());
+    if (mobility.enabled) {
+      const auto& enc = stats.encounters;
+      csv.field(static_cast<unsigned long long>(enc.contacts));
+      csv.field(static_cast<unsigned long long>(enc.detected));
+      csv.field(enc.detection_latency.summarize().mean);
+      csv.field(enc.missed_fraction.summarize().mean);
+    }
     csv.end_row();
   }
   std::printf("\n%s", table.render().c_str());
