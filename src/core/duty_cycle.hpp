@@ -36,6 +36,11 @@ class DutyCycledSyncPolicy final : public sim::SyncPolicy {
   /// slots — an off slot never listens).
   void observe_reception(net::NodeId from, bool first_time) override;
   void observe_listen_outcome(sim::ListenOutcome outcome) override;
+  /// Forwarded so a trust wrapper keeps its admission authority when duty
+  /// cycling wraps it.
+  [[nodiscard]] bool admit_neighbor(net::NodeId announced) override {
+    return inner_->admit_neighbor(announced);
+  }
 
  private:
   std::unique_ptr<sim::SyncPolicy> inner_;

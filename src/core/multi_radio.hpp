@@ -62,6 +62,11 @@ class SingleRadioSyncAdapter final : public sim::MultiRadioPolicy {
                          bool first_time) override;
   void observe_listen_outcome(unsigned radio,
                               sim::ListenOutcome outcome) override;
+  /// Forwarded so a wrapped trust policy keeps its admission authority
+  /// under the multi-radio engine.
+  [[nodiscard]] bool admit_neighbor(net::NodeId announced) override {
+    return inner_->admit_neighbor(announced);
+  }
 
  private:
   std::unique_ptr<sim::SyncPolicy> inner_;

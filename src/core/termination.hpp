@@ -54,6 +54,11 @@ class TerminatingSyncPolicy final : public sim::SyncPolicy {
   /// collision-detecting AdaptiveDegreePolicy) silently goes blind. The
   /// termination decision itself only uses first-time receptions.
   void observe_listen_outcome(sim::ListenOutcome outcome) override;
+  /// Forwarded so a trust wrapper keeps its admission authority when the
+  /// termination wrapper is outermost.
+  [[nodiscard]] bool admit_neighbor(net::NodeId announced) override {
+    return inner_->admit_neighbor(announced);
+  }
 
   [[nodiscard]] bool terminated() const noexcept { return terminated_; }
   /// Node-local slot index at which the node stopped (if it has).
@@ -82,6 +87,9 @@ class TerminatingAsyncPolicy final : public sim::AsyncPolicy {
 
   [[nodiscard]] sim::FrameAction next_frame(util::Rng& rng) override;
   void observe_reception(net::NodeId from, bool first_time) override;
+  [[nodiscard]] bool admit_neighbor(net::NodeId announced) override {
+    return inner_->admit_neighbor(announced);
+  }
 
   [[nodiscard]] bool terminated() const noexcept { return terminated_; }
 

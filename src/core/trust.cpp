@@ -1,0 +1,146 @@
+#include "core/trust.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace m2hew::core {
+
+TrustedSyncPolicy::TrustedSyncPolicy(std::unique_ptr<sim::SyncPolicy> inner,
+                                     const TrustConfig& config)
+    : inner_(std::move(inner)), config_(config) {
+  validate_trust_config(config_);
+}
+
+sim::SlotAction TrustedSyncPolicy::next_slot(util::Rng& rng) {
+  // Prune lazily, a few times per entry window: the check is one modulo
+  // on the hot path and the sweep itself is O(records).
+  const std::uint64_t stride = std::max<std::uint64_t>(
+      std::uint64_t{1}, config_.entry_window / 4);
+  if (!records_.empty() && slot_ % stride == 0) prune(slot_);
+  ++slot_;
+  return inner_->next_slot(rng);
+}
+
+void TrustedSyncPolicy::observe_reception(net::NodeId from, bool first_time) {
+  inner_->observe_reception(from, first_time);
+}
+
+void TrustedSyncPolicy::observe_listen_outcome(sim::ListenOutcome outcome) {
+  inner_->observe_listen_outcome(outcome);
+}
+
+TrustedSyncPolicy::Record* TrustedSyncPolicy::find(net::NodeId id) {
+  for (Record& rec : records_) {
+    if (rec.id == id) return &rec;
+  }
+  return nullptr;
+}
+
+void TrustedSyncPolicy::prune(std::uint64_t now) {
+  // Windowed last-seen table: drop records the node has not heard from
+  // within entry_window. A blocked record survives until its block
+  // expires — forgetting a block early would hand the attacker a free
+  // reset just by going quiet.
+  records_.erase(
+      std::remove_if(records_.begin(), records_.end(),
+                     [&](const Record& rec) {
+                       if (rec.is_blocked && now < rec.blocked_until) {
+                         return false;
+                       }
+                       return now - rec.last_seen > config_.entry_window;
+                     }),
+      records_.end());
+}
+
+bool TrustedSyncPolicy::admit_neighbor(net::NodeId announced) {
+  // The current slot is the one whose next_slot most recently ran.
+  const std::uint64_t now = slot_ == 0 ? 0 : slot_ - 1;
+  Record* rec = find(announced);
+  if (rec == nullptr) {
+    Record fresh;
+    fresh.id = announced;
+    fresh.last_seen = now;
+    fresh.last_update = now;
+    fresh.window_start = now;
+    records_.push_back(fresh);
+    rec = &records_.back();
+  }
+
+  // Rate accounting counts every announcement attempt, admitted or not,
+  // so a blocked hammerer is re-blocked the moment its probation starts.
+  if (now - rec->window_start >= config_.rate_window) {
+    rec->window_start = now;
+    rec->window_count = 0;
+  }
+  ++rec->window_count;
+  const bool anomalous = rec->window_count > config_.max_per_window;
+
+  // Lazy decay: pull the score back toward full trust for the slots since
+  // the last update (forgiveness for past sins), then apply this
+  // attempt's verdict.
+  const double pull =
+      std::pow(config_.decay, static_cast<double>(now - rec->last_update));
+  rec->score = 1.0 - (1.0 - rec->score) * pull;
+  rec->last_update = now;
+  if (anomalous) {
+    rec->score -= config_.rate_penalty;
+    rec->window_start = now;
+    rec->window_count = 0;
+  } else {
+    rec->score = std::min(1.0, rec->score + config_.reward);
+  }
+  rec->last_seen = now;
+
+  if (rec->is_blocked) {
+    if (now < rec->blocked_until) return false;
+    // Probation: the block expires, the ID restarts exactly at the
+    // threshold — one more anomaly re-blocks it immediately.
+    rec->is_blocked = false;
+    rec->score = std::max(rec->score, config_.threshold);
+  }
+  if (rec->score < config_.threshold) {
+    rec->is_blocked = true;
+    rec->blocked_until = now + config_.block_slots;
+    return false;
+  }
+  return true;
+}
+
+bool TrustedSyncPolicy::blocked(net::NodeId id) const {
+  for (const Record& rec : records_) {
+    if (rec.id == id) return rec.is_blocked;
+  }
+  return false;
+}
+
+sim::SyncPolicyFactory with_trust(sim::SyncPolicyFactory inner,
+                                  const TrustConfig& config) {
+  validate_trust_config(config);
+  if (!config.enabled) return inner;
+  return [inner = std::move(inner), config](const net::Network& network,
+                                            net::NodeId u) {
+    return std::make_unique<TrustedSyncPolicy>(inner(network, u), config);
+  };
+}
+
+void validate_trust_config(const TrustConfig& config) {
+  M2HEW_CHECK_MSG(config.threshold >= 0.0 && config.threshold < 1.0,
+                  "trust threshold must be in [0, 1)");
+  M2HEW_CHECK_MSG(config.reward >= 0.0, "trust reward must be >= 0");
+  M2HEW_CHECK_MSG(config.rate_penalty > 0.0,
+                  "trust rate penalty must be > 0");
+  M2HEW_CHECK_MSG(config.decay > 0.0 && config.decay <= 1.0,
+                  "trust decay must be in (0, 1]");
+  M2HEW_CHECK_MSG(config.rate_window >= 1,
+                  "trust rate window must be >= 1 slot");
+  M2HEW_CHECK_MSG(config.max_per_window >= 1,
+                  "trust max-per-window must be >= 1");
+  M2HEW_CHECK_MSG(config.block_slots >= 1,
+                  "trust block duration must be >= 1 slot");
+  M2HEW_CHECK_MSG(config.entry_window >= 1,
+                  "trust entry window must be >= 1 slot");
+}
+
+}  // namespace m2hew::core

@@ -1,0 +1,111 @@
+// Trust-scored neighbor maintenance — the defence against the adversary
+// models of sim::AdversarySpec (docs/MODEL.md "Adversary model & trust
+// maintenance").
+//
+// The paper's algorithms admit every decoded announcement into the
+// neighbor table; a Byzantine advertiser exploits that by announcing a
+// fake ID at an elevated rate, inflating listener tables with ghosts.
+// This module wraps any synchronous policy with a per-announced-ID trust
+// record, in the style of the rokoyomi malicious-node detector
+// (SNIPPETS.md 1–2): a score that decays back toward full trust over
+// time, a windowed message-rate anomaly penalty (honest policies transmit
+// with p <= 1/2 spread over |A(u)| channels, so a per-sender reception
+// rate far above the scenario's expectation is suspicious), and an
+// expiring blocklist with probation. Records not refreshed within
+// `entry_window` slots are dropped entirely — the windowed last-seen
+// table left open by ROADMAP item 4.
+//
+// Determinism: the wrapper draws nothing from the RNG and keys every
+// decision off the node-local slot counter, so wrapping a factory
+// perturbs no stream — serial == parallel and engine parity hold
+// untouched. The admission verdict feeds back to the engine through
+// sim::SyncPolicy::admit_neighbor; a rejection is reported to the fault
+// layer as an isolation event (time-to-isolation metric) and evicts the
+// corresponding table entry.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/policy.hpp"
+
+namespace m2hew::core {
+
+/// Knobs for the trust-scored neighbor table. Defaults are deliberately
+/// lenient; the E26 bench picks scenario-matched values (the honest
+/// reception rate depends on n, |A(u)| and the policy's p).
+struct TrustConfig {
+  bool enabled = false;
+  /// Block an ID when its score falls below this (score starts at 1).
+  double threshold = 0.3;
+  /// Score added per well-behaved admission (capped at 1).
+  double reward = 0.02;
+  /// Score subtracted when a rate window overflows.
+  double rate_penalty = 0.35;
+  /// Per-slot pull of the score back toward 1 (forgiveness).
+  double decay = 0.999;
+  /// Length of the message-rate measurement window, in node-local slots.
+  std::uint64_t rate_window = 128;
+  /// Announcements per window above which the sender is anomalous.
+  std::uint64_t max_per_window = 6;
+  /// Blocklist entry lifetime in node-local slots; on expiry the ID gets
+  /// probation (score restarts at the threshold) instead of amnesty.
+  std::uint64_t block_slots = 2048;
+  /// Records not refreshed for this many slots are dropped (windowed
+  /// last-seen table); a blocked record survives until its block expires.
+  std::uint64_t entry_window = 16384;
+};
+
+/// Wraps a synchronous policy with the trust table. The inner policy's
+/// schedule is untouched (next_slot forwards verbatim); only the
+/// admission gate and the bookkeeping around it are added.
+class TrustedSyncPolicy final : public sim::SyncPolicy {
+ public:
+  TrustedSyncPolicy(std::unique_ptr<sim::SyncPolicy> inner,
+                    const TrustConfig& config);
+
+  [[nodiscard]] sim::SlotAction next_slot(util::Rng& rng) override;
+  void observe_reception(net::NodeId from, bool first_time) override;
+  void observe_listen_outcome(sim::ListenOutcome outcome) override;
+  [[nodiscard]] bool admit_neighbor(net::NodeId announced) override;
+
+  /// Introspection for tests.
+  [[nodiscard]] bool blocked(net::NodeId id) const;
+  [[nodiscard]] std::size_t tracked() const noexcept {
+    return records_.size();
+  }
+
+ private:
+  struct Record {
+    net::NodeId id = net::kInvalidNode;
+    double score = 1.0;
+    std::uint64_t last_seen = 0;     // last admission attempt
+    std::uint64_t last_update = 0;   // last decay application
+    std::uint64_t window_start = 0;  // current rate window
+    std::uint64_t window_count = 0;  // attempts in the current window
+    std::uint64_t blocked_until = 0;
+    bool is_blocked = false;
+  };
+
+  [[nodiscard]] Record* find(net::NodeId id);
+  void prune(std::uint64_t now);
+
+  std::unique_ptr<sim::SyncPolicy> inner_;
+  TrustConfig config_;
+  std::vector<Record> records_;
+  std::uint64_t slot_ = 0;  // node-local slots executed
+};
+
+/// Wraps an existing factory so every node maintains a trust table.
+/// `config.enabled == false` returns the inner factory unchanged, so an
+/// untrusted run is bit-identical to one built without the wrapper.
+[[nodiscard]] sim::SyncPolicyFactory with_trust(sim::SyncPolicyFactory inner,
+                                                const TrustConfig& config);
+
+/// Range validation shared by the CLI/INI front ends; aborts with a
+/// descriptive message on nonsense (threshold outside [0, 1), zero
+/// windows, decay outside (0, 1]).
+void validate_trust_config(const TrustConfig& config);
+
+}  // namespace m2hew::core

@@ -42,6 +42,25 @@ void print_robustness(const RobustnessStats& robustness) {
     std::printf("  time-to-rediscovery:       mean %.1f  p90 %.1f\n",
                 redisc.mean, redisc.p90);
   }
+  if (robustness.adversarial()) {
+    const util::Summary precision =
+        robustness.precision_under_attack.summarize();
+    std::printf("adversary over %zu attacked trial(s):\n",
+                robustness.adversary_trials);
+    std::printf("  precision under attack:    mean %.4f  min %.4f\n",
+                precision.mean, precision.min);
+    std::printf("  fake entries surviving:    %zu  isolated: %zu (%.1f%%)"
+                "  honest blocked: %zu\n",
+                robustness.fake_entries, robustness.isolated_fakes,
+                100.0 * robustness.isolation_rate(),
+                robustness.honest_isolated);
+    if (robustness.isolation_times.count() > 0) {
+      const util::Summary isolation =
+          robustness.isolation_times.summarize();
+      std::printf("  time-to-isolation:         mean %.1f  p90 %.1f\n",
+                  isolation.mean, isolation.p90);
+    }
+  }
 }
 
 void print_encounters(const EncounterStats& encounters) {
@@ -135,6 +154,21 @@ void write_bench_json_doc(std::ostream& out, std::string_view bench_id,
                     run.fault_trials, run.mean_surviving_recall,
                     run.mean_ghost_entries, run.mean_rediscovery,
                     run.recovered_links, run.rediscovered_links);
+      out << buf;
+    }
+    if (run.adversary_trials > 0) {
+      // Adversary block for attacked runs, same brace-rewrite scheme.
+      out.seekp(-1, std::ios_base::cur);
+      std::snprintf(buf, sizeof buf,
+                    ", \"adversary\": {\"trials\": %zu, "
+                    "\"mean_precision_under_attack\": %.6g, "
+                    "\"mean_isolation\": %.6g, "
+                    "\"fake_entries\": %zu, "
+                    "\"isolated_fakes\": %zu, "
+                    "\"honest_isolated\": %zu}}",
+                    run.adversary_trials, run.mean_precision_under_attack,
+                    run.mean_isolation, run.fake_entries,
+                    run.isolated_fakes, run.honest_isolated);
       out << buf;
     }
     if (run.encounter_trials > 0) {

@@ -6,6 +6,7 @@
 #include <string>
 #include <string_view>
 
+#include "core/trust.hpp"
 #include "runner/scenario.hpp"
 #include "sim/fault_plan.hpp"
 
@@ -57,5 +58,21 @@ namespace m2hew::runner {
 [[nodiscard]] bool parse_mobility_section(const util::IniFile& ini,
                                          MobilitySpec& mobility,
                                          std::string* error);
+
+/// Parses an optional `[adversary]` INI section into the fault plan's
+/// AdversarySpec plus the trust-maintenance config that defends against
+/// it. Returns false with a one-line message in `*error` on an unknown
+/// key, malformed value, or out-of-range parameter; a missing section is
+/// a no-op success. Unlike the aborting validate_* helpers this is fully
+/// recoverable, so the sweep daemon survives a bad spec.
+///
+/// Keys: fraction, attack (jam | byzantine | non-responder | mix),
+/// byzantine-tx, victim-fraction, trust (0/1), trust-threshold,
+/// trust-reward, trust-rate-penalty, trust-decay, trust-rate-window,
+/// trust-max-per-window, trust-block-slots, trust-entry-window.
+[[nodiscard]] bool parse_adversary_section(const util::IniFile& ini,
+                                           sim::AdversarySpec& adversary,
+                                           core::TrustConfig& trust,
+                                           std::string* error);
 
 }  // namespace m2hew::runner

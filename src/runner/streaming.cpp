@@ -21,6 +21,12 @@ TrialOutcomeRecord make_outcome_record(
   record.recovered_links = robustness.recovered_links;
   record.rediscovered_links = robustness.rediscovered_links;
   record.mean_rediscovery = robustness.mean_rediscovery;
+  record.adversary = robustness.adversary;
+  record.real_entries = robustness.real_entries;
+  record.fake_entries = robustness.fake_entries;
+  record.isolated_fakes = robustness.isolated_fakes;
+  record.honest_isolated = robustness.honest_isolated;
+  record.mean_isolation = robustness.mean_isolation;
   return record;
 }
 
@@ -33,19 +39,29 @@ sim::RobustnessReport to_robustness_report(const TrialOutcomeRecord& record) {
   report.recovered_links = record.recovered_links;
   report.rediscovered_links = record.rediscovered_links;
   report.mean_rediscovery = record.mean_rediscovery;
+  report.adversary = record.adversary;
+  report.real_entries = record.real_entries;
+  report.fake_entries = record.fake_entries;
+  report.isolated_fakes = record.isolated_fakes;
+  report.honest_isolated = record.honest_isolated;
+  report.mean_isolation = record.mean_isolation;
   return report;
 }
 
 std::string encode_outcome_record(const TrialOutcomeRecord& record) {
   // %a renders the exact binary representation of the doubles, so decode
   // reproduces them bit-for-bit; everything else is integral.
-  char buf[256];
-  std::snprintf(buf, sizeof buf, "R %zu %d %a %d %zu %zu %zu %zu %zu %a",
+  char buf[384];
+  std::snprintf(buf, sizeof buf,
+                "R %zu %d %a %d %zu %zu %zu %zu %zu %a %d %zu %zu %zu %zu %a",
                 record.trial, record.complete ? 1 : 0,
                 record.completion_slot, record.fault_enabled ? 1 : 0,
                 record.surviving_links, record.covered_surviving_links,
                 record.ghost_entries, record.recovered_links,
-                record.rediscovered_links, record.mean_rediscovery);
+                record.rediscovered_links, record.mean_rediscovery,
+                record.adversary ? 1 : 0, record.real_entries,
+                record.fake_entries, record.isolated_fakes,
+                record.honest_isolated, record.mean_isolation);
   return buf;
 }
 
@@ -56,22 +72,28 @@ std::optional<TrialOutcomeRecord> decode_outcome_record(
   TrialOutcomeRecord record;
   int complete = 0;
   int fault = 0;
+  int adversary = 0;
   int consumed = -1;
   const int matched = std::sscanf(
-      text.c_str(), "%zu %d %la %d %zu %zu %zu %zu %zu %la%n",
+      text.c_str(),
+      "%zu %d %la %d %zu %zu %zu %zu %zu %la %d %zu %zu %zu %zu %la%n",
       &record.trial, &complete, &record.completion_slot, &fault,
       &record.surviving_links, &record.covered_surviving_links,
       &record.ghost_entries, &record.recovered_links,
-      &record.rediscovered_links, &record.mean_rediscovery, &consumed);
-  if (matched != 10 || consumed < 0 ||
+      &record.rediscovered_links, &record.mean_rediscovery, &adversary,
+      &record.real_entries, &record.fake_entries, &record.isolated_fakes,
+      &record.honest_isolated, &record.mean_isolation, &consumed);
+  if (matched != 16 || consumed < 0 ||
       static_cast<std::size_t>(consumed) != text.size()) {
     return {};
   }
-  if ((complete != 0 && complete != 1) || (fault != 0 && fault != 1)) {
+  if ((complete != 0 && complete != 1) || (fault != 0 && fault != 1) ||
+      (adversary != 0 && adversary != 1)) {
     return {};
   }
   record.complete = complete == 1;
   record.fault_enabled = fault == 1;
+  record.adversary = adversary == 1;
   return record;
 }
 

@@ -45,6 +45,13 @@ struct TrialOutcomeRecord {
   std::size_t recovered_links = 0;
   std::size_t rediscovered_links = 0;
   double mean_rediscovery = 0.0;
+
+  bool adversary = false;  ///< RobustnessReport::adversary
+  std::size_t real_entries = 0;
+  std::size_t fake_entries = 0;
+  std::size_t isolated_fakes = 0;
+  std::size_t honest_isolated = 0;
+  double mean_isolation = 0.0;
 };
 
 /// Builds the record for trial `trial` from an engine/kernel result pair
@@ -61,7 +68,8 @@ struct TrialOutcomeRecord {
     const TrialOutcomeRecord& record);
 
 /// One wire line (no trailing newline): "R <trial> <complete> <slot:%a>
-/// <fault> <surv> <cov> <ghost> <rec> <red> <mean:%a>".
+/// <fault> <surv> <cov> <ghost> <rec> <red> <mean:%a> <adv> <real>
+/// <fake> <isolated> <honest> <isolation:%a>".
 [[nodiscard]] std::string encode_outcome_record(
     const TrialOutcomeRecord& record);
 

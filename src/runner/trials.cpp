@@ -70,6 +70,17 @@ template <typename Stats>
     }
     record.recovered_links = robust.recovered_links;
     record.rediscovered_links = robust.rediscovered_links;
+    if (robust.adversarial()) {
+      record.adversary_trials = robust.adversary_trials;
+      record.mean_precision_under_attack =
+          robust.precision_under_attack.summarize().mean;
+      if (robust.isolation_times.count() > 0) {
+        record.mean_isolation = robust.isolation_times.summarize().mean;
+      }
+      record.fake_entries = robust.fake_entries;
+      record.isolated_fakes = robust.isolated_fakes;
+      record.honest_isolated = robust.honest_isolated;
+    }
   }
   const EncounterStats& enc = stats.encounters;
   if (enc.enabled()) {
@@ -173,6 +184,16 @@ void fold_robustness(RobustnessStats& aggregate,
   }
   aggregate.recovered_links += report.recovered_links;
   aggregate.rediscovered_links += report.rediscovered_links;
+  if (report.adversary) {
+    ++aggregate.adversary_trials;
+    aggregate.precision_under_attack.add(report.precision_under_attack());
+    if (report.isolated_fakes > 0) {
+      aggregate.isolation_times.add(report.mean_isolation);
+    }
+    aggregate.fake_entries += report.fake_entries;
+    aggregate.isolated_fakes += report.isolated_fakes;
+    aggregate.honest_isolated += report.honest_isolated;
+  }
 }
 
 void fold_encounters(EncounterStats& aggregate,

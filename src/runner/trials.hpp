@@ -58,13 +58,37 @@ struct RobustnessStats {
   /// Links eligible for / achieving rediscovery, summed over fault trials.
   std::size_t recovered_links = 0;
   std::size_t rediscovered_links = 0;
+  /// Trials whose plan carried an enabled adversary block.
+  std::size_t adversary_trials = 0;
+  /// Per-adversary-trial precision under attack
+  /// (sim::RobustnessReport::precision_under_attack).
+  util::Samples precision_under_attack;
+  /// Per-adversary-trial mean time-to-isolation, over trials with at
+  /// least one isolated fake (engine time units).
+  util::Samples isolation_times;
+  /// Fake / isolated-fake / false-positive entry counts, summed over
+  /// adversary trials.
+  std::size_t fake_entries = 0;
+  std::size_t isolated_fakes = 0;
+  std::size_t honest_isolated = 0;
 
   [[nodiscard]] bool enabled() const noexcept { return fault_trials > 0; }
+  [[nodiscard]] bool adversarial() const noexcept {
+    return adversary_trials > 0;
+  }
   [[nodiscard]] double rediscovery_rate() const noexcept {
     return recovered_links == 0
                ? 0.0
                : static_cast<double>(rediscovered_links) /
                      static_cast<double>(recovered_links);
+  }
+  /// Isolated fakes / (isolated + surviving fakes): how much of the
+  /// adversarial pollution the trust policy eventually cut off.
+  [[nodiscard]] double isolation_rate() const noexcept {
+    const std::size_t total = fake_entries + isolated_fakes;
+    return total == 0 ? 0.0
+                      : static_cast<double>(isolated_fakes) /
+                            static_cast<double>(total);
   }
 };
 
@@ -117,6 +141,14 @@ struct TrialRunRecord {
   double mean_rediscovery = 0.0;
   std::size_t recovered_links = 0;
   std::size_t rediscovered_links = 0;
+  /// Adversary aggregates, all zero unless some trial carried an enabled
+  /// adversary block; means are over adversary trials.
+  std::size_t adversary_trials = 0;
+  double mean_precision_under_attack = 0.0;
+  double mean_isolation = 0.0;
+  std::size_t fake_entries = 0;
+  std::size_t isolated_fakes = 0;
+  std::size_t honest_isolated = 0;
   /// Encounter aggregates, all zero unless the run tracked contacts
   /// (EncounterStats::enabled()); means are over detected contacts or
   /// encounter trials as documented on EncounterStats.

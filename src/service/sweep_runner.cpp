@@ -18,6 +18,7 @@
 #include "core/competitors.hpp"
 #include "core/duty_cycle.hpp"
 #include "core/policy_spec.hpp"
+#include "core/trust.hpp"
 #include "net/topology_provider.hpp"
 #include "service/daemon.hpp"
 #include "runner/scenario_kv.hpp"
@@ -88,13 +89,17 @@ void run_trial_subset(
     }
     return;
   }
-  // Duty cycling wraps policy objects, so it rides the factory path only;
-  // parse_sweep_spec rejects duty-cycled SoA specs.
-  const sim::SyncPolicyFactory factory = core::with_duty_cycle(
-      pspec != nullptr ? core::make_policy_factory(*pspec)
-                       : make_factory(spec),
-      spec.mobility.enabled ? spec.mobility.duty_on : 1,
-      spec.mobility.enabled ? spec.mobility.duty_period : 1);
+  // Duty cycling and trust wrap policy objects, so they ride the factory
+  // path only; parse_sweep_spec rejects SoA specs asking for either.
+  // with_trust(..., disabled) is the identity, so the wrap is free for
+  // untrusted specs.
+  const sim::SyncPolicyFactory factory = core::with_trust(
+      core::with_duty_cycle(
+          pspec != nullptr ? core::make_policy_factory(*pspec)
+                           : make_factory(spec),
+          spec.mobility.enabled ? spec.mobility.duty_on : 1,
+          spec.mobility.enabled ? spec.mobility.duty_period : 1),
+      spec.trust);
   for (const std::size_t t : indices) {
     sim::SlotEngineConfig engine = engine_base;
     engine.seed = seeds.derive(t);
@@ -298,17 +303,20 @@ bool run_sweep(const SweepSpec& spec, std::size_t workers,
       const bool duty_cycled =
           spec.mobility.enabled &&
           spec.mobility.duty_on != spec.mobility.duty_period;
-      if (duty_cycled) {
-        // Duty cycling wraps policy objects, so route spec algorithms
-        // through the factory path (parse rejects duty-cycled SoA specs;
-        // the spec overload below would bypass the wrapper).
+      if (duty_cycled || spec.trust.enabled) {
+        // Duty cycling and trust wrap policy objects, so route spec
+        // algorithms through the factory path (parse rejects SoA specs
+        // asking for either; the spec overload below would bypass the
+        // wrappers).
         stats = runner::run_sync_trials(
             network,
-            core::with_duty_cycle(spec_algorithm
-                                      ? core::make_policy_factory(pspec)
-                                      : make_factory(spec),
-                                  spec.mobility.duty_on,
-                                  spec.mobility.duty_period),
+            core::with_trust(
+                core::with_duty_cycle(
+                    spec_algorithm ? core::make_policy_factory(pspec)
+                                   : make_factory(spec),
+                    duty_cycled ? spec.mobility.duty_on : 1,
+                    duty_cycled ? spec.mobility.duty_period : 1),
+                spec.trust),
             trial);
       } else {
         stats = spec_algorithm

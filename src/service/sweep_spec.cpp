@@ -63,6 +63,17 @@ namespace {
   return "?";
 }
 
+[[nodiscard]] const char* canon_attack(sim::AdversaryAttack attack) {
+  using sim::AdversaryAttack;
+  switch (attack) {
+    case AdversaryAttack::kJam: return "jam";
+    case AdversaryAttack::kByzantine: return "byzantine";
+    case AdversaryAttack::kNonResponder: return "non-responder";
+    case AdversaryAttack::kMix: return "mix";
+  }
+  return "?";
+}
+
 void emit(std::string& out, std::string_view key, std::string_view value) {
   out += key;
   out += " = ";
@@ -181,6 +192,25 @@ std::string SweepSpec::canonical() const {
     emit_u64(out, "duty-on", mobility.duty_on);
     emit_u64(out, "duty-period", mobility.duty_period);
   }
+
+  out += "[adversary]\n";
+  if (faults.adversary.enabled()) {
+    emit_f64(out, "fraction", faults.adversary.fraction);
+    emit(out, "attack", canon_attack(faults.adversary.attack));
+    emit_f64(out, "byzantine-tx", faults.adversary.byzantine_tx);
+    emit_f64(out, "victim-fraction", faults.adversary.victim_fraction);
+  }
+  if (trust.enabled) {
+    emit(out, "trust", "1");
+    emit_f64(out, "trust-threshold", trust.threshold);
+    emit_f64(out, "trust-reward", trust.reward);
+    emit_f64(out, "trust-rate-penalty", trust.rate_penalty);
+    emit_f64(out, "trust-decay", trust.decay);
+    emit_u64(out, "trust-rate-window", trust.rate_window);
+    emit_u64(out, "trust-max-per-window", trust.max_per_window);
+    emit_u64(out, "trust-block-slots", trust.block_slots);
+    emit_u64(out, "trust-entry-window", trust.entry_window);
+  }
   return out;
 }
 
@@ -190,10 +220,11 @@ bool parse_sweep_spec(const util::IniFile& ini, SweepSpec& spec,
 
   for (const std::string& section : ini.section_names()) {
     if (section != "experiment" && section != "scenario" &&
-        section != "faults" && section != "mobility") {
+        section != "faults" && section != "mobility" &&
+        section != "adversary") {
       *error = section.empty()
                    ? "keys outside any section (expected [experiment], "
-                     "[scenario], [faults] or [mobility])"
+                     "[scenario], [faults], [mobility] or [adversary])"
                    : "unknown section [" + section + "]";
       return false;
     }
@@ -346,6 +377,16 @@ bool parse_sweep_spec(const util::IniFile& ini, SweepSpec& spec,
       *error = "[mobility] cannot sweep the topology/channel kind";
       return false;
     }
+  }
+
+  if (!runner::parse_adversary_section(ini, spec.faults.adversary, spec.trust,
+                                       error)) {
+    return false;
+  }
+  if (spec.trust.enabled && spec.kernel == runner::SyncKernel::kSoa) {
+    // Trust wraps policy objects; the SoA kernel runs policy tables.
+    *error = "[adversary] trust = 1 requires kernel = engine";
+    return false;
   }
   return true;
 }

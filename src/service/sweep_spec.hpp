@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "core/trust.hpp"
 #include "runner/scenario.hpp"
 #include "runner/trials.hpp"
 #include "sim/fault_plan.hpp"
@@ -47,6 +48,10 @@ struct SweepSpec {
   /// enabled the runner builds an epoch topology provider per point and
   /// reports encounter metrics alongside completion statistics.
   runner::MobilitySpec mobility;
+  /// Optional [adversary] section: the attack itself lands in
+  /// faults.adversary; this is the trust-maintenance defence (engine
+  /// kernel only — trust wraps policy objects).
+  core::TrustConfig trust;
 
   /// Deterministic rendering of every effective field, fixed order,
   /// hexfloat doubles. This — not the submitted file text — is what gets

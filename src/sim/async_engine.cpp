@@ -175,15 +175,37 @@ AsyncEngineResult run_async_engine(const net::Network& network,
       // nor frames_started are counted.
       const bool down = faults.down_at(ev.node, ev.time);
       if (!down) {
-        if (faults.consume_reset(ev.node, ev.time)) {
-          setup.reset_policy(ev.node);
-        }
-        const FrameAction action = setup.policy(ev.node).next_frame(
-            setup.rng(ev.node));
-        frame.mode = action.mode;
-        frame.channel = action.channel;
-        if (action.mode != Mode::kQuiet) {
-          M2HEW_DCHECK(network.available(ev.node).contains(action.channel));
+        // Adversary roles replace the node's policy at frame granularity:
+        // a jammer transmits noise every frame on its fixed channel (no
+        // draws), a Byzantine announcer draws channel + coin per frame
+        // from the node's policy stream — the frame-axis mirror of the
+        // slotted engines' per-slot intercept.
+        switch (faults.role(ev.node)) {
+          case AdversaryRole::kJammer:
+            frame.mode = Mode::kTransmit;
+            frame.channel = faults.jam_channel(ev.node);
+            break;
+          case AdversaryRole::kByzantine: {
+            const SlotAction action =
+                faults.byzantine_slot_action(ev.node, setup.rng(ev.node));
+            frame.mode = action.mode;
+            frame.channel = action.channel;
+            break;
+          }
+          default: {
+            if (faults.consume_reset(ev.node, ev.time)) {
+              setup.reset_policy(ev.node);
+            }
+            const FrameAction action = setup.policy(ev.node).next_frame(
+                setup.rng(ev.node));
+            frame.mode = action.mode;
+            frame.channel = action.channel;
+            if (action.mode != Mode::kQuiet) {
+              M2HEW_DCHECK(
+                  network.available(ev.node).contains(action.channel));
+            }
+            break;
+          }
         }
         count_mode(result.activity[ev.node], frame.mode);
       }
@@ -323,9 +345,35 @@ AsyncEngineResult run_async_engine(const net::Network& network,
           }
         }
         if (interfered) continue;
+        // Adversarial dispositions, mirroring the slot engine. A jammer's
+        // burst is noise (it still interferes with other senders above,
+        // but never decodes); a non-responder's message never decodes at
+        // its victims. Neither consumes a loss draw.
+        if (faults.adversaries()) {
+          if (faults.jam_noise(burst.sender)) break;
+          if (faults.suppressed(burst.sender, u)) break;
+        }
         if (faults.message_lost(burst.sender, u, setup.loss_rng(),
                                 config.loss_probability)) {
           continue;
+        }
+        // A Byzantine message decodes but announces a fake ID — fed to
+        // the fault-layer table accounting and the policy, never the
+        // discovery state.
+        if (faults.fake_source(burst.sender)) {
+          const net::NodeId announced = faults.fake_id(burst.sender);
+          if (!setup.policy(u).admit_neighbor(announced)) {
+            faults.note_isolation(u, announced, s1);
+          } else {
+            const bool first_fake =
+                faults.note_fake_decode(burst.sender, u, s1);
+            setup.policy(u).observe_reception(announced, first_fake);
+          }
+          break;
+        }
+        if (!setup.policy(u).admit_neighbor(burst.sender)) {
+          faults.note_isolation(u, burst.sender, s1);
+          break;
         }
         const bool first_time =
             result.state.record_reception(burst.sender, u, s1);

@@ -12,7 +12,12 @@
 //  (c) spectrum dynamics — scheduled primary users (activation intervals)
 //                          that change the effective A(u) mid-run;
 //  (d) drift wander      — async only: per-node piecewise drift within
-//                          the configured δ bound instead of a constant.
+//                          the configured δ bound instead of a constant;
+//  (e) adversaries       — seed-derived malicious roles: always-on channel
+//                          jammers, Byzantine advertisers announcing fake
+//                          IDs (ghost inflation), and selective
+//                          non-responders (docs/MODEL.md "Adversary model
+//                          & trust maintenance").
 //
 // Determinism contract (docs/EXTENDING.md "Fault types"): every fault
 // stream derives from the trial's root seed through SeedSequence::derive
@@ -34,6 +39,7 @@
 #include "net/primary_user.hpp"
 #include "net/types.hpp"
 #include "sim/discovery_state.hpp"
+#include "sim/radio.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
@@ -44,6 +50,65 @@ namespace m2hew::sim {
 /// node policy stream derive(u), the loss stream derive(N+1) and the
 /// async clock stream derive(u, 0xC10C).
 inline constexpr std::uint64_t kChurnStreamSalt = 0xFA17;
+
+/// Salt for the per-node adversary-role streams: node u's role (and its
+/// attack parameters — jam channel, fake ID, victim set) is drawn from
+/// Rng(seeds.derive(u, kAdversaryStreamSalt)), disjoint from every other
+/// stream (policy derive(u), loss derive(N+1), churn 0xFA17, clocks
+/// 0xC10C, mobility 0x30B1).
+inline constexpr std::uint64_t kAdversaryStreamSalt = 0xAD5A;
+
+/// Which attack the adversary population mounts. kMix assigns each
+/// adversary one of the three concrete attacks uniformly — and because the
+/// adversary coin is the FIRST draw of the role stream, switching the
+/// attack type keeps the adversary node set fixed (only the behaviour
+/// changes), which is what the E26 attack-type sweep compares.
+enum class AdversaryAttack : std::uint8_t {
+  kJam = 0,           ///< always-on noise on one fixed channel of A(u)
+  kByzantine = 1,     ///< elevated-rate announcements of a fake node ID
+  kNonResponder = 2,  ///< honest schedule, but victims never decode it
+  kMix = 3,           ///< uniform mix of the three
+};
+
+/// Per-node role materialized by FaultState from an AdversarySpec.
+enum class AdversaryRole : std::uint8_t {
+  kHonest = 0,
+  kJammer = 1,
+  kByzantine = 2,
+  kNonResponder = 3,
+};
+
+/// Seed-derived adversary population. Each node is independently an
+/// adversary with probability `fraction`; adversaries play one of three
+/// roles (see AdversaryAttack):
+///
+///  - a *jammer* never runs its policy (no stream draws); it transmits
+///    noise every slot on one channel drawn uniformly from its A(u). The
+///    noise propagates exactly like a discovery message (only along arcs
+///    whose span carries the channel), colliding with legitimate traffic;
+///    a lone jammer on the listener's channel reads as a collision.
+///  - a *Byzantine advertiser* replaces its policy with a fixed-rate
+///    announcer: each slot it picks a channel uniformly from A(u) and
+///    transmits with probability `byzantine_tx` (one uniform pick + one
+///    coin, the same draw shape as the paper's policies). Its message
+///    announces `fake id` — drawn uniformly from [0, 2n), so it may
+///    collide with a real node's ID — instead of its own, polluting
+///    listener tables with ghosts while its own real arcs stay unheard.
+///  - a *selective non-responder* runs its honest policy unchanged, but a
+///    seed-chosen `victim_fraction` subset of its out-neighbors can never
+///    decode it (the victims hear silence), silently eroding their recall.
+///
+/// Role streams derive from kAdversaryStreamSalt, so `fraction == 0`
+/// leaves every existing stream untouched (bit-identical to a plan with no
+/// adversary block) on all four execution paths.
+struct AdversarySpec {
+  double fraction = 0.0;
+  AdversaryAttack attack = AdversaryAttack::kMix;
+  double byzantine_tx = 0.45;    ///< Byzantine per-slot transmit probability
+  double victim_fraction = 0.5;  ///< non-responder: P(out-neighbor is victim)
+
+  [[nodiscard]] bool enabled() const noexcept { return fraction > 0.0; }
+};
 
 /// Seed-derived node crash/recover schedule. Each node independently
 /// crashes with `crash_probability` at a time uniform in
@@ -113,10 +178,11 @@ struct FaultPlan {
   std::vector<net::ScheduledPrimaryUser> spectrum;
   std::vector<net::Point> positions;
   DriftWanderSpec drift_wander;
+  AdversarySpec adversary;
 
   [[nodiscard]] bool any() const noexcept {
     return churn.enabled() || burst_loss.enabled || !spectrum.empty() ||
-           drift_wander.enabled;
+           drift_wander.enabled || adversary.enabled();
   }
 };
 
@@ -159,6 +225,13 @@ inline void validate_fault_plan(const FaultPlan<Time>& plan,
   if (dw.enabled) {
     M2HEW_CHECK(dw.min_segment > 0.0 && dw.max_segment >= dw.min_segment);
   }
+  const AdversarySpec& adv = plan.adversary;
+  M2HEW_CHECK_MSG(adv.fraction >= 0.0 && adv.fraction <= 1.0,
+                  "adversary fraction must be in [0, 1]");
+  M2HEW_CHECK_MSG(adv.byzantine_tx > 0.0 && adv.byzantine_tx <= 1.0,
+                  "byzantine transmit probability must be in (0, 1]");
+  M2HEW_CHECK_MSG(adv.victim_fraction >= 0.0 && adv.victim_fraction <= 1.0,
+                  "non-responder victim fraction must be in [0, 1]");
 }
 
 /// Robustness metrics computed at the end of a faulted run. `enabled` is
@@ -189,13 +262,52 @@ struct RobustnessReport {
   double mean_rediscovery = 0.0;
   double max_rediscovery = 0.0;
 
+  // --- Adversary metrics (zero unless the plan carried an AdversarySpec).
+  /// True iff the plan's adversary block was enabled for this trial.
+  bool adversary = false;
+  /// Nodes assigned a non-honest role by the seed-derived coin.
+  std::size_t adversary_nodes = 0;
+  /// Covered directed arcs of the real network at the end of the run —
+  /// the truthful content of the union of all neighbor tables.
+  std::size_t real_entries = 0;
+  /// Admitted, un-evicted table entries naming a Byzantine fake ID that
+  /// does not alias a covered real arc (an entry whose announced ID is a
+  /// real covered in-neighbor is counted once, as real — the
+  /// double-counting rule fault_plan_test pins down). Also added to
+  /// ghost_entries: fake IDs are ghost inflation.
+  std::size_t fake_entries = 0;
+  /// (listener, fake ID) pairs a trust policy rejected at least once —
+  /// each rejection also evicts the pair's table entry.
+  std::size_t isolated_fakes = 0;
+  /// (listener, announced ID) pairs rejected whose announced ID is NOT a
+  /// fake in play: the trust policy's false positives.
+  std::size_t honest_isolated = 0;
+  /// Mean / max time from a fake ID's first decode at a listener to its
+  /// first rejection there, over isolated (listener, fake ID) pairs.
+  double mean_isolation = 0.0;
+  double max_isolation = 0.0;
+
   /// Recall restricted to surviving true neighbors: covered surviving
-  /// links / surviving links (1 when no link survived).
+  /// links / surviving links (1 when no link survived). Links with a
+  /// jammer or Byzantine endpoint are excluded from both counts — those
+  /// roles never announce their real ID nor listen, so their arcs are
+  /// undiscoverable by construction; non-responder arcs stay in (their
+  /// victims' misses are exactly the attack's recall cost).
   [[nodiscard]] double surviving_recall() const noexcept {
     return surviving_links == 0
                ? 1.0
                : static_cast<double>(covered_surviving_links) /
                      static_cast<double>(surviving_links);
+  }
+
+  /// Precision under attack: real entries / (real + fake entries); 1 when
+  /// the tables are empty. Ghost-from-churn staleness is accounted
+  /// separately (ghost_entries), so this isolates adversarial pollution.
+  [[nodiscard]] double precision_under_attack() const noexcept {
+    const std::size_t total = real_entries + fake_entries;
+    return total == 0 ? 1.0
+                      : static_cast<double>(real_entries) /
+                            static_cast<double>(total);
   }
 };
 
@@ -215,6 +327,66 @@ class FaultState {
   [[nodiscard]] bool has_spectrum() const noexcept {
     return !plan_->spectrum.empty();
   }
+  [[nodiscard]] bool adversaries() const noexcept { return adversary_; }
+  [[nodiscard]] std::size_t adversary_count() const noexcept {
+    return adversary_count_;
+  }
+
+  /// Node u's materialized role (kHonest whenever the spec is disabled).
+  [[nodiscard]] AdversaryRole role(net::NodeId u) const noexcept {
+    return adversary_ ? static_cast<AdversaryRole>(role_[u])
+                      : AdversaryRole::kHonest;
+  }
+
+  /// The fixed channel a jammer transmits noise on (valid iff kJammer).
+  [[nodiscard]] net::ChannelId jam_channel(net::NodeId u) const noexcept {
+    return jam_channel_[u];
+  }
+
+  /// The fake ID a Byzantine advertiser announces (valid iff kByzantine).
+  /// Drawn from [0, 2n), so it may alias a real node's ID.
+  [[nodiscard]] net::NodeId fake_id(net::NodeId u) const noexcept {
+    return fake_id_[u];
+  }
+
+  /// True iff a resolved unique sender is a jammer — its "message" is
+  /// noise and must read as a collision at the listener.
+  [[nodiscard]] bool jam_noise(net::NodeId sender) const noexcept {
+    return adversary_ &&
+           role_[sender] == static_cast<std::uint8_t>(AdversaryRole::kJammer);
+  }
+
+  /// True iff a resolved unique sender announces a fake ID.
+  [[nodiscard]] bool fake_source(net::NodeId sender) const noexcept {
+    return adversary_ && role_[sender] == static_cast<std::uint8_t>(
+                                              AdversaryRole::kByzantine);
+  }
+
+  /// True iff `receiver` is one of non-responder `sender`'s victims: the
+  /// reception is suppressed (reads as silence, no loss draw consumed).
+  [[nodiscard]] bool suppressed(net::NodeId sender,
+                                net::NodeId receiver) const noexcept;
+
+  /// The Byzantine announcer's slot action: one uniform channel pick from
+  /// A(u) then one Bernoulli(byzantine_tx) coin from the node's policy
+  /// stream — the exact draw shape of the paper's policies, so the slot
+  /// engine and the SoA kernel stay bit-identical.
+  [[nodiscard]] SlotAction byzantine_slot_action(net::NodeId u,
+                                                 util::Rng& rng) const;
+
+  /// Records a listener decoding a Byzantine announcement: refreshes (or
+  /// creates, or un-evicts) the (receiver, fake ID) table entry. Returns
+  /// true iff the entry is new at this listener (first_time semantics for
+  /// policy feedback). Call only when fake_source(sender).
+  [[nodiscard]] bool note_fake_decode(net::NodeId sender,
+                                      net::NodeId receiver, Time t);
+
+  /// Records a trust-policy rejection of `announced` at `receiver`. If the
+  /// announced ID is a fake in play: evicts the table entry and, on the
+  /// first rejection, stamps the pair's time-to-isolation. Otherwise it
+  /// counts (deduplicated) as a false-positive block. No-op unless the
+  /// adversary spec is enabled.
+  void note_isolation(net::NodeId receiver, net::NodeId announced, Time t);
 
   /// True iff node u is crashed at time t.
   [[nodiscard]] bool down_at(net::NodeId u, Time t) const noexcept {
@@ -277,15 +449,36 @@ class FaultState {
     Time recovery{};
   };
 
+  /// One (listener, announced fake ID) table entry: per-listener counts
+  /// are bounded by the listener's Byzantine in-degree, so linear scans
+  /// stay cheap.
+  struct FakeEntry {
+    net::NodeId id = net::kInvalidNode;
+    double first_seen = 0.0;
+    double isolated_at = 0.0;
+    bool evicted = false;
+    bool isolated = false;
+  };
+
   const net::Network* network_;
   const FaultPlan<Time>* plan_;
   bool churn_ = false;
+  bool adversary_ = false;
   net::NodeId n_ = 0;
+  std::size_t adversary_count_ = 0;
   std::vector<NodeChurn> schedule_;
   std::vector<std::uint8_t> reset_pending_;
   std::vector<std::uint8_t> ge_state_;      // n×n; 0 = good, 1 = bad
   std::vector<double> post_recovery_;       // n×n; first reception ≥ threshold, -1 unset
   std::vector<std::vector<std::uint32_t>> spectrum_cover_;  // PU idx per node
+  std::vector<std::uint8_t> role_;              // n; AdversaryRole values
+  std::vector<net::ChannelId> jam_channel_;     // n; valid iff kJammer
+  std::vector<net::NodeId> fake_id_;            // n; valid iff kByzantine
+  std::vector<net::NodeId> fake_ids_;           // sorted distinct fake IDs in play
+  std::vector<std::vector<net::ChannelId>> byz_avail_;  // A(u), Byzantine only
+  std::vector<std::vector<net::NodeId>> victims_;       // sorted, non-responders
+  std::vector<std::vector<FakeEntry>> fake_heard_;      // per listener
+  std::vector<std::vector<net::NodeId>> honest_blocked_;  // per listener, sorted
 };
 
 extern template class FaultState<std::uint64_t>;

@@ -58,6 +58,22 @@ MultiRadioEngineResult run_multi_radio_engine(
         actions[u].assign(setup.policy(u).radio_count(), SlotAction{});
         continue;
       }
+      // Jammer and Byzantine roles use a single radio (radio 0) — the
+      // same behaviour and draw shape as the single-radio engines — with
+      // every other radio quiet (two radios of one node may not share a
+      // channel, so a jammer cannot jam with all of them anyway). A
+      // non-responder keeps its honest schedule: suppression happens at
+      // its victims' decode step.
+      const AdversaryRole role = faults.role(u);
+      if (role == AdversaryRole::kJammer ||
+          role == AdversaryRole::kByzantine) {
+        actions[u].assign(setup.policy(u).radio_count(), SlotAction{});
+        actions[u][0] =
+            role == AdversaryRole::kJammer
+                ? SlotAction{Mode::kTransmit, faults.jam_channel(u)}
+                : faults.byzantine_slot_action(u, setup.rng(u));
+        continue;
+      }
       if (faults.consume_reset(u, slot)) setup.reset_policy(u);
       actions[u] = setup.policy(u).next_slot(setup.rng(u));
       M2HEW_CHECK_MSG(actions[u].size() == setup.policy(u).radio_count(),
@@ -150,9 +166,41 @@ MultiRadioEngineResult run_multi_radio_engine(
           setup.policy(u).observe_listen_outcome(r, ListenOutcome::kSilence);
           continue;
         }
+        // Adversarial dispositions, mirroring the slot engine (see
+        // run_slot_engine for the rationale and ordering).
+        if (faults.adversaries()) {
+          if (faults.jam_noise(heard.sender)) {
+            setup.policy(u).observe_listen_outcome(r,
+                                                   ListenOutcome::kCollision);
+            continue;
+          }
+          if (faults.suppressed(heard.sender, u)) {
+            setup.policy(u).observe_listen_outcome(r,
+                                                   ListenOutcome::kSilence);
+            continue;
+          }
+        }
         if (faults.message_lost(heard.sender, u, setup.loss_rng(),
                                 config.loss_probability)) {
           setup.policy(u).observe_listen_outcome(r, ListenOutcome::kSilence);
+          continue;
+        }
+        if (faults.fake_source(heard.sender)) {
+          const net::NodeId announced = faults.fake_id(heard.sender);
+          if (!setup.policy(u).admit_neighbor(announced)) {
+            faults.note_isolation(u, announced, slot);
+            setup.policy(u).observe_listen_outcome(r, ListenOutcome::kClear);
+            continue;
+          }
+          const bool first_fake =
+              faults.note_fake_decode(heard.sender, u, slot);
+          setup.policy(u).observe_listen_outcome(r, ListenOutcome::kClear);
+          setup.policy(u).observe_reception(r, announced, first_fake);
+          continue;
+        }
+        if (!setup.policy(u).admit_neighbor(heard.sender)) {
+          faults.note_isolation(u, heard.sender, slot);
+          setup.policy(u).observe_listen_outcome(r, ListenOutcome::kClear);
           continue;
         }
         const bool first_time = result.state.record_reception(

@@ -51,6 +51,14 @@ class MultiRadioPolicy {
     (void)radio;
     (void)outcome;
   }
+
+  /// Admission gate, consulted before a decoded announcement is recorded;
+  /// the node's single neighbor table is shared by its radios, so there is
+  /// no radio argument. See sim::SyncPolicy::admit_neighbor.
+  [[nodiscard]] virtual bool admit_neighbor(net::NodeId announced) {
+    (void)announced;
+    return true;
+  }
 };
 
 using MultiRadioPolicyFactory = std::function<std::unique_ptr<MultiRadioPolicy>(

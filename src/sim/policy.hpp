@@ -40,6 +40,20 @@ class SyncPolicy {
   virtual void observe_listen_outcome(ListenOutcome outcome) {
     (void)outcome;
   }
+
+  /// Admission gate, consulted before the engine records a decoded
+  /// announcement of `announced` into this node's neighbor table. The
+  /// default accepts everything (the paper's model trusts all
+  /// transmitters); the trust wrapper (core/trust.hpp) rejects blocked
+  /// IDs, which the engine reports to the fault layer as an isolation
+  /// event. Wrapper policies MUST forward this to their inner policy.
+  /// Rejection suppresses the reception entirely (no observe_reception,
+  /// no table entry); the announced ID is what the message carried, which
+  /// under a Byzantine fault need not be the physical sender's ID.
+  [[nodiscard]] virtual bool admit_neighbor(net::NodeId announced) {
+    (void)announced;
+    return true;
+  }
 };
 
 /// Asynchronous-system policy: called once at the start of each frame.
@@ -53,6 +67,12 @@ class AsyncPolicy {
   virtual void observe_reception(net::NodeId from, bool first_time) {
     (void)from;
     (void)first_time;
+  }
+
+  /// Admission gate; see SyncPolicy::admit_neighbor.
+  [[nodiscard]] virtual bool admit_neighbor(net::NodeId announced) {
+    (void)announced;
+    return true;
   }
 };
 

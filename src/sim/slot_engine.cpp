@@ -48,10 +48,26 @@ SlotEngineResult run_slot_engine(const net::Network& network,
 
     for (net::NodeId u = 0; u < n; ++u) {
       if (slot >= start_of(config.starts, u) && !faults.down_at(u, slot)) {
-        if (faults.consume_reset(u, slot)) setup.reset_policy(u);
-        actions[u] = setup.policy(u).next_slot(setup.rng(u));
-        if (actions[u].mode != Mode::kQuiet) {
-          M2HEW_DCHECK(network.available(u).contains(actions[u].channel));
+        // Adversary roles replace the node's policy: a jammer transmits
+        // noise on its fixed channel without any stream draws, a
+        // Byzantine announcer draws channel + coin from the node's policy
+        // stream (same shape as the SoA action pass). Their policy
+        // objects are never polled, so recovery resets are moot.
+        switch (faults.role(u)) {
+          case AdversaryRole::kJammer:
+            actions[u] = SlotAction{Mode::kTransmit, faults.jam_channel(u)};
+            break;
+          case AdversaryRole::kByzantine:
+            actions[u] = faults.byzantine_slot_action(u, setup.rng(u));
+            break;
+          default:
+            if (faults.consume_reset(u, slot)) setup.reset_policy(u);
+            actions[u] = setup.policy(u).next_slot(setup.rng(u));
+            if (actions[u].mode != Mode::kQuiet) {
+              M2HEW_DCHECK(
+                  network.available(u).contains(actions[u].channel));
+            }
+            break;
         }
       } else {
         actions[u] = SlotAction{};  // not started or crashed: quiet
@@ -122,9 +138,43 @@ SlotEngineResult run_slot_engine(const net::Network& network,
         setup.policy(u).observe_listen_outcome(ListenOutcome::kSilence);
         continue;
       }
+      // Adversarial dispositions of a uniquely-resolved sender: jammer
+      // noise reads as a collision, a non-responder's message never
+      // decodes at its victims (silence) — neither consumes a loss draw,
+      // because neither is a decodable message.
+      if (faults.adversaries()) {
+        if (faults.jam_noise(heard.sender)) {
+          setup.policy(u).observe_listen_outcome(ListenOutcome::kCollision);
+          continue;
+        }
+        if (faults.suppressed(heard.sender, u)) {
+          setup.policy(u).observe_listen_outcome(ListenOutcome::kSilence);
+          continue;
+        }
+      }
       if (faults.message_lost(heard.sender, u, setup.loss_rng(),
                               config.loss_probability)) {
         setup.policy(u).observe_listen_outcome(ListenOutcome::kSilence);
+        continue;
+      }
+      // A Byzantine message decodes cleanly but announces a fake ID: it
+      // pollutes the listener's table (fault-layer accounting) and feeds
+      // the policy the announced ID, never the real arc.
+      if (faults.fake_source(heard.sender)) {
+        const net::NodeId announced = faults.fake_id(heard.sender);
+        if (!setup.policy(u).admit_neighbor(announced)) {
+          faults.note_isolation(u, announced, slot);
+          setup.policy(u).observe_listen_outcome(ListenOutcome::kClear);
+          continue;
+        }
+        const bool first_fake = faults.note_fake_decode(heard.sender, u, slot);
+        setup.policy(u).observe_listen_outcome(ListenOutcome::kClear);
+        setup.policy(u).observe_reception(announced, first_fake);
+        continue;
+      }
+      if (!setup.policy(u).admit_neighbor(heard.sender)) {
+        faults.note_isolation(u, heard.sender, slot);
+        setup.policy(u).observe_listen_outcome(ListenOutcome::kClear);
         continue;
       }
       const bool first_time = result.state.record_reception(

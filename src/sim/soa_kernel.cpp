@@ -160,6 +160,24 @@ SoaSlotKernelResult SoaSlotKernel::run(const SoaPolicyTable& table,
         mode_[u] = Mode::kQuiet;
         continue;
       }
+      // Adversary roles replace the policy table entry, with draws (none
+      // for a jammer; channel + coin for a Byzantine) matching the slot
+      // engine's bit-identically.
+      if (faults.adversaries()) {
+        const AdversaryRole role = faults.role(u);
+        if (role == AdversaryRole::kJammer) {
+          mode_[u] = Mode::kTransmit;
+          channel_[u] = faults.jam_channel(u);
+          continue;
+        }
+        if (role == AdversaryRole::kByzantine) {
+          const SlotAction action =
+              faults.byzantine_slot_action(u, streams.rng(u));
+          mode_[u] = action.mode;
+          channel_[u] = action.channel;
+          continue;
+        }
+      }
       if (faults.consume_reset(u, slot)) {
         slot_in_stage_[u] = 0;
         stage_slots_[u] = table.initial_stage_slots;
@@ -246,8 +264,23 @@ SoaSlotKernelResult SoaSlotKernel::run(const SoaPolicyTable& table,
         sender_arc = arc;
       }
       if (collision || sender == net::kInvalidNode) continue;
+      // Adversarial dispositions, mirroring the slot engine: jammer noise
+      // and non-responder suppression consume no loss draw; a Byzantine
+      // message passes the loss gate, then lands in the fake table
+      // instead of the coverage arrays (the SoA path has no policy
+      // objects, so there is no trust gate — equivalence legs run
+      // untrusted).
+      if (faults.adversaries()) {
+        if (faults.jam_noise(sender) || faults.suppressed(sender, u)) {
+          continue;
+        }
+      }
       if (faults.message_lost(sender, u, streams.loss_rng(),
                               config.loss_probability)) {
+        continue;
+      }
+      if (faults.fake_source(sender)) {
+        (void)faults.note_fake_decode(sender, u, slot);
         continue;
       }
       ++result.receptions;

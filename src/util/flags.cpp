@@ -48,14 +48,27 @@ std::string Flags::get_string(std::string_view name,
   return it->second;
 }
 
+void Flags::report_malformed(std::string_view name, std::string_view value,
+                             const char* expected) const {
+  const std::string message = "--" + std::string(name) + ": value '" +
+                              std::string(value) + "' " + expected;
+  if (on_parse_error_) {
+    on_parse_error_(message);
+    return;
+  }
+  M2HEW_CHECK_MSG(false, message.c_str());
+}
+
 std::int64_t Flags::get_int(std::string_view name, std::int64_t def) const {
   const auto it = values_.find(name);
   if (it == values_.end()) return def;
   consumed_[it->first] = true;
   char* end = nullptr;
   const long long parsed = std::strtoll(it->second.c_str(), &end, 10);
-  M2HEW_CHECK_MSG(end != it->second.c_str() && *end == '\0',
-                  "flag value is not an integer");
+  if (end == it->second.c_str() || *end != '\0') {
+    report_malformed(name, it->second, "is not an integer");
+    return def;
+  }
   return parsed;
 }
 
@@ -65,8 +78,10 @@ double Flags::get_double(std::string_view name, double def) const {
   consumed_[it->first] = true;
   char* end = nullptr;
   const double parsed = std::strtod(it->second.c_str(), &end);
-  M2HEW_CHECK_MSG(end != it->second.c_str() && *end == '\0',
-                  "flag value is not a number");
+  if (end == it->second.c_str() || *end != '\0') {
+    report_malformed(name, it->second, "is not a number");
+    return def;
+  }
   return parsed;
 }
 
@@ -77,7 +92,7 @@ bool Flags::get_bool(std::string_view name, bool def) const {
   const std::string& v = it->second;
   if (v.empty() || v == "true" || v == "1") return true;
   if (v == "false" || v == "0") return false;
-  M2HEW_CHECK_MSG(false, "flag value is not a boolean");
+  report_malformed(name, v, "is not a boolean");
   return def;
 }
 

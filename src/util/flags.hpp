@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <string_view>
@@ -20,8 +21,18 @@ class Flags {
 
   [[nodiscard]] bool has(std::string_view name) const;
 
+  /// Installs a handler invoked with a "--name: ..." message when a typed
+  /// getter hits an unparseable value; the getter then returns its
+  /// default. Without a handler the getter aborts (CHECK). Front ends
+  /// install one that prints the message and exits 2, so a typo'd value
+  /// is an ordinary usage error, not a crash.
+  void on_parse_error(std::function<void(const std::string&)> handler) {
+    on_parse_error_ = std::move(handler);
+  }
+
   /// Typed getters return the default when the flag is absent; they abort
-  /// (CHECK) when the flag is present but unparseable.
+  /// (CHECK) when the flag is present but unparseable, unless an
+  /// on_parse_error handler is installed.
   [[nodiscard]] std::string get_string(std::string_view name,
                                        std::string_view def = "") const;
   [[nodiscard]] std::int64_t get_int(std::string_view name,
@@ -40,9 +51,13 @@ class Flags {
   [[nodiscard]] std::vector<std::string> unconsumed() const;
 
  private:
+  void report_malformed(std::string_view name, std::string_view value,
+                        const char* expected) const;
+
   std::map<std::string, std::string, std::less<>> values_;
   mutable std::map<std::string, bool, std::less<>> consumed_;
   std::vector<std::string> positional_;
+  std::function<void(const std::string&)> on_parse_error_;
 };
 
 }  // namespace m2hew::util

@@ -105,6 +105,12 @@ template <typename Time>
       plan.spectrum.push_back(pu);
     }
   }
+  if (seed % 2 == 1) {
+    plan.adversary.fraction = 0.2 + 0.2 * static_cast<double>(seed % 3);
+    plan.adversary.attack = static_cast<sim::AdversaryAttack>(seed % 4);
+    plan.adversary.byzantine_tx = 0.6;
+    plan.adversary.victim_fraction = 0.5;
+  }
   return plan;
 }
 
@@ -145,6 +151,14 @@ void expect_same_robustness(const sim::RobustnessReport& a,
   EXPECT_EQ(a.rediscovered_links, b.rediscovered_links);
   EXPECT_DOUBLE_EQ(a.mean_rediscovery, b.mean_rediscovery);
   EXPECT_DOUBLE_EQ(a.max_rediscovery, b.max_rediscovery);
+  EXPECT_EQ(a.adversary, b.adversary);
+  EXPECT_EQ(a.adversary_nodes, b.adversary_nodes);
+  EXPECT_EQ(a.real_entries, b.real_entries);
+  EXPECT_EQ(a.fake_entries, b.fake_entries);
+  EXPECT_EQ(a.isolated_fakes, b.isolated_fakes);
+  EXPECT_EQ(a.honest_isolated, b.honest_isolated);
+  EXPECT_DOUBLE_EQ(a.mean_isolation, b.mean_isolation);
+  EXPECT_DOUBLE_EQ(a.max_isolation, b.max_isolation);
 }
 
 void expect_same_activity(const std::vector<sim::RadioActivity>& a,

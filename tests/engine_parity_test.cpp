@@ -100,6 +100,12 @@ namespace {
       plan.spectrum.push_back(pu);
     }
   }
+  if (seed % 2 == 1) {
+    plan.adversary.fraction = 0.2 + 0.2 * static_cast<double>(seed % 3);
+    plan.adversary.attack = static_cast<sim::AdversaryAttack>(seed % 4);
+    plan.adversary.byzantine_tx = 0.6;
+    plan.adversary.victim_fraction = 0.5;
+  }
   return plan;
 }
 

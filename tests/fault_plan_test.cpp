@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/algorithms.hpp"
+#include "core/trust.hpp"
 #include "net/channel_assign.hpp"
 #include "net/topology_gen.hpp"
 #include "runner/trials.hpp"
@@ -42,6 +43,21 @@ namespace {
   plan.churn.max_down = 80;
   plan.churn.reset_policy_on_recovery = true;
   return plan;
+}
+
+/// Trust knobs hot enough to catch a 0.8–0.9-tx Byzantine on a small
+/// clique within a few thousand slots, while leaving the (slower) honest
+/// senders mostly untouched.
+[[nodiscard]] core::TrustConfig aggressive_trust() {
+  core::TrustConfig trust;
+  trust.enabled = true;
+  trust.threshold = 0.3;
+  trust.rate_penalty = 0.4;
+  trust.rate_window = 64;
+  trust.max_per_window = 8;
+  trust.block_slots = 100'000;  // outlives the run: no probation churn
+  trust.entry_window = 200'000;
+  return trust;
 }
 
 void expect_identical_results(const sim::SlotEngineResult& a,
@@ -251,6 +267,194 @@ TEST(FaultPlanTest, SerialAndParallelTrialsIdenticalWithFaults) {
                    b.robustness.surviving_recall.summarize().mean);
   EXPECT_DOUBLE_EQ(a.robustness.ghost_entries.summarize().mean,
                    b.robustness.ghost_entries.summarize().mean);
+}
+
+TEST(FaultPlanTest, AdversaryFractionZeroIsInert) {
+  // fraction = 0 with every other adversary knob populated must reproduce
+  // the plain run bit-identically on the classic engine: the role streams
+  // are salted derives that are never drawn when the spec is disabled.
+  const net::Network network = small_clique();
+  sim::SlotEngineConfig plain;
+  plain.max_slots = 3'000;
+  plain.seed = 41 + soak_offset();
+  plain.loss_probability = 0.15;
+
+  sim::SlotEngineConfig frozen = plain;
+  frozen.faults.adversary.fraction = 0.0;  // disabled
+  frozen.faults.adversary.attack = sim::AdversaryAttack::kByzantine;
+  frozen.faults.adversary.byzantine_tx = 0.9;
+  frozen.faults.adversary.victim_fraction = 1.0;
+  ASSERT_FALSE(frozen.faults.any());
+
+  const auto factory = core::make_algorithm3(6);
+  const auto a = sim::run_slot_engine(network, factory, plain);
+  const auto b = sim::run_slot_engine(network, factory, frozen);
+  expect_identical_results(a, b);
+  EXPECT_FALSE(b.robustness.enabled);
+  EXPECT_FALSE(b.robustness.adversary);
+  EXPECT_EQ(b.robustness.adversary_nodes, 0u);
+}
+
+[[nodiscard]] sim::SlotFaultPlan adversary_plan(
+    double fraction, sim::AdversaryAttack attack) {
+  sim::SlotFaultPlan plan;
+  plan.adversary.fraction = fraction;
+  plan.adversary.attack = attack;
+  plan.adversary.byzantine_tx = 0.8;
+  plan.adversary.victim_fraction = 0.5;
+  return plan;
+}
+
+TEST(FaultPlanTest, AdversaryRolesAreDeterministicAndAttackInvariant) {
+  // Same seeds -> same roles and parameters; and because the adversary
+  // coin is the first draw of each role stream, switching the attack type
+  // keeps the adversary SET fixed (only the behaviour changes).
+  const net::Network network = small_clique(10);
+  const util::SeedSequence seeds(77 + soak_offset());
+  const sim::FaultState<std::uint64_t> a(
+      network, seeds, adversary_plan(0.5, sim::AdversaryAttack::kMix));
+  const sim::FaultState<std::uint64_t> b(
+      network, seeds, adversary_plan(0.5, sim::AdversaryAttack::kMix));
+  const sim::FaultState<std::uint64_t> jam(
+      network, seeds, adversary_plan(0.5, sim::AdversaryAttack::kJam));
+  EXPECT_EQ(a.adversary_count(), b.adversary_count());
+  EXPECT_EQ(a.adversary_count(), jam.adversary_count());
+  EXPECT_GE(a.adversary_count(), 1u);
+  std::size_t honest = 0;
+  for (net::NodeId u = 0; u < 10; ++u) {
+    ASSERT_EQ(a.role(u), b.role(u)) << "node " << u;
+    // Attack-type invariance of the adversary set.
+    ASSERT_EQ(a.role(u) == sim::AdversaryRole::kHonest,
+              jam.role(u) == sim::AdversaryRole::kHonest)
+        << "node " << u;
+    if (jam.role(u) == sim::AdversaryRole::kJammer) {
+      EXPECT_LT(jam.jam_channel(u), 4u);  // drawn from A(u), universe 4
+    }
+    if (a.role(u) == sim::AdversaryRole::kByzantine) {
+      ASSERT_EQ(a.fake_id(u), b.fake_id(u));
+      EXPECT_LT(a.fake_id(u), 20u);  // [0, 2n)
+    }
+    honest += a.role(u) == sim::AdversaryRole::kHonest ? 1 : 0;
+  }
+  EXPECT_EQ(honest + a.adversary_count(), 10u);
+}
+
+TEST(FaultPlanTest, ByzantineAliasedFakeIdCountsOnceAsReal) {
+  // A Byzantine fake ID drawn below n can collide with a real node's ID.
+  // When the aliased real arc (fake -> listener) is covered, the listener's
+  // table already holds that entry as real knowledge: assess must count it
+  // once (real), not also as a fake entry. Scan seeds for a Byzantine node
+  // whose fake ID aliases a real node other than itself and the listener —
+  // on a clique every such arc exists.
+  const net::NodeId n = 6;
+  const net::Network network = small_clique(n);
+  const sim::SlotFaultPlan plan =
+      adversary_plan(1.0, sim::AdversaryAttack::kByzantine);
+  for (std::uint64_t seed = 1; seed < 200; ++seed) {
+    sim::FaultState<std::uint64_t> state(
+        network, util::SeedSequence(seed), plan);
+    net::NodeId byz = net::kInvalidNode;
+    for (net::NodeId u = 0; u < n; ++u) {
+      if (state.role(u) == sim::AdversaryRole::kByzantine &&
+          state.fake_id(u) < n && state.fake_id(u) != u) {
+        byz = u;
+        break;
+      }
+    }
+    if (byz == net::kInvalidNode) continue;
+    const net::NodeId fake = state.fake_id(byz);
+    const net::NodeId listener = fake == 0 ? (byz == 1 ? 2 : 1)
+                                           : (byz == 0 ? (fake == 1 ? 2 : 1)
+                                                       : 0);
+    ASSERT_NE(listener, byz);
+    ASSERT_NE(listener, fake);
+
+    // The listener decodes the Byzantine announcement of `fake`...
+    EXPECT_TRUE(state.note_fake_decode(byz, listener, 10));
+    EXPECT_FALSE(state.note_fake_decode(byz, listener, 20));  // refresh only
+
+    // ...without the aliased real arc covered: one fake entry.
+    sim::DiscoveryState uncovered(network);
+    const auto before = state.assess(uncovered, 100);
+    ASSERT_TRUE(before.adversary);
+    EXPECT_EQ(before.fake_entries, 1u);
+    EXPECT_EQ(before.real_entries, 0u);
+
+    // With the aliased arc fake -> listener covered: the entry is real
+    // knowledge, counted exactly once (no double count as fake).
+    sim::DiscoveryState covered(network);
+    ASSERT_TRUE(covered.record_reception(fake, listener, 5.0));
+    const auto after = state.assess(covered, 100);
+    EXPECT_EQ(after.real_entries, 1u);
+    EXPECT_EQ(after.fake_entries, 0u);
+    EXPECT_EQ(after.ghost_entries, 0u);
+    return;  // found and verified a collision scenario
+  }
+  FAIL() << "no seed produced an aliasing Byzantine fake ID";
+}
+
+TEST(FaultPlanTest, SerialAndParallelTrialsIdenticalWithAdversaries) {
+  const net::Network network = small_clique(8);
+  runner::SyncTrialConfig serial;
+  serial.trials = 10;
+  serial.seed = 51 + soak_offset();
+  serial.threads = 1;
+  serial.engine.max_slots = 4'000;
+  serial.engine.faults = adversary_plan(0.4, sim::AdversaryAttack::kMix);
+
+  runner::SyncTrialConfig parallel = serial;
+  parallel.threads = 4;
+
+  const auto factory = core::with_trust(
+      core::make_algorithm3(8), aggressive_trust());
+  const auto a = runner::run_sync_trials(network, factory, serial);
+  const auto b = runner::run_sync_trials(network, factory, parallel);
+
+  EXPECT_EQ(a.robustness.fault_trials, b.robustness.fault_trials);
+  EXPECT_EQ(a.robustness.adversary_trials, b.robustness.adversary_trials);
+  EXPECT_EQ(a.robustness.adversary_trials, serial.trials);
+  EXPECT_EQ(a.robustness.fake_entries, b.robustness.fake_entries);
+  EXPECT_EQ(a.robustness.isolated_fakes, b.robustness.isolated_fakes);
+  EXPECT_EQ(a.robustness.honest_isolated, b.robustness.honest_isolated);
+  EXPECT_DOUBLE_EQ(a.robustness.precision_under_attack.summarize().mean,
+                   b.robustness.precision_under_attack.summarize().mean);
+  EXPECT_EQ(a.robustness.isolation_times.count(),
+            b.robustness.isolation_times.count());
+  if (a.robustness.isolation_times.count() > 0) {
+    EXPECT_DOUBLE_EQ(a.robustness.isolation_times.summarize().mean,
+                     b.robustness.isolation_times.summarize().mean);
+  }
+  EXPECT_DOUBLE_EQ(a.robustness.surviving_recall.summarize().mean,
+                   b.robustness.surviving_recall.summarize().mean);
+}
+
+TEST(FaultPlanTest, TrustIsolatesByzantineFakes) {
+  // End-to-end: a hot Byzantine population against the trust wrapper. The
+  // fakes announce far above the honest rate, so the trust table must
+  // isolate at least one and stamp a positive time-to-isolation.
+  const net::Network network = small_clique(8, 4);
+  sim::SlotEngineConfig config;
+  config.max_slots = 6'000;
+  config.seed = 61 + soak_offset();
+  config.faults = adversary_plan(0.5, sim::AdversaryAttack::kByzantine);
+  config.faults.adversary.byzantine_tx = 0.9;
+
+  const auto untrusted = sim::run_slot_engine(
+      network, core::make_algorithm3(16), config);
+  ASSERT_TRUE(untrusted.robustness.adversary);
+  ASSERT_GT(untrusted.robustness.fake_entries, 0u);
+  EXPECT_EQ(untrusted.robustness.isolated_fakes, 0u);
+
+  const auto trusted = sim::run_slot_engine(
+      network,
+      core::with_trust(core::make_algorithm3(16), aggressive_trust()),
+      config);
+  EXPECT_GT(trusted.robustness.isolated_fakes, 0u);
+  EXPECT_GT(trusted.robustness.mean_isolation, 0.0);
+  EXPECT_GE(trusted.robustness.max_isolation,
+            trusted.robustness.mean_isolation);
+  EXPECT_GE(trusted.robustness.precision_under_attack(),
+            untrusted.robustness.precision_under_attack());
 }
 
 TEST(FaultPlanTest, ValidationRejectsGilbertElliottPlusIidLoss) {

@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
+#include "core/trust.hpp"
+#include "sim/fault_plan.hpp"
+#include "util/ini.hpp"
+
 namespace m2hew::runner {
 namespace {
 
@@ -64,6 +70,90 @@ TEST(ScenarioKv, AppliedConfigBuilds) {
   const net::Network network = build_scenario(config, 1);
   EXPECT_EQ(network.node_count(), 6u);
   EXPECT_DOUBLE_EQ(network.min_span_ratio(), 0.5);
+}
+
+// Parses `text` with parse_adversary_section and returns the diagnostic
+// ("" on success). Every failure must be recoverable — a daemon-submitted
+// spec must never reach the aborting CHECKs in the validators.
+[[nodiscard]] std::string adversary_error_of(const std::string& text) {
+  const util::IniFile ini = util::IniFile::parse_string(text);
+  sim::AdversarySpec adversary;
+  core::TrustConfig trust;
+  std::string error;
+  const bool ok = parse_adversary_section(ini, adversary, trust, &error);
+  EXPECT_EQ(ok, error.empty());
+  return error;
+}
+
+TEST(ScenarioKv, AdversarySectionParses) {
+  const util::IniFile ini = util::IniFile::parse_string(
+      "[adversary]\n"
+      "fraction = 0.3\n"
+      "attack = non-responder\n"
+      "byzantine-tx = 0.7\n"
+      "victim-fraction = 0.25\n"
+      "trust = 1\n"
+      "trust-threshold = 0.4\n"
+      "trust-rate-window = 64\n");
+  sim::AdversarySpec adversary;
+  core::TrustConfig trust;
+  std::string error;
+  ASSERT_TRUE(parse_adversary_section(ini, adversary, trust, &error)) << error;
+  EXPECT_DOUBLE_EQ(adversary.fraction, 0.3);
+  EXPECT_EQ(adversary.attack, sim::AdversaryAttack::kNonResponder);
+  EXPECT_DOUBLE_EQ(adversary.byzantine_tx, 0.7);
+  EXPECT_DOUBLE_EQ(adversary.victim_fraction, 0.25);
+  EXPECT_TRUE(trust.enabled);
+  EXPECT_DOUBLE_EQ(trust.threshold, 0.4);
+  EXPECT_EQ(trust.rate_window, 64u);
+}
+
+TEST(ScenarioKv, AdversarySectionAbsentLeavesDefaults) {
+  const util::IniFile ini = util::IniFile::parse_string("[scenario]\nn = 4\n");
+  sim::AdversarySpec adversary;
+  core::TrustConfig trust;
+  std::string error;
+  ASSERT_TRUE(parse_adversary_section(ini, adversary, trust, &error));
+  EXPECT_FALSE(adversary.enabled());
+  EXPECT_FALSE(trust.enabled);
+  EXPECT_EQ(error, "");
+}
+
+TEST(ScenarioKv, AdversarySectionRecoverableDiagnostics) {
+  // Unknown key: diagnostic names the section and the key.
+  const std::string unknown = adversary_error_of("[adversary]\nbanana = 1\n");
+  EXPECT_NE(unknown.find("[adversary]"), std::string::npos) << unknown;
+  EXPECT_NE(unknown.find("banana"), std::string::npos) << unknown;
+  // Malformed value: diagnostic echoes the offending text.
+  const std::string malformed =
+      adversary_error_of("[adversary]\nfraction = lots\n");
+  EXPECT_NE(malformed.find("lots"), std::string::npos) << malformed;
+  // Out-of-range values mirror the aborting validators, recoverably.
+  EXPECT_NE(adversary_error_of("[adversary]\nfraction = 1.5\n"), "");
+  EXPECT_NE(adversary_error_of("[adversary]\nattack = meteor\n"), "");
+  EXPECT_NE(adversary_error_of("[adversary]\ntrust-decay = 1.5\n"), "");
+  EXPECT_NE(adversary_error_of("[adversary]\ntrust-threshold = 1\n"), "");
+  EXPECT_NE(adversary_error_of("[adversary]\ntrust-block-slots = 0\n"), "");
+}
+
+TEST(ScenarioKv, FaultsAndMobilitySectionsRejectUnknownKeys) {
+  // The sibling sections share the recoverable-diagnostic contract.
+  {
+    const util::IniFile ini =
+        util::IniFile::parse_string("[faults]\nbanana = 1\n");
+    sim::SlotFaultPlan faults;
+    std::string error;
+    EXPECT_FALSE(parse_faults_section(ini, faults, &error));
+    EXPECT_NE(error.find("banana"), std::string::npos) << error;
+  }
+  {
+    const util::IniFile ini =
+        util::IniFile::parse_string("[mobility]\nbanana = 1\n");
+    MobilitySpec mobility;
+    std::string error;
+    EXPECT_FALSE(parse_mobility_section(ini, mobility, &error));
+    EXPECT_NE(error.find("banana"), std::string::npos) << error;
+  }
 }
 
 TEST(ScenarioKvDeath, BadValuesAbort) {

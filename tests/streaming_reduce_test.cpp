@@ -28,6 +28,12 @@ namespace {
   record.recovered_links = 2;
   record.rediscovered_links = trial % 2;
   record.mean_rediscovery = 1.0 / 3.0 + static_cast<double>(trial);
+  record.adversary = trial % 2 == 0;
+  record.real_entries = 20 + trial;
+  record.fake_entries = trial / 2;
+  record.isolated_fakes = trial / 3;
+  record.honest_isolated = trial % 4;
+  record.mean_isolation = 2.0 / 7.0 + static_cast<double>(trial);
   return record;
 }
 
@@ -49,6 +55,13 @@ void expect_identical(const TrialOutcomeRecord& a,
   EXPECT_EQ(
       std::memcmp(&a.mean_rediscovery, &b.mean_rediscovery, sizeof(double)),
       0);
+  EXPECT_EQ(a.adversary, b.adversary);
+  EXPECT_EQ(a.real_entries, b.real_entries);
+  EXPECT_EQ(a.fake_entries, b.fake_entries);
+  EXPECT_EQ(a.isolated_fakes, b.isolated_fakes);
+  EXPECT_EQ(a.honest_isolated, b.honest_isolated);
+  EXPECT_EQ(
+      std::memcmp(&a.mean_isolation, &b.mean_isolation, sizeof(double)), 0);
 }
 
 TEST(WireFormat, RecordRoundTripsBitExactly) {
@@ -87,9 +100,28 @@ TEST(WireFormat, RejectsMalformedLines) {
   EXPECT_FALSE(
       decode_outcome_record(good.substr(0, good.find_last_of(' ')))
           .has_value());
-  // Booleans must be 0/1, not arbitrary ints.
-  EXPECT_FALSE(decode_outcome_record("R 1 2 0x0p+0 0 1 1 1 1 1 0x0p+0")
-                   .has_value());
+  // Booleans must be 0/1, not arbitrary ints — all three of them
+  // (complete, fault_enabled, adversary; whitespace-split token indices
+  // 2, 4 and 11 of the R line).
+  for (const std::size_t token : {2u, 4u, 11u}) {
+    std::vector<std::string> tokens;
+    std::size_t start = 0;
+    while (start < good.size()) {
+      const std::size_t space = good.find(' ', start);
+      tokens.push_back(good.substr(start, space - start));
+      if (space == std::string::npos) break;
+      start = space + 1;
+    }
+    ASSERT_EQ(tokens.size(), 17u);
+    tokens[token] = "2";
+    std::string corrupted;
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+      if (i > 0) corrupted += ' ';
+      corrupted += tokens[i];
+    }
+    EXPECT_FALSE(decode_outcome_record(corrupted).has_value())
+        << "token " << token << ": " << corrupted;
+  }
 }
 
 TEST(WireFormat, EndMarkerRoundTripsAndRejects) {

@@ -262,6 +262,142 @@ TEST(SweepSpec, MobilityValidation) {
             "");
 }
 
+constexpr const char* kAdversarySpec = R"(
+[experiment]
+name = adversary_test
+algorithm = alg3
+delta-est = 24
+trials = 4
+seed = 7
+max-slots = 4000
+sweep-key = ud-radius
+sweep-values = 0.4 0.5
+
+[scenario]
+topology = unit-disk
+channels = uniform
+n = 12
+universe = 6
+set-size = 6
+
+[adversary]
+fraction = 0.25
+attack = byzantine
+byzantine-tx = 0.9
+victim-fraction = 0.5
+trust = 1
+trust-threshold = 0.3
+trust-reward = 0.02
+trust-rate-penalty = 0.35
+trust-decay = 0.999
+trust-rate-window = 128
+trust-max-per-window = 6
+trust-block-slots = 4000
+trust-entry-window = 8000
+)";
+
+TEST(SweepSpec, AdversaryParsesAndCanonicalizes) {
+  const SweepSpec spec = parse_or_die(kAdversarySpec);
+  EXPECT_DOUBLE_EQ(spec.faults.adversary.fraction, 0.25);
+  EXPECT_EQ(spec.faults.adversary.attack, sim::AdversaryAttack::kByzantine);
+  EXPECT_DOUBLE_EQ(spec.faults.adversary.byzantine_tx, 0.9);
+  EXPECT_DOUBLE_EQ(spec.faults.adversary.victim_fraction, 0.5);
+  EXPECT_TRUE(spec.trust.enabled);
+  EXPECT_DOUBLE_EQ(spec.trust.threshold, 0.3);
+  EXPECT_DOUBLE_EQ(spec.trust.reward, 0.02);
+  EXPECT_DOUBLE_EQ(spec.trust.rate_penalty, 0.35);
+  EXPECT_DOUBLE_EQ(spec.trust.decay, 0.999);
+  EXPECT_EQ(spec.trust.rate_window, 128u);
+  EXPECT_EQ(spec.trust.max_per_window, 6u);
+  EXPECT_EQ(spec.trust.block_slots, 4000u);
+  EXPECT_EQ(spec.trust.entry_window, 8000u);
+
+  // The canonical form renders the adversary block, so attacked and clean
+  // specs can never alias in the artifact cache; a section written in a
+  // different key order canonicalizes identically.
+  EXPECT_NE(spec.canonical().find("[adversary]"), std::string::npos);
+  EXPECT_NE(spec.canonical().find("attack = byzantine"), std::string::npos);
+  EXPECT_NE(spec.canonical().find("trust = 1"), std::string::npos);
+  const SweepSpec reordered = parse_or_die(R"(
+[adversary]
+trust-entry-window = 8000
+trust-block-slots = 4000
+trust-max-per-window = 6
+trust-rate-window = 128
+trust-decay = 0.999
+trust-rate-penalty = 0.35
+trust-reward = 0.02
+trust-threshold = 0.3
+trust = 1
+victim-fraction = 0.5
+byzantine-tx = 0.9
+attack = byzantine
+fraction = 0.25
+
+[scenario]
+set-size = 6
+universe = 6
+n = 12
+channels = uniform
+topology = unit-disk
+
+[experiment]
+sweep-values = 0.4 0.5
+sweep-key = ud-radius
+max-slots = 4000
+seed = 7
+trials = 4
+delta-est = 24
+algorithm = alg3
+name = adversary_test
+)");
+  EXPECT_EQ(spec.canonical(), reordered.canonical());
+  EXPECT_EQ(scenario_hash(spec), scenario_hash(reordered));
+}
+
+TEST(SweepSpec, AdversaryAffectsTheCacheKey) {
+  const std::uint64_t base = scenario_hash(parse_or_die(kAdversarySpec));
+  const auto changed = [&](const std::string& extra) {
+    return scenario_hash(parse_or_die(std::string(kAdversarySpec) + extra));
+  };
+  EXPECT_NE(base, changed("[adversary]\nfraction = 0.4\n"));
+  EXPECT_NE(base, changed("[adversary]\nattack = mix\n"));
+  EXPECT_NE(base, changed("[adversary]\nbyzantine-tx = 0.5\n"));
+  EXPECT_NE(base, changed("[adversary]\ntrust = 0\n"));
+  EXPECT_NE(base, changed("[adversary]\ntrust-threshold = 0.4\n"));
+}
+
+TEST(SweepSpec, AdversaryValidation) {
+  // Unknown keys and malformed values must come back as recoverable
+  // diagnostics — a daemon-submitted spec must never reach the aborting
+  // CHECKs inside validate_fault_plan / validate_trust_config.
+  EXPECT_NE(parse_error_of("[adversary]\nbanana = 1\n"), "");
+  EXPECT_NE(parse_error_of("[adversary]\nfraction = lots\n"), "");
+  EXPECT_NE(parse_error_of("[adversary]\nfraction = 1.5\n"), "");
+  EXPECT_NE(parse_error_of("[adversary]\nattack = meteor\n"), "");
+  EXPECT_NE(parse_error_of("[adversary]\nfraction = 0.2\n"
+                           "byzantine-tx = 0\n"),
+            "");
+  EXPECT_NE(parse_error_of(std::string(kAdversarySpec) +
+                           "[adversary]\ntrust-decay = 0\n"),
+            "");
+  EXPECT_NE(parse_error_of(std::string(kAdversarySpec) +
+                           "[adversary]\ntrust-rate-window = 0\n"),
+            "");
+  // The trust wrapper needs per-node policy objects, which only the engine
+  // kernel materializes.
+  EXPECT_NE(parse_error_of(std::string(kAdversarySpec) +
+                           "[experiment]\nkernel = soa\n"),
+            "");
+  // Untrusted adversaries on the SoA kernel ARE allowed: the adversary
+  // model itself is honored by every execution path.
+  const SweepSpec soa_untrusted = parse_or_die(
+      std::string(kAdversarySpec) + "[experiment]\nkernel = soa\n"
+                                    "[adversary]\ntrust = 0\n");
+  EXPECT_EQ(soa_untrusted.kernel, runner::SyncKernel::kSoa);
+  EXPECT_DOUBLE_EQ(soa_untrusted.faults.adversary.fraction, 0.25);
+}
+
 TEST(SweepSpec, FormatSweepValue) {
   EXPECT_EQ(format_sweep_value(4.0), "4");
   EXPECT_EQ(format_sweep_value(0.25), "0.25");

@@ -1,0 +1,197 @@
+// Unit tests for the trust-scored neighbor table (core/trust.*): identity
+// of the disabled wrapper, rate-anomaly scoring and blocking, probation
+// after blocklist expiry, the windowed last-seen prune, and the
+// no-RNG-draws determinism contract.
+#include "core/trust.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/algorithms.hpp"
+#include "net/channel_assign.hpp"
+#include "net/topology_gen.hpp"
+#include "sim/slot_engine.hpp"
+#include "util/rng.hpp"
+
+namespace m2hew {
+namespace {
+
+[[nodiscard]] net::Network small_clique(net::NodeId n = 6,
+                                        net::ChannelId universe = 4) {
+  return net::Network(
+      net::make_clique(n),
+      std::vector<net::ChannelSet>(n, net::ChannelSet::full(universe)));
+}
+
+/// Inert inner policy: always listens on channel 0, ignores all feedback,
+/// draws nothing — so every observable of the wrapper is the wrapper's.
+class ListenPolicy final : public sim::SyncPolicy {
+ public:
+  [[nodiscard]] sim::SlotAction next_slot(util::Rng& rng) override {
+    (void)rng;
+    return sim::SlotAction{sim::Mode::kReceive, 0};
+  }
+};
+
+/// A trust config with decay 1 (no forgiveness) and reward 0, so scores
+/// move only on penalties — arithmetic in the tests stays exact.
+[[nodiscard]] core::TrustConfig exact_config() {
+  core::TrustConfig config;
+  config.enabled = true;
+  config.threshold = 0.5;
+  config.reward = 0.0;
+  config.rate_penalty = 0.3;
+  config.decay = 1.0;
+  config.rate_window = 16;
+  config.max_per_window = 1;
+  config.block_slots = 10;
+  config.entry_window = 8;
+  return config;
+}
+
+[[nodiscard]] core::TrustedSyncPolicy make_policy(
+    const core::TrustConfig& config) {
+  return core::TrustedSyncPolicy(std::make_unique<ListenPolicy>(), config);
+}
+
+void advance(core::TrustedSyncPolicy& policy, std::uint64_t slots) {
+  util::Rng rng(1);
+  for (std::uint64_t i = 0; i < slots; ++i) (void)policy.next_slot(rng);
+}
+
+TEST(TrustTest, DisabledWrapperIsBitIdentical) {
+  // with_trust with enabled == false returns the inner factory unchanged;
+  // a full engine run must be bit-identical to the unwrapped one.
+  const net::Network network = small_clique();
+  sim::SlotEngineConfig config;
+  config.max_slots = 2'000;
+  config.seed = 5;
+  core::TrustConfig off;  // enabled defaults to false
+
+  const auto plain = sim::run_slot_engine(
+      network, core::make_algorithm3(6), config);
+  const auto wrapped = sim::run_slot_engine(
+      network, core::with_trust(core::make_algorithm3(6), off), config);
+  EXPECT_EQ(plain.complete, wrapped.complete);
+  EXPECT_EQ(plain.completion_slot, wrapped.completion_slot);
+  EXPECT_EQ(plain.state.covered_links(), wrapped.state.covered_links());
+  EXPECT_EQ(plain.state.reception_count(), wrapped.state.reception_count());
+}
+
+TEST(TrustTest, EnabledWrapperDrawsNothingFromTheRng) {
+  // The wrapper keys every decision off the node-local slot counter; its
+  // next_slot must consume exactly the draws of the inner policy, so an
+  // enabled-but-never-triggered trust table leaves the schedule stream
+  // untouched.
+  const net::Network network = small_clique();
+  auto inner = core::make_algorithm3(6)(network, 0);
+  auto wrapped = core::TrustedSyncPolicy(core::make_algorithm3(6)(network, 0),
+                                         exact_config());
+  util::Rng rng_a(42);
+  util::Rng rng_b(42);
+  for (int i = 0; i < 500; ++i) {
+    const sim::SlotAction a = inner->next_slot(rng_a);
+    const sim::SlotAction b = wrapped.next_slot(rng_b);
+    ASSERT_EQ(a.mode, b.mode) << "slot " << i;
+    ASSERT_EQ(a.channel, b.channel) << "slot " << i;
+  }
+}
+
+TEST(TrustTest, RateAnomalyBlocksHammeredId) {
+  // max_per_window = 1, penalty 0.3, threshold 0.5, no decay/reward:
+  // attempts in one slot run 1 (ok), 2 (penalty -> 0.7), 3 (ok, window
+  // reset by the penalty), 4 (penalty -> 0.4 < 0.5 -> blocked).
+  auto policy = make_policy(exact_config());
+  advance(policy, 1);
+  EXPECT_TRUE(policy.admit_neighbor(7));
+  EXPECT_TRUE(policy.admit_neighbor(7));
+  EXPECT_TRUE(policy.admit_neighbor(7));
+  EXPECT_FALSE(policy.admit_neighbor(7));
+  EXPECT_TRUE(policy.blocked(7));
+  // Still blocked on the next attempt, and rate accounting continues.
+  EXPECT_FALSE(policy.admit_neighbor(7));
+  // An unrelated well-behaved ID is unaffected.
+  EXPECT_TRUE(policy.admit_neighbor(3));
+  EXPECT_FALSE(policy.blocked(3));
+}
+
+TEST(TrustTest, SlowSenderStaysTrusted) {
+  // One announcement per rate window never trips the anomaly and is always
+  // admitted. The entry window is stretched so the record genuinely
+  // persists between announcements instead of being pruned and recreated.
+  core::TrustConfig config = exact_config();
+  config.entry_window = 100'000;
+  auto policy = make_policy(config);
+  for (int round = 0; round < 50; ++round) {
+    advance(policy, 16 + 1);
+    EXPECT_TRUE(policy.admit_neighbor(9)) << "round " << round;
+  }
+  EXPECT_FALSE(policy.blocked(9));
+}
+
+TEST(TrustTest, ProbationAfterBlockExpiry) {
+  // entry_window far beyond the quiet period: otherwise the lazy prune
+  // drops the record the moment its block expires (last_seen went stale
+  // while blocked) and the ID would restart with full-trust amnesty
+  // instead of probation.
+  core::TrustConfig config = exact_config();
+  config.entry_window = 1'000;
+  auto policy = make_policy(config);
+  advance(policy, 1);
+  EXPECT_TRUE(policy.admit_neighbor(7));
+  EXPECT_TRUE(policy.admit_neighbor(7));
+  EXPECT_TRUE(policy.admit_neighbor(7));
+  EXPECT_FALSE(policy.admit_neighbor(7));  // blocked at slot 0
+  ASSERT_TRUE(policy.blocked(7));
+
+  // Past block_slots (10) the ID is re-admitted on probation: its score
+  // restarts exactly at the threshold...
+  advance(policy, 12);
+  EXPECT_TRUE(policy.admit_neighbor(7));
+  EXPECT_FALSE(policy.blocked(7));
+  // ...so a single fresh anomaly re-blocks it immediately (the penalty
+  // takes the probation score 0.5 to 0.2, under the threshold).
+  EXPECT_FALSE(policy.admit_neighbor(7));
+  EXPECT_TRUE(policy.blocked(7));
+}
+
+TEST(TrustTest, PruneDropsStaleRecordsButKeepsActiveBlocks) {
+  // entry_window = 8: a record not refreshed for more than 8 node-local
+  // slots is dropped by the lazy prune (stride entry_window / 4 = 2)...
+  core::TrustConfig config = exact_config();
+  config.block_slots = 100;  // block far outlives the entry window
+  auto policy = make_policy(config);
+  advance(policy, 1);
+  EXPECT_TRUE(policy.admit_neighbor(3));
+  EXPECT_EQ(policy.tracked(), 1u);
+  advance(policy, 20);
+  EXPECT_EQ(policy.tracked(), 0u);
+
+  // ...but a blocked record survives pruning until its block expires —
+  // forgetting early would hand the attacker a free reset by going quiet.
+  EXPECT_TRUE(policy.admit_neighbor(5));
+  EXPECT_TRUE(policy.admit_neighbor(5));
+  EXPECT_TRUE(policy.admit_neighbor(5));
+  EXPECT_FALSE(policy.admit_neighbor(5));
+  ASSERT_TRUE(policy.blocked(5));
+  advance(policy, 40);  // well past entry_window, inside block_slots
+  EXPECT_EQ(policy.tracked(), 1u);
+  EXPECT_TRUE(policy.blocked(5));
+}
+
+TEST(TrustTest, ValidationRejectsNonsenseConfigs) {
+  core::TrustConfig config = exact_config();
+  config.threshold = 1.0;
+  EXPECT_DEATH(core::validate_trust_config(config), "threshold");
+  config = exact_config();
+  config.decay = 0.0;
+  EXPECT_DEATH(core::validate_trust_config(config), "decay");
+  config = exact_config();
+  config.rate_window = 0;
+  EXPECT_DEATH(core::validate_trust_config(config), "window");
+}
+
+}  // namespace
+}  // namespace m2hew

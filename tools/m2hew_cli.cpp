@@ -25,6 +25,7 @@
 #include "core/policy_spec.hpp"
 #include "core/termination.hpp"
 #include "core/transmit_probability.hpp"
+#include "core/trust.hpp"
 #include "net/serialize.hpp"
 #include "net/topology_provider.hpp"
 #include "runner/report.hpp"
@@ -112,6 +113,25 @@ Fault injection (sim::FaultPlan; all off by default):
   --burst-loss-good=<p>       good-state loss prob (default 0)
   --drift-wander=<delta>      alg4 drift re-drawn per segment within delta
                               (replaces --drift's fixed-rate clock)
+
+Adversarial nodes (seed-derived roles; all off by default):
+  --adversary-fraction=<p>    fraction of nodes turned adversarial
+  --adversary-attack=<jam|byzantine|non-responder|mix>   (default mix)
+  --adversary-byzantine-tx=<p>  Byzantine per-slot transmit prob
+                              (default 0.45)
+  --adversary-victim-fraction=<p>  fraction of a non-responder's
+                              neighbors it stays silent toward (default 0.5)
+
+Trust-scored neighbor maintenance (requires --kernel=engine):
+  --trust=<0|1>               wrap the policy with the trust table
+  --trust-threshold=<s>       block below this score     (default 0.3)
+  --trust-reward=<r>          score per clean admission  (default 0.02)
+  --trust-rate-penalty=<r>    score cost of an anomaly   (default 0.35)
+  --trust-decay=<d>           per-slot pull toward 1     (default 0.999)
+  --trust-rate-window=<k>     rate window, slots         (default 128)
+  --trust-max-per-window=<k>  anomaly threshold          (default 6)
+  --trust-block-slots=<k>     blocklist lifetime         (default 2048)
+  --trust-entry-window=<k>    last-seen expiry, slots    (default 16384)
 )";
 
 /// One-line flag-validation diagnostic; exits 2 (usage error) on failure so
@@ -166,6 +186,69 @@ void apply_fault_flags(const util::Flags& flags,
     faults.burst_loss.p_bad_to_good = p_bg;
     faults.burst_loss.loss_good = loss_good;
   }
+  const double adv_fraction = flags.get_double("adversary-fraction", 0.0);
+  require_flag(adv_fraction >= 0.0 && adv_fraction <= 1.0,
+               "--adversary-fraction must be in [0, 1]");
+  if (adv_fraction > 0.0) {
+    faults.adversary.fraction = adv_fraction;
+    const std::string attack = flags.get_string("adversary-attack", "mix");
+    if (attack == "jam") {
+      faults.adversary.attack = sim::AdversaryAttack::kJam;
+    } else if (attack == "byzantine") {
+      faults.adversary.attack = sim::AdversaryAttack::kByzantine;
+    } else if (attack == "non-responder") {
+      faults.adversary.attack = sim::AdversaryAttack::kNonResponder;
+    } else if (attack == "mix") {
+      faults.adversary.attack = sim::AdversaryAttack::kMix;
+    } else {
+      require_flag(false,
+                   "--adversary-attack must be jam, byzantine, "
+                   "non-responder or mix");
+    }
+    const double byz_tx = flags.get_double("adversary-byzantine-tx", 0.45);
+    require_flag(byz_tx > 0.0 && byz_tx <= 1.0,
+                 "--adversary-byzantine-tx must be in (0, 1]");
+    const double victim =
+        flags.get_double("adversary-victim-fraction", 0.5);
+    require_flag(victim >= 0.0 && victim <= 1.0,
+                 "--adversary-victim-fraction must be in [0, 1]");
+    faults.adversary.byzantine_tx = byz_tx;
+    faults.adversary.victim_fraction = victim;
+  }
+}
+
+/// Reads the --trust-* flags into a TrustConfig, range-checking every knob
+/// (exit 2). All flags are consumed even when --trust is off, so they
+/// never surface as typo warnings.
+[[nodiscard]] core::TrustConfig trust_from_flags(const util::Flags& flags) {
+  core::TrustConfig trust;
+  trust.enabled = flags.get_bool("trust", false);
+  trust.threshold = flags.get_double("trust-threshold", trust.threshold);
+  trust.reward = flags.get_double("trust-reward", trust.reward);
+  trust.rate_penalty =
+      flags.get_double("trust-rate-penalty", trust.rate_penalty);
+  trust.decay = flags.get_double("trust-decay", trust.decay);
+  trust.rate_window = static_cast<std::uint64_t>(flags.get_int(
+      "trust-rate-window", static_cast<std::int64_t>(trust.rate_window)));
+  trust.max_per_window = static_cast<std::uint64_t>(
+      flags.get_int("trust-max-per-window",
+                    static_cast<std::int64_t>(trust.max_per_window)));
+  trust.block_slots = static_cast<std::uint64_t>(flags.get_int(
+      "trust-block-slots", static_cast<std::int64_t>(trust.block_slots)));
+  trust.entry_window = static_cast<std::uint64_t>(flags.get_int(
+      "trust-entry-window", static_cast<std::int64_t>(trust.entry_window)));
+  require_flag(trust.threshold >= 0.0 && trust.threshold < 1.0,
+               "--trust-threshold must be in [0, 1)");
+  require_flag(trust.reward >= 0.0, "--trust-reward must be >= 0");
+  require_flag(trust.rate_penalty > 0.0,
+               "--trust-rate-penalty must be > 0");
+  require_flag(trust.decay > 0.0 && trust.decay <= 1.0,
+               "--trust-decay must be in (0, 1]");
+  require_flag(trust.rate_window >= 1 && trust.max_per_window >= 1 &&
+                   trust.block_slots >= 1 && trust.entry_window >= 1,
+               "--trust-rate-window/--trust-max-per-window/"
+               "--trust-block-slots/--trust-entry-window must be >= 1");
+  return trust;
 }
 
 [[nodiscard]] runner::ScenarioConfig scenario_from_flags(
@@ -277,15 +360,23 @@ void apply_fault_flags(const util::Flags& flags,
                "0 <= min <= max");
   require_flag(mobility.duty_on <= mobility.duty_period,
                "--duty-on/--duty-period must satisfy on <= period");
-  require_flag(mobility.enabled || mobility.duty_on == mobility.duty_period,
-               "--duty-on < --duty-period requires --mobility=rwp");
+  // Duty cycling's kernel/mobility prerequisites are validated in main(),
+  // where the --kernel flag is in scope, so one message can name every
+  // flag involved.
   return mobility;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const util::Flags flags(argc, argv);
+  util::Flags flags(argc, argv);
+  // A malformed value (--duty-on=abc) is a usage error like any other
+  // flag-validation failure: one-line diagnostic, exit 2 — never a CHECK
+  // abort.
+  flags.on_parse_error([](const std::string& message) {
+    std::fprintf(stderr, "m2hew_cli: %s\n", message.c_str());
+    std::exit(2);
+  });
   if (flags.has("help")) {
     std::fputs(kUsage, stdout);
     return 0;
@@ -358,9 +449,21 @@ int main(int argc, char** argv) {
   require_flag(kernel == "engine" || kernel == "soa",
                "--kernel must be engine or soa");
   const runner::MobilitySpec mobility = mobility_from_flags(flags);
+  // SoA check first, so --kernel=soa with a duty cycle gets the message
+  // naming every flag involved whether or not --mobility was given.
   require_flag(!(kernel == "soa" && mobility.duty_on != mobility.duty_period),
                "--duty-on < --duty-period requires --kernel=engine (duty "
                "cycling wraps policy objects, not SoA policy tables)");
+  require_flag(mobility.enabled || mobility.duty_on == mobility.duty_period,
+               "--duty-on < --duty-period requires --mobility=rwp");
+  const core::TrustConfig trust = trust_from_flags(flags);
+  require_flag(!trust.enabled || kernel == "engine",
+               "--trust requires --kernel=engine (trust wraps policy "
+               "objects, not SoA policy tables)");
+  require_flag(!trust.enabled || algorithm != "alg4",
+               "--trust is slotted-only (alg4 runs on real time)");
+  require_flag(!trust.enabled || flags.get_int("radios", 1) == 1,
+               "--trust supports single-radio runs only");
 
   std::string scenario_text;
   std::optional<net::Network> owned_network;
@@ -653,6 +756,8 @@ int main(int argc, char** argv) {
       factory = core::with_duty_cycle(std::move(factory), mobility.duty_on,
                                       mobility.duty_period);
     }
+    // Identity when --trust is off, so untrusted runs are untouched.
+    factory = core::with_trust(std::move(factory), trust);
     const auto stats = runner::run_sync_trials(network, factory, trial);
     report_sync(stats, bound, bound_name);
     robustness = stats.robustness;

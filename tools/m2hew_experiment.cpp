@@ -44,6 +44,17 @@
 //   duty-on     = 1           ; policy active duty-on slots of every
 //   duty-period = 1           ; duty-period window (1/1 = always on)
 //
+//   [adversary]               ; optional adversarial nodes + trust defence
+//   fraction    = 0.2         ; fraction of nodes turned adversarial
+//   attack      = mix         ; jam | byzantine | non-responder | mix
+//   byzantine-tx = 0.45       ; Byzantine per-slot transmit probability
+//   victim-fraction = 0.5     ; non-responder silent-victim fraction
+//   trust       = 1           ; wrap the policy with the trust table
+//   trust-threshold = 0.3     ; (and trust-reward, trust-rate-penalty,
+//                             ; trust-decay, trust-rate-window,
+//                             ; trust-max-per-window, trust-block-slots,
+//                             ; trust-entry-window)
+//
 // [mobility] requires a unit-disk scenario with a position-independent
 // channel kind (homogeneous / uniform / variable); runs then track
 // per-contact detection latency, missed contacts and energy per detected
@@ -64,6 +75,7 @@
 #include "core/algorithms.hpp"
 #include "core/competitors.hpp"
 #include "core/duty_cycle.hpp"
+#include "core/trust.hpp"
 #include "net/topology_provider.hpp"
 #include "runner/report.hpp"
 #include "runner/scenario.hpp"
@@ -161,6 +173,19 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Optional [adversary] section: seed-derived adversarial roles plus the
+  // trust-scored neighbor maintenance defence (docs/MODEL.md "Adversary
+  // model & trust maintenance"); same parser as the sweep daemon.
+  core::TrustConfig trust;
+  {
+    std::string adversary_error;
+    if (!runner::parse_adversary_section(ini, faults.adversary, trust,
+                                         &adversary_error)) {
+      std::fprintf(stderr, "%s\n", adversary_error.c_str());
+      return 2;
+    }
+  }
+
   auto make_factory = [&]() -> sim::SyncPolicyFactory {
     if (algorithm == "alg1") return core::make_algorithm1(delta_est);
     if (algorithm == "alg2") return core::make_algorithm2();
@@ -250,6 +275,8 @@ int main(int argc, char** argv) {
       factory = core::with_duty_cycle(std::move(factory), mobility.duty_on,
                                       mobility.duty_period);
     }
+    // Identity when [adversary] trust is off.
+    factory = core::with_trust(std::move(factory), trust);
     const auto stats = runner::run_sync_trials(network, factory, trial);
     if (stats.robustness.enabled() || stats.encounters.enabled()) {
       std::printf("[%s = %s]\n", sweep_key.empty() ? "run" : sweep_key.c_str(),
